@@ -1,0 +1,48 @@
+//! Recommender fit-time benches (the runtime column of Table 5): the paper
+//! contrasts L-WD's seconds-on-CPU against PIE's hours-on-GPU; here the
+//! PIE stand-in (logistic MF) is the slow learned method.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kg_datasets::{generate, SyntheticKgConfig};
+use kg_recommend::{all_recommenders, CandidateSets, RelationRecommender, SeenSets};
+
+fn dataset() -> kg_datasets::Dataset {
+    generate(&SyntheticKgConfig {
+        name: "fitbench".into(),
+        num_entities: 4000,
+        num_relations: 30,
+        num_types: 30,
+        num_triples: 30_000,
+        seed: 6,
+        ..Default::default()
+    })
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let d = dataset();
+    let mut group = c.benchmark_group("recommender_fit_4k_entities");
+    group.sample_size(10);
+    for rec in all_recommenders() {
+        group.bench_function(rec.name(), |bench| {
+            bench.iter(|| black_box(rec.fit(&d).nnz()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_static_thresholding(c: &mut Criterion) {
+    let d = dataset();
+    let matrix = kg_recommend::Lwd::untyped().fit(&d);
+    let seen = SeenSets::from_store(&d.train);
+    let mut group = c.benchmark_group("candidate_sets");
+    group.sample_size(20);
+    group.bench_function("static_threshold_optimiser", |bench| {
+        bench.iter(|| black_box(CandidateSets::static_sets(&matrix, &seen).mean_size()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fits, bench_static_thresholding);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro <artifact> [--scale quick|paper] [--out <file>]
+//!
+//! artifacts:
+//!   table1 table2 table3 table4 table5 table6 table7 table8 table9
+//!   table10 table11 table12-14 table15
+//!   fig3a fig3b fig3c fig4 fig5 fig6
+//!   theory ablate-ties ablate-threshold ablate-pt-union ablations
+//!   all
+//! ```
+
+use std::io::Write as _;
+
+use kg_bench::context::Ctx;
+use kg_bench::experiments as ex;
+use kg_datasets::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <artifact> [--scale quick|paper] [--out file]\n\
+         artifacts: table1..table15, table12-14, fig3a fig3b fig3c fig4 fig5 fig6,\n\
+         theory, ablate-ties, ablate-threshold, ablate-pt-union, ablations, all"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut artifact = String::new();
+    let mut scale = Scale::Quick;
+    let mut out_file: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("quick") => Scale::Quick,
+                    Some("paper") => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        usage()
+                    }
+                };
+            }
+            "--out" => {
+                i += 1;
+                out_file = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            a if artifact.is_empty() && !a.starts_with('-') => artifact = a.to_string(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if artifact.is_empty() {
+        usage();
+    }
+
+    let ctx = Ctx::new(scale);
+    let outputs = run(&ctx, &artifact);
+
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    for (name, body) in &outputs {
+        let _ = writeln!(lock, "=== {name} ===\n\n{body}\n");
+    }
+    if let Some(path) = out_file {
+        let mut text = String::new();
+        for (name, body) in &outputs {
+            text.push_str(&format!("=== {name} ===\n\n{body}\n\n"));
+        }
+        std::fs::write(&path, text).expect("write --out file");
+        eprintln!("[repro] wrote {path}");
+    }
+}
+
+/// Run one artifact (or `all`), returning `(name, rendered)` pairs.
+fn run(ctx: &Ctx, artifact: &str) -> Vec<(String, String)> {
+    let single = |name: &str, body: String| vec![(name.to_string(), body)];
+    match artifact {
+        "table1" => single("table1", ex::criteria::table1()),
+        "table2" => single("table2", ex::easy::table2(ctx)),
+        "table3" => single("table3", ex::complexity::table3(ctx)),
+        "table4" => single("table4", ex::stats::table4(ctx)),
+        "table5" => single("table5", ex::recommenders::table5(ctx)),
+        "table6" => single("table6", ex::estimators::table6(ctx)),
+        "table7" => single("table7", ex::estimators::table7(ctx)),
+        "table8" => single("table8", ex::estimators::table8(ctx)),
+        "table9" => single("table9", ex::speedup::table9(ctx)),
+        "table10" => single("table10", ex::easy::table10(ctx)),
+        "table11" => single("table11", ex::speedup::table11(ctx)),
+        "table12-14" | "table12" | "table13" | "table14" => {
+            single("table12-14", ex::estimators::tables12_14(ctx))
+        }
+        "table15" => single("table15", ex::estimators::table15(ctx)),
+        "fig3a" => single("fig3a", ex::figures::fig3a(ctx)),
+        "fig3b" => single("fig3b", ex::figures::fig3b(ctx)),
+        "fig3c" => single("fig3c", ex::figures::fig3c(ctx)),
+        // All three Figure-3 panels in one process (shares the trained model
+        // and dataset; the right target for `--scale paper` spot runs).
+        "fig3" => vec![
+            ("fig3a".to_string(), ex::figures::fig3a(ctx)),
+            ("fig3b".to_string(), ex::figures::fig3b(ctx)),
+            ("fig3c".to_string(), ex::figures::fig3c(ctx)),
+        ],
+        "export-csv" => single("export-csv", ex::figures::export_csv(ctx)),
+        "fig4" => single("fig4", ex::figures::fig4(ctx)),
+        "fig5" => single("fig5", ex::figures::fig5(ctx)),
+        "fig6" => single("fig6", ex::figures::fig6(ctx)),
+        "theory" => single("theory", ex::theory::theory()),
+        "ablate-ties" => single("ablate-ties", ex::ablations::ablate_ties(ctx)),
+        "ablate-threshold" => single("ablate-threshold", ex::ablations::ablate_threshold(ctx)),
+        "ablate-pt-union" => single("ablate-pt-union", ex::ablations::ablate_pt_union(ctx)),
+        "ablate-wd" => single("ablate-wd", ex::ablations::ablate_wd(ctx)),
+        "ablations" => single("ablations", ex::ablations::ablations(ctx)),
+        "all" => {
+            let order = [
+                "table1", "table4", "theory", "table2", "table10", "table3", "table5", "table6",
+                "table7", "table8", "table9", "table11", "table12-14", "table15", "fig3a",
+                "fig3b", "fig3c", "fig4", "fig5", "fig6", "ablations",
+            ];
+            let mut out = Vec::new();
+            for a in order {
+                out.extend(run(ctx, a));
+            }
+            out
+        }
+        other => {
+            eprintln!("unknown artifact {other:?}");
+            usage()
+        }
+    }
+}

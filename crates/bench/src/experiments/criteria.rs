@@ -1,0 +1,29 @@
+//! Table 1: desirable criteria for candidate generation methods.
+
+use kg_eval::report::{mark, TextTable};
+use kg_recommend::criteria::{criteria_table, CRITERIA_LABELS};
+
+/// Render Table 1.
+pub fn table1() -> String {
+    let rows = criteria_table();
+    let mut header: Vec<String> = vec!["Criterion".into()];
+    header.extend(rows.iter().map(|r| r.name.to_string()));
+    let mut t = TextTable::new(header);
+    for (ci, label) in CRITERIA_LABELS.iter().enumerate() {
+        let mut cells: Vec<String> = vec![(*label).into()];
+        cells.extend(rows.iter().map(|r| mark(r.flags[ci]).to_string()));
+        t.row(cells);
+    }
+    format!("Table 1: Desirable criteria for candidate generation methods.\n\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_criteria() {
+        let s = super::table1();
+        assert!(s.contains("Scalable on CPU"));
+        assert!(s.contains("L-WD-T"));
+        assert!(s.contains("✔") && s.contains("✘"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Tables 6, 7, 8, 12–14 and 15: estimator error (MAE) and correlation
+//! (Pearson, Kendall-τ) against the true filtered metrics, per dataset and
+//! model, aggregated from the cached training runs.
+
+use kg_core::stats::kendall_tau;
+use kg_eval::estimator::Metric;
+use kg_eval::report::{corr, f3, TextTable};
+use kg_recommend::SamplingStrategy;
+
+use crate::context::{Ctx, CORRELATION_DATASETS};
+
+/// Table 6: MAE of estimating the filtered validation MRR with R/P/S.
+pub fn table6(ctx: &Ctx) -> String {
+    let mut t = TextTable::new(vec!["Dataset", "Model", "R", "P", "S"]);
+    for id in CORRELATION_DATASETS {
+        let runs = ctx.runs(id);
+        for cached in runs.iter() {
+            let run = &cached.run;
+            t.row(vec![
+                run.dataset.clone(),
+                run.model.to_string(),
+                f3(run.series(SamplingStrategy::Random, Metric::Mrr).mae()),
+                f3(run.series(SamplingStrategy::Probabilistic, Metric::Mrr).mae()),
+                f3(run.series(SamplingStrategy::Static, Metric::Mrr).mae()),
+            ]);
+        }
+    }
+    format!(
+        "Table 6: MAEs of estimating the filtered validation MRR with different sampling\nstrategies (R = random, P = probabilistic, S = static).\n\n{}",
+        t.render()
+    )
+}
+
+/// A correlation table for one metric (Table 7 = MRR, 12 = Hits@3,
+/// 13 = Hits@10, 14 = Hits@1).
+pub fn correlation_table(ctx: &Ctx, metric: Metric, table_no: u32) -> String {
+    let mut t = TextTable::new(vec![
+        "Dataset", "Model", "KP R", "KP P", "KP S", "Rank R", "Rank P", "Rank S",
+    ]);
+    for id in CORRELATION_DATASETS {
+        let runs = ctx.runs(id);
+        for cached in runs.iter() {
+            let run = &cached.run;
+            t.row(vec![
+                run.dataset.clone(),
+                run.model.to_string(),
+                corr(run.extra_series("KP-R", metric).pearson()),
+                corr(run.extra_series("KP-P", metric).pearson()),
+                corr(run.extra_series("KP-S", metric).pearson()),
+                corr(run.series(SamplingStrategy::Random, metric).pearson()),
+                corr(run.series(SamplingStrategy::Probabilistic, metric).pearson()),
+                corr(run.series(SamplingStrategy::Static, metric).pearson()),
+            ]);
+        }
+    }
+    format!(
+        "Table {table_no}: Pearson correlation with the filtered {} (KP baseline vs rank estimates).\n\n{}",
+        metric.name(),
+        t.render()
+    )
+}
+
+/// Table 7 (MRR correlations).
+pub fn table7(ctx: &Ctx) -> String {
+    correlation_table(ctx, Metric::Mrr, 7)
+}
+
+/// Table 12 (Hits@3), Table 13 (Hits@10), Table 14 (Hits@1).
+pub fn tables12_14(ctx: &Ctx) -> String {
+    let mut out = correlation_table(ctx, Metric::Hits3, 12);
+    out.push_str("\n\n");
+    out.push_str(&correlation_table(ctx, Metric::Hits10, 13));
+    out.push_str("\n\n");
+    out.push_str(&correlation_table(ctx, Metric::Hits1, 14));
+    out
+}
+
+/// Table 8: average Kendall-τ of how each estimator orders the *models*
+/// at each epoch, on datasets with ≥ 3 trained models.
+pub fn table8(ctx: &Ctx) -> String {
+    let mut t = TextTable::new(vec![
+        "Dataset", "KP R", "KP P", "KP S", "Rank R", "Rank P", "Rank S",
+    ]);
+    for id in CORRELATION_DATASETS {
+        let runs = ctx.runs(id);
+        if runs.len() < 3 {
+            continue;
+        }
+        let epochs = runs.iter().map(|c| c.run.records.len()).min().unwrap_or(0);
+        // For each epoch: rank models by true MRR and by each estimator.
+        let mut sums = [0.0f64; 6];
+        let mut counts = [0usize; 6];
+        for e in 0..epochs {
+            let truth: Vec<f64> = runs.iter().map(|c| c.run.records[e].full.mrr).collect();
+            let estimator_values: [Vec<f64>; 6] = [
+                extract_extra(&runs, e, "KP-R"),
+                extract_extra(&runs, e, "KP-P"),
+                extract_extra(&runs, e, "KP-S"),
+                extract_strategy(&runs, e, SamplingStrategy::Random),
+                extract_strategy(&runs, e, SamplingStrategy::Probabilistic),
+                extract_strategy(&runs, e, SamplingStrategy::Static),
+            ];
+            for (i, vals) in estimator_values.iter().enumerate() {
+                if let Some(tau) = kendall_tau(vals, &truth) {
+                    sums[i] += tau;
+                    counts[i] += 1;
+                }
+            }
+        }
+        let cell = |i: usize| {
+            if counts[i] == 0 {
+                "—".to_string()
+            } else {
+                f3(sums[i] / counts[i] as f64)
+            }
+        };
+        t.row(vec![
+            ctx.assets(id).dataset.name.clone(),
+            cell(0),
+            cell(1),
+            cell(2),
+            cell(3),
+            cell(4),
+            cell(5),
+        ]);
+    }
+    format!(
+        "Table 8: Average Kendall-τ rank correlations of ordering models' performance\nper epoch (datasets with ≥ 3 trained models).\n\n{}",
+        t.render()
+    )
+}
+
+fn extract_extra(runs: &[crate::context::CachedRun], epoch: usize, name: &str) -> Vec<f64> {
+    runs.iter()
+        .map(|c| {
+            c.run.records[epoch]
+                .extras
+                .iter()
+                .find(|(n, _, _)| *n == name)
+                .map(|(_, v, _)| *v)
+                .unwrap_or(0.0)
+        })
+        .collect()
+}
+
+fn extract_strategy(
+    runs: &[crate::context::CachedRun],
+    epoch: usize,
+    strategy: SamplingStrategy,
+) -> Vec<f64> {
+    runs.iter()
+        .map(|c| {
+            c.run.records[epoch]
+                .estimates
+                .iter()
+                .find(|e| e.strategy == strategy)
+                .map(|e| e.metrics.mrr)
+                .unwrap_or(0.0)
+        })
+        .collect()
+}
+
+/// Table 15: MAEs of estimating Hits@1/3/10.
+pub fn table15(ctx: &Ctx) -> String {
+    let mut t = TextTable::new(vec![
+        "Dataset", "Model", "H@1 P", "H@1 R", "H@1 S", "H@3 P", "H@3 R", "H@3 S", "H@10 P",
+        "H@10 R", "H@10 S",
+    ]);
+    for id in CORRELATION_DATASETS {
+        let runs = ctx.runs(id);
+        for cached in runs.iter() {
+            let run = &cached.run;
+            let mut cells = vec![run.dataset.clone(), run.model.to_string()];
+            for metric in [Metric::Hits1, Metric::Hits3, Metric::Hits10] {
+                cells.push(f3(run.series(SamplingStrategy::Probabilistic, metric).mae()));
+                cells.push(f3(run.series(SamplingStrategy::Random, metric).mae()));
+                cells.push(f3(run.series(SamplingStrategy::Static, metric).mae()));
+            }
+            t.row(cells);
+        }
+    }
+    format!("Table 15: MAEs of estimating the true Hits@X metrics (P/R/S per metric).\n\n{}", t.render())
+}

@@ -1,0 +1,310 @@
+//! Figures 3–6: sample-size sweeps on the large-scale dataset and the MAPE
+//! curves per relation recommender.
+
+use std::sync::Arc;
+
+use kg_core::sample::seeded_rng;
+use kg_core::stats::{mean_std, mape};
+use kg_datasets::PresetId;
+use kg_eval::estimator::Metric;
+use kg_eval::report::{f1, f3, TextTable};
+use kg_eval::{evaluate_full, evaluate_sampled, TieBreak};
+use kg_models::ModelKind;
+use kg_recommend::{
+    all_recommenders, sample_candidates, CandidateSets, SamplingStrategy, SeenSets,
+};
+
+use crate::context::Ctx;
+
+/// Sample-size fractions swept in Figures 3 and 6.
+pub const SWEEP_FRACTIONS: [f64; 7] = [0.005, 0.01, 0.025, 0.05, 0.10, 0.20, 0.40];
+
+/// The trained ComplEx model of a dataset (ComplEx appears in every model
+/// list, making it the common reference model, as in the paper's §5.3).
+fn complex_model(ctx: &Ctx, id: PresetId) -> Arc<Box<dyn kg_models::TrainableModel>> {
+    let runs = ctx.runs(id);
+    runs.iter()
+        .find(|c| c.kind == ModelKind::ComplEx)
+        .expect("ComplEx is in every model list")
+        .model
+        .clone()
+}
+
+/// Capped test triples of a dataset.
+fn test_triples(ctx: &Ctx, id: PresetId) -> Vec<kg_core::Triple> {
+    let assets = ctx.assets(id);
+    let cap = ctx.max_eval_triples();
+    let t = &assets.dataset.test;
+    if cap > 0 && t.len() > cap {
+        t[..cap].to_vec()
+    } else {
+        t.clone()
+    }
+}
+
+/// One sweep row: per strategy, `(seconds, metrics)` at a given `n_s`.
+struct SweepPoint {
+    fraction: f64,
+    n_s: usize,
+    per_strategy: Vec<(SamplingStrategy, f64, kg_eval::RankingMetrics)>,
+}
+
+fn sweep(ctx: &Ctx, id: PresetId) -> (Vec<SweepPoint>, kg_eval::RankingMetrics, f64) {
+    let assets = ctx.assets(id);
+    let model = complex_model(ctx, id);
+    let triples = test_triples(ctx, id);
+    let full = evaluate_full(
+        model.as_ref().as_ref(),
+        &triples,
+        &assets.dataset.filter,
+        TieBreak::Mean,
+        ctx.threads,
+    );
+    let ne = assets.dataset.num_entities();
+    let nr = assets.dataset.num_relations();
+    let mut rng = seeded_rng(0xF16);
+    let mut points = Vec::new();
+    for &fraction in &SWEEP_FRACTIONS {
+        let n_s = ((ne as f64) * fraction).ceil() as usize;
+        let mut per_strategy = Vec::new();
+        for strategy in SamplingStrategy::ALL {
+            let samples = sample_candidates(
+                strategy,
+                ne,
+                nr,
+                n_s,
+                Some(&assets.lwd),
+                Some(&assets.static_sets),
+                &mut rng,
+            );
+            let result = evaluate_sampled(
+                model.as_ref().as_ref(),
+                &triples,
+                &assets.dataset.filter,
+                &samples,
+                TieBreak::Mean,
+                ctx.threads,
+            );
+            per_strategy.push((strategy, result.seconds, result.metrics));
+        }
+        points.push(SweepPoint { fraction, n_s, per_strategy });
+    }
+    (points, full.metrics, full.seconds)
+}
+
+/// Figure 3a: evaluation time vs sample size on wikikg2-sim (log scale in
+/// the paper; we print raw seconds).
+pub fn fig3a(ctx: &Ctx) -> String {
+    let (points, _full_metrics, full_secs) = sweep(ctx, PresetId::WikiKg2);
+    let mut t = TextTable::new(vec![
+        "Sample size (% of |E|)", "n_s", "Random (s)", "Probabilistic (s)", "Static (s)",
+    ]);
+    for p in &points {
+        let find = |s: SamplingStrategy| {
+            p.per_strategy.iter().find(|x| x.0 == s).map(|x| x.1).unwrap_or(f64::NAN)
+        };
+        t.row(vec![
+            f1(p.fraction * 100.0),
+            p.n_s.to_string(),
+            format!("{:.3}", find(SamplingStrategy::Random)),
+            format!("{:.3}", find(SamplingStrategy::Probabilistic)),
+            format!("{:.3}", find(SamplingStrategy::Static)),
+        ]);
+    }
+    format!(
+        "Figure 3a: Evaluation time vs sample size on wikikg2-sim.\nFull evaluation: {full_secs:.3} s (the paper's dashed line).\n\n{}",
+        t.render()
+    )
+}
+
+/// Figure 3b: filtered MRR vs sample size on wikikg2-sim.
+pub fn fig3b(ctx: &Ctx) -> String {
+    let (points, full, _) = sweep(ctx, PresetId::WikiKg2);
+    let mut t = TextTable::new(vec![
+        "Sample size (% of |E|)", "Probabilistic", "Random", "Static",
+    ]);
+    for p in &points {
+        let find = |s: SamplingStrategy| {
+            p.per_strategy.iter().find(|x| x.0 == s).map(|x| x.2.mrr).unwrap_or(f64::NAN)
+        };
+        t.row(vec![
+            f1(p.fraction * 100.0),
+            f3(find(SamplingStrategy::Probabilistic)),
+            f3(find(SamplingStrategy::Random)),
+            f3(find(SamplingStrategy::Static)),
+        ]);
+    }
+    format!(
+        "Figure 3b: Filtered MRR estimate vs sample size on wikikg2-sim.\nTrue MRR = {:.3} (the paper's dashed line).\n\n{}",
+        full.mrr,
+        t.render()
+    )
+}
+
+/// Figure 3c: estimated validation MRR across training on wikikg2-sim.
+pub fn fig3c(ctx: &Ctx) -> String {
+    let runs = ctx.runs(PresetId::WikiKg2);
+    let cached = runs.iter().find(|c| c.kind == ModelKind::ComplEx).expect("ComplEx run");
+    let mut t = TextTable::new(vec!["Epoch", "Probabilistic", "Random", "Static", "True MRR"]);
+    for rec in &cached.run.records {
+        let find = |s: SamplingStrategy| {
+            rec.estimates.iter().find(|e| e.strategy == s).map(|e| e.metrics.mrr).unwrap_or(f64::NAN)
+        };
+        t.row(vec![
+            rec.epoch.to_string(),
+            f3(find(SamplingStrategy::Probabilistic)),
+            f3(find(SamplingStrategy::Random)),
+            f3(find(SamplingStrategy::Static)),
+            f3(rec.full.mrr),
+        ]);
+    }
+    format!(
+        "Figure 3c: Estimated validation MRR across training on wikikg2-sim (ComplEx).\n\n{}",
+        t.render()
+    )
+}
+
+/// Figure 6: Hits@1/3/10 vs sample size on wikikg2-sim.
+pub fn fig6(ctx: &Ctx) -> String {
+    let (points, full, _) = sweep(ctx, PresetId::WikiKg2);
+    let mut t = TextTable::new(vec![
+        "Sample %", "H@1 P", "H@1 R", "H@1 S", "H@3 P", "H@3 R", "H@3 S", "H@10 P", "H@10 R",
+        "H@10 S",
+    ]);
+    for p in &points {
+        let find = |s: SamplingStrategy, m: Metric| {
+            p.per_strategy
+                .iter()
+                .find(|x| x.0 == s)
+                .map(|x| x.2.get(m))
+                .unwrap_or(f64::NAN)
+        };
+        let mut cells = vec![f1(p.fraction * 100.0)];
+        for m in [Metric::Hits1, Metric::Hits3, Metric::Hits10] {
+            cells.push(f3(find(SamplingStrategy::Probabilistic, m)));
+            cells.push(f3(find(SamplingStrategy::Random, m)));
+            cells.push(f3(find(SamplingStrategy::Static, m)));
+        }
+        t.row(cells);
+    }
+    format!(
+        "Figure 6: Hits@X estimates vs sample size on wikikg2-sim.\nTrue: H@1={:.3} H@3={:.3} H@10={:.3}\n\n{}",
+        full.hits1,
+        full.hits3,
+        full.hits10,
+        t.render()
+    )
+}
+
+/// MAPE fractions swept in Figures 4/5.
+pub const MAPE_FRACTIONS: [f64; 5] = [0.01, 0.05, 0.10, 0.20, 0.30];
+/// Repetitions per point (the paper samples five times).
+pub const MAPE_SEEDS: u64 = 5;
+
+/// MAPE-vs-sample-size curves for every recommender on one dataset
+/// (one panel of Figure 4/5).
+pub fn mape_panel(ctx: &Ctx, id: PresetId) -> String {
+    let assets = ctx.assets(id);
+    let dataset = &assets.dataset;
+    let model = complex_model(ctx, id);
+    let triples = test_triples(ctx, id);
+    let full = evaluate_full(
+        model.as_ref().as_ref(),
+        &triples,
+        &dataset.filter,
+        TieBreak::Mean,
+        ctx.threads,
+    );
+    let seen = SeenSets::from_store(&dataset.train);
+    let ne = dataset.num_entities();
+    let nr = dataset.num_relations();
+
+    let mut t = TextTable::new(vec![
+        "Recommender", "Sample %", "MAPE (%)", "± CI95",
+    ]);
+    for rec in all_recommenders() {
+        if rec.needs_types() && dataset.types.is_empty() {
+            continue;
+        }
+        let matrix = rec.fit(dataset);
+        let sets = CandidateSets::static_sets(&matrix, &seen);
+        for &fraction in &MAPE_FRACTIONS {
+            let n_s = ((ne as f64) * fraction).ceil() as usize;
+            let mut errors = Vec::new();
+            for seed in 0..MAPE_SEEDS {
+                for strategy in [SamplingStrategy::Probabilistic, SamplingStrategy::Static] {
+                    let mut rng = seeded_rng(0xAB00 + seed);
+                    let samples =
+                        sample_candidates(strategy, ne, nr, n_s, Some(&matrix), Some(&sets), &mut rng);
+                    let est = evaluate_sampled(
+                        model.as_ref().as_ref(),
+                        &triples,
+                        &dataset.filter,
+                        &samples,
+                        TieBreak::Mean,
+                        ctx.threads,
+                    );
+                    errors.push(mape(&[est.metrics.mrr], &[full.metrics.mrr]));
+                }
+            }
+            let (m, s) = mean_std(&errors);
+            let ci95 = 1.96 * s / (errors.len() as f64).sqrt();
+            t.row(vec![rec.name().to_string(), f1(fraction * 100.0), f1(m), f1(ci95)]);
+        }
+    }
+    format!("MAPE (%) vs sample size on {} (true MRR {:.3}).\n\n{}", dataset.name, full.metrics.mrr, t.render())
+}
+
+/// Figure 4: MAPE panels for FB15k, CoDEx-M and YAGO3-10.
+pub fn fig4(ctx: &Ctx) -> String {
+    let mut out = String::from("Figure 4: MAPE (%) per relation recommender.\n\n");
+    for id in [PresetId::Fb15k, PresetId::CodexM, PresetId::Yago3] {
+        out.push_str(&mape_panel(ctx, id));
+        out.push_str("\n\n");
+    }
+    out
+}
+
+/// Figure 5: MAPE panels for the remaining datasets.
+pub fn fig5(ctx: &Ctx) -> String {
+    let mut out = String::from("Figure 5: MAPE (%) on the remaining datasets.\n\n");
+    for id in [PresetId::Fb15k237, PresetId::CodexL, PresetId::WikiKg2, PresetId::CodexS] {
+        out.push_str(&mape_panel(ctx, id));
+        out.push_str("\n\n");
+    }
+    out
+}
+
+/// Write plotting-ready CSVs (per-epoch run data and the wikikg2 sweep) to
+/// `repro_csv/` in the working directory.
+pub fn export_csv(ctx: &Ctx) -> String {
+    let dir = std::path::Path::new("repro_csv");
+    std::fs::create_dir_all(dir).expect("create repro_csv/");
+    let mut written = Vec::new();
+
+    for id in crate::context::CORRELATION_DATASETS {
+        let runs = ctx.runs(id);
+        for cached in runs.iter() {
+            let path = dir.join(format!("run_{}_{}.csv", cached.run.dataset, cached.run.model));
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));
+            kg_eval::export::run_to_csv(&cached.run, &mut f).expect("write csv");
+            written.push(path.display().to_string());
+        }
+    }
+
+    let (points, full, _) = sweep(ctx, PresetId::WikiKg2);
+    let mut rows = Vec::new();
+    for p in &points {
+        for (strategy, _, metrics) in &p.per_strategy {
+            for m in [Metric::Mrr, Metric::Hits1, Metric::Hits3, Metric::Hits10] {
+                rows.push((p.fraction, p.n_s, *strategy, m, metrics.get(m)));
+            }
+        }
+    }
+    let path = dir.join("wikikg2_sweep.csv");
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));
+    kg_eval::export::sweep_to_csv(&rows, &mut f).expect("write csv");
+    written.push(format!("{} (true MRR {:.4})", path.display(), full.mrr));
+
+    format!("Exported {} CSV files to repro_csv/:\n  {}", written.len(), written.join("\n  "))
+}

@@ -1,0 +1,14 @@
+//! One module per paper artifact. Every function returns the rendered
+//! report as a `String` so the repro binary can both print it and append it
+//! to EXPERIMENTS.md.
+
+pub mod ablations;
+pub mod complexity;
+pub mod criteria;
+pub mod easy;
+pub mod estimators;
+pub mod figures;
+pub mod recommenders;
+pub mod speedup;
+pub mod stats;
+pub mod theory;

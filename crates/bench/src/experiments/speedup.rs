@@ -1,0 +1,105 @@
+//! Table 9 / Table 11: evaluation speed-ups (KP and rank estimates vs the
+//! full filtered evaluation), mean ± std across epochs.
+
+use kg_eval::report::{pm, TextTable};
+use kg_recommend::SamplingStrategy;
+
+use crate::context::{Ctx, CORRELATION_DATASETS};
+
+/// Render the aggregated Table 9 (per dataset, averaged over models).
+pub fn table9(ctx: &Ctx) -> String {
+    let mut t = TextTable::new(vec![
+        "Method", "Sampling", "CoDEx-S", "CoDEx-M", "CoDEx-L", "FB15k", "FB15k-237", "YAGO3-10",
+        "wikikg2",
+    ]);
+    use kg_datasets::PresetId::*;
+    let column_order = [CodexS, CodexM, CodexL, Fb15k, Fb15k237, Yago3, WikiKg2];
+
+    let strategies = [
+        ("K P", "Random", Estimator::Extra("KP-R")),
+        ("K P", "Probabilistic", Estimator::Extra("KP-P")),
+        ("K P", "Static", Estimator::Extra("KP-S")),
+        ("Ranking metrics", "Random", Estimator::Strategy(SamplingStrategy::Random)),
+        ("Ranking metrics", "Probabilistic", Estimator::Strategy(SamplingStrategy::Probabilistic)),
+        ("Ranking metrics", "Static", Estimator::Strategy(SamplingStrategy::Static)),
+    ];
+    for (method, sampling, est) in strategies {
+        let mut cells = vec![method.to_string(), sampling.to_string()];
+        for id in column_order {
+            if !CORRELATION_DATASETS.contains(&id) {
+                cells.push("—".into());
+                continue;
+            }
+            let runs = ctx.runs(id);
+            let mut means = Vec::new();
+            let mut stds = Vec::new();
+            for cached in runs.iter() {
+                let (m, s) = match est {
+                    Estimator::Extra(name) => cached.run.extra_speedup(name),
+                    Estimator::Strategy(st) => cached.run.speedup(st),
+                };
+                if m.is_finite() && m > 0.0 {
+                    means.push(m);
+                    stds.push(s);
+                }
+            }
+            if means.is_empty() {
+                cells.push("—".into());
+            } else {
+                let mean = kg_core::stats::mean(&means);
+                let std = kg_core::stats::mean(&stds);
+                cells.push(pm(mean, std));
+            }
+        }
+        t.row(cells);
+    }
+    // Full-evaluation wall time row.
+    let mut cells = vec!["Full evaluation".to_string(), "(seconds)".to_string()];
+    for id in column_order {
+        let runs = ctx.runs(id);
+        let mut secs = Vec::new();
+        for cached in runs.iter() {
+            let (m, _) = cached.run.full_eval_seconds();
+            secs.push(m);
+        }
+        cells.push(format!("{:.2}", kg_core::stats::mean(&secs)));
+    }
+    t.row(cells);
+
+    format!(
+        "Table 9: Average speed-up of evaluation vs the full filtered ranking\n(mean ± std across epochs, averaged over models). Higher is better.\n\n{}",
+        t.render()
+    )
+}
+
+enum Estimator {
+    Extra(&'static str),
+    Strategy(SamplingStrategy),
+}
+
+/// Table 11: the per-model detailed speed-ups.
+pub fn table11(ctx: &Ctx) -> String {
+    let mut t = TextTable::new(vec![
+        "Dataset", "Model", "KP R", "KP P", "KP S", "Rank R", "Rank P", "Rank S", "Full (s)",
+    ]);
+    for id in CORRELATION_DATASETS {
+        let runs = ctx.runs(id);
+        for cached in runs.iter() {
+            let run = &cached.run;
+            let fmt = |(m, s): (f64, f64)| pm(m, s);
+            let (fm, fs) = run.full_eval_seconds();
+            t.row(vec![
+                run.dataset.clone(),
+                run.model.to_string(),
+                fmt(run.extra_speedup("KP-R")),
+                fmt(run.extra_speedup("KP-P")),
+                fmt(run.extra_speedup("KP-S")),
+                fmt(run.speedup(SamplingStrategy::Random)),
+                fmt(run.speedup(SamplingStrategy::Probabilistic)),
+                fmt(run.speedup(SamplingStrategy::Static)),
+                format!("{fm:.2} ± {fs:.2}"),
+            ]);
+        }
+    }
+    format!("Table 11: Average speed-up (with standard deviations) per dataset and model.\n\n{}", t.render())
+}

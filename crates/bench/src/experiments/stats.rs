@@ -1,0 +1,46 @@
+//! Table 4: dataset statistics.
+
+use kg_datasets::{DatasetStatistics, PresetId};
+use kg_eval::report::TextTable;
+
+use crate::context::Ctx;
+
+/// Render Table 4 over all seven presets.
+pub fn table4(ctx: &Ctx) -> String {
+    let mut t = TextTable::new(vec![
+        "Dataset", "|E|", "|R|", "|T|", "|TS|", "Train", "Valid", "Test", "Train pairs",
+        "Test pairs",
+    ]);
+    for id in PresetId::ALL {
+        let assets = ctx.assets(id);
+        let s = DatasetStatistics::compute(&assets.dataset);
+        t.row(vec![
+            s.name,
+            s.num_entities.to_string(),
+            s.num_relations.to_string(),
+            s.num_types.to_string(),
+            s.num_type_assignments.to_string(),
+            s.train.to_string(),
+            s.valid.to_string(),
+            s.test.to_string(),
+            s.train_pairs.to_string(),
+            s.test_pairs.to_string(),
+        ]);
+    }
+    format!("Table 4: Statistics of the (synthetic) datasets used in this study.\n\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_datasets::Scale;
+
+    #[test]
+    fn all_seven_presets_appear() {
+        let ctx = Ctx::quiet(Scale::Quick);
+        let s = table4(&ctx);
+        for id in PresetId::ALL {
+            assert!(s.contains(id.name()), "missing {}", id.name());
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # kg-bench
+//!
+//! The reproduction harness: one experiment module per paper artifact
+//! (tables 1–15, figures 3–6, the theory checks and the ablations of
+//! DESIGN.md §5), a shared [`context::Ctx`] that caches generated datasets
+//! and trained runs across experiments, and the `repro` binary that
+//! regenerates any artifact:
+//!
+//! ```text
+//! cargo run --release -p kg-bench --bin repro -- table5 --scale quick
+//! cargo run --release -p kg-bench --bin repro -- all
+//! ```
+//!
+//! Criterion microbenches (`cargo bench -p kg-bench`) cover the
+//! timing-shaped artifacts (evaluation time vs sample size, recommender fit
+//! time, sampling kernels, persistence/SW kernels).
+
+pub mod context;
+pub mod experiments;
+
+pub use context::{models_for, Ctx};

@@ -1,0 +1,90 @@
+//! Workspace error type.
+
+use std::fmt;
+
+/// Errors surfaced by the kgeval crates.
+#[derive(Debug)]
+pub enum KgError {
+    /// An identifier was out of range for the structure it indexes.
+    IdOutOfRange {
+        /// What kind of id (entity / relation / type / column).
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+    },
+    /// A structural invariant of an input was violated.
+    InvalidInput(String),
+    /// Dimension mismatch in a matrix/vector operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension actually provided.
+        actual: usize,
+    },
+    /// Underlying I/O failure (dataset load/save).
+    Io(std::io::Error),
+    /// A parse failure with file/line context.
+    Parse {
+        /// Line number (1-based).
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for KgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KgError::IdOutOfRange { kind, index, bound } => {
+                write!(f, "{kind} id {index} out of range (bound {bound})")
+            }
+            KgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            KgError::DimensionMismatch { op, expected, actual } => {
+                write!(f, "dimension mismatch in {op}: expected {expected}, got {actual}")
+            }
+            KgError::Io(e) => write!(f, "i/o error: {e}"),
+            KgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for KgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KgError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for KgError {
+    fn from(e: std::io::Error) -> Self {
+        KgError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = KgError::IdOutOfRange { kind: "entity", index: 9, bound: 5 };
+        assert_eq!(e.to_string(), "entity id 9 out of range (bound 5)");
+        let e = KgError::DimensionMismatch { op: "spgemm", expected: 3, actual: 4 };
+        assert!(e.to_string().contains("spgemm"));
+        let e = KgError::Parse { line: 7, message: "bad triple".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: KgError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

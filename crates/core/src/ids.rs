@@ -1,0 +1,147 @@
+//! Compact newtype identifiers for entities, relations and types.
+//!
+//! All identifiers are dense `u32` indices (the guides recommend small
+//! integer keys over `usize` for oft-instantiated types); a graph with more
+//! than 4 billion entities is out of scope for this framework.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw `usize` index (panics if it overflows `u32`).
+            #[inline]
+            pub fn from_usize(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                Self(i as u32)
+            }
+
+            /// The identifier as a `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Dense entity identifier (`0..|E|`).
+    EntityId
+);
+id_type!(
+    /// Dense relation identifier (`0..|R|`).
+    RelationId
+);
+id_type!(
+    /// Dense entity-type identifier (`0..|T|`).
+    TypeId
+);
+
+/// A column of the relation-recommender score matrix `X ∈ R^{|E| × 2|R|}`.
+///
+/// Columns `0..|R|` are *domains* (head sets) and columns `|R|..2|R|` are
+/// *ranges* (tail sets), exactly as in Algorithm 1 of the paper where range
+/// columns are stored at offset `r + |R|`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DrColumn(pub u32);
+
+impl DrColumn {
+    /// Domain (head-set) column of relation `r`.
+    #[inline]
+    pub fn domain(r: RelationId) -> Self {
+        DrColumn(r.0)
+    }
+
+    /// Range (tail-set) column of relation `r` in a graph with `num_relations`
+    /// relations.
+    #[inline]
+    pub fn range(r: RelationId, num_relations: usize) -> Self {
+        DrColumn(r.0 + num_relations as u32)
+    }
+
+    /// Whether this column is a domain (head-set) column.
+    #[inline]
+    pub fn is_domain(self, num_relations: usize) -> bool {
+        (self.0 as usize) < num_relations
+    }
+
+    /// The relation this column belongs to.
+    #[inline]
+    pub fn relation(self, num_relations: usize) -> RelationId {
+        if self.is_domain(num_relations) {
+            RelationId(self.0)
+        } else {
+            RelationId(self.0 - num_relations as u32)
+        }
+    }
+
+    /// The column as a `usize` index into `0..2|R|`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_id_roundtrip() {
+        let e = EntityId::from_usize(42);
+        assert_eq!(e.index(), 42);
+        assert_eq!(e, EntityId(42));
+        assert_eq!(format!("{e}"), "42");
+        assert_eq!(format!("{e:?}"), "EntityId(42)");
+    }
+
+    #[test]
+    fn relation_and_type_ids() {
+        assert_eq!(RelationId::from(7u32).index(), 7);
+        assert_eq!(TypeId::from_usize(3).0, 3);
+    }
+
+    #[test]
+    fn dr_column_domain_range_layout() {
+        let nr = 10;
+        let r = RelationId(3);
+        let d = DrColumn::domain(r);
+        let g = DrColumn::range(r, nr);
+        assert_eq!(d.index(), 3);
+        assert_eq!(g.index(), 13);
+        assert!(d.is_domain(nr));
+        assert!(!g.is_domain(nr));
+        assert_eq!(d.relation(nr), r);
+        assert_eq!(g.relation(nr), r);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(EntityId(1) < EntityId(2));
+        assert!(DrColumn(0) < DrColumn(5));
+    }
+}

@@ -1,0 +1,36 @@
+//! # kg-core
+//!
+//! Core substrates for the `kgeval` workspace: compact identifiers, an
+//! immutable triple store with per-head/tail/relation adjacency, the filter
+//! index needed for *filtered* ranking evaluation, a small sparse-matrix
+//! kernel (the L-WD recommender is two sparse matrix products), statistics
+//! used by the paper's result tables (Pearson, Kendall-τ, MAE/MAPE,
+//! hypergeometric expectations from Theorem 1), and sampling primitives
+//! (uniform and weighted without replacement).
+//!
+//! Everything here is deterministic given an RNG seed.
+
+pub mod error;
+pub mod fxhash;
+pub mod graph;
+pub mod ids;
+pub mod index;
+pub mod parallel;
+pub mod sample;
+pub mod sparse;
+pub mod stats;
+pub mod timing;
+pub mod triple;
+pub mod types;
+pub mod vocab;
+
+pub use error::KgError;
+pub use graph::TripleStore;
+pub use ids::{DrColumn, EntityId, RelationId, TypeId};
+pub use index::FilterIndex;
+pub use triple::Triple;
+pub use types::TypeAssignment;
+pub use vocab::Vocab;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, KgError>;

@@ -1,0 +1,166 @@
+//! Minimal data-parallel helper built on `std::thread::scope`.
+//!
+//! The expensive primitive in this workspace is "rank N independent
+//! queries"; `parallel_map_indexed` splits the index range into contiguous
+//! chunks, one per thread, and writes results into a preallocated output —
+//! no extra dependencies, no channel traffic, deterministic output order.
+
+/// Number of worker threads to use by default (available parallelism,
+/// capped at 16 — ranking is memory-bandwidth-bound beyond that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+}
+
+/// Apply `f(i)` for every `i in 0..n` across `threads` workers, collecting
+/// results in index order. `f` must be `Sync` (it is shared, not cloned).
+pub fn parallel_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    if n == 0 {
+        return out;
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return out;
+    }
+    let chunk = n.div_ceil(threads);
+    let fref = &f;
+    std::thread::scope(|scope| {
+        let mut rest: &mut [T] = &mut out;
+        let mut start = 0usize;
+        let mut handles = Vec::with_capacity(threads);
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let base = start;
+            handles.push(scope.spawn(move || {
+                for (off, slot) in head.iter_mut().enumerate() {
+                    *slot = fref(base + off);
+                }
+            }));
+            rest = tail;
+            start += take;
+        }
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    });
+    out
+}
+
+/// As [`parallel_map_indexed`], but each worker thread gets a scratch value
+/// from `init` that is reused across its chunk — the ranking loops use this
+/// to amortise per-query score-buffer allocations.
+pub fn parallel_map_with<T, S, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    if n == 0 {
+        return out;
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        let mut scratch = init();
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(&mut scratch, i);
+        }
+        return out;
+    }
+    let chunk = n.div_ceil(threads);
+    let fref = &f;
+    let iref = &init;
+    std::thread::scope(|scope| {
+        let mut rest: &mut [T] = &mut out;
+        let mut start = 0usize;
+        let mut handles = Vec::with_capacity(threads);
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let base = start;
+            handles.push(scope.spawn(move || {
+                let mut scratch = iref();
+                for (off, slot) in head.iter_mut().enumerate() {
+                    *slot = fref(&mut scratch, base + off);
+                }
+            }));
+            rest = tail;
+            start += take;
+        }
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_index_order() {
+        let out = parallel_map_indexed(1000, 4, |i| i * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = parallel_map_indexed(5, 1, |i| i as u64 + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<usize> = parallel_map_indexed(0, 8, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map_indexed(3, 64, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shared_state_reads() {
+        let data: Vec<u32> = (0..100).collect();
+        let out = parallel_map_indexed(100, 8, |i| data[i] + 1);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn scratch_variant_matches_plain() {
+        let plain = parallel_map_indexed(500, 4, |i| i * 3);
+        let scratch = parallel_map_with(500, 4, Vec::<usize>::new, |buf, i| {
+            buf.push(i); // scratch is reusable state
+            i * 3
+        });
+        assert_eq!(plain, scratch);
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_thread() {
+        // With 1 thread the scratch accumulates every index.
+        let out = parallel_map_with(10, 1, || 0usize, |count, _i| {
+            *count += 1;
+            *count
+        });
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+}

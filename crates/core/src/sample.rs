@@ -1,0 +1,317 @@
+//! Sampling primitives for the three evaluation strategies.
+//!
+//! * uniform without replacement (R and the Static candidate draw),
+//! * weighted without replacement via Efraimidis–Spirakis (Probabilistic),
+//! * a deterministic seeded RNG helper so every experiment is reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fxhash::FxHashSet;
+
+/// Deterministic RNG from a 64-bit seed.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Sample `k` distinct values uniformly from `0..n` (Floyd's algorithm,
+/// O(k) expected). If `k >= n`, returns all of `0..n`.
+pub fn uniform_without_replacement<R: Rng>(rng: &mut R, n: usize, k: usize) -> Vec<u32> {
+    if k >= n {
+        return (0..n as u32).collect();
+    }
+    let mut chosen: FxHashSet<u32> = FxHashSet::with_capacity_and_hasher(k, Default::default());
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j as u32);
+        if chosen.insert(t) {
+            out.push(t);
+        } else {
+            chosen.insert(j as u32);
+            out.push(j as u32);
+        }
+    }
+    out
+}
+
+/// Sample `k` distinct elements from `items` uniformly.
+pub fn sample_slice<R: Rng, T: Copy>(rng: &mut R, items: &[T], k: usize) -> Vec<T> {
+    uniform_without_replacement(rng, items.len(), k).into_iter().map(|i| items[i as usize]).collect()
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    key: f64,
+    pos: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on *negated* comparison: we keep the k LARGEST keys, so
+        // the heap root must be the smallest kept key.
+        other.key.partial_cmp(&self.key).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Weighted sampling of `k` distinct positions without replacement
+/// (Efraimidis–Spirakis A-Res): each position gets key `u^(1/w)` with
+/// `u ~ U(0,1)`; the `k` largest keys win. We use the equivalent (and much
+/// cheaper) key `ln(u)/w` — `ln` is monotone, so the ordering distribution
+/// is identical while avoiding a `powf` per element. Positions with weight
+/// `<= 0` are never selected. Returns positions into `weights`, unordered.
+///
+/// This is the Probabilistic sampler of §4.1: entities with higher
+/// recommender scores are proportionally more likely to be drawn.
+pub fn weighted_without_replacement<R: Rng>(rng: &mut R, weights: &[f32], k: usize) -> Vec<usize> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    for (pos, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        // ln(u)/w is negative; larger (closer to 0) ⇔ larger u^(1/w).
+        let key = u.ln() / w as f64;
+        if heap.len() < k {
+            heap.push(HeapEntry { key, pos });
+        } else if let Some(top) = heap.peek() {
+            if key > top.key {
+                heap.pop();
+                heap.push(HeapEntry { key, pos });
+            }
+        }
+    }
+    heap.into_iter().map(|e| e.pos).collect()
+}
+
+/// Cumulative-weight index for repeated weighted draws: `O(n)` to build,
+/// `O(log n)` per draw (with replacement).
+#[derive(Clone, Debug)]
+pub struct WeightedIndex {
+    prefix: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Build from weights (non-positive weights get zero mass).
+    pub fn new(weights: &[f32]) -> Self {
+        let mut prefix = Vec::with_capacity(weights.len());
+        let mut acc = 0.0f64;
+        for &w in weights {
+            if w > 0.0 {
+                acc += w as f64;
+            }
+            prefix.push(acc);
+        }
+        WeightedIndex { prefix }
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> f64 {
+        self.prefix.last().copied().unwrap_or(0.0)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// Whether there are no items (or no mass).
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0.0
+    }
+
+    /// Map a mass coordinate `x ∈ [0, total)` to an item index.
+    #[inline]
+    pub fn locate(&self, x: f64) -> usize {
+        match self.prefix.binary_search_by(|p| p.partial_cmp(&x).unwrap()) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+        .min(self.prefix.len() - 1)
+    }
+
+    /// One weighted draw (with replacement).
+    pub fn sample_one<R: Rng>(&self, rng: &mut R) -> Option<usize> {
+        let total = self.total();
+        if total <= 0.0 {
+            return None;
+        }
+        Some(self.locate(rng.gen_range(0.0..total)))
+    }
+
+    /// Approximately weighted sample of up to `k` *distinct* indices via
+    /// stochastic universal sampling plus uniform top-up. Cost is
+    /// `O(k log n)` instead of A-Res's `O(n)`; items with weight above
+    /// `total/k` are slightly under-represented (their multiplicity is
+    /// truncated to 1), which is exactly the without-replacement semantics.
+    pub fn sample_distinct<R: Rng>(&self, rng: &mut R, k: usize) -> Vec<usize> {
+        let n = self.prefix.len();
+        let total = self.total();
+        if k == 0 || total <= 0.0 {
+            return Vec::new();
+        }
+        let mut chosen: crate::fxhash::FxHashSet<usize> =
+            crate::fxhash::FxHashSet::with_capacity_and_hasher(k, Default::default());
+        let step = total / k as f64;
+        let start = rng.gen_range(0.0..step);
+        for i in 0..k {
+            let idx = self.locate(start + i as f64 * step);
+            chosen.insert(idx);
+        }
+        // Top up with extra weighted draws (duplicates rejected), bounded.
+        let mut attempts = 0usize;
+        let max_attempts = 4 * k;
+        while chosen.len() < k.min(n) && attempts < max_attempts {
+            let idx = self.locate(rng.gen_range(0.0..total));
+            chosen.insert(idx);
+            attempts += 1;
+        }
+        chosen.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sample_is_distinct_and_in_range() {
+        let mut rng = seeded_rng(7);
+        let s = uniform_without_replacement(&mut rng, 100, 30);
+        assert_eq!(s.len(), 30);
+        let set: FxHashSet<u32> = s.iter().copied().collect();
+        assert_eq!(set.len(), 30);
+        assert!(s.iter().all(|&x| x < 100));
+    }
+
+    #[test]
+    fn uniform_sample_saturates() {
+        let mut rng = seeded_rng(7);
+        let s = uniform_without_replacement(&mut rng, 5, 10);
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn uniform_sample_covers_all_positions_eventually() {
+        let mut rng = seeded_rng(3);
+        let mut seen = FxHashSet::default();
+        for _ in 0..200 {
+            for x in uniform_without_replacement(&mut rng, 10, 3) {
+                seen.insert(x);
+            }
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn sample_slice_picks_from_items() {
+        let mut rng = seeded_rng(11);
+        let items = [10u32, 20, 30, 40];
+        let s = sample_slice(&mut rng, &items, 2);
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|x| items.contains(x)));
+        assert_ne!(s[0], s[1]);
+    }
+
+    #[test]
+    fn weighted_sample_respects_zero_weights() {
+        let mut rng = seeded_rng(5);
+        let weights = [0.0, 1.0, 0.0, 2.0, 0.0];
+        for _ in 0..50 {
+            let s = weighted_without_replacement(&mut rng, &weights, 2);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![1, 3]);
+        }
+    }
+
+    #[test]
+    fn weighted_sample_size_limited_by_positive_weights() {
+        let mut rng = seeded_rng(5);
+        let weights = [0.0, 1.0, 0.0];
+        let s = weighted_without_replacement(&mut rng, &weights, 3);
+        assert_eq!(s, vec![1]);
+    }
+
+    #[test]
+    fn weighted_sample_is_biased_toward_heavy_items() {
+        let mut rng = seeded_rng(42);
+        let weights = [1.0f32, 10.0];
+        let mut counts = [0usize; 2];
+        for _ in 0..2000 {
+            let s = weighted_without_replacement(&mut rng, &weights, 1);
+            counts[s[0]] += 1;
+        }
+        // P(pick heavy) = 10/11 ≈ 0.909; allow generous slack.
+        assert!(counts[1] > 1600, "heavy item drawn {} times", counts[1]);
+    }
+
+    #[test]
+    fn weighted_sample_k_zero() {
+        let mut rng = seeded_rng(1);
+        assert!(weighted_without_replacement(&mut rng, &[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a: Vec<u32> = uniform_without_replacement(&mut seeded_rng(9), 50, 10);
+        let b: Vec<u32> = uniform_without_replacement(&mut seeded_rng(9), 50, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_index_locates_by_mass() {
+        let idx = WeightedIndex::new(&[1.0, 0.0, 3.0]);
+        assert_eq!(idx.total(), 4.0);
+        assert_eq!(idx.locate(0.5), 0);
+        assert_eq!(idx.locate(1.5), 2);
+        assert_eq!(idx.locate(3.9), 2);
+    }
+
+    #[test]
+    fn weighted_index_sample_one_respects_weights() {
+        let idx = WeightedIndex::new(&[1.0, 0.0, 9.0]);
+        let mut rng = seeded_rng(6);
+        let mut counts = [0usize; 3];
+        for _ in 0..2000 {
+            counts[idx.sample_one(&mut rng).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight item drawn");
+        assert!(counts[2] > counts[0] * 5, "heavy item {} vs light {}", counts[2], counts[0]);
+    }
+
+    #[test]
+    fn weighted_index_sample_distinct_properties() {
+        let weights: Vec<f32> = (0..200).map(|i| 1.0 + (i % 7) as f32).collect();
+        let idx = WeightedIndex::new(&weights);
+        let mut rng = seeded_rng(8);
+        let s = idx.sample_distinct(&mut rng, 50);
+        assert_eq!(s.len(), 50);
+        let set: FxHashSet<usize> = s.iter().copied().collect();
+        assert_eq!(set.len(), 50, "samples must be distinct");
+        assert!(s.iter().all(|&i| i < 200));
+    }
+
+    #[test]
+    fn weighted_index_empty_and_saturated() {
+        let idx = WeightedIndex::new(&[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.sample_one(&mut seeded_rng(1)), None);
+        let idx = WeightedIndex::new(&[1.0, 1.0]);
+        let s = idx.sample_distinct(&mut seeded_rng(2), 10);
+        assert_eq!(s.len(), 2, "cannot draw more distinct than items");
+    }
+}

@@ -1,0 +1,15 @@
+//! Minimal sparse-matrix kernel (CSR) used by the relation recommenders.
+//!
+//! L-WD (Algorithm 1 of the paper) is exactly: build a binary incidence
+//! matrix `B ∈ {0,1}^{|E| × 2|R|(+|T|)}`, form the co-occurrence matrix
+//! `W = BᵀB`, normalise `W` row-wise, and compute scores `X = B·W`. This
+//! module provides the COO builder, CSR storage, transpose, SpGEMM with a
+//! dense accumulator, and row L1-normalisation needed for that pipeline.
+
+pub mod coo;
+pub mod csr;
+pub mod ops;
+
+pub use coo::CooBuilder;
+pub use csr::CsrMatrix;
+pub use ops::{row_normalize_l1, spgemm, transpose};

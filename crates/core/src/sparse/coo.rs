@@ -1,0 +1,125 @@
+//! Coordinate-format builder that finalises into CSR.
+
+use super::csr::CsrMatrix;
+
+/// Accumulates `(row, col, value)` entries; duplicate coordinates are summed
+/// when the matrix is built.
+#[derive(Clone, Debug)]
+pub struct CooBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f32)>,
+}
+
+impl CooBuilder {
+    /// New builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooBuilder { rows, cols, entries: Vec::new() }
+    }
+
+    /// New builder with reserved capacity.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        CooBuilder { rows, cols, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Add `value` at `(row, col)`; contributions to the same cell sum.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, value: f32) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.entries.push((row as u32, col as u32, value));
+    }
+
+    /// Number of raw (pre-merge) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Finalise into CSR, summing duplicates and dropping exact zeros.
+    pub fn build(mut self) -> CsrMatrix {
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+        indptr.push(0);
+        let mut row = 0u32;
+        let mut i = 0;
+        while i < self.entries.len() {
+            let (r, c, _) = self.entries[i];
+            while row < r {
+                indptr.push(indices.len());
+                row += 1;
+            }
+            let mut acc = 0.0f32;
+            let mut j = i;
+            while j < self.entries.len() && self.entries[j].0 == r && self.entries[j].1 == c {
+                acc += self.entries[j].2;
+                j += 1;
+            }
+            if acc != 0.0 {
+                indices.push(c);
+                values.push(acc);
+            }
+            i = j;
+        }
+        while (row as usize) < self.rows {
+            indptr.push(indices.len());
+            row += 1;
+        }
+        CsrMatrix::from_parts(self.rows, self.cols, indptr, indices, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = CooBuilder::new(2, 3);
+        b.push(0, 1, 1.0);
+        b.push(0, 1, 2.5);
+        b.push(1, 0, 4.0);
+        let m = b.build();
+        assert_eq!(m.get(0, 1), 3.5);
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn cancelling_entries_are_dropped() {
+        let mut b = CooBuilder::new(1, 2);
+        b.push(0, 0, 1.0);
+        b.push(0, 0, -1.0);
+        b.push(0, 1, 2.0);
+        let m = b.build();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_and_trailing_rows() {
+        let mut b = CooBuilder::new(4, 2);
+        b.push(1, 1, 7.0);
+        let m = b.build();
+        assert_eq!(m.row_nnz(0), 0);
+        assert_eq!(m.row_nnz(1), 1);
+        assert_eq!(m.row_nnz(3), 0);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let mut b = CooBuilder::new(2, 4);
+        b.push(1, 3, 1.0);
+        b.push(0, 2, 1.0);
+        b.push(1, 0, 1.0);
+        let m = b.build();
+        assert_eq!(m.row_indices(1), &[0, 3]);
+        assert!(m.validate().is_ok());
+    }
+}

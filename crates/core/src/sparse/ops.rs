@@ -1,0 +1,166 @@
+//! Sparse matrix operations: transpose, SpGEMM, row normalisation.
+
+use super::csr::CsrMatrix;
+
+/// Transpose `a` (CSR → CSR of the transpose) in O(nnz + rows + cols).
+pub fn transpose(a: &CsrMatrix) -> CsrMatrix {
+    let (rows, cols, nnz) = (a.rows(), a.cols(), a.nnz());
+    let mut counts = vec![0usize; cols + 1];
+    for i in 0..rows {
+        for &j in a.row_indices(i) {
+            counts[j as usize + 1] += 1;
+        }
+    }
+    for j in 0..cols {
+        counts[j + 1] += counts[j];
+    }
+    let indptr = counts.clone();
+    let mut cursor = counts;
+    let mut indices = vec![0u32; nnz];
+    let mut values = vec![0f32; nnz];
+    for i in 0..rows {
+        let (idx, vals) = a.row(i);
+        for (&j, &v) in idx.iter().zip(vals) {
+            let p = cursor[j as usize];
+            indices[p] = i as u32;
+            values[p] = v;
+            cursor[j as usize] += 1;
+        }
+    }
+    // Row i of `a` visited in increasing order ⇒ per-column rows increasing.
+    CsrMatrix::from_parts(cols, rows, indptr, indices, values)
+}
+
+/// Sparse × sparse product `C = A·B` using a dense per-row accumulator
+/// (Gustavson's algorithm). Suitable when `B.cols()` fits comfortably in
+/// memory, which holds for all recommender workloads (`2|R| + |T|` columns).
+pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(a.cols(), b.rows(), "spgemm: inner dimensions");
+    let n = b.cols();
+    let mut acc = vec![0f32; n];
+    let mut touched: Vec<u32> = Vec::new();
+
+    let mut indptr = Vec::with_capacity(a.rows() + 1);
+    let mut indices: Vec<u32> = Vec::new();
+    let mut values: Vec<f32> = Vec::new();
+    indptr.push(0);
+
+    for i in 0..a.rows() {
+        let (a_idx, a_vals) = a.row(i);
+        for (&k, &av) in a_idx.iter().zip(a_vals) {
+            let (b_idx, b_vals) = b.row(k as usize);
+            for (&j, &bv) in b_idx.iter().zip(b_vals) {
+                let cell = &mut acc[j as usize];
+                if *cell == 0.0 {
+                    touched.push(j);
+                }
+                *cell += av * bv;
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            let v = acc[j as usize];
+            if v != 0.0 {
+                indices.push(j);
+                values.push(v);
+            }
+            acc[j as usize] = 0.0;
+        }
+        touched.clear();
+        indptr.push(indices.len());
+    }
+    CsrMatrix::from_parts(a.rows(), n, indptr, indices, values)
+}
+
+/// Normalise each row to sum 1 (L1). Rows that sum to zero are left as-is.
+/// This is the "Normalize W row-wise" step of Algorithm 1.
+pub fn row_normalize_l1(a: &mut CsrMatrix) {
+    let rows = a.rows();
+    let indptr: Vec<usize> = a.indptr().to_vec();
+    let values = a.values_mut();
+    for i in 0..rows {
+        let range = indptr[i]..indptr[i + 1];
+        let sum: f32 = values[range.clone()].iter().map(|v| v.abs()).sum();
+        if sum > 0.0 {
+            for v in &mut values[range] {
+                *v /= sum;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_mul(a: &[Vec<f32>], b: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let (n, k, m) = (a.len(), b.len(), b[0].len());
+        let mut c = vec![vec![0.0; m]; n];
+        for i in 0..n {
+            for p in 0..k {
+                for j in 0..m {
+                    c[i][j] += a[i][p] * b[p][j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = CsrMatrix::from_dense(&[vec![1.0, 0.0, 2.0], vec![0.0, 3.0, 0.0]]);
+        let t = transpose(&a);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(transpose(&t), a);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn spgemm_matches_dense_reference() {
+        let ad = vec![vec![1.0, 2.0, 0.0], vec![0.0, 0.0, 3.0]];
+        let bd = vec![vec![0.0, 1.0], vec![2.0, 0.0], vec![1.0, 1.0]];
+        let c = spgemm(&CsrMatrix::from_dense(&ad), &CsrMatrix::from_dense(&bd));
+        assert_eq!(c.to_dense(), dense_mul(&ad, &bd));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric() {
+        let b = CsrMatrix::from_dense(&[
+            vec![1.0, 1.0, 0.0],
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+        ]);
+        let w = spgemm(&transpose(&b), &b);
+        let d = w.to_dense();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(d[i][j], d[j][i]);
+            }
+        }
+        // Diagonal counts column occupancy of binary B.
+        assert_eq!(d[0][0], 2.0);
+    }
+
+    #[test]
+    fn row_normalize_sums_to_one() {
+        let mut a = CsrMatrix::from_dense(&[vec![2.0, 2.0], vec![0.0, 0.0], vec![0.0, 5.0]]);
+        row_normalize_l1(&mut a);
+        let d = a.to_dense();
+        assert_eq!(d[0], vec![0.5, 0.5]);
+        assert_eq!(d[1], vec![0.0, 0.0]);
+        assert_eq!(d[2], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn spgemm_with_zero_matrix() {
+        let a = CsrMatrix::zeros(2, 3);
+        let b = CsrMatrix::from_dense(&[vec![1.0], vec![1.0], vec![1.0]]);
+        let c = spgemm(&a, &b);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Statistics used by the paper's result tables.
+
+pub mod correlation;
+pub mod descriptive;
+pub mod error;
+pub mod hypergeom;
+
+pub use correlation::{kendall_tau, pearson};
+pub use descriptive::{mean, mean_std, std_dev};
+pub use error::{mae, mape};
+pub use hypergeom::{expected_higher_ranked, expected_rank_gain, RankGainParams};

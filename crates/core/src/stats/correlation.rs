@@ -1,0 +1,124 @@
+//! Pearson and Kendall-τ correlation coefficients.
+//!
+//! Table 7 and Tables 12–14 of the paper report Pearson correlation between
+//! estimated and true ranking metrics across training epochs; Table 8
+//! reports Kendall-τ of how estimators order *models* at each epoch.
+
+/// Pearson product-moment correlation. Returns `None` when either input has
+/// zero variance or fewer than two points (the coefficient is undefined).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let (mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0);
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Kendall-τ-b rank correlation (tie-corrected), O(n²) — result-table inputs
+/// are tens of points. Returns `None` if every pair is tied in `xs` or `ys`.
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "kendall_tau: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let (mut concordant, mut discordant) = (0i64, 0i64);
+    let (mut ties_x, mut ties_y) = (0i64, 0i64);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            if dx == 0.0 && dy == 0.0 {
+                ties_x += 1;
+                ties_y += 1;
+            } else if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if dx * dy > 0.0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let total = (n * (n - 1) / 2) as i64;
+    let denom = (((total - ties_x) as f64) * ((total - ties_y) as f64)).sqrt();
+    if denom == 0.0 {
+        return None;
+    }
+    Some((concordant - discordant) as f64 / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_positive_and_negative() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_known_value() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 2.0];
+        // r = cov / (sx sy) = 0.5 / (1 * 0.5774) = 0.8660
+        assert!((pearson(&xs, &ys).unwrap() - 0.866_025_4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_undefined_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn kendall_perfect_orderings() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        let zs = [40.0, 30.0, 20.0, 10.0];
+        assert_eq!(kendall_tau(&xs, &ys), Some(1.0));
+        assert_eq!(kendall_tau(&xs, &zs), Some(-1.0));
+    }
+
+    #[test]
+    fn kendall_one_swap() {
+        // Orderings 1234 vs 1243: 5 concordant, 1 discordant → τ = 4/6.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 2.0, 4.0, 3.0];
+        assert!((kendall_tau(&xs, &ys).unwrap() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_handles_ties() {
+        let xs = [1.0, 1.0, 2.0];
+        let ys = [1.0, 2.0, 3.0];
+        // pairs: (0,1) tie_x, (0,2) concordant, (1,2) concordant.
+        // tau_b = 2 / sqrt((3-1)(3-0)) = 2/sqrt(6)
+        assert!((kendall_tau(&xs, &ys).unwrap() - 2.0 / 6.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_undefined_when_all_tied() {
+        assert_eq!(kendall_tau(&[1.0, 1.0], &[2.0, 3.0]), None);
+    }
+}

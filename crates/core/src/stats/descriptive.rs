@@ -1,0 +1,57 @@
+//! Mean and standard deviation.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator); 0.0 for fewer than 2 points.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// `(mean, sample std dev)` in one pass over the data.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    (mean(xs), std_dev(xs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        // Sample std of [2,4,4,4,5,5,7,9] with n-1 is sqrt(32/7).
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_degenerate() {
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(std_dev(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_std_pair() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert!((s - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+//! Estimation-error metrics: MAE (Table 6/15) and MAPE (Figures 4/5).
+
+/// Mean absolute error between estimates and true values.
+pub fn mae(estimates: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(estimates.len(), truths.len(), "mae: length mismatch");
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    estimates.iter().zip(truths).map(|(e, t)| (e - t).abs()).sum::<f64>() / estimates.len() as f64
+}
+
+/// Mean absolute percentage error, in percent. Pairs whose true value is
+/// zero are skipped (the ratio is undefined), matching common practice.
+pub fn mape(estimates: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(estimates.len(), truths.len(), "mape: length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (e, t) in estimates.iter().zip(truths) {
+        if *t != 0.0 {
+            sum += ((e - t) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_basic() {
+        assert_eq!(mae(&[1.0, 2.0], &[0.0, 4.0]), 1.5);
+        assert_eq!(mae(&[], &[]), 0.0);
+        assert_eq!(mae(&[3.0], &[3.0]), 0.0);
+    }
+
+    #[test]
+    fn mape_basic() {
+        // |1-2|/2 = 0.5, |3-4|/4 = 0.25 → mean 0.375 → 37.5 %
+        assert!((mape(&[1.0, 3.0], &[2.0, 4.0]) - 37.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_truths() {
+        assert_eq!(mape(&[1.0, 5.0], &[0.0, 5.0]), 0.0);
+        assert_eq!(mape(&[1.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn mae_symmetry() {
+        assert_eq!(mae(&[1.0, 2.0], &[2.0, 1.0]), mae(&[2.0, 1.0], &[1.0, 2.0]));
+    }
+}

@@ -1,0 +1,117 @@
+//! Hypergeometric expectations behind the paper's theory (§4, Theorem 1).
+//!
+//! When `n_s` candidates are sampled uniformly without replacement from `|E|`
+//! entities of which `|E_(h,r)|` outrank the true answer, the number of
+//! sampled outranking entities is hypergeometric with mean
+//! `n_s · |E_(h,r)| / |E|` (Equation 1 context). Sampling from the range set
+//! `RS_r ⊇ E_(h,r)` instead gains `E[Y] ≥ 0` positions of rank accuracy;
+//! Theorem 1's closed form is implemented in [`expected_rank_gain`].
+
+/// Expected number of sampled entities that outrank the true answer when
+/// sampling `n_s` of `pool` entities uniformly without replacement, `higher`
+/// of which outrank it: `E[X] = n_s · higher / pool`.
+pub fn expected_higher_ranked(higher: u64, pool: u64, n_s: u64) -> f64 {
+    assert!(higher <= pool, "higher cannot exceed pool");
+    assert!(n_s <= pool, "cannot sample more than the pool without replacement");
+    if pool == 0 {
+        return 0.0;
+    }
+    n_s as f64 * higher as f64 / pool as f64
+}
+
+/// Parameters of Theorem 1.
+#[derive(Clone, Copy, Debug)]
+pub struct RankGainParams {
+    /// `|E_(h,r)|`: entities ranked above the true answer in a full evaluation.
+    pub higher: u64,
+    /// `|RS_r|`: size of the relation's range (or domain) set; must contain
+    /// all of `higher` under the well-defined-ontology assumption.
+    pub range_size: u64,
+    /// `|E|`: total entities.
+    pub num_entities: u64,
+    /// `n_s`: sample size.
+    pub n_s: u64,
+}
+
+/// Theorem 1's expected gain `E[Y] = E[X_RS] − E[X_u] ≥ 0`: how many
+/// positions closer to the true rank range-restricted sampling lands,
+/// compared to uniform sampling over all entities.
+///
+/// Case `n_s < |RS_r|`: `|E_(h,r)| · n_s · (|E| − |RS_r|) / (|RS_r| · |E|)`.
+/// Case `n_s ≥ |RS_r|`: `|E_(h,r)| · (|E| − n_s) / |E|`.
+pub fn expected_rank_gain(p: RankGainParams) -> f64 {
+    assert!(p.higher <= p.range_size, "Theorem 1 assumes E_(h,r) ⊆ RS_r");
+    assert!(p.range_size <= p.num_entities);
+    assert!(p.n_s <= p.num_entities);
+    if p.num_entities == 0 || p.range_size == 0 {
+        return 0.0;
+    }
+    let h = p.higher as f64;
+    let rs = p.range_size as f64;
+    let e = p.num_entities as f64;
+    let ns = p.n_s as f64;
+    if p.n_s < p.range_size {
+        h * ns * (e - rs) / (rs * e)
+    } else {
+        h * (e - ns) / e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expectation_shrinks_with_sample_size() {
+        // Equation 1: E[X_u] → 0 as n_s → 0.
+        let e100 = expected_higher_ranked(10, 1000, 100);
+        let e10 = expected_higher_ranked(10, 1000, 10);
+        let e0 = expected_higher_ranked(10, 1000, 0);
+        assert!(e100 > e10 && e10 > e0);
+        assert_eq!(e0, 0.0);
+        assert_eq!(e100, 1.0);
+    }
+
+    #[test]
+    fn full_sample_recovers_true_count() {
+        // As n_s → |E|, E[X_u] = |E_(h,r)|.
+        assert_eq!(expected_higher_ranked(37, 500, 500), 37.0);
+    }
+
+    #[test]
+    fn gain_is_zero_when_range_is_everything() {
+        let p = RankGainParams { higher: 5, range_size: 100, num_entities: 100, n_s: 10 };
+        assert_eq!(expected_rank_gain(p), 0.0);
+    }
+
+    #[test]
+    fn gain_positive_for_narrow_ranges() {
+        let p = RankGainParams { higher: 5, range_size: 20, num_entities: 1000, n_s: 10 };
+        // 5 * 10 * 980 / (20 * 1000) = 2.45
+        assert!((expected_rank_gain(p) - 2.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_saturated_case() {
+        // n_s ≥ |RS_r| → whole range is scored: gain = h(|E|−n_s)/|E|.
+        let p = RankGainParams { higher: 5, range_size: 20, num_entities: 1000, n_s: 50 };
+        assert!((expected_rank_gain(p) - 5.0 * 950.0 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_continuous_at_boundary() {
+        let below = RankGainParams { higher: 3, range_size: 40, num_entities: 400, n_s: 39 };
+        let at = RankGainParams { higher: 3, range_size: 40, num_entities: 400, n_s: 40 };
+        let g_below = expected_rank_gain(below);
+        let g_at = expected_rank_gain(at);
+        // At n_s = |RS_r| both formulas coincide: h(E - RS)/E vs h(E - n_s)/E.
+        assert!((g_at - 3.0 * 360.0 / 400.0).abs() < 1e-12);
+        assert!(g_below < g_at + 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Theorem 1 assumes")]
+    fn gain_rejects_violated_assumption() {
+        expected_rank_gain(RankGainParams { higher: 30, range_size: 20, num_entities: 100, n_s: 5 });
+    }
+}

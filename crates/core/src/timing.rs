@@ -1,0 +1,135 @@
+//! Wall-clock measurement helpers for the speed-up tables.
+
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as `f64`.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Restart and return the elapsed time of the previous lap.
+    pub fn lap(&mut self) -> Duration {
+        let d = self.start.elapsed();
+        self.start = Instant::now();
+        d
+    }
+}
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let sw = Stopwatch::start();
+    let out = f();
+    (out, sw.seconds())
+}
+
+/// Accumulates repeated timing samples of a named operation and reports
+/// mean ± std, the format of Table 9 / Table 11.
+#[derive(Clone, Debug, Default)]
+pub struct TimingSamples {
+    seconds: Vec<f64>,
+}
+
+impl TimingSamples {
+    /// Empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn push(&mut self, seconds: f64) {
+        self.seconds.push(seconds);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.seconds.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.seconds.is_empty()
+    }
+
+    /// `(mean, std)` of the samples, in seconds.
+    pub fn mean_std(&self) -> (f64, f64) {
+        crate::stats::mean_std(&self.seconds)
+    }
+
+    /// Raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.seconds
+    }
+
+    /// Speed-up of this operation relative to a baseline, per paired sample:
+    /// mean ± std of `baseline[i] / self[i]`.
+    pub fn speedup_vs(&self, baseline: &TimingSamples) -> (f64, f64) {
+        let n = self.seconds.len().min(baseline.seconds.len());
+        let ratios: Vec<f64> = (0..n)
+            .filter(|&i| self.seconds[i] > 0.0)
+            .map(|i| baseline.seconds[i] / self.seconds[i])
+            .collect();
+        crate::stats::mean_std(&ratios)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_nonnegative_time() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sw.seconds() >= 0.002);
+        let lap = sw.lap();
+        assert!(lap.as_secs_f64() >= 0.002);
+        assert!(sw.seconds() < 0.002);
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, secs) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn timing_samples_statistics() {
+        let mut t = TimingSamples::new();
+        t.push(1.0);
+        t.push(3.0);
+        let (m, s) = t.mean_std();
+        assert_eq!(m, 2.0);
+        assert!(s > 0.0);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let mut full = TimingSamples::new();
+        let mut fast = TimingSamples::new();
+        full.push(10.0);
+        full.push(20.0);
+        fast.push(1.0);
+        fast.push(2.0);
+        let (m, _) = fast.speedup_vs(&full);
+        assert_eq!(m, 10.0);
+    }
+}

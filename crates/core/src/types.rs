@@ -1,0 +1,148 @@
+//! Entity-type assignments (the `TS` typeset of Algorithm 1).
+//!
+//! Entities may have zero or more types; typed recommenders (L-WD-T, DBH-T,
+//! OntoSim) consume this structure. Stored as CSR: a flat list of type ids
+//! with per-entity offsets, plus the inverse (entities per type).
+
+use crate::ids::{EntityId, TypeId};
+
+/// Multi-map from entities to types, with the inverse map precomputed.
+#[derive(Clone, Debug)]
+pub struct TypeAssignment {
+    num_types: usize,
+    /// Types of entity `e`: `types[offsets[e]..offsets[e+1]]`, sorted.
+    types: Vec<TypeId>,
+    offsets: Vec<usize>,
+    /// Entities of type `t`: `entities[type_offsets[t]..type_offsets[t+1]]`, sorted.
+    entities: Vec<EntityId>,
+    type_offsets: Vec<usize>,
+}
+
+impl TypeAssignment {
+    /// Build from `(entity, type)` pairs; duplicates are removed.
+    pub fn from_pairs(mut pairs: Vec<(EntityId, TypeId)>, num_entities: usize, num_types: usize) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        debug_assert!(pairs.iter().all(|(e, t)| e.index() < num_entities && t.index() < num_types));
+
+        let mut offsets = vec![0usize; num_entities + 1];
+        for (e, _) in &pairs {
+            offsets[e.index() + 1] += 1;
+        }
+        for i in 0..num_entities {
+            offsets[i + 1] += offsets[i];
+        }
+        let types: Vec<TypeId> = pairs.iter().map(|&(_, t)| t).collect();
+
+        let mut type_offsets = vec![0usize; num_types + 1];
+        for (_, t) in &pairs {
+            type_offsets[t.index() + 1] += 1;
+        }
+        for i in 0..num_types {
+            type_offsets[i + 1] += type_offsets[i];
+        }
+        let mut cursor = type_offsets.clone();
+        let mut entities = vec![EntityId(0); pairs.len()];
+        for &(e, t) in &pairs {
+            entities[cursor[t.index()]] = e;
+            cursor[t.index()] += 1;
+        }
+        // Entities per type are sorted because pairs were sorted by entity
+        // first and the counting sort above is stable in entity order.
+
+        TypeAssignment { num_types, types, offsets, entities, type_offsets }
+    }
+
+    /// An assignment where no entity has a type.
+    pub fn empty(num_entities: usize) -> Self {
+        Self::from_pairs(Vec::new(), num_entities, 0)
+    }
+
+    /// Number of entities covered (the universe size, not just typed ones).
+    pub fn num_entities(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of types.
+    pub fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    /// Total number of `(entity, type)` assignments (`|TS|` in Table 4).
+    pub fn num_assignments(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Types of entity `e`, sorted.
+    #[inline]
+    pub fn types_of(&self, e: EntityId) -> &[TypeId] {
+        &self.types[self.offsets[e.index()]..self.offsets[e.index() + 1]]
+    }
+
+    /// Entities of type `t`, sorted.
+    #[inline]
+    pub fn entities_of(&self, t: TypeId) -> &[EntityId] {
+        &self.entities[self.type_offsets[t.index()]..self.type_offsets[t.index() + 1]]
+    }
+
+    /// Whether entity `e` has type `t`.
+    #[inline]
+    pub fn has_type(&self, e: EntityId, t: TypeId) -> bool {
+        self.types_of(e).binary_search(&t).is_ok()
+    }
+
+    /// Whether any type information is present.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ta() -> TypeAssignment {
+        TypeAssignment::from_pairs(
+            vec![
+                (EntityId(0), TypeId(1)),
+                (EntityId(0), TypeId(0)),
+                (EntityId(2), TypeId(1)),
+                (EntityId(2), TypeId(1)), // duplicate
+            ],
+            4,
+            2,
+        )
+    }
+
+    #[test]
+    fn types_of_entity_sorted_dedup() {
+        let a = ta();
+        assert_eq!(a.types_of(EntityId(0)), &[TypeId(0), TypeId(1)]);
+        assert_eq!(a.types_of(EntityId(1)), &[]);
+        assert_eq!(a.types_of(EntityId(2)), &[TypeId(1)]);
+        assert_eq!(a.num_assignments(), 3);
+    }
+
+    #[test]
+    fn entities_of_type_sorted() {
+        let a = ta();
+        assert_eq!(a.entities_of(TypeId(1)), &[EntityId(0), EntityId(2)]);
+        assert_eq!(a.entities_of(TypeId(0)), &[EntityId(0)]);
+    }
+
+    #[test]
+    fn has_type_membership() {
+        let a = ta();
+        assert!(a.has_type(EntityId(0), TypeId(1)));
+        assert!(!a.has_type(EntityId(1), TypeId(1)));
+    }
+
+    #[test]
+    fn empty_assignment() {
+        let a = TypeAssignment::empty(3);
+        assert!(a.is_empty());
+        assert_eq!(a.num_entities(), 3);
+        assert_eq!(a.num_types(), 0);
+        assert_eq!(a.types_of(EntityId(2)), &[]);
+    }
+}

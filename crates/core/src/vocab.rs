@@ -1,0 +1,116 @@
+//! String-interning vocabulary mapping external labels to dense ids.
+
+use crate::fxhash::FxHashMap;
+
+/// Bidirectional mapping between string labels and dense `u32` indices.
+///
+/// Used for entity, relation and type vocabularies when loading external
+/// datasets; the synthetic generator produces labels of the form `e123`,
+/// `r7`, `type4`.
+#[derive(Clone, Debug, Default)]
+pub struct Vocab {
+    labels: Vec<String>,
+    index: FxHashMap<String, u32>,
+}
+
+impl Vocab {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Vocabulary with `n` generated labels `"{prefix}{i}"`.
+    pub fn generated(prefix: &str, n: usize) -> Self {
+        let mut v = Self::with_capacity(n);
+        for i in 0..n {
+            v.intern(&format!("{prefix}{i}"));
+        }
+        v
+    }
+
+    /// Empty vocabulary with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Vocab {
+            labels: Vec::with_capacity(n),
+            index: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+        }
+    }
+
+    /// Intern `label`, returning its dense id (existing id if already known).
+    pub fn intern(&mut self, label: &str) -> u32 {
+        if let Some(&id) = self.index.get(label) {
+            return id;
+        }
+        let id = self.labels.len() as u32;
+        self.labels.push(label.to_owned());
+        self.index.insert(label.to_owned(), id);
+        id
+    }
+
+    /// Look up the id of `label`, if interned.
+    pub fn get(&self, label: &str) -> Option<u32> {
+        self.index.get(label).copied()
+    }
+
+    /// The label of id `i`, if in range.
+    pub fn label(&self, i: u32) -> Option<&str> {
+        self.labels.get(i as usize).map(String::as_str)
+    }
+
+    /// Number of interned labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterate `(id, label)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.labels.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("alpha");
+        let b = v.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(v.intern("alpha"), a);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let mut v = Vocab::new();
+        let id = v.intern("France");
+        assert_eq!(v.get("France"), Some(id));
+        assert_eq!(v.label(id), Some("France"));
+        assert_eq!(v.get("Spain"), None);
+        assert_eq!(v.label(99), None);
+    }
+
+    #[test]
+    fn generated_labels() {
+        let v = Vocab::generated("e", 3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.label(0), Some("e0"));
+        assert_eq!(v.get("e2"), Some(2));
+    }
+
+    #[test]
+    fn iter_preserves_id_order() {
+        let mut v = Vocab::new();
+        v.intern("x");
+        v.intern("y");
+        let pairs: Vec<_> = v.iter().collect();
+        assert_eq!(pairs, vec![(0, "x"), (1, "y")]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests for kg-core invariants.
+
+use kg_core::sample::{seeded_rng, uniform_without_replacement, weighted_without_replacement};
+use kg_core::sparse::{row_normalize_l1, spgemm, transpose, CooBuilder, CsrMatrix};
+use kg_core::stats::{
+    expected_higher_ranked, expected_rank_gain, kendall_tau, mae, pearson, RankGainParams,
+};
+use kg_core::{FilterIndex, Triple, TripleStore};
+use proptest::prelude::*;
+
+fn matrix_strategy(max: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    (1usize..max, 1usize..max).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(
+            proptest::collection::vec(prop_oneof![2 => Just(0.0f32), 1 => -4.0f32..4.0f32], c),
+            r,
+        )
+    })
+}
+
+fn dense_mul(a: &[Vec<f32>], b: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    let (n, k, m) = (a.len(), b.len(), b[0].len());
+    let mut out = vec![vec![0.0f32; m]; n];
+    for i in 0..n {
+        for p in 0..k {
+            for j in 0..m {
+                out[i][j] += a[i][p] * b[p][j];
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(d in matrix_strategy(9)) {
+        let m = CsrMatrix::from_dense(&d);
+        let tt = transpose(&transpose(&m));
+        prop_assert_eq!(tt, m);
+    }
+
+    #[test]
+    fn transpose_preserves_validity_and_nnz(d in matrix_strategy(9)) {
+        let m = CsrMatrix::from_dense(&d);
+        let t = transpose(&m);
+        prop_assert!(t.validate().is_ok());
+        prop_assert_eq!(t.nnz(), m.nnz());
+        prop_assert_eq!((t.rows(), t.cols()), (m.cols(), m.rows()));
+    }
+
+    #[test]
+    fn spgemm_matches_dense((a, b) in matrix_strategy(7).prop_flat_map(|a| {
+        let k = a[0].len();
+        let b = (1usize..7).prop_flat_map(move |m| proptest::collection::vec(
+            proptest::collection::vec(prop_oneof![2 => Just(0.0f32), 1 => -4.0f32..4.0f32], m), k));
+        (Just(a), b)
+    })) {
+        let c = spgemm(&CsrMatrix::from_dense(&a), &CsrMatrix::from_dense(&b));
+        prop_assert!(c.validate().is_ok());
+        let reference = dense_mul(&a, &b);
+        let got = c.to_dense();
+        for i in 0..reference.len() {
+            for j in 0..reference[0].len() {
+                prop_assert!((got[i][j] - reference[i][j]).abs() < 1e-3,
+                    "cell ({},{}) {} vs {}", i, j, got[i][j], reference[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_matrix_symmetric(d in matrix_strategy(8)) {
+        let b = CsrMatrix::from_dense(&d);
+        let w = spgemm(&transpose(&b), &b);
+        let dd = w.to_dense();
+        for i in 0..w.rows() {
+            for j in 0..w.cols() {
+                prop_assert!((dd[i][j] - dd[j][i]).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn row_normalize_rows_sum_to_one_or_zero(d in matrix_strategy(8)) {
+        let mut m = CsrMatrix::from_dense(&d.iter().map(|r| r.iter().map(|v| v.abs()).collect()).collect::<Vec<_>>());
+        row_normalize_l1(&mut m);
+        for i in 0..m.rows() {
+            let s: f32 = m.row_values(i).iter().sum();
+            prop_assert!(s == 0.0 || (s - 1.0).abs() < 1e-5, "row {} sums to {}", i, s);
+        }
+    }
+
+    #[test]
+    fn coo_builder_sums_duplicates(entries in proptest::collection::vec((0usize..5, 0usize..5, -3.0f32..3.0), 0..40)) {
+        let mut b = CooBuilder::new(5, 5);
+        let mut dense = vec![vec![0.0f32; 5]; 5];
+        for &(r, c, v) in &entries {
+            b.push(r, c, v);
+            dense[r][c] += v;
+        }
+        let m = b.build();
+        prop_assert!(m.validate().is_ok());
+        for r in 0..5 {
+            for c in 0..5 {
+                prop_assert!((m.get(r, c) - dense[r][c]).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_sample_distinct_in_range(seed in 0u64..1000, n in 1usize..200, frac in 0.0f64..1.2) {
+        let k = ((n as f64 * frac) as usize).min(n + 5);
+        let s = uniform_without_replacement(&mut seeded_rng(seed), n, k);
+        prop_assert_eq!(s.len(), k.min(n));
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), s.len());
+        prop_assert!(s.iter().all(|&x| (x as usize) < n));
+    }
+
+    #[test]
+    fn weighted_sample_never_picks_nonpositive(seed in 0u64..500, weights in proptest::collection::vec(prop_oneof![Just(0.0f32), 0.01f32..5.0], 1..50), k in 1usize..20) {
+        let s = weighted_without_replacement(&mut seeded_rng(seed), &weights, k);
+        let positive = weights.iter().filter(|w| **w > 0.0).count();
+        prop_assert_eq!(s.len(), k.min(positive));
+        prop_assert!(s.iter().all(|&p| weights[p] > 0.0));
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), s.len());
+    }
+
+    #[test]
+    fn theorem1_gain_nonnegative(higher in 0u64..50, extra_range in 0u64..100, extra_e in 0u64..1000, ns_frac in 0.0f64..1.0) {
+        // Construct valid params: higher ≤ range ≤ E.
+        let range = higher + extra_range;
+        let e = range + extra_e;
+        if e == 0 { return Ok(()); }
+        let ns = ((e as f64) * ns_frac) as u64;
+        let p = RankGainParams { higher, range_size: range.max(1).min(e), num_entities: e, n_s: ns };
+        if p.higher > p.range_size { return Ok(()); }
+        prop_assert!(expected_rank_gain(p) >= 0.0);
+    }
+
+    #[test]
+    fn hypergeom_monotone_in_sample_size(higher in 0u64..50, pool_extra in 1u64..500, ns in 0u64..400) {
+        let pool = higher + pool_extra;
+        let ns1 = ns.min(pool);
+        let ns2 = (ns1 + 1).min(pool);
+        prop_assert!(expected_higher_ranked(higher, pool, ns1) <= expected_higher_ranked(higher, pool, ns2) + 1e-12);
+    }
+
+    #[test]
+    fn pearson_and_kendall_bounded(pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..30)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = pearson(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+        if let Some(t) = kendall_tau(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&t));
+        }
+    }
+
+    #[test]
+    fn mae_zero_iff_equal(xs in proptest::collection::vec(-10.0f64..10.0, 1..20)) {
+        prop_assert_eq!(mae(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn filter_index_agrees_with_naive(raw in proptest::collection::vec((0u32..8, 0u32..3, 0u32..8), 0..60)) {
+        let triples: Vec<Triple> = raw.iter().map(|&(h, r, t)| Triple::new(h, r, t)).collect();
+        let idx = FilterIndex::from_slices(&[&triples]);
+        let store = TripleStore::from_triples(triples.clone(), 8, 3);
+        prop_assert_eq!(idx.len(), store.len());
+        for h in 0..8u32 {
+            for r in 0..3u32 {
+                for t in 0..8u32 {
+                    let tri = Triple::new(h, r, t);
+                    prop_assert_eq!(idx.contains(tri), store.contains(tri));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triple_store_slices_partition_triples(raw in proptest::collection::vec((0u32..10, 0u32..4, 0u32..10), 0..80)) {
+        let triples: Vec<Triple> = raw.iter().map(|&(h, r, t)| Triple::new(h, r, t)).collect();
+        let store = TripleStore::from_triples(triples, 10, 4);
+        let total: usize = (0..4).map(|r| store.triples_of(kg_core::RelationId(r)).len()).sum();
+        prop_assert_eq!(total, store.len());
+        // heads_of counts sum to the relation's triple count.
+        for r in 0..4u32 {
+            let rel = kg_core::RelationId(r);
+            let head_sum: u32 = store.heads_of(rel).iter().map(|ec| ec.count).sum();
+            prop_assert_eq!(head_sum as usize, store.triples_of(rel).len());
+            let tail_sum: u32 = store.tails_of(rel).iter().map(|ec| ec.count).sum();
+            prop_assert_eq!(tail_sum as usize, store.triples_of(rel).len());
+        }
+    }
+}

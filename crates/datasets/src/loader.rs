@@ -1,0 +1,207 @@
+//! TSV persistence: load/save splits and type assignments.
+//!
+//! Formats match the common KGC layout so real benchmark dumps (FB15k-237,
+//! CoDEx, …) can be dropped in: one `head<TAB>relation<TAB>tail` triple per
+//! line; types as `entity<TAB>type` per line.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use kg_core::{EntityId, KgError, Triple, TypeAssignment, TypeId, Vocab};
+
+use crate::dataset::Dataset;
+
+/// Label-space triples plus vocabularies, as parsed from TSV.
+#[derive(Debug, Default)]
+pub struct RawKg {
+    /// Entity vocabulary.
+    pub entities: Vocab,
+    /// Relation vocabulary.
+    pub relations: Vocab,
+    /// Type vocabulary.
+    pub types: Vocab,
+    /// Parsed splits.
+    pub train: Vec<Triple>,
+    /// Validation triples.
+    pub valid: Vec<Triple>,
+    /// Test triples.
+    pub test: Vec<Triple>,
+    /// (entity, type) pairs.
+    pub type_pairs: Vec<(EntityId, TypeId)>,
+}
+
+impl RawKg {
+    /// Parse one split from a TSV reader, interning labels.
+    pub fn read_triples<R: Read>(&mut self, reader: R, split: SplitKind) -> Result<usize, KgError> {
+        let buf = BufReader::new(reader);
+        let mut count = 0usize;
+        for (i, line) in buf.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (h, r, t) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(h), Some(r), Some(t)) => (h, r, t),
+                _ => {
+                    return Err(KgError::Parse {
+                        line: i + 1,
+                        message: format!("expected 3 tab-separated fields, got {line:?}"),
+                    })
+                }
+            };
+            let triple = Triple::new(self.entities.intern(h), self.relations.intern(r), self.entities.intern(t));
+            match split {
+                SplitKind::Train => self.train.push(triple),
+                SplitKind::Valid => self.valid.push(triple),
+                SplitKind::Test => self.test.push(triple),
+            }
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Parse `entity<TAB>type` pairs.
+    pub fn read_types<R: Read>(&mut self, reader: R) -> Result<usize, KgError> {
+        let buf = BufReader::new(reader);
+        let mut count = 0usize;
+        for (i, line) in buf.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (e, t) = match (parts.next(), parts.next()) {
+                (Some(e), Some(t)) => (e, t),
+                _ => {
+                    return Err(KgError::Parse {
+                        line: i + 1,
+                        message: "expected 2 tab-separated fields".into(),
+                    })
+                }
+            };
+            let e = EntityId(self.entities.intern(e));
+            let t = TypeId(self.types.intern(t));
+            self.type_pairs.push((e, t));
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Finalise into a [`Dataset`].
+    pub fn into_dataset(self, name: impl Into<String>) -> Dataset {
+        let num_entities = self.entities.len();
+        let num_relations = self.relations.len();
+        let types = TypeAssignment::from_pairs(self.type_pairs, num_entities, self.types.len().max(1));
+        Dataset::new(name, self.train, self.valid, self.test, types, None, num_entities, num_relations)
+    }
+}
+
+/// Which split a TSV file belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SplitKind {
+    /// Training split.
+    Train,
+    /// Validation split.
+    Valid,
+    /// Test split.
+    Test,
+}
+
+/// Load a dataset from a directory containing `train.tsv`, `valid.tsv`,
+/// `test.tsv` and optionally `types.tsv`.
+pub fn load_dir(dir: &Path, name: &str) -> Result<Dataset, KgError> {
+    let mut raw = RawKg::default();
+    raw.read_triples(std::fs::File::open(dir.join("train.tsv"))?, SplitKind::Train)?;
+    raw.read_triples(std::fs::File::open(dir.join("valid.tsv"))?, SplitKind::Valid)?;
+    raw.read_triples(std::fs::File::open(dir.join("test.tsv"))?, SplitKind::Test)?;
+    let types_path = dir.join("types.tsv");
+    if types_path.exists() {
+        raw.read_types(std::fs::File::open(types_path)?)?;
+    }
+    Ok(raw.into_dataset(name))
+}
+
+/// Save a dataset to a directory as `train.tsv`, `valid.tsv`, `test.tsv`,
+/// `types.tsv` with generated labels (`e{i}` / `r{i}` / `type{i}`).
+pub fn save_dir(dataset: &Dataset, dir: &Path) -> Result<(), KgError> {
+    std::fs::create_dir_all(dir)?;
+    let write_split = |path: &Path, triples: &mut dyn Iterator<Item = Triple>| -> Result<(), KgError> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        for t in triples {
+            writeln!(w, "e{}\tr{}\te{}", t.head.0, t.relation.0, t.tail.0)?;
+        }
+        w.flush()?;
+        Ok(())
+    };
+    write_split(&dir.join("train.tsv"), &mut dataset.train.triples().iter().copied())?;
+    write_split(&dir.join("valid.tsv"), &mut dataset.valid.iter().copied())?;
+    write_split(&dir.join("test.tsv"), &mut dataset.test.iter().copied())?;
+    let mut w = BufWriter::new(std::fs::File::create(dir.join("types.tsv"))?);
+    for e in 0..dataset.num_entities() {
+        for t in dataset.types.types_of(EntityId::from_usize(e)) {
+            writeln!(w, "e{e}\ttype{t}")?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_triples_from_tsv() {
+        let mut raw = RawKg::default();
+        let data = "paris\tcapitalOf\tfrance\nberlin\tcapitalOf\tgermany\n\n# comment\n";
+        let n = raw.read_triples(data.as_bytes(), SplitKind::Train).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(raw.entities.len(), 4);
+        assert_eq!(raw.relations.len(), 1);
+        assert_eq!(raw.train[0], Triple::new(0, 0, 1));
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let mut raw = RawKg::default();
+        let err = raw.read_triples("a\tb\n".as_bytes(), SplitKind::Test).unwrap_err();
+        match err {
+            KgError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_types() {
+        let mut raw = RawKg::default();
+        raw.read_triples("a\tr\tb\n".as_bytes(), SplitKind::Train).unwrap();
+        let n = raw.read_types("a\tcity\nb\tcountry\n".as_bytes()).unwrap();
+        assert_eq!(n, 2);
+        let d = raw.into_dataset("x");
+        assert_eq!(d.types.num_types(), 2);
+        assert!(d.types.has_type(EntityId(0), TypeId(0)));
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let cfg = crate::generator::SyntheticKgConfig {
+            num_entities: 50,
+            num_relations: 4,
+            num_types: 3,
+            num_triples: 300,
+            ..Default::default()
+        };
+        let d = crate::generator::generate(&cfg);
+        let dir = std::env::temp_dir().join(format!("kgeval-loader-test-{}", std::process::id()));
+        save_dir(&d, &dir).unwrap();
+        let loaded = load_dir(&dir, "roundtrip").unwrap();
+        assert_eq!(loaded.train.len(), d.train.len());
+        assert_eq!(loaded.valid.len(), d.valid.len());
+        assert_eq!(loaded.test.len(), d.test.len());
+        assert_eq!(loaded.types.num_assignments(), d.types.num_assignments());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,114 @@
+//! Ontology-noise injection.
+//!
+//! §4.1 of the paper notes that even when an ontology provides domains and
+//! ranges directly, real type systems are "often incomplete and noisy", and
+//! simulates that. These helpers degrade a [`TypeAssignment`] accordingly:
+//! dropping a fraction of true assignments (incompleteness) and adding
+//! spurious ones (noise).
+
+use kg_core::sample::seeded_rng;
+use kg_core::{EntityId, TypeAssignment, TypeId};
+use rand::Rng;
+
+/// Produce a degraded copy of `types`: each true assignment is kept with
+/// probability `1 − drop_rate`; `spurious_rate · |TS|` uniformly random
+/// false assignments are added. Entities left typeless by dropping keep one
+/// of their original types so every entity remains typed.
+pub fn degrade_types(
+    types: &TypeAssignment,
+    drop_rate: f64,
+    spurious_rate: f64,
+    seed: u64,
+) -> TypeAssignment {
+    assert!((0.0..=1.0).contains(&drop_rate));
+    assert!(spurious_rate >= 0.0);
+    let mut rng = seeded_rng(seed);
+    let num_entities = types.num_entities();
+    let num_types = types.num_types();
+    let mut pairs: Vec<(EntityId, TypeId)> = Vec::with_capacity(types.num_assignments());
+
+    for e in 0..num_entities {
+        let entity = EntityId::from_usize(e);
+        let original = types.types_of(entity);
+        if original.is_empty() {
+            continue;
+        }
+        let mut kept_any = false;
+        for &t in original {
+            if !rng.gen_bool(drop_rate) {
+                pairs.push((entity, t));
+                kept_any = true;
+            }
+        }
+        if !kept_any {
+            // Keep one type so the entity does not vanish from the ontology.
+            let keep = original[rng.gen_range(0..original.len())];
+            pairs.push((entity, keep));
+        }
+    }
+
+    if num_types > 0 {
+        let spurious = (types.num_assignments() as f64 * spurious_rate) as usize;
+        for _ in 0..spurious {
+            let e = EntityId(rng.gen_range(0..num_entities as u32));
+            let t = TypeId(rng.gen_range(0..num_types as u32));
+            pairs.push((e, t));
+        }
+    }
+
+    TypeAssignment::from_pairs(pairs, num_entities, num_types)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> TypeAssignment {
+        let mut pairs = Vec::new();
+        for e in 0..100u32 {
+            pairs.push((EntityId(e), TypeId(e % 5)));
+            if e % 3 == 0 {
+                pairs.push((EntityId(e), TypeId((e + 1) % 5)));
+            }
+        }
+        TypeAssignment::from_pairs(pairs, 100, 5)
+    }
+
+    #[test]
+    fn zero_noise_is_identity_in_counts() {
+        let t = base();
+        let d = degrade_types(&t, 0.0, 0.0, 1);
+        assert_eq!(d.num_assignments(), t.num_assignments());
+        for e in 0..100 {
+            assert_eq!(d.types_of(EntityId(e)), t.types_of(EntityId(e)));
+        }
+    }
+
+    #[test]
+    fn dropping_reduces_assignments_but_keeps_entities_typed() {
+        let t = base();
+        let d = degrade_types(&t, 0.5, 0.0, 2);
+        assert!(d.num_assignments() < t.num_assignments());
+        for e in 0..100 {
+            assert!(!d.types_of(EntityId(e)).is_empty(), "entity {e} lost all types");
+        }
+    }
+
+    #[test]
+    fn spurious_adds_assignments() {
+        let t = base();
+        let d = degrade_types(&t, 0.0, 0.5, 3);
+        assert!(d.num_assignments() > t.num_assignments());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let t = base();
+        let a = degrade_types(&t, 0.3, 0.2, 9);
+        let b = degrade_types(&t, 0.3, 0.2, 9);
+        assert_eq!(a.num_assignments(), b.num_assignments());
+        for e in 0..100 {
+            assert_eq!(a.types_of(EntityId(e)), b.types_of(EntityId(e)));
+        }
+    }
+}

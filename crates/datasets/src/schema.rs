@@ -1,0 +1,91 @@
+//! Typed relation schemas: the ontology the synthetic generator follows.
+
+use kg_core::TypeId;
+
+/// Relation cardinality classes (§2 of the paper discusses why 1-1 / 1-M /
+/// M-1 relations break the PT recommender: their correct candidates are
+/// mostly unseen).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Cardinality {
+    /// Each head has at most one tail and vice versa (e.g. `isMarriedTo`).
+    OneToOne,
+    /// Each tail has at most one head (e.g. `containsCity` inverse view).
+    OneToMany,
+    /// Each head has at most one tail (e.g. `bornIn`).
+    ManyToOne,
+    /// Unconstrained (e.g. `actedIn`).
+    ManyToMany,
+}
+
+impl Cardinality {
+    /// Whether a head may appear in more than one triple of the relation.
+    pub fn head_repeatable(self) -> bool {
+        matches!(self, Cardinality::OneToMany | Cardinality::ManyToMany)
+    }
+
+    /// Whether a tail may appear in more than one triple of the relation.
+    pub fn tail_repeatable(self) -> bool {
+        matches!(self, Cardinality::ManyToOne | Cardinality::ManyToMany)
+    }
+}
+
+/// A relation's typed signature.
+#[derive(Clone, Debug)]
+pub struct RelationSchema {
+    /// Types whose entities may serve as heads.
+    pub domain_types: Vec<TypeId>,
+    /// Types whose entities may serve as tails.
+    pub range_types: Vec<TypeId>,
+    /// Cardinality class.
+    pub cardinality: Cardinality,
+    /// Relative frequency weight (how often triples of this relation occur).
+    pub weight: f64,
+}
+
+/// The full ontology: one schema per relation plus the type universe size.
+#[derive(Clone, Debug)]
+pub struct KgSchema {
+    /// Number of entity types.
+    pub num_types: usize,
+    /// Per-relation signatures, indexed by relation id.
+    pub relations: Vec<RelationSchema>,
+}
+
+impl KgSchema {
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinality_repeatability() {
+        assert!(!Cardinality::OneToOne.head_repeatable());
+        assert!(!Cardinality::OneToOne.tail_repeatable());
+        assert!(Cardinality::OneToMany.head_repeatable());
+        assert!(!Cardinality::OneToMany.tail_repeatable());
+        assert!(!Cardinality::ManyToOne.head_repeatable());
+        assert!(Cardinality::ManyToOne.tail_repeatable());
+        assert!(Cardinality::ManyToMany.head_repeatable());
+        assert!(Cardinality::ManyToMany.tail_repeatable());
+    }
+
+    #[test]
+    fn schema_counts() {
+        let s = KgSchema {
+            num_types: 3,
+            relations: vec![RelationSchema {
+                domain_types: vec![TypeId(0)],
+                range_types: vec![TypeId(1), TypeId(2)],
+                cardinality: Cardinality::ManyToMany,
+                weight: 1.0,
+            }],
+        };
+        assert_eq!(s.num_relations(), 1);
+        assert_eq!(s.relations[0].range_types.len(), 2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Train/valid/test splitting with the transductive guarantee.
+//!
+//! Standard KGC benchmarks guarantee every entity and relation of the
+//! held-out splits is observed in training; otherwise embedding models have
+//! no parameters for them. `split_transductive` enforces this by moving
+//! offending held-out triples back into train.
+
+use kg_core::Triple;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Shuffle and split `triples` into `(train, valid, test)` with the given
+/// held-out fractions, then repair the split so that every entity and
+/// relation appearing in valid/test also appears in train.
+pub fn split_transductive<R: Rng>(
+    mut triples: Vec<Triple>,
+    valid_fraction: f64,
+    test_fraction: f64,
+    rng: &mut R,
+) -> (Vec<Triple>, Vec<Triple>, Vec<Triple>) {
+    assert!(valid_fraction >= 0.0 && test_fraction >= 0.0);
+    assert!(valid_fraction + test_fraction < 1.0, "held-out fractions must leave training data");
+    triples.shuffle(rng);
+    let n = triples.len();
+    let n_valid = (n as f64 * valid_fraction).round() as usize;
+    let n_test = (n as f64 * test_fraction).round() as usize;
+    let n_train = n - n_valid - n_test;
+
+    let mut train: Vec<Triple> = triples[..n_train].to_vec();
+    let candidates_valid = &triples[n_train..n_train + n_valid];
+    let candidates_test = &triples[n_train + n_valid..];
+
+    let (mut max_e, mut max_r) = (0u32, 0u32);
+    for t in &triples {
+        max_e = max_e.max(t.head.0).max(t.tail.0);
+        max_r = max_r.max(t.relation.0);
+    }
+    let mut seen_e = vec![false; max_e as usize + 1];
+    let mut seen_r = vec![false; max_r as usize + 1];
+    for t in &train {
+        seen_e[t.head.index()] = true;
+        seen_e[t.tail.index()] = true;
+        seen_r[t.relation.index()] = true;
+    }
+
+    let keep = |t: &Triple, train: &mut Vec<Triple>, seen_e: &mut [bool], seen_r: &mut [bool]| -> bool {
+        if seen_e[t.head.index()] && seen_e[t.tail.index()] && seen_r[t.relation.index()] {
+            true
+        } else {
+            seen_e[t.head.index()] = true;
+            seen_e[t.tail.index()] = true;
+            seen_r[t.relation.index()] = true;
+            train.push(*t);
+            false
+        }
+    };
+
+    let mut valid = Vec::with_capacity(n_valid);
+    for t in candidates_valid {
+        if keep(t, &mut train, &mut seen_e, &mut seen_r) {
+            valid.push(*t);
+        }
+    }
+    let mut test = Vec::with_capacity(n_test);
+    for t in candidates_test {
+        if keep(t, &mut train, &mut seen_e, &mut seen_r) {
+            test.push(*t);
+        }
+    }
+    (train, valid, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::sample::seeded_rng;
+
+    fn chain_triples(n: u32) -> Vec<Triple> {
+        // A chain 0→1→2→…: every entity appears in ≤ 2 triples, stressing
+        // the transductive repair.
+        (0..n).map(|i| Triple::new(i, i % 3, i + 1)).collect()
+    }
+
+    #[test]
+    fn fractions_roughly_respected_on_dense_data() {
+        // Dense graph: few repairs needed.
+        let mut triples = Vec::new();
+        for h in 0..30u32 {
+            for t in 0..30u32 {
+                if h != t {
+                    triples.push(Triple::new(h, 0, t));
+                }
+            }
+        }
+        let n = triples.len();
+        let (train, valid, test) = split_transductive(triples, 0.1, 0.1, &mut seeded_rng(1));
+        assert_eq!(train.len() + valid.len() + test.len(), n);
+        assert!((valid.len() as f64) > 0.05 * n as f64);
+        assert!((test.len() as f64) > 0.05 * n as f64);
+    }
+
+    #[test]
+    fn transductive_guarantee_holds() {
+        let (train, valid, test) = split_transductive(chain_triples(200), 0.2, 0.2, &mut seeded_rng(2));
+        let mut seen_e = vec![false; 202];
+        let mut seen_r = vec![false; 3];
+        for t in &train {
+            seen_e[t.head.index()] = true;
+            seen_e[t.tail.index()] = true;
+            seen_r[t.relation.index()] = true;
+        }
+        for t in valid.iter().chain(&test) {
+            assert!(seen_e[t.head.index()] && seen_e[t.tail.index()] && seen_r[t.relation.index()]);
+        }
+    }
+
+    #[test]
+    fn no_triples_lost_or_duplicated() {
+        let triples = chain_triples(100);
+        let n = triples.len();
+        let (train, valid, test) = split_transductive(triples, 0.15, 0.15, &mut seeded_rng(3));
+        assert_eq!(train.len() + valid.len() + test.len(), n);
+        let mut all: Vec<Triple> = train.into_iter().chain(valid).chain(test).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+
+    #[test]
+    fn zero_fractions_put_everything_in_train() {
+        let (train, valid, test) = split_transductive(chain_triples(50), 0.0, 0.0, &mut seeded_rng(4));
+        assert_eq!(train.len(), 50);
+        assert!(valid.is_empty() && test.is_empty());
+    }
+}

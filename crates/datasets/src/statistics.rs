@@ -1,0 +1,106 @@
+//! Table 4: dataset statistics.
+
+use kg_core::fxhash::FxHashSet;
+use kg_core::Triple;
+
+use crate::dataset::Dataset;
+
+/// One row of Table 4.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStatistics {
+    /// Dataset name.
+    pub name: String,
+    /// `|E|` — entities.
+    pub num_entities: usize,
+    /// `|R|` — relations.
+    pub num_relations: usize,
+    /// `|T|` — entity types.
+    pub num_types: usize,
+    /// `|TS|` — (entity, type) assignments.
+    pub num_type_assignments: usize,
+    /// Train / valid / test triple counts.
+    pub train: usize,
+    /// Validation triples.
+    pub valid: usize,
+    /// Test triples.
+    pub test: usize,
+    /// Distinct `(h,r)` + `(r,t)` pairs in train.
+    pub train_pairs: usize,
+    /// Distinct `(h,r)` + `(r,t)` pairs in test.
+    pub test_pairs: usize,
+    /// Distinct relations appearing in test (`(·,r,·)`-instances, Table 3).
+    pub test_relations: usize,
+}
+
+/// Count distinct `(h,r)` plus distinct `(r,t)` pairs in a triple slice.
+pub fn distinct_pairs(triples: &[Triple]) -> usize {
+    let mut hr: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut rt: FxHashSet<(u32, u32)> = FxHashSet::default();
+    for t in triples {
+        hr.insert((t.head.0, t.relation.0));
+        rt.insert((t.relation.0, t.tail.0));
+    }
+    hr.len() + rt.len()
+}
+
+impl DatasetStatistics {
+    /// Compute the statistics of `dataset`.
+    pub fn compute(dataset: &Dataset) -> Self {
+        let mut test_rels: FxHashSet<u32> = FxHashSet::default();
+        for t in &dataset.test {
+            test_rels.insert(t.relation.0);
+        }
+        DatasetStatistics {
+            name: dataset.name.clone(),
+            num_entities: dataset.num_entities(),
+            num_relations: dataset.num_relations(),
+            num_types: dataset.types.num_types(),
+            num_type_assignments: dataset.types.num_assignments(),
+            train: dataset.train.len(),
+            valid: dataset.valid.len(),
+            test: dataset.test.len(),
+            train_pairs: distinct_pairs(dataset.train.triples()),
+            test_pairs: distinct_pairs(&dataset.test),
+            test_relations: test_rels.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::TypeAssignment;
+
+    #[test]
+    fn distinct_pairs_counts_both_directions() {
+        let triples = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(0, 0, 2), // same (h,r), new (r,t)
+            Triple::new(1, 0, 1), // new (h,r), same (r,t)
+        ];
+        // (h,r): {(0,0),(1,0)} = 2; (r,t): {(0,1),(0,2)} = 2.
+        assert_eq!(distinct_pairs(&triples), 4);
+        assert_eq!(distinct_pairs(&[]), 0);
+    }
+
+    #[test]
+    fn compute_on_tiny_dataset() {
+        let d = Dataset::new(
+            "t",
+            vec![Triple::new(0, 0, 1)],
+            vec![Triple::new(1, 0, 2)],
+            vec![Triple::new(2, 1, 3), Triple::new(0, 1, 3)],
+            TypeAssignment::from_pairs(vec![(kg_core::EntityId(0), kg_core::TypeId(0))], 4, 1),
+            None,
+            4,
+            2,
+        );
+        let s = DatasetStatistics::compute(&d);
+        assert_eq!(s.train, 1);
+        assert_eq!(s.valid, 1);
+        assert_eq!(s.test, 2);
+        assert_eq!(s.num_type_assignments, 1);
+        assert_eq!(s.test_relations, 1);
+        assert_eq!(s.test_pairs, 2 + 1); // (2,1),(0,1) heads; (1,3) tail
+    }
+}

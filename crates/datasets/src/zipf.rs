@@ -1,0 +1,99 @@
+//! Zipf-weighted index sampling via cumulative-weight binary search.
+
+use rand::Rng;
+
+/// Samples indices `0..n` with probability ∝ `(i+1)^(-alpha)`.
+///
+/// Knowledge-graph entity popularity and relation frequency are famously
+/// heavy-tailed; `alpha = 0` degrades to uniform.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` items with exponent `alpha ≥ 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one item");
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += ((i + 1) as f64).powf(-alpha);
+            cumulative.push(acc);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler is over zero items (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw one index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let x = rng.gen_range(0.0..total);
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&x).unwrap()) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+        .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::sample::seeded_rng;
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let s = ZipfSampler::new(4, 0.0);
+        let mut rng = seeded_rng(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 700.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_alpha_positive() {
+        let s = ZipfSampler::new(100, 1.2);
+        let mut rng = seeded_rng(2);
+        let mut first = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if s.sample(&mut rng) == 0 {
+                first += 1;
+            }
+        }
+        // Item 0 has by far the largest mass under Zipf(1.2).
+        assert!(first > n / 10, "first item drawn only {first} times");
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let s = ZipfSampler::new(7, 0.7);
+        let mut rng = seeded_rng(3);
+        for _ in 0..1000 {
+            assert!(s.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn single_item() {
+        let s = ZipfSampler::new(1, 1.0);
+        let mut rng = seeded_rng(4);
+        assert_eq!(s.sample(&mut rng), 0);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the dataset substrate.
+
+use kg_core::fxhash::FxHashSet;
+use kg_core::sample::seeded_rng;
+use kg_core::Triple;
+use kg_datasets::split::split_transductive;
+use kg_datasets::zipf::ZipfSampler;
+use kg_datasets::{generate, SyntheticKgConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn split_partitions_and_stays_transductive(
+        raw in proptest::collection::vec((0u32..30, 0u32..4, 0u32..30), 1..150),
+        valid_frac in 0.0f64..0.3,
+        test_frac in 0.0f64..0.3,
+        seed in 0u64..50,
+    ) {
+        let mut triples: Vec<Triple> = raw.iter().map(|&(h, r, t)| Triple::new(h, r, t)).collect();
+        triples.sort_unstable();
+        triples.dedup();
+        let n = triples.len();
+        let (train, valid, test) =
+            split_transductive(triples, valid_frac, test_frac, &mut seeded_rng(seed));
+        prop_assert_eq!(train.len() + valid.len() + test.len(), n, "no triples lost");
+
+        let mut seen_e: FxHashSet<u32> = FxHashSet::default();
+        let mut seen_r: FxHashSet<u32> = FxHashSet::default();
+        for t in &train {
+            seen_e.insert(t.head.0);
+            seen_e.insert(t.tail.0);
+            seen_r.insert(t.relation.0);
+        }
+        for t in valid.iter().chain(&test) {
+            prop_assert!(seen_e.contains(&t.head.0));
+            prop_assert!(seen_e.contains(&t.tail.0));
+            prop_assert!(seen_r.contains(&t.relation.0));
+        }
+    }
+
+    #[test]
+    fn generator_invariants(
+        entities in 50usize..250,
+        relations in 2usize..8,
+        types in 2usize..10,
+        seed in 0u64..20,
+    ) {
+        let cfg = SyntheticKgConfig {
+            num_entities: entities,
+            num_relations: relations,
+            num_types: types,
+            num_triples: entities * 6,
+            seed,
+            ..Default::default()
+        };
+        let d = generate(&cfg);
+        // Ids in range.
+        for t in d.train.triples().iter().chain(&d.valid).chain(&d.test) {
+            prop_assert!(t.head.index() < entities);
+            prop_assert!(t.tail.index() < entities);
+            prop_assert!(t.relation.index() < relations);
+            prop_assert!(t.head != t.tail || cfg.noise_rate > 0.0);
+        }
+        // Every entity typed; assignments within bounds.
+        for e in 0..entities {
+            let ts = d.types.types_of(kg_core::EntityId(e as u32));
+            prop_assert!(!ts.is_empty());
+            prop_assert!(ts.iter().all(|t| t.index() < types));
+        }
+        // Splits disjoint.
+        let train: FxHashSet<Triple> = d.train.triples().iter().copied().collect();
+        for t in d.valid.iter().chain(&d.test) {
+            prop_assert!(!train.contains(t));
+        }
+        // Filter index covers everything.
+        for t in d.train.triples().iter().chain(&d.valid).chain(&d.test) {
+            prop_assert!(d.filter.contains(*t));
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range(n in 1usize..500, alpha in 0.0f64..2.0, seed in 0u64..20) {
+        let s = ZipfSampler::new(n, alpha);
+        let mut rng = seeded_rng(seed);
+        for _ in 0..100 {
+            prop_assert!(s.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn zipf_mass_is_monotone(n in 10usize..100, seed in 0u64..10) {
+        // With alpha > 0, earlier items should be sampled at least as often
+        // (statistically) as much later items.
+        let s = ZipfSampler::new(n, 1.2);
+        let mut rng = seeded_rng(seed);
+        let mut counts = vec![0usize; n];
+        for _ in 0..5000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        let first_quarter: usize = counts[..n / 4].iter().sum();
+        let last_quarter: usize = counts[n - n / 4..].iter().sum();
+        prop_assert!(first_quarter > last_quarter, "{first_quarter} vs {last_quarter}");
+    }
+}

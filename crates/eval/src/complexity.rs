@@ -1,0 +1,103 @@
+//! Table 3: sampling-complexity comparison between entity-aware candidate
+//! generators (one sampling per distinct query pair) and relation
+//! recommenders (one sampling per domain/range column).
+
+use kg_core::fxhash::FxHashSet;
+use kg_datasets::Dataset;
+
+/// One Table 3 column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SamplingComplexity {
+    /// Dataset name.
+    pub dataset: String,
+    /// Sampling fraction `f_s`.
+    pub fraction: f64,
+    /// Distinct `(h,r)` + `(r,t)` pairs in the test split.
+    pub test_pairs: usize,
+    /// Distinct relations in the test split (`(·,r,·)`-instances).
+    pub test_relations: usize,
+    /// Samples drawn by an entity-aware generator: `pairs · f_s · |E|`.
+    pub samples_entity_aware: u128,
+    /// Samples drawn by a relation recommender: `2 · |R_test| · f_s · |E|`.
+    pub samples_relational: u128,
+    /// Reduction factor (entity-aware / relational).
+    pub reduction: f64,
+}
+
+/// Compute the Table 3 quantities for `dataset` at sampling fraction `f_s`.
+pub fn sampling_complexity(dataset: &Dataset, fraction: f64) -> SamplingComplexity {
+    assert!((0.0..=1.0).contains(&fraction));
+    let mut hr: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut rt: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut rels: FxHashSet<u32> = FxHashSet::default();
+    for t in &dataset.test {
+        hr.insert((t.head.0, t.relation.0));
+        rt.insert((t.relation.0, t.tail.0));
+        rels.insert(t.relation.0);
+    }
+    let pairs = hr.len() + rt.len();
+    let per_sampling = (fraction * dataset.num_entities() as f64) as u128;
+    let entity_aware = pairs as u128 * per_sampling;
+    let relational = 2 * rels.len() as u128 * per_sampling;
+    SamplingComplexity {
+        dataset: dataset.name.clone(),
+        fraction,
+        test_pairs: pairs,
+        test_relations: rels.len(),
+        samples_entity_aware: entity_aware,
+        samples_relational: relational,
+        reduction: if relational == 0 { 0.0 } else { entity_aware as f64 / relational as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::{Triple, TypeAssignment};
+
+    #[test]
+    fn counts_match_hand_calculation() {
+        let d = Dataset::new(
+            "cx",
+            vec![Triple::new(0, 0, 1)],
+            vec![],
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(0, 0, 2), // same (h,r)
+                Triple::new(3, 1, 1),
+            ],
+            TypeAssignment::empty(100),
+            None,
+            100,
+            2,
+        );
+        let c = sampling_complexity(&d, 0.025);
+        // (h,r): {(0,0),(3,1)} = 2; (r,t): {(0,1),(0,2),(1,1)} = 3 → 5 pairs.
+        assert_eq!(c.test_pairs, 5);
+        assert_eq!(c.test_relations, 2);
+        // per sampling = 0.025·100 = 2 entities.
+        assert_eq!(c.samples_entity_aware, 10);
+        assert_eq!(c.samples_relational, 8);
+        assert!((c.reduction - 10.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_grows_with_queries_per_relation() {
+        // Many test triples of one relation: relational cost stays flat.
+        let test: Vec<Triple> = (0..50).map(|i| Triple::new(i, 0, i + 50)).collect();
+        let d = Dataset::new(
+            "many",
+            vec![Triple::new(0, 0, 50)],
+            vec![],
+            test,
+            TypeAssignment::empty(200),
+            None,
+            200,
+            1,
+        );
+        let c = sampling_complexity(&d, 0.1);
+        assert_eq!(c.test_relations, 1);
+        assert_eq!(c.test_pairs, 100);
+        assert!(c.reduction >= 50.0, "reduction {}", c.reduction);
+    }
+}

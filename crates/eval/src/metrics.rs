@@ -1,0 +1,134 @@
+//! Ranking metrics: filtered MRR, Hits@K, mean rank.
+
+/// How rank ties (candidates scoring exactly the true answer's score) are
+/// resolved. LibKGE-style `Mean` is the default; `Optimistic` is the
+/// classic (and inflation-prone) variant. Ablated by `repro ablate-ties`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TieBreak {
+    /// Ties count half: `rank = 1 + higher + ties/2`.
+    Mean,
+    /// Ties ignored: `rank = 1 + higher`.
+    Optimistic,
+    /// Ties count fully: `rank = 1 + higher + ties`.
+    Pessimistic,
+}
+
+impl TieBreak {
+    /// Resolve a rank given the number of strictly-higher and tied
+    /// competitors.
+    #[inline]
+    pub fn rank(self, higher: usize, ties: usize) -> f64 {
+        match self {
+            TieBreak::Mean => 1.0 + higher as f64 + ties as f64 / 2.0,
+            TieBreak::Optimistic => 1.0 + higher as f64,
+            TieBreak::Pessimistic => 1.0 + (higher + ties) as f64,
+        }
+    }
+}
+
+/// Aggregated ranking metrics over a set of queries.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct RankingMetrics {
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Fraction of queries with rank ≤ 1.
+    pub hits1: f64,
+    /// Fraction with rank ≤ 3.
+    pub hits3: f64,
+    /// Fraction with rank ≤ 10.
+    pub hits10: f64,
+    /// Arithmetic mean rank.
+    pub mean_rank: f64,
+    /// Number of queries aggregated.
+    pub count: usize,
+}
+
+impl RankingMetrics {
+    /// Aggregate from individual ranks.
+    pub fn from_ranks(ranks: &[f64]) -> Self {
+        if ranks.is_empty() {
+            return Self::default();
+        }
+        let n = ranks.len() as f64;
+        let mut m = RankingMetrics { count: ranks.len(), ..Default::default() };
+        for &r in ranks {
+            debug_assert!(r >= 1.0, "ranks start at 1, got {r}");
+            m.mrr += 1.0 / r;
+            m.mean_rank += r;
+            if r <= 1.0 {
+                m.hits1 += 1.0;
+            }
+            if r <= 3.0 {
+                m.hits3 += 1.0;
+            }
+            if r <= 10.0 {
+                m.hits10 += 1.0;
+            }
+        }
+        m.mrr /= n;
+        m.mean_rank /= n;
+        m.hits1 /= n;
+        m.hits3 /= n;
+        m.hits10 /= n;
+        m
+    }
+
+    /// Select one metric value by kind.
+    pub fn get(&self, metric: crate::estimator::Metric) -> f64 {
+        use crate::estimator::Metric;
+        match metric {
+            Metric::Mrr => self.mrr,
+            Metric::Hits1 => self.hits1,
+            Metric::Hits3 => self.hits3,
+            Metric::Hits10 => self.hits10,
+            Metric::MeanRank => self.mean_rank,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tie_break_variants() {
+        assert_eq!(TieBreak::Optimistic.rank(2, 3), 3.0);
+        assert_eq!(TieBreak::Mean.rank(2, 3), 4.5);
+        assert_eq!(TieBreak::Pessimistic.rank(2, 3), 6.0);
+        assert_eq!(TieBreak::Mean.rank(0, 0), 1.0);
+    }
+
+    #[test]
+    fn metrics_from_known_ranks() {
+        let m = RankingMetrics::from_ranks(&[1.0, 2.0, 10.0, 100.0]);
+        assert_eq!(m.count, 4);
+        assert!((m.mrr - (1.0 + 0.5 + 0.1 + 0.01) / 4.0).abs() < 1e-12);
+        assert_eq!(m.hits1, 0.25);
+        assert_eq!(m.hits3, 0.5);
+        assert_eq!(m.hits10, 0.75);
+        assert_eq!(m.mean_rank, 28.25);
+    }
+
+    #[test]
+    fn empty_ranks() {
+        let m = RankingMetrics::from_ranks(&[]);
+        assert_eq!(m.count, 0);
+        assert_eq!(m.mrr, 0.0);
+    }
+
+    #[test]
+    fn perfect_ranking() {
+        let m = RankingMetrics::from_ranks(&[1.0; 10]);
+        assert_eq!(m.mrr, 1.0);
+        assert_eq!(m.hits1, 1.0);
+        assert_eq!(m.hits10, 1.0);
+        assert_eq!(m.mean_rank, 1.0);
+    }
+
+    #[test]
+    fn hits_monotone_in_k() {
+        let m = RankingMetrics::from_ranks(&[1.0, 2.0, 4.0, 8.0, 20.0]);
+        assert!(m.hits1 <= m.hits3);
+        assert!(m.hits3 <= m.hits10);
+    }
+}

@@ -1,0 +1,137 @@
+//! Plain-text table rendering shared by the repro binaries.
+//!
+//! Produces aligned, monospace tables in the spirit of the paper's layout:
+//!
+//! ```text
+//! Dataset      Model     R      P      S
+//! -----------  --------  -----  -----  -----
+//! fb15k237-sim TransE    0.216  0.017  0.008
+//! ```
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given header cells.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in self.header.iter().enumerate() {
+            let sep = if i + 1 == cols { "\n" } else { "  " };
+            let _ = write!(out, "{:<width$}{}", h, sep, width = widths[i]);
+        }
+        for (i, w) in widths.iter().enumerate() {
+            let sep = if i + 1 == cols { "\n" } else { "  " };
+            let _ = write!(out, "{}{}", "-".repeat(*w), sep);
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let sep = if i + 1 == cols { "\n" } else { "  " };
+                let _ = write!(out, "{:<width$}{}", cell, sep, width = widths[i]);
+            }
+        }
+        out
+    }
+}
+
+/// Format a float with 3 decimals (the paper's usual precision).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format `mean ± std`.
+pub fn pm(mean: f64, std: f64) -> String {
+    format!("{mean:.1} ± {std:.1}")
+}
+
+/// Format an optional correlation, `—` when undefined.
+pub fn corr(c: Option<f64>) -> String {
+    match c {
+        Some(v) => format!("{v:.3}"),
+        None => "—".to_string(),
+    }
+}
+
+/// Format a boolean as the check/cross marks of Table 1.
+pub fn mark(b: bool) -> &'static str {
+    if b {
+        "✔"
+    } else {
+        "✘"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "model"]);
+        t.row(vec!["x", "TransE"]);
+        t.row(vec!["longer", "y"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a       model"));
+        assert!(lines[1].starts_with("------  -----"));
+        assert!(lines[2].contains("TransE"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn rejects_wrong_arity() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f1(2.789), "2.8");
+        assert_eq!(pm(3.0, 0.25), "3.0 ± 0.2");
+        assert_eq!(corr(None), "—");
+        assert_eq!(corr(Some(0.5)), "0.500");
+        assert_eq!(mark(true), "✔");
+    }
+}

@@ -1,0 +1,129 @@
+//! Recommender-guided *training-time* negative sampling — the paper's §7
+//! future-work direction ("we will investigate relation recommenders as
+//! negative sample probabilities during training"), building on the binary
+//! variants of Krompaß et al. and Balkir et al.
+//!
+//! [`HardNegativeSampler`] corrupts a triple's slot with an entity drawn
+//! from the relation's static candidate set (a *hard*, in-domain negative)
+//! with probability `1 − uniform_mix`, falling back to uniform corruption
+//! otherwise (pure hard negatives starve the model of the easy-negative
+//! signal it needs to learn the domain boundary itself).
+
+use kg_core::triple::QuerySide;
+use kg_core::{EntityId, Triple};
+use kg_models::NegativeSource;
+use kg_recommend::CandidateSets;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Training negative source mixing in-domain (hard) and uniform negatives.
+pub struct HardNegativeSampler {
+    sets: CandidateSets,
+    num_entities: usize,
+    uniform_mix: f64,
+}
+
+impl HardNegativeSampler {
+    /// Build from candidate sets; `uniform_mix` is the probability of
+    /// falling back to a uniform corruption (0.0 = always hard).
+    pub fn new(sets: CandidateSets, num_entities: usize, uniform_mix: f64) -> Self {
+        assert!((0.0..=1.0).contains(&uniform_mix));
+        assert!(num_entities >= 2);
+        HardNegativeSampler { sets, num_entities, uniform_mix }
+    }
+}
+
+impl NegativeSource for HardNegativeSampler {
+    fn corrupt_into(&self, rng: &mut StdRng, pos: Triple, side: QuerySide, out: &mut [EntityId]) {
+        let answer = side.answer(pos);
+        let pool = self.sets.for_query(pos.relation, side);
+        for slot in out.iter_mut() {
+            let mut attempts = 0;
+            loop {
+                attempts += 1;
+                let hard = !pool.is_empty() && !rng.gen_bool(self.uniform_mix) && attempts <= 8;
+                let e = if hard {
+                    EntityId(pool[rng.gen_range(0..pool.len())])
+                } else {
+                    EntityId(rng.gen_range(0..self.num_entities as u32))
+                };
+                if e != answer {
+                    *slot = e;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::sample::seeded_rng;
+    use kg_core::TripleStore;
+    use kg_recommend::SeenSets;
+
+    fn sampler(uniform_mix: f64) -> HardNegativeSampler {
+        // Relation 0: heads {0,1}, tails {5,6,7}.
+        let store = TripleStore::from_triples(
+            vec![Triple::new(0, 0, 5), Triple::new(1, 0, 6), Triple::new(0, 0, 7)],
+            20,
+            1,
+        );
+        let sets = CandidateSets::from_seen(&SeenSets::from_store(&store));
+        HardNegativeSampler::new(sets, 20, uniform_mix)
+    }
+
+    #[test]
+    fn pure_hard_negatives_come_from_the_candidate_set() {
+        let s = sampler(0.0);
+        let mut rng = seeded_rng(1);
+        let pos = Triple::new(0, 0, 5);
+        let mut out = vec![EntityId(0); 32];
+        NegativeSource::corrupt_into(&s, &mut rng, pos, QuerySide::Tail, &mut out);
+        for &e in &out {
+            assert_ne!(e, EntityId(5), "the answer must never be drawn");
+            assert!(
+                [6u32, 7].contains(&e.0),
+                "tail negative {e:?} should come from the range set"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_mix_reaches_outside_the_set() {
+        let s = sampler(0.8);
+        let mut rng = seeded_rng(2);
+        let pos = Triple::new(0, 0, 5);
+        let mut out = vec![EntityId(0); 64];
+        NegativeSource::corrupt_into(&s, &mut rng, pos, QuerySide::Tail, &mut out);
+        assert!(out.iter().any(|e| ![5u32, 6, 7].contains(&e.0)), "expected some uniform draws");
+    }
+
+    #[test]
+    fn head_side_uses_domain() {
+        let s = sampler(0.0);
+        let mut rng = seeded_rng(3);
+        let pos = Triple::new(0, 0, 5);
+        let mut out = vec![EntityId(9); 16];
+        NegativeSource::corrupt_into(&s, &mut rng, pos, QuerySide::Head, &mut out);
+        for &e in &out {
+            assert_eq!(e, EntityId(1), "only head 1 remains after excluding the answer");
+        }
+    }
+
+    #[test]
+    fn trains_end_to_end() {
+        use kg_models::{build_model, train_epoch_with_source, ModelKind, TrainConfig};
+        let triples: Vec<Triple> =
+            (0..10).map(|i| Triple::new(i, 0, 10 + (i % 5))).collect();
+        let store = TripleStore::from_triples(triples.clone(), 20, 1);
+        let sets = CandidateSets::from_seen(&SeenSets::from_store(&store));
+        let source = HardNegativeSampler::new(sets, 20, 0.3);
+        let mut model = build_model(ModelKind::DistMult, 20, 1, 8, 4);
+        let config = TrainConfig { epochs: 1, ..Default::default() };
+        let mut rng = seeded_rng(5);
+        let loss = train_epoch_with_source(model.as_mut(), &triples, &config, &source, &mut rng);
+        assert!(loss.is_finite() && loss > 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the ranking/estimation invariants.
+
+use kg_core::{EntityId, Triple};
+use kg_eval::metrics::{RankingMetrics, TieBreak};
+use kg_eval::ranker::filtered_rank_from_scores;
+use kg_eval::sampled::sampled_rank;
+use proptest::prelude::*;
+
+fn scores_strategy() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, 2..60)
+}
+
+proptest! {
+    #[test]
+    fn full_rank_within_bounds(scores in scores_strategy(), answer_seed in 0usize..1000) {
+        let answer = answer_seed % scores.len();
+        let rank = filtered_rank_from_scores(&scores, answer, &[], TieBreak::Mean);
+        prop_assert!(rank >= 1.0);
+        prop_assert!(rank <= scores.len() as f64);
+    }
+
+    #[test]
+    fn argmax_ranks_first(scores in scores_strategy()) {
+        let answer = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let rank = filtered_rank_from_scores(&scores, answer, &[], TieBreak::Optimistic);
+        prop_assert_eq!(rank, 1.0);
+    }
+
+    #[test]
+    fn filtering_never_worsens_rank(scores in scores_strategy(), answer_seed in 0usize..1000, known_seed in 0usize..1000) {
+        let n = scores.len();
+        let answer = answer_seed % n;
+        let known_candidate = known_seed % n;
+        let unfiltered = filtered_rank_from_scores(&scores, answer, &[], TieBreak::Mean);
+        let known = [EntityId(known_candidate as u32)];
+        let filtered = filtered_rank_from_scores(&scores, answer, &known, TieBreak::Mean);
+        prop_assert!(filtered <= unfiltered, "filtering must only improve ranks");
+    }
+
+    #[test]
+    fn tie_break_ordering(scores in scores_strategy(), answer_seed in 0usize..1000) {
+        let answer = answer_seed % scores.len();
+        let opt = filtered_rank_from_scores(&scores, answer, &[], TieBreak::Optimistic);
+        let mean = filtered_rank_from_scores(&scores, answer, &[], TieBreak::Mean);
+        let pess = filtered_rank_from_scores(&scores, answer, &[], TieBreak::Pessimistic);
+        prop_assert!(opt <= mean && mean <= pess);
+    }
+
+    #[test]
+    fn sampled_rank_monotone_in_candidates(
+        pool in proptest::collection::vec((0u32..50, -5.0f32..5.0), 3..40),
+        split in 1usize..38,
+    ) {
+        // Rank against a subset never exceeds rank against the superset.
+        let split = split.min(pool.len() - 1);
+        let answer = EntityId(99);
+        let answer_score = 0.0f32;
+        let make = |cands: &[(u32, f32)]| {
+            let ids: Vec<EntityId> = cands.iter().map(|&(e, _)| EntityId(e)).collect();
+            let mut scores = vec![answer_score];
+            scores.extend(cands.iter().map(|&(_, s)| s));
+            sampled_rank(answer, &ids, &scores, &[], TieBreak::Mean)
+        };
+        let small = make(&pool[..split]);
+        let big = make(&pool);
+        prop_assert!(small <= big, "subset rank {small} > superset rank {big}");
+    }
+
+    #[test]
+    fn sampled_rank_ignores_answer_duplicates(pool in proptest::collection::vec(-5.0f32..5.0, 1..20)) {
+        // Candidates equal to the answer never count as competitors.
+        let answer = EntityId(7);
+        let cands: Vec<EntityId> = vec![answer; pool.len()];
+        let mut scores = vec![0.0f32];
+        scores.extend(pool.iter().copied());
+        let rank = sampled_rank(answer, &cands, &scores, &[], TieBreak::Pessimistic);
+        prop_assert_eq!(rank, 1.0);
+    }
+
+    #[test]
+    fn metrics_bounds(ranks in proptest::collection::vec(1.0f64..500.0, 1..100)) {
+        let m = RankingMetrics::from_ranks(&ranks);
+        prop_assert!(m.mrr > 0.0 && m.mrr <= 1.0);
+        prop_assert!(m.hits1 <= m.hits3 && m.hits3 <= m.hits10);
+        prop_assert!(m.mean_rank >= 1.0);
+        prop_assert!(m.mrr >= 1.0 / m.mean_rank - 1e-12, "Jensen: MRR ≥ 1/mean-rank");
+        prop_assert_eq!(m.count, ranks.len());
+    }
+
+    #[test]
+    fn queries_expand_two_per_triple(raw in proptest::collection::vec((0u32..9, 0u32..3, 0u32..9), 0..30)) {
+        let triples: Vec<Triple> = raw.iter().map(|&(h, r, t)| Triple::new(h, r, t)).collect();
+        let queries = kg_eval::ranker::queries_of(&triples);
+        prop_assert_eq!(queries.len(), triples.len() * 2);
+        for (i, (t, _)) in queries.iter().enumerate() {
+            prop_assert_eq!(*t, triples[i / 2]);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Score-weighted graphs `KP⁺` / `KP⁻` over entity vertices.
+
+use kg_core::fxhash::FxHashMap;
+use kg_core::{EntityId, Triple};
+use kg_models::KgcModel;
+
+/// An undirected weighted graph with dense-relabelled vertices.
+#[derive(Clone, Debug, Default)]
+pub struct ScoredGraph {
+    /// Number of vertices after relabelling.
+    pub num_vertices: usize,
+    /// Edges `(u, v, weight)` with `u, v < num_vertices`.
+    pub edges: Vec<(u32, u32, f32)>,
+}
+
+impl ScoredGraph {
+    /// Build from `(head, tail, weight)` triples over entity ids; entities
+    /// are relabelled densely so isolated entities don't inflate the
+    /// vertex set.
+    pub fn from_weighted_pairs(pairs: &[(EntityId, EntityId, f32)]) -> Self {
+        let mut relabel: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut edges = Vec::with_capacity(pairs.len());
+        for &(h, t, w) in pairs {
+            let n = relabel.len() as u32;
+            let u = *relabel.entry(h.0).or_insert(n);
+            let n = relabel.len() as u32;
+            let v = *relabel.entry(t.0).or_insert(n);
+            edges.push((u, v, w));
+        }
+        ScoredGraph { num_vertices: relabel.len(), edges }
+    }
+
+    /// Build by scoring `triples` with `model`, mapping scores through a
+    /// sigmoid so weights lie in `(0, 1)` (the filtration scale).
+    pub fn from_scored_triples(model: &dyn KgcModel, triples: &[Triple]) -> Self {
+        let pairs: Vec<(EntityId, EntityId, f32)> = triples
+            .iter()
+            .map(|t| {
+                let s = model.score(t.head, t.relation, t.tail);
+                (t.head, t.tail, sigmoid(s))
+            })
+            .collect();
+        Self::from_weighted_pairs(&pairs)
+    }
+
+    /// Largest edge weight (the essential-class death value).
+    pub fn max_weight(&self) -> f32 {
+        self.edges.iter().map(|e| e.2).fold(0.0, f32::max)
+    }
+}
+
+/// Numerically stable sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relabels_densely() {
+        let pairs = vec![
+            (EntityId(100), EntityId(5), 0.5),
+            (EntityId(5), EntityId(900), 0.7),
+        ];
+        let g = ScoredGraph::from_weighted_pairs(&pairs);
+        assert_eq!(g.num_vertices, 3);
+        assert_eq!(g.edges.len(), 2);
+        assert!(g.edges.iter().all(|&(u, v, _)| u < 3 && v < 3));
+    }
+
+    #[test]
+    fn max_weight() {
+        let g = ScoredGraph::from_weighted_pairs(&[(EntityId(0), EntityId(1), 0.3), (EntityId(1), EntityId(2), 0.9)]);
+        assert_eq!(g.max_weight(), 0.9);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ScoredGraph::from_weighted_pairs(&[]);
+        assert_eq!(g.num_vertices, 0);
+        assert_eq!(g.max_weight(), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_bounds() {
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert_eq!(sigmoid(0.0), 0.5);
+    }
+}

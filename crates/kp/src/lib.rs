@@ -1,0 +1,25 @@
+//! # kg-kp
+//!
+//! The Knowledge Persistence (KP) baseline [Bastos et al., WWW 2023]: an
+//! `O(|E|)` proxy metric for KGC model quality. Two score-weighted graphs
+//! are built — `KP⁺` from positive (held-out) triples and `KP⁻` from
+//! corrupted negatives — their 0-dimensional persistence diagrams are
+//! computed via a lower-star edge filtration (union-find), and the metric is
+//! the Sliced Wasserstein distance between the diagrams: the better the
+//! model separates positives from negatives, the farther apart the diagrams.
+//!
+//! The paper (§6) finds KP's correlation with the true ranking metric to be
+//! unstable across datasets and models; the repro harness plugs this crate
+//! into the per-epoch measurement loop to reproduce Tables 7–9.
+
+pub mod diagram;
+pub mod estimator;
+pub mod graph;
+pub mod persistence;
+pub mod wasserstein;
+
+pub use diagram::PersistenceDiagram;
+pub use estimator::{KpConfig, KpEstimator};
+pub use graph::ScoredGraph;
+pub use persistence::persistence_diagram;
+pub use wasserstein::sliced_wasserstein;

@@ -1,0 +1,161 @@
+//! 0-dimensional persistent homology of a weighted graph via a lower-star
+//! edge filtration and union-find.
+//!
+//! Every vertex is born at the weight of its smallest incident edge; edges
+//! enter the filtration in increasing weight order and merge components.
+//! When two components merge, the *younger* one (larger birth) dies,
+//! yielding a finite `(birth, death)` pair (the elder rule). Components
+//! alive at the end are essential classes, closed at the maximum weight.
+
+use crate::diagram::PersistenceDiagram;
+use crate::graph::ScoredGraph;
+
+struct UnionFind {
+    parent: Vec<u32>,
+    birth: Vec<f32>,
+}
+
+impl UnionFind {
+    fn new(births: Vec<f32>) -> Self {
+        UnionFind { parent: (0..births.len() as u32).collect(), birth: births }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+}
+
+/// Compute the 0-dim persistence diagram of `graph`.
+pub fn persistence_diagram(graph: &ScoredGraph) -> PersistenceDiagram {
+    let n = graph.num_vertices;
+    let mut diagram = PersistenceDiagram::new();
+    if n == 0 {
+        return diagram;
+    }
+    let max_w = graph.max_weight();
+
+    // Vertex births: smallest incident edge weight (isolated vertices are
+    // born — and die — at max_w, contributing nothing).
+    let mut births = vec![max_w; n];
+    for &(u, v, w) in &graph.edges {
+        births[u as usize] = births[u as usize].min(w);
+        births[v as usize] = births[v as usize].min(w);
+    }
+
+    let mut edges: Vec<(u32, u32, f32)> = graph.edges.clone();
+    edges.sort_unstable_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+
+    let mut uf = UnionFind::new(births);
+    for (u, v, w) in edges {
+        let ru = uf.find(u);
+        let rv = uf.find(v);
+        if ru == rv {
+            continue;
+        }
+        // Elder rule: the component with the larger birth dies.
+        let (elder, younger) = if uf.birth[ru as usize] <= uf.birth[rv as usize] {
+            (ru, rv)
+        } else {
+            (rv, ru)
+        };
+        let b = uf.birth[younger as usize];
+        if w > b {
+            diagram.push(b, w);
+        } else {
+            // Zero-persistence pair (edge at the same filtration value).
+            diagram.push(b, b);
+        }
+        uf.parent[younger as usize] = elder;
+    }
+
+    // Essential classes: one per surviving component with ≥1 edge.
+    let mut seen_roots = vec![false; n];
+    for &(u, _, _) in &graph.edges {
+        let r = uf.find(u);
+        if !seen_roots[r as usize] {
+            seen_roots[r as usize] = true;
+            diagram.push(uf.birth[r as usize], max_w);
+        }
+    }
+    diagram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::EntityId;
+
+    fn graph(edges: &[(u32, u32, f32)]) -> ScoredGraph {
+        let pairs: Vec<(EntityId, EntityId, f32)> =
+            edges.iter().map(|&(u, v, w)| (EntityId(u), EntityId(v), w)).collect();
+        ScoredGraph::from_weighted_pairs(&pairs)
+    }
+
+    #[test]
+    fn single_edge_has_one_essential_class() {
+        let d = persistence_diagram(&graph(&[(0, 1, 0.5)]));
+        // Both vertices born at 0.5, merged instantly; one essential class.
+        assert_eq!(d.len(), 2);
+        assert!(d.points.contains(&(0.5, 0.5)), "merge pair has zero persistence");
+        assert!(d.points.contains(&(0.5, 0.5)));
+    }
+
+    #[test]
+    fn chain_merges_in_weight_order() {
+        // 0 -0.1- 1 -0.9- 2: vertex 2 born at 0.9; components {0,1} (born
+        // 0.1) and {2} (born 0.9) merge at 0.9.
+        let d = persistence_diagram(&graph(&[(0, 1, 0.1), (1, 2, 0.9)]));
+        // Pairs: (0.1,0.1) from first merge, (0.9,0.9) from second,
+        // essential (0.1, 0.9).
+        assert_eq!(d.len(), 3);
+        assert!(d.points.contains(&(0.1, 0.9)), "essential class spans the filtration: {:?}", d.points);
+    }
+
+    #[test]
+    fn two_components_give_two_essential_classes() {
+        let d = persistence_diagram(&graph(&[(0, 1, 0.2), (2, 3, 0.6)]));
+        let essential: Vec<_> = d.points.iter().filter(|&&(_, dd)| dd == 0.6).collect();
+        // (0.2, 0.6) essential for comp A; (0.6, 0.6) both for comp B's
+        // merge pair and essential class.
+        assert!(essential.len() >= 2);
+        assert!(d.points.contains(&(0.2, 0.6)));
+    }
+
+    #[test]
+    fn cycle_edge_creates_no_pair() {
+        // Triangle: third edge closes a cycle → no new 0-dim pair from it.
+        let tree = persistence_diagram(&graph(&[(0, 1, 0.1), (1, 2, 0.2)]));
+        let tri = persistence_diagram(&graph(&[(0, 1, 0.1), (1, 2, 0.2), (0, 2, 0.9)]));
+        // Same number of finite merge pairs (2) + 1 essential each — but the
+        // triangle's max weight moves the essential death to 0.9.
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tri.len(), 3);
+        assert!(tri.points.iter().any(|&(_, d)| d == 0.9));
+    }
+
+    #[test]
+    fn pair_count_invariant() {
+        // #points = #merges + #components; #merges = #vertices − #components.
+        // A random-ish graph on 6 vertices, 2 components.
+        let d = persistence_diagram(&graph(&[
+            (0, 1, 0.3),
+            (1, 2, 0.5),
+            (2, 0, 0.7),
+            (3, 4, 0.2),
+            (4, 5, 0.4),
+        ]));
+        // vertices = 6, components = 2 → merges = 4, essentials = 2.
+        assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_diagram() {
+        let d = persistence_diagram(&ScoredGraph::default());
+        assert!(d.is_empty());
+    }
+}

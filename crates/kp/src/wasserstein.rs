@@ -1,0 +1,117 @@
+//! Sliced Wasserstein distance between persistence diagrams
+//! (Carrière et al., 2017) — the distance KP takes between the diagrams of
+//! `KP⁺` and `KP⁻`.
+//!
+//! For each direction `θ` in a half-circle, project the points of both
+//! diagrams onto the line of angle `θ`; to balance cardinalities each
+//! diagram also receives the *diagonal projections* of the other diagram's
+//! points. The 1D Wasserstein-1 distance is the L1 distance of the sorted
+//! projections; SW is the average over directions.
+
+use crate::diagram::PersistenceDiagram;
+
+/// Orthogonal projection of a diagram point onto the diagonal `y = x`.
+#[inline]
+fn diagonal_projection(p: (f32, f32)) -> (f32, f32) {
+    let m = (p.0 + p.1) / 2.0;
+    (m, m)
+}
+
+/// 1D Wasserstein-1 between two equal-length multisets (consumes them).
+fn wasserstein_1d(mut a: Vec<f64>, mut b: Vec<f64>) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap());
+    b.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap());
+    a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Sliced Wasserstein distance with `directions` slices.
+pub fn sliced_wasserstein(d1: &PersistenceDiagram, d2: &PersistenceDiagram, directions: usize) -> f64 {
+    assert!(directions >= 1, "need at least one direction");
+    // Augment each diagram with the diagonal projections of the other.
+    let mut p1: Vec<(f32, f32)> = d1.points.clone();
+    p1.extend(d2.points.iter().map(|&p| diagonal_projection(p)));
+    let mut p2: Vec<(f32, f32)> = d2.points.clone();
+    p2.extend(d1.points.iter().map(|&p| diagonal_projection(p)));
+
+    if p1.is_empty() {
+        return 0.0;
+    }
+
+    let mut total = 0.0f64;
+    for i in 0..directions {
+        let theta = -std::f64::consts::FRAC_PI_2
+            + (i as f64 + 0.5) * std::f64::consts::PI / directions as f64;
+        let (c, s) = (theta.cos(), theta.sin());
+        let proj = |pts: &[(f32, f32)]| -> Vec<f64> {
+            pts.iter().map(|&(x, y)| x as f64 * c + y as f64 * s).collect()
+        };
+        total += wasserstein_1d(proj(&p1), proj(&p2));
+    }
+    total / directions as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diagram(points: &[(f32, f32)]) -> PersistenceDiagram {
+        let mut d = PersistenceDiagram::new();
+        for &(b, dd) in points {
+            d.push(b, dd);
+        }
+        d
+    }
+
+    #[test]
+    fn identical_diagrams_have_zero_distance() {
+        let d = diagram(&[(0.1, 0.5), (0.2, 0.9)]);
+        assert!(sliced_wasserstein(&d, &d, 16) < 1e-9);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = diagram(&[(0.0, 1.0)]);
+        let b = diagram(&[(0.2, 0.6), (0.1, 0.3)]);
+        let ab = sliced_wasserstein(&a, &b, 32);
+        let ba = sliced_wasserstein(&b, &a, 32);
+        assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_grows_with_separation() {
+        let base = diagram(&[(0.1, 0.2)]);
+        let near = diagram(&[(0.1, 0.3)]);
+        let far = diagram(&[(0.1, 0.9)]);
+        let dn = sliced_wasserstein(&base, &near, 32);
+        let df = sliced_wasserstein(&base, &far, 32);
+        assert!(df > dn, "far {df} should exceed near {dn}");
+        assert!(dn > 0.0);
+    }
+
+    #[test]
+    fn diagonal_points_cost_nothing_against_empty() {
+        // A diagram of zero-persistence points is at distance ~0 from the
+        // empty diagram (they match to their own diagonal projections).
+        let zero = diagram(&[(0.5, 0.5), (0.2, 0.2)]);
+        let empty = PersistenceDiagram::new();
+        assert!(sliced_wasserstein(&zero, &empty, 16) < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality_sampled() {
+        let a = diagram(&[(0.0, 0.5)]);
+        let b = diagram(&[(0.1, 0.7), (0.2, 0.4)]);
+        let c = diagram(&[(0.3, 0.9)]);
+        let ab = sliced_wasserstein(&a, &b, 64);
+        let bc = sliced_wasserstein(&b, &c, 64);
+        let ac = sliced_wasserstein(&a, &c, 64);
+        assert!(ac <= ab + bc + 1e-6, "{ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn both_empty() {
+        let e = PersistenceDiagram::new();
+        assert_eq!(sliced_wasserstein(&e, &e, 8), 0.0);
+    }
+}

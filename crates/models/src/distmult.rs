@@ -1,0 +1,170 @@
+//! DistMult (Yang et al., 2014): `score(h,r,t) = Σ_k h_k · w_k · t_k`.
+
+use kg_core::triple::QuerySide;
+use kg_core::{EntityId, RelationId, Triple};
+use rand::Rng;
+
+use crate::embedding::{combine_all, combine_candidates, combine_row, Combine, EmbeddingTable};
+use crate::model::{KgcModel, TrainableModel};
+
+/// Bilinear-diagonal factorisation model.
+pub struct DistMult {
+    entities: EmbeddingTable,
+    relations: EmbeddingTable,
+    dim: usize,
+}
+
+impl DistMult {
+    /// New model with Xavier-initialised embeddings.
+    pub fn new<R: Rng>(num_entities: usize, num_relations: usize, dim: usize, rng: &mut R) -> Self {
+        DistMult {
+            entities: EmbeddingTable::xavier(num_entities, dim, rng),
+            relations: EmbeddingTable::xavier(num_relations, dim, rng),
+            dim,
+        }
+    }
+
+    /// Query vector `e ∘ w_r` — identical for both sides because DistMult is
+    /// symmetric in head and tail (one of its known modelling weaknesses).
+    fn query(&self, e: EntityId, r: RelationId, q: &mut [f32]) {
+        let ee = self.entities.row(e.index());
+        let re = self.relations.row(r.index());
+        for k in 0..self.dim {
+            q[k] = ee[k] * re[k];
+        }
+    }
+}
+
+impl KgcModel for DistMult {
+    fn name(&self) -> &'static str {
+        "DistMult"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_entities(&self) -> usize {
+        self.entities.count()
+    }
+
+    fn num_relations(&self) -> usize {
+        self.relations.count()
+    }
+
+    fn score(&self, h: EntityId, r: RelationId, t: EntityId) -> f32 {
+        let mut q = vec![0.0f32; self.dim];
+        self.query(h, r, &mut q);
+        combine_row(Combine::Dot, &self.entities, &q, t.index())
+    }
+
+    fn score_tails(&self, h: EntityId, r: RelationId, out: &mut [f32]) {
+        let mut q = vec![0.0f32; self.dim];
+        self.query(h, r, &mut q);
+        combine_all(Combine::Dot, &self.entities, &q, out);
+    }
+
+    fn score_heads(&self, r: RelationId, t: EntityId, out: &mut [f32]) {
+        let mut q = vec![0.0f32; self.dim];
+        self.query(t, r, &mut q);
+        combine_all(Combine::Dot, &self.entities, &q, out);
+    }
+
+    fn score_tail_candidates(&self, h: EntityId, r: RelationId, candidates: &[EntityId], out: &mut [f32]) {
+        let mut q = vec![0.0f32; self.dim];
+        self.query(h, r, &mut q);
+        let ids: Vec<u32> = candidates.iter().map(|e| e.0).collect();
+        combine_candidates(Combine::Dot, &self.entities, &q, &ids, out);
+    }
+
+    fn score_head_candidates(&self, r: RelationId, t: EntityId, candidates: &[EntityId], out: &mut [f32]) {
+        let mut q = vec![0.0f32; self.dim];
+        self.query(t, r, &mut q);
+        let ids: Vec<u32> = candidates.iter().map(|e| e.0).collect();
+        combine_candidates(Combine::Dot, &self.entities, &q, &ids, out);
+    }
+}
+
+impl TrainableModel for DistMult {
+    crate::impl_persistence_tables!(entities, relations);
+
+    fn step_group(&mut self, pos: Triple, side: QuerySide, candidates: &[EntityId], coeffs: &[f32], lr: f32) {
+        let d = self.dim;
+        let context = side.context(pos);
+        let r = pos.relation;
+        // v = Σ_c w_c · e_c  (score is linear in the candidate embedding).
+        let mut v = vec![0.0f32; d];
+        {
+            let mut q = vec![0.0f32; d];
+            self.query(context, r, &mut q);
+            let mut grad_cand = vec![0.0f32; d];
+            for (&cand, &w) in candidates.iter().zip(coeffs) {
+                if w == 0.0 {
+                    continue;
+                }
+                let ce = self.entities.row(cand.index());
+                for k in 0..d {
+                    v[k] += w * ce[k];
+                    grad_cand[k] = w * q[k]; // ∂s/∂e_c = q
+                }
+                self.entities.adagrad_update(cand.index(), &grad_cand, lr);
+            }
+        }
+        // ∂s/∂e_ctx = w_r ∘ e_cand  ⇒ summed: w_r ∘ v; ∂s/∂w_r = e_ctx ∘ v.
+        let mut grad_ctx = vec![0.0f32; d];
+        let mut grad_rel = vec![0.0f32; d];
+        {
+            let re = self.relations.row(r.index());
+            let ce = self.entities.row(context.index());
+            for k in 0..d {
+                grad_ctx[k] = re[k] * v[k];
+                grad_rel[k] = ce[k] * v[k];
+            }
+        }
+        self.entities.adagrad_update(context.index(), &grad_ctx, lr);
+        self.relations.adagrad_update(r.index(), &grad_rel, lr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::gradcheck;
+    use kg_core::sample::seeded_rng;
+
+    fn model() -> DistMult {
+        DistMult::new(8, 3, 6, &mut seeded_rng(7))
+    }
+
+    #[test]
+    fn scorers_consistent() {
+        gradcheck::assert_scorers_consistent(&model(), RelationId(2));
+    }
+
+    #[test]
+    fn steps_move_score_both_sides() {
+        let mut m = model();
+        gradcheck::assert_step_direction(&mut m, Triple::new(2, 0, 5), QuerySide::Tail);
+        let mut m2 = model();
+        gradcheck::assert_step_direction(&mut m2, Triple::new(2, 0, 5), QuerySide::Head);
+    }
+
+    #[test]
+    fn model_is_symmetric() {
+        // DistMult cannot distinguish (h,r,t) from (t,r,h).
+        let m = model();
+        let a = m.score(EntityId(1), RelationId(0), EntityId(4));
+        let b = m.score(EntityId(4), RelationId(0), EntityId(1));
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hand_computed_score() {
+        let mut m = model();
+        m.entities.row_mut(0).copy_from_slice(&[1.0, 2.0, 0.0, 0.0, 0.0, 0.0]);
+        m.entities.row_mut(1).copy_from_slice(&[3.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        m.relations.row_mut(0).copy_from_slice(&[2.0, -1.0, 0.0, 0.0, 0.0, 0.0]);
+        // Σ h·r·t = 1·2·3 + 2·(−1)·1 = 4.
+        assert!((m.score(EntityId(0), RelationId(0), EntityId(1)) - 4.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,234 @@
+//! Embedding tables with per-element Adagrad state, plus the vectorised
+//! combine kernels (dot / negative L1 / negative L2) every model's
+//! full-ranking path reduces to.
+
+use rand::Rng;
+
+/// A dense `count × dim` table of `f32` parameters with Adagrad
+/// accumulators. Updates are sparse: only touched rows pay.
+#[derive(Clone, Debug)]
+pub struct EmbeddingTable {
+    dim: usize,
+    data: Vec<f32>,
+    /// Accumulated squared gradients (Adagrad).
+    accum: Vec<f32>,
+}
+
+/// Adagrad epsilon.
+const EPS: f32 = 1e-8;
+
+impl EmbeddingTable {
+    /// New table initialised uniformly in `±sqrt(6 / (count + dim))`
+    /// (Xavier/Glorot range).
+    pub fn xavier<R: Rng>(count: usize, dim: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / (count + dim) as f64).sqrt() as f32;
+        Self::uniform(count, dim, bound, rng)
+    }
+
+    /// New table initialised uniformly in `±bound`.
+    pub fn uniform<R: Rng>(count: usize, dim: usize, bound: f32, rng: &mut R) -> Self {
+        let data = (0..count * dim).map(|_| rng.gen_range(-bound..=bound)).collect();
+        EmbeddingTable { dim, data, accum: vec![0.0; count * dim] }
+    }
+
+    /// Row dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Adagrad step on row `i`: `x -= lr * g / sqrt(accum + eps)` after
+    /// `accum += g²`.
+    pub fn adagrad_update(&mut self, i: usize, grad: &[f32], lr: f32) {
+        debug_assert_eq!(grad.len(), self.dim);
+        let start = i * self.dim;
+        for (k, &g) in grad.iter().enumerate() {
+            let a = &mut self.accum[start + k];
+            *a += g * g;
+            self.data[start + k] -= lr * g / (a.sqrt() + EPS);
+        }
+    }
+
+    /// Adagrad step over the whole table with a dense gradient (used by
+    /// shared parameters such as the TuckER core and ConvE filters).
+    pub fn adagrad_update_dense(&mut self, grad: &[f32], lr: f32) {
+        debug_assert_eq!(grad.len(), self.data.len());
+        for (k, &g) in grad.iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            let a = &mut self.accum[k];
+            *a += g * g;
+            self.data[k] -= lr * g / (a.sqrt() + EPS);
+        }
+    }
+
+    /// Adagrad step on a single cell `(row, col)`.
+    pub fn adagrad_update_scalar(&mut self, row: usize, col: usize, grad: f32, lr: f32) {
+        let idx = row * self.dim + col;
+        let a = &mut self.accum[idx];
+        *a += grad * grad;
+        self.data[idx] -= lr * grad / (a.sqrt() + EPS);
+    }
+
+    /// Raw parameter slice (read-only).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Raw parameter slice (mutable; for tests constructing exact values).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+/// How a query vector combines with entity rows.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Combine {
+    /// `score = q · e`.
+    Dot,
+    /// `score = −Σ |q_k − e_k|` (TransE-L1, RotatE).
+    NegL1,
+    /// `score = −Σ (q_k − e_k)²` (TransE-L2).
+    NegL2,
+}
+
+#[inline]
+fn combine_one(c: Combine, q: &[f32], e: &[f32]) -> f32 {
+    match c {
+        Combine::Dot => {
+            let mut acc = 0.0f32;
+            for (a, b) in q.iter().zip(e) {
+                acc += a * b;
+            }
+            acc
+        }
+        Combine::NegL1 => {
+            let mut acc = 0.0f32;
+            for (a, b) in q.iter().zip(e) {
+                acc += (a - b).abs();
+            }
+            -acc
+        }
+        Combine::NegL2 => {
+            let mut acc = 0.0f32;
+            for (a, b) in q.iter().zip(e) {
+                let d = a - b;
+                acc += d * d;
+            }
+            -acc
+        }
+    }
+}
+
+/// Score the query vector `q` against *all* rows of `table` into `out`
+/// (the full-ranking primitive: one linear pass over the table).
+pub fn combine_all(c: Combine, table: &EmbeddingTable, q: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(q.len(), table.dim());
+    debug_assert_eq!(out.len(), table.count());
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = combine_one(c, q, table.row(i));
+    }
+}
+
+/// Score `q` against a candidate subset of rows.
+pub fn combine_candidates(c: Combine, table: &EmbeddingTable, q: &[f32], candidates: &[u32], out: &mut [f32]) {
+    debug_assert_eq!(out.len(), candidates.len());
+    for (o, &i) in out.iter_mut().zip(candidates) {
+        *o = combine_one(c, q, table.row(i as usize));
+    }
+}
+
+/// Score `q` against a single row.
+pub fn combine_row(c: Combine, table: &EmbeddingTable, q: &[f32], i: usize) -> f32 {
+    combine_one(c, q, table.row(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::sample::seeded_rng;
+
+    #[test]
+    fn xavier_init_within_bounds() {
+        let t = EmbeddingTable::xavier(10, 4, &mut seeded_rng(1));
+        let bound = (6.0 / 14.0f64).sqrt() as f32;
+        assert!(t.as_slice().iter().all(|v| v.abs() <= bound));
+        assert_eq!(t.count(), 10);
+        assert_eq!(t.dim(), 4);
+    }
+
+    #[test]
+    fn adagrad_moves_against_gradient() {
+        let mut t = EmbeddingTable::uniform(2, 3, 0.0, &mut seeded_rng(2)); // zeros
+        t.adagrad_update(1, &[1.0, -1.0, 0.0], 0.1);
+        let r = t.row(1);
+        assert!(r[0] < 0.0, "positive grad decreases param");
+        assert!(r[1] > 0.0, "negative grad increases param");
+        assert_eq!(r[2], 0.0);
+        assert_eq!(t.row(0), &[0.0, 0.0, 0.0], "untouched row unchanged");
+    }
+
+    #[test]
+    fn adagrad_steps_shrink_over_time() {
+        let mut t = EmbeddingTable::uniform(1, 1, 0.0, &mut seeded_rng(3));
+        t.adagrad_update(0, &[1.0], 0.1);
+        let first = -t.row(0)[0];
+        let before = t.row(0)[0];
+        t.adagrad_update(0, &[1.0], 0.1);
+        let second = before - t.row(0)[0];
+        assert!(second < first, "Adagrad step must shrink: {first} vs {second}");
+    }
+
+    #[test]
+    fn combine_dot() {
+        let mut t = EmbeddingTable::uniform(2, 2, 0.0, &mut seeded_rng(4));
+        t.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let mut out = [0.0f32; 2];
+        combine_all(Combine::Dot, &t, &[1.0, 1.0], &mut out);
+        assert_eq!(out, [3.0, 7.0]);
+        assert_eq!(combine_row(Combine::Dot, &t, &[2.0, 0.0], 1), 6.0);
+    }
+
+    #[test]
+    fn combine_negl1_and_negl2() {
+        let mut t = EmbeddingTable::uniform(1, 2, 0.0, &mut seeded_rng(5));
+        t.as_mut_slice().copy_from_slice(&[1.0, -1.0]);
+        let q = [0.0f32, 0.0];
+        let mut out = [0.0f32; 1];
+        combine_all(Combine::NegL1, &t, &q, &mut out);
+        assert_eq!(out[0], -2.0);
+        combine_all(Combine::NegL2, &t, &q, &mut out);
+        assert_eq!(out[0], -2.0);
+        let q2 = [1.0f32, -1.0];
+        combine_all(Combine::NegL2, &t, &q2, &mut out);
+        assert_eq!(out[0], 0.0, "identical vectors have zero distance");
+    }
+
+    #[test]
+    fn combine_candidates_subset() {
+        let mut t = EmbeddingTable::uniform(3, 1, 0.0, &mut seeded_rng(6));
+        t.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0]);
+        let mut out = [0.0f32; 2];
+        combine_candidates(Combine::Dot, &t, &[2.0], &[2, 0], &mut out);
+        assert_eq!(out, [6.0, 2.0]);
+    }
+}

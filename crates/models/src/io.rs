@@ -1,0 +1,244 @@
+//! Model persistence: save/load trained models to a compact binary format.
+//!
+//! A production evaluation framework must evaluate models trained
+//! elsewhere/earlier (the paper's §5.3 evaluates *pretrained* ComplEx
+//! embeddings); this module provides a versioned little-endian format:
+//!
+//! ```text
+//! magic "KGEV" | format u16 | kind tag u8 | num_entities u64 |
+//! num_relations u64 | dim u64 | table count u8 | per table: len u64 + f32s
+//! ```
+//!
+//! Adagrad accumulators are not persisted — a loaded model scores
+//! identically but restarts optimiser state if trained further.
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use kg_core::KgError;
+
+use crate::embedding::EmbeddingTable;
+use crate::factory::ModelKind;
+use crate::model::TrainableModel;
+
+const MAGIC: &[u8; 4] = b"KGEV";
+const FORMAT: u16 = 1;
+
+fn kind_tag(kind: ModelKind) -> u8 {
+    match kind {
+        ModelKind::TransE => 0,
+        ModelKind::DistMult => 1,
+        ModelKind::ComplEx => 2,
+        ModelKind::Rescal => 3,
+        ModelKind::RotatE => 4,
+        ModelKind::TuckEr => 5,
+        ModelKind::ConvE => 6,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Option<ModelKind> {
+    Some(match tag {
+        0 => ModelKind::TransE,
+        1 => ModelKind::DistMult,
+        2 => ModelKind::ComplEx,
+        3 => ModelKind::Rescal,
+        4 => ModelKind::RotatE,
+        5 => ModelKind::TuckEr,
+        6 => ModelKind::ConvE,
+        _ => return None,
+    })
+}
+
+/// A model's parameter snapshot (tables in a model-specific order).
+pub struct ModelSnapshot {
+    /// Which architecture.
+    pub kind: ModelKind,
+    /// Entity count.
+    pub num_entities: usize,
+    /// Relation count.
+    pub num_relations: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Raw parameter tables (model-defined order).
+    pub tables: Vec<Vec<f32>>,
+}
+
+/// Serialise a snapshot to a writer.
+pub fn write_snapshot<W: Write>(snapshot: &ModelSnapshot, w: &mut W) -> Result<(), KgError> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(FORMAT);
+    buf.put_u8(kind_tag(snapshot.kind));
+    buf.put_u64_le(snapshot.num_entities as u64);
+    buf.put_u64_le(snapshot.num_relations as u64);
+    buf.put_u64_le(snapshot.dim as u64);
+    buf.put_u8(snapshot.tables.len() as u8);
+    for t in &snapshot.tables {
+        buf.put_u64_le(t.len() as u64);
+        for &v in t {
+            buf.put_f32_le(v);
+        }
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Deserialise a snapshot from a reader.
+pub fn read_snapshot<R: Read>(r: &mut R) -> Result<ModelSnapshot, KgError> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    let fail = |msg: &str| KgError::InvalidInput(format!("model snapshot: {msg}"));
+    if buf.remaining() < 4 + 2 + 1 + 24 + 1 {
+        return Err(fail("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(fail("bad magic"));
+    }
+    if buf.get_u16_le() != FORMAT {
+        return Err(fail("unsupported format version"));
+    }
+    let kind = kind_from_tag(buf.get_u8()).ok_or_else(|| fail("unknown model kind"))?;
+    let num_entities = buf.get_u64_le() as usize;
+    let num_relations = buf.get_u64_le() as usize;
+    let dim = buf.get_u64_le() as usize;
+    let n_tables = buf.get_u8() as usize;
+    let mut tables = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        if buf.remaining() < 8 {
+            return Err(fail("truncated table header"));
+        }
+        let len = buf.get_u64_le() as usize;
+        if buf.remaining() < len * 4 {
+            return Err(fail("truncated table payload"));
+        }
+        let mut t = Vec::with_capacity(len);
+        for _ in 0..len {
+            t.push(buf.get_f32_le());
+        }
+        tables.push(t);
+    }
+    Ok(ModelSnapshot { kind, num_entities, num_relations, dim, tables })
+}
+
+/// Save a trained model.
+pub fn save_model<W: Write>(model: &dyn TrainableModel, kind: ModelKind, w: &mut W) -> Result<(), KgError> {
+    let snapshot = snapshot_of(model, kind)?;
+    write_snapshot(&snapshot, w)
+}
+
+/// Load a model saved by [`save_model`].
+pub fn load_model<R: Read>(r: &mut R) -> Result<Box<dyn TrainableModel>, KgError> {
+    let snapshot = read_snapshot(r)?;
+    let mut model = crate::factory::build_model(
+        snapshot.kind,
+        snapshot.num_entities,
+        snapshot.num_relations,
+        snapshot.dim,
+        0,
+    );
+    restore_into(model.as_mut(), &snapshot)?;
+    Ok(model)
+}
+
+/// Snapshot a model through its [`TrainableModel::export_tables`] hook.
+fn snapshot_of(model: &dyn TrainableModel, kind: ModelKind) -> Result<ModelSnapshot, KgError> {
+    let tables = model.export_tables();
+    if tables.is_empty() {
+        return Err(KgError::InvalidInput(format!("{} does not support persistence", model.name())));
+    }
+    Ok(ModelSnapshot {
+        kind,
+        num_entities: model.num_entities(),
+        num_relations: model.num_relations(),
+        dim: model.dim(),
+        tables,
+    })
+}
+
+fn restore_into(model: &mut dyn TrainableModel, snapshot: &ModelSnapshot) -> Result<(), KgError> {
+    model.import_tables(&snapshot.tables).map_err(KgError::InvalidInput)
+}
+
+/// Round-trip helper used in tests: save to memory and load back.
+pub fn roundtrip(model: &dyn TrainableModel, kind: ModelKind) -> Result<Box<dyn TrainableModel>, KgError> {
+    let mut buf = Vec::new();
+    save_model(model, kind, &mut buf)?;
+    load_model(&mut buf.as_slice())
+}
+
+/// Copy parameters between two [`EmbeddingTable`]s of identical shape.
+pub fn copy_table(dst: &mut EmbeddingTable, src: &[f32]) -> Result<(), String> {
+    if dst.as_slice().len() != src.len() {
+        return Err(format!("table length {} != {}", dst.as_slice().len(), src.len()));
+    }
+    dst.as_mut_slice().copy_from_slice(src);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::build_model;
+    use kg_core::{EntityId, RelationId};
+
+    #[test]
+    fn roundtrip_preserves_scores_for_all_models() {
+        for kind in ModelKind::ALL {
+            let dim = match kind {
+                ModelKind::ConvE => 16,
+                ModelKind::Rescal | ModelKind::TuckEr => 8,
+                _ => 12,
+            };
+            let model = build_model(kind, 9, 3, dim, 77);
+            let loaded = roundtrip(model.as_ref(), kind).unwrap();
+            assert_eq!(loaded.name(), model.name());
+            for h in 0..9u32 {
+                let s0 = model.score(EntityId(h), RelationId(1), EntityId((h + 1) % 9));
+                let s1 = loaded.score(EntityId(h), RelationId(1), EntityId((h + 1) % 9));
+                assert_eq!(s0, s1, "{} score changed after roundtrip", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_header_fields() {
+        let model = build_model(ModelKind::ComplEx, 7, 2, 8, 3);
+        let mut buf = Vec::new();
+        save_model(model.as_ref(), ModelKind::ComplEx, &mut buf).unwrap();
+        let snap = read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(snap.kind, ModelKind::ComplEx);
+        assert_eq!(snap.num_entities, 7);
+        assert_eq!(snap.num_relations, 2);
+        assert_eq!(snap.dim, 8);
+        assert_eq!(snap.tables.len(), 2);
+    }
+
+    #[test]
+    fn corrupted_input_is_rejected() {
+        assert!(load_model(&mut &b"NOPE"[..]).is_err());
+        let model = build_model(ModelKind::TransE, 5, 2, 8, 1);
+        let mut buf = Vec::new();
+        save_model(model.as_ref(), ModelKind::TransE, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(load_model(&mut buf.as_slice()).is_err());
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'X';
+        assert!(load_model(&mut bad_magic.as_slice()).is_err());
+    }
+
+    #[test]
+    fn loaded_model_can_keep_training() {
+        use crate::trainer::{train_epoch, TrainConfig};
+        let triples: Vec<kg_core::Triple> =
+            (0..8).map(|i| kg_core::Triple::new(i, 0, (i + 1) % 8)).collect();
+        let mut model = build_model(ModelKind::DistMult, 8, 1, 8, 5);
+        let mut rng = kg_core::sample::seeded_rng(1);
+        train_epoch(model.as_mut(), &triples, &TrainConfig::default(), &mut rng);
+        let mut loaded = roundtrip(model.as_ref(), ModelKind::DistMult).unwrap();
+        let loss = train_epoch(loaded.as_mut(), &triples, &TrainConfig::default(), &mut rng);
+        assert!(loss.is_finite());
+    }
+}

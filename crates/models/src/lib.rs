@@ -1,0 +1,42 @@
+//! # kg-models
+//!
+//! Knowledge-graph-completion models implemented from scratch: TransE,
+//! DistMult, ComplEx, RESCAL, RotatE, TuckER and ConvE — the model zoo of
+//! the paper's §5.2 — together with Adagrad-based training, uniform
+//! corruption negative sampling, and vectorised full-row scoring used by
+//! the evaluation framework.
+//!
+//! All models implement [`KgcModel`] (scoring) and [`TrainableModel`]
+//! (grouped gradient steps). Scoring reduces to a *query vector* combined
+//! with entity embeddings by dot product or negative Lp distance, which
+//! makes "score every entity" (the expensive full-ranking primitive) a
+//! single pass over the embedding table.
+
+pub mod complex;
+pub mod conve;
+pub mod distmult;
+pub mod embedding;
+pub mod factory;
+pub mod io;
+pub mod loss;
+pub mod model;
+pub mod negative;
+pub mod rescal;
+pub mod rotate;
+pub mod trainer;
+pub mod transe;
+pub mod tucker;
+
+pub use complex::ComplEx;
+pub use conve::ConvE;
+pub use distmult::DistMult;
+pub use embedding::EmbeddingTable;
+pub use factory::{build_model, ModelKind};
+pub use io::{load_model, save_model};
+pub use model::{KgcModel, TrainableModel};
+pub use negative::{NegativeSampler, NegativeSource};
+pub use rescal::Rescal;
+pub use rotate::RotatE;
+pub use trainer::{train, train_epoch, train_epoch_with_source, EpochCallback, TrainConfig};
+pub use transe::TransE;
+pub use tucker::TuckEr;

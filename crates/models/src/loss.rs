@@ -1,0 +1,143 @@
+//! Training losses and their per-score gradients.
+
+/// Which loss the trainer applies to a query group.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LossKind {
+    /// Logistic / binary cross-entropy on raw scores:
+    /// `L = softplus(−s₊) + Σ softplus(s₋)`.
+    Logistic,
+    /// Margin ranking: `L = Σ max(0, γ + s₋ − s₊)` with margin `γ`.
+    MarginRanking,
+}
+
+/// Numerically stable `log(1 + exp(x))`.
+#[inline]
+pub fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        0.0
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+/// Numerically stable sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Compute the loss and per-candidate gradient coefficients for a group.
+///
+/// `scores[0]` is the positive candidate; the rest are negatives.
+/// Writes `∂L/∂scores[i]` into `coeffs` and returns the loss value.
+pub fn loss_and_coeffs(kind: LossKind, margin: f32, scores: &[f32], coeffs: &mut [f32]) -> f32 {
+    assert!(!scores.is_empty());
+    assert_eq!(scores.len(), coeffs.len());
+    match kind {
+        LossKind::Logistic => {
+            let mut loss = softplus(-scores[0]);
+            coeffs[0] = -sigmoid(-scores[0]);
+            for i in 1..scores.len() {
+                loss += softplus(scores[i]);
+                coeffs[i] = sigmoid(scores[i]);
+            }
+            loss
+        }
+        LossKind::MarginRanking => {
+            let pos = scores[0];
+            let mut loss = 0.0f32;
+            coeffs[0] = 0.0;
+            for i in 1..scores.len() {
+                let viol = margin + scores[i] - pos;
+                if viol > 0.0 {
+                    loss += viol;
+                    coeffs[i] = 1.0;
+                    coeffs[0] -= 1.0;
+                } else {
+                    coeffs[i] = 0.0;
+                }
+            }
+            loss
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softplus_matches_reference() {
+        assert!((softplus(0.0) - (2.0f32).ln()).abs() < 1e-6);
+        assert_eq!(softplus(50.0), 50.0);
+        assert_eq!(softplus(-50.0), 0.0);
+        assert!((softplus(1.0) - 1.313_261_7).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_basics() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+        assert!((sigmoid(1.0) + sigmoid(-1.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn logistic_coeff_signs() {
+        let scores = [2.0f32, -1.0, 3.0];
+        let mut coeffs = [0.0f32; 3];
+        let loss = loss_and_coeffs(LossKind::Logistic, 0.0, &scores, &mut coeffs);
+        assert!(loss > 0.0);
+        assert!(coeffs[0] < 0.0, "positive should be pushed up");
+        assert!(coeffs[1] > 0.0 && coeffs[2] > 0.0, "negatives pushed down");
+        // A very confident positive contributes almost nothing.
+        let mut c2 = [0.0f32; 1];
+        loss_and_coeffs(LossKind::Logistic, 0.0, &[30.0], &mut c2);
+        assert!(c2[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn logistic_gradient_is_derivative() {
+        // Finite-difference check of ∂L/∂s on both slots.
+        let base = [0.3f32, -0.7];
+        let mut coeffs = [0.0f32; 2];
+        let l0 = loss_and_coeffs(LossKind::Logistic, 0.0, &base, &mut coeffs);
+        let eps = 1e-3f32;
+        for slot in 0..2 {
+            let mut bumped = base;
+            bumped[slot] += eps;
+            let mut tmp = [0.0f32; 2];
+            let l1 = loss_and_coeffs(LossKind::Logistic, 0.0, &bumped, &mut tmp);
+            let fd = (l1 - l0) / eps;
+            assert!((fd - coeffs[slot]).abs() < 1e-2, "slot {slot}: fd {fd} vs {}", coeffs[slot]);
+        }
+    }
+
+    #[test]
+    fn margin_only_counts_violations() {
+        let scores = [5.0f32, 1.0, 4.9];
+        let mut coeffs = [0.0f32; 3];
+        // margin 1.0: candidate 1 (5-1=4 >= 1) satisfied; candidate 2 (0.1 < 1) violates.
+        let loss = loss_and_coeffs(LossKind::MarginRanking, 1.0, &scores, &mut coeffs);
+        assert!((loss - 0.9).abs() < 1e-5);
+        assert_eq!(coeffs[1], 0.0);
+        assert_eq!(coeffs[2], 1.0);
+        assert_eq!(coeffs[0], -1.0);
+    }
+
+    #[test]
+    fn margin_zero_loss_when_separated() {
+        let scores = [10.0f32, 1.0];
+        let mut coeffs = [0.0f32; 2];
+        let loss = loss_and_coeffs(LossKind::MarginRanking, 2.0, &scores, &mut coeffs);
+        assert_eq!(loss, 0.0);
+        assert_eq!(coeffs, [0.0, 0.0]);
+    }
+}

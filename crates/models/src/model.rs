@@ -1,0 +1,238 @@
+//! The model traits: scoring ([`KgcModel`]) and training ([`TrainableModel`]).
+
+use kg_core::{EntityId, RelationId, Triple};
+use kg_core::triple::QuerySide;
+
+/// A knowledge-graph completion model that scores triples.
+///
+/// Higher scores mean "more plausible". Implementations must provide the
+/// vectorised full-row scorers; they are the expensive primitive whose cost
+/// the paper's framework avoids paying `|E|` times per query.
+pub trait KgcModel: Send + Sync {
+    /// Human-readable model name (e.g. `"ComplEx"`).
+    fn name(&self) -> &'static str;
+
+    /// Embedding dimensionality (reported in experiment logs).
+    fn dim(&self) -> usize;
+
+    /// Number of entities.
+    fn num_entities(&self) -> usize;
+
+    /// Number of relations.
+    fn num_relations(&self) -> usize;
+
+    /// Score a single triple.
+    fn score(&self, h: EntityId, r: RelationId, t: EntityId) -> f32;
+
+    /// Scores of *every* entity as the tail of `(h, r, ?)`;
+    /// `out.len() == num_entities()`.
+    fn score_tails(&self, h: EntityId, r: RelationId, out: &mut [f32]);
+
+    /// Scores of *every* entity as the head of `(?, r, t)`.
+    fn score_heads(&self, r: RelationId, t: EntityId, out: &mut [f32]);
+
+    /// Scores of a candidate subset as tails of `(h, r, ?)`.
+    fn score_tail_candidates(&self, h: EntityId, r: RelationId, candidates: &[EntityId], out: &mut [f32]);
+
+    /// Scores of a candidate subset as heads of `(?, r, t)`.
+    fn score_head_candidates(&self, r: RelationId, t: EntityId, candidates: &[EntityId], out: &mut [f32]);
+
+    /// Scores of a candidate subset answering `triple`'s query on `side`.
+    fn score_candidates(&self, triple: Triple, side: QuerySide, candidates: &[EntityId], out: &mut [f32]) {
+        match side {
+            QuerySide::Tail => self.score_tail_candidates(triple.head, triple.relation, candidates, out),
+            QuerySide::Head => self.score_head_candidates(triple.relation, triple.tail, candidates, out),
+        }
+    }
+
+    /// Scores of every entity answering `triple`'s query on `side`.
+    fn score_all(&self, triple: Triple, side: QuerySide, out: &mut [f32]) {
+        match side {
+            QuerySide::Tail => self.score_tails(triple.head, triple.relation, out),
+            QuerySide::Head => self.score_heads(triple.relation, triple.tail, out),
+        }
+    }
+}
+
+/// A model that can take gradient steps.
+///
+/// Training is organised in *query groups*: a positive triple, a query side,
+/// and a candidate list filling that side's slot (the true answer plus
+/// sampled negatives). `coeffs[i] = ∂loss/∂score(candidates[i])`; the model
+/// applies one Adagrad step for the group. Grouping lets models share the
+/// query-side computation (crucial for TuckER's core contraction and ConvE's
+/// convolution) and fold per-candidate gradients into a single rank-1 update.
+pub trait TrainableModel: KgcModel {
+    /// Scores of the group's candidates (same semantics as
+    /// [`KgcModel::score_candidates`], but may cache query intermediates).
+    fn score_group(&self, pos: Triple, side: QuerySide, candidates: &[EntityId], out: &mut [f32]) {
+        self.score_candidates(pos, side, candidates, out);
+    }
+
+    /// Apply one Adagrad step for the group.
+    fn step_group(&mut self, pos: Triple, side: QuerySide, candidates: &[EntityId], coeffs: &[f32], lr: f32);
+
+    /// Export all parameter tables in a model-defined stable order (for
+    /// persistence; see [`crate::io`]). Empty = persistence unsupported.
+    fn export_tables(&self) -> Vec<Vec<f32>> {
+        Vec::new()
+    }
+
+    /// Restore parameters exported by [`TrainableModel::export_tables`].
+    fn import_tables(&mut self, _tables: &[Vec<f32>]) -> Result<(), String> {
+        Err("persistence not supported by this model".into())
+    }
+}
+
+/// Helper for implementing `export_tables`/`import_tables` over a fixed set
+/// of embedding tables.
+#[macro_export]
+macro_rules! impl_persistence_tables {
+    ($($field:ident),+ $(,)?) => {
+        fn export_tables(&self) -> Vec<Vec<f32>> {
+            vec![$(self.$field.as_slice().to_vec()),+]
+        }
+
+        fn import_tables(&mut self, tables: &[Vec<f32>]) -> Result<(), String> {
+            let expected = [$(stringify!($field)),+].len();
+            if tables.len() != expected {
+                return Err(format!("expected {expected} tables, got {}", tables.len()));
+            }
+            let mut it = tables.iter();
+            $(
+                $crate::io::copy_table(&mut self.$field, it.next().unwrap())
+                    .map_err(|e| format!(concat!(stringify!($field), ": {}"), e))?;
+            )+
+            Ok(())
+        }
+    };
+}
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Finite-difference gradient checking shared by every model's tests.
+    //!
+    //! `step_group` with a single candidate and coefficient 1 performs an
+    //! Adagrad step with gradient `g = ∂score/∂θ`. On a fresh model the
+    //! first Adagrad step is `−lr · g / (|g| + eps)`, i.e. `−lr · sign(g)`,
+    //! which only reveals the gradient's sign. To check magnitudes we
+    //! instead verify the *loss decrease* property: stepping with
+    //! `coeff = −1` (gradient ascent on the score) must increase the score,
+    //! and stepping with `coeff = +1` must decrease it, for every model and
+    //! both query sides.
+
+    use super::*;
+
+    /// Assert that `step_group` moves the score in the expected direction.
+    pub fn assert_step_direction<M: TrainableModel>(model: &mut M, pos: Triple, side: QuerySide) {
+        let answer = side.answer(pos);
+        let before = model.score(pos.head, pos.relation, pos.tail);
+        // coeff −1 = ascend the score.
+        model.step_group(pos, side, &[answer], &[-1.0], 0.05);
+        let up = model.score(pos.head, pos.relation, pos.tail);
+        assert!(
+            up > before,
+            "{}: ascent step did not increase score ({} -> {})",
+            model.name(),
+            before,
+            up
+        );
+        // Several descent steps must bring it back down.
+        for _ in 0..5 {
+            model.step_group(pos, side, &[answer], &[1.0], 0.05);
+        }
+        let down = model.score(pos.head, pos.relation, pos.tail);
+        assert!(
+            down < up,
+            "{}: descent steps did not decrease score ({} -> {})",
+            model.name(),
+            up,
+            down
+        );
+    }
+
+    /// Assert the vectorised scorers agree with `score` on every entity.
+    ///
+    /// Models using reciprocal relations for head queries (ConvE) should use
+    /// [`assert_scorers_consistent_recip`] instead: their `score_heads` is
+    /// *deliberately* a different function than `score(·, r, t)`.
+    pub fn assert_scorers_consistent<M: KgcModel>(model: &M, r: RelationId) {
+        let n = model.num_entities();
+        let mut tails = vec![0.0f32; n];
+        let mut heads = vec![0.0f32; n];
+        let h = EntityId(0);
+        let t = EntityId((n - 1) as u32);
+        model.score_tails(h, r, &mut tails);
+        model.score_heads(r, t, &mut heads);
+        for e in 0..n {
+            let eid = EntityId(e as u32);
+            let st = model.score(h, r, eid);
+            let sh = model.score(eid, r, t);
+            assert!(
+                (tails[e] - st).abs() < 1e-3,
+                "{}: score_tails[{e}] = {} but score = {}",
+                model.name(),
+                tails[e],
+                st
+            );
+            assert!(
+                (heads[e] - sh).abs() < 1e-3,
+                "{}: score_heads[{e}] = {} but score = {}",
+                model.name(),
+                heads[e],
+                sh
+            );
+        }
+        // Candidate scorer agrees with the full scorer.
+        let cands: Vec<EntityId> = (0..n as u32).step_by(2).map(EntityId).collect();
+        let mut out = vec![0.0f32; cands.len()];
+        model.score_tail_candidates(h, r, &cands, &mut out);
+        for (i, &c) in cands.iter().enumerate() {
+            assert!((out[i] - tails[c.index()]).abs() < 1e-4);
+        }
+        let mut out_h = vec![0.0f32; cands.len()];
+        model.score_head_candidates(r, t, &cands, &mut out_h);
+        for (i, &c) in cands.iter().enumerate() {
+            assert!((out_h[i] - heads[c.index()]).abs() < 1e-4);
+        }
+    }
+
+    /// Scorer consistency for reciprocal-relation models: the tail side must
+    /// match `score`, and the head side must be internally consistent
+    /// (`score_heads` ↔ `score_head_candidates`) even though it evaluates the
+    /// inverse relation.
+    pub fn assert_scorers_consistent_recip<M: KgcModel>(model: &M, r: RelationId) {
+        let n = model.num_entities();
+        let h = EntityId(0);
+        let t = EntityId((n - 1) as u32);
+        let mut tails = vec![0.0f32; n];
+        model.score_tails(h, r, &mut tails);
+        for e in 0..n {
+            let st = model.score(h, r, EntityId(e as u32));
+            assert!(
+                (tails[e] - st).abs() < 1e-3,
+                "{}: score_tails[{e}] = {} but score = {}",
+                model.name(),
+                tails[e],
+                st
+            );
+        }
+        let mut heads = vec![0.0f32; n];
+        model.score_heads(r, t, &mut heads);
+        let cands: Vec<EntityId> = (0..n as u32).map(EntityId).collect();
+        let mut out = vec![0.0f32; n];
+        model.score_head_candidates(r, t, &cands, &mut out);
+        for e in 0..n {
+            assert!(
+                (out[e] - heads[e]).abs() < 1e-4,
+                "{}: head candidate scorer disagrees at {e}",
+                model.name()
+            );
+        }
+        let mut out_t = vec![0.0f32; n];
+        model.score_tail_candidates(h, r, &cands, &mut out_t);
+        for e in 0..n {
+            assert!((out_t[e] - tails[e]).abs() < 1e-4);
+        }
+    }
+}

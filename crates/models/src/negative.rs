@@ -1,0 +1,101 @@
+//! Corruption negative sampling for training.
+//!
+//! The classic protocol: corrupt one slot (head or tail) of a positive
+//! triple with a uniformly drawn entity. Sampling is *unfiltered* except
+//! that the true answer itself is rejected — exactly the cheap scheme whose
+//! evaluation-time analogue the paper shows to be badly biased, which is
+//! fine for training (it only needs a gradient signal, not an estimate).
+//!
+//! [`NegativeSource`] abstracts the corruption distribution so that the
+//! paper's *future-work* extension — drawing training negatives from
+//! relation-recommender candidate sets ("a probabilistic recommendation of
+//! negative samples from a relation recommender remains [to be studied]",
+//! §7) — can be plugged in from `kg-recommend` without a crate cycle.
+
+use kg_core::triple::QuerySide;
+use kg_core::{EntityId, Triple};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A source of corruption negatives for training.
+pub trait NegativeSource: Send + Sync {
+    /// Fill `out` with corruption entities for `side` of `pos`; entries must
+    /// never equal the true answer.
+    fn corrupt_into(&self, rng: &mut StdRng, pos: Triple, side: QuerySide, out: &mut [EntityId]);
+}
+
+/// Draws corruption negatives uniformly over the entity universe.
+#[derive(Clone, Debug)]
+pub struct NegativeSampler {
+    num_entities: usize,
+}
+
+impl NegativeSampler {
+    /// Sampler over a universe of `num_entities` entities.
+    pub fn new(num_entities: usize) -> Self {
+        assert!(num_entities >= 2, "need at least two entities to corrupt");
+        NegativeSampler { num_entities }
+    }
+
+    /// Fill `out` with entities corrupting `side` of `pos`, never equal to
+    /// the true answer.
+    pub fn corrupt_into<R: Rng>(&self, rng: &mut R, pos: Triple, side: QuerySide, out: &mut [EntityId]) {
+        let answer = side.answer(pos);
+        for slot in out.iter_mut() {
+            loop {
+                let e = EntityId(rng.gen_range(0..self.num_entities as u32));
+                if e != answer {
+                    *slot = e;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl NegativeSource for NegativeSampler {
+    fn corrupt_into(&self, rng: &mut StdRng, pos: Triple, side: QuerySide, out: &mut [EntityId]) {
+        NegativeSampler::corrupt_into(self, rng, pos, side, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::sample::seeded_rng;
+
+    #[test]
+    fn negatives_avoid_the_answer() {
+        let s = NegativeSampler::new(10);
+        let mut rng = seeded_rng(1);
+        let pos = Triple::new(0, 0, 3);
+        let mut out = vec![EntityId(0); 64];
+        s.corrupt_into(&mut rng, pos, QuerySide::Tail, &mut out);
+        assert!(out.iter().all(|&e| e != EntityId(3)));
+        s.corrupt_into(&mut rng, pos, QuerySide::Head, &mut out);
+        assert!(out.iter().all(|&e| e != EntityId(0)));
+    }
+
+    #[test]
+    fn negatives_cover_the_universe() {
+        let s = NegativeSampler::new(5);
+        let mut rng = seeded_rng(2);
+        let pos = Triple::new(0, 0, 1);
+        let mut seen = [false; 5];
+        let mut out = vec![EntityId(0); 8];
+        for _ in 0..50 {
+            s.corrupt_into(&mut rng, pos, QuerySide::Tail, &mut out);
+            for &e in &out {
+                seen[e.index()] = true;
+            }
+        }
+        assert!(seen[0] && seen[2] && seen[3] && seen[4]);
+        assert!(!seen[1], "the answer must never appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_tiny_universe() {
+        NegativeSampler::new(1);
+    }
+}

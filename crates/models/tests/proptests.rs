@@ -1,0 +1,132 @@
+//! Property-based tests for the model zoo: scorer consistency, loss
+//! gradients, and training-step behaviour across random configurations.
+
+use kg_core::triple::QuerySide;
+use kg_core::{EntityId, RelationId, Triple};
+use kg_models::loss::{loss_and_coeffs, sigmoid, softplus, LossKind};
+use kg_models::{build_model, ModelKind};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = ModelKind> {
+    prop_oneof![
+        Just(ModelKind::TransE),
+        Just(ModelKind::DistMult),
+        Just(ModelKind::ComplEx),
+        Just(ModelKind::Rescal),
+        Just(ModelKind::RotatE),
+        Just(ModelKind::TuckEr),
+        Just(ModelKind::ConvE),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn scorers_agree_for_all_models(kind in kind_strategy(), seed in 0u64..50) {
+        let n = 10usize;
+        let dim = match kind {
+            ModelKind::ConvE => 16,
+            ModelKind::Rescal | ModelKind::TuckEr => 8,
+            _ => 12,
+        };
+        let model = build_model(kind, n, 3, dim, seed);
+        let mut tails = vec![0.0f32; n];
+        let h = EntityId(2);
+        let r = RelationId(1);
+        model.score_tails(h, r, &mut tails);
+        for t in 0..n {
+            let s = model.score(h, r, EntityId(t as u32));
+            prop_assert!((tails[t] - s).abs() < 1e-3,
+                "{}: score_tails[{t}]={} score={}", kind.name(), tails[t], s);
+            prop_assert!(s.is_finite());
+        }
+        // Candidate scorer consistent with the full head scorer.
+        let mut heads = vec![0.0f32; n];
+        let t = EntityId(7);
+        model.score_heads(r, t, &mut heads);
+        let cands: Vec<EntityId> = (0..n as u32).map(EntityId).collect();
+        let mut out = vec![0.0f32; n];
+        model.score_head_candidates(r, t, &cands, &mut out);
+        for i in 0..n {
+            prop_assert!((heads[i] - out[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn ascent_step_increases_score_for_all_models(kind in kind_strategy(), seed in 0u64..20) {
+        let dim = match kind {
+            ModelKind::ConvE => 16,
+            ModelKind::Rescal | ModelKind::TuckEr => 8,
+            _ => 12,
+        };
+        let mut model = build_model(kind, 10, 3, dim, seed);
+        let pos = Triple::new(1, 0, 6);
+        // Score via the tail-side scorer (well-defined for reciprocal models).
+        let mut scores = vec![0.0f32; 10];
+        model.score_tails(pos.head, pos.relation, &mut scores);
+        let before = scores[6];
+        for _ in 0..3 {
+            model.step_group(pos, QuerySide::Tail, &[pos.tail], &[-1.0], 0.05);
+        }
+        model.score_tails(pos.head, pos.relation, &mut scores);
+        prop_assert!(scores[6] > before, "{}: {} -> {}", kind.name(), before, scores[6]);
+    }
+
+    #[test]
+    fn zero_coefficients_are_a_noop(kind in kind_strategy(), seed in 0u64..20) {
+        let dim = if kind == ModelKind::ConvE { 16 } else { 8 };
+        let mut model = build_model(kind, 8, 2, dim, seed);
+        let pos = Triple::new(0, 1, 5);
+        let before = model.score(pos.head, pos.relation, pos.tail);
+        model.step_group(pos, QuerySide::Tail, &[pos.tail, EntityId(3)], &[0.0, 0.0], 0.1);
+        model.step_group(pos, QuerySide::Head, &[pos.head, EntityId(2)], &[0.0, 0.0], 0.1);
+        let after = model.score(pos.head, pos.relation, pos.tail);
+        prop_assert_eq!(before, after, "{}", kind.name());
+    }
+
+    #[test]
+    fn logistic_loss_gradient_matches_finite_difference(
+        scores in proptest::collection::vec(-5.0f32..5.0, 1..8),
+    ) {
+        let mut coeffs = vec![0.0f32; scores.len()];
+        let base = loss_and_coeffs(LossKind::Logistic, 0.0, &scores, &mut coeffs);
+        let eps = 1e-3f32;
+        for i in 0..scores.len() {
+            let mut bumped = scores.clone();
+            bumped[i] += eps;
+            let mut tmp = vec![0.0f32; scores.len()];
+            let l = loss_and_coeffs(LossKind::Logistic, 0.0, &bumped, &mut tmp);
+            let fd = (l - base) / eps;
+            prop_assert!((fd - coeffs[i]).abs() < 0.02, "slot {i}: fd {fd} vs {}", coeffs[i]);
+        }
+    }
+
+    #[test]
+    fn loss_is_nonnegative_and_finite(
+        scores in proptest::collection::vec(-30.0f32..30.0, 1..10),
+        margin in 0.0f32..3.0,
+    ) {
+        let mut coeffs = vec![0.0f32; scores.len()];
+        for kind in [LossKind::Logistic, LossKind::MarginRanking] {
+            let l = loss_and_coeffs(kind, margin, &scores, &mut coeffs);
+            prop_assert!(l >= 0.0 && l.is_finite());
+            prop_assert!(coeffs.iter().all(|c| c.is_finite()));
+            prop_assert!(coeffs[0] <= 0.0, "positive candidate is pushed up");
+            prop_assert!(coeffs[1..].iter().all(|&c| c >= 0.0));
+        }
+    }
+
+    #[test]
+    fn sigmoid_softplus_relations(x in -40.0f32..40.0) {
+        prop_assert!((0.0..=1.0).contains(&sigmoid(x)));
+        prop_assert!(softplus(x) >= 0.0);
+        prop_assert!(softplus(x) >= x, "softplus dominates identity");
+        // d softplus/dx = sigmoid.
+        let eps = 1e-2f32;
+        if x.abs() < 15.0 {
+            let fd = (softplus(x + eps) - softplus(x - eps)) / (2.0 * eps);
+            prop_assert!((fd - sigmoid(x)).abs() < 1e-2);
+        }
+    }
+}

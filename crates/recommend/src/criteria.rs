@@ -1,0 +1,60 @@
+//! Table 1: desirable criteria for candidate generation methods.
+
+use crate::recommender::{all_recommenders, RelationRecommender};
+
+/// One row of the criteria table.
+#[derive(Clone, Debug)]
+pub struct CriteriaRow {
+    /// Recommender name.
+    pub name: &'static str,
+    /// The five boolean criteria in Table 1's row order.
+    pub flags: [bool; 5],
+}
+
+/// Criterion labels in Table 1's order.
+pub const CRITERIA_LABELS: [&str; 5] = [
+    "Scalable on CPU",
+    "Parameter-free",
+    "Supports Unseen Candidates",
+    "Type-free",
+    "Inductive",
+];
+
+/// Compute Table 1 for the standard line-up plus plain DBH.
+pub fn criteria_table() -> Vec<CriteriaRow> {
+    let mut recs: Vec<Box<dyn RelationRecommender>> = vec![Box::new(crate::Dbh)];
+    recs.extend(all_recommenders());
+    recs.iter()
+        .map(|r| {
+            let c = r.criteria();
+            CriteriaRow {
+                name: r.name(),
+                flags: [c.scalable_cpu, c.parameter_free, c.supports_unseen, c.type_free, c.inductive],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str) -> [bool; 5] {
+        criteria_table().into_iter().find(|r| r.name == name).unwrap().flags
+    }
+
+    #[test]
+    fn matches_paper_table1() {
+        // Table 1 columns: Scalable-CPU, Parameter-free, Unseen, Type-free, Inductive.
+        assert_eq!(row("DBH"), [true, true, false, true, false]);
+        assert_eq!(row("DBH-T"), [true, true, true, false, true]);
+        assert_eq!(row("PIE*"), [false, false, true, true, true]);
+        assert_eq!(row("L-WD-T"), [true, true, true, false, true]);
+        assert_eq!(row("L-WD"), [true, true, true, true, true]);
+    }
+
+    #[test]
+    fn pt_cannot_see_unseen() {
+        assert!(!row("PT")[2]);
+    }
+}

@@ -1,0 +1,171 @@
+//! DBH — Degree-Based Heuristic (Chen et al., OGB-LSC 2022) and its typed
+//! extension DBH-T (§3.2 of the paper).
+//!
+//! DBH scores an entity for a domain/range by its occurrence count in that
+//! slot; its support equals PT's, so its recall is upper-bounded by PT
+//! (which is why the paper tabulates PT instead). DBH-T propagates the
+//! counts through entity types, gaining support for unseen candidates.
+
+use kg_datasets::Dataset;
+
+use crate::recommender::{RecommenderCriteria, RelationRecommender};
+use crate::score_matrix::ScoreMatrix;
+
+/// Degree-based heuristic: score = occurrence count.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Dbh;
+
+impl RelationRecommender for Dbh {
+    fn name(&self) -> &'static str {
+        "DBH"
+    }
+
+    fn criteria(&self) -> RecommenderCriteria {
+        RecommenderCriteria {
+            scalable_cpu: true,
+            parameter_free: true,
+            supports_unseen: false,
+            type_free: true,
+            inductive: false,
+        }
+    }
+
+    fn fit(&self, dataset: &Dataset) -> ScoreMatrix {
+        let nr = dataset.num_relations();
+        let mut columns: Vec<Vec<(u32, f32)>> = Vec::with_capacity(2 * nr);
+        for r in 0..nr {
+            let rel = kg_core::RelationId(r as u32);
+            columns.push(dataset.train.heads_of(rel).iter().map(|ec| (ec.entity.0, ec.count as f32)).collect());
+        }
+        for r in 0..nr {
+            let rel = kg_core::RelationId(r as u32);
+            columns.push(dataset.train.tails_of(rel).iter().map(|ec| (ec.entity.0, ec.count as f32)).collect());
+        }
+        ScoreMatrix::from_columns(dataset.num_entities(), nr, columns)
+    }
+}
+
+/// Typed DBH: if an entity of type `t` is seen in a slot, *every* entity of
+/// type `t` receives +1 for that slot (per distinct seen entity).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DbhT;
+
+impl RelationRecommender for DbhT {
+    fn name(&self) -> &'static str {
+        "DBH-T"
+    }
+
+    fn criteria(&self) -> RecommenderCriteria {
+        RecommenderCriteria {
+            scalable_cpu: true,
+            parameter_free: true,
+            supports_unseen: true,
+            type_free: false,
+            inductive: true,
+        }
+    }
+
+    fn needs_types(&self) -> bool {
+        true
+    }
+
+    fn fit(&self, dataset: &Dataset) -> ScoreMatrix {
+        let nr = dataset.num_relations();
+        let nt = dataset.types.num_types();
+        let mut columns: Vec<Vec<(u32, f32)>> = Vec::with_capacity(2 * nr);
+        let mut type_counts = vec![0u32; nt];
+        for side in 0..2 {
+            for r in 0..nr {
+                let rel = kg_core::RelationId(r as u32);
+                type_counts.fill(0);
+                let seen = if side == 0 { dataset.train.heads_of(rel) } else { dataset.train.tails_of(rel) };
+                for ec in seen {
+                    for &ty in dataset.types.types_of(ec.entity) {
+                        type_counts[ty.index()] += 1;
+                    }
+                }
+                let mut col: Vec<(u32, f32)> = Vec::new();
+                for (ty, &count) in type_counts.iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    for &e in dataset.types.entities_of(kg_core::TypeId(ty as u32)) {
+                        col.push((e.0, count as f32));
+                    }
+                }
+                columns.push(col);
+            }
+        }
+        // Interleave order fix: we pushed all domains first (side 0), then
+        // all ranges (side 1), matching the DrColumn layout.
+        ScoreMatrix::from_columns(dataset.num_entities(), nr, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::{DrColumn, EntityId, Triple, TypeAssignment, TypeId};
+
+    fn dataset() -> Dataset {
+        // Entities: 0,1 of type A; 2,3 of type B; 4 of types A+B.
+        let types = TypeAssignment::from_pairs(
+            vec![
+                (EntityId(0), TypeId(0)),
+                (EntityId(1), TypeId(0)),
+                (EntityId(2), TypeId(1)),
+                (EntityId(3), TypeId(1)),
+                (EntityId(4), TypeId(0)),
+                (EntityId(4), TypeId(1)),
+            ],
+            5,
+            2,
+        );
+        Dataset::new(
+            "dbh-test",
+            vec![Triple::new(0, 0, 2), Triple::new(0, 0, 3), Triple::new(1, 0, 2)],
+            vec![],
+            vec![],
+            types,
+            None,
+            5,
+            1,
+        )
+    }
+
+    #[test]
+    fn dbh_scores_are_occurrence_counts() {
+        let m = Dbh.fit(&dataset());
+        assert_eq!(m.score(0, DrColumn(0)), 2.0, "entity 0 heads two triples");
+        assert_eq!(m.score(1, DrColumn(0)), 1.0);
+        assert_eq!(m.score(2, DrColumn(1)), 2.0, "entity 2 tails two triples");
+        assert_eq!(m.score(4, DrColumn(0)), 0.0);
+    }
+
+    #[test]
+    fn dbh_t_propagates_through_types() {
+        let m = DbhT.fit(&dataset());
+        // Heads of r0 = {0, 1}, both type A (2 distinct entities of type A).
+        // Every type-A entity scores 2 in the domain column.
+        assert_eq!(m.score(0, DrColumn(0)), 2.0);
+        assert_eq!(m.score(1, DrColumn(0)), 2.0);
+        assert_eq!(m.score(4, DrColumn(0)), 2.0, "unseen type-A entity gains support");
+        assert_eq!(m.score(2, DrColumn(0)), 0.0, "type-B entity not in domain");
+        // Tails = {2, 3}, type B ⇒ all type-B entities (incl. 4) score 2.
+        assert_eq!(m.score(3, DrColumn(1)), 2.0);
+        assert_eq!(m.score(4, DrColumn(1)), 2.0);
+        assert_eq!(m.score(0, DrColumn(1)), 0.0);
+    }
+
+    #[test]
+    fn dbh_t_multi_typed_entity_sums_types() {
+        // Make entity 4 a head too: domain types = {A (3 seen), B (1 seen)}.
+        let mut triples = dataset().train.triples().to_vec();
+        triples.push(Triple::new(4, 0, 2));
+        let base = dataset();
+        let d = Dataset::new("t", triples, vec![], vec![], base.types.clone(), None, 5, 1);
+        let m = DbhT.fit(&d);
+        // Entity 4 has both types: score = 3 (type A seen heads: 0,1,4) + 1 (type B: 4).
+        assert_eq!(m.score(4, DrColumn(0)), 4.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Easy-negative mining (Table 2) and the false-easy-negative audit
+//! (Table 10).
+//!
+//! A cell `(entity, domain/range)` with L-WD score exactly 0 means the
+//! entity is unreachable in the co-occurrence graph for that slot — the
+//! paper rules such candidates out "almost instantly" and shows that only a
+//! handful of true triples in each benchmark land on zero cells (and those
+//! tend to be annotation errors).
+
+use kg_core::{DrColumn, Triple};
+use kg_datasets::Dataset;
+
+use crate::score_matrix::ScoreMatrix;
+
+/// A true triple whose head or tail fell on a zero-score cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FalseEasyNegative {
+    /// The offending triple.
+    pub triple: Triple,
+    /// Whether the zero cell was the head/domain side (else tail/range).
+    pub head_side: bool,
+    /// Which held-out split it came from (0 = train, 1 = valid, 2 = test).
+    pub split: u8,
+}
+
+/// One row of Table 2.
+#[derive(Clone, Debug)]
+pub struct EasyNegativeReport {
+    /// Dataset name.
+    pub dataset: String,
+    /// Total cells `|E| · 2|R|`.
+    pub total_cells: usize,
+    /// Zero-score cells (easy negatives).
+    pub easy_negatives: usize,
+    /// Easy negatives as a percentage of all cells.
+    pub easy_pct: f64,
+    /// True (entity, slot) memberships that hit zero cells.
+    pub false_easy: Vec<FalseEasyNegative>,
+}
+
+/// Mine easy negatives from `matrix` (typically L-WD's) and audit them
+/// against every split of `dataset`.
+pub fn mine_easy_negatives(matrix: &ScoreMatrix, dataset: &Dataset) -> EasyNegativeReport {
+    let total_cells = matrix.num_entities() * matrix.num_columns();
+    let easy = matrix.zero_cells();
+    let nr = matrix.num_relations();
+    let mut false_easy = Vec::new();
+
+    let mut audit = |triples: &[Triple], split: u8| {
+        for &t in triples {
+            if matrix.score(t.head.0, DrColumn::domain(t.relation)) == 0.0 {
+                false_easy.push(FalseEasyNegative { triple: t, head_side: true, split });
+            }
+            if matrix.score(t.tail.0, DrColumn::range(t.relation, nr)) == 0.0 {
+                false_easy.push(FalseEasyNegative { triple: t, head_side: false, split });
+            }
+        }
+    };
+    audit(dataset.train.triples(), 0);
+    audit(&dataset.valid, 1);
+    audit(&dataset.test, 2);
+
+    EasyNegativeReport {
+        dataset: dataset.name.clone(),
+        total_cells,
+        easy_negatives: easy,
+        easy_pct: 100.0 * easy as f64 / total_cells.max(1) as f64,
+        false_easy,
+    }
+}
+
+/// A closed-world triplet classifier built on the zero cells — the paper's
+/// §7 future-work suggestion ("one can move to an almost guaranteed
+/// closed-world assumption … build a triplet classifier").
+///
+/// A triple is rejected iff its head has score 0 in the relation's domain
+/// or its tail has score 0 in its range. The paper's Table 2 evidence says
+/// rejections are almost always correct (only a handful of noisy true
+/// triples land on zero cells).
+pub struct ZeroScoreClassifier<'a> {
+    matrix: &'a ScoreMatrix,
+}
+
+impl<'a> ZeroScoreClassifier<'a> {
+    /// Wrap a fitted score matrix (typically L-WD's).
+    pub fn new(matrix: &'a ScoreMatrix) -> Self {
+        ZeroScoreClassifier { matrix }
+    }
+
+    /// Whether the triple is *possibly true* (neither side on a zero cell).
+    pub fn accepts(&self, t: Triple) -> bool {
+        let nr = self.matrix.num_relations();
+        self.matrix.score(t.head.0, DrColumn::domain(t.relation)) > 0.0
+            && self.matrix.score(t.tail.0, DrColumn::range(t.relation, nr)) > 0.0
+    }
+
+    /// Fraction of `triples` accepted.
+    pub fn acceptance_rate(&self, triples: &[Triple]) -> f64 {
+        if triples.is_empty() {
+            return 0.0;
+        }
+        triples.iter().filter(|&&t| self.accepts(t)).count() as f64 / triples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lwd::Lwd;
+    use crate::recommender::RelationRecommender;
+    use kg_core::TypeAssignment;
+
+    #[test]
+    fn counts_zero_cells() {
+        let m = ScoreMatrix::from_columns(4, 1, vec![vec![(0, 1.0)], vec![(1, 1.0), (2, 1.0)]]);
+        let d = Dataset::new(
+            "en-test",
+            vec![Triple::new(0, 0, 1)],
+            vec![],
+            vec![],
+            TypeAssignment::empty(4),
+            None,
+            4,
+            1,
+        );
+        let rep = mine_easy_negatives(&m, &d);
+        assert_eq!(rep.total_cells, 8);
+        assert_eq!(rep.easy_negatives, 5);
+        assert!((rep.easy_pct - 62.5).abs() < 1e-9);
+        assert!(rep.false_easy.is_empty(), "train triple is fully covered");
+    }
+
+    #[test]
+    fn detects_false_easy_negatives() {
+        // Matrix covers nothing for the test triple's head.
+        let m = ScoreMatrix::from_columns(4, 1, vec![vec![(0, 1.0)], vec![(1, 1.0)]]);
+        let d = Dataset::new(
+            "fe-test",
+            vec![Triple::new(0, 0, 1)],
+            vec![],
+            vec![Triple::new(3, 0, 1)],
+            TypeAssignment::empty(4),
+            None,
+            4,
+            1,
+        );
+        let rep = mine_easy_negatives(&m, &d);
+        assert_eq!(rep.false_easy.len(), 1);
+        let fen = rep.false_easy[0];
+        assert!(fen.head_side);
+        assert_eq!(fen.split, 2);
+        assert_eq!(fen.triple, Triple::new(3, 0, 1));
+    }
+
+    #[test]
+    fn classifier_accepts_train_rejects_type_violations() {
+        // Two disjoint communities: relation 0 inside {0..4}, relation 1
+        // inside {5..9}.
+        let mut train = Vec::new();
+        for i in 0..4u32 {
+            train.push(Triple::new(i, 0, i + 1));
+            train.push(Triple::new(i + 5, 1, i + 6));
+        }
+        let d = Dataset::new("c", train.clone(), vec![], vec![], TypeAssignment::empty(10), None, 10, 2);
+        let m = Lwd::untyped().fit(&d);
+        let clf = ZeroScoreClassifier::new(&m);
+        assert_eq!(clf.acceptance_rate(&train), 1.0, "train triples always accepted");
+        // Cross-community triples hit zero cells.
+        let violations = vec![Triple::new(7, 0, 8), Triple::new(1, 1, 2)];
+        assert_eq!(clf.acceptance_rate(&violations), 0.0);
+        assert!(!clf.accepts(Triple::new(7, 0, 8)));
+    }
+
+    #[test]
+    fn classifier_empty_input() {
+        let d = Dataset::new(
+            "e",
+            vec![Triple::new(0, 0, 1)],
+            vec![],
+            vec![],
+            TypeAssignment::empty(3),
+            None,
+            3,
+            1,
+        );
+        let m = Lwd::untyped().fit(&d);
+        assert_eq!(ZeroScoreClassifier::new(&m).acceptance_rate(&[]), 0.0);
+    }
+
+    #[test]
+    fn lwd_on_train_split_has_no_train_false_easies() {
+        // Every train member has a nonzero B-row for its own column, so
+        // train triples can never be false easy negatives under L-WD.
+        let train = vec![Triple::new(0, 0, 1), Triple::new(1, 1, 2), Triple::new(2, 0, 3)];
+        let d = Dataset::new("l", train, vec![], vec![], TypeAssignment::empty(5), None, 5, 2);
+        let m = Lwd::untyped().fit(&d);
+        let rep = mine_easy_negatives(&m, &d);
+        assert!(rep.false_easy.iter().all(|f| f.split != 0));
+    }
+}

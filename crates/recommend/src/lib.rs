@@ -1,0 +1,51 @@
+//! # kg-recommend
+//!
+//! Relation recommenders (§3 of the paper): methods that score every entity's
+//! plausibility of being the *head* or *tail* of each relation, producing the
+//! score matrix `X ∈ R^{|E| × 2|R|}` that drives candidate generation:
+//!
+//! * **PT** — pseudo-typed: exactly the entities seen in the slot;
+//! * **DBH** — degree-based heuristic: occurrence counts;
+//! * **DBH-T** — typed DBH: counts propagated through entity types;
+//! * **OntoSim** — type-level closure: any type seen in a slot admits all its
+//!   entities;
+//! * **L-WD / L-WD-T** — linear Wikidata property-suggester: association-rule
+//!   confidence aggregation via two sparse matrix products (Algorithm 1);
+//! * **PIE\*** — a *learned* recommender (logistic matrix factorisation of
+//!   the incidence matrix), standing in for the GCN-based PIE as documented
+//!   in DESIGN.md.
+//!
+//! On top of the score matrix: static candidate sets with the CR/RR
+//! threshold optimiser (§4.1), per-relation candidate sampling (Random /
+//! Static / Probabilistic), and the easy-negative miner (Table 2 / 10).
+
+pub mod candidates;
+pub mod criteria;
+pub mod dbh;
+pub mod easy_negatives;
+pub mod lwd;
+pub mod neural;
+pub mod ontosim;
+pub mod pt;
+pub mod recommender;
+pub mod sampling;
+pub mod score_matrix;
+pub mod seen;
+pub mod wd;
+
+pub use candidates::{cr_rr, CandidateSets, CrRrReport};
+pub use criteria::criteria_table;
+pub use dbh::{Dbh, DbhT};
+pub use easy_negatives::{mine_easy_negatives, EasyNegativeReport, FalseEasyNegative, ZeroScoreClassifier};
+pub use lwd::Lwd;
+pub use neural::NeuralRecommender;
+pub use ontosim::OntoSim;
+pub use pt::PseudoTyped;
+pub use recommender::{all_recommenders, RecommenderCriteria, RelationRecommender};
+pub use sampling::{
+    sample_candidates, sample_candidates_cached, ProbabilisticCache, SampledCandidates,
+    SamplingStrategy,
+};
+pub use score_matrix::ScoreMatrix;
+pub use seen::SeenSets;
+pub use wd::Wd;

@@ -1,0 +1,72 @@
+//! The recommender trait and the Table-1 criteria record.
+
+use kg_datasets::Dataset;
+
+use crate::score_matrix::ScoreMatrix;
+
+/// The qualitative criteria of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecommenderCriteria {
+    /// Runs in seconds on a CPU at large scale.
+    pub scalable_cpu: bool,
+    /// No hyper-parameters or training schedule.
+    pub parameter_free: bool,
+    /// Can score entities never seen in a domain/range.
+    pub supports_unseen: bool,
+    /// Works without entity-type information.
+    pub type_free: bool,
+    /// Applicable to entities unseen at fit time (inductive settings).
+    pub inductive: bool,
+}
+
+/// A relation recommender: fits on a dataset's *training* split and emits
+/// the score matrix `X ∈ R^{|E| × 2|R|}`.
+pub trait RelationRecommender {
+    /// Display name used in the result tables.
+    fn name(&self) -> &'static str;
+
+    /// Qualitative criteria (Table 1).
+    fn criteria(&self) -> RecommenderCriteria;
+
+    /// Whether the method consumes entity types (the harness skips typed
+    /// methods on untyped datasets).
+    fn needs_types(&self) -> bool {
+        false
+    }
+
+    /// Fit on `dataset.train` (and `dataset.types` when typed).
+    fn fit(&self, dataset: &Dataset) -> ScoreMatrix;
+}
+
+/// The recommender line-up of Table 5, in its row order.
+pub fn all_recommenders() -> Vec<Box<dyn RelationRecommender>> {
+    vec![
+        Box::new(crate::PseudoTyped),
+        Box::new(crate::DbhT),
+        Box::new(crate::OntoSim),
+        Box::new(crate::NeuralRecommender::default()),
+        Box::new(crate::Lwd::untyped()),
+        Box::new(crate::Lwd::typed()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_matches_table5_rows() {
+        let names: Vec<&str> = all_recommenders().iter().map(|r| r.name()).collect();
+        assert_eq!(names, vec!["PT", "DBH-T", "OntoSim", "PIE*", "L-WD", "L-WD-T"]);
+    }
+
+    #[test]
+    fn typed_methods_declare_it() {
+        for r in all_recommenders() {
+            match r.name() {
+                "DBH-T" | "OntoSim" | "L-WD-T" => assert!(r.needs_types(), "{}", r.name()),
+                _ => assert!(!r.needs_types(), "{}", r.name()),
+            }
+        }
+    }
+}

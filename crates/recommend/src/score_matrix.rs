@@ -1,0 +1,192 @@
+//! The relational score matrix `X ∈ R^{|E| × 2|R|}`, stored column-major.
+//!
+//! Column `r` is the *domain* (head) column of relation `r`; column
+//! `r + |R|` is its *range* (tail) column — the layout of Algorithm 1.
+//! Storage is sparse: structurally absent cells score exactly 0, which is
+//! what the easy-negative miner of §4 counts.
+
+use kg_core::sparse::CsrMatrix;
+use kg_core::{DrColumn, RelationId};
+
+/// Sparse column-major score matrix produced by a relation recommender.
+#[derive(Clone, Debug)]
+pub struct ScoreMatrix {
+    num_entities: usize,
+    num_relations: usize,
+    /// `offsets[c]..offsets[c+1]` indexes `entities` / `scores` for column c.
+    offsets: Vec<usize>,
+    /// Entity ids per column, sorted ascending.
+    entities: Vec<u32>,
+    /// Scores parallel to `entities`; strictly positive.
+    scores: Vec<f32>,
+}
+
+impl ScoreMatrix {
+    /// Build from per-column `(entity, score)` lists (need not be sorted;
+    /// non-positive scores are dropped; duplicate entities summed).
+    pub fn from_columns(num_entities: usize, num_relations: usize, mut columns: Vec<Vec<(u32, f32)>>) -> Self {
+        assert_eq!(columns.len(), 2 * num_relations, "expected 2|R| columns");
+        let mut offsets = Vec::with_capacity(columns.len() + 1);
+        let mut entities = Vec::new();
+        let mut scores = Vec::new();
+        offsets.push(0);
+        for col in columns.iter_mut() {
+            col.sort_unstable_by_key(|&(e, _)| e);
+            let mut i = 0;
+            while i < col.len() {
+                let e = col[i].0;
+                debug_assert!((e as usize) < num_entities);
+                let mut acc = 0.0f32;
+                while i < col.len() && col[i].0 == e {
+                    acc += col[i].1;
+                    i += 1;
+                }
+                if acc > 0.0 {
+                    entities.push(e);
+                    scores.push(acc);
+                }
+            }
+            offsets.push(entities.len());
+        }
+        ScoreMatrix { num_entities, num_relations, offsets, entities, scores }
+    }
+
+    /// Build from a CSR matrix `X` with entities as rows and `≥ 2|R|`
+    /// columns (extra type columns from L-WD-T are ignored).
+    pub fn from_entity_major(x: &CsrMatrix, num_relations: usize) -> Self {
+        let cols = 2 * num_relations;
+        assert!(x.cols() >= cols, "matrix has too few columns");
+        let mut columns: Vec<Vec<(u32, f32)>> = vec![Vec::new(); cols];
+        for e in 0..x.rows() {
+            let (idx, vals) = x.row(e);
+            for (&c, &v) in idx.iter().zip(vals) {
+                if (c as usize) < cols && v > 0.0 {
+                    columns[c as usize].push((e as u32, v));
+                }
+            }
+        }
+        Self::from_columns(x.rows(), num_relations, columns)
+    }
+
+    /// Number of entities `|E|`.
+    pub fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    /// Number of relations `|R|` (the matrix has `2|R|` columns).
+    pub fn num_relations(&self) -> usize {
+        self.num_relations
+    }
+
+    /// Number of columns (`2|R|`).
+    pub fn num_columns(&self) -> usize {
+        2 * self.num_relations
+    }
+
+    /// `(entities, scores)` of a column, entities sorted ascending.
+    #[inline]
+    pub fn column(&self, c: DrColumn) -> (&[u32], &[f32]) {
+        let r = self.offsets[c.index()]..self.offsets[c.index() + 1];
+        (&self.entities[r.clone()], &self.scores[r])
+    }
+
+    /// Entities of the domain column of `r`.
+    pub fn domain(&self, r: RelationId) -> (&[u32], &[f32]) {
+        self.column(DrColumn::domain(r))
+    }
+
+    /// Entities of the range column of `r`.
+    pub fn range(&self, r: RelationId) -> (&[u32], &[f32]) {
+        self.column(DrColumn::range(r, self.num_relations))
+    }
+
+    /// Score of `entity` in column `c` (0 when structurally absent).
+    pub fn score(&self, entity: u32, c: DrColumn) -> f32 {
+        let (es, ss) = self.column(c);
+        match es.binary_search(&entity) {
+            Ok(i) => ss[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Number of stored (nonzero) cells.
+    pub fn nnz(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of exactly-zero cells out of `|E| · 2|R|` — the paper's
+    /// "easy negatives" (Table 2).
+    pub fn zero_cells(&self) -> usize {
+        self.num_entities * self.num_columns() - self.nnz()
+    }
+
+    /// Cap every column to its `max_entries` highest-scoring entities
+    /// (used by learned recommenders whose dense scores would not fit).
+    pub fn truncate_columns(&self, max_entries: usize) -> ScoreMatrix {
+        let mut columns: Vec<Vec<(u32, f32)>> = Vec::with_capacity(self.num_columns());
+        for c in 0..self.num_columns() {
+            let (es, ss) = self.column(DrColumn(c as u32));
+            let mut pairs: Vec<(u32, f32)> = es.iter().copied().zip(ss.iter().copied()).collect();
+            if pairs.len() > max_entries {
+                pairs.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                pairs.truncate(max_entries);
+            }
+            columns.push(pairs);
+        }
+        ScoreMatrix::from_columns(self.num_entities, self.num_relations, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> ScoreMatrix {
+        // 4 entities, 1 relation: domain {0: 2.0, 2: 1.0}, range {1: 0.5}.
+        ScoreMatrix::from_columns(4, 1, vec![vec![(2, 1.0), (0, 2.0)], vec![(1, 0.5)]])
+    }
+
+    #[test]
+    fn columns_sorted_and_queryable() {
+        let m = matrix();
+        let (es, ss) = m.domain(RelationId(0));
+        assert_eq!(es, &[0, 2]);
+        assert_eq!(ss, &[2.0, 1.0]);
+        assert_eq!(m.score(0, DrColumn(0)), 2.0);
+        assert_eq!(m.score(1, DrColumn(0)), 0.0);
+        assert_eq!(m.score(1, DrColumn(1)), 0.5);
+    }
+
+    #[test]
+    fn zero_cells_counts_structural_zeros() {
+        let m = matrix();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.zero_cells(), 4 * 2 - 3);
+    }
+
+    #[test]
+    fn duplicates_summed_nonpositive_dropped() {
+        let m = ScoreMatrix::from_columns(3, 1, vec![vec![(1, 1.0), (1, 2.0), (0, 0.0)], vec![]]);
+        assert_eq!(m.score(1, DrColumn(0)), 3.0);
+        assert_eq!(m.nnz(), 1, "zero-score entry must be dropped");
+    }
+
+    #[test]
+    fn from_entity_major_transposes() {
+        // entity-major X: e0 -> col0: 1.0, col1: 2.0; e1 -> col1: 3.0
+        let x = CsrMatrix::from_dense(&[vec![1.0, 2.0], vec![0.0, 3.0]]);
+        let m = ScoreMatrix::from_entity_major(&x, 1);
+        assert_eq!(m.column(DrColumn(0)).0, &[0]);
+        assert_eq!(m.column(DrColumn(1)).0, &[0, 1]);
+        assert_eq!(m.score(1, DrColumn(1)), 3.0);
+    }
+
+    #[test]
+    fn truncate_keeps_top_scores() {
+        let m = ScoreMatrix::from_columns(5, 1, vec![vec![(0, 1.0), (1, 5.0), (2, 3.0)], vec![(0, 1.0)]]);
+        let t = m.truncate_columns(2);
+        let (es, _) = t.column(DrColumn(0));
+        assert_eq!(es, &[1, 2], "keeps the two highest-scoring entities");
+        assert_eq!(t.column(DrColumn(1)).0, &[0]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests for the recommender machinery.
+
+use kg_core::sample::seeded_rng;
+use kg_core::{DrColumn, Triple, TripleStore, TypeAssignment};
+use kg_datasets::Dataset;
+use kg_recommend::{
+    cr_rr, mine_easy_negatives, sample_candidates, CandidateSets, Dbh, Lwd, PseudoTyped,
+    RelationRecommender, SamplingStrategy, ScoreMatrix, SeenSets,
+};
+use proptest::prelude::*;
+
+/// Random tiny datasets: ≤ 12 entities, ≤ 3 relations.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec((0u32..12, 0u32..3, 0u32..12), 1..60).prop_map(|raw| {
+        let train: Vec<Triple> =
+            raw.iter().filter(|(h, _, t)| h != t).map(|&(h, r, t)| Triple::new(h, r, t)).collect();
+        let test = train.iter().take(train.len() / 4).copied().collect::<Vec<_>>();
+        Dataset::new("prop", train, vec![], test, TypeAssignment::empty(12), None, 12, 3)
+    })
+}
+
+fn columns_strategy() -> impl Strategy<Value = Vec<Vec<(u32, f32)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..20, 0.01f32..5.0), 0..15),
+        2, // 1 relation → 2 columns
+    )
+}
+
+proptest! {
+    #[test]
+    fn score_matrix_columns_sorted_and_positive(cols in columns_strategy()) {
+        let m = ScoreMatrix::from_columns(20, 1, cols.clone());
+        for c in 0..2 {
+            let (es, ss) = m.column(DrColumn(c as u32));
+            for w in es.windows(2) {
+                prop_assert!(w[0] < w[1], "entities must be strictly increasing");
+            }
+            prop_assert!(ss.iter().all(|&s| s > 0.0));
+        }
+        // Lookup matches the summed input.
+        let mut expected = std::collections::HashMap::new();
+        for (c, col) in cols.iter().enumerate() {
+            for &(e, s) in col {
+                *expected.entry((e, c)).or_insert(0.0f32) += s;
+            }
+        }
+        for ((e, c), s) in expected {
+            prop_assert!((m.score(e, DrColumn(c as u32)) - s).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn zero_cells_complement_nnz(cols in columns_strategy()) {
+        let m = ScoreMatrix::from_columns(20, 1, cols);
+        prop_assert_eq!(m.nnz() + m.zero_cells(), 20 * 2);
+    }
+
+    #[test]
+    fn static_sets_contain_seen_and_only_known_entities(d in dataset_strategy()) {
+        let matrix = Lwd::untyped().fit(&d);
+        let seen = SeenSets::from_store(&d.train);
+        let sets = CandidateSets::static_sets(&matrix, &seen);
+        for c in 0..2 * d.num_relations() {
+            let col = DrColumn(c as u32);
+            let set = sets.column(col);
+            // Superset of seen.
+            for &e in seen.column(col) {
+                prop_assert!(set.binary_search(&e).is_ok(), "seen {e} missing from static set");
+            }
+            // Subset of seen ∪ scored.
+            for &e in set {
+                let scored = matrix.score(e, col) > 0.0;
+                let was_seen = seen.contains(e, col);
+                prop_assert!(scored || was_seen);
+            }
+        }
+    }
+
+    #[test]
+    fn cr_rr_bounds(d in dataset_strategy()) {
+        let seen = SeenSets::from_store(&d.train);
+        let sets = CandidateSets::from_seen(&seen);
+        let mut seen_v = seen.clone();
+        seen_v.extend_with(&d.valid);
+        let r = cr_rr(&sets, &d, &seen_v);
+        prop_assert!((0.0..=1.0).contains(&r.cr_test));
+        prop_assert!((0.0..=1.0).contains(&r.cr_unseen));
+        prop_assert!(r.reduction_rate <= 1.0);
+        prop_assert!(r.unseen_queries <= r.queries);
+    }
+
+    #[test]
+    fn pt_test_recall_on_train_queries_is_total(d in dataset_strategy()) {
+        // Every *train* triple's answers are in PT's sets by construction.
+        let matrix = PseudoTyped.fit(&d);
+        let nr = d.num_relations();
+        for t in d.train.triples() {
+            prop_assert!(matrix.score(t.head.0, DrColumn::domain(t.relation)) > 0.0);
+            prop_assert!(matrix.score(t.tail.0, DrColumn::range(t.relation, nr)) > 0.0);
+        }
+    }
+
+    #[test]
+    fn dbh_scores_sum_to_relation_triple_counts(d in dataset_strategy()) {
+        let matrix = Dbh.fit(&d);
+        for r in 0..d.num_relations() {
+            let rel = kg_core::RelationId(r as u32);
+            let triples = d.train.triples_of(rel).len() as f32;
+            let dom_sum: f32 = matrix.column(DrColumn::domain(rel)).1.iter().sum();
+            let rng_sum: f32 = matrix.column(DrColumn::range(rel, d.num_relations())).1.iter().sum();
+            prop_assert!((dom_sum - triples).abs() < 1e-3);
+            prop_assert!((rng_sum - triples).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn sampled_candidates_are_distinct_and_in_range(
+        d in dataset_strategy(),
+        n_s in 1usize..30,
+        seed in 0u64..100,
+    ) {
+        let matrix = Lwd::untyped().fit(&d);
+        let seen = SeenSets::from_store(&d.train);
+        let sets = CandidateSets::static_sets(&matrix, &seen);
+        let mut rng = seeded_rng(seed);
+        for strategy in SamplingStrategy::ALL {
+            let s = sample_candidates(
+                strategy,
+                d.num_entities(),
+                d.num_relations(),
+                n_s,
+                Some(&matrix),
+                Some(&sets),
+                &mut rng,
+            );
+            for c in 0..2 * d.num_relations() {
+                let col = DrColumn(c as u32);
+                let drawn = s.column(col);
+                prop_assert!(drawn.len() <= n_s);
+                let mut v: Vec<u32> = drawn.iter().map(|e| e.0).collect();
+                v.sort_unstable();
+                v.dedup();
+                prop_assert_eq!(v.len(), drawn.len(), "{} duplicates", strategy.name());
+                prop_assert!(v.iter().all(|&e| (e as usize) < d.num_entities()));
+            }
+        }
+    }
+
+    #[test]
+    fn easy_negative_accounting(d in dataset_strategy()) {
+        let matrix = Lwd::untyped().fit(&d);
+        let report = mine_easy_negatives(&matrix, &d);
+        prop_assert_eq!(report.total_cells, d.num_entities() * 2 * d.num_relations());
+        prop_assert_eq!(report.easy_negatives, matrix.zero_cells());
+        // Every reported false-easy really has score zero.
+        let nr = d.num_relations();
+        for f in &report.false_easy {
+            let col = if f.head_side {
+                DrColumn::domain(f.triple.relation)
+            } else {
+                DrColumn::range(f.triple.relation, nr)
+            };
+            let e = if f.head_side { f.triple.head.0 } else { f.triple.tail.0 };
+            prop_assert_eq!(matrix.score(e, col), 0.0);
+        }
+        // Train triples can never be false easies under L-WD.
+        prop_assert!(report.false_easy.iter().all(|f| f.split != 0));
+    }
+
+    #[test]
+    fn seen_sets_match_store(raw in proptest::collection::vec((0u32..10, 0u32..3, 0u32..10), 0..40)) {
+        let triples: Vec<Triple> = raw.iter().map(|&(h, r, t)| Triple::new(h, r, t)).collect();
+        let store = TripleStore::from_triples(triples.clone(), 10, 3);
+        let seen = SeenSets::from_store(&store);
+        for t in &triples {
+            prop_assert!(seen.contains(t.head.0, DrColumn::domain(t.relation)));
+            prop_assert!(seen.contains(t.tail.0, DrColumn::range(t.relation, 3)));
+        }
+        let total: usize = (0..6).map(|c| seen.column(DrColumn(c)).len()).sum();
+        let expected: usize = (0..3)
+            .map(|r| {
+                let rel = kg_core::RelationId(r);
+                store.heads_of(rel).len() + store.tails_of(rel).len()
+            })
+            .sum();
+        prop_assert_eq!(total, expected);
+    }
+}

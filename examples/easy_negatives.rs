@@ -1,0 +1,44 @@
+//! Mine "easy negatives" with L-WD (the paper's Table 2/10): entity–slot
+//! pairs with score exactly 0 can be ruled out almost for free, and the few
+//! true triples landing on zero cells are usually data errors — here, the
+//! generator's injected schema-violating noise.
+//!
+//! ```text
+//! cargo run --release --example easy_negatives
+//! ```
+
+use kgeval::datasets::{generate, preset, PresetId, Scale};
+use kgeval::recommend::{mine_easy_negatives, Lwd, RelationRecommender};
+
+fn main() {
+    for id in [PresetId::Fb15k237, PresetId::Yago3, PresetId::WikiKg2] {
+        let dataset = generate(&preset(id, Scale::Quick));
+        let matrix = Lwd::untyped().fit(&dataset);
+        let report = mine_easy_negatives(&matrix, &dataset);
+        println!(
+            "{}: {} of {} cells ({:.1} %) are zero-score easy negatives",
+            report.dataset, report.easy_negatives, report.total_cells, report.easy_pct
+        );
+        println!(
+            "  false easy negatives (true triples on zero cells): {}",
+            report.false_easy.len()
+        );
+        for f in report.false_easy.iter().take(5) {
+            println!(
+                "    ({}, r{}, {})  zero on {} side, from the {} split",
+                f.triple.head,
+                f.triple.relation,
+                f.triple.tail,
+                if f.head_side { "head" } else { "tail" },
+                match f.split {
+                    0 => "train",
+                    1 => "valid",
+                    _ => "test",
+                }
+            );
+        }
+        println!();
+    }
+    println!("The overwhelming majority of candidate cells can be ruled out instantly;");
+    println!("only noise triples (annotation errors in real data) are ever missed.");
+}

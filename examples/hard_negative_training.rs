@@ -1,0 +1,68 @@
+//! The paper's §7 future-work directions, implemented:
+//!
+//! 1. **Recommender-guided training negatives** — corrupt with in-domain
+//!    (hard) candidates from L-WD's static sets instead of uniform noise.
+//!    Finding: on these graphs hard negatives *reduce* global filtered MRR —
+//!    the model stops learning the domain boundary that dominates the full
+//!    ranking. This is the trade-off the paper flags as open future work;
+//! 2. **Closed-world triplet classification** — reject triples whose head
+//!    or tail sits on an L-WD zero-score cell.
+//!
+//! ```text
+//! cargo run --release --example hard_negative_training
+//! ```
+
+use kgeval::core::sample::seeded_rng;
+use kgeval::core::Triple;
+use kgeval::datasets::{generate, preset, PresetId, Scale};
+use kgeval::eval::{evaluate_full, HardNegativeSampler, TieBreak};
+use kgeval::models::{build_model, train_epoch_with_source, ModelKind, NegativeSampler, NegativeSource, TrainConfig};
+use kgeval::recommend::{CandidateSets, Lwd, RelationRecommender, SeenSets, ZeroScoreClassifier};
+use rand::Rng;
+
+fn main() {
+    let dataset = generate(&preset(PresetId::CodexM, Scale::Quick));
+    let threads = kgeval::core::parallel::default_threads();
+    println!("dataset {}: |E|={} |R|={}\n", dataset.name, dataset.num_entities(), dataset.num_relations());
+
+    let matrix = Lwd::untyped().fit(&dataset);
+    let seen = SeenSets::from_store(&dataset.train);
+    let sets = CandidateSets::static_sets(&matrix, &seen);
+
+    // --- Extension 1: hard-negative training -----------------------------
+    let config = TrainConfig { epochs: 12, lr: 0.15, num_negatives: 4, ..Default::default() };
+    let test: Vec<Triple> = dataset.test.iter().copied().take(600).collect();
+
+    let uniform_source = NegativeSampler::new(dataset.num_entities());
+    let hard_source = HardNegativeSampler::new(sets, dataset.num_entities(), 0.8);
+
+    for (name, source) in [("uniform negatives", &uniform_source as &dyn NegativeSource), ("hard negatives (L-WD, 20% hard)", &hard_source)] {
+        let mut model = build_model(ModelKind::DistMult, dataset.num_entities(), dataset.num_relations(), 32, 7);
+        let mut rng = seeded_rng(config.seed);
+        for _ in 0..config.epochs {
+            train_epoch_with_source(model.as_mut(), dataset.train.triples(), &config, source, &mut rng);
+        }
+        let full = evaluate_full(model.as_ref(), &test, &dataset.filter, TieBreak::Mean, threads);
+        println!("{name:<30}: test MRR {:.3}  Hits@10 {:.3}", full.metrics.mrr, full.metrics.hits10);
+    }
+
+    // --- Extension 2: closed-world triplet classification ----------------
+    let clf = ZeroScoreClassifier::new(&matrix);
+    let pos_rate = clf.acceptance_rate(&dataset.test);
+    let mut rng = seeded_rng(3);
+    let corrupted: Vec<Triple> = dataset
+        .test
+        .iter()
+        .map(|t| Triple {
+            tail: kgeval::core::EntityId(rng.gen_range(0..dataset.num_entities() as u32)),
+            ..*t
+        })
+        .collect();
+    let neg_rate = clf.acceptance_rate(&corrupted);
+    println!("\nzero-score triplet classifier:");
+    println!("  accepts {:.1} % of true test triples", 100.0 * pos_rate);
+    println!("  accepts {:.1} % of uniformly corrupted triples", 100.0 * neg_rate);
+    println!("  (rejections cost two sparse lookups; on real KGs like FB15k-237 the");
+    println!("   paper reports ~58 % of candidate cells excludable — our synthetic");
+    println!("   graphs are more densely type-bridged, so fewer cells are zero)");
+}

@@ -1,0 +1,68 @@
+//! The paper's large-scale scenario (§5.3): on a wikikg2-like graph, an
+//! accurate MRR estimate from ~2 % of the entities, orders of magnitude
+//! faster than the full ranking.
+//!
+//! ```text
+//! cargo run --release --example large_scale_estimation
+//! ```
+
+use kgeval::core::sample::seeded_rng;
+use kgeval::datasets::{generate, preset, PresetId, Scale};
+use kgeval::eval::{evaluate_full, evaluate_sampled, TieBreak};
+use kgeval::models::{build_model, train, ModelKind, TrainConfig};
+use kgeval::recommend::{sample_candidates, Lwd, RelationRecommender, SamplingStrategy};
+
+fn main() {
+    let dataset = generate(&preset(PresetId::WikiKg2, Scale::Quick));
+    println!(
+        "dataset {}: |E|={} |R|={} triples={}",
+        dataset.name,
+        dataset.num_entities(),
+        dataset.num_relations(),
+        dataset.num_triples()
+    );
+
+    let mut model = build_model(
+        ModelKind::ComplEx,
+        dataset.num_entities(),
+        dataset.num_relations(),
+        32,
+        9,
+    );
+    println!("training ComplEx (8 epochs)…");
+    let config = TrainConfig { epochs: 8, lr: 0.15, num_negatives: 4, ..Default::default() };
+    train(model.as_mut(), dataset.train.triples(), &config, None);
+
+    let threads = kgeval::core::parallel::default_threads();
+    let test: Vec<_> = dataset.test.iter().copied().take(2000).collect();
+
+    let full = evaluate_full(model.as_ref(), &test, &dataset.filter, TieBreak::Mean, threads);
+    println!(
+        "\nfull filtered ranking over {} entities: MRR {:.3} in {:.2} s",
+        dataset.num_entities(),
+        full.metrics.mrr,
+        full.seconds
+    );
+
+    let matrix = Lwd::untyped().fit(&dataset);
+    let n_s = (dataset.num_entities() as f64 * 0.02) as usize; // 2 % of |E|
+    let samples = sample_candidates(
+        SamplingStrategy::Probabilistic,
+        dataset.num_entities(),
+        dataset.num_relations(),
+        n_s,
+        Some(&matrix),
+        None,
+        &mut seeded_rng(5),
+    );
+    let est = evaluate_sampled(model.as_ref(), &test, &dataset.filter, &samples, TieBreak::Mean, threads);
+    println!(
+        "probabilistic estimate from {n_s} candidates/relation (2 % of |E|): MRR {:.3} in {:.2} s",
+        est.metrics.mrr, est.seconds
+    );
+    println!(
+        "speed-up: {:.0}x, absolute MRR error: {:.3}",
+        full.seconds / est.seconds.max(1e-9),
+        (est.metrics.mrr - full.metrics.mrr).abs()
+    );
+}

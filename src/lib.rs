@@ -1,0 +1,19 @@
+//! # kgeval — umbrella crate
+//!
+//! Re-exports the whole workspace behind one dependency, mirroring the
+//! paper's pipeline:
+//!
+//! 1. build or load a dataset ([`datasets`]),
+//! 2. train a KGC model ([`models`]),
+//! 3. fit a relation recommender ([`recommend`]),
+//! 4. evaluate — full, random-sampled, static or probabilistic ([`eval`]),
+//!    or with the Knowledge Persistence proxy ([`kp`]).
+//!
+//! See `examples/quickstart.rs` for the end-to-end flow.
+
+pub use kg_core as core;
+pub use kg_datasets as datasets;
+pub use kg_eval as eval;
+pub use kg_kp as kp;
+pub use kg_models as models;
+pub use kg_recommend as recommend;

@@ -1,0 +1,77 @@
+//! Reproducibility: every stage of the pipeline is deterministic in its
+//! seeds, so experiment tables can be regenerated bit-for-bit.
+
+use kgeval::datasets::{generate, preset, PresetId, Scale, SyntheticKgConfig};
+use kgeval::eval::estimator::Metric;
+use kgeval::eval::harness::{run_train_eval, HarnessConfig};
+use kgeval::models::{build_model, train, ModelKind, TrainConfig};
+use kgeval::recommend::{Lwd, RelationRecommender, SamplingStrategy};
+
+#[test]
+fn dataset_generation_is_deterministic() {
+    let a = generate(&preset(PresetId::CodexS, Scale::Quick));
+    let b = generate(&preset(PresetId::CodexS, Scale::Quick));
+    assert_eq!(a.train.triples(), b.train.triples());
+    assert_eq!(a.valid, b.valid);
+    assert_eq!(a.test, b.test);
+    assert_eq!(a.types.num_assignments(), b.types.num_assignments());
+}
+
+#[test]
+fn training_is_deterministic() {
+    let d = generate(&SyntheticKgConfig {
+        num_entities: 200,
+        num_relations: 5,
+        num_types: 8,
+        num_triples: 1500,
+        ..Default::default()
+    });
+    let score = |seed: u64| {
+        let mut m = build_model(ModelKind::ComplEx, d.num_entities(), d.num_relations(), 16, seed);
+        train(m.as_mut(), d.train.triples(), &TrainConfig { epochs: 3, seed: 42, ..Default::default() }, None);
+        m.score(kgeval::core::EntityId(0), kgeval::core::RelationId(0), kgeval::core::EntityId(1))
+    };
+    assert_eq!(score(7), score(7));
+    assert_ne!(score(7), score(8), "different init seeds should differ");
+}
+
+#[test]
+fn recommender_fit_is_deterministic() {
+    let d = generate(&preset(PresetId::CodexS, Scale::Quick));
+    let a = Lwd::typed().fit(&d);
+    let b = Lwd::typed().fit(&d);
+    assert_eq!(a.nnz(), b.nnz());
+    for c in 0..a.num_columns() {
+        let col = kgeval::core::DrColumn(c as u32);
+        assert_eq!(a.column(col).0, b.column(col).0);
+    }
+}
+
+#[test]
+fn harness_runs_are_reproducible() {
+    let d = generate(&SyntheticKgConfig {
+        num_entities: 150,
+        num_relations: 5,
+        num_types: 8,
+        num_triples: 1200,
+        ..Default::default()
+    });
+    let config = HarnessConfig {
+        model: ModelKind::DistMult,
+        dim: 8,
+        train: TrainConfig { epochs: 3, ..Default::default() },
+        sample_size: 20,
+        threads: 2,
+        max_eval_triples: 50,
+        ..Default::default()
+    };
+    let r1 = run_train_eval(&d, &config, &Lwd::untyped(), &[]);
+    let r2 = run_train_eval(&d, &config, &Lwd::untyped(), &[]);
+    for (a, b) in r1.records.iter().zip(&r2.records) {
+        assert_eq!(a.full.mrr, b.full.mrr);
+        assert_eq!(a.loss, b.loss);
+    }
+    let s1 = r1.series(SamplingStrategy::Probabilistic, Metric::Mrr);
+    let s2 = r2.series(SamplingStrategy::Probabilistic, Metric::Mrr);
+    assert_eq!(s1.estimates(), s2.estimates());
+}
