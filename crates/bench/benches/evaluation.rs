@@ -26,7 +26,12 @@ fn dataset() -> kg_datasets::Dataset {
 fn bench_eval(c: &mut Criterion) {
     let d = dataset();
     let mut model = build_model(ModelKind::ComplEx, d.num_entities(), d.num_relations(), 32, 1);
-    train(model.as_mut(), d.train.triples(), &TrainConfig { epochs: 2, ..Default::default() }, None);
+    train(
+        model.as_mut(),
+        d.train.triples(),
+        &TrainConfig { epochs: 2, ..Default::default() },
+        None,
+    );
     let test: Vec<_> = d.test.iter().copied().take(200).collect();
 
     let mut group = c.benchmark_group("evaluation");
@@ -47,11 +52,22 @@ fn bench_eval(c: &mut Criterion) {
             None,
             &mut seeded_rng(2),
         );
-        group.bench_with_input(BenchmarkId::new("sampled_400q", format!("{}pct", frac * 100.0)), &samples, |bench, samples| {
-            bench.iter(|| {
-                black_box(evaluate_sampled(model.as_ref(), &test, &d.filter, samples, TieBreak::Mean, 4))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sampled_400q", format!("{}pct", frac * 100.0)),
+            &samples,
+            |bench, samples| {
+                bench.iter(|| {
+                    black_box(evaluate_sampled(
+                        model.as_ref(),
+                        &test,
+                        &d.filter,
+                        samples,
+                        TieBreak::Mean,
+                        4,
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -16,7 +16,7 @@ fn bench_spgemm(c: &mut Criterion) {
     group.sample_size(20);
     // A B-like incidence matrix: 5k entities × 200 columns, ~8 nnz/row.
     let mut rng = seeded_rng(1);
-    let mut b = CooBuilder::new(5000, 200, );
+    let mut b = CooBuilder::new(5000, 200);
     for e in 0..5000usize {
         for _ in 0..8 {
             b.push(e, rng.gen_range(0..200), 1.0);

@@ -25,9 +25,7 @@ fn bench_fits(c: &mut Criterion) {
     let mut group = c.benchmark_group("recommender_fit_4k_entities");
     group.sample_size(10);
     for rec in all_recommenders() {
-        group.bench_function(rec.name(), |bench| {
-            bench.iter(|| black_box(rec.fit(&d).nnz()))
-        });
+        group.bench_function(rec.name(), |bench| bench.iter(|| black_box(rec.fit(&d).nnz())));
     }
     group.finish();
 }

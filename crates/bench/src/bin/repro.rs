@@ -120,9 +120,27 @@ fn run(ctx: &Ctx, artifact: &str) -> Vec<(String, String)> {
         "ablations" => single("ablations", ex::ablations::ablations(ctx)),
         "all" => {
             let order = [
-                "table1", "table4", "theory", "table2", "table10", "table3", "table5", "table6",
-                "table7", "table8", "table9", "table11", "table12-14", "table15", "fig3a",
-                "fig3b", "fig3c", "fig4", "fig5", "fig6", "ablations",
+                "table1",
+                "table4",
+                "theory",
+                "table2",
+                "table10",
+                "table3",
+                "table5",
+                "table6",
+                "table7",
+                "table8",
+                "table9",
+                "table11",
+                "table12-14",
+                "table15",
+                "fig3a",
+                "fig3b",
+                "fig3c",
+                "fig4",
+                "fig5",
+                "fig6",
+                "ablations",
             ];
             let mut out = Vec::new();
             for a in order {

@@ -19,9 +19,7 @@ use kg_recommend::{CandidateSets, Lwd, RelationRecommender, ScoreMatrix, SeenSet
 pub fn models_for(id: PresetId) -> &'static [ModelKind] {
     use ModelKind::*;
     match id {
-        PresetId::Fb15k | PresetId::Fb15k237 => {
-            &[TransE, RotatE, Rescal, DistMult, ConvE, ComplEx]
-        }
+        PresetId::Fb15k | PresetId::Fb15k237 => &[TransE, RotatE, Rescal, DistMult, ConvE, ComplEx],
         PresetId::CodexS => &[TransE, Rescal, ConvE, ComplEx],
         PresetId::CodexM => &[ConvE, ComplEx],
         PresetId::CodexL => &[TransE, TuckEr, Rescal, ConvE, ComplEx],
@@ -148,7 +146,12 @@ impl Ctx {
     }
 
     /// The harness configuration for `(dataset, model)`.
-    pub fn harness_config(&self, id: PresetId, dataset: &Dataset, kind: ModelKind) -> HarnessConfig {
+    pub fn harness_config(
+        &self,
+        id: PresetId,
+        dataset: &Dataset,
+        kind: ModelKind,
+    ) -> HarnessConfig {
         HarnessConfig {
             model: kind,
             dim: 0,

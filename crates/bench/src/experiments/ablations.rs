@@ -53,8 +53,11 @@ fn topk_sets(matrix: &kg_recommend::ScoreMatrix, seen: &SeenSets, k: usize) -> C
         pairs.truncate(k);
         columns.push(pairs);
     }
-    let truncated =
-        kg_recommend::ScoreMatrix::from_columns(matrix.num_entities(), matrix.num_relations(), columns);
+    let truncated = kg_recommend::ScoreMatrix::from_columns(
+        matrix.num_entities(),
+        matrix.num_relations(),
+        columns,
+    );
     CandidateSets::static_sets(&truncated, seen)
 }
 
@@ -120,7 +123,8 @@ pub fn ablate_pt_union(ctx: &Ctx) -> String {
     );
 
     let mut t = TextTable::new(vec!["Variant", "CR (Test)", "CR (Unseen)", "RR"]);
-    for (name, sets) in [("threshold ∪ seen (paper)", &with_union), ("threshold only", &no_union)] {
+    for (name, sets) in [("threshold ∪ seen (paper)", &with_union), ("threshold only", &no_union)]
+    {
         let r = cr_rr(sets, dataset, &seen_v);
         t.row(vec![name.to_string(), f3(r.cr_test), f3(r.cr_unseen), f3(r.reduction_rate)]);
     }

@@ -13,7 +13,8 @@ pub const TABLE3_DATASETS: [PresetId; 3] = [PresetId::Yago3, PresetId::CodexL, P
 /// Render Table 3.
 pub fn table3(ctx: &Ctx) -> String {
     let mut header: Vec<String> = vec!["Sampling".into(), "Quantity".into()];
-    let mut pair_counts: Vec<String> = vec!["(h,r,·),(·,r,t)".into(), "# (h,r)- & (r,t)-pairs".into()];
+    let mut pair_counts: Vec<String> =
+        vec!["(h,r,·),(·,r,t)".into(), "# (h,r)- & (r,t)-pairs".into()];
     let mut ea_samples: Vec<String> = vec!["".into(), "# Samples".into()];
     let mut rel_counts: Vec<String> = vec!["(·,r,·)".into(), "(·,r,·)-instances".into()];
     let mut rel_samples: Vec<String> = vec!["".into(), "# Samples".into()];

@@ -78,9 +78,8 @@ pub fn tables12_14(ctx: &Ctx) -> String {
 /// Table 8: average Kendall-τ of how each estimator orders the *models*
 /// at each epoch, on datasets with ≥ 3 trained models.
 pub fn table8(ctx: &Ctx) -> String {
-    let mut t = TextTable::new(vec![
-        "Dataset", "KP R", "KP P", "KP S", "Rank R", "Rank P", "Rank S",
-    ]);
+    let mut t =
+        TextTable::new(vec!["Dataset", "KP R", "KP P", "KP S", "Rank R", "Rank P", "Rank S"]);
     for id in CORRELATION_DATASETS {
         let runs = ctx.runs(id);
         if runs.len() < 3 {
@@ -179,5 +178,8 @@ pub fn table15(ctx: &Ctx) -> String {
             t.row(cells);
         }
     }
-    format!("Table 15: MAEs of estimating the true Hits@X metrics (P/R/S per metric).\n\n{}", t.render())
+    format!(
+        "Table 15: MAEs of estimating the true Hits@X metrics (P/R/S per metric).\n\n{}",
+        t.render()
+    )
 }

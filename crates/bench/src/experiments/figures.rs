@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use kg_core::sample::seeded_rng;
-use kg_core::stats::{mean_std, mape};
+use kg_core::stats::{mape, mean_std};
 use kg_datasets::PresetId;
 use kg_eval::estimator::Metric;
 use kg_eval::report::{f1, f3, TextTable};
@@ -97,7 +97,11 @@ fn sweep(ctx: &Ctx, id: PresetId) -> (Vec<SweepPoint>, kg_eval::RankingMetrics, 
 pub fn fig3a(ctx: &Ctx) -> String {
     let (points, _full_metrics, full_secs) = sweep(ctx, PresetId::WikiKg2);
     let mut t = TextTable::new(vec![
-        "Sample size (% of |E|)", "n_s", "Random (s)", "Probabilistic (s)", "Static (s)",
+        "Sample size (% of |E|)",
+        "n_s",
+        "Random (s)",
+        "Probabilistic (s)",
+        "Static (s)",
     ]);
     for p in &points {
         let find = |s: SamplingStrategy| {
@@ -120,9 +124,7 @@ pub fn fig3a(ctx: &Ctx) -> String {
 /// Figure 3b: filtered MRR vs sample size on wikikg2-sim.
 pub fn fig3b(ctx: &Ctx) -> String {
     let (points, full, _) = sweep(ctx, PresetId::WikiKg2);
-    let mut t = TextTable::new(vec![
-        "Sample size (% of |E|)", "Probabilistic", "Random", "Static",
-    ]);
+    let mut t = TextTable::new(vec!["Sample size (% of |E|)", "Probabilistic", "Random", "Static"]);
     for p in &points {
         let find = |s: SamplingStrategy| {
             p.per_strategy.iter().find(|x| x.0 == s).map(|x| x.2.mrr).unwrap_or(f64::NAN)
@@ -148,7 +150,11 @@ pub fn fig3c(ctx: &Ctx) -> String {
     let mut t = TextTable::new(vec!["Epoch", "Probabilistic", "Random", "Static", "True MRR"]);
     for rec in &cached.run.records {
         let find = |s: SamplingStrategy| {
-            rec.estimates.iter().find(|e| e.strategy == s).map(|e| e.metrics.mrr).unwrap_or(f64::NAN)
+            rec.estimates
+                .iter()
+                .find(|e| e.strategy == s)
+                .map(|e| e.metrics.mrr)
+                .unwrap_or(f64::NAN)
         };
         t.row(vec![
             rec.epoch.to_string(),
@@ -173,11 +179,7 @@ pub fn fig6(ctx: &Ctx) -> String {
     ]);
     for p in &points {
         let find = |s: SamplingStrategy, m: Metric| {
-            p.per_strategy
-                .iter()
-                .find(|x| x.0 == s)
-                .map(|x| x.2.get(m))
-                .unwrap_or(f64::NAN)
+            p.per_strategy.iter().find(|x| x.0 == s).map(|x| x.2.get(m)).unwrap_or(f64::NAN)
         };
         let mut cells = vec![f1(p.fraction * 100.0)];
         for m in [Metric::Hits1, Metric::Hits3, Metric::Hits10] {
@@ -219,9 +221,7 @@ pub fn mape_panel(ctx: &Ctx, id: PresetId) -> String {
     let ne = dataset.num_entities();
     let nr = dataset.num_relations();
 
-    let mut t = TextTable::new(vec![
-        "Recommender", "Sample %", "MAPE (%)", "± CI95",
-    ]);
+    let mut t = TextTable::new(vec!["Recommender", "Sample %", "MAPE (%)", "± CI95"]);
     for rec in all_recommenders() {
         if rec.needs_types() && dataset.types.is_empty() {
             continue;
@@ -234,8 +234,15 @@ pub fn mape_panel(ctx: &Ctx, id: PresetId) -> String {
             for seed in 0..MAPE_SEEDS {
                 for strategy in [SamplingStrategy::Probabilistic, SamplingStrategy::Static] {
                     let mut rng = seeded_rng(0xAB00 + seed);
-                    let samples =
-                        sample_candidates(strategy, ne, nr, n_s, Some(&matrix), Some(&sets), &mut rng);
+                    let samples = sample_candidates(
+                        strategy,
+                        ne,
+                        nr,
+                        n_s,
+                        Some(&matrix),
+                        Some(&sets),
+                        &mut rng,
+                    );
                     let est = evaluate_sampled(
                         model.as_ref().as_ref(),
                         &triples,
@@ -252,7 +259,12 @@ pub fn mape_panel(ctx: &Ctx, id: PresetId) -> String {
             t.row(vec![rec.name().to_string(), f1(fraction * 100.0), f1(m), f1(ci95)]);
         }
     }
-    format!("MAPE (%) vs sample size on {} (true MRR {:.3}).\n\n{}", dataset.name, full.metrics.mrr, t.render())
+    format!(
+        "MAPE (%) vs sample size on {} (true MRR {:.3}).\n\n{}",
+        dataset.name,
+        full.metrics.mrr,
+        t.render()
+    )
 }
 
 /// Figure 4: MAPE panels for FB15k, CoDEx-M and YAGO3-10.

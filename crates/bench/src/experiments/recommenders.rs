@@ -9,9 +9,8 @@ use crate::context::{Ctx, RECOMMENDER_DATASETS};
 
 /// Render Table 5.
 pub fn table5(ctx: &Ctx) -> String {
-    let mut t = TextTable::new(vec![
-        "Dataset", "Model", "CR (Test)", "CR (Unseen)", "RR", "Runtime (s)",
-    ]);
+    let mut t =
+        TextTable::new(vec!["Dataset", "Model", "CR (Test)", "CR (Unseen)", "RR", "Runtime (s)"]);
     for id in RECOMMENDER_DATASETS {
         let assets = ctx.assets(id);
         let dataset = &assets.dataset;

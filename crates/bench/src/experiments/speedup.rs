@@ -9,7 +9,14 @@ use crate::context::{Ctx, CORRELATION_DATASETS};
 /// Render the aggregated Table 9 (per dataset, averaged over models).
 pub fn table9(ctx: &Ctx) -> String {
     let mut t = TextTable::new(vec![
-        "Method", "Sampling", "CoDEx-S", "CoDEx-M", "CoDEx-L", "FB15k", "FB15k-237", "YAGO3-10",
+        "Method",
+        "Sampling",
+        "CoDEx-S",
+        "CoDEx-M",
+        "CoDEx-L",
+        "FB15k",
+        "FB15k-237",
+        "YAGO3-10",
         "wikikg2",
     ]);
     use kg_datasets::PresetId::*;
@@ -101,5 +108,8 @@ pub fn table11(ctx: &Ctx) -> String {
             ]);
         }
     }
-    format!("Table 11: Average speed-up (with standard deviations) per dataset and model.\n\n{}", t.render())
+    format!(
+        "Table 11: Average speed-up (with standard deviations) per dataset and model.\n\n{}",
+        t.render()
+    )
 }

@@ -8,7 +8,15 @@ use crate::context::Ctx;
 /// Render Table 4 over all seven presets.
 pub fn table4(ctx: &Ctx) -> String {
     let mut t = TextTable::new(vec![
-        "Dataset", "|E|", "|R|", "|T|", "|TS|", "Train", "Valid", "Test", "Train pairs",
+        "Dataset",
+        "|E|",
+        "|R|",
+        "|T|",
+        "|TS|",
+        "Train",
+        "Valid",
+        "Test",
+        "Train pairs",
         "Test pairs",
     ]);
     for id in PresetId::ALL {

@@ -21,21 +21,14 @@ fn monte_carlo_higher(higher: u64, pool: u64, n_s: u64, reps: usize, seed: u64) 
 /// Render the theory check: Equation 1's expectation against Monte-Carlo,
 /// and Theorem 1's gain across regimes.
 pub fn theory() -> String {
-    let mut t = TextTable::new(vec![
-        "|E_(h,r)|", "|E|", "n_s", "E[X_u] analytic", "E[X_u] Monte-Carlo",
-    ]);
+    let mut t =
+        TextTable::new(vec!["|E_(h,r)|", "|E|", "n_s", "E[X_u] analytic", "E[X_u] Monte-Carlo"]);
     let e = 2000u64;
     let higher = 40u64;
     for n_s in [0u64, 20, 100, 500, 1000, 2000] {
         let analytic = expected_higher_ranked(higher, e, n_s);
         let mc = monte_carlo_higher(higher, e, n_s, 400, 7 + n_s);
-        t.row(vec![
-            higher.to_string(),
-            e.to_string(),
-            n_s.to_string(),
-            f3(analytic),
-            f3(mc),
-        ]);
+        t.row(vec![higher.to_string(), e.to_string(), n_s.to_string(), f3(analytic), f3(mc)]);
     }
 
     let mut t2 = TextTable::new(vec!["|RS_r|", "n_s", "E[Y] (positions gained)", "Regime"]);

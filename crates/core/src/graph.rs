@@ -41,7 +41,11 @@ impl TripleStore {
     /// Build a store from raw triples. Triples referencing out-of-range
     /// entities/relations panic in debug builds and are the caller's
     /// responsibility; duplicates are removed.
-    pub fn from_triples(mut triples: Vec<Triple>, num_entities: usize, num_relations: usize) -> Self {
+    pub fn from_triples(
+        mut triples: Vec<Triple>,
+        num_entities: usize,
+        num_relations: usize,
+    ) -> Self {
         triples.sort_unstable_by_key(|t| (t.relation, t.head, t.tail));
         triples.dedup();
         debug_assert!(triples.iter().all(|t| {

@@ -157,10 +157,15 @@ mod tests {
     #[test]
     fn scratch_is_reused_within_a_thread() {
         // With 1 thread the scratch accumulates every index.
-        let out = parallel_map_with(10, 1, || 0usize, |count, _i| {
-            *count += 1;
-            *count
-        });
+        let out = parallel_map_with(
+            10,
+            1,
+            || 0usize,
+            |count, _i| {
+                *count += 1;
+                *count
+            },
+        );
         assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
     }
 }

@@ -39,7 +39,10 @@ pub fn uniform_without_replacement<R: Rng>(rng: &mut R, n: usize, k: usize) -> V
 
 /// Sample `k` distinct elements from `items` uniformly.
 pub fn sample_slice<R: Rng, T: Copy>(rng: &mut R, items: &[T], k: usize) -> Vec<T> {
-    uniform_without_replacement(rng, items.len(), k).into_iter().map(|i| items[i as usize]).collect()
+    uniform_without_replacement(rng, items.len(), k)
+        .into_iter()
+        .map(|i| items[i as usize])
+        .collect()
 }
 
 #[derive(PartialEq)]

@@ -16,7 +16,13 @@ pub struct CsrMatrix {
 
 impl CsrMatrix {
     /// Construct from raw parts (debug-asserts the invariants).
-    pub fn from_parts(rows: usize, cols: usize, indptr: Vec<usize>, indices: Vec<u32>, values: Vec<f32>) -> Self {
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
         let m = CsrMatrix { rows, cols, indptr, indices, values };
         debug_assert!(m.validate().is_ok(), "{:?}", m.validate());
         m

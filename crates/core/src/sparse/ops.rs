@@ -127,12 +127,10 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // symmetric/dual-index loop
     fn gram_matrix_is_symmetric() {
-        let b = CsrMatrix::from_dense(&[
-            vec![1.0, 1.0, 0.0],
-            vec![0.0, 1.0, 1.0],
-            vec![1.0, 0.0, 1.0],
-        ]);
+        let b =
+            CsrMatrix::from_dense(&[vec![1.0, 1.0, 0.0], vec![0.0, 1.0, 1.0], vec![1.0, 0.0, 1.0]]);
         let w = spgemm(&transpose(&b), &b);
         let d = w.to_dense();
         for i in 0..3 {

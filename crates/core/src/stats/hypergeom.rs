@@ -112,6 +112,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "Theorem 1 assumes")]
     fn gain_rejects_violated_assumption() {
-        expected_rank_gain(RankGainParams { higher: 30, range_size: 20, num_entities: 100, n_s: 5 });
+        expected_rank_gain(RankGainParams {
+            higher: 30,
+            range_size: 20,
+            num_entities: 100,
+            n_s: 5,
+        });
     }
 }

@@ -20,7 +20,11 @@ pub struct TypeAssignment {
 
 impl TypeAssignment {
     /// Build from `(entity, type)` pairs; duplicates are removed.
-    pub fn from_pairs(mut pairs: Vec<(EntityId, TypeId)>, num_entities: usize, num_types: usize) -> Self {
+    pub fn from_pairs(
+        mut pairs: Vec<(EntityId, TypeId)>,
+        num_entities: usize,
+        num_types: usize,
+    ) -> Self {
         pairs.sort_unstable();
         pairs.dedup();
         debug_assert!(pairs.iter().all(|(e, t)| e.index() < num_entities && t.index() < num_types));

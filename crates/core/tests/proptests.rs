@@ -67,6 +67,7 @@ proptest! {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // dual-index loops
     fn gram_matrix_symmetric(d in matrix_strategy(8)) {
         let b = CsrMatrix::from_dense(&d);
         let w = spgemm(&transpose(&b), &b);
@@ -89,6 +90,7 @@ proptest! {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // dual-index loops
     fn coo_builder_sums_duplicates(entries in proptest::collection::vec((0usize..5, 0usize..5, -3.0f32..3.0), 0..40)) {
         let mut b = CooBuilder::new(5, 5);
         let mut dense = vec![vec![0.0f32; 5]; 5];

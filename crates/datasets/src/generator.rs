@@ -132,8 +132,20 @@ pub fn generate(config: &SyntheticKgConfig) -> Dataset {
         .iter()
         .map(|rs| {
             (
-                Pool::from_types(&types, &rs.domain_types, config.entity_zipf, &cluster_of, cluster_count),
-                Pool::from_types(&types, &rs.range_types, config.entity_zipf, &cluster_of, cluster_count),
+                Pool::from_types(
+                    &types,
+                    &rs.domain_types,
+                    config.entity_zipf,
+                    &cluster_of,
+                    cluster_count,
+                ),
+                Pool::from_types(
+                    &types,
+                    &rs.range_types,
+                    config.entity_zipf,
+                    &cluster_of,
+                    cluster_count,
+                ),
             )
         })
         .collect();
@@ -162,7 +174,9 @@ pub fn generate(config: &SyntheticKgConfig) -> Dataset {
             // cluster and the relation (what a bilinear model can learn).
             let target = (cluster_of[h as usize] as usize + 7 * r as usize + 3) % cluster_count;
             let t = if rng.gen_bool(config.cluster_affinity) {
-                rng_pool.sample_cluster(target, &mut rng).unwrap_or_else(|| rng_pool.sample(&mut rng).0)
+                rng_pool
+                    .sample_cluster(target, &mut rng)
+                    .unwrap_or_else(|| rng_pool.sample(&mut rng).0)
             } else {
                 rng_pool.sample(&mut rng).0
             };
@@ -210,7 +224,8 @@ pub fn generate(config: &SyntheticKgConfig) -> Dataset {
 fn partition_sizes(n: usize, k: usize) -> Vec<usize> {
     let weights: Vec<f64> = (0..k).map(|i| ((i + 1) as f64).powf(-0.7)).collect();
     let total: f64 = weights.iter().sum();
-    let mut sizes: Vec<usize> = weights.iter().map(|w| ((w / total) * n as f64).floor() as usize).collect();
+    let mut sizes: Vec<usize> =
+        weights.iter().map(|w| ((w / total) * n as f64).floor() as usize).collect();
     for s in sizes.iter_mut() {
         if *s == 0 {
             *s = 1;

@@ -51,7 +51,11 @@ impl RawKg {
                     })
                 }
             };
-            let triple = Triple::new(self.entities.intern(h), self.relations.intern(r), self.entities.intern(t));
+            let triple = Triple::new(
+                self.entities.intern(h),
+                self.relations.intern(r),
+                self.entities.intern(t),
+            );
             match split {
                 SplitKind::Train => self.train.push(triple),
                 SplitKind::Valid => self.valid.push(triple),
@@ -94,8 +98,18 @@ impl RawKg {
     pub fn into_dataset(self, name: impl Into<String>) -> Dataset {
         let num_entities = self.entities.len();
         let num_relations = self.relations.len();
-        let types = TypeAssignment::from_pairs(self.type_pairs, num_entities, self.types.len().max(1));
-        Dataset::new(name, self.train, self.valid, self.test, types, None, num_entities, num_relations)
+        let types =
+            TypeAssignment::from_pairs(self.type_pairs, num_entities, self.types.len().max(1));
+        Dataset::new(
+            name,
+            self.train,
+            self.valid,
+            self.test,
+            types,
+            None,
+            num_entities,
+            num_relations,
+        )
     }
 }
 
@@ -128,14 +142,15 @@ pub fn load_dir(dir: &Path, name: &str) -> Result<Dataset, KgError> {
 /// `types.tsv` with generated labels (`e{i}` / `r{i}` / `type{i}`).
 pub fn save_dir(dataset: &Dataset, dir: &Path) -> Result<(), KgError> {
     std::fs::create_dir_all(dir)?;
-    let write_split = |path: &Path, triples: &mut dyn Iterator<Item = Triple>| -> Result<(), KgError> {
-        let mut w = BufWriter::new(std::fs::File::create(path)?);
-        for t in triples {
-            writeln!(w, "e{}\tr{}\te{}", t.head.0, t.relation.0, t.tail.0)?;
-        }
-        w.flush()?;
-        Ok(())
-    };
+    let write_split =
+        |path: &Path, triples: &mut dyn Iterator<Item = Triple>| -> Result<(), KgError> {
+            let mut w = BufWriter::new(std::fs::File::create(path)?);
+            for t in triples {
+                writeln!(w, "e{}\tr{}\te{}", t.head.0, t.relation.0, t.tail.0)?;
+            }
+            w.flush()?;
+            Ok(())
+        };
     write_split(&dir.join("train.tsv"), &mut dataset.train.triples().iter().copied())?;
     write_split(&dir.join("valid.tsv"), &mut dataset.valid.iter().copied())?;
     write_split(&dir.join("test.tsv"), &mut dataset.test.iter().copied())?;

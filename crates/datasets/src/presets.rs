@@ -136,7 +136,8 @@ mod tests {
 
     #[test]
     fn all_presets_have_distinct_names() {
-        let names: std::collections::HashSet<&str> = PresetId::ALL.iter().map(|p| p.name()).collect();
+        let names: std::collections::HashSet<&str> =
+            PresetId::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), PresetId::ALL.len());
     }
 

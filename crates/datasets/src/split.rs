@@ -43,17 +43,18 @@ pub fn split_transductive<R: Rng>(
         seen_r[t.relation.index()] = true;
     }
 
-    let keep = |t: &Triple, train: &mut Vec<Triple>, seen_e: &mut [bool], seen_r: &mut [bool]| -> bool {
-        if seen_e[t.head.index()] && seen_e[t.tail.index()] && seen_r[t.relation.index()] {
-            true
-        } else {
-            seen_e[t.head.index()] = true;
-            seen_e[t.tail.index()] = true;
-            seen_r[t.relation.index()] = true;
-            train.push(*t);
-            false
-        }
-    };
+    let keep =
+        |t: &Triple, train: &mut Vec<Triple>, seen_e: &mut [bool], seen_r: &mut [bool]| -> bool {
+            if seen_e[t.head.index()] && seen_e[t.tail.index()] && seen_r[t.relation.index()] {
+                true
+            } else {
+                seen_e[t.head.index()] = true;
+                seen_e[t.tail.index()] = true;
+                seen_r[t.relation.index()] = true;
+                train.push(*t);
+                false
+            }
+        };
 
     let mut valid = Vec::with_capacity(n_valid);
     for t in candidates_valid {
@@ -101,9 +102,10 @@ mod tests {
 
     #[test]
     fn transductive_guarantee_holds() {
-        let (train, valid, test) = split_transductive(chain_triples(200), 0.2, 0.2, &mut seeded_rng(2));
+        let (train, valid, test) =
+            split_transductive(chain_triples(200), 0.2, 0.2, &mut seeded_rng(2));
         let mut seen_e = vec![false; 202];
-        let mut seen_r = vec![false; 3];
+        let mut seen_r = [false; 3];
         for t in &train {
             seen_e[t.head.index()] = true;
             seen_e[t.tail.index()] = true;
@@ -128,7 +130,8 @@ mod tests {
 
     #[test]
     fn zero_fractions_put_everything_in_train() {
-        let (train, valid, test) = split_transductive(chain_triples(50), 0.0, 0.0, &mut seeded_rng(4));
+        let (train, valid, test) =
+            split_transductive(chain_triples(50), 0.0, 0.0, &mut seeded_rng(4));
         assert_eq!(train.len(), 50);
         assert!(valid.is_empty() && test.is_empty());
     }

@@ -11,7 +11,6 @@
 //! recommender-guided negatives it scores against *hard* candidates.
 
 use kg_core::parallel::parallel_map_with;
-use kg_core::triple::QuerySide;
 use kg_core::{FilterIndex, Triple};
 use kg_models::KgcModel;
 use kg_recommend::SampledCandidates;
@@ -162,12 +161,24 @@ mod tests {
         fn score_heads(&self, _r: RelationId, _t: EntityId, out: &mut [f32]) {
             out.copy_from_slice(&self.tail_scores);
         }
-        fn score_tail_candidates(&self, _h: EntityId, _r: RelationId, c: &[EntityId], out: &mut [f32]) {
+        fn score_tail_candidates(
+            &self,
+            _h: EntityId,
+            _r: RelationId,
+            c: &[EntityId],
+            out: &mut [f32],
+        ) {
             for (o, &e) in out.iter_mut().zip(c) {
                 *o = self.tail_scores[e.index()];
             }
         }
-        fn score_head_candidates(&self, _r: RelationId, _t: EntityId, c: &[EntityId], out: &mut [f32]) {
+        fn score_head_candidates(
+            &self,
+            _r: RelationId,
+            _t: EntityId,
+            c: &[EntityId],
+            out: &mut [f32],
+        ) {
             self.score_tail_candidates(EntityId(0), RelationId(0), c, out);
         }
     }

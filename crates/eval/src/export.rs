@@ -13,43 +13,50 @@ use crate::estimator::Metric;
 use crate::harness::TrainEvalRun;
 
 /// Write a per-epoch tidy CSV of a training run:
-/// `epoch,loss,estimator,metric,value`.
+/// `dataset,model,epoch,loss,estimator,metric,value,seconds`.
+///
+/// `seconds` is the wall time of the evaluation that produced the row's
+/// value: the full ranking for `estimator=true` rows, the sampled pass for
+/// strategy rows, and the extra estimator's own timing for `metric=raw`
+/// rows (each extra estimator runs once per epoch, so its timing repeats on
+/// none — extras emit exactly one row).
 pub fn run_to_csv<W: Write>(run: &TrainEvalRun, w: &mut W) -> Result<(), KgError> {
-    writeln!(w, "dataset,model,epoch,loss,estimator,metric,value")?;
+    writeln!(w, "dataset,model,epoch,loss,estimator,metric,value,seconds")?;
     let metrics = [Metric::Mrr, Metric::Hits1, Metric::Hits3, Metric::Hits10];
     for rec in &run.records {
         for metric in metrics {
             writeln!(
                 w,
-                "{},{},{},{},true,{},{}",
+                "{},{},{},{},true,{},{},{}",
                 run.dataset,
                 run.model,
                 rec.epoch,
                 rec.loss,
                 metric.name(),
-                rec.full.get(metric)
+                rec.full.get(metric),
+                rec.full_seconds
             )?;
             for est in &rec.estimates {
                 writeln!(
                     w,
-                    "{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{}",
                     run.dataset,
                     run.model,
                     rec.epoch,
                     rec.loss,
                     est.strategy.label(),
                     metric.name(),
-                    est.metrics.get(metric)
+                    est.metrics.get(metric),
+                    est.seconds
                 )?;
             }
         }
         for (name, value, secs) in &rec.extras {
             writeln!(
                 w,
-                "{},{},{},{},{},raw,{}",
-                run.dataset, run.model, rec.epoch, rec.loss, name, value
+                "{},{},{},{},{},raw,{},{}",
+                run.dataset, run.model, rec.epoch, rec.loss, name, value, secs
             )?;
-            let _ = secs;
         }
     }
     Ok(())
@@ -97,10 +104,58 @@ mod tests {
         run_to_csv(&run, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines[0], "dataset,model,epoch,loss,estimator,metric,value");
+        assert_eq!(lines[0], "dataset,model,epoch,loss,estimator,metric,value,seconds");
         // 2 epochs × 4 metrics × (1 true + 3 estimators) = 32 rows.
         assert_eq!(lines.len(), 1 + 32);
         assert!(lines[1].starts_with("synthetic,DistMult,0,"));
+        let header_arity = lines[0].split(',').count();
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(line.split(',').count(), header_arity, "row {i} arity mismatch: {line}");
+        }
+        // The seconds column parses as a non-negative float on every row.
+        for line in &lines[1..] {
+            let secs: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
+            assert!(secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn run_csv_extras_keep_arity_and_timing() {
+        use crate::harness::ExtraEstimator;
+        let d = generate(&SyntheticKgConfig {
+            num_entities: 100,
+            num_relations: 3,
+            num_types: 4,
+            num_triples: 600,
+            ..Default::default()
+        });
+        let config = HarnessConfig {
+            model: ModelKind::DistMult,
+            dim: 8,
+            train: TrainConfig { epochs: 1, ..Default::default() },
+            sample_size: 10,
+            threads: 1,
+            max_eval_triples: 20,
+            ..Default::default()
+        };
+        let extra: ExtraEstimator = ("const_extra", Box::new(|_model| 0.25));
+        let run = run_train_eval(&d, &config, &kg_recommend::Lwd::untyped(), &[extra]);
+        let mut buf = Vec::new();
+        run_to_csv(&run, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let header_arity = lines[0].split(',').count();
+        let extra_rows: Vec<&&str> = lines.iter().filter(|l| l.contains("const_extra")).collect();
+        assert_eq!(extra_rows.len(), 1, "one extras row per epoch");
+        for row in extra_rows {
+            assert_eq!(row.split(',').count(), header_arity, "extras row arity: {row}");
+            let mut cols = row.split(',');
+            assert_eq!(cols.nth(4), Some("const_extra"), "estimator column holds the name");
+            assert_eq!(cols.next(), Some("raw"), "metric column holds the raw marker");
+            assert_eq!(cols.next(), Some("0.25"), "value column holds the estimate");
+            let secs: f64 = cols.next().unwrap().parse().unwrap();
+            assert!(secs >= 0.0, "seconds column records the extra's timing");
+        }
     }
 
     #[test]

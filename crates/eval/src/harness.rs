@@ -218,9 +218,15 @@ pub fn run_train_eval_with_matrix(
 
     let mut train_rng = seeded_rng(config.train.seed);
     for epoch in 0..config.train.epochs {
-        let loss = kg_models::train_epoch(model.as_mut(), dataset.train.triples(), &config.train, &mut train_rng);
+        let loss = kg_models::train_epoch(
+            model.as_mut(),
+            dataset.train.triples(),
+            &config.train,
+            &mut train_rng,
+        );
 
-        let full = evaluate_full(model.as_ref(), evals, &dataset.filter, config.tie, config.threads);
+        let full =
+            evaluate_full(model.as_ref(), evals, &dataset.filter, config.tie, config.threads);
         let mut estimates = Vec::with_capacity(config.strategies.len());
         for &strategy in &config.strategies {
             // Candidate samples are redrawn per evaluation, as the paper does
@@ -325,13 +331,12 @@ mod tests {
             static_s.mae()
         );
         // And Random's estimates sit above the truth.
-        let over = random
-            .estimates()
-            .iter()
-            .zip(random.truths())
-            .filter(|(e, t)| e >= t)
-            .count();
-        assert!(over * 10 >= random.len() * 8, "random should overestimate: {over}/{}", random.len());
+        let over = random.estimates().iter().zip(random.truths()).filter(|(e, t)| e >= t).count();
+        assert!(
+            over * 10 >= random.len() * 8,
+            "random should overestimate: {over}/{}",
+            random.len()
+        );
     }
 
     #[test]

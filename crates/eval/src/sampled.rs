@@ -176,12 +176,24 @@ mod tests {
         fn score_heads(&self, _r: kg_core::RelationId, _t: EntityId, out: &mut [f32]) {
             out.copy_from_slice(&self.tail_scores);
         }
-        fn score_tail_candidates(&self, _h: EntityId, _r: kg_core::RelationId, c: &[EntityId], out: &mut [f32]) {
+        fn score_tail_candidates(
+            &self,
+            _h: EntityId,
+            _r: kg_core::RelationId,
+            c: &[EntityId],
+            out: &mut [f32],
+        ) {
             for (o, &e) in out.iter_mut().zip(c) {
                 *o = self.tail_scores[e.index()];
             }
         }
-        fn score_head_candidates(&self, _r: kg_core::RelationId, _t: EntityId, c: &[EntityId], out: &mut [f32]) {
+        fn score_head_candidates(
+            &self,
+            _r: kg_core::RelationId,
+            _t: EntityId,
+            c: &[EntityId],
+            out: &mut [f32],
+        ) {
             self.score_tail_candidates(EntityId(0), kg_core::RelationId(0), c, out);
         }
     }
@@ -275,15 +287,8 @@ mod tests {
 
     #[test]
     fn per_relation_sample_reused_across_queries() {
-        let samples = sample_candidates(
-            SamplingStrategy::Random,
-            50,
-            1,
-            5,
-            None,
-            None,
-            &mut seeded_rng(3),
-        );
+        let samples =
+            sample_candidates(SamplingStrategy::Random, 50, 1, 5, None, None, &mut seeded_rng(3));
         let a = samples.for_query(kg_core::RelationId(0), QuerySide::Tail);
         let b = samples.for_query(kg_core::RelationId(0), QuerySide::Tail);
         assert_eq!(a, b, "same relation+side must reuse the same candidates");

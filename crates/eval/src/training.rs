@@ -83,10 +83,7 @@ mod tests {
         NegativeSource::corrupt_into(&s, &mut rng, pos, QuerySide::Tail, &mut out);
         for &e in &out {
             assert_ne!(e, EntityId(5), "the answer must never be drawn");
-            assert!(
-                [6u32, 7].contains(&e.0),
-                "tail negative {e:?} should come from the range set"
-            );
+            assert!([6u32, 7].contains(&e.0), "tail negative {e:?} should come from the range set");
         }
     }
 
@@ -115,8 +112,7 @@ mod tests {
     #[test]
     fn trains_end_to_end() {
         use kg_models::{build_model, train_epoch_with_source, ModelKind, TrainConfig};
-        let triples: Vec<Triple> =
-            (0..10).map(|i| Triple::new(i, 0, 10 + (i % 5))).collect();
+        let triples: Vec<Triple> = (0..10).map(|i| Triple::new(i, 0, 10 + (i % 5))).collect();
         let store = TripleStore::from_triples(triples.clone(), 20, 1);
         let sets = CandidateSets::from_seen(&SeenSets::from_store(&store));
         let source = HardNegativeSampler::new(sets, 20, 0.3);

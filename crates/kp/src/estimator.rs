@@ -203,12 +203,24 @@ mod tests {
         fn score_heads(&self, _r: RelationId, _t: EntityId, out: &mut [f32]) {
             out.fill(0.0);
         }
-        fn score_tail_candidates(&self, h: EntityId, r: RelationId, c: &[EntityId], out: &mut [f32]) {
+        fn score_tail_candidates(
+            &self,
+            h: EntityId,
+            r: RelationId,
+            c: &[EntityId],
+            out: &mut [f32],
+        ) {
             for (o, &e) in out.iter_mut().zip(c) {
                 *o = self.score(h, r, e);
             }
         }
-        fn score_head_candidates(&self, _r: RelationId, _t: EntityId, _c: &[EntityId], out: &mut [f32]) {
+        fn score_head_candidates(
+            &self,
+            _r: RelationId,
+            _t: EntityId,
+            _c: &[EntityId],
+            out: &mut [f32],
+        ) {
             out.fill(0.0);
         }
     }
@@ -230,7 +242,8 @@ mod tests {
         // tails half the time (score −6) → diagrams far apart.
         let pos: Vec<Triple> = (0..40).map(|i| Triple::new(i % 10, 0, 2 * (i % 10) + 1)).collect();
         let sep = Separator;
-        let est = KpEstimator::random(&pos, 20, KpConfig { sample_triples: 40, ..Default::default() });
+        let est =
+            KpEstimator::random(&pos, 20, KpConfig { sample_triples: 40, ..Default::default() });
         let d_sep = est.estimate(&sep);
 
         struct Constant;
@@ -256,18 +269,27 @@ mod tests {
             fn score_heads(&self, _r: RelationId, _t: EntityId, out: &mut [f32]) {
                 out.fill(0.0);
             }
-            fn score_tail_candidates(&self, _h: EntityId, _r: RelationId, _c: &[EntityId], out: &mut [f32]) {
+            fn score_tail_candidates(
+                &self,
+                _h: EntityId,
+                _r: RelationId,
+                _c: &[EntityId],
+                out: &mut [f32],
+            ) {
                 out.fill(0.0);
             }
-            fn score_head_candidates(&self, _r: RelationId, _t: EntityId, _c: &[EntityId], out: &mut [f32]) {
+            fn score_head_candidates(
+                &self,
+                _r: RelationId,
+                _t: EntityId,
+                _c: &[EntityId],
+                out: &mut [f32],
+            ) {
                 out.fill(0.0);
             }
         }
         let d_const = est.estimate(&Constant);
-        assert!(
-            d_sep > d_const,
-            "separator {d_sep} should beat constant {d_const}"
-        );
+        assert!(d_sep > d_const, "separator {d_sep} should beat constant {d_const}");
     }
 
     #[test]

@@ -66,10 +66,7 @@ mod tests {
 
     #[test]
     fn relabels_densely() {
-        let pairs = vec![
-            (EntityId(100), EntityId(5), 0.5),
-            (EntityId(5), EntityId(900), 0.7),
-        ];
+        let pairs = vec![(EntityId(100), EntityId(5), 0.5), (EntityId(5), EntityId(900), 0.7)];
         let g = ScoredGraph::from_weighted_pairs(&pairs);
         assert_eq!(g.num_vertices, 3);
         assert_eq!(g.edges.len(), 2);
@@ -78,7 +75,10 @@ mod tests {
 
     #[test]
     fn max_weight() {
-        let g = ScoredGraph::from_weighted_pairs(&[(EntityId(0), EntityId(1), 0.3), (EntityId(1), EntityId(2), 0.9)]);
+        let g = ScoredGraph::from_weighted_pairs(&[
+            (EntityId(0), EntityId(1), 0.3),
+            (EntityId(1), EntityId(2), 0.9),
+        ]);
         assert_eq!(g.max_weight(), 0.9);
     }
 

@@ -58,11 +58,8 @@ pub fn persistence_diagram(graph: &ScoredGraph) -> PersistenceDiagram {
             continue;
         }
         // Elder rule: the component with the larger birth dies.
-        let (elder, younger) = if uf.birth[ru as usize] <= uf.birth[rv as usize] {
-            (ru, rv)
-        } else {
-            (rv, ru)
-        };
+        let (elder, younger) =
+            if uf.birth[ru as usize] <= uf.birth[rv as usize] { (ru, rv) } else { (rv, ru) };
         let b = uf.birth[younger as usize];
         if w > b {
             diagram.push(b, w);
@@ -113,7 +110,11 @@ mod tests {
         // Pairs: (0.1,0.1) from first merge, (0.9,0.9) from second,
         // essential (0.1, 0.9).
         assert_eq!(d.len(), 3);
-        assert!(d.points.contains(&(0.1, 0.9)), "essential class spans the filtration: {:?}", d.points);
+        assert!(
+            d.points.contains(&(0.1, 0.9)),
+            "essential class spans the filtration: {:?}",
+            d.points
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ fn wasserstein_1d(mut a: Vec<f64>, mut b: Vec<f64>) -> f64 {
 }
 
 /// Sliced Wasserstein distance with `directions` slices.
-pub fn sliced_wasserstein(d1: &PersistenceDiagram, d2: &PersistenceDiagram, directions: usize) -> f64 {
+pub fn sliced_wasserstein(
+    d1: &PersistenceDiagram,
+    d2: &PersistenceDiagram,
+    directions: usize,
+) -> f64 {
     assert!(directions >= 1, "need at least one direction");
     // Augment each diagram with the diagonal projections of the other.
     let mut p1: Vec<(f32, f32)> = d1.points.clone();

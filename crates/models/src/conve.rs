@@ -267,14 +267,26 @@ impl KgcModel for ConvE {
         }
     }
 
-    fn score_tail_candidates(&self, h: EntityId, r: RelationId, candidates: &[EntityId], out: &mut [f32]) {
+    fn score_tail_candidates(
+        &self,
+        h: EntityId,
+        r: RelationId,
+        candidates: &[EntityId],
+        out: &mut [f32],
+    ) {
         let fwd = self.forward(h, r.index());
         for (o, &c) in out.iter_mut().zip(candidates) {
             *o = self.score_with_q(&fwd.q, c.index());
         }
     }
 
-    fn score_head_candidates(&self, r: RelationId, t: EntityId, candidates: &[EntityId], out: &mut [f32]) {
+    fn score_head_candidates(
+        &self,
+        r: RelationId,
+        t: EntityId,
+        candidates: &[EntityId],
+        out: &mut [f32],
+    ) {
         let fwd = self.forward(t, r.index() + self.num_relations);
         for (o, &c) in out.iter_mut().zip(candidates) {
             *o = self.score_with_q(&fwd.q, c.index());
@@ -283,9 +295,24 @@ impl KgcModel for ConvE {
 }
 
 impl TrainableModel for ConvE {
-    crate::impl_persistence_tables!(entities, relations, kernels, kernel_bias, fc, fc_bias, entity_bias);
+    crate::impl_persistence_tables!(
+        entities,
+        relations,
+        kernels,
+        kernel_bias,
+        fc,
+        fc_bias,
+        entity_bias
+    );
 
-    fn step_group(&mut self, pos: Triple, side: QuerySide, candidates: &[EntityId], coeffs: &[f32], lr: f32) {
+    fn step_group(
+        &mut self,
+        pos: Triple,
+        side: QuerySide,
+        candidates: &[EntityId],
+        coeffs: &[f32],
+        lr: f32,
+    ) {
         let d = self.dim;
         let (src, rel_row) = self.query_source(pos, side);
         let fwd = self.forward(src, rel_row);

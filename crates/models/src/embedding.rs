@@ -150,7 +150,13 @@ pub fn combine_all(c: Combine, table: &EmbeddingTable, q: &[f32], out: &mut [f32
 }
 
 /// Score `q` against a candidate subset of rows.
-pub fn combine_candidates(c: Combine, table: &EmbeddingTable, q: &[f32], candidates: &[u32], out: &mut [f32]) {
+pub fn combine_candidates(
+    c: Combine,
+    table: &EmbeddingTable,
+    q: &[f32],
+    candidates: &[u32],
+    out: &mut [f32],
+) {
     debug_assert_eq!(out.len(), candidates.len());
     for (o, &i) in out.iter_mut().zip(candidates) {
         *o = combine_one(c, q, table.row(i as usize));

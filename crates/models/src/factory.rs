@@ -82,12 +82,24 @@ pub fn build_model(
 ) -> Box<dyn TrainableModel> {
     let mut rng = seeded_rng(seed);
     match kind {
-        ModelKind::TransE => Box::new(crate::TransE::new(num_entities, num_relations, dim, &mut rng)),
-        ModelKind::DistMult => Box::new(crate::DistMult::new(num_entities, num_relations, dim, &mut rng)),
-        ModelKind::ComplEx => Box::new(crate::ComplEx::new(num_entities, num_relations, dim, &mut rng)),
-        ModelKind::Rescal => Box::new(crate::Rescal::new(num_entities, num_relations, dim, &mut rng)),
-        ModelKind::RotatE => Box::new(crate::RotatE::new(num_entities, num_relations, dim, &mut rng)),
-        ModelKind::TuckEr => Box::new(crate::TuckEr::new(num_entities, num_relations, dim, &mut rng)),
+        ModelKind::TransE => {
+            Box::new(crate::TransE::new(num_entities, num_relations, dim, &mut rng))
+        }
+        ModelKind::DistMult => {
+            Box::new(crate::DistMult::new(num_entities, num_relations, dim, &mut rng))
+        }
+        ModelKind::ComplEx => {
+            Box::new(crate::ComplEx::new(num_entities, num_relations, dim, &mut rng))
+        }
+        ModelKind::Rescal => {
+            Box::new(crate::Rescal::new(num_entities, num_relations, dim, &mut rng))
+        }
+        ModelKind::RotatE => {
+            Box::new(crate::RotatE::new(num_entities, num_relations, dim, &mut rng))
+        }
+        ModelKind::TuckEr => {
+            Box::new(crate::TuckEr::new(num_entities, num_relations, dim, &mut rng))
+        }
         ModelKind::ConvE => Box::new(crate::ConvE::new(num_entities, num_relations, dim, &mut rng)),
     }
 }

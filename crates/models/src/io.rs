@@ -124,7 +124,11 @@ pub fn read_snapshot<R: Read>(r: &mut R) -> Result<ModelSnapshot, KgError> {
 }
 
 /// Save a trained model.
-pub fn save_model<W: Write>(model: &dyn TrainableModel, kind: ModelKind, w: &mut W) -> Result<(), KgError> {
+pub fn save_model<W: Write>(
+    model: &dyn TrainableModel,
+    kind: ModelKind,
+    w: &mut W,
+) -> Result<(), KgError> {
     let snapshot = snapshot_of(model, kind)?;
     write_snapshot(&snapshot, w)
 }
@@ -147,7 +151,10 @@ pub fn load_model<R: Read>(r: &mut R) -> Result<Box<dyn TrainableModel>, KgError
 fn snapshot_of(model: &dyn TrainableModel, kind: ModelKind) -> Result<ModelSnapshot, KgError> {
     let tables = model.export_tables();
     if tables.is_empty() {
-        return Err(KgError::InvalidInput(format!("{} does not support persistence", model.name())));
+        return Err(KgError::InvalidInput(format!(
+            "{} does not support persistence",
+            model.name()
+        )));
     }
     Ok(ModelSnapshot {
         kind,
@@ -162,8 +169,41 @@ fn restore_into(model: &mut dyn TrainableModel, snapshot: &ModelSnapshot) -> Res
     model.import_tables(&snapshot.tables).map_err(KgError::InvalidInput)
 }
 
+/// Save a trained model to a file (creating parent directories).
+///
+/// The serving registry (`kg-serve`) loads these snapshots at registration
+/// time; training jobs write them with this helper.
+pub fn save_model_to_path(
+    model: &dyn TrainableModel,
+    kind: ModelKind,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), KgError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    save_model(model, kind, &mut file)?;
+    use std::io::Write as _;
+    file.flush()?;
+    Ok(())
+}
+
+/// Load a model snapshot written by [`save_model_to_path`].
+pub fn load_model_from_path(
+    path: impl AsRef<std::path::Path>,
+) -> Result<Box<dyn TrainableModel>, KgError> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    load_model(&mut file)
+}
+
 /// Round-trip helper used in tests: save to memory and load back.
-pub fn roundtrip(model: &dyn TrainableModel, kind: ModelKind) -> Result<Box<dyn TrainableModel>, KgError> {
+pub fn roundtrip(
+    model: &dyn TrainableModel,
+    kind: ModelKind,
+) -> Result<Box<dyn TrainableModel>, KgError> {
     let mut buf = Vec::new();
     save_model(model, kind, &mut buf)?;
     load_model(&mut buf.as_slice())
@@ -227,6 +267,25 @@ mod tests {
         let mut bad_magic = buf.clone();
         bad_magic[0] = b'X';
         assert!(load_model(&mut bad_magic.as_slice()).is_err());
+    }
+
+    #[test]
+    fn path_roundtrip_creates_dirs_and_preserves_scores() {
+        let model = build_model(ModelKind::DistMult, 6, 2, 8, 11);
+        let dir = std::env::temp_dir().join(format!("kgeval-io-{}", std::process::id()));
+        let path = dir.join("nested/model.kgev");
+        save_model_to_path(model.as_ref(), ModelKind::DistMult, &path).unwrap();
+        let loaded = load_model_from_path(&path).unwrap();
+        assert_eq!(
+            model.score(EntityId(1), RelationId(0), EntityId(2)),
+            loaded.score(EntityId(1), RelationId(0), EntityId(2))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_from_missing_path_errors() {
+        assert!(load_model_from_path("/nonexistent/kgeval/model.kgev").is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The model traits: scoring ([`KgcModel`]) and training ([`TrainableModel`]).
 
-use kg_core::{EntityId, RelationId, Triple};
 use kg_core::triple::QuerySide;
+use kg_core::{EntityId, RelationId, Triple};
 
 /// A knowledge-graph completion model that scores triples.
 ///
@@ -32,16 +32,38 @@ pub trait KgcModel: Send + Sync {
     fn score_heads(&self, r: RelationId, t: EntityId, out: &mut [f32]);
 
     /// Scores of a candidate subset as tails of `(h, r, ?)`.
-    fn score_tail_candidates(&self, h: EntityId, r: RelationId, candidates: &[EntityId], out: &mut [f32]);
+    fn score_tail_candidates(
+        &self,
+        h: EntityId,
+        r: RelationId,
+        candidates: &[EntityId],
+        out: &mut [f32],
+    );
 
     /// Scores of a candidate subset as heads of `(?, r, t)`.
-    fn score_head_candidates(&self, r: RelationId, t: EntityId, candidates: &[EntityId], out: &mut [f32]);
+    fn score_head_candidates(
+        &self,
+        r: RelationId,
+        t: EntityId,
+        candidates: &[EntityId],
+        out: &mut [f32],
+    );
 
     /// Scores of a candidate subset answering `triple`'s query on `side`.
-    fn score_candidates(&self, triple: Triple, side: QuerySide, candidates: &[EntityId], out: &mut [f32]) {
+    fn score_candidates(
+        &self,
+        triple: Triple,
+        side: QuerySide,
+        candidates: &[EntityId],
+        out: &mut [f32],
+    ) {
         match side {
-            QuerySide::Tail => self.score_tail_candidates(triple.head, triple.relation, candidates, out),
-            QuerySide::Head => self.score_head_candidates(triple.relation, triple.tail, candidates, out),
+            QuerySide::Tail => {
+                self.score_tail_candidates(triple.head, triple.relation, candidates, out)
+            }
+            QuerySide::Head => {
+                self.score_head_candidates(triple.relation, triple.tail, candidates, out)
+            }
         }
     }
 
@@ -70,7 +92,14 @@ pub trait TrainableModel: KgcModel {
     }
 
     /// Apply one Adagrad step for the group.
-    fn step_group(&mut self, pos: Triple, side: QuerySide, candidates: &[EntityId], coeffs: &[f32], lr: f32);
+    fn step_group(
+        &mut self,
+        pos: Triple,
+        side: QuerySide,
+        candidates: &[EntityId],
+        coeffs: &[f32],
+        lr: f32,
+    );
 
     /// Export all parameter tables in a model-defined stable order (for
     /// persistence; see [`crate::io`]). Empty = persistence unsupported.
@@ -156,6 +185,7 @@ pub(crate) mod gradcheck {
     /// Models using reciprocal relations for head queries (ConvE) should use
     /// [`assert_scorers_consistent_recip`] instead: their `score_heads` is
     /// *deliberately* a different function than `score(·, r, t)`.
+    #[allow(clippy::needless_range_loop)] // symmetric/dual-index loop
     pub fn assert_scorers_consistent<M: KgcModel>(model: &M, r: RelationId) {
         let n = model.num_entities();
         let mut tails = vec![0.0f32; n];
@@ -201,6 +231,7 @@ pub(crate) mod gradcheck {
     /// match `score`, and the head side must be internally consistent
     /// (`score_heads` ↔ `score_head_candidates`) even though it evaluates the
     /// inverse relation.
+    #[allow(clippy::needless_range_loop)] // dual-index loops
     pub fn assert_scorers_consistent_recip<M: KgcModel>(model: &M, r: RelationId) {
         let n = model.num_entities();
         let h = EntityId(0);

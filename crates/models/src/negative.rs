@@ -39,7 +39,13 @@ impl NegativeSampler {
 
     /// Fill `out` with entities corrupting `side` of `pos`, never equal to
     /// the true answer.
-    pub fn corrupt_into<R: Rng>(&self, rng: &mut R, pos: Triple, side: QuerySide, out: &mut [EntityId]) {
+    pub fn corrupt_into<R: Rng>(
+        &self,
+        rng: &mut R,
+        pos: Triple,
+        side: QuerySide,
+        out: &mut [EntityId],
+    ) {
         let answer = side.answer(pos);
         for slot in out.iter_mut() {
             loop {

@@ -115,7 +115,13 @@ impl KgcModel for RotatE {
         }
     }
 
-    fn score_tail_candidates(&self, h: EntityId, r: RelationId, candidates: &[EntityId], out: &mut [f32]) {
+    fn score_tail_candidates(
+        &self,
+        h: EntityId,
+        r: RelationId,
+        candidates: &[EntityId],
+        out: &mut [f32],
+    ) {
         let mut q = vec![0.0f32; self.dim];
         self.tail_query(h, r, &mut q);
         for (o, &c) in out.iter_mut().zip(candidates) {
@@ -123,7 +129,13 @@ impl KgcModel for RotatE {
         }
     }
 
-    fn score_head_candidates(&self, r: RelationId, t: EntityId, candidates: &[EntityId], out: &mut [f32]) {
+    fn score_head_candidates(
+        &self,
+        r: RelationId,
+        t: EntityId,
+        candidates: &[EntityId],
+        out: &mut [f32],
+    ) {
         let mut q = vec![0.0f32; self.dim];
         self.head_query(r, t, &mut q);
         for (o, &c) in out.iter_mut().zip(candidates) {
@@ -135,7 +147,14 @@ impl KgcModel for RotatE {
 impl TrainableModel for RotatE {
     crate::impl_persistence_tables!(entities, phases);
 
-    fn step_group(&mut self, pos: Triple, side: QuerySide, candidates: &[EntityId], coeffs: &[f32], lr: f32) {
+    fn step_group(
+        &mut self,
+        pos: Triple,
+        side: QuerySide,
+        candidates: &[EntityId],
+        coeffs: &[f32],
+        lr: f32,
+    ) {
         let m = self.half;
         let d = self.dim;
         let context = side.context(pos);

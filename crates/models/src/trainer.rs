@@ -3,8 +3,8 @@
 use kg_core::sample::seeded_rng;
 use kg_core::triple::QuerySide;
 use kg_core::{EntityId, Triple};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 
 use crate::loss::{loss_and_coeffs, LossKind};
 use crate::model::TrainableModel;

@@ -78,14 +78,26 @@ impl KgcModel for TransE {
         combine_all(Combine::NegL1, &self.entities, &q, out);
     }
 
-    fn score_tail_candidates(&self, h: EntityId, r: RelationId, candidates: &[EntityId], out: &mut [f32]) {
+    fn score_tail_candidates(
+        &self,
+        h: EntityId,
+        r: RelationId,
+        candidates: &[EntityId],
+        out: &mut [f32],
+    ) {
         let mut q = vec![0.0f32; self.dim];
         self.tail_query(h, r, &mut q);
         let ids: Vec<u32> = candidates.iter().map(|e| e.0).collect();
         combine_candidates(Combine::NegL1, &self.entities, &q, &ids, out);
     }
 
-    fn score_head_candidates(&self, r: RelationId, t: EntityId, candidates: &[EntityId], out: &mut [f32]) {
+    fn score_head_candidates(
+        &self,
+        r: RelationId,
+        t: EntityId,
+        candidates: &[EntityId],
+        out: &mut [f32],
+    ) {
         let mut q = vec![0.0f32; self.dim];
         self.head_query(r, t, &mut q);
         let ids: Vec<u32> = candidates.iter().map(|e| e.0).collect();
@@ -96,7 +108,14 @@ impl KgcModel for TransE {
 impl TrainableModel for TransE {
     crate::impl_persistence_tables!(entities, relations);
 
-    fn step_group(&mut self, pos: Triple, side: QuerySide, candidates: &[EntityId], coeffs: &[f32], lr: f32) {
+    fn step_group(
+        &mut self,
+        pos: Triple,
+        side: QuerySide,
+        candidates: &[EntityId],
+        coeffs: &[f32],
+        lr: f32,
+    ) {
         let d = self.dim;
         let context = side.context(pos); // fixed entity of the query
         let r = pos.relation;
@@ -194,7 +213,12 @@ mod tests {
             let mut scores = [0.0f32; 2];
             m.score_group(pos, QuerySide::Tail, &cands, &mut scores);
             let mut coeffs = [0.0f32; 2];
-            crate::loss::loss_and_coeffs(crate::loss::LossKind::Logistic, 0.0, &scores, &mut coeffs);
+            crate::loss::loss_and_coeffs(
+                crate::loss::LossKind::Logistic,
+                0.0,
+                &scores,
+                &mut coeffs,
+            );
             m.step_group(pos, QuerySide::Tail, &cands, &coeffs, 0.05);
         }
         let s_pos = m.score(pos.head, pos.relation, pos.tail);

@@ -138,14 +138,26 @@ impl KgcModel for TuckEr {
         combine_all(Combine::Dot, &self.entities, &q, out);
     }
 
-    fn score_tail_candidates(&self, h: EntityId, r: RelationId, candidates: &[EntityId], out: &mut [f32]) {
+    fn score_tail_candidates(
+        &self,
+        h: EntityId,
+        r: RelationId,
+        candidates: &[EntityId],
+        out: &mut [f32],
+    ) {
         let mut q = vec![0.0f32; self.dim];
         self.tail_query(h, r, &mut q);
         let ids: Vec<u32> = candidates.iter().map(|e| e.0).collect();
         combine_candidates(Combine::Dot, &self.entities, &q, &ids, out);
     }
 
-    fn score_head_candidates(&self, r: RelationId, t: EntityId, candidates: &[EntityId], out: &mut [f32]) {
+    fn score_head_candidates(
+        &self,
+        r: RelationId,
+        t: EntityId,
+        candidates: &[EntityId],
+        out: &mut [f32],
+    ) {
         let mut q = vec![0.0f32; self.dim];
         self.head_query(r, t, &mut q);
         let ids: Vec<u32> = candidates.iter().map(|e| e.0).collect();
@@ -156,7 +168,14 @@ impl KgcModel for TuckEr {
 impl TrainableModel for TuckEr {
     crate::impl_persistence_tables!(entities, relations, core);
 
-    fn step_group(&mut self, pos: Triple, side: QuerySide, candidates: &[EntityId], coeffs: &[f32], lr: f32) {
+    fn step_group(
+        &mut self,
+        pos: Triple,
+        side: QuerySide,
+        candidates: &[EntityId],
+        coeffs: &[f32],
+        lr: f32,
+    ) {
         let d = self.dim;
         let context = side.context(pos);
         let r = pos.relation;

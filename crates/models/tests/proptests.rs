@@ -23,6 +23,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // dual-index loops
     fn scorers_agree_for_all_models(kind in kind_strategy(), seed in 0u64..50) {
         let n = 10usize;
         let dim = match kind {

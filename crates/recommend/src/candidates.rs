@@ -210,7 +210,11 @@ pub fn cr_rr(sets: &CandidateSets, dataset: &Dataset, seen_with_valid: &SeenSets
     }
     CrRrReport {
         cr_test: if queries == 0 { 0.0 } else { hits as f64 / queries as f64 },
-        cr_unseen: if unseen_queries == 0 { 1.0 } else { unseen_hits as f64 / unseen_queries as f64 },
+        cr_unseen: if unseen_queries == 0 {
+            1.0
+        } else {
+            unseen_hits as f64 / unseen_queries as f64
+        },
         reduction_rate: if queries == 0 { 0.0 } else { 1.0 - set_size_sum / (queries as f64 * ne) },
         queries,
         unseen_queries,

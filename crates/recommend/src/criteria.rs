@@ -12,13 +12,8 @@ pub struct CriteriaRow {
 }
 
 /// Criterion labels in Table 1's order.
-pub const CRITERIA_LABELS: [&str; 5] = [
-    "Scalable on CPU",
-    "Parameter-free",
-    "Supports Unseen Candidates",
-    "Type-free",
-    "Inductive",
-];
+pub const CRITERIA_LABELS: [&str; 5] =
+    ["Scalable on CPU", "Parameter-free", "Supports Unseen Candidates", "Type-free", "Inductive"];
 
 /// Compute Table 1 for the standard line-up plus plain DBH.
 pub fn criteria_table() -> Vec<CriteriaRow> {
@@ -29,7 +24,13 @@ pub fn criteria_table() -> Vec<CriteriaRow> {
             let c = r.criteria();
             CriteriaRow {
                 name: r.name(),
-                flags: [c.scalable_cpu, c.parameter_free, c.supports_unseen, c.type_free, c.inductive],
+                flags: [
+                    c.scalable_cpu,
+                    c.parameter_free,
+                    c.supports_unseen,
+                    c.type_free,
+                    c.inductive,
+                ],
             }
         })
         .collect()

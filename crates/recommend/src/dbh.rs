@@ -35,11 +35,25 @@ impl RelationRecommender for Dbh {
         let mut columns: Vec<Vec<(u32, f32)>> = Vec::with_capacity(2 * nr);
         for r in 0..nr {
             let rel = kg_core::RelationId(r as u32);
-            columns.push(dataset.train.heads_of(rel).iter().map(|ec| (ec.entity.0, ec.count as f32)).collect());
+            columns.push(
+                dataset
+                    .train
+                    .heads_of(rel)
+                    .iter()
+                    .map(|ec| (ec.entity.0, ec.count as f32))
+                    .collect(),
+            );
         }
         for r in 0..nr {
             let rel = kg_core::RelationId(r as u32);
-            columns.push(dataset.train.tails_of(rel).iter().map(|ec| (ec.entity.0, ec.count as f32)).collect());
+            columns.push(
+                dataset
+                    .train
+                    .tails_of(rel)
+                    .iter()
+                    .map(|ec| (ec.entity.0, ec.count as f32))
+                    .collect(),
+            );
         }
         ScoreMatrix::from_columns(dataset.num_entities(), nr, columns)
     }
@@ -78,7 +92,11 @@ impl RelationRecommender for DbhT {
             for r in 0..nr {
                 let rel = kg_core::RelationId(r as u32);
                 type_counts.fill(0);
-                let seen = if side == 0 { dataset.train.heads_of(rel) } else { dataset.train.tails_of(rel) };
+                let seen = if side == 0 {
+                    dataset.train.heads_of(rel)
+                } else {
+                    dataset.train.tails_of(rel)
+                };
                 for ec in seen {
                     for &ty in dataset.types.types_of(ec.entity) {
                         type_counts[ty.index()] += 1;

@@ -161,7 +161,16 @@ mod tests {
             train.push(Triple::new(i, 0, i + 1));
             train.push(Triple::new(i + 5, 1, i + 6));
         }
-        let d = Dataset::new("c", train.clone(), vec![], vec![], TypeAssignment::empty(10), None, 10, 2);
+        let d = Dataset::new(
+            "c",
+            train.clone(),
+            vec![],
+            vec![],
+            TypeAssignment::empty(10),
+            None,
+            10,
+            2,
+        );
         let m = Lwd::untyped().fit(&d);
         let clf = ZeroScoreClassifier::new(&m);
         assert_eq!(clf.acceptance_rate(&train), 1.0, "train triples always accepted");

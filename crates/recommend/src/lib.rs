@@ -36,7 +36,9 @@ pub mod wd;
 pub use candidates::{cr_rr, CandidateSets, CrRrReport};
 pub use criteria::criteria_table;
 pub use dbh::{Dbh, DbhT};
-pub use easy_negatives::{mine_easy_negatives, EasyNegativeReport, FalseEasyNegative, ZeroScoreClassifier};
+pub use easy_negatives::{
+    mine_easy_negatives, EasyNegativeReport, FalseEasyNegative, ZeroScoreClassifier,
+};
 pub use lwd::Lwd;
 pub use neural::NeuralRecommender;
 pub use ontosim::OntoSim;

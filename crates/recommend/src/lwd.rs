@@ -124,14 +124,10 @@ mod tests {
             let col = DrColumn(c as u32);
             let (es, _) = m.column(col);
             for &e in es {
-                let seen = dataset()
-                    .train
-                    .triples()
-                    .iter()
-                    .any(|t| {
-                        (c < 2 && t.relation.0 as usize == c && t.head.0 == e)
-                            || (c >= 2 && t.relation.0 as usize == c - 2 && t.tail.0 == e)
-                    });
+                let seen = dataset().train.triples().iter().any(|t| {
+                    (c < 2 && t.relation.0 as usize == c && t.head.0 == e)
+                        || (c >= 2 && t.relation.0 as usize == c - 2 && t.tail.0 == e)
+                });
                 if !seen {
                     found_unseen_positive = true;
                 }

@@ -110,11 +110,8 @@ impl RelationRecommender for NeuralRecommender {
                 let (e, c) = positives[pi as usize];
                 // One positive + `negatives` random-entity negatives.
                 for k in 0..=self.negatives {
-                    let (ee, label) = if k == 0 {
-                        (e, 1.0f32)
-                    } else {
-                        (rng.gen_range(0..ne as u32), 0.0)
-                    };
+                    let (ee, label) =
+                        if k == 0 { (e, 1.0f32) } else { (rng.gen_range(0..ne as u32), 0.0) };
                     let ui = ee as usize * d;
                     let vi = c as usize * d;
                     let mut dot = bias[c as usize];

@@ -41,7 +41,11 @@ impl RelationRecommender for OntoSim {
             for r in 0..nr {
                 let rel = kg_core::RelationId(r as u32);
                 admitted.fill(false);
-                let seen = if side == 0 { dataset.train.heads_of(rel) } else { dataset.train.tails_of(rel) };
+                let seen = if side == 0 {
+                    dataset.train.heads_of(rel)
+                } else {
+                    dataset.train.tails_of(rel)
+                };
                 for ec in seen {
                     for &ty in dataset.types.types_of(ec.entity) {
                         admitted[ty.index()] = true;
@@ -84,16 +88,7 @@ mod tests {
             5,
             2,
         );
-        Dataset::new(
-            "ontosim-test",
-            vec![Triple::new(0, 0, 2)],
-            vec![],
-            vec![],
-            types,
-            None,
-            5,
-            1,
-        )
+        Dataset::new("ontosim-test", vec![Triple::new(0, 0, 2)], vec![], vec![], types, None, 5, 1)
     }
 
     #[test]

@@ -49,7 +49,12 @@ impl ProbabilisticCache {
     }
 
     /// One weighted draw from column `c` (used by KP's corruption step).
-    pub fn sample_one<R: Rng>(&self, matrix: &ScoreMatrix, c: DrColumn, rng: &mut R) -> Option<EntityId> {
+    pub fn sample_one<R: Rng>(
+        &self,
+        matrix: &ScoreMatrix,
+        c: DrColumn,
+        rng: &mut R,
+    ) -> Option<EntityId> {
         let (entities, _) = matrix.column(c);
         self.columns[c.index()].sample_one(rng).map(|p| EntityId(entities[p]))
     }
@@ -214,29 +219,20 @@ mod tests {
         ScoreMatrix::from_columns(
             10,
             1,
-            vec![
-                vec![(0, 1.0), (1, 1.0), (2, 5.0)],
-                vec![(3, 1.0), (4, 2.0), (5, 3.0), (6, 0.5)],
-            ],
+            vec![vec![(0, 1.0), (1, 1.0), (2, 5.0)], vec![(3, 1.0), (4, 2.0), (5, 3.0), (6, 0.5)]],
         )
     }
 
     fn sets() -> CandidateSets {
-        let store = TripleStore::from_triples(vec![Triple::new(0, 0, 3), Triple::new(2, 0, 5)], 10, 1);
+        let store =
+            TripleStore::from_triples(vec![Triple::new(0, 0, 3), Triple::new(2, 0, 5)], 10, 1);
         CandidateSets::from_seen(&SeenSets::from_store(&store))
     }
 
     #[test]
     fn random_draws_ns_distinct() {
-        let s = sample_candidates(
-            SamplingStrategy::Random,
-            10,
-            1,
-            4,
-            None,
-            None,
-            &mut seeded_rng(1),
-        );
+        let s =
+            sample_candidates(SamplingStrategy::Random, 10, 1, 4, None, None, &mut seeded_rng(1));
         assert_eq!(s.column(DrColumn(0)).len(), 4);
         assert_eq!(s.total_drawn(), 8);
         let mut v: Vec<u32> = s.column(DrColumn(0)).iter().map(|e| e.0).collect();
@@ -289,7 +285,15 @@ mod tests {
         let mut rng = seeded_rng(4);
         let mut count2 = 0usize;
         for _ in 0..300 {
-            let s = sample_candidates(SamplingStrategy::Probabilistic, 10, 1, 1, Some(&m), None, &mut rng);
+            let s = sample_candidates(
+                SamplingStrategy::Probabilistic,
+                10,
+                1,
+                1,
+                Some(&m),
+                None,
+                &mut rng,
+            );
             if s.column(DrColumn(0))[0] == EntityId(2) {
                 count2 += 1;
             }

@@ -24,7 +24,11 @@ pub struct ScoreMatrix {
 impl ScoreMatrix {
     /// Build from per-column `(entity, score)` lists (need not be sorted;
     /// non-positive scores are dropped; duplicate entities summed).
-    pub fn from_columns(num_entities: usize, num_relations: usize, mut columns: Vec<Vec<(u32, f32)>>) -> Self {
+    pub fn from_columns(
+        num_entities: usize,
+        num_relations: usize,
+        mut columns: Vec<Vec<(u32, f32)>>,
+    ) -> Self {
         assert_eq!(columns.len(), 2 * num_relations, "expected 2|R| columns");
         let mut offsets = Vec::with_capacity(columns.len() + 1);
         let mut entities = Vec::new();
@@ -183,7 +187,11 @@ mod tests {
 
     #[test]
     fn truncate_keeps_top_scores() {
-        let m = ScoreMatrix::from_columns(5, 1, vec![vec![(0, 1.0), (1, 5.0), (2, 3.0)], vec![(0, 1.0)]]);
+        let m = ScoreMatrix::from_columns(
+            5,
+            1,
+            vec![vec![(0, 1.0), (1, 5.0), (2, 3.0)], vec![(0, 1.0)]],
+        );
         let t = m.truncate_columns(2);
         let (es, _) = t.column(DrColumn(0));
         assert_eq!(es, &[1, 2], "keeps the two highest-scoring entities");

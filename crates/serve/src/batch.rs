@@ -1,0 +1,272 @@
+//! Request coalescing for `/score`: concurrent scoring requests against the
+//! same model are merged into one flat triple list and scored in a single
+//! [`parallel_map_indexed`] pass.
+//!
+//! Why batch at all: each HTTP request alone would spin up a scoped thread
+//! team for a handful of triples; under concurrent load that is one team
+//! per request fighting over cores. Coalescing amortises the fan-out across
+//! every request that arrives within the batching window, which is exactly
+//! the "many users, small queries" regime the ROADMAP targets.
+//!
+//! Leadership protocol (all under one mutex, so the ordering argument is
+//! airtight): a submitter that finds no active leader becomes the leader,
+//! sleeps for the window, then drains *everything* pending and scores it.
+//! A submitter that finds a leader active just enqueues and waits on its
+//! job's condvar. Because enqueue and drain are serialised by the same
+//! mutex, a job is either drained by the current leader or observes
+//! `leader_active == false` and elects itself — no job can strand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use kg_core::parallel::parallel_map_indexed;
+use kg_core::Triple;
+use kg_models::KgcModel;
+
+use crate::http_metrics::HttpMetrics;
+
+/// One request's slot: filled by whichever thread leads the batch.
+struct JobSlot {
+    result: Mutex<Option<Vec<f32>>>,
+    ready: Condvar,
+}
+
+struct Pending {
+    triples: Vec<Triple>,
+    slot: Arc<JobSlot>,
+}
+
+#[derive(Default)]
+struct BatchState {
+    pending: Vec<Pending>,
+    leader_active: bool,
+}
+
+/// Coalesces concurrent score requests for one model.
+pub struct ScoreBatcher {
+    model: Arc<dyn KgcModel>,
+    state: Mutex<BatchState>,
+    window: Duration,
+    threads: usize,
+    batches_run: AtomicU64,
+    metrics: Option<Arc<HttpMetrics>>,
+}
+
+impl ScoreBatcher {
+    /// Batcher over `model`, waiting `window` for stragglers and scoring
+    /// with `threads` workers. Batch sizes are recorded into `metrics` when
+    /// provided — held by the batcher itself so every coalesced batch is
+    /// observed no matter which submitter ends up leading it.
+    pub fn new(
+        model: Arc<dyn KgcModel>,
+        window: Duration,
+        threads: usize,
+        metrics: Option<Arc<HttpMetrics>>,
+    ) -> Self {
+        ScoreBatcher {
+            model,
+            state: Mutex::new(BatchState::default()),
+            window,
+            threads: threads.max(1),
+            batches_run: AtomicU64::new(0),
+            metrics,
+        }
+    }
+
+    /// Number of scoring passes executed so far.
+    pub fn batches_run(&self) -> u64 {
+        self.batches_run.load(Ordering::Relaxed)
+    }
+
+    /// Score `triples`, coalescing with any concurrent submissions.
+    ///
+    /// Blocks until the batch containing this job has been scored; returns
+    /// the scores in input order.
+    pub fn submit(&self, triples: Vec<Triple>) -> Vec<f32> {
+        if triples.is_empty() {
+            return Vec::new();
+        }
+        let slot = Arc::new(JobSlot { result: Mutex::new(None), ready: Condvar::new() });
+        let is_leader = {
+            let mut state = self.state.lock().unwrap();
+            state.pending.push(Pending { triples, slot: Arc::clone(&slot) });
+            if state.leader_active {
+                false
+            } else {
+                state.leader_active = true;
+                true
+            }
+        };
+
+        if is_leader {
+            // Give concurrent submitters a chance to join this batch.
+            if !self.window.is_zero() {
+                std::thread::sleep(self.window);
+            }
+            let batch = {
+                let mut state = self.state.lock().unwrap();
+                state.leader_active = false;
+                std::mem::take(&mut state.pending)
+            };
+            self.run_batch(batch);
+        }
+
+        let mut result = slot.result.lock().unwrap();
+        while result.is_none() {
+            result = slot.ready.wait(result).unwrap();
+        }
+        result.take().unwrap()
+    }
+
+    fn run_batch(&self, batch: Vec<Pending>) {
+        let flat: Vec<Triple> = batch.iter().flat_map(|job| job.triples.iter().copied()).collect();
+        let model = &self.model;
+        // The single parallel pass over every triple of every coalesced job.
+        let scores = parallel_map_indexed(flat.len(), self.threads, |i| {
+            let t = flat[i];
+            model.score(t.head, t.relation, t.tail)
+        });
+        self.batches_run.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.observe_batch(batch.len(), flat.len());
+        }
+        let mut offset = 0usize;
+        for job in batch {
+            let n = job.triples.len();
+            let mut result = job.slot.result.lock().unwrap();
+            *result = Some(scores[offset..offset + n].to_vec());
+            job.slot.ready.notify_all();
+            offset += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::{EntityId, RelationId};
+
+    struct Linear {
+        n: usize,
+    }
+
+    impl KgcModel for Linear {
+        fn name(&self) -> &'static str {
+            "Linear"
+        }
+        fn dim(&self) -> usize {
+            1
+        }
+        fn num_entities(&self) -> usize {
+            self.n
+        }
+        fn num_relations(&self) -> usize {
+            4
+        }
+        fn score(&self, h: EntityId, r: RelationId, t: EntityId) -> f32 {
+            h.0 as f32 * 10_000.0 + r.0 as f32 * 100.0 + t.0 as f32
+        }
+        fn score_tails(&self, h: EntityId, r: RelationId, out: &mut [f32]) {
+            for (t, o) in out.iter_mut().enumerate() {
+                *o = self.score(h, r, EntityId(t as u32));
+            }
+        }
+        fn score_heads(&self, r: RelationId, t: EntityId, out: &mut [f32]) {
+            for (h, o) in out.iter_mut().enumerate() {
+                *o = self.score(EntityId(h as u32), r, t);
+            }
+        }
+        fn score_tail_candidates(
+            &self,
+            h: EntityId,
+            r: RelationId,
+            candidates: &[EntityId],
+            out: &mut [f32],
+        ) {
+            for (o, &c) in out.iter_mut().zip(candidates) {
+                *o = self.score(h, r, c);
+            }
+        }
+        fn score_head_candidates(
+            &self,
+            r: RelationId,
+            t: EntityId,
+            candidates: &[EntityId],
+            out: &mut [f32],
+        ) {
+            for (o, &c) in out.iter_mut().zip(candidates) {
+                *o = self.score(c, r, t);
+            }
+        }
+    }
+
+    fn batcher(window_us: u64) -> Arc<ScoreBatcher> {
+        batcher_with(window_us, None)
+    }
+
+    fn batcher_with(window_us: u64, metrics: Option<Arc<HttpMetrics>>) -> Arc<ScoreBatcher> {
+        Arc::new(ScoreBatcher::new(
+            Arc::new(Linear { n: 50 }),
+            Duration::from_micros(window_us),
+            2,
+            metrics,
+        ))
+    }
+
+    #[test]
+    fn single_job_scores_in_order() {
+        let b = batcher(0);
+        let triples = vec![Triple::new(1, 2, 3), Triple::new(4, 0, 9)];
+        let scores = b.submit(triples);
+        assert_eq!(scores, vec![10_203.0, 40_009.0]);
+        assert_eq!(b.batches_run(), 1);
+    }
+
+    #[test]
+    fn empty_job_is_free() {
+        let b = batcher(0);
+        assert!(b.submit(Vec::new()).is_empty());
+        assert_eq!(b.batches_run(), 0);
+    }
+
+    #[test]
+    fn concurrent_jobs_coalesce_and_split_correctly() {
+        let metrics = Arc::new(HttpMetrics::new());
+        let b = batcher_with(3_000, Some(Arc::clone(&metrics)));
+        let mut handles = Vec::new();
+        for worker in 0..8u32 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let triples: Vec<Triple> =
+                    (0..=worker).map(|i| Triple::new(worker, i % 4, i)).collect();
+                let scores = b.submit(triples.clone());
+                (triples, scores)
+            }));
+        }
+        for h in handles {
+            let (triples, scores) = h.join().unwrap();
+            assert_eq!(scores.len(), triples.len());
+            for (t, s) in triples.iter().zip(&scores) {
+                assert_eq!(
+                    *s,
+                    t.head.0 as f32 * 10_000.0 + t.relation.0 as f32 * 100.0 + t.tail.0 as f32,
+                    "job result misaligned for {t:?}"
+                );
+            }
+        }
+        // 8 concurrent jobs, 36 triples total, in (far) fewer than 8 passes.
+        assert!(b.batches_run() <= 8);
+        assert!(metrics.render().contains("kg_serve_score_batch_jobs_total 8"));
+    }
+
+    #[test]
+    fn sequential_jobs_never_strand() {
+        let b = batcher(100);
+        for i in 0..20u32 {
+            let scores = b.submit(vec![Triple::new(i % 5, 0, i % 7)]);
+            assert_eq!(scores.len(), 1);
+        }
+        assert_eq!(b.batches_run(), 20);
+    }
+}

@@ -1,0 +1,259 @@
+//! Service observability: per-endpoint request counters, latency quantiles,
+//! and batch-size distributions, rendered in Prometheus text format.
+//!
+//! Latencies are kept as a bounded reservoir of recent microsecond samples
+//! per endpoint (a ring of the last [`LATENCY_WINDOW`] observations) —
+//! p50/p99 over a sliding window is what a dashboard wants, and the memory
+//! bound holds under unbounded traffic.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Samples retained per endpoint for quantile estimation.
+pub const LATENCY_WINDOW: usize = 4096;
+
+#[derive(Default)]
+struct EndpointStats {
+    requests: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+    next_slot: usize,
+}
+
+impl EndpointStats {
+    fn observe(&mut self, latency_us: u64, is_error: bool) {
+        self.requests += 1;
+        if is_error {
+            self.errors += 1;
+        }
+        if self.latencies_us.len() < LATENCY_WINDOW {
+            self.latencies_us.push(latency_us);
+        } else {
+            self.latencies_us[self.next_slot] = latency_us;
+            self.next_slot = (self.next_slot + 1) % LATENCY_WINDOW;
+        }
+    }
+}
+
+#[derive(Default)]
+struct BatchStats {
+    batches: u64,
+    jobs: u64,
+    triples: u64,
+    sizes: Vec<u64>,
+    next_slot: usize,
+}
+
+/// Thread-safe metrics registry shared by the router and the batcher.
+pub struct HttpMetrics {
+    endpoints: Mutex<HashMap<String, EndpointStats>>,
+    batches: Mutex<BatchStats>,
+    started: Instant,
+}
+
+impl Default for HttpMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HttpMetrics {
+    /// Fresh registry; `uptime` counts from here.
+    pub fn new() -> Self {
+        HttpMetrics {
+            endpoints: Mutex::new(HashMap::new()),
+            batches: Mutex::new(BatchStats::default()),
+            started: Instant::now(),
+        }
+    }
+
+    /// Record one request against `endpoint`.
+    pub fn observe_request(&self, endpoint: &str, latency_us: u64, status: u16) {
+        let mut map = self.endpoints.lock().unwrap();
+        map.entry(endpoint.to_string()).or_default().observe(latency_us, status >= 400);
+    }
+
+    /// Record one coalesced scoring batch (`jobs` requests, `triples` total).
+    pub fn observe_batch(&self, jobs: usize, triples: usize) {
+        let mut b = self.batches.lock().unwrap();
+        b.batches += 1;
+        b.jobs += jobs as u64;
+        b.triples += triples as u64;
+        if b.sizes.len() < LATENCY_WINDOW {
+            b.sizes.push(jobs as u64);
+        } else {
+            let slot = b.next_slot;
+            b.sizes[slot] = jobs as u64;
+            b.next_slot = (slot + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    /// Seconds since construction.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Total requests across all endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.endpoints.lock().unwrap().values().map(|s| s.requests).sum()
+    }
+
+    /// Requests recorded against one endpoint.
+    pub fn requests_for(&self, endpoint: &str) -> u64 {
+        self.endpoints.lock().unwrap().get(endpoint).map_or(0, |s| s.requests)
+    }
+
+    /// `(p50, p99)` latency in seconds for `endpoint`, if it has samples.
+    pub fn latency_quantiles(&self, endpoint: &str) -> Option<(f64, f64)> {
+        let map = self.endpoints.lock().unwrap();
+        let stats = map.get(endpoint)?;
+        if stats.latencies_us.is_empty() {
+            return None;
+        }
+        let mut sorted = stats.latencies_us.clone();
+        sorted.sort_unstable();
+        Some((percentile(&sorted, 0.50) / 1e6, percentile(&sorted, 0.99) / 1e6))
+    }
+
+    /// Render every series in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("# HELP kg_serve_uptime_seconds Seconds since server start.\n");
+        out.push_str("# TYPE kg_serve_uptime_seconds gauge\n");
+        out.push_str(&format!("kg_serve_uptime_seconds {}\n", self.uptime_seconds()));
+
+        let map = self.endpoints.lock().unwrap();
+        let mut endpoints: Vec<&String> = map.keys().collect();
+        endpoints.sort();
+
+        out.push_str("# HELP kg_serve_requests_total Requests handled, by endpoint.\n");
+        out.push_str("# TYPE kg_serve_requests_total counter\n");
+        for ep in &endpoints {
+            out.push_str(&format!(
+                "kg_serve_requests_total{{endpoint=\"{ep}\"}} {}\n",
+                map[*ep].requests
+            ));
+        }
+        out.push_str("# HELP kg_serve_request_errors_total Responses with status >= 400.\n");
+        out.push_str("# TYPE kg_serve_request_errors_total counter\n");
+        for ep in &endpoints {
+            out.push_str(&format!(
+                "kg_serve_request_errors_total{{endpoint=\"{ep}\"}} {}\n",
+                map[*ep].errors
+            ));
+        }
+        out.push_str(
+            "# HELP kg_serve_latency_seconds Request latency quantiles over a sliding window.\n",
+        );
+        out.push_str("# TYPE kg_serve_latency_seconds summary\n");
+        for ep in &endpoints {
+            let stats = &map[*ep];
+            if stats.latencies_us.is_empty() {
+                continue;
+            }
+            let mut sorted = stats.latencies_us.clone();
+            sorted.sort_unstable();
+            for (label, q) in [("0.5", 0.50), ("0.99", 0.99)] {
+                out.push_str(&format!(
+                    "kg_serve_latency_seconds{{endpoint=\"{ep}\",quantile=\"{label}\"}} {}\n",
+                    percentile(&sorted, q) / 1e6
+                ));
+            }
+        }
+        drop(map);
+
+        let b = self.batches.lock().unwrap();
+        out.push_str("# HELP kg_serve_score_batches_total Coalesced /score batches executed.\n");
+        out.push_str("# TYPE kg_serve_score_batches_total counter\n");
+        out.push_str(&format!("kg_serve_score_batches_total {}\n", b.batches));
+        out.push_str("# HELP kg_serve_score_batch_jobs_total Requests absorbed into batches.\n");
+        out.push_str("# TYPE kg_serve_score_batch_jobs_total counter\n");
+        out.push_str(&format!("kg_serve_score_batch_jobs_total {}\n", b.jobs));
+        out.push_str("# HELP kg_serve_score_batch_triples_total Triples scored through batches.\n");
+        out.push_str("# TYPE kg_serve_score_batch_triples_total counter\n");
+        out.push_str(&format!("kg_serve_score_batch_triples_total {}\n", b.triples));
+        if !b.sizes.is_empty() {
+            let mut sorted = b.sizes.clone();
+            sorted.sort_unstable();
+            out.push_str("# HELP kg_serve_score_batch_size Requests per batch, quantiles.\n");
+            out.push_str("# TYPE kg_serve_score_batch_size summary\n");
+            for (label, q) in [("0.5", 0.50), ("0.99", 0.99)] {
+                out.push_str(&format!(
+                    "kg_serve_score_batch_size{{quantile=\"{label}\"}} {}\n",
+                    percentile(&sorted, q)
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_requests_and_errors() {
+        let m = HttpMetrics::new();
+        m.observe_request("/score", 100, 200);
+        m.observe_request("/score", 200, 500);
+        m.observe_request("/eval", 300, 200);
+        assert_eq!(m.total_requests(), 3);
+        assert_eq!(m.requests_for("/score"), 2);
+        let text = m.render();
+        assert!(text.contains("kg_serve_requests_total{endpoint=\"/score\"} 2"));
+        assert!(text.contains("kg_serve_request_errors_total{endpoint=\"/score\"} 1"));
+        assert!(text.contains("kg_serve_request_errors_total{endpoint=\"/eval\"} 0"));
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_windowed() {
+        let m = HttpMetrics::new();
+        for us in 1..=1000u64 {
+            m.observe_request("/score", us, 200);
+        }
+        let (p50, p99) = m.latency_quantiles("/score").unwrap();
+        assert!(p50 <= p99);
+        assert!((p50 - 500e-6).abs() < 50e-6, "p50 {p50}");
+        assert!((p99 - 990e-6).abs() < 50e-6, "p99 {p99}");
+        // Overflow the window; the reservoir stays bounded.
+        for us in 0..(2 * LATENCY_WINDOW as u64) {
+            m.observe_request("/score", us, 200);
+        }
+        assert!(m.latency_quantiles("/score").is_some());
+    }
+
+    #[test]
+    fn batch_series_render() {
+        let m = HttpMetrics::new();
+        m.observe_batch(3, 120);
+        m.observe_batch(1, 10);
+        let text = m.render();
+        assert!(text.contains("kg_serve_score_batches_total 2"));
+        assert!(text.contains("kg_serve_score_batch_jobs_total 4"));
+        assert!(text.contains("kg_serve_score_batch_triples_total 130"));
+        assert!(text.contains("kg_serve_score_batch_size{quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[10], 0.5), 10.0);
+        assert_eq!(percentile(&[1, 2, 3, 4], 0.5), 2.0);
+        assert_eq!(percentile(&[1, 2, 3, 4], 0.99), 4.0);
+    }
+
+    #[test]
+    fn unknown_endpoint_has_no_quantiles() {
+        let m = HttpMetrics::new();
+        assert!(m.latency_quantiles("/nope").is_none());
+        assert_eq!(m.requests_for("/nope"), 0);
+    }
+}

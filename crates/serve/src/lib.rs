@@ -1,0 +1,85 @@
+//! # kg-serve — evaluation as a service
+//!
+//! The paper's point is that recommender-guided sampled evaluation is fast
+//! enough to run *continuously*; this crate makes that operational: a
+//! dependency-free HTTP/1.1 service exposing trained KGC models for
+//! scoring, top-k prediction, and sampled evaluation, so the fast estimator
+//! **is** the serving path rather than an offline batch job.
+//!
+//! ## Endpoints
+//!
+//! | Route | Method | Purpose |
+//! |---|---|---|
+//! | `/score`   | POST | Score a batch of `(h, r, t)` triples (coalesced across concurrent requests) |
+//! | `/topk`    | POST | Top-k tail/head prediction with filtered known-true removal |
+//! | `/eval`    | POST | Sampled MRR / Hits@K over submitted triples ([`kg_eval::evaluate_sampled`]) |
+//! | `/healthz` | GET  | Liveness, uptime, registered models |
+//! | `/metrics` | GET  | Prometheus text: request counts, p50/p99 latency, batch sizes |
+//!
+//! ## Request/response schemas (JSON)
+//!
+//! `POST /score`:
+//! ```json
+//! {"model": "default", "triples": [[0, 1, 2], [5, 0, 7]]}
+//! → {"model": "default", "count": 2, "scores": [3.1, -0.4]}
+//! ```
+//!
+//! `POST /topk` (give `head` for tail prediction, `tail` for head
+//! prediction; `filtered` defaults to `true`, `k` to 10):
+//! ```json
+//! {"model": "default", "queries": [{"head": 0, "relation": 1}], "k": 3}
+//! → {"model": "default", "k": 3, "filtered": true,
+//!    "results": [{"entities": [7, 2, 9], "scores": [2.4, 2.2, 1.9]}]}
+//! ```
+//!
+//! `POST /eval` (strategy `random` | `static` | `probabilistic`; seeds are
+//! deterministic, and the `(strategy, n_s, seed)` candidate sample is
+//! LRU-cached per model):
+//! ```json
+//! {"model": "default", "triples": [[0, 1, 2]], "strategy": "random",
+//!  "n_s": 50, "seed": 7, "include_ranks": false}
+//! → {"model": "default", "strategy": "random", "n_s": 50, "seed": 7,
+//!    "sample_cache": "miss", "num_queries": 2,
+//!    "metrics": {"mrr": 0.41, "hits1": 0.3, "hits3": 0.45, "hits10": 0.7,
+//!                "mean_rank": 5.5}, "seconds": 0.0012}
+//! ```
+//!
+//! Responses round-trip floats through Rust's shortest-representation
+//! formatter, so `/eval` metrics agree **bit-for-bit** with calling
+//! [`kg_eval::evaluate_sampled`] in-process on the same seed.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use kg_core::{FilterIndex, Triple};
+//! use kg_models::{build_model, KgcModel, ModelKind};
+//! use kg_serve::{serve, ModelRegistry, Router, ServerConfig};
+//!
+//! let registry = Arc::new(ModelRegistry::new());
+//! let model = build_model(ModelKind::ComplEx, 100, 4, 32, 42);
+//! let train = [Triple::new(0, 0, 1)];
+//! let filter = Arc::new(FilterIndex::from_slices(&[&train]));
+//! registry.register("default", Arc::from(model as Box<dyn KgcModel>), filter);
+//!
+//! let router = Router::new(Arc::clone(&registry));
+//! let server = serve(router, &ServerConfig::default()).unwrap();
+//! println!("listening on http://{}", server.addr());
+//! // … curl -d '{"model":"default","triples":[[0,0,1]]}' http://ADDR/score
+//! server.shutdown();
+//! ```
+
+pub mod batch;
+pub mod client;
+pub mod http_metrics;
+pub mod json;
+pub mod registry;
+pub mod router;
+pub mod server;
+
+pub use batch::ScoreBatcher;
+pub use http_metrics::HttpMetrics;
+pub use json::{Json, JsonError};
+pub use registry::{LruCache, ModelEntry, ModelRegistry, RegistryConfig, SampleKey};
+pub use router::{Response, Router};
+pub use server::{serve, ServerConfig, ServerHandle};

@@ -1,0 +1,412 @@
+//! The trained-model registry: named serving entries bundling a scoring
+//! model, the filter index for known-true removal, optional recommender
+//! artifacts for Static/Probabilistic sampling, a per-model score batcher,
+//! and an LRU cache of per-relation candidate samples so repeated `/eval`
+//! calls with the same `(strategy, n_s, seed)` skip the sampling pass.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use kg_core::sample::seeded_rng;
+use kg_core::FilterIndex;
+use kg_models::KgcModel;
+use kg_recommend::{
+    sample_candidates, CandidateSets, SampledCandidates, SamplingStrategy, ScoreMatrix,
+};
+
+use crate::batch::ScoreBatcher;
+use crate::http_metrics::HttpMetrics;
+
+/// A bounded map with least-recently-used eviction.
+///
+/// Small and boring on purpose: capacity is tens of entries (one per
+/// distinct sampling configuration), so the O(len) recency bookkeeping is
+/// noise next to the sampling pass it saves.
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    capacity: usize,
+    map: HashMap<K, V>,
+    order: Vec<K>, // front = least recent, back = most recent
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LruCache { capacity, map: HashMap::with_capacity(capacity), order: Vec::new() }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up `key`, marking it most recently used on hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        if self.map.contains_key(key) {
+            self.touch(key);
+            self.map.get(key)
+        } else {
+            None
+        }
+    }
+
+    /// Insert `key → value`, evicting the least recently used entry when
+    /// over capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.map.insert(key.clone(), value).is_some() {
+            self.touch(&key);
+            return;
+        }
+        self.order.push(key);
+        if self.map.len() > self.capacity {
+            let evicted = self.order.remove(0);
+            self.map.remove(&evicted);
+        }
+    }
+
+    fn touch(&mut self, key: &K) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos);
+            self.order.push(k);
+        }
+    }
+}
+
+/// Cache key for one sampling configuration.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SampleKey {
+    /// Sampling strategy.
+    pub strategy: SamplingStrategy,
+    /// Per-column sample size.
+    pub n_s: usize,
+    /// RNG seed the sample was drawn with.
+    pub seed: u64,
+}
+
+/// How many distinct sampling configurations to keep per model.
+pub const SAMPLE_CACHE_CAPACITY: usize = 32;
+
+/// One servable model and everything needed to answer queries about it.
+pub struct ModelEntry {
+    name: String,
+    model: Arc<dyn KgcModel>,
+    filter: Arc<FilterIndex>,
+    matrix: Option<Arc<ScoreMatrix>>,
+    sets: Option<Arc<CandidateSets>>,
+    batcher: ScoreBatcher,
+    samples: Mutex<LruCache<SampleKey, Arc<SampledCandidates>>>,
+    threads: usize,
+}
+
+impl ModelEntry {
+    /// The entry's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scoring model.
+    pub fn model(&self) -> &Arc<dyn KgcModel> {
+        &self.model
+    }
+
+    /// The filter index used for filtered ranking / known-true removal.
+    pub fn filter(&self) -> &FilterIndex {
+        &self.filter
+    }
+
+    /// The coalescing batcher for `/score` traffic.
+    pub fn batcher(&self) -> &ScoreBatcher {
+        &self.batcher
+    }
+
+    /// Worker threads used for ranking passes.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether `strategy` can be served (Static needs candidate sets,
+    /// Probabilistic needs a score matrix).
+    pub fn supports(&self, strategy: SamplingStrategy) -> bool {
+        match strategy {
+            SamplingStrategy::Random => true,
+            SamplingStrategy::Static => self.sets.is_some(),
+            SamplingStrategy::Probabilistic => self.matrix.is_some(),
+        }
+    }
+
+    /// The candidate sample for `key`, drawn on miss and LRU-cached;
+    /// returns `(sample, cache_hit)`.
+    ///
+    /// Sampling is seeded from `key.seed`, so a cache hit and a fresh draw
+    /// are byte-identical — callers can treat the cache as pure memoisation.
+    pub fn samples_for(&self, key: &SampleKey) -> Result<(Arc<SampledCandidates>, bool), String> {
+        if !self.supports(key.strategy) {
+            return Err(format!(
+                "model '{}' cannot serve {} sampling (missing recommender artifacts)",
+                self.name,
+                key.strategy.name()
+            ));
+        }
+        let mut cache = self.samples.lock().unwrap();
+        if let Some(hit) = cache.get(key) {
+            return Ok((Arc::clone(hit), true));
+        }
+        let mut rng = seeded_rng(key.seed);
+        let drawn = sample_candidates(
+            key.strategy,
+            self.model.num_entities(),
+            self.model.num_relations(),
+            key.n_s,
+            self.matrix.as_deref(),
+            self.sets.as_deref(),
+            &mut rng,
+        );
+        let drawn = Arc::new(drawn);
+        cache.insert(key.clone(), Arc::clone(&drawn));
+        Ok((drawn, false))
+    }
+
+    /// Cached sampling configurations (for tests and `/healthz`).
+    pub fn cached_samples(&self) -> usize {
+        self.samples.lock().unwrap().len()
+    }
+}
+
+/// Tuning knobs shared by every entry a registry creates.
+#[derive(Clone, Debug)]
+pub struct RegistryConfig {
+    /// Batching window for `/score` coalescing.
+    pub batch_window: Duration,
+    /// Worker threads for scoring/ranking passes.
+    pub threads: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            batch_window: Duration::from_micros(200),
+            threads: kg_core::parallel::default_threads(),
+        }
+    }
+}
+
+/// A named collection of servable models.
+pub struct ModelRegistry {
+    config: RegistryConfig,
+    entries: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    metrics: Arc<HttpMetrics>,
+}
+
+impl ModelRegistry {
+    /// Empty registry with default tuning.
+    pub fn new() -> Self {
+        Self::with_config(RegistryConfig::default())
+    }
+
+    /// Empty registry with explicit tuning.
+    pub fn with_config(config: RegistryConfig) -> Self {
+        ModelRegistry {
+            config,
+            entries: RwLock::new(HashMap::new()),
+            metrics: Arc::new(HttpMetrics::new()),
+        }
+    }
+
+    /// The metrics registry shared by the router and every model's batcher.
+    pub fn metrics(&self) -> &Arc<HttpMetrics> {
+        &self.metrics
+    }
+
+    /// Register a model under `name`, replacing any previous entry.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        model: Arc<dyn KgcModel>,
+        filter: Arc<FilterIndex>,
+    ) -> Arc<ModelEntry> {
+        self.register_with_artifacts(name, model, filter, None, None)
+    }
+
+    /// Register a model together with recommender artifacts enabling the
+    /// Static / Probabilistic sampling strategies.
+    pub fn register_with_artifacts(
+        &self,
+        name: impl Into<String>,
+        model: Arc<dyn KgcModel>,
+        filter: Arc<FilterIndex>,
+        matrix: Option<Arc<ScoreMatrix>>,
+        sets: Option<Arc<CandidateSets>>,
+    ) -> Arc<ModelEntry> {
+        let name = name.into();
+        let entry = Arc::new(ModelEntry {
+            name: name.clone(),
+            batcher: ScoreBatcher::new(
+                Arc::clone(&model),
+                self.config.batch_window,
+                self.config.threads,
+                Some(Arc::clone(&self.metrics)),
+            ),
+            model,
+            filter,
+            matrix,
+            sets,
+            samples: Mutex::new(LruCache::new(SAMPLE_CACHE_CAPACITY)),
+            threads: self.config.threads,
+        });
+        self.entries.write().unwrap().insert(name, Arc::clone(&entry));
+        entry
+    }
+
+    /// Register a model from a snapshot file written by
+    /// [`kg_models::io::save_model_to_path`].
+    pub fn register_snapshot(
+        &self,
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+        filter: Arc<FilterIndex>,
+    ) -> Result<Arc<ModelEntry>, kg_core::KgError> {
+        let model = kg_models::io::load_model_from_path(path)?;
+        Ok(self.register(name, Arc::from(model as Box<dyn KgcModel>), filter))
+    }
+
+    /// Look up an entry by name.
+    pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
+        self.entries.read().unwrap().get(name).cloned()
+    }
+
+    /// Remove an entry; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.entries.write().unwrap().remove(name).is_some()
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.entries.read().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.read().unwrap().len()
+    }
+
+    /// Whether no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().unwrap().is_empty()
+    }
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::Triple;
+    use kg_models::{build_model, ModelKind};
+
+    fn tiny_entry(registry: &ModelRegistry) -> Arc<ModelEntry> {
+        let model = build_model(ModelKind::DistMult, 20, 2, 8, 3);
+        let triples: Vec<Triple> = (0..10).map(|i| Triple::new(i, i % 2, (i + 1) % 20)).collect();
+        let filter = Arc::new(FilterIndex::from_slices(&[&triples]));
+        registry.register("tiny", Arc::from(model as Box<dyn KgcModel>), filter)
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru: LruCache<u32, u32> = LruCache::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.get(&1), Some(&10)); // 1 becomes most recent
+        lru.insert(3, 30); // evicts 2
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(&10));
+        assert_eq!(lru.get(&3), Some(&30));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn lru_reinsert_updates_value_without_growth() {
+        let mut lru: LruCache<u32, u32> = LruCache::new(2);
+        lru.insert(1, 10);
+        lru.insert(1, 11);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        tiny_entry(&registry);
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.names(), vec!["tiny".to_string()]);
+        assert!(registry.get("tiny").is_some());
+        assert!(registry.get("missing").is_none());
+        assert!(registry.remove("tiny"));
+        assert!(!registry.remove("tiny"));
+    }
+
+    #[test]
+    fn sample_cache_hits_return_identical_samples() {
+        let registry = ModelRegistry::new();
+        let entry = tiny_entry(&registry);
+        let key = SampleKey { strategy: SamplingStrategy::Random, n_s: 5, seed: 9 };
+        let (a, a_hit) = entry.samples_for(&key).unwrap();
+        let (b, b_hit) = entry.samples_for(&key).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be a cache hit");
+        assert!(!a_hit, "first lookup is a miss");
+        assert!(b_hit, "second lookup reports the hit");
+        assert_eq!(entry.cached_samples(), 1);
+        // A different seed is a different sample object.
+        let (c, c_hit) = entry
+            .samples_for(&SampleKey { strategy: SamplingStrategy::Random, n_s: 5, seed: 10 })
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(!c_hit);
+        assert_eq!(entry.cached_samples(), 2);
+    }
+
+    #[test]
+    fn unsupported_strategy_is_rejected() {
+        let registry = ModelRegistry::new();
+        let entry = tiny_entry(&registry);
+        assert!(entry.supports(SamplingStrategy::Random));
+        assert!(!entry.supports(SamplingStrategy::Static));
+        assert!(!entry.supports(SamplingStrategy::Probabilistic));
+        let err = entry
+            .samples_for(&SampleKey { strategy: SamplingStrategy::Static, n_s: 5, seed: 1 })
+            .unwrap_err();
+        assert!(err.contains("Static"), "error names the strategy: {err}");
+    }
+
+    #[test]
+    fn snapshot_registration_roundtrip() {
+        let model = build_model(ModelKind::ComplEx, 12, 2, 8, 5);
+        let dir = std::env::temp_dir().join(format!("kg-serve-reg-{}", std::process::id()));
+        let path = dir.join("m.kgev");
+        kg_models::io::save_model_to_path(model.as_ref(), ModelKind::ComplEx, &path).unwrap();
+        let registry = ModelRegistry::new();
+        let triples = [Triple::new(0, 0, 1)];
+        let filter = Arc::new(FilterIndex::from_slices(&[&triples]));
+        let entry = registry.register_snapshot("loaded", &path, filter).unwrap();
+        assert_eq!(entry.model().num_entities(), 12);
+        assert_eq!(
+            entry.model().score(kg_core::EntityId(3), kg_core::RelationId(1), kg_core::EntityId(7)),
+            model.score(kg_core::EntityId(3), kg_core::RelationId(1), kg_core::EntityId(7)),
+            "registry-loaded snapshot scores identically"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,712 @@
+//! Request routing and the JSON request/response schemas of the service.
+//!
+//! Endpoints (see the crate docs for full schemas):
+//!
+//! * `POST /score`   — score `(h, r, t)` triples, coalesced by the batcher;
+//! * `POST /topk`    — top-k tail/head prediction with known-true removal;
+//! * `POST /eval`    — sampled MRR/Hits@K via the paper's fast estimator;
+//! * `GET  /healthz` — liveness + registered models;
+//! * `GET  /metrics` — Prometheus text (request counts, p50/p99, batches).
+//!
+//! The router is transport-independent: it maps `(method, path, body)` to a
+//! [`Response`], which makes every handler unit-testable without sockets.
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use kg_core::parallel::parallel_map_with;
+use kg_core::triple::QuerySide;
+use kg_core::{EntityId, Triple};
+use kg_eval::{evaluate_sampled, TieBreak};
+use kg_recommend::SamplingStrategy;
+
+use crate::http_metrics::HttpMetrics;
+use crate::json::Json;
+use crate::registry::{ModelEntry, ModelRegistry, SampleKey};
+
+/// Largest request body the service accepts (guards the std-only parser).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Cap on triples in one `/score` or `/eval` request.
+pub const MAX_TRIPLES_PER_REQUEST: usize = 1_000_000;
+
+/// Cap on queries in one `/topk` request.
+pub const MAX_TOPK_QUERIES: usize = 10_000;
+
+/// A transport-agnostic HTTP response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    fn json(status: u16, value: Json) -> Self {
+        Response { status, content_type: "application/json", body: value.to_string() }
+    }
+
+    fn error(status: u16, message: impl Into<String>) -> Self {
+        Response::json(status, Json::obj([("error", Json::Str(message.into()))]))
+    }
+}
+
+/// Shared state handed to the router for every request.
+pub struct Router {
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<HttpMetrics>,
+}
+
+impl Router {
+    /// Router over `registry`, recording into the registry's shared
+    /// [`HttpMetrics`] (the same instance its batchers observe into).
+    pub fn new(registry: Arc<ModelRegistry>) -> Self {
+        let metrics = Arc::clone(registry.metrics());
+        Router { registry, metrics }
+    }
+
+    /// The metrics registry (shared with the server and batchers).
+    pub fn metrics(&self) -> &Arc<HttpMetrics> {
+        &self.metrics
+    }
+
+    /// Dispatch one request, recording count + latency for the endpoint.
+    pub fn handle(&self, method: &str, path: &str, body: &str) -> Response {
+        let start = Instant::now();
+        let response = self.dispatch(method, path, body);
+        let latency_us = start.elapsed().as_micros() as u64;
+        // Unknown paths share one label: per-path labels would let a path
+        // scanner grow the metrics map without bound.
+        let endpoint = match path {
+            "/score" | "/topk" | "/eval" | "/healthz" | "/metrics" => path,
+            _ => "other",
+        };
+        self.metrics.observe_request(endpoint, latency_us, response.status);
+        response
+    }
+
+    fn dispatch(&self, method: &str, path: &str, body: &str) -> Response {
+        match (method, path) {
+            ("GET", "/healthz") => self.healthz(),
+            ("GET", "/metrics") => Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: self.metrics.render(),
+            },
+            ("POST", "/score") => self.with_request(body, |r, e| self.score(r, e)),
+            ("POST", "/topk") => self.with_request(body, |r, e| self.topk(r, e)),
+            ("POST", "/eval") => self.with_request(body, |r, e| self.eval(r, e)),
+            ("POST", _) | ("GET", _) => {
+                Response::error(404, format!("no route for {method} {path}"))
+            }
+            _ => Response::error(405, format!("method {method} not allowed")),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        Response::json(
+            200,
+            Json::obj([
+                ("status", Json::Str("ok".into())),
+                ("uptime_seconds", Json::Num(self.metrics.uptime_seconds())),
+                ("models", Json::Arr(self.registry.names().into_iter().map(Json::Str).collect())),
+            ]),
+        )
+    }
+
+    /// Parse the body, resolve the `model` field, run the handler.
+    fn with_request(
+        &self,
+        body: &str,
+        f: impl FnOnce(&Json, &Arc<ModelEntry>) -> Response,
+    ) -> Response {
+        if body.len() > MAX_BODY_BYTES {
+            return Response::error(413, "request body too large");
+        }
+        let parsed = match Json::parse(body) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, format!("invalid JSON: {e}")),
+        };
+        let name = match parsed.get("model").and_then(Json::as_str) {
+            Some(n) => n,
+            None => return Response::error(400, "missing string field 'model'"),
+        };
+        let entry = match self.registry.get(name) {
+            Some(e) => e,
+            None => return Response::error(404, format!("model '{name}' is not registered")),
+        };
+        f(&parsed, &entry)
+    }
+
+    fn score(&self, request: &Json, entry: &Arc<ModelEntry>) -> Response {
+        let triples = match parse_triples(request, entry, MAX_TRIPLES_PER_REQUEST) {
+            Ok(t) => t,
+            Err(r) => return r,
+        };
+        let count = triples.len();
+        let scores = entry.batcher().submit(triples);
+        Response::json(
+            200,
+            Json::obj([
+                ("model", Json::Str(entry.name().to_string())),
+                ("count", Json::Num(count as f64)),
+                ("scores", Json::from_f32s(&scores)),
+            ]),
+        )
+    }
+
+    fn topk(&self, request: &Json, entry: &Arc<ModelEntry>) -> Response {
+        let k = match request.get("k").map(|v| v.as_usize()) {
+            None => Some(10),
+            Some(k @ Some(_)) => k,
+            Some(None) => None,
+        };
+        let Some(k) = k else {
+            return Response::error(400, "'k' must be a non-negative integer");
+        };
+        let filtered = match request.get("filtered") {
+            None => true,
+            Some(v) => match v.as_bool() {
+                Some(b) => b,
+                None => return Response::error(400, "'filtered' must be a boolean"),
+            },
+        };
+        let queries = match parse_topk_queries(request, entry) {
+            Ok(q) => q,
+            Err(r) => return r,
+        };
+        let model = Arc::clone(entry.model());
+        let filter = entry.filter();
+        let n = model.num_entities();
+        let k = k.min(n);
+        let results: Vec<Json> = parallel_map_with(
+            queries.len(),
+            entry.threads(),
+            || vec![0.0f32; n],
+            |scores, qi| {
+                let (triple, side) = queries[qi];
+                model.score_all(triple, side, scores);
+                let known = if filtered { filter.known_answers(triple, side) } else { &[] };
+                let top = select_top_k(scores, known, k);
+                Json::obj([
+                    (
+                        "entities",
+                        Json::Arr(top.iter().map(|&(e, _)| Json::Num(e as f64)).collect()),
+                    ),
+                    ("scores", Json::Arr(top.iter().map(|&(_, s)| Json::Num(s as f64)).collect())),
+                ])
+            },
+        );
+        Response::json(
+            200,
+            Json::obj([
+                ("model", Json::Str(entry.name().to_string())),
+                ("k", Json::Num(k as f64)),
+                ("filtered", Json::Bool(filtered)),
+                ("results", Json::Arr(results)),
+            ]),
+        )
+    }
+
+    fn eval(&self, request: &Json, entry: &Arc<ModelEntry>) -> Response {
+        let triples = match parse_triples(request, entry, MAX_TRIPLES_PER_REQUEST) {
+            Ok(t) => t,
+            Err(r) => return r,
+        };
+        let strategy = match request.get("strategy").map(|v| v.as_str()) {
+            None => SamplingStrategy::Random,
+            Some(Some("random")) => SamplingStrategy::Random,
+            Some(Some("static")) => SamplingStrategy::Static,
+            Some(Some("probabilistic")) => SamplingStrategy::Probabilistic,
+            Some(other) => {
+                return Response::error(
+                    400,
+                    format!(
+                        "'strategy' must be one of random|static|probabilistic, got '{}'",
+                        other.unwrap_or("<non-string>")
+                    ),
+                )
+            }
+        };
+        let Some(n_s) = request.get("n_s").map_or(Some(100), |v| v.as_usize()) else {
+            return Response::error(400, "'n_s' must be a non-negative integer");
+        };
+        let Some(seed) = request.get("seed").map_or(Some(0), |v| v.as_u64()) else {
+            return Response::error(400, "'seed' must be a non-negative integer");
+        };
+        let tie = match request.get("tie").map(|v| v.as_str()) {
+            None => TieBreak::Mean,
+            Some(Some("mean")) => TieBreak::Mean,
+            Some(Some("optimistic")) => TieBreak::Optimistic,
+            Some(Some("pessimistic")) => TieBreak::Pessimistic,
+            Some(other) => {
+                return Response::error(
+                    400,
+                    format!(
+                        "'tie' must be one of mean|optimistic|pessimistic, got '{}'",
+                        other.unwrap_or("<non-string>")
+                    ),
+                )
+            }
+        };
+        let include_ranks = request.get("include_ranks").and_then(Json::as_bool).unwrap_or(false);
+
+        let key = SampleKey { strategy, n_s, seed };
+        let (samples, cache_hit) = match entry.samples_for(&key) {
+            Ok(s) => s,
+            Err(msg) => return Response::error(400, msg),
+        };
+        let result = evaluate_sampled(
+            entry.model().as_ref(),
+            &triples,
+            entry.filter(),
+            &samples,
+            tie,
+            entry.threads(),
+        );
+        let mut fields = vec![
+            ("model".to_string(), Json::Str(entry.name().to_string())),
+            ("strategy".to_string(), Json::Str(strategy.name().to_lowercase())),
+            ("n_s".to_string(), Json::Num(n_s as f64)),
+            ("seed".to_string(), Json::Num(seed as f64)),
+            ("sample_cache".to_string(), Json::Str(if cache_hit { "hit" } else { "miss" }.into())),
+            ("num_queries".to_string(), Json::Num(result.ranks.len() as f64)),
+            (
+                "metrics".to_string(),
+                Json::obj([
+                    ("mrr", Json::Num(result.metrics.mrr)),
+                    ("hits1", Json::Num(result.metrics.hits1)),
+                    ("hits3", Json::Num(result.metrics.hits3)),
+                    ("hits10", Json::Num(result.metrics.hits10)),
+                    ("mean_rank", Json::Num(result.metrics.mean_rank)),
+                ]),
+            ),
+            ("seconds".to_string(), Json::Num(result.seconds)),
+        ];
+        if include_ranks {
+            fields.push(("ranks".to_string(), Json::from_f64s(&result.ranks)));
+        }
+        Response::json(200, Json::Obj(fields))
+    }
+}
+
+/// Parse `"triples": [[h, r, t], …]`, validating ids against the model.
+fn parse_triples(request: &Json, entry: &ModelEntry, max: usize) -> Result<Vec<Triple>, Response> {
+    let raw = request
+        .get("triples")
+        .and_then(Json::as_array)
+        .ok_or_else(|| Response::error(400, "missing array field 'triples'"))?;
+    if raw.len() > max {
+        return Err(Response::error(413, format!("too many triples (max {max})")));
+    }
+    let ne = entry.model().num_entities() as u64;
+    let nr = entry.model().num_relations() as u64;
+    let mut out = Vec::with_capacity(raw.len());
+    for (i, item) in raw.iter().enumerate() {
+        let parts = item.as_array().filter(|a| a.len() == 3).ok_or_else(|| {
+            Response::error(400, format!("triples[{i}] must be a [head, relation, tail] array"))
+        })?;
+        let ids: Vec<u64> = parts.iter().filter_map(Json::as_u64).collect();
+        if ids.len() != 3 {
+            return Err(Response::error(
+                400,
+                format!("triples[{i}] must hold three non-negative integers"),
+            ));
+        }
+        let (h, r, t) = (ids[0], ids[1], ids[2]);
+        if h >= ne || t >= ne {
+            return Err(Response::error(
+                422,
+                format!("triples[{i}]: entity id out of range (|E| = {ne})"),
+            ));
+        }
+        if r >= nr {
+            return Err(Response::error(
+                422,
+                format!("triples[{i}]: relation id out of range (|R| = {nr})"),
+            ));
+        }
+        out.push(Triple::new(h as u32, r as u32, t as u32));
+    }
+    Ok(out)
+}
+
+/// Parse `"queries": [{"head": h, "relation": r} | {"relation": r, "tail": t}, …]`.
+fn parse_topk_queries(
+    request: &Json,
+    entry: &ModelEntry,
+) -> Result<Vec<(Triple, QuerySide)>, Response> {
+    let raw = request
+        .get("queries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| Response::error(400, "missing array field 'queries'"))?;
+    if raw.len() > MAX_TOPK_QUERIES {
+        return Err(Response::error(413, format!("too many queries (max {MAX_TOPK_QUERIES})")));
+    }
+    let ne = entry.model().num_entities() as u64;
+    let nr = entry.model().num_relations() as u64;
+    let mut out = Vec::with_capacity(raw.len());
+    for (i, q) in raw.iter().enumerate() {
+        let r = q.get("relation").and_then(Json::as_u64).ok_or_else(|| {
+            Response::error(400, format!("queries[{i}]: missing integer field 'relation'"))
+        })?;
+        if r >= nr {
+            return Err(Response::error(
+                422,
+                format!("queries[{i}]: relation id out of range (|R| = {nr})"),
+            ));
+        }
+        let head = q.get("head").map(Json::as_u64);
+        let tail = q.get("tail").map(Json::as_u64);
+        // Validate the fixed entity's u64 value *before* the u32 cast, so
+        // ids in (u32::MAX, 2^53] are rejected rather than truncated.
+        let (fixed, side) = match (head, tail) {
+            (Some(Some(h)), None) => (h, QuerySide::Tail),
+            (None, Some(Some(t))) => (t, QuerySide::Head),
+            (Some(None), _) | (_, Some(None)) => {
+                return Err(Response::error(
+                    400,
+                    format!("queries[{i}]: 'head'/'tail' must be non-negative integers"),
+                ))
+            }
+            (Some(_), Some(_)) => {
+                return Err(Response::error(
+                    400,
+                    format!("queries[{i}]: give exactly one of 'head' (tail prediction) or 'tail' (head prediction)"),
+                ))
+            }
+            (None, None) => {
+                return Err(Response::error(
+                    400,
+                    format!("queries[{i}]: give one of 'head' or 'tail'"),
+                ))
+            }
+        };
+        if fixed >= ne {
+            return Err(Response::error(
+                422,
+                format!("queries[{i}]: entity id out of range (|E| = {ne})"),
+            ));
+        }
+        let triple = match side {
+            QuerySide::Tail => Triple::new(fixed as u32, r as u32, 0),
+            QuerySide::Head => Triple::new(0, r as u32, fixed as u32),
+        };
+        out.push((triple, side));
+    }
+    Ok(out)
+}
+
+/// Indices and scores of the `k` highest-scoring entities, excluding
+/// `known` (ascending-sorted known-true answers). Ties break toward the
+/// lower entity id, descending score order overall.
+fn select_top_k(scores: &[f32], known: &[EntityId], k: usize) -> Vec<(u32, f32)> {
+    #[derive(PartialEq)]
+    struct Entry(f32, u32); // min-heap root = weakest kept entry
+
+    impl Eq for Entry {}
+
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Lower score = greater (so BinaryHeap keeps the k largest);
+            // on equal scores, higher id = greater, putting it at the root
+            // to be evicted first — lower ids survive at the k boundary.
+            other
+                .0
+                .partial_cmp(&self.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| self.1.cmp(&other.1))
+        }
+    }
+
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for (e, &s) in scores.iter().enumerate() {
+        if known.binary_search(&EntityId(e as u32)).is_ok() {
+            continue;
+        }
+        let entry = Entry(s, e as u32);
+        if heap.len() < k {
+            heap.push(entry);
+        } else if let Some(weakest) = heap.peek() {
+            if entry < *weakest {
+                heap.pop();
+                heap.push(entry);
+            }
+        }
+    }
+    let mut out: Vec<(u32, f32)> = heap.into_iter().map(|Entry(s, e)| (e, s)).collect();
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::FilterIndex;
+    use kg_models::{build_model, KgcModel, ModelKind};
+
+    fn router() -> (Router, Arc<ModelRegistry>) {
+        let registry = Arc::new(ModelRegistry::new());
+        let model = build_model(ModelKind::DistMult, 30, 3, 8, 7);
+        let triples: Vec<Triple> =
+            (0..15).map(|i| Triple::new(i % 30, i % 3, (i * 2 + 1) % 30)).collect();
+        let filter = Arc::new(FilterIndex::from_slices(&[&triples]));
+        registry.register("m", Arc::from(model as Box<dyn KgcModel>), filter);
+        (Router::new(Arc::clone(&registry)), registry)
+    }
+
+    #[test]
+    fn healthz_lists_models() {
+        let (router, _) = router();
+        let r = router.handle("GET", "/healthz", "");
+        assert_eq!(r.status, 200);
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(v.get("models").and_then(Json::as_array).map(<[Json]>::len), Some(1));
+    }
+
+    #[test]
+    fn score_roundtrip_matches_direct_calls() {
+        let (router, registry) = router();
+        let r = router.handle("POST", "/score", r#"{"model":"m","triples":[[0,1,2],[5,2,7]]}"#);
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Json::parse(&r.body).unwrap();
+        let scores = v.get("scores").and_then(Json::as_array).unwrap();
+        let model = registry.get("m").unwrap();
+        let expect0 = model.model().score(EntityId(0), kg_core::RelationId(1), EntityId(2));
+        assert_eq!(scores[0].as_f64().unwrap() as f32, expect0);
+        assert_eq!(v.get("count").and_then(Json::as_usize), Some(2));
+    }
+
+    #[test]
+    fn score_validates_ids_and_shape() {
+        let (router, _) = router();
+        for (body, status) in [
+            (r#"{"model":"m"}"#, 400),
+            (r#"{"model":"m","triples":[[0,1]]}"#, 400),
+            (r#"{"model":"m","triples":[[0,1,99]]}"#, 422),
+            (r#"{"model":"m","triples":[[0,9,1]]}"#, 422),
+            (r#"{"model":"nope","triples":[[0,1,2]]}"#, 404),
+            ("not json", 400),
+        ] {
+            let r = router.handle("POST", "/score", body);
+            assert_eq!(r.status, status, "body {body} → {}", r.body);
+        }
+    }
+
+    #[test]
+    fn topk_returns_sorted_filtered_results() {
+        let (router, registry) = router();
+        let body =
+            r#"{"model":"m","queries":[{"head":0,"relation":1},{"relation":1,"tail":3}],"k":5}"#;
+        let r = router.handle("POST", "/topk", body);
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Json::parse(&r.body).unwrap();
+        let results = v.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results.len(), 2);
+        let model = registry.get("m").unwrap();
+        for (qi, (triple, side)) in
+            [(Triple::new(0, 1, 0), QuerySide::Tail), (Triple::new(0, 1, 3), QuerySide::Head)]
+                .iter()
+                .enumerate()
+        {
+            let entities = results[qi].get("entities").and_then(Json::as_array).unwrap();
+            let scores = results[qi].get("scores").and_then(Json::as_array).unwrap();
+            assert_eq!(entities.len(), 5);
+            // Scores descend.
+            let s: Vec<f64> = scores.iter().filter_map(Json::as_f64).collect();
+            assert!(s.windows(2).all(|w| w[0] >= w[1]), "unsorted: {s:?}");
+            // Each reported score matches a direct model call.
+            let mut all = vec![0.0f32; model.model().num_entities()];
+            model.model().score_all(*triple, *side, &mut all);
+            for (e, sc) in entities.iter().zip(&s) {
+                let id = e.as_usize().unwrap();
+                assert_eq!(all[id] as f64, *sc);
+            }
+            // Filtered: known answers excluded.
+            let known = model.filter().known_answers(*triple, *side);
+            for e in entities {
+                let id = EntityId(e.as_usize().unwrap() as u32);
+                assert!(known.binary_search(&id).is_err(), "known answer {id:?} not removed");
+            }
+        }
+    }
+
+    #[test]
+    fn topk_unfiltered_keeps_known_answers() {
+        let (router, _) = router();
+        let body = r#"{"model":"m","queries":[{"head":0,"relation":0}],"k":30,"filtered":false}"#;
+        let r = router.handle("POST", "/topk", body);
+        let v = Json::parse(&r.body).unwrap();
+        let entities =
+            v.get("results").and_then(Json::as_array).unwrap()[0].get("entities").unwrap();
+        assert_eq!(entities.as_array().unwrap().len(), 30, "every entity returned");
+    }
+
+    #[test]
+    fn topk_validates_queries() {
+        let (router, _) = router();
+        for body in [
+            r#"{"model":"m","queries":[{"relation":1}]}"#,
+            r#"{"model":"m","queries":[{"head":1,"tail":2,"relation":1}]}"#,
+            r#"{"model":"m","queries":[{"head":1}]}"#,
+            r#"{"model":"m","queries":[{"head":99,"relation":1}]}"#,
+            r#"{"model":"m"}"#,
+        ] {
+            let r = router.handle("POST", "/topk", body);
+            assert!(r.status >= 400, "{body} accepted: {}", r.body);
+        }
+    }
+
+    #[test]
+    fn topk_rejects_ids_beyond_u32_instead_of_truncating() {
+        let (router, _) = router();
+        // 2^32 would truncate to entity 0 if cast before validation.
+        let r = router.handle(
+            "POST",
+            "/topk",
+            r#"{"model":"m","queries":[{"head":4294967296,"relation":1}]}"#,
+        );
+        assert_eq!(r.status, 422, "{}", r.body);
+        let r = router.handle(
+            "POST",
+            "/topk",
+            r#"{"model":"m","queries":[{"relation":1,"tail":4294967296}]}"#,
+        );
+        assert_eq!(r.status, 422, "{}", r.body);
+    }
+
+    #[test]
+    fn unknown_paths_share_one_metrics_label() {
+        let (router, _) = router();
+        router.handle("GET", "/scan-1", "");
+        router.handle("GET", "/scan-2", "");
+        let m = router.handle("GET", "/metrics", "");
+        assert!(m.body.contains("kg_serve_requests_total{endpoint=\"other\"} 2"), "{}", m.body);
+        assert!(!m.body.contains("/scan-1"), "per-path labels would be unbounded: {}", m.body);
+    }
+
+    #[test]
+    fn eval_matches_library_bit_for_bit() {
+        let (router, registry) = router();
+        let body = r#"{"model":"m","triples":[[0,1,2],[5,2,7],[9,0,4]],"n_s":8,"seed":42,"include_ranks":true}"#;
+        let r = router.handle("POST", "/eval", body);
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Json::parse(&r.body).unwrap();
+
+        let entry = registry.get("m").unwrap();
+        let triples = [Triple::new(0, 1, 2), Triple::new(5, 2, 7), Triple::new(9, 0, 4)];
+        let samples = kg_recommend::sample_candidates(
+            SamplingStrategy::Random,
+            entry.model().num_entities(),
+            entry.model().num_relations(),
+            8,
+            None,
+            None,
+            &mut kg_core::sample::seeded_rng(42),
+        );
+        let direct = evaluate_sampled(
+            entry.model().as_ref(),
+            &triples,
+            entry.filter(),
+            &samples,
+            TieBreak::Mean,
+            entry.threads(),
+        );
+        let mrr = v.get("metrics").unwrap().get("mrr").and_then(Json::as_f64).unwrap();
+        assert_eq!(mrr.to_bits(), direct.metrics.mrr.to_bits(), "MRR must agree bit-for-bit");
+        let ranks: Vec<f64> = v
+            .get("ranks")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_f64)
+            .collect();
+        assert_eq!(ranks, direct.ranks);
+        assert_eq!(v.get("num_queries").and_then(Json::as_usize), Some(6));
+    }
+
+    #[test]
+    fn eval_reports_cache_hits() {
+        let (router, _) = router();
+        let body = r#"{"model":"m","triples":[[0,1,2]],"n_s":5,"seed":1}"#;
+        let first = Json::parse(&router.handle("POST", "/eval", body).body).unwrap();
+        assert_eq!(first.get("sample_cache").and_then(Json::as_str), Some("miss"));
+        let second = Json::parse(&router.handle("POST", "/eval", body).body).unwrap();
+        assert_eq!(second.get("sample_cache").and_then(Json::as_str), Some("hit"));
+    }
+
+    #[test]
+    fn eval_rejects_unsupported_strategy() {
+        let (router, _) = router();
+        let body = r#"{"model":"m","triples":[[0,1,2]],"strategy":"static"}"#;
+        let r = router.handle("POST", "/eval", body);
+        assert_eq!(r.status, 400, "{}", r.body);
+        let r = router.handle(
+            "POST",
+            "/eval",
+            r#"{"model":"m","triples":[[0,1,2]],"strategy":"nope"}"#,
+        );
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn unknown_routes_and_metrics() {
+        let (router, _) = router();
+        assert_eq!(router.handle("GET", "/nope", "").status, 404);
+        assert_eq!(router.handle("DELETE", "/score", "").status, 405);
+        router.handle("POST", "/score", r#"{"model":"m","triples":[[0,0,0]]}"#);
+        let m = router.handle("GET", "/metrics", "");
+        assert_eq!(m.status, 200);
+        // Two hits on /score: the rejected DELETE and the successful POST.
+        assert!(m.body.contains("kg_serve_requests_total{endpoint=\"/score\"} 2"), "{}", m.body);
+        assert!(
+            m.body.contains("kg_serve_request_errors_total{endpoint=\"/score\"} 1"),
+            "{}",
+            m.body
+        );
+        assert!(m.body.contains("kg_serve_latency_seconds"));
+    }
+
+    #[test]
+    fn select_top_k_orders_and_excludes() {
+        let scores = [0.1f32, 0.9, 0.5, 0.9, 0.2];
+        let top = select_top_k(&scores, &[EntityId(1)], 3);
+        assert_eq!(top.iter().map(|t| t.0).collect::<Vec<_>>(), vec![3, 2, 4]);
+        let top = select_top_k(&scores, &[], 2);
+        assert_eq!(
+            top.iter().map(|t| t.0).collect::<Vec<_>>(),
+            vec![1, 3],
+            "ties → lower id first"
+        );
+        assert!(select_top_k(&scores, &[], 0).is_empty());
+    }
+
+    #[test]
+    fn select_top_k_ties_at_the_boundary_keep_lowest_ids() {
+        // All tied: k must select the k LOWEST ids, not whichever survived
+        // heap eviction order.
+        let tied = [1.0f32; 6];
+        let top = select_top_k(&tied, &[], 3);
+        assert_eq!(top.iter().map(|t| t.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+        // One clear winner, then a three-way tie crossing the k boundary.
+        let scores = [5.0f32, 1.0, 1.0, 1.0];
+        let top = select_top_k(&scores, &[], 2);
+        assert_eq!(top.iter().map(|t| t.0).collect::<Vec<_>>(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Dependency-free HTTP/1.1 server on `std::net::TcpListener`.
+//!
+//! One acceptor thread hands connections to a fixed worker pool over an
+//! `mpsc` channel; each worker parses the request (request line, headers,
+//! `Content-Length` body), routes it, and writes the response with
+//! `Connection: close` semantics. Parallelism *within* a request comes from
+//! `kg_core::parallel` (the batcher and ranking passes); the pool exists so
+//! slow requests don't head-of-line-block the accept loop.
+//!
+//! Shutdown: flip an atomic flag, then self-connect to unblock `accept`;
+//! dropping the channel sender drains the workers.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::router::{Response, Router, MAX_BODY_BYTES};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Connection-handling worker threads.
+    pub workers: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: kg_core::parallel::default_threads(),
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A running server; dropping the handle leaves it running (detached) —
+/// call [`ServerHandle::shutdown`] for an orderly stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain workers, and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bind and start serving `router` in background threads.
+pub fn serve(router: Router, config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let router = Arc::new(router);
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let router = Arc::clone(&router);
+            let read_timeout = config.read_timeout;
+            std::thread::spawn(move || loop {
+                let stream = match rx.lock().unwrap().recv() {
+                    Ok(s) => s,
+                    Err(_) => return, // sender dropped: shutdown
+                };
+                let _ = handle_connection(stream, &router, read_timeout);
+            })
+        })
+        .collect();
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        if tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // tx drops here; workers drain and exit.
+        })
+    };
+
+    Ok(ServerHandle { addr, stop, acceptor: Some(acceptor), workers })
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    router: &Router,
+    read_timeout: Duration,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(read_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream);
+
+    let request = match read_request(&mut reader) {
+        Ok(r) => r,
+        Err(ParseError::Io(e)) => return Err(e),
+        Err(ParseError::Bad(status, msg)) => {
+            let resp = Response {
+                status,
+                content_type: "application/json",
+                body: format!("{{\"error\":\"{msg}\"}}"),
+            };
+            return write_response(reader.into_inner(), &resp);
+        }
+    };
+    let response = router.handle(&request.method, &request.path, &request.body);
+    write_response(reader.into_inner(), &response)
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+enum ParseError {
+    Io(std::io::Error),
+    /// `(status, message)` — 400 for malformed requests, 413 for oversize,
+    /// 501 for unsupported transfer encodings.
+    Bad(u16, &'static str),
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ParseError> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(ParseError::Bad(400, "empty request line"))?.to_string();
+    let target = parts.next().ok_or(ParseError::Bad(400, "missing request target"))?;
+    let version = parts.next().ok_or(ParseError::Bad(400, "missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Bad(400, "unsupported HTTP version"));
+    }
+    // Ignore any query string; the API is body-driven.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 {
+            return Err(ParseError::Bad(400, "connection closed mid-headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::Bad(400, "invalid Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.to_ascii_lowercase().contains("chunked")
+            {
+                // We only read Content-Length-framed bodies; silently
+                // treating a chunked body as empty would misdiagnose valid
+                // requests as bad JSON.
+                return Err(ParseError::Bad(501, "chunked transfer encoding not supported"));
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::Bad(413, "request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| ParseError::Bad(400, "body is not UTF-8"))?;
+    Ok(Request { method, path, body })
+}
+
+fn write_response(mut stream: TcpStream, response: &Response) -> std::io::Result<()> {
+    let reason = match response.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        501 => "Not Implemented",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason,
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::registry::ModelRegistry;
+    use kg_core::{FilterIndex, Triple};
+    use kg_models::{build_model, KgcModel, ModelKind};
+
+    fn running_server() -> ServerHandle {
+        let registry = Arc::new(ModelRegistry::new());
+        let model = build_model(ModelKind::TransE, 12, 2, 8, 1);
+        let triples = [Triple::new(0, 0, 1), Triple::new(1, 1, 2)];
+        let filter = Arc::new(FilterIndex::from_slices(&[&triples]));
+        registry.register("m", Arc::from(model as Box<dyn KgcModel>), filter);
+        let router = Router::new(registry);
+        serve(router, &ServerConfig { workers: 2, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn serves_healthz_and_shuts_down() {
+        let server = running_server();
+        let (status, body) = client::get(server.addr(), "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""));
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_malformed_requests_without_dying() {
+        let server = running_server();
+        // Raw garbage instead of HTTP.
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"GARBAGE\r\n\r\n").unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        // Server still alive afterwards.
+        let (status, _) = client::get(server.addr(), "/healthz").unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_gets_413_at_the_http_layer() {
+        let server = running_server();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        // Announce an oversize body without sending it; the server must
+        // reject on the header alone with the API's 413, not a generic 400.
+        let head =
+            format!("POST /score HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        s.write_all(head.as_bytes()).unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 413"), "got: {out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn chunked_transfer_encoding_is_rejected_with_501() {
+        let server = running_server();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(
+            b"POST /score HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+        )
+        .unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 501"), "got: {out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn post_roundtrip_over_the_wire() {
+        let server = running_server();
+        let (status, body) =
+            client::post_json(server.addr(), "/score", r#"{"model":"m","triples":[[0,1,2]]}"#)
+                .unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"scores\""));
+        server.shutdown();
+    }
+}

@@ -16,14 +16,21 @@ use kgeval::core::sample::seeded_rng;
 use kgeval::core::Triple;
 use kgeval::datasets::{generate, preset, PresetId, Scale};
 use kgeval::eval::{evaluate_full, HardNegativeSampler, TieBreak};
-use kgeval::models::{build_model, train_epoch_with_source, ModelKind, NegativeSampler, NegativeSource, TrainConfig};
+use kgeval::models::{
+    build_model, train_epoch_with_source, ModelKind, NegativeSampler, NegativeSource, TrainConfig,
+};
 use kgeval::recommend::{CandidateSets, Lwd, RelationRecommender, SeenSets, ZeroScoreClassifier};
 use rand::Rng;
 
 fn main() {
     let dataset = generate(&preset(PresetId::CodexM, Scale::Quick));
     let threads = kgeval::core::parallel::default_threads();
-    println!("dataset {}: |E|={} |R|={}\n", dataset.name, dataset.num_entities(), dataset.num_relations());
+    println!(
+        "dataset {}: |E|={} |R|={}\n",
+        dataset.name,
+        dataset.num_entities(),
+        dataset.num_relations()
+    );
 
     let matrix = Lwd::untyped().fit(&dataset);
     let seen = SeenSets::from_store(&dataset.train);
@@ -36,14 +43,32 @@ fn main() {
     let uniform_source = NegativeSampler::new(dataset.num_entities());
     let hard_source = HardNegativeSampler::new(sets, dataset.num_entities(), 0.8);
 
-    for (name, source) in [("uniform negatives", &uniform_source as &dyn NegativeSource), ("hard negatives (L-WD, 20% hard)", &hard_source)] {
-        let mut model = build_model(ModelKind::DistMult, dataset.num_entities(), dataset.num_relations(), 32, 7);
+    for (name, source) in [
+        ("uniform negatives", &uniform_source as &dyn NegativeSource),
+        ("hard negatives (L-WD, 20% hard)", &hard_source),
+    ] {
+        let mut model = build_model(
+            ModelKind::DistMult,
+            dataset.num_entities(),
+            dataset.num_relations(),
+            32,
+            7,
+        );
         let mut rng = seeded_rng(config.seed);
         for _ in 0..config.epochs {
-            train_epoch_with_source(model.as_mut(), dataset.train.triples(), &config, source, &mut rng);
+            train_epoch_with_source(
+                model.as_mut(),
+                dataset.train.triples(),
+                &config,
+                source,
+                &mut rng,
+            );
         }
         let full = evaluate_full(model.as_ref(), &test, &dataset.filter, TieBreak::Mean, threads);
-        println!("{name:<30}: test MRR {:.3}  Hits@10 {:.3}", full.metrics.mrr, full.metrics.hits10);
+        println!(
+            "{name:<30}: test MRR {:.3}  Hits@10 {:.3}",
+            full.metrics.mrr, full.metrics.hits10
+        );
     }
 
     // --- Extension 2: closed-world triplet classification ----------------

@@ -22,13 +22,8 @@ fn main() {
         dataset.num_triples()
     );
 
-    let mut model = build_model(
-        ModelKind::ComplEx,
-        dataset.num_entities(),
-        dataset.num_relations(),
-        32,
-        9,
-    );
+    let mut model =
+        build_model(ModelKind::ComplEx, dataset.num_entities(), dataset.num_relations(), 32, 9);
     println!("training ComplEx (8 epochs)…");
     let config = TrainConfig { epochs: 8, lr: 0.15, num_negatives: 4, ..Default::default() };
     train(model.as_mut(), dataset.train.triples(), &config, None);
@@ -55,7 +50,8 @@ fn main() {
         None,
         &mut seeded_rng(5),
     );
-    let est = evaluate_sampled(model.as_ref(), &test, &dataset.filter, &samples, TieBreak::Mean, threads);
+    let est =
+        evaluate_sampled(model.as_ref(), &test, &dataset.filter, &samples, TieBreak::Mean, threads);
     println!(
         "probabilistic estimate from {n_s} candidates/relation (2 % of |E|): MRR {:.3} in {:.2} s",
         est.metrics.mrr, est.seconds

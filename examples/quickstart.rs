@@ -28,23 +28,24 @@ fn main() {
     );
 
     // 2. Train ComplEx.
-    let mut model = build_model(
-        ModelKind::ComplEx,
-        dataset.num_entities(),
-        dataset.num_relations(),
-        32,
-        42,
-    );
+    let mut model =
+        build_model(ModelKind::ComplEx, dataset.num_entities(), dataset.num_relations(), 32, 42);
     let config = TrainConfig { epochs: 15, lr: 0.15, num_negatives: 4, ..Default::default() };
-    train(model.as_mut(), dataset.train.triples(), &config, Some(&mut |epoch, loss| {
-        if epoch % 5 == 4 {
-            println!("epoch {:>2}: mean loss {loss:.4}", epoch + 1);
-        }
-    }));
+    train(
+        model.as_mut(),
+        dataset.train.triples(),
+        &config,
+        Some(&mut |epoch, loss| {
+            if epoch % 5 == 4 {
+                println!("epoch {:>2}: mean loss {loss:.4}", epoch + 1);
+            }
+        }),
+    );
 
     // 3. The ground truth: full filtered ranking over every entity.
     let threads = kgeval::core::parallel::default_threads();
-    let full = evaluate_full(model.as_ref(), &dataset.test, &dataset.filter, TieBreak::Mean, threads);
+    let full =
+        evaluate_full(model.as_ref(), &dataset.test, &dataset.filter, TieBreak::Mean, threads);
     println!(
         "\nfull evaluation    : MRR {:.3}  Hits@10 {:.3}  ({:.3} s)",
         full.metrics.mrr, full.metrics.hits10, full.seconds
@@ -68,8 +69,14 @@ fn main() {
             Some(&static_sets),
             &mut rng,
         );
-        let est =
-            evaluate_sampled(model.as_ref(), &dataset.test, &dataset.filter, &samples, TieBreak::Mean, threads);
+        let est = evaluate_sampled(
+            model.as_ref(),
+            &dataset.test,
+            &dataset.filter,
+            &samples,
+            TieBreak::Mean,
+            threads,
+        );
         println!(
             "{:<14}: MRR {:.3}  (error {:+.3}, {:.3} s)",
             strategy.name(),

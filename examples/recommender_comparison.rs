@@ -25,7 +25,12 @@ fn main() {
     seen_with_valid.extend_with(&dataset.valid);
 
     let mut table = TextTable::new(vec![
-        "Recommender", "CR (Test)", "CR (Unseen)", "RR", "Mean set size", "Fit (s)",
+        "Recommender",
+        "CR (Test)",
+        "CR (Unseen)",
+        "RR",
+        "Mean set size",
+        "Fit (s)",
     ]);
     for rec in all_recommenders() {
         let (matrix, secs) = timed(|| rec.fit(&dataset));

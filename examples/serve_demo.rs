@@ -1,0 +1,189 @@
+//! Serving demo: train a small model, persist it, load the snapshot into a
+//! `kg-serve` registry, and drive every endpoint over real HTTP — verifying
+//! that the service's sampled metrics agree with library-level
+//! `evaluate_sampled` on the same seed.
+//!
+//! ```text
+//! cargo run --release --example serve_demo
+//! ```
+
+use std::sync::Arc;
+
+use kgeval::core::sample::seeded_rng;
+use kgeval::datasets::{generate, preset, PresetId, Scale};
+use kgeval::eval::{evaluate_sampled, TieBreak};
+use kgeval::models::{build_model, train, KgcModel, ModelKind, TrainConfig};
+use kgeval::recommend::{
+    sample_candidates, CandidateSets, Lwd, RelationRecommender, SamplingStrategy, SeenSets,
+};
+use kgeval::serve::{client, serve, Json, ModelRegistry, Router, ServerConfig};
+
+fn main() {
+    // 1. Dataset + model, as in the quickstart.
+    let dataset = generate(&preset(PresetId::CodexS, Scale::Quick));
+    println!(
+        "dataset {}: |E|={} |R|={} test={}",
+        dataset.name,
+        dataset.num_entities(),
+        dataset.num_relations(),
+        dataset.test.len()
+    );
+    let mut model =
+        build_model(ModelKind::ComplEx, dataset.num_entities(), dataset.num_relations(), 32, 42);
+    let config = TrainConfig { epochs: 10, lr: 0.15, num_negatives: 4, ..Default::default() };
+    train(model.as_mut(), dataset.train.triples(), &config, None);
+
+    // 2. Persist the trained model, then load the snapshot back — the
+    //    registry serves the *file*, exactly as a deployment would.
+    let snapshot_path = std::env::temp_dir()
+        .join(format!("kgeval-serve-demo-{}", std::process::id()))
+        .join("complex.kgev");
+    kgeval::models::io::save_model_to_path(model.as_ref(), ModelKind::ComplEx, &snapshot_path)
+        .expect("save snapshot");
+    let served: Arc<dyn KgcModel> =
+        Arc::from(kgeval::models::io::load_model_from_path(&snapshot_path).expect("load snapshot")
+            as Box<dyn KgcModel>);
+    println!("snapshot round-tripped through {}", snapshot_path.display());
+
+    // 3. Recommender artifacts so /eval can serve all three strategies.
+    let matrix = Arc::new(Lwd::untyped().fit(&dataset));
+    let static_sets =
+        Arc::new(CandidateSets::static_sets(&matrix, &SeenSets::from_store(&dataset.train)));
+
+    // 4. Register and serve.
+    let registry = Arc::new(ModelRegistry::new());
+    let filter = Arc::new(dataset.filter.clone());
+    registry.register_with_artifacts(
+        "complex",
+        Arc::clone(&served),
+        Arc::clone(&filter),
+        Some(Arc::clone(&matrix)),
+        Some(Arc::clone(&static_sets)),
+    );
+    let router = Router::new(Arc::clone(&registry));
+    let server = serve(router, &ServerConfig::default()).expect("bind server");
+    let addr = server.addr();
+    println!("kg-serve listening on http://{addr}\n");
+
+    // 5. /score — a few test triples over the wire.
+    let sample: Vec<_> = dataset.test.iter().take(4).collect();
+    let triples_json: Vec<String> =
+        sample.iter().map(|t| format!("[{},{},{}]", t.head.0, t.relation.0, t.tail.0)).collect();
+    let body = format!("{{\"model\":\"complex\",\"triples\":[{}]}}", triples_json.join(","));
+    let (status, response) = client::post_json(addr, "/score", &body).expect("/score");
+    assert_eq!(status, 200, "/score failed: {response}");
+    let parsed = Json::parse(&response).unwrap();
+    let scores = parsed.get("scores").and_then(Json::as_array).unwrap();
+    println!("/score  : {} triples → first score {}", scores.len(), scores[0]);
+    for (t, s) in sample.iter().zip(scores) {
+        let direct = served.score(t.head, t.relation, t.tail);
+        assert_eq!(s.as_f64().unwrap() as f32, direct, "HTTP score != direct score");
+    }
+
+    // 6. /topk — tail prediction for the first test triple's (h, r).
+    let q = sample[0];
+    let body = format!(
+        "{{\"model\":\"complex\",\"queries\":[{{\"head\":{},\"relation\":{}}}],\"k\":5}}",
+        q.head.0, q.relation.0
+    );
+    let (status, response) = client::post_json(addr, "/topk", &body).expect("/topk");
+    assert_eq!(status, 200, "/topk failed: {response}");
+    let parsed = Json::parse(&response).unwrap();
+    let top = &parsed.get("results").and_then(Json::as_array).unwrap()[0];
+    println!(
+        "/topk   : tail prediction for ({}, {}, ?) → {}",
+        q.head.0,
+        q.relation.0,
+        top.get("entities").unwrap()
+    );
+
+    // 7. /eval with every strategy — must agree with the library bit-for-bit.
+    let n_s = dataset.num_entities() / 10;
+    let seed = 7u64;
+    for strategy in SamplingStrategy::ALL {
+        let name = strategy.name().to_lowercase();
+        let body = format!(
+            "{{\"model\":\"complex\",\"strategy\":\"{name}\",\"n_s\":{n_s},\"seed\":{seed},\"triples\":[{}]}}",
+            dataset
+                .test
+                .iter()
+                .map(|t| format!("[{},{},{}]", t.head.0, t.relation.0, t.tail.0))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let (status, response) = client::post_json(addr, "/eval", &body).expect("/eval");
+        assert_eq!(status, 200, "/eval {name} failed: {response}");
+        let parsed = Json::parse(&response).unwrap();
+        let http_mrr = parsed.get("metrics").unwrap().get("mrr").and_then(Json::as_f64).unwrap();
+
+        // The same estimate computed directly against the library.
+        let samples = sample_candidates(
+            strategy,
+            dataset.num_entities(),
+            dataset.num_relations(),
+            n_s,
+            Some(&matrix),
+            Some(&static_sets),
+            &mut seeded_rng(seed),
+        );
+        let direct = evaluate_sampled(
+            served.as_ref(),
+            &dataset.test,
+            &filter,
+            &samples,
+            TieBreak::Mean,
+            kgeval::core::parallel::default_threads(),
+        );
+        assert_eq!(
+            http_mrr.to_bits(),
+            direct.metrics.mrr.to_bits(),
+            "{name}: served MRR {http_mrr} != library MRR {}",
+            direct.metrics.mrr
+        );
+        println!(
+            "/eval   : {:<14} MRR {:.4}  (cache {}, {:.4} s) — agrees with evaluate_sampled",
+            name,
+            http_mrr,
+            parsed.get("sample_cache").and_then(Json::as_str).unwrap(),
+            parsed.get("seconds").and_then(Json::as_f64).unwrap(),
+        );
+    }
+
+    // 8. /healthz and /metrics.
+    let (status, health) = client::get(addr, "/healthz").expect("/healthz");
+    assert_eq!(status, 200);
+    println!("\n/healthz: {health}");
+    let (status, prom) = client::get(addr, "/metrics").expect("/metrics");
+    assert_eq!(status, 200);
+    let interesting: Vec<&str> = prom
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter(|l| {
+            l.starts_with("kg_serve_requests_total")
+                || l.starts_with("kg_serve_latency_seconds")
+                || l.starts_with("kg_serve_score_batch")
+        })
+        .collect();
+    println!("/metrics:");
+    for line in &interesting {
+        println!("  {line}");
+    }
+    assert!(
+        prom.contains("kg_serve_requests_total{endpoint=\"/eval\"} 3"),
+        "metrics must count the three /eval calls"
+    );
+    assert!(prom.contains("kg_serve_latency_seconds{endpoint=\"/score\",quantile=\"0.99\"}"));
+
+    // Optional: keep serving so the endpoints can be explored with curl
+    // (`KG_SERVE_HOLD_SECS=300 cargo run --release --example serve_demo`).
+    if let Some(secs) = std::env::var("KG_SERVE_HOLD_SECS").ok().and_then(|v| v.parse().ok()) {
+        println!("\nholding the server open for {secs} s — try:");
+        println!("  curl -s {addr}/healthz");
+        println!("  curl -s {addr}/score -d '{{\"model\":\"complex\",\"triples\":[[0,0,1]]}}'");
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(snapshot_path.parent().unwrap());
+    println!("\nserver drained cleanly; the fast estimator is now a service.");
+}

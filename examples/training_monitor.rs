@@ -25,10 +25,15 @@ fn main() {
     };
     let run = run_train_eval(&dataset, &config, &Lwd::untyped(), &[]);
 
-    let mut t = TextTable::new(vec!["Epoch", "Loss", "True MRR", "Random", "Probabilistic", "Static"]);
+    let mut t =
+        TextTable::new(vec!["Epoch", "Loss", "True MRR", "Random", "Probabilistic", "Static"]);
     for rec in &run.records {
         let by = |s: SamplingStrategy| {
-            rec.estimates.iter().find(|e| e.strategy == s).map(|e| e.metrics.mrr).unwrap_or(f64::NAN)
+            rec.estimates
+                .iter()
+                .find(|e| e.strategy == s)
+                .map(|e| e.metrics.mrr)
+                .unwrap_or(f64::NAN)
         };
         t.row(vec![
             format!("{}", rec.epoch + 1),

@@ -1,0 +1,414 @@
+//! In-tree, std-only stand-in for `proptest`.
+//!
+//! The workspace's property tests keep their upstream shape (`proptest!`,
+//! strategies, `prop_assert*`), but run on this minimal engine: each test
+//! executes `ProptestConfig::cases` random cases drawn from a generator
+//! seeded deterministically from the test's name and case index, so runs
+//! are reproducible without a persisted regression file. Failing cases
+//! panic with the case number; there is **no shrinking** — rerun with the
+//! printed case to debug.
+//!
+//! Implemented surface: range strategies over the primitive numeric types,
+//! [`Just`], tuple strategies (arity 2–4), [`collection::vec`],
+//! `prop_map` / `prop_flat_map` / `boxed`, weighted and unweighted
+//! [`prop_oneof!`], [`ProptestConfig::with_cases`], and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{BoxedStrategy, Just, ProptestConfig, Strategy, TestRng};
+    // Macros are exported at the crate root via #[macro_export]; re-list
+    // them here so `use proptest::prelude::*` brings them in under the
+    // 2018+ macro paths.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The engine's RNG (deterministic per test name + case index).
+pub type TestRng = StdRng;
+
+/// Runner configuration (only the case count is honoured).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Error type carried by proptest-style `Result` test bodies. The shim's
+/// `prop_assert*` macros panic instead of returning this, so it only exists
+/// to type `return Ok(());` early exits in test bodies.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "test case error: {}", self.0)
+    }
+}
+
+/// What a `proptest!` body expands into returning.
+pub type TestCaseResult = std::result::Result<(), TestCaseError>;
+
+/// Deterministic per-case RNG: FNV-1a over the test name, mixed with the
+/// case index.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    TestRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// A value generator. Unlike upstream proptest there is no intermediate
+/// value tree: strategies produce final values directly and nothing shrinks.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Weighted choice between type-erased strategies (`prop_oneof!` backend).
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> OneOf<T> {
+    /// Build from `(weight, strategy)` arms; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof!: all weights are zero");
+        OneOf { arms, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut x = rng.gen_range(0u64..self.total);
+        for (w, s) in &self.arms {
+            if x < *w as u64 {
+                return s.generate(rng);
+            }
+            x -= *w as u64;
+        }
+        unreachable!("prop_oneof!: weight bookkeeping broken")
+    }
+}
+
+/// Weighted (`w => strategy`) or uniform (`strategy, …`) alternation.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// `assert!` under a different name (upstream returns an `Err` that the
+/// runner catches for shrinking; this shim just panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// `assert_ne!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// The test-block macro: expands each `#[test] fn name(pat in strategy, …)`
+/// into a plain `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __rng = $crate::case_rng(stringify!($name), case);
+                    let run = |__rng: &mut $crate::TestRng| -> $crate::TestCaseResult {
+                        $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                        $body;
+                        Ok(())
+                    };
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| run(&mut __rng)),
+                    );
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => panic!(
+                            "proptest shim: {} returned Err at case {case}/{}: {e}",
+                            stringify!($name),
+                            config.cases,
+                        ),
+                        Err(payload) => {
+                            eprintln!(
+                                "proptest shim: {} failed at case {case}/{} (deterministic; no shrinking)",
+                                stringify!($name),
+                                config.cases,
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = crate::case_rng("ranges", 0);
+        for _ in 0..200 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (-2.0f32..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let mut rng = crate::case_rng("compose", 1);
+        let strat = crate::collection::vec((0u32..5, 0.0f64..1.0), 2..6);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 5);
+                assert!((0.0..1.0).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights() {
+        let mut rng = crate::case_rng("oneof", 2);
+        let strat = prop_oneof![3 => Just(1u32), 1 => Just(2u32)];
+        let ones = (0..4000).filter(|_| strat.generate(&mut rng) == 1).count();
+        assert!((2700..3300).contains(&ones), "weight-3 arm drawn {ones}/4000");
+    }
+
+    #[test]
+    fn flat_map_feeds_forward() {
+        let mut rng = crate::case_rng("flat", 3);
+        let strat = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u32..10, n..n + 1));
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u32..10, 10u32..20), v in crate::collection::vec(0u32..3, 0..4)) {
+            prop_assert!(a < 10);
+            prop_assert!((10..20).contains(&b));
+            prop_assert!(v.len() < 4);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, b, "disjoint ranges cannot collide");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+}

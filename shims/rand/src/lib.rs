@@ -1,0 +1,214 @@
+//! In-tree, std-only stand-in for the `rand` crate.
+//!
+//! The build container has no network access and no vendored registry, so
+//! the workspace ships this shim implementing exactly the rand 0.8 API
+//! subset the seed code uses: [`Rng::gen_range`] / [`Rng::gen_bool`],
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! `StdRng` is xoshiro256++ seeded through SplitMix64 — a different stream
+//! than upstream rand's ChaCha12, but every consumer in this workspace only
+//! requires *determinism given a seed*, which this provides. Integer ranges
+//! are sampled with the 128-bit multiply-shift reduction (Lemire), floats
+//! with the standard 53-bit mantissa-fill; both are unbiased enough for the
+//! statistical assertions in the test suite.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core entropy source: everything else is derived from `next_u64`.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform double in `[0, 1)` from the top 53 bits.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (mirrors rand 0.8's `Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    #[inline]
+    fn gen_range<T, Ra>(&mut self, range: Ra) -> T
+    where
+        Ra: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can produce a uniform sample (rand 0.8's `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Map 64 random bits into `[0, span)` without modulo bias worth caring
+/// about (128-bit multiply-shift).
+#[inline]
+fn reduce(bits: u64, span: u128) -> u128 {
+    (bits as u128 * span) >> 64
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + reduce(rng.next_u64(), span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + reduce(rng.next_u64(), span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_impls {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let v = self.start + (self.end - self.start) * unit_f64(rng) as $t;
+                // f32 rounding can land exactly on the excluded endpoint.
+                if v < self.end { v } else { self.start }
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                lo + (hi - lo) * unit_f64(rng) as $t
+            }
+        }
+    )+};
+}
+
+float_range_impls!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let u = rng.gen_range(0usize..=0);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn int_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&v));
+            let w: f32 = rng.gen_range(-0.25f32..=0.25);
+            assert!((-0.25..=0.25).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((27_000..33_000).contains(&hits), "p=0.3 hit {hits}/100000");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // Astronomically unlikely to be identity.
+        assert_ne!(v, sorted);
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn draw<R: Rng>(rng: &mut R) -> u32 {
+            rng.gen_range(0u32..10)
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = draw(&mut rng);
+        let r = &mut rng;
+        let _ = draw(r);
+    }
+}

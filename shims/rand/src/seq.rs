@@ -1,0 +1,23 @@
+//! Slice helpers (rand 0.8's `rand::seq` subset).
+
+use crate::{Rng, RngCore};
+
+/// In-place slice randomisation.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0usize..=i);
+            self.swap(i, j);
+        }
+    }
+}

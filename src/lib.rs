@@ -7,9 +7,12 @@
 //! 2. train a KGC model ([`models`]),
 //! 3. fit a relation recommender ([`recommend`]),
 //! 4. evaluate — full, random-sampled, static or probabilistic ([`eval`]),
-//!    or with the Knowledge Persistence proxy ([`kp`]).
+//!    or with the Knowledge Persistence proxy ([`kp`]),
+//! 5. serve it over HTTP — batched scoring, top-k prediction, and sampled
+//!    evaluation as a live service ([`serve`]).
 //!
-//! See `examples/quickstart.rs` for the end-to-end flow.
+//! See `examples/quickstart.rs` for the end-to-end flow and
+//! `examples/serve_demo.rs` for the serving path.
 
 pub use kg_core as core;
 pub use kg_datasets as datasets;
@@ -17,3 +20,4 @@ pub use kg_eval as eval;
 pub use kg_kp as kp;
 pub use kg_models as models;
 pub use kg_recommend as recommend;
+pub use kg_serve as serve;

@@ -28,7 +28,12 @@ fn training_is_deterministic() {
     });
     let score = |seed: u64| {
         let mut m = build_model(ModelKind::ComplEx, d.num_entities(), d.num_relations(), 16, seed);
-        train(m.as_mut(), d.train.triples(), &TrainConfig { epochs: 3, seed: 42, ..Default::default() }, None);
+        train(
+            m.as_mut(),
+            d.train.triples(),
+            &TrainConfig { epochs: 3, seed: 42, ..Default::default() },
+            None,
+        );
         m.score(kgeval::core::EntityId(0), kgeval::core::RelationId(0), kgeval::core::EntityId(1))
     };
     assert_eq!(score(7), score(7));

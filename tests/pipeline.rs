@@ -56,8 +56,13 @@ fn full_pipeline_reproduces_headline_result() {
 fn kp_baseline_integrates_with_harness() {
     let d = dataset();
     let eval: Vec<_> = d.valid.iter().copied().take(150).collect();
-    let kp = KpEstimator::random(&eval, d.num_entities(), KpConfig { sample_triples: 100, ..Default::default() });
-    let extras: Vec<ExtraEstimator> = vec![("KP", Box::new(move |m: &dyn KgcModel| kp.estimate(m)))];
+    let kp = KpEstimator::random(
+        &eval,
+        d.num_entities(),
+        KpConfig { sample_triples: 100, ..Default::default() },
+    );
+    let extras: Vec<ExtraEstimator> =
+        vec![("KP", Box::new(move |m: &dyn KgcModel| kp.estimate(m)))];
     let config = HarnessConfig {
         model: ModelKind::DistMult,
         dim: 16,
@@ -79,7 +84,8 @@ fn every_model_survives_the_full_protocol() {
     let threads = 2;
     let test: Vec<_> = d.test.iter().copied().take(40).collect();
     for kind in ModelKind::ALL {
-        let mut model = build_model(kind, d.num_entities(), d.num_relations(), kind.default_dim().min(16), 3);
+        let mut model =
+            build_model(kind, d.num_entities(), d.num_relations(), kind.default_dim().min(16), 3);
         let config = TrainConfig { epochs: 2, ..Default::default() };
         train(model.as_mut(), d.train.triples(), &config, None);
         let full = evaluate_full(model.as_ref(), &test, &d.filter, TieBreak::Mean, threads);
@@ -92,7 +98,12 @@ fn every_model_survives_the_full_protocol() {
 fn sampling_everything_recovers_the_full_ranking() {
     let d = dataset();
     let mut model = build_model(ModelKind::DistMult, d.num_entities(), d.num_relations(), 16, 5);
-    train(model.as_mut(), d.train.triples(), &TrainConfig { epochs: 3, ..Default::default() }, None);
+    train(
+        model.as_mut(),
+        d.train.triples(),
+        &TrainConfig { epochs: 3, ..Default::default() },
+        None,
+    );
     let test: Vec<_> = d.test.iter().copied().take(60).collect();
     let full = evaluate_full(model.as_ref(), &test, &d.filter, TieBreak::Mean, 2);
     let samples = sample_candidates(

@@ -1,0 +1,268 @@
+//! Integration tests for `kg-serve`: a real server on an ephemeral port,
+//! driven over TCP, with responses checked bit-for-bit against direct
+//! library calls — including a concurrent-client run that exercises the
+//! `/score` batcher.
+
+use std::sync::Arc;
+
+use kgeval::core::sample::seeded_rng;
+use kgeval::core::{FilterIndex, Triple};
+use kgeval::datasets::{generate, SyntheticKgConfig};
+use kgeval::eval::{evaluate_sampled, TieBreak};
+use kgeval::models::{build_model, train, KgcModel, ModelKind, TrainConfig};
+use kgeval::recommend::{sample_candidates, SamplingStrategy};
+use kgeval::serve::{
+    client, serve, HttpMetrics, Json, ModelRegistry, Router, ServerConfig, ServerHandle,
+};
+
+struct Fixture {
+    server: ServerHandle,
+    model: Arc<dyn KgcModel>,
+    filter: Arc<FilterIndex>,
+    test: Vec<Triple>,
+    threads: usize,
+    metrics: Arc<HttpMetrics>,
+}
+
+impl Fixture {
+    fn start() -> Fixture {
+        let dataset = generate(&SyntheticKgConfig {
+            num_entities: 200,
+            num_relations: 5,
+            num_types: 6,
+            num_triples: 1500,
+            seed: 13,
+            ..Default::default()
+        });
+        let mut model = build_model(
+            ModelKind::DistMult,
+            dataset.num_entities(),
+            dataset.num_relations(),
+            16,
+            99,
+        );
+        train(
+            model.as_mut(),
+            dataset.train.triples(),
+            &TrainConfig { epochs: 3, ..Default::default() },
+            None,
+        );
+        let model: Arc<dyn KgcModel> = Arc::from(model as Box<dyn KgcModel>);
+        let filter = Arc::new(dataset.filter.clone());
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register("m", Arc::clone(&model), Arc::clone(&filter));
+        let metrics = Arc::clone(registry.metrics());
+        let router = Router::new(Arc::clone(&registry));
+        let server =
+            serve(router, &ServerConfig { workers: 8, ..Default::default() }).expect("bind");
+        let threads = kgeval::core::parallel::default_threads();
+        Fixture { server, model, filter, test: dataset.test.clone(), threads, metrics }
+    }
+
+    fn triples_json(&self, triples: &[Triple]) -> String {
+        triples
+            .iter()
+            .map(|t| format!("[{},{},{}]", t.head.0, t.relation.0, t.tail.0))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+#[test]
+fn score_roundtrip_matches_direct_calls_bit_for_bit() {
+    let fx = Fixture::start();
+    let triples: Vec<Triple> = fx.test.iter().take(16).copied().collect();
+    let body = format!("{{\"model\":\"m\",\"triples\":[{}]}}", fx.triples_json(&triples));
+    let (status, response) = client::post_json(fx.server.addr(), "/score", &body).unwrap();
+    assert_eq!(status, 200, "{response}");
+    let parsed = Json::parse(&response).unwrap();
+    let scores = parsed.get("scores").and_then(Json::as_array).unwrap();
+    assert_eq!(scores.len(), triples.len());
+    for (t, s) in triples.iter().zip(scores) {
+        let direct = fx.model.score(t.head, t.relation, t.tail);
+        let served = s.as_f64().unwrap() as f32;
+        assert_eq!(served.to_bits(), direct.to_bits(), "score mismatch for {t:?}");
+    }
+    fx.server.shutdown();
+}
+
+#[test]
+fn topk_matches_a_full_scoring_pass() {
+    let fx = Fixture::start();
+    let q = fx.test[0];
+    let body = format!(
+        "{{\"model\":\"m\",\"queries\":[{{\"head\":{},\"relation\":{}}},{{\"relation\":{},\"tail\":{}}}],\"k\":7}}",
+        q.head.0, q.relation.0, q.relation.0, q.tail.0
+    );
+    let (status, response) = client::post_json(fx.server.addr(), "/topk", &body).unwrap();
+    assert_eq!(status, 200, "{response}");
+    let parsed = Json::parse(&response).unwrap();
+    let results = parsed.get("results").and_then(Json::as_array).unwrap();
+    assert_eq!(results.len(), 2);
+
+    use kgeval::core::triple::QuerySide;
+    for (result, side) in results.iter().zip([QuerySide::Tail, QuerySide::Head]) {
+        let entities: Vec<usize> = result
+            .get("entities")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_usize)
+            .collect();
+        let scores: Vec<f64> = result
+            .get("scores")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_f64)
+            .collect();
+        assert_eq!(entities.len(), 7);
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]), "descending order");
+
+        // Recompute: full scoring pass, drop known answers, take the best 7.
+        let mut all = vec![0.0f32; fx.model.num_entities()];
+        fx.model.score_all(q, side, &mut all);
+        let known = fx.filter.known_answers(q, side);
+        let mut ranked: Vec<(usize, f32)> = all
+            .iter()
+            .enumerate()
+            .filter(|(e, _)| known.binary_search(&kgeval::core::EntityId(*e as u32)).is_err())
+            .map(|(e, &s)| (e, s))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        let expected: Vec<usize> = ranked.iter().take(7).map(|&(e, _)| e).collect();
+        assert_eq!(entities, expected, "top-k disagrees with the full pass on side {side:?}");
+        for (e, s) in entities.iter().zip(&scores) {
+            assert_eq!((*s as f32).to_bits(), all[*e].to_bits());
+        }
+    }
+    fx.server.shutdown();
+}
+
+#[test]
+fn eval_agrees_with_evaluate_sampled_bit_for_bit() {
+    let fx = Fixture::start();
+    let triples: Vec<Triple> = fx.test.iter().take(40).copied().collect();
+    let (n_s, seed) = (25usize, 4242u64);
+    let body = format!(
+        "{{\"model\":\"m\",\"n_s\":{n_s},\"seed\":{seed},\"include_ranks\":true,\"triples\":[{}]}}",
+        fx.triples_json(&triples)
+    );
+    let (status, response) = client::post_json(fx.server.addr(), "/eval", &body).unwrap();
+    assert_eq!(status, 200, "{response}");
+    let parsed = Json::parse(&response).unwrap();
+
+    let samples = sample_candidates(
+        SamplingStrategy::Random,
+        fx.model.num_entities(),
+        fx.model.num_relations(),
+        n_s,
+        None,
+        None,
+        &mut seeded_rng(seed),
+    );
+    let direct = evaluate_sampled(
+        fx.model.as_ref(),
+        &triples,
+        &fx.filter,
+        &samples,
+        TieBreak::Mean,
+        fx.threads,
+    );
+
+    let m = parsed.get("metrics").unwrap();
+    for (field, expected) in [
+        ("mrr", direct.metrics.mrr),
+        ("hits1", direct.metrics.hits1),
+        ("hits3", direct.metrics.hits3),
+        ("hits10", direct.metrics.hits10),
+        ("mean_rank", direct.metrics.mean_rank),
+    ] {
+        let served = m.get(field).and_then(Json::as_f64).unwrap();
+        assert_eq!(served.to_bits(), expected.to_bits(), "{field}: {served} != {expected}");
+    }
+    let ranks: Vec<f64> = parsed
+        .get("ranks")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(Json::as_f64)
+        .collect();
+    assert_eq!(ranks, direct.ranks, "per-query ranks must round-trip exactly");
+
+    // Same request again: sample cache hit, same bits.
+    let (_, response2) = client::post_json(fx.server.addr(), "/eval", &body).unwrap();
+    let parsed2 = Json::parse(&response2).unwrap();
+    assert_eq!(parsed2.get("sample_cache").and_then(Json::as_str), Some("hit"));
+    assert_eq!(
+        parsed2.get("metrics").unwrap().get("mrr").and_then(Json::as_f64),
+        m.get("mrr").and_then(Json::as_f64)
+    );
+    fx.server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_exercise_the_batcher_and_stay_correct() {
+    let fx = Fixture::start();
+    let addr = fx.server.addr();
+    const CLIENTS: usize = 12;
+
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let triples: Vec<Triple> = fx.test.iter().skip(c * 3).take(5 + c % 4).copied().collect();
+        let body = format!("{{\"model\":\"m\",\"triples\":[{}]}}", fx.triples_json(&triples));
+        handles.push(std::thread::spawn(move || {
+            let (status, response) = client::post_json(addr, "/score", &body).unwrap();
+            (status, response, triples)
+        }));
+    }
+    for h in handles {
+        let (status, response, triples) = h.join().unwrap();
+        assert_eq!(status, 200, "{response}");
+        let parsed = Json::parse(&response).unwrap();
+        let scores = parsed.get("scores").and_then(Json::as_array).unwrap();
+        assert_eq!(scores.len(), triples.len());
+        for (t, s) in triples.iter().zip(scores) {
+            let direct = fx.model.score(t.head, t.relation, t.tail);
+            assert_eq!(
+                (s.as_f64().unwrap() as f32).to_bits(),
+                direct.to_bits(),
+                "concurrent batching corrupted the score of {t:?}"
+            );
+        }
+    }
+
+    // The batcher saw all 12 jobs, and the metrics agree.
+    let (_, prom) = client::get(addr, "/metrics").unwrap();
+    let jobs: u64 = prom
+        .lines()
+        .find(|l| l.starts_with("kg_serve_score_batch_jobs_total"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap();
+    assert_eq!(jobs, CLIENTS as u64, "every request went through the batcher");
+    assert_eq!(fx.metrics.requests_for("/score"), CLIENTS as u64);
+    let (p50, p99) = fx.metrics.latency_quantiles("/score").unwrap();
+    assert!(p50 > 0.0 && p99 >= p50, "latency quantiles populated: {p50} {p99}");
+    fx.server.shutdown();
+}
+
+#[test]
+fn error_paths_do_not_wedge_the_server() {
+    let fx = Fixture::start();
+    let addr = fx.server.addr();
+    for (path, body, expected) in [
+        ("/score", r#"{"model":"ghost","triples":[[0,0,0]]}"#, 404),
+        ("/score", r#"{"model":"m","triples":[[0,0,99999]]}"#, 422),
+        ("/eval", r#"{"model":"m","triples":[[0,0,1]],"strategy":"static"}"#, 400),
+        ("/eval", "{", 400),
+        ("/nope", "{}", 404),
+    ] {
+        let (status, response) = client::post_json(addr, path, body).unwrap();
+        assert_eq!(status, expected, "{path} {body} → {response}");
+    }
+    // Still serving.
+    let (status, _) = client::get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    fx.server.shutdown();
+}
