@@ -1,0 +1,79 @@
+//! Release-mode perf smoke: sharded vs unsharded `/topk`-style queries on a
+//! generated 1M-entity graph.
+//!
+//! `#[ignore]`d because it allocates a 1M × 32 embedding table and only
+//! means anything under `--release`; CI runs it explicitly:
+//!
+//! ```text
+//! cargo test --release -p kg-bench --test shard_speedup -- --ignored --nocapture
+//! ```
+//!
+//! It prints one machine-greppable line per configuration plus a final
+//! `shard_topk_speedup:` summary, so successive BENCH_*.json snapshots have
+//! a trajectory to track — and it asserts the sharded results are
+//! bit-for-bit identical to the unsharded ones, which is the invariant that
+//! makes the speedup safe to take.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use kg_core::triple::QuerySide;
+use kg_core::{EntityId, Triple};
+use kg_models::{build_model, KgcModel, ModelKind, ScoringEngine};
+
+const NUM_ENTITIES: usize = 1_000_000;
+const NUM_RELATIONS: usize = 8;
+const DIM: usize = 32;
+const QUERIES: usize = 24;
+const K: usize = 10;
+
+#[test]
+#[ignore = "1M-entity perf smoke; run with --release -- --ignored --nocapture"]
+fn sharded_topk_speedup_on_1m_entities() {
+    let model = build_model(ModelKind::DistMult, NUM_ENTITIES, NUM_RELATIONS, DIM, 42);
+    let model: Arc<dyn KgcModel> = Arc::from(model as Box<dyn KgcModel>);
+    let queries: Vec<(Triple, QuerySide)> = (0..QUERIES)
+        .map(|i| {
+            let e = (i * 40_009 + 7) % NUM_ENTITIES;
+            let r = i % NUM_RELATIONS;
+            if i % 2 == 0 {
+                (Triple::new(e as u32, r as u32, 0), QuerySide::Tail)
+            } else {
+                (Triple::new(0, r as u32, e as u32), QuerySide::Head)
+            }
+        })
+        .collect();
+    let known = [EntityId(3), EntityId(99_999), EntityId(500_000)];
+
+    let run = |shards: usize| {
+        let engine = ScoringEngine::new(Arc::clone(&model), shards);
+        // Warm-up pass populates the scratch pool and the page cache.
+        let (t0, s0) = queries[0];
+        engine.top_k(t0, s0, &known, K);
+        let start = Instant::now();
+        let results: Vec<Vec<(u32, f32)>> =
+            queries.iter().map(|&(t, s)| engine.top_k(t, s, &known, K)).collect();
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "shard_topk: shards={} queries={} total_s={:.4} per_query_ms={:.3}",
+            engine.num_shards(),
+            QUERIES,
+            secs,
+            secs * 1e3 / QUERIES as f64
+        );
+        (results, secs)
+    };
+
+    let (unsharded, unsharded_s) = run(1);
+    let (sharded, sharded_s) = run(0); // 0 = auto (~16 shards at 1M entities)
+    assert_eq!(unsharded, sharded, "sharded top-k must be bit-for-bit identical");
+
+    // The speedup line BENCH_*.json tracks. No threshold is asserted — CI
+    // machines vary — but the parity assert above keeps the number honest.
+    println!(
+        "shard_topk_speedup: {:.2}x (unsharded {:.4}s -> sharded {:.4}s)",
+        unsharded_s / sharded_s.max(1e-12),
+        unsharded_s,
+        sharded_s
+    );
+}

@@ -20,6 +20,7 @@ pub mod sample;
 pub mod sparse;
 pub mod stats;
 pub mod timing;
+pub mod topk;
 pub mod triple;
 pub mod types;
 pub mod vocab;

@@ -5,10 +5,160 @@
 //! chunks, one per thread, and writes results into a preallocated output —
 //! no extra dependencies, no channel traffic, deterministic output order.
 
+use std::ops::Range;
+use std::sync::Mutex;
+
 /// Number of worker threads to use by default (available parallelism,
 /// capped at 16 — ranking is memory-bandwidth-bound beyond that).
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+}
+
+/// Target entities per shard when a shard count is chosen automatically:
+/// small enough that one shard's slice of a typical embedding table stays
+/// cache-resident while a query streams over it.
+pub const DEFAULT_SHARD_TARGET: usize = 1 << 16;
+
+/// A partition of `0..len` into `num_shards` contiguous, balanced ranges.
+///
+/// Shard sizes differ by at most one (the first `len % num_shards` shards
+/// hold the extra item), so the plan is fully determined by `(len,
+/// num_shards)` — every consumer that agrees on those two numbers agrees on
+/// every shard boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShardPlan {
+    len: usize,
+    num_shards: usize,
+}
+
+impl ShardPlan {
+    /// Plan splitting `len` items into `num_shards` shards; the count is
+    /// clamped to `1..=max(len, 1)` (never more shards than items).
+    pub fn new(len: usize, num_shards: usize) -> Self {
+        ShardPlan { len, num_shards: num_shards.clamp(1, len.max(1)) }
+    }
+
+    /// Plan with an automatic shard count: `ceil(len /
+    /// [`DEFAULT_SHARD_TARGET`])` shards, so each shard holds at most the
+    /// cache-residency target.
+    pub fn auto(len: usize) -> Self {
+        Self::new(len, len.div_ceil(DEFAULT_SHARD_TARGET).max(1))
+    }
+
+    /// Total items partitioned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the plan covers zero items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Half-open item range of shard `s`.
+    #[inline]
+    pub fn range(&self, s: usize) -> Range<usize> {
+        debug_assert!(s < self.num_shards);
+        let base = self.len / self.num_shards;
+        let rem = self.len % self.num_shards;
+        let start = s * base + s.min(rem);
+        let end = start + base + usize::from(s < rem);
+        start..end
+    }
+
+    /// Largest shard width (the scratch-buffer size a per-shard pass needs).
+    #[inline]
+    pub fn max_shard_len(&self) -> usize {
+        self.len / self.num_shards + usize::from(!self.len.is_multiple_of(self.num_shards))
+    }
+
+    /// The shard containing item `i`.
+    #[inline]
+    pub fn shard_of(&self, i: usize) -> usize {
+        debug_assert!(i < self.len);
+        let base = self.len / self.num_shards;
+        let rem = self.len % self.num_shards;
+        let big = base + 1;
+        if i < rem * big {
+            i / big
+        } else {
+            rem + (i - rem * big) / base
+        }
+    }
+
+    /// Iterator over every shard's range, in shard order.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.num_shards).map(|s| self.range(s))
+    }
+}
+
+/// A pool of reusable `f32` scratch buffers of one fixed length.
+///
+/// Ranking a query needs a score buffer as wide as a shard (or the whole
+/// entity set); serving paths used to allocate that per request. The pool
+/// hands out zero-initialised buffers and recycles them on drop, so steady-
+/// state traffic performs no buffer allocation at all.
+pub struct BufferPool {
+    buf_len: usize,
+    free: Mutex<Vec<Vec<f32>>>,
+}
+
+impl BufferPool {
+    /// Pool of buffers holding `buf_len` f32s each.
+    pub fn new(buf_len: usize) -> Self {
+        BufferPool { buf_len, free: Mutex::new(Vec::new()) }
+    }
+
+    /// Length of every buffer this pool hands out.
+    pub fn buffer_len(&self) -> usize {
+        self.buf_len
+    }
+
+    /// Buffers currently idle in the pool (for tests / introspection).
+    pub fn idle(&self) -> usize {
+        self.free.lock().unwrap().len()
+    }
+
+    /// Acquire a buffer (recycled when available, freshly allocated
+    /// otherwise). Contents are unspecified; ranking passes overwrite the
+    /// prefix they use.
+    pub fn acquire(&self) -> PooledBuffer<'_> {
+        let buf = self.free.lock().unwrap().pop().unwrap_or_else(|| vec![0.0f32; self.buf_len]);
+        PooledBuffer { buf, pool: self }
+    }
+}
+
+/// A buffer checked out of a [`BufferPool`]; returns itself on drop.
+pub struct PooledBuffer<'a> {
+    buf: Vec<f32>,
+    pool: &'a BufferPool,
+}
+
+impl std::ops::Deref for PooledBuffer<'_> {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for PooledBuffer<'_> {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuffer<'_> {
+    fn drop(&mut self) {
+        self.pool.free.lock().unwrap().push(std::mem::take(&mut self.buf));
+    }
 }
 
 /// Apply `f(i)` for every `i in 0..n` across `threads` workers, collecting
@@ -152,6 +302,57 @@ mod tests {
             i * 3
         });
         assert_eq!(plain, scratch);
+    }
+
+    #[test]
+    fn shard_plan_partitions_exactly() {
+        for (len, shards) in [(0usize, 3usize), (1, 1), (10, 3), (10, 10), (10, 99), (100, 7)] {
+            let plan = ShardPlan::new(len, shards);
+            assert!(plan.num_shards() >= 1 && plan.num_shards() <= len.max(1));
+            let mut next = 0usize;
+            for (s, r) in plan.ranges().enumerate() {
+                assert_eq!(r.start, next, "shard {s} not contiguous");
+                assert!(r.len() <= plan.max_shard_len());
+                for i in r.clone() {
+                    assert_eq!(plan.shard_of(i), s, "shard_of({i}) disagrees with range");
+                }
+                next = r.end;
+            }
+            assert_eq!(next, len, "shards must cover 0..len");
+        }
+    }
+
+    #[test]
+    fn shard_plan_balanced_within_one() {
+        let plan = ShardPlan::new(10, 3);
+        let sizes: Vec<usize> = plan.ranges().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        assert_eq!(plan.max_shard_len(), 4);
+    }
+
+    #[test]
+    fn shard_plan_auto_targets_cache_residency() {
+        assert_eq!(ShardPlan::auto(100).num_shards(), 1);
+        assert_eq!(ShardPlan::auto(DEFAULT_SHARD_TARGET).num_shards(), 1);
+        assert_eq!(ShardPlan::auto(DEFAULT_SHARD_TARGET + 1).num_shards(), 2);
+        assert_eq!(ShardPlan::auto(0).num_shards(), 1);
+    }
+
+    #[test]
+    fn buffer_pool_recycles() {
+        let pool = BufferPool::new(8);
+        {
+            let mut a = pool.acquire();
+            a[0] = 42.0;
+            assert_eq!(a.len(), 8);
+            let b = pool.acquire();
+            assert_eq!(b.len(), 8);
+            assert_eq!(pool.idle(), 0);
+        }
+        assert_eq!(pool.idle(), 2, "dropped buffers return to the pool");
+        let c = pool.acquire();
+        assert_eq!(c.len(), 8);
+        assert_eq!(pool.idle(), 1, "reacquire pops a recycled buffer");
     }
 
     #[test]

@@ -1,12 +1,19 @@
 //! The exact, filtered, full-ranking evaluation — the `O(|E|)`-per-query
 //! protocol whose cost the paper's framework avoids, and the ground truth
 //! every estimator is compared against.
+//!
+//! Since the sharded-engine refactor the ranking pass streams per-shard
+//! score slices through [`kg_models::engine`] instead of materialising a
+//! `num_entities()`-sized row per query: `higher`/`ties` counters
+//! accumulate shard by shard, and the scratch buffer (one shard wide for
+//! range-scoring models) is reused across a worker thread's whole chunk.
 
-use kg_core::parallel::parallel_map_with;
+use kg_core::parallel::{parallel_map_with, ShardPlan};
 use kg_core::timing::Stopwatch;
+use kg_core::topk::cmp_score;
 use kg_core::triple::QuerySide;
 use kg_core::{FilterIndex, Triple};
-use kg_models::KgcModel;
+use kg_models::{engine, KgcModel};
 
 use crate::metrics::{RankingMetrics, TieBreak};
 
@@ -33,10 +40,17 @@ pub fn queries_of(triples: &[Triple]) -> Vec<(Triple, QuerySide)> {
     out
 }
 
-/// Compute the filtered rank of the true answer from a full score row.
+/// Compute the filtered rank of the true answer from a full score row (the
+/// reference kernel the streamed sharded path is tested against).
 ///
 /// `known` are the other true answers of this query (to be filtered out);
 /// the answer itself must be contained in `scores`.
+///
+/// **NaN ordering** is explicit (shared with [`kg_core::topk::cmp_score`]):
+/// a NaN score is worse than every real score. A NaN competitor never
+/// counts as `higher` nor as a tie against a real answer, and a NaN answer
+/// ranks behind every real competitor — previously IEEE all-false
+/// comparisons silently ranked a NaN answer first.
 pub fn filtered_rank_from_scores(
     scores: &[f32],
     answer: usize,
@@ -47,10 +61,14 @@ pub fn filtered_rank_from_scores(
     let mut higher = 0usize;
     let mut ties = 0usize;
     for (i, &s) in scores.iter().enumerate() {
-        if s > s_true {
-            higher += 1;
-        } else if s == s_true && i != answer {
-            ties += 1;
+        match cmp_score(s, s_true) {
+            std::cmp::Ordering::Greater => higher += 1,
+            std::cmp::Ordering::Equal => {
+                if i != answer {
+                    ties += 1;
+                }
+            }
+            std::cmp::Ordering::Less => {}
         }
     }
     // Remove known-true competitors (the *filtered* protocol).
@@ -59,18 +77,19 @@ pub fn filtered_rank_from_scores(
         if ki == answer {
             continue;
         }
-        let s = scores[ki];
-        if s > s_true {
-            higher -= 1;
-        } else if s == s_true {
-            ties -= 1;
+        match cmp_score(scores[ki], s_true) {
+            std::cmp::Ordering::Greater => higher -= 1,
+            std::cmp::Ordering::Equal => ties -= 1,
+            std::cmp::Ordering::Less => {}
         }
     }
     tie.rank(higher, ties)
 }
 
-/// Evaluate `model` on `triples` with the full filtered protocol, ranking
-/// every entity for every query, parallelised over queries.
+/// Evaluate `model` on `triples` with the full filtered protocol,
+/// parallelised over queries, with the entity space sharded automatically
+/// (see [`evaluate_full_sharded`]; results are identical for every shard
+/// count).
 pub fn evaluate_full(
     model: &dyn KgcModel,
     triples: &[Triple],
@@ -78,19 +97,41 @@ pub fn evaluate_full(
     tie: TieBreak,
     threads: usize,
 ) -> EvalResult {
+    evaluate_full_sharded(model, triples, filter, tie, threads, 0)
+}
+
+/// [`evaluate_full`] with an explicit entity shard count (`0` = automatic).
+///
+/// Ranks are computed by streaming per-shard score slices and accumulating
+/// `higher`/`ties` counters ([`kg_models::engine::rank_counts_with`]), so
+/// no `num_entities()`-sized row is materialised per query; each worker
+/// thread reuses one shard-wide scratch buffer for its whole chunk.
+/// Per-row arithmetic and the comparison order are partition-independent,
+/// so `EvalResult::ranks` is bit-for-bit identical for every `shards`.
+pub fn evaluate_full_sharded(
+    model: &dyn KgcModel,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    tie: TieBreak,
+    threads: usize,
+    shards: usize,
+) -> EvalResult {
     let queries = queries_of(triples);
     let n_entities = model.num_entities();
+    let plan =
+        if shards == 0 { ShardPlan::auto(n_entities) } else { ShardPlan::new(n_entities, shards) };
+    let scratch_len = engine::scratch_len(model, &plan);
     let sw = Stopwatch::start();
     let ranks = parallel_map_with(
         queries.len(),
         threads,
-        || vec![0.0f32; n_entities],
-        |scores, qi| {
+        || vec![0.0f32; scratch_len],
+        |scratch, qi| {
             let (triple, side) = queries[qi];
-            model.score_all(triple, side, scores);
-            let answer = side.answer(triple).index();
             let known = filter.known_answers(triple, side);
-            filtered_rank_from_scores(scores, answer, known, tie)
+            let (higher, ties) =
+                engine::rank_counts_with(model, &plan, scratch, triple, side, known);
+            tie.rank(higher, ties)
         },
     );
     let seconds = sw.seconds();
@@ -217,6 +258,44 @@ mod tests {
         assert_eq!(r.ranks.len(), 20);
         assert!(r.ranks.iter().all(|&x| (1.0..=20.0).contains(&x)));
         assert!(r.metrics.mrr > 0.0 && r.metrics.mrr <= 1.0);
+    }
+
+    #[test]
+    fn sharded_ranks_identical_for_every_shard_count() {
+        let model = build_model(ModelKind::RotatE, 26, 2, 8, 17);
+        let triples: Vec<Triple> = (0..12).map(|i| Triple::new(i, i % 2, 25 - i)).collect();
+        let filter = FilterIndex::from_slices(&[&triples]);
+        let baseline =
+            evaluate_full_sharded(model.as_ref(), &triples, &filter, TieBreak::Mean, 1, 1);
+        for shards in [2usize, 7, 26] {
+            let sharded =
+                evaluate_full_sharded(model.as_ref(), &triples, &filter, TieBreak::Mean, 3, shards);
+            assert_eq!(sharded.ranks, baseline.ranks, "S={shards} diverged");
+        }
+        // The default (auto-sharded) entry point agrees too.
+        let auto = evaluate_full(model.as_ref(), &triples, &filter, TieBreak::Mean, 2);
+        assert_eq!(auto.ranks, baseline.ranks);
+    }
+
+    #[test]
+    fn nan_answer_ranks_last_and_nan_competitors_never_count() {
+        // Entity 1 scores NaN; the answer is entity 0 (score 0.5).
+        let model = MockModel { n: 4, tail_scores: vec![0.5, f32::NAN, 0.9, 0.2] };
+        let test = vec![Triple::new(3, 0, 0)];
+        let filter = FilterIndex::from_slices(&[&test]);
+        let r = evaluate_full(&model, &test, &filter, TieBreak::Mean, 1);
+        // Tail query: only entity 2 (0.9) outranks the answer; the NaN is
+        // worse, not invisible.
+        assert_eq!(r.ranks[0], 2.0);
+        // A NaN answer ranks behind every real competitor instead of
+        // silently ranking first.
+        let nan_answer = vec![Triple::new(3, 0, 1)];
+        let filter = FilterIndex::from_slices(&[&nan_answer]);
+        let r = evaluate_full(&model, &nan_answer, &filter, TieBreak::Mean, 1);
+        assert_eq!(r.ranks[0], 4.0, "three real scores beat the NaN answer");
+        // The row-based reference kernel agrees.
+        let rank = filtered_rank_from_scores(&[0.5, f32::NAN, 0.9, 0.2], 1, &[], TieBreak::Mean);
+        assert_eq!(rank, 4.0);
     }
 
     #[test]

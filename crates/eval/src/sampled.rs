@@ -10,8 +10,9 @@
 
 use kg_core::parallel::parallel_map_with;
 use kg_core::timing::Stopwatch;
+use kg_core::topk::cmp_score;
 use kg_core::{EntityId, FilterIndex, Triple};
-use kg_models::KgcModel;
+use kg_models::{engine, KgcModel};
 use kg_recommend::SampledCandidates;
 
 use crate::metrics::TieBreak;
@@ -22,7 +23,10 @@ use crate::RankingMetrics;
 ///
 /// `scores[0]` must be the answer's score and `scores[1..]` the candidates'
 /// scores (parallel to `candidates`). Candidates that are the answer itself
-/// or known-true answers are skipped.
+/// or known-true answers are skipped. NaN scores follow the explicit
+/// ordering of [`kg_core::topk::cmp_score`] (NaN is the worst score), so
+/// sampled ranks agree with the streamed full-ranking kernel on degenerate
+/// scores too.
 pub fn sampled_rank(
     answer: EntityId,
     candidates: &[EntityId],
@@ -38,11 +42,10 @@ pub fn sampled_rank(
         if c == answer || known.binary_search(&c).is_ok() {
             continue;
         }
-        let s = scores[i + 1];
-        if s > s_true {
-            higher += 1;
-        } else if s == s_true {
-            ties += 1;
+        match cmp_score(scores[i + 1], s_true) {
+            std::cmp::Ordering::Greater => higher += 1,
+            std::cmp::Ordering::Equal => ties += 1,
+            std::cmp::Ordering::Less => {}
         }
     }
     tie.rank(higher, ties)
@@ -65,17 +68,12 @@ pub fn evaluate_sampled(
         || (Vec::<EntityId>::new(), Vec::<f32>::new()),
         |(to_score, scores), qi| {
             let (triple, side) = queries[qi];
-            let answer = side.answer(triple);
             let candidates = samples.for_query(triple.relation, side);
-            // Scored list: answer first, then the shared candidate sample.
-            to_score.clear();
-            to_score.push(answer);
-            to_score.extend_from_slice(candidates);
-            scores.clear();
-            scores.resize(to_score.len(), 0.0);
-            model.score_candidates(triple, side, to_score, scores);
+            // Scored list: answer first, then the shared candidate sample
+            // (buffer management lives in the engine module).
+            engine::score_answer_and_candidates(model, triple, side, candidates, to_score, scores);
             let known = filter.known_answers(triple, side);
-            sampled_rank(answer, candidates, scores, known, tie)
+            sampled_rank(side.answer(triple), candidates, scores, known, tie)
         },
     );
     let seconds = sw.seconds();

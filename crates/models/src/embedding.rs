@@ -149,6 +149,26 @@ pub fn combine_all(c: Combine, table: &EmbeddingTable, q: &[f32], out: &mut [f32
     }
 }
 
+/// Score `q` against the contiguous row range `rows` into `out`
+/// (`out.len() == rows.len()`). This is the sharded full-ranking primitive:
+/// each shard touches only its slice of the table, so the inner loop stays
+/// cache-resident. Per-row arithmetic is identical to [`combine_all`], so a
+/// row range scored here is bit-for-bit the same slice of the full row.
+pub fn combine_range(
+    c: Combine,
+    table: &EmbeddingTable,
+    q: &[f32],
+    rows: std::ops::Range<usize>,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(q.len(), table.dim());
+    debug_assert_eq!(out.len(), rows.len());
+    debug_assert!(rows.end <= table.count());
+    for (o, i) in out.iter_mut().zip(rows) {
+        *o = combine_one(c, q, table.row(i));
+    }
+}
+
 /// Score `q` against a candidate subset of rows.
 pub fn combine_candidates(
     c: Combine,

@@ -1,0 +1,556 @@
+//! The sharded scoring engine — the single full-ranking entry point.
+//!
+//! Every consumer that used to allocate a `num_entities()`-sized score row
+//! and call [`KgcModel::score_tails`] / `score_heads` directly (the full
+//! ranker, the `/topk` endpoint, benches) now goes through this module. The
+//! engine partitions the entity space into `S` contiguous shards
+//! ([`ShardPlan`]) and streams per-shard score slices through a reusable
+//! scratch buffer:
+//!
+//! * **filtered ranks** are computed incrementally — `higher`/`ties`
+//!   counters accumulate shard by shard, so the full `|E|` row never
+//!   materialises;
+//! * **top-k** builds one bounded heap per shard and merges them with the
+//!   deterministic order of [`kg_core::topk`];
+//! * models whose scorers reduce to *query vector × table slice*
+//!   ([`KgcModel::supports_range_scoring`]) score each shard straight off
+//!   its slice of the embedding table (cache-resident inner loops); other
+//!   models fall back to one full-row pass per query, sliced logically.
+//!
+//! **Parity invariant:** because per-row arithmetic is independent of the
+//! partition and all comparisons use the total order of
+//! [`kg_core::topk::cmp_score`], results are bit-for-bit identical for
+//! every shard count `S`, including `S = 1` (the unsharded path).
+//!
+//! **NaN ordering** (explicit, see [`cmp_score`]): a NaN score is *worse
+//! than every real score*. A NaN competitor therefore never counts as
+//! `higher` nor as a tie against a real answer, and a NaN answer ranks
+//! behind every real competitor instead of silently ranking first.
+
+use std::cmp::Ordering;
+use std::ops::Range;
+use std::sync::Arc;
+
+use kg_core::parallel::{parallel_map_indexed, BufferPool, ShardPlan};
+use kg_core::topk::{cmp_score, merge_topk, TopKHeap};
+use kg_core::triple::QuerySide;
+use kg_core::{EntityId, Triple};
+
+use crate::model::KgcModel;
+
+/// Scratch-buffer length a per-query pass over `plan` needs for `model`:
+/// one shard's width when the model scores ranges natively, the full row
+/// otherwise (scored once, then sliced logically).
+pub fn scratch_len(model: &dyn KgcModel, plan: &ShardPlan) -> usize {
+    if model.supports_range_scoring() {
+        plan.max_shard_len()
+    } else {
+        plan.len()
+    }
+}
+
+/// Count strictly-higher and tied competitors in one scored shard.
+///
+/// `scores` is the slice for entities `base..base + scores.len()`; `known`
+/// (ascending) are filtered out, and the answer never competes with itself.
+fn count_shard(
+    scores: &[f32],
+    base: usize,
+    answer: usize,
+    s_true: f32,
+    known: &[EntityId],
+) -> (usize, usize) {
+    let mut higher = 0usize;
+    let mut ties = 0usize;
+    for (off, &s) in scores.iter().enumerate() {
+        match cmp_score(s, s_true) {
+            Ordering::Greater => higher += 1,
+            Ordering::Equal => {
+                if base + off != answer {
+                    ties += 1;
+                }
+            }
+            Ordering::Less => {}
+        }
+    }
+    // Remove known-true competitors (the *filtered* protocol). `known` is
+    // sorted, so only its sub-range inside this shard is visited.
+    let end = base + scores.len();
+    let first = known.partition_point(|k| k.index() < base);
+    for k in &known[first..] {
+        let ki = k.index();
+        if ki >= end {
+            break;
+        }
+        if ki == answer {
+            continue;
+        }
+        match cmp_score(scores[ki - base], s_true) {
+            Ordering::Greater => higher -= 1,
+            Ordering::Equal => ties -= 1,
+            Ordering::Less => {}
+        }
+    }
+    (higher, ties)
+}
+
+/// Per-shard bounded top-k, excluding `known` (ascending) entities.
+fn topk_shard(scores: &[f32], base: usize, known: &[EntityId], k: usize) -> Vec<(u32, f32)> {
+    let mut heap = TopKHeap::new(k);
+    let mut next_known = known.partition_point(|e| e.index() < base);
+    for (off, &s) in scores.iter().enumerate() {
+        let e = base + off;
+        if next_known < known.len() && known[next_known].index() == e {
+            next_known += 1;
+            continue;
+        }
+        heap.push(e as u32, s);
+    }
+    heap.into_sorted()
+}
+
+/// Streamed filtered-rank counters for one query: `(higher, ties)` over all
+/// entities except `known`, under the NaN ordering documented at the module
+/// level. `scratch.len()` must be at least [`scratch_len`].
+///
+/// The answer's own score is read out of its shard's slice (not via
+/// [`KgcModel::score`]), so reciprocal-relation head scorers rank against
+/// the same function they score with.
+pub fn rank_counts_with(
+    model: &dyn KgcModel,
+    plan: &ShardPlan,
+    scratch: &mut [f32],
+    triple: Triple,
+    side: QuerySide,
+    known: &[EntityId],
+) -> (usize, usize) {
+    debug_assert_eq!(plan.len(), model.num_entities());
+    let answer = side.answer(triple).index();
+    if !model.supports_range_scoring() {
+        // One full-row pass; counting over the whole row at once is
+        // identical to counting shard by shard.
+        let buf = &mut scratch[..plan.len()];
+        model.score_all(triple, side, buf);
+        let s_true = buf[answer];
+        return count_shard(buf, 0, answer, s_true, known);
+    }
+    // Score the answer's shard first to obtain the reference score, then
+    // stream the remaining shards; counting is order-independent.
+    let answer_shard = plan.shard_of(answer);
+    let ra = plan.range(answer_shard);
+    let buf = &mut scratch[..ra.len()];
+    model.score_range(triple, side, ra.clone(), buf);
+    let s_true = buf[answer - ra.start];
+    let (mut higher, mut ties) = count_shard(buf, ra.start, answer, s_true, known);
+    for s in 0..plan.num_shards() {
+        if s == answer_shard {
+            continue;
+        }
+        let r = plan.range(s);
+        let buf = &mut scratch[..r.len()];
+        model.score_range(triple, side, r.clone(), buf);
+        let (h, t) = count_shard(buf, r.start, answer, s_true, known);
+        higher += h;
+        ties += t;
+    }
+    (higher, ties)
+}
+
+/// Top-k entities for one query, excluding `known` (ascending): per-shard
+/// bounded heaps merged deterministically. Best first; ties break toward
+/// the lower entity id. `scratch.len()` must be at least [`scratch_len`].
+pub fn top_k_with(
+    model: &dyn KgcModel,
+    plan: &ShardPlan,
+    scratch: &mut [f32],
+    triple: Triple,
+    side: QuerySide,
+    known: &[EntityId],
+    k: usize,
+) -> Vec<(u32, f32)> {
+    debug_assert_eq!(plan.len(), model.num_entities());
+    if k == 0 || plan.is_empty() {
+        return Vec::new();
+    }
+    let mut per_shard = Vec::with_capacity(plan.num_shards());
+    if model.supports_range_scoring() {
+        for r in plan.ranges() {
+            let buf = &mut scratch[..r.len()];
+            model.score_range(triple, side, r.clone(), buf);
+            per_shard.push(topk_shard(buf, r.start, known, k));
+        }
+    } else {
+        let buf = &mut scratch[..plan.len()];
+        model.score_all(triple, side, buf);
+        for r in plan.ranges() {
+            per_shard.push(topk_shard(&buf[r.clone()], r.start, known, k));
+        }
+    }
+    merge_topk(per_shard, k)
+}
+
+/// Fill `ids`/`scores` with the answer followed by `candidates` and their
+/// scores — the sampled-evaluation scoring layout (`scores[0]` is the
+/// answer's score). Both buffers are cleared and reused, so callers keep
+/// per-thread scratch instead of allocating per query.
+pub fn score_answer_and_candidates(
+    model: &dyn KgcModel,
+    triple: Triple,
+    side: QuerySide,
+    candidates: &[EntityId],
+    ids: &mut Vec<EntityId>,
+    scores: &mut Vec<f32>,
+) {
+    ids.clear();
+    ids.push(side.answer(triple));
+    ids.extend_from_slice(candidates);
+    scores.clear();
+    scores.resize(ids.len(), 0.0);
+    model.score_candidates(triple, side, ids, scores);
+}
+
+/// An owning handle bundling a model with its shard plan and scratch pool —
+/// what long-lived consumers (the serving registry) hold instead of a bare
+/// `Arc<dyn KgcModel>`.
+pub struct ScoringEngine {
+    model: Arc<dyn KgcModel>,
+    plan: ShardPlan,
+    pool: BufferPool,
+}
+
+impl ScoringEngine {
+    /// Engine over `model` with `num_shards` entity shards (`0` = choose
+    /// automatically from [`kg_core::parallel::DEFAULT_SHARD_TARGET`]).
+    pub fn new(model: Arc<dyn KgcModel>, num_shards: usize) -> Self {
+        let n = model.num_entities();
+        let plan = if num_shards == 0 { ShardPlan::auto(n) } else { ShardPlan::new(n, num_shards) };
+        let pool = BufferPool::new(scratch_len(model.as_ref(), &plan));
+        ScoringEngine { model, plan, pool }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &Arc<dyn KgcModel> {
+        &self.model
+    }
+
+    /// The entity shard plan.
+    pub fn plan(&self) -> ShardPlan {
+        self.plan
+    }
+
+    /// Number of entity shards.
+    pub fn num_shards(&self) -> usize {
+        self.plan.num_shards()
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Score a single triple (point lookups bypass the shard machinery).
+    pub fn score_one(&self, triple: Triple) -> f32 {
+        self.model.score(triple.head, triple.relation, triple.tail)
+    }
+
+    /// Scores of a candidate subset answering `triple`'s query on `side`
+    /// (the sampled-evaluation primitive; passthrough to the model).
+    pub fn score_candidates(
+        &self,
+        triple: Triple,
+        side: QuerySide,
+        candidates: &[EntityId],
+        out: &mut [f32],
+    ) {
+        self.model.score_candidates(triple, side, candidates, out);
+    }
+
+    /// Streamed filtered-rank counters for one query (see
+    /// [`rank_counts_with`]); scratch comes from the engine's pool.
+    pub fn rank_counts(
+        &self,
+        triple: Triple,
+        side: QuerySide,
+        known: &[EntityId],
+    ) -> (usize, usize) {
+        let mut buf = self.pool.acquire();
+        rank_counts_with(self.model.as_ref(), &self.plan, &mut buf, triple, side, known)
+    }
+
+    /// Top-k for one query, shards visited serially (see [`top_k_with`]).
+    pub fn top_k(
+        &self,
+        triple: Triple,
+        side: QuerySide,
+        known: &[EntityId],
+        k: usize,
+    ) -> Vec<(u32, f32)> {
+        let mut buf = self.pool.acquire();
+        top_k_with(self.model.as_ref(), &self.plan, &mut buf, triple, side, known, k)
+    }
+
+    /// Top-k with the per-shard passes fanned out across `threads` workers
+    /// and the per-shard heaps merged; bit-for-bit identical to
+    /// [`ScoringEngine::top_k`]. Falls back to the serial pass when the
+    /// model cannot score ranges natively (a full-row pass per worker would
+    /// cost more than it saves) or there is nothing to fan out.
+    pub fn top_k_fanout(
+        &self,
+        triple: Triple,
+        side: QuerySide,
+        known: &[EntityId],
+        k: usize,
+        threads: usize,
+    ) -> Vec<(u32, f32)> {
+        if k == 0 || self.plan.is_empty() {
+            return Vec::new();
+        }
+        if threads <= 1 || self.num_shards() == 1 || !self.model.supports_range_scoring() {
+            return self.top_k(triple, side, known, k);
+        }
+        let per_shard = parallel_map_indexed(self.num_shards(), threads, |s| {
+            let r: Range<usize> = self.plan.range(s);
+            let mut buf = self.pool.acquire();
+            let buf = &mut buf[..r.len()];
+            self.model.score_range(triple, side, r.clone(), buf);
+            topk_shard(buf, r.start, known, k)
+        });
+        merge_topk(per_shard, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::{build_model, ModelKind};
+    use crate::model::TrainableModel;
+    use kg_core::RelationId;
+
+    /// Reference rank counters from a fully materialised row (the seed
+    /// path's logic, generalised to cmp_score).
+    fn reference_counts(scores: &[f32], answer: usize, known: &[EntityId]) -> (usize, usize) {
+        let s_true = scores[answer];
+        let mut higher = 0usize;
+        let mut ties = 0usize;
+        for (i, &s) in scores.iter().enumerate() {
+            match cmp_score(s, s_true) {
+                Ordering::Greater => higher += 1,
+                Ordering::Equal => {
+                    if i != answer {
+                        ties += 1;
+                    }
+                }
+                Ordering::Less => {}
+            }
+        }
+        for kn in known {
+            let ki = kn.index();
+            if ki == answer {
+                continue;
+            }
+            match cmp_score(scores[ki], s_true) {
+                Ordering::Greater => higher -= 1,
+                Ordering::Equal => ties -= 1,
+                Ordering::Less => {}
+            }
+        }
+        (higher, ties)
+    }
+
+    fn reference_topk(scores: &[f32], known: &[EntityId], k: usize) -> Vec<(u32, f32)> {
+        let mut all: Vec<(u32, f32)> = scores
+            .iter()
+            .enumerate()
+            .filter(|(e, _)| known.binary_search(&EntityId(*e as u32)).is_err())
+            .map(|(e, &s)| (e as u32, s))
+            .collect();
+        all.sort_by(|&a, &b| kg_core::topk::cmp_entry(a, b));
+        all.truncate(k);
+        all
+    }
+
+    fn models() -> Vec<Box<dyn TrainableModel>> {
+        ModelKind::ALL
+            .into_iter()
+            .map(|kind| {
+                let dim = match kind {
+                    ModelKind::ConvE => 16,
+                    ModelKind::Rescal | ModelKind::TuckEr => 8,
+                    _ => 12,
+                };
+                build_model(kind, 23, 3, dim, 5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_counts_match_full_row_for_every_model_and_shard_count() {
+        for model in models() {
+            let model: &dyn KgcModel = model.as_ref();
+            let n = model.num_entities();
+            let triple = Triple::new(2, 1, 20);
+            let known = [EntityId(4), EntityId(20), EntityId(21)];
+            for side in QuerySide::BOTH {
+                let mut row = vec![0.0f32; n];
+                model.score_all(triple, side, &mut row);
+                let want = reference_counts(&row, side.answer(triple).index(), &known);
+                for shards in [1usize, 2, 7, n] {
+                    let plan = ShardPlan::new(n, shards);
+                    let mut scratch = vec![0.0f32; scratch_len(model, &plan)];
+                    let got = rank_counts_with(model, &plan, &mut scratch, triple, side, &known);
+                    assert_eq!(got, want, "{} S={shards} {side:?}: counts diverged", model.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_topk_matches_reference_for_every_model_and_shard_count() {
+        for model in models() {
+            let model: &dyn KgcModel = model.as_ref();
+            let n = model.num_entities();
+            let triple = Triple::new(0, 2, 9);
+            let known = [EntityId(1), EntityId(9)];
+            for side in QuerySide::BOTH {
+                let mut row = vec![0.0f32; n];
+                model.score_all(triple, side, &mut row);
+                for k in [0usize, 1, 5, n] {
+                    let want = reference_topk(&row, &known, k);
+                    for shards in [1usize, 2, 7, n] {
+                        let plan = ShardPlan::new(n, shards);
+                        let mut scratch = vec![0.0f32; scratch_len(model, &plan)];
+                        let got = top_k_with(model, &plan, &mut scratch, triple, side, &known, k);
+                        assert_eq!(
+                            got,
+                            want,
+                            "{} S={shards} k={k} {side:?}: top-k diverged",
+                            model.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_handle_matches_kernels_and_fanout_is_identical() {
+        let model = build_model(ModelKind::ComplEx, 40, 2, 8, 9);
+        let model: Arc<dyn KgcModel> = Arc::from(model as Box<dyn KgcModel>);
+        let triple = Triple::new(3, 1, 17);
+        let known = [EntityId(0), EntityId(17)];
+        let serial_engine = ScoringEngine::new(Arc::clone(&model), 1);
+        for shards in [2usize, 5, 40] {
+            let engine = ScoringEngine::new(Arc::clone(&model), shards);
+            assert_eq!(engine.num_shards(), shards);
+            for side in QuerySide::BOTH {
+                assert_eq!(
+                    engine.rank_counts(triple, side, &known),
+                    serial_engine.rank_counts(triple, side, &known)
+                );
+                let want = serial_engine.top_k(triple, side, &known, 7);
+                assert_eq!(engine.top_k(triple, side, &known, 7), want);
+                assert_eq!(engine.top_k_fanout(triple, side, &known, 7, 4), want);
+            }
+        }
+        // The pool recycles: a second query should not grow the pool.
+        let engine = ScoringEngine::new(model, 4);
+        engine.top_k(triple, QuerySide::Tail, &known, 3);
+        engine.top_k(triple, QuerySide::Tail, &known, 3);
+        assert!(engine.pool.idle() <= 1, "serial queries reuse one scratch buffer");
+    }
+
+    #[test]
+    fn auto_sharding_defaults_to_one_shard_for_small_graphs() {
+        let model = build_model(ModelKind::DistMult, 30, 2, 8, 3);
+        let engine = ScoringEngine::new(Arc::from(model as Box<dyn KgcModel>), 0);
+        assert_eq!(engine.num_shards(), 1);
+    }
+
+    /// NaN regression (the documented ordering): NaN competitors never
+    /// outrank a real answer, and a NaN answer ranks behind every real
+    /// competitor.
+    #[test]
+    fn nan_scores_rank_worst() {
+        struct NanModel;
+        impl KgcModel for NanModel {
+            fn name(&self) -> &'static str {
+                "Nan"
+            }
+            fn dim(&self) -> usize {
+                1
+            }
+            fn num_entities(&self) -> usize {
+                4
+            }
+            fn num_relations(&self) -> usize {
+                1
+            }
+            fn score(&self, _h: EntityId, _r: RelationId, t: EntityId) -> f32 {
+                [0.5, f32::NAN, 0.9, f32::NAN][t.index()]
+            }
+            fn score_tails(&self, h: EntityId, r: RelationId, out: &mut [f32]) {
+                for (t, o) in out.iter_mut().enumerate() {
+                    *o = self.score(h, r, EntityId(t as u32));
+                }
+            }
+            fn score_heads(&self, r: RelationId, t: EntityId, out: &mut [f32]) {
+                self.score_tails(t, r, out);
+            }
+            fn score_tail_candidates(
+                &self,
+                h: EntityId,
+                r: RelationId,
+                c: &[EntityId],
+                out: &mut [f32],
+            ) {
+                for (o, &e) in out.iter_mut().zip(c) {
+                    *o = self.score(h, r, e);
+                }
+            }
+            fn score_head_candidates(
+                &self,
+                r: RelationId,
+                t: EntityId,
+                c: &[EntityId],
+                out: &mut [f32],
+            ) {
+                self.score_tail_candidates(t, r, c, out);
+            }
+        }
+        let plan = ShardPlan::new(4, 2);
+        let mut scratch = vec![0.0f32; 4];
+        // Real answer (entity 0, score 0.5): only entity 2 (0.9) is higher;
+        // the two NaNs neither rank higher nor tie.
+        let (higher, ties) = rank_counts_with(
+            &NanModel,
+            &plan,
+            &mut scratch,
+            Triple::new(0, 0, 0),
+            QuerySide::Tail,
+            &[],
+        );
+        assert_eq!((higher, ties), (1, 0));
+        // NaN answer (entity 1): both real scores rank higher, the other
+        // NaN ties.
+        let (higher, ties) = rank_counts_with(
+            &NanModel,
+            &plan,
+            &mut scratch,
+            Triple::new(0, 0, 1),
+            QuerySide::Tail,
+            &[],
+        );
+        assert_eq!((higher, ties), (2, 1));
+        // Top-k: NaNs sort after all real scores, lower id first.
+        let top = top_k_with(
+            &NanModel,
+            &plan,
+            &mut scratch,
+            Triple::new(0, 0, 0),
+            QuerySide::Tail,
+            &[],
+            4,
+        );
+        assert_eq!(top.iter().map(|t| t.0).collect::<Vec<_>>(), vec![2, 0, 1, 3]);
+    }
+}

@@ -16,6 +16,7 @@ pub mod complex;
 pub mod conve;
 pub mod distmult;
 pub mod embedding;
+pub mod engine;
 pub mod factory;
 pub mod io;
 pub mod loss;
@@ -31,6 +32,7 @@ pub use complex::ComplEx;
 pub use conve::ConvE;
 pub use distmult::DistMult;
 pub use embedding::EmbeddingTable;
+pub use engine::ScoringEngine;
 pub use factory::{build_model, ModelKind};
 pub use io::{load_model, save_model};
 pub use model::{KgcModel, TrainableModel};

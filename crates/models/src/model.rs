@@ -74,6 +74,61 @@ pub trait KgcModel: Send + Sync {
             QuerySide::Head => self.score_heads(triple.relation, triple.tail, out),
         }
     }
+
+    /// Whether [`KgcModel::score_tails_range`] / `score_heads_range` are
+    /// overridden to score only the requested slice of the embedding table.
+    ///
+    /// When `false` the default range implementations fall back to scoring a
+    /// full row and copying the slice out — correct for every model
+    /// (including reciprocal-relation head scorers), but `O(|E|)` per call.
+    /// The sharded scoring engine consults this to score such models with
+    /// one full-row pass per query instead of one per shard.
+    fn supports_range_scoring(&self) -> bool {
+        false
+    }
+
+    /// Scores of entities `range` as tails of `(h, r, ?)`;
+    /// `out.len() == range.len()`. Must equal the same slice of
+    /// [`KgcModel::score_tails`]'s output bit-for-bit.
+    fn score_tails_range(
+        &self,
+        h: EntityId,
+        r: RelationId,
+        range: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) {
+        let mut full = vec![0.0f32; self.num_entities()];
+        self.score_tails(h, r, &mut full);
+        out.copy_from_slice(&full[range]);
+    }
+
+    /// Scores of entities `range` as heads of `(?, r, t)`; same contract as
+    /// [`KgcModel::score_tails_range`].
+    fn score_heads_range(
+        &self,
+        r: RelationId,
+        t: EntityId,
+        range: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) {
+        let mut full = vec![0.0f32; self.num_entities()];
+        self.score_heads(r, t, &mut full);
+        out.copy_from_slice(&full[range]);
+    }
+
+    /// Scores of entities `range` answering `triple`'s query on `side`.
+    fn score_range(
+        &self,
+        triple: Triple,
+        side: QuerySide,
+        range: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) {
+        match side {
+            QuerySide::Tail => self.score_tails_range(triple.head, triple.relation, range, out),
+            QuerySide::Head => self.score_heads_range(triple.relation, triple.tail, range, out),
+        }
+    }
 }
 
 /// A model that can take gradient steps.

@@ -5,7 +5,9 @@ use kg_core::triple::QuerySide;
 use kg_core::{EntityId, RelationId, Triple};
 use rand::Rng;
 
-use crate::embedding::{combine_all, combine_candidates, combine_row, Combine, EmbeddingTable};
+use crate::embedding::{
+    combine_all, combine_candidates, combine_range, combine_row, Combine, EmbeddingTable,
+};
 use crate::model::{KgcModel, TrainableModel};
 
 /// Bilinear tensor factorisation with per-relation matrices.
@@ -93,6 +95,34 @@ impl KgcModel for Rescal {
         let mut q = vec![0.0f32; self.dim];
         self.head_query(r, t, &mut q);
         combine_all(Combine::Dot, &self.entities, &q, out);
+    }
+
+    fn supports_range_scoring(&self) -> bool {
+        true
+    }
+
+    fn score_tails_range(
+        &self,
+        h: EntityId,
+        r: RelationId,
+        range: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) {
+        let mut q = vec![0.0f32; self.dim];
+        self.tail_query(h, r, &mut q);
+        combine_range(Combine::Dot, &self.entities, &q, range, out);
+    }
+
+    fn score_heads_range(
+        &self,
+        r: RelationId,
+        t: EntityId,
+        range: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) {
+        let mut q = vec![0.0f32; self.dim];
+        self.head_query(r, t, &mut q);
+        combine_range(Combine::Dot, &self.entities, &q, range, out);
     }
 
     fn score_tail_candidates(

@@ -115,6 +115,38 @@ impl KgcModel for RotatE {
         }
     }
 
+    fn supports_range_scoring(&self) -> bool {
+        true
+    }
+
+    fn score_tails_range(
+        &self,
+        h: EntityId,
+        r: RelationId,
+        range: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) {
+        let mut q = vec![0.0f32; self.dim];
+        self.tail_query(h, r, &mut q);
+        for (o, e) in out.iter_mut().zip(range) {
+            *o = self.mod_distance(&q, self.entities.row(e));
+        }
+    }
+
+    fn score_heads_range(
+        &self,
+        r: RelationId,
+        t: EntityId,
+        range: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) {
+        let mut q = vec![0.0f32; self.dim];
+        self.head_query(r, t, &mut q);
+        for (o, e) in out.iter_mut().zip(range) {
+            *o = self.mod_distance(&q, self.entities.row(e));
+        }
+    }
+
     fn score_tail_candidates(
         &self,
         h: EntityId,

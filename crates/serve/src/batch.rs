@@ -15,6 +15,16 @@
 //! job's condvar. Because enqueue and drain are serialised by the same
 //! mutex, a job is either drained by the current leader or observes
 //! `leader_active == false` and elects itself — no job can strand.
+//!
+//! The batching window is **adaptive**: when a batch actually coalesced
+//! (≥ 2 jobs) and absorbed at least [`WINDOW_GROW_TRIPLES`] triples, the
+//! window doubles (up to [`WINDOW_GROWTH_CAP`]× the configured base —
+//! deeper coalescing under load), and an idle batch that coalesced nothing
+//! halves it back toward the base, keeping single-client latency tight.
+//! Growth requires real coalescing so that one client sending large
+//! sequential batches never ratchets up a sleep that cannot help it. The
+//! current window is exported per model as `kg_serve_score_batch_window_us`
+//! in `/metrics`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -22,9 +32,15 @@ use std::time::Duration;
 
 use kg_core::parallel::parallel_map_indexed;
 use kg_core::Triple;
-use kg_models::KgcModel;
+use kg_models::ScoringEngine;
 
 use crate::http_metrics::HttpMetrics;
+
+/// Triples in one coalesced batch at which the window widens.
+pub const WINDOW_GROW_TRIPLES: usize = 64;
+
+/// Upper bound of the adaptive window, as a multiple of the base window.
+pub const WINDOW_GROWTH_CAP: u64 = 8;
 
 /// One request's slot: filled by whichever thread leads the batch.
 struct JobSlot {
@@ -45,29 +61,41 @@ struct BatchState {
 
 /// Coalesces concurrent score requests for one model.
 pub struct ScoreBatcher {
-    model: Arc<dyn KgcModel>,
+    engine: Arc<ScoringEngine>,
+    name: String,
     state: Mutex<BatchState>,
-    window: Duration,
+    base_window_us: u64,
+    window_us: AtomicU64,
     threads: usize,
     batches_run: AtomicU64,
     metrics: Option<Arc<HttpMetrics>>,
 }
 
 impl ScoreBatcher {
-    /// Batcher over `model`, waiting `window` for stragglers and scoring
-    /// with `threads` workers. Batch sizes are recorded into `metrics` when
+    /// Batcher over `engine`, waiting an adaptive window (starting at
+    /// `window`) for stragglers and scoring with `threads` workers. Batch
+    /// sizes and the current window are recorded into `metrics` when
     /// provided — held by the batcher itself so every coalesced batch is
-    /// observed no matter which submitter ends up leading it.
+    /// observed no matter which submitter ends up leading it. A zero base
+    /// window disables both sleeping and adaptation.
     pub fn new(
-        model: Arc<dyn KgcModel>,
+        engine: Arc<ScoringEngine>,
+        name: impl Into<String>,
         window: Duration,
         threads: usize,
         metrics: Option<Arc<HttpMetrics>>,
     ) -> Self {
+        let name = name.into();
+        let base_window_us = window.as_micros() as u64;
+        if let Some(m) = &metrics {
+            m.set_score_window(&name, base_window_us);
+        }
         ScoreBatcher {
-            model,
+            engine,
+            name,
             state: Mutex::new(BatchState::default()),
-            window,
+            base_window_us,
+            window_us: AtomicU64::new(base_window_us),
             threads: threads.max(1),
             batches_run: AtomicU64::new(0),
             metrics,
@@ -77,6 +105,11 @@ impl ScoreBatcher {
     /// Number of scoring passes executed so far.
     pub fn batches_run(&self) -> u64 {
         self.batches_run.load(Ordering::Relaxed)
+    }
+
+    /// The adaptive batching window currently in effect, in microseconds.
+    pub fn current_window_us(&self) -> u64 {
+        self.window_us.load(Ordering::Relaxed)
     }
 
     /// Score `triples`, coalescing with any concurrent submissions.
@@ -101,8 +134,9 @@ impl ScoreBatcher {
 
         if is_leader {
             // Give concurrent submitters a chance to join this batch.
-            if !self.window.is_zero() {
-                std::thread::sleep(self.window);
+            let window_us = self.window_us.load(Ordering::Relaxed);
+            if window_us > 0 {
+                std::thread::sleep(Duration::from_micros(window_us));
             }
             let batch = {
                 let mut state = self.state.lock().unwrap();
@@ -119,18 +153,42 @@ impl ScoreBatcher {
         result.take().unwrap()
     }
 
+    /// Adapt the window to the batch just scored: widen under load (the
+    /// next window catches more stragglers), shrink back toward the base
+    /// when traffic is idle. Growth requires the batch to have actually
+    /// coalesced ≥ 2 jobs — a single client's big sequential batches gain
+    /// nothing from a longer sleep. No-op for zero-base batchers.
+    fn adapt_window(&self, jobs: usize, triples: usize) {
+        if self.base_window_us == 0 {
+            return;
+        }
+        let cap = self.base_window_us * WINDOW_GROWTH_CAP;
+        let cur = self.window_us.load(Ordering::Relaxed);
+        let next = if jobs >= 2 && triples >= WINDOW_GROW_TRIPLES {
+            (cur * 2).min(cap)
+        } else if jobs <= 1 {
+            (cur / 2).max(self.base_window_us)
+        } else {
+            cur
+        };
+        if next != cur {
+            self.window_us.store(next, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.set_score_window(&self.name, next);
+            }
+        }
+    }
+
     fn run_batch(&self, batch: Vec<Pending>) {
         let flat: Vec<Triple> = batch.iter().flat_map(|job| job.triples.iter().copied()).collect();
-        let model = &self.model;
+        let engine = &self.engine;
         // The single parallel pass over every triple of every coalesced job.
-        let scores = parallel_map_indexed(flat.len(), self.threads, |i| {
-            let t = flat[i];
-            model.score(t.head, t.relation, t.tail)
-        });
+        let scores = parallel_map_indexed(flat.len(), self.threads, |i| engine.score_one(flat[i]));
         self.batches_run.fetch_add(1, Ordering::Relaxed);
         if let Some(m) = &self.metrics {
             m.observe_batch(batch.len(), flat.len());
         }
+        self.adapt_window(batch.len(), flat.len());
         let mut offset = 0usize;
         for job in batch {
             let n = job.triples.len();
@@ -146,6 +204,7 @@ impl ScoreBatcher {
 mod tests {
     use super::*;
     use kg_core::{EntityId, RelationId};
+    use kg_models::KgcModel;
 
     struct Linear {
         n: usize,
@@ -206,12 +265,8 @@ mod tests {
     }
 
     fn batcher_with(window_us: u64, metrics: Option<Arc<HttpMetrics>>) -> Arc<ScoreBatcher> {
-        Arc::new(ScoreBatcher::new(
-            Arc::new(Linear { n: 50 }),
-            Duration::from_micros(window_us),
-            2,
-            metrics,
-        ))
+        let engine = Arc::new(ScoringEngine::new(Arc::new(Linear { n: 50 }), 1));
+        Arc::new(ScoreBatcher::new(engine, "linear", Duration::from_micros(window_us), 2, metrics))
     }
 
     #[test]
@@ -268,5 +323,56 @@ mod tests {
             assert_eq!(scores.len(), 1);
         }
         assert_eq!(b.batches_run(), 20);
+    }
+
+    #[test]
+    fn window_widens_under_load_and_shrinks_when_idle() {
+        let metrics = Arc::new(HttpMetrics::new());
+        let b = batcher_with(50, Some(Arc::clone(&metrics)));
+        assert_eq!(b.current_window_us(), 50);
+        // A genuinely coalesced, large batch widens the window.
+        b.adapt_window(3, WINDOW_GROW_TRIPLES);
+        assert_eq!(b.current_window_us(), 100);
+        // Repeated load saturates at the cap.
+        for _ in 0..10 {
+            b.adapt_window(4, WINDOW_GROW_TRIPLES * 2);
+        }
+        assert_eq!(b.current_window_us(), 50 * WINDOW_GROWTH_CAP);
+        // Idle uncoalesced batches decay back to the base.
+        for _ in 0..10 {
+            b.adapt_window(1, 1);
+        }
+        assert_eq!(b.current_window_us(), 50);
+        // The current window is exported in the metrics text.
+        assert!(
+            metrics.render().contains("kg_serve_score_batch_window_us{model=\"linear\"} 50"),
+            "{}",
+            metrics.render()
+        );
+        // End to end: submitting through the real path keeps the invariants.
+        b.submit(vec![Triple::new(1, 0, 1)]);
+        assert_eq!(b.current_window_us(), 50);
+    }
+
+    #[test]
+    fn single_client_big_batches_never_widen_the_window() {
+        // One job per batch (no coalescing): a longer sleep cannot help, so
+        // the window must not ratchet up no matter the triple count.
+        let b = batcher_with(50, None);
+        for _ in 0..5 {
+            let big: Vec<Triple> = (0..200u32).map(|i| Triple::new(i % 5, 0, i % 7)).collect();
+            b.submit(big);
+        }
+        assert_eq!(b.current_window_us(), 50);
+    }
+
+    #[test]
+    fn zero_base_window_never_adapts() {
+        let b = batcher(0);
+        b.adapt_window(8, 10_000);
+        assert_eq!(b.current_window_us(), 0, "zero window means no sleeping, ever");
+        let big: Vec<Triple> = (0..200u32).map(|i| Triple::new(i % 5, 0, i % 7)).collect();
+        b.submit(big);
+        assert_eq!(b.current_window_us(), 0);
     }
 }

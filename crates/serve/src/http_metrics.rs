@@ -49,6 +49,8 @@ struct BatchStats {
 pub struct HttpMetrics {
     endpoints: Mutex<HashMap<String, EndpointStats>>,
     batches: Mutex<BatchStats>,
+    /// Current adaptive `/score` batching window per model, microseconds.
+    windows: Mutex<HashMap<String, u64>>,
     started: Instant,
 }
 
@@ -64,8 +66,19 @@ impl HttpMetrics {
         HttpMetrics {
             endpoints: Mutex::new(HashMap::new()),
             batches: Mutex::new(BatchStats::default()),
+            windows: Mutex::new(HashMap::new()),
             started: Instant::now(),
         }
+    }
+
+    /// Record `model`'s current adaptive batching window (microseconds).
+    pub fn set_score_window(&self, model: &str, window_us: u64) {
+        self.windows.lock().unwrap().insert(model.to_string(), window_us);
+    }
+
+    /// The last recorded batching window for `model`, if any.
+    pub fn score_window(&self, model: &str) -> Option<u64> {
+        self.windows.lock().unwrap().get(model).copied()
     }
 
     /// Record one request against `endpoint`.
@@ -185,8 +198,42 @@ impl HttpMetrics {
                 ));
             }
         }
+        drop(b);
+
+        let windows = self.windows.lock().unwrap();
+        if !windows.is_empty() {
+            let mut models: Vec<&String> = windows.keys().collect();
+            models.sort();
+            out.push_str(
+                "# HELP kg_serve_score_batch_window_us Current adaptive /score batching window.\n",
+            );
+            out.push_str("# TYPE kg_serve_score_batch_window_us gauge\n");
+            for m in models {
+                out.push_str(&format!(
+                    "kg_serve_score_batch_window_us{{model=\"{}\"}} {}\n",
+                    escape_label(m),
+                    windows[m]
+                ));
+            }
+        }
         out
     }
+}
+
+/// Escape a Prometheus label value (`\` → `\\`, `"` → `\"`, newline →
+/// `\n`). Model names are caller-chosen (and reachable via the admin
+/// endpoint), so they must not be able to corrupt the exposition format.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice.
@@ -248,6 +295,20 @@ mod tests {
         assert_eq!(percentile(&[10], 0.5), 10.0);
         assert_eq!(percentile(&[1, 2, 3, 4], 0.5), 2.0);
         assert_eq!(percentile(&[1, 2, 3, 4], 0.99), 4.0);
+    }
+
+    #[test]
+    fn window_gauge_escapes_label_values() {
+        let m = HttpMetrics::new();
+        m.set_score_window("evil\"} 1\nfake_metric{x=\"", 7);
+        let text = m.render();
+        assert!(
+            text.contains(
+                "kg_serve_score_batch_window_us{model=\"evil\\\"} 1\\nfake_metric{x=\\\"\"} 7"
+            ),
+            "label must be escaped, got: {text}"
+        );
+        assert!(!text.contains("\nfake_metric{"), "no injected series: {text}");
     }
 
     #[test]

@@ -10,11 +10,12 @@
 //!
 //! | Route | Method | Purpose |
 //! |---|---|---|
-//! | `/score`   | POST | Score a batch of `(h, r, t)` triples (coalesced across concurrent requests) |
-//! | `/topk`    | POST | Top-k tail/head prediction with filtered known-true removal |
-//! | `/eval`    | POST | Sampled MRR / Hits@K over submitted triples ([`kg_eval::evaluate_sampled`]) |
-//! | `/healthz` | GET  | Liveness, uptime, registered models |
-//! | `/metrics` | GET  | Prometheus text: request counts, p50/p99 latency, batch sizes |
+//! | `/score`        | POST | Score a batch of `(h, r, t)` triples (coalesced across concurrent requests, adaptive window) |
+//! | `/topk`         | POST | Top-k tail/head prediction with filtered known-true removal, fanned out across entity shards |
+//! | `/eval`         | POST | Sampled MRR / Hits@K over submitted triples ([`kg_eval::evaluate_sampled`]) |
+//! | `/admin/models` | POST | Hot-reload a model snapshot; the registry entry flips atomically |
+//! | `/healthz`      | GET  | Liveness, uptime, registered models |
+//! | `/metrics`      | GET  | Prometheus text: request counts, p50/p99 latency, batch sizes + windows |
 //!
 //! ## Request/response schemas (JSON)
 //!
@@ -44,9 +45,31 @@
 //!                "mean_rank": 5.5}, "seconds": 0.0012}
 //! ```
 //!
+//! `POST /admin/models` (hot-reload; the snapshot is loaded before any
+//! registry lock is taken, then the entry flips atomically — in-flight
+//! requests finish on the model they started with; an existing entry keeps
+//! its filter index and recommender artifacts, so the snapshot must match
+//! its entity/relation counts; add `"token"` when
+//! [`RegistryConfig::admin_token`] is set):
+//! ```json
+//! {"name": "default", "path": "/models/complex-v2.kgev"}
+//! → {"model": "default", "status": "replaced", "entities": 100,
+//!    "relations": 4, "shards": 1}
+//! ```
+//!
 //! Responses round-trip floats through Rust's shortest-representation
 //! formatter, so `/eval` metrics agree **bit-for-bit** with calling
 //! [`kg_eval::evaluate_sampled`] in-process on the same seed.
+//!
+//! ## Sharding
+//!
+//! Every registered model is wrapped in a [`kg_models::ScoringEngine`]
+//! that partitions the entity space into contiguous shards
+//! ([`RegistryConfig::shards`]; `0` = automatic, one shard per
+//! `kg_core::parallel::DEFAULT_SHARD_TARGET` entities). `/topk` builds one
+//! bounded heap per shard and merges them deterministically, so responses
+//! are bit-for-bit identical for every shard count — sharding is purely a
+//! locality/scale knob, never a semantics knob.
 //!
 //! ## Quickstart
 //!

@@ -1,8 +1,14 @@
-//! The trained-model registry: named serving entries bundling a scoring
-//! model, the filter index for known-true removal, optional recommender
-//! artifacts for Static/Probabilistic sampling, a per-model score batcher,
-//! and an LRU cache of per-relation candidate samples so repeated `/eval`
-//! calls with the same `(strategy, n_s, seed)` skip the sampling pass.
+//! The trained-model registry: named serving entries bundling a sharded
+//! [`ScoringEngine`] (the single scoring entry point), the filter index for
+//! known-true removal, optional recommender artifacts for
+//! Static/Probabilistic sampling, a per-model score batcher, and an LRU
+//! cache of per-relation candidate samples so repeated `/eval` calls with
+//! the same `(strategy, n_s, seed)` skip the sampling pass.
+//!
+//! Entries swap atomically: `register` (and the `/admin/models` hot-reload
+//! path, [`ModelRegistry::reload_snapshot`]) replaces the `Arc<ModelEntry>`
+//! under a write lock, while in-flight requests keep scoring against the
+//! `Arc` they already cloned.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -11,7 +17,7 @@ use std::time::Duration;
 
 use kg_core::sample::seeded_rng;
 use kg_core::FilterIndex;
-use kg_models::KgcModel;
+use kg_models::{KgcModel, ScoringEngine};
 use kg_recommend::{
     sample_candidates, CandidateSets, SampledCandidates, SamplingStrategy, ScoreMatrix,
 };
@@ -96,7 +102,7 @@ pub const SAMPLE_CACHE_CAPACITY: usize = 32;
 /// One servable model and everything needed to answer queries about it.
 pub struct ModelEntry {
     name: String,
-    model: Arc<dyn KgcModel>,
+    engine: Arc<ScoringEngine>,
     filter: Arc<FilterIndex>,
     matrix: Option<Arc<ScoreMatrix>>,
     sets: Option<Arc<CandidateSets>>,
@@ -111,9 +117,14 @@ impl ModelEntry {
         &self.name
     }
 
-    /// The scoring model.
+    /// The sharded scoring engine (ranking, top-k, point scores).
+    pub fn engine(&self) -> &Arc<ScoringEngine> {
+        &self.engine
+    }
+
+    /// The scoring model behind the engine.
     pub fn model(&self) -> &Arc<dyn KgcModel> {
-        &self.model
+        self.engine.model()
     }
 
     /// The filter index used for filtered ranking / known-true removal.
@@ -161,8 +172,8 @@ impl ModelEntry {
         let mut rng = seeded_rng(key.seed);
         let drawn = sample_candidates(
             key.strategy,
-            self.model.num_entities(),
-            self.model.num_relations(),
+            self.model().num_entities(),
+            self.model().num_relations(),
             key.n_s,
             self.matrix.as_deref(),
             self.sets.as_deref(),
@@ -182,10 +193,18 @@ impl ModelEntry {
 /// Tuning knobs shared by every entry a registry creates.
 #[derive(Clone, Debug)]
 pub struct RegistryConfig {
-    /// Batching window for `/score` coalescing.
+    /// Base batching window for `/score` coalescing (the adaptive window
+    /// floors here and caps at [`crate::batch::WINDOW_GROWTH_CAP`]× this).
     pub batch_window: Duration,
     /// Worker threads for scoring/ranking passes.
     pub threads: usize,
+    /// Entity shards per model engine (`0` = automatic: one shard per
+    /// [`kg_core::parallel::DEFAULT_SHARD_TARGET`] entities).
+    pub shards: usize,
+    /// Shared secret required (as the `"token"` field) by mutating admin
+    /// requests (`POST /admin/models`). `None` leaves the endpoint open —
+    /// acceptable only for loopback/dev deployments.
+    pub admin_token: Option<String>,
 }
 
 impl Default for RegistryConfig {
@@ -193,6 +212,8 @@ impl Default for RegistryConfig {
         RegistryConfig {
             batch_window: Duration::from_micros(200),
             threads: kg_core::parallel::default_threads(),
+            shards: 0,
+            admin_token: None,
         }
     }
 }
@@ -224,6 +245,11 @@ impl ModelRegistry {
         &self.metrics
     }
 
+    /// The admin shared secret, if one is configured.
+    pub fn admin_token(&self) -> Option<&str> {
+        self.config.admin_token.as_deref()
+    }
+
     /// Register a model under `name`, replacing any previous entry.
     pub fn register(
         &self,
@@ -245,15 +271,17 @@ impl ModelRegistry {
         sets: Option<Arc<CandidateSets>>,
     ) -> Arc<ModelEntry> {
         let name = name.into();
+        let engine = Arc::new(ScoringEngine::new(model, self.config.shards));
         let entry = Arc::new(ModelEntry {
             name: name.clone(),
             batcher: ScoreBatcher::new(
-                Arc::clone(&model),
+                Arc::clone(&engine),
+                name.clone(),
                 self.config.batch_window,
                 self.config.threads,
                 Some(Arc::clone(&self.metrics)),
             ),
-            model,
+            engine,
             filter,
             matrix,
             sets,
@@ -274,6 +302,44 @@ impl ModelRegistry {
     ) -> Result<Arc<ModelEntry>, kg_core::KgError> {
         let model = kg_models::io::load_model_from_path(path)?;
         Ok(self.register(name, Arc::from(model as Box<dyn KgcModel>), filter))
+    }
+
+    /// Hot-reload `name` from a snapshot file (the `/admin/models` path):
+    /// the snapshot is loaded *before* any lock is taken, then the registry
+    /// entry is flipped atomically. An existing entry donates its filter
+    /// index and recommender artifacts; a brand-new name starts with an
+    /// empty filter (register the filter explicitly for filtered serving).
+    /// In-flight requests holding the old `Arc<ModelEntry>` finish against
+    /// the model they started with.
+    ///
+    /// Hot-reload swaps **weights, not graphs**: when an entry already
+    /// exists, the snapshot must match its entity and relation counts —
+    /// the donated filter index and sampling artifacts are indexed by
+    /// those ids, and a shape change would make them silently wrong (or
+    /// panic). Shape changes require a fresh `register*` call.
+    pub fn reload_snapshot(
+        &self,
+        name: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Arc<ModelEntry>, kg_core::KgError> {
+        let model = kg_models::io::load_model_from_path(path)?;
+        let model: Arc<dyn KgcModel> = Arc::from(model as Box<dyn KgcModel>);
+        let (filter, matrix, sets) = match self.get(name) {
+            Some(old) => {
+                let (ne, nr) = (old.model().num_entities(), old.model().num_relations());
+                if model.num_entities() != ne || model.num_relations() != nr {
+                    return Err(kg_core::KgError::InvalidInput(format!(
+                        "snapshot shape {}x{} does not match entry '{name}' ({ne}x{nr}); \
+                         hot-reload swaps weights, not graphs",
+                        model.num_entities(),
+                        model.num_relations(),
+                    )));
+                }
+                (Arc::clone(&old.filter), old.matrix.clone(), old.sets.clone())
+            }
+            None => (Arc::new(FilterIndex::new()), None, None),
+        };
+        Ok(self.register_with_artifacts(name, model, filter, matrix, sets))
     }
 
     /// Look up an entry by name.

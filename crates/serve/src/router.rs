@@ -2,22 +2,24 @@
 //!
 //! Endpoints (see the crate docs for full schemas):
 //!
-//! * `POST /score`   — score `(h, r, t)` triples, coalesced by the batcher;
-//! * `POST /topk`    — top-k tail/head prediction with known-true removal;
-//! * `POST /eval`    — sampled MRR/Hits@K via the paper's fast estimator;
-//! * `GET  /healthz` — liveness + registered models;
-//! * `GET  /metrics` — Prometheus text (request counts, p50/p99, batches).
+//! * `POST /score`        — score `(h, r, t)` triples, coalesced by the batcher;
+//! * `POST /topk`         — top-k tail/head prediction with known-true removal,
+//!   fanned out across the engine's entity shards and merged;
+//! * `POST /eval`         — sampled MRR/Hits@K via the paper's fast estimator;
+//! * `POST /admin/models` — hot-reload a model snapshot, flipping the
+//!   registry entry atomically;
+//! * `GET  /healthz`      — liveness + registered models;
+//! * `GET  /metrics`      — Prometheus text (request counts, p50/p99, batches).
 //!
 //! The router is transport-independent: it maps `(method, path, body)` to a
 //! [`Response`], which makes every handler unit-testable without sockets.
 
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use kg_core::parallel::parallel_map_with;
+use kg_core::parallel::parallel_map_indexed;
 use kg_core::triple::QuerySide;
-use kg_core::{EntityId, Triple};
+use kg_core::Triple;
 use kg_eval::{evaluate_sampled, TieBreak};
 use kg_recommend::SamplingStrategy;
 
@@ -82,7 +84,7 @@ impl Router {
         // Unknown paths share one label: per-path labels would let a path
         // scanner grow the metrics map without bound.
         let endpoint = match path {
-            "/score" | "/topk" | "/eval" | "/healthz" | "/metrics" => path,
+            "/score" | "/topk" | "/eval" | "/admin/models" | "/healthz" | "/metrics" => path,
             _ => "other",
         };
         self.metrics.observe_request(endpoint, latency_us, response.status);
@@ -100,6 +102,7 @@ impl Router {
             ("POST", "/score") => self.with_request(body, |r, e| self.score(r, e)),
             ("POST", "/topk") => self.with_request(body, |r, e| self.topk(r, e)),
             ("POST", "/eval") => self.with_request(body, |r, e| self.eval(r, e)),
+            ("POST", "/admin/models") => self.admin_models(body),
             ("POST", _) | ("GET", _) => {
                 Response::error(404, format!("no route for {method} {path}"))
             }
@@ -179,37 +182,91 @@ impl Router {
             Ok(q) => q,
             Err(r) => return r,
         };
-        let model = Arc::clone(entry.model());
+        let engine = entry.engine();
         let filter = entry.filter();
-        let n = model.num_entities();
-        let k = k.min(n);
-        let results: Vec<Json> = parallel_map_with(
-            queries.len(),
-            entry.threads(),
-            || vec![0.0f32; n],
-            |scores, qi| {
+        let k = k.min(engine.num_entities());
+        let threads = entry.threads();
+        let topk_json = |triple: Triple, side: QuerySide, fanout: usize| {
+            let known = if filtered { filter.known_answers(triple, side) } else { &[] };
+            // Per-shard bounded heaps, merged deterministically; no
+            // entity-count-sized row is allocated per request.
+            let top = engine.top_k_fanout(triple, side, known, k, fanout);
+            Json::obj([
+                ("entities", Json::Arr(top.iter().map(|&(e, _)| Json::Num(e as f64)).collect())),
+                ("scores", Json::Arr(top.iter().map(|&(_, s)| Json::Num(s as f64)).collect())),
+            ])
+        };
+        // Single-query requests fan the shards themselves out across the
+        // worker threads; multi-query requests parallelise over queries and
+        // walk shards serially within each.
+        let results: Vec<Json> = if queries.len() == 1 {
+            let (triple, side) = queries[0];
+            vec![topk_json(triple, side, threads)]
+        } else {
+            parallel_map_indexed(queries.len(), threads, |qi| {
                 let (triple, side) = queries[qi];
-                model.score_all(triple, side, scores);
-                let known = if filtered { filter.known_answers(triple, side) } else { &[] };
-                let top = select_top_k(scores, known, k);
-                Json::obj([
-                    (
-                        "entities",
-                        Json::Arr(top.iter().map(|&(e, _)| Json::Num(e as f64)).collect()),
-                    ),
-                    ("scores", Json::Arr(top.iter().map(|&(_, s)| Json::Num(s as f64)).collect())),
-                ])
-            },
-        );
+                topk_json(triple, side, 1)
+            })
+        };
         Response::json(
             200,
             Json::obj([
                 ("model", Json::Str(entry.name().to_string())),
                 ("k", Json::Num(k as f64)),
                 ("filtered", Json::Bool(filtered)),
+                ("shards", Json::Num(engine.num_shards() as f64)),
                 ("results", Json::Arr(results)),
             ]),
         )
+    }
+
+    /// `POST /admin/models`: hot-reload a model snapshot.
+    ///
+    /// Body: `{"name": "m", "path": "/path/to/model.kgev"}` (plus
+    /// `"token"` when [`crate::registry::RegistryConfig::admin_token`] is
+    /// configured). The snapshot is loaded off the registry locks, then the
+    /// entry is flipped atomically; in-flight requests finish on the `Arc`
+    /// they hold. An existing entry keeps its filter index and recommender
+    /// artifacts, so the snapshot must match its entity/relation counts.
+    fn admin_models(&self, body: &str) -> Response {
+        if body.len() > MAX_BODY_BYTES {
+            return Response::error(413, "request body too large");
+        }
+        let parsed = match Json::parse(body) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, format!("invalid JSON: {e}")),
+        };
+        if let Some(expected) = self.registry.admin_token() {
+            if parsed.get("token").and_then(Json::as_str) != Some(expected) {
+                return Response::error(403, "missing or invalid admin token");
+            }
+        }
+        let Some(name) = parsed.get("name").and_then(Json::as_str) else {
+            return Response::error(400, "missing string field 'name'");
+        };
+        let Some(path) = parsed.get("path").and_then(Json::as_str) else {
+            return Response::error(400, "missing string field 'path'");
+        };
+        let replaced = self.registry.get(name).is_some();
+        match self.registry.reload_snapshot(name, path) {
+            Ok(entry) => Response::json(
+                200,
+                Json::obj([
+                    ("model", Json::Str(name.to_string())),
+                    ("status", Json::Str(if replaced { "replaced" } else { "loaded" }.into())),
+                    ("entities", Json::Num(entry.model().num_entities() as f64)),
+                    ("relations", Json::Num(entry.model().num_relations() as f64)),
+                    ("shards", Json::Num(entry.engine().num_shards() as f64)),
+                ]),
+            ),
+            // Shape-mismatch rejections carry actionable detail; raw I/O
+            // errors are collapsed so the endpoint cannot be used to probe
+            // the filesystem.
+            Err(e @ kg_core::KgError::InvalidInput(_)) => {
+                Response::error(422, format!("snapshot load failed: {e}"))
+            }
+            Err(_) => Response::error(422, "snapshot load failed: unreadable or malformed file"),
+        }
     }
 
     fn eval(&self, request: &Json, entry: &Arc<ModelEntry>) -> Response {
@@ -401,63 +458,10 @@ fn parse_topk_queries(
     Ok(out)
 }
 
-/// Indices and scores of the `k` highest-scoring entities, excluding
-/// `known` (ascending-sorted known-true answers). Ties break toward the
-/// lower entity id, descending score order overall.
-fn select_top_k(scores: &[f32], known: &[EntityId], k: usize) -> Vec<(u32, f32)> {
-    #[derive(PartialEq)]
-    struct Entry(f32, u32); // min-heap root = weakest kept entry
-
-    impl Eq for Entry {}
-
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            // Lower score = greater (so BinaryHeap keeps the k largest);
-            // on equal scores, higher id = greater, putting it at the root
-            // to be evicted first — lower ids survive at the k boundary.
-            other
-                .0
-                .partial_cmp(&self.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| self.1.cmp(&other.1))
-        }
-    }
-
-    if k == 0 {
-        return Vec::new();
-    }
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
-    for (e, &s) in scores.iter().enumerate() {
-        if known.binary_search(&EntityId(e as u32)).is_ok() {
-            continue;
-        }
-        let entry = Entry(s, e as u32);
-        if heap.len() < k {
-            heap.push(entry);
-        } else if let Some(weakest) = heap.peek() {
-            if entry < *weakest {
-                heap.pop();
-                heap.push(entry);
-            }
-        }
-    }
-    let mut out: Vec<(u32, f32)> = heap.into_iter().map(|Entry(s, e)| (e, s)).collect();
-    out.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
-    });
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kg_core::FilterIndex;
+    use kg_core::{EntityId, FilterIndex};
     use kg_models::{build_model, KgcModel, ModelKind};
 
     fn router() -> (Router, Arc<ModelRegistry>) {
@@ -684,29 +688,143 @@ mod tests {
     }
 
     #[test]
-    fn select_top_k_orders_and_excludes() {
-        let scores = [0.1f32, 0.9, 0.5, 0.9, 0.2];
-        let top = select_top_k(&scores, &[EntityId(1)], 3);
-        assert_eq!(top.iter().map(|t| t.0).collect::<Vec<_>>(), vec![3, 2, 4]);
-        let top = select_top_k(&scores, &[], 2);
-        assert_eq!(
-            top.iter().map(|t| t.0).collect::<Vec<_>>(),
-            vec![1, 3],
-            "ties → lower id first"
-        );
-        assert!(select_top_k(&scores, &[], 0).is_empty());
+    fn topk_responses_identical_for_every_shard_count() {
+        // The same registry contents served under different shard configs
+        // must produce byte-identical /topk responses.
+        let model_for = || {
+            let m = build_model(ModelKind::RotatE, 30, 3, 8, 7);
+            Arc::from(m as Box<dyn KgcModel>) as Arc<dyn KgcModel>
+        };
+        let triples: Vec<Triple> =
+            (0..15).map(|i| Triple::new(i % 30, i % 3, (i * 2 + 1) % 30)).collect();
+        let filter = Arc::new(FilterIndex::from_slices(&[&triples]));
+        let body = r#"{"model":"m","queries":[{"head":0,"relation":1},{"relation":2,"tail":3},{"head":7,"relation":0}],"k":9}"#;
+        let single = r#"{"model":"m","queries":[{"head":4,"relation":1}],"k":30}"#;
+        let serve_with = |shards: usize| {
+            let registry = Arc::new(ModelRegistry::with_config(crate::registry::RegistryConfig {
+                shards,
+                ..crate::registry::RegistryConfig::default()
+            }));
+            registry.register("m", model_for(), Arc::clone(&filter));
+            let router = Router::new(registry);
+            (router.handle("POST", "/topk", body).body, router.handle("POST", "/topk", single).body)
+        };
+        let (base_multi, base_single) = serve_with(1);
+        for shards in [2usize, 7, 30] {
+            let (multi, single_r) = serve_with(shards);
+            // The shard count is reported, so compare the results payload.
+            let strip = |b: &str| {
+                let v = Json::parse(b).unwrap();
+                v.get("results").unwrap().to_string()
+            };
+            assert_eq!(strip(&multi), strip(&base_multi), "S={shards} multi-query diverged");
+            assert_eq!(strip(&single_r), strip(&base_single), "S={shards} fan-out diverged");
+        }
     }
 
     #[test]
-    fn select_top_k_ties_at_the_boundary_keep_lowest_ids() {
-        // All tied: k must select the k LOWEST ids, not whichever survived
-        // heap eviction order.
-        let tied = [1.0f32; 6];
-        let top = select_top_k(&tied, &[], 3);
-        assert_eq!(top.iter().map(|t| t.0).collect::<Vec<_>>(), vec![0, 1, 2]);
-        // One clear winner, then a three-way tie crossing the k boundary.
-        let scores = [5.0f32, 1.0, 1.0, 1.0];
-        let top = select_top_k(&scores, &[], 2);
-        assert_eq!(top.iter().map(|t| t.0).collect::<Vec<_>>(), vec![0, 1]);
+    fn admin_reload_flips_model_and_keeps_old_arc_alive() {
+        let (router, registry) = router();
+        let old_entry = registry.get("m").unwrap();
+        // Train-free stand-in: persist a *different* model and hot-load it.
+        let replacement = build_model(ModelKind::ComplEx, 30, 3, 8, 99);
+        let dir = std::env::temp_dir().join(format!("kg-serve-admin-{}", std::process::id()));
+        let path = dir.join("replacement.kgev");
+        kg_models::io::save_model_to_path(replacement.as_ref(), ModelKind::ComplEx, &path).unwrap();
+        let body = format!(r#"{{"name":"m","path":"{}"}}"#, path.display());
+        let r = router.handle("POST", "/admin/models", &body);
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("replaced"));
+        assert_eq!(v.get("entities").and_then(Json::as_usize), Some(30));
+        // The registry now serves the replacement …
+        let new_entry = registry.get("m").unwrap();
+        assert_eq!(new_entry.model().name(), "ComplEx");
+        assert_eq!(
+            new_entry.model().score(EntityId(1), kg_core::RelationId(0), EntityId(2)),
+            replacement.score(EntityId(1), kg_core::RelationId(0), EntityId(2))
+        );
+        // … the old filter index was inherited (same allocation), and the
+        // old Arc still works for requests in flight across the flip.
+        assert!(
+            std::ptr::eq(old_entry.filter(), new_entry.filter()),
+            "reload must donate the existing filter index"
+        );
+        assert!(old_entry
+            .model()
+            .score(EntityId(0), kg_core::RelationId(1), EntityId(2))
+            .is_finite());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn admin_reload_rejects_shape_changes_and_enforces_token() {
+        // Shape change: the donated filter/artifacts would be wrong.
+        let (router, _) = router();
+        let wrong_shape = build_model(ModelKind::DistMult, 12, 2, 8, 5);
+        let dir = std::env::temp_dir().join(format!("kg-serve-admin-shape-{}", std::process::id()));
+        let path = dir.join("wrong.kgev");
+        kg_models::io::save_model_to_path(wrong_shape.as_ref(), ModelKind::DistMult, &path)
+            .unwrap();
+        let body = format!(r#"{{"name":"m","path":"{}"}}"#, path.display());
+        let r = router.handle("POST", "/admin/models", &body);
+        assert_eq!(r.status, 422, "{}", r.body);
+        assert!(r.body.contains("shape"), "names the mismatch: {}", r.body);
+
+        // Token-gated registry: reloads need the shared secret.
+        let registry = Arc::new(ModelRegistry::with_config(crate::registry::RegistryConfig {
+            admin_token: Some("sesame".into()),
+            ..crate::registry::RegistryConfig::default()
+        }));
+        let gated = Router::new(registry);
+        let ok_model = build_model(ModelKind::DistMult, 12, 2, 8, 5);
+        let ok_path = dir.join("fresh.kgev");
+        kg_models::io::save_model_to_path(ok_model.as_ref(), ModelKind::DistMult, &ok_path)
+            .unwrap();
+        let no_token = format!(r#"{{"name":"n","path":"{}"}}"#, ok_path.display());
+        assert_eq!(gated.handle("POST", "/admin/models", &no_token).status, 403);
+        let bad_token = format!(r#"{{"name":"n","path":"{}","token":"guess"}}"#, ok_path.display());
+        assert_eq!(gated.handle("POST", "/admin/models", &bad_token).status, 403);
+        let with_token =
+            format!(r#"{{"name":"n","path":"{}","token":"sesame"}}"#, ok_path.display());
+        let r = gated.handle("POST", "/admin/models", &with_token);
+        assert_eq!(r.status, 200, "{}", r.body);
+        // I/O failures are collapsed so the endpoint cannot probe paths.
+        let probe = r#"{"name":"n","path":"/etc/shadow-nope","token":"sesame"}"#;
+        let r = gated.handle("POST", "/admin/models", probe);
+        assert_eq!(r.status, 422);
+        assert!(
+            r.body.contains("unreadable or malformed") && !r.body.contains("shadow"),
+            "no path/IO detail leaks: {}",
+            r.body
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn admin_reload_validates_input() {
+        let (router, _) = router();
+        for (body, status) in [
+            (r#"{"path":"/nope"}"#, 400),
+            (r#"{"name":"m"}"#, 400),
+            ("not json", 400),
+            (r#"{"name":"m","path":"/nonexistent/model.kgev"}"#, 422),
+        ] {
+            let r = router.handle("POST", "/admin/models", body);
+            assert_eq!(r.status, status, "body {body} → {}", r.body);
+        }
+        // A brand-new name loads with an empty filter.
+        let model = build_model(ModelKind::DistMult, 12, 2, 8, 3);
+        let dir = std::env::temp_dir().join(format!("kg-serve-admin-new-{}", std::process::id()));
+        let path = dir.join("fresh.kgev");
+        kg_models::io::save_model_to_path(model.as_ref(), ModelKind::DistMult, &path).unwrap();
+        let body = format!(r#"{{"name":"fresh","path":"{}"}}"#, path.display());
+        let r = router.handle("POST", "/admin/models", &body);
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("loaded"));
+        let entry = router.registry.get("fresh").unwrap();
+        assert!(entry.filter().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -12,7 +12,8 @@ use kgeval::eval::{evaluate_sampled, TieBreak};
 use kgeval::models::{build_model, train, KgcModel, ModelKind, TrainConfig};
 use kgeval::recommend::{sample_candidates, SamplingStrategy};
 use kgeval::serve::{
-    client, serve, HttpMetrics, Json, ModelRegistry, Router, ServerConfig, ServerHandle,
+    client, serve, HttpMetrics, Json, ModelRegistry, RegistryConfig, Router, ServerConfig,
+    ServerHandle,
 };
 
 struct Fixture {
@@ -244,6 +245,90 @@ fn concurrent_clients_exercise_the_batcher_and_stay_correct() {
     assert_eq!(fx.metrics.requests_for("/score"), CLIENTS as u64);
     let (p50, p99) = fx.metrics.latency_quantiles("/score").unwrap();
     assert!(p50 > 0.0 && p99 >= p50, "latency quantiles populated: {p50} {p99}");
+    fx.server.shutdown();
+}
+
+#[test]
+fn topk_responses_identical_for_every_shard_config() {
+    // The same model served under different engine shard counts must send
+    // byte-identical /topk result payloads over the wire.
+    let model_for = || {
+        let m = build_model(ModelKind::ComplEx, 120, 4, 16, 7);
+        Arc::from(m as Box<dyn KgcModel>) as Arc<dyn KgcModel>
+    };
+    let train: Vec<Triple> =
+        (0..60u32).map(|i| Triple::new(i % 120, i % 4, (i * 7 + 3) % 120)).collect();
+    let filter = Arc::new(FilterIndex::from_slices(&[&train]));
+    let body =
+        r#"{"model":"m","queries":[{"head":5,"relation":2},{"relation":1,"tail":77}],"k":12}"#;
+    let single = r#"{"model":"m","queries":[{"head":33,"relation":0}],"k":120}"#;
+    let serve_with = |shards: usize| {
+        let registry = Arc::new(ModelRegistry::with_config(RegistryConfig {
+            shards,
+            ..RegistryConfig::default()
+        }));
+        registry.register("m", model_for(), Arc::clone(&filter));
+        let server = serve(Router::new(registry), &ServerConfig::default()).expect("bind");
+        let (s1, multi) = client::post_json(server.addr(), "/topk", body).unwrap();
+        let (s2, one) = client::post_json(server.addr(), "/topk", single).unwrap();
+        server.shutdown();
+        assert_eq!((s1, s2), (200, 200), "{multi} {one}");
+        let results = |b: &str| Json::parse(b).unwrap().get("results").unwrap().to_string();
+        (results(&multi), results(&one))
+    };
+    let baseline = serve_with(1);
+    for shards in [3usize, 8, 120] {
+        assert_eq!(serve_with(shards), baseline, "shards={shards} changed /topk bytes");
+    }
+}
+
+#[test]
+fn admin_hot_reload_swaps_the_model_without_downtime() {
+    let fx = Fixture::start();
+    let addr = fx.server.addr();
+    // Persist a differently-seeded model as the replacement snapshot.
+    let replacement = build_model(
+        ModelKind::DistMult,
+        fx.model.num_entities(),
+        fx.model.num_relations(),
+        16,
+        123_456,
+    );
+    let dir = std::env::temp_dir().join(format!("kg-serve-http-admin-{}", std::process::id()));
+    let path = dir.join("v2.kgev");
+    kgeval::models::io::save_model_to_path(replacement.as_ref(), ModelKind::DistMult, &path)
+        .unwrap();
+
+    let t = fx.test[0];
+    let score_body =
+        format!("{{\"model\":\"m\",\"triples\":[[{},{},{}]]}}", t.head.0, t.relation.0, t.tail.0);
+    let served_score = |label: &str| {
+        let (status, response) = client::post_json(addr, "/score", &score_body).unwrap();
+        assert_eq!(status, 200, "{label}: {response}");
+        Json::parse(&response).unwrap().get("scores").and_then(Json::as_array).unwrap()[0]
+            .as_f64()
+            .unwrap() as f32
+    };
+    let before = served_score("before reload");
+    assert_eq!(before.to_bits(), fx.model.score(t.head, t.relation, t.tail).to_bits());
+
+    let reload = format!("{{\"name\":\"m\",\"path\":\"{}\"}}", path.display());
+    let (status, response) = client::post_json(addr, "/admin/models", &reload).unwrap();
+    assert_eq!(status, 200, "{response}");
+    let parsed = Json::parse(&response).unwrap();
+    assert_eq!(parsed.get("status").and_then(Json::as_str), Some("replaced"));
+
+    let after = served_score("after reload");
+    assert_eq!(
+        after.to_bits(),
+        replacement.score(t.head, t.relation, t.tail).to_bits(),
+        "served scores must come from the reloaded snapshot"
+    );
+    // /healthz still lists exactly one model under the same name.
+    let (_, health) = client::get(addr, "/healthz").unwrap();
+    let models = Json::parse(&health).unwrap();
+    assert_eq!(models.get("models").and_then(Json::as_array).map(<[Json]>::len), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
     fx.server.shutdown();
 }
 
