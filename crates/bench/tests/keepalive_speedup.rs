@@ -1,0 +1,110 @@
+//! Release-mode perf smoke: N small `/score` requests over one reused
+//! keep-alive connection vs N fresh connections (connect/teardown per
+//! request, the pre-keep-alive serving path).
+//!
+//! `#[ignore]`d because wall-clock numbers only mean anything under
+//! `--release`; CI runs it explicitly:
+//!
+//! ```text
+//! cargo test --release -p kg-bench --test keepalive_speedup -- --ignored --nocapture
+//! ```
+//!
+//! It prints one machine-greppable line per mode plus a final
+//! `keepalive_speedup:` summary, so successive BENCH_*.json snapshots have
+//! a trajectory to track — and it asserts the reused-connection responses
+//! are byte-identical to the fresh-connection ones, which is the invariant
+//! that makes the speedup safe to take. The `/score` batch window is
+//! pinned to zero so both modes measure connection overhead, not the
+//! coalescing sleep.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kgeval::core::{FilterIndex, Triple};
+use kgeval::models::{build_model, KgcModel, ModelKind};
+use kgeval::serve::{client, serve, ModelRegistry, RegistryConfig, Router, ServerConfig};
+
+const NUM_ENTITIES: usize = 1_000;
+const NUM_RELATIONS: usize = 8;
+const DIM: usize = 16;
+const REQUESTS: usize = 1_000;
+
+#[test]
+#[ignore = "1k-request perf smoke; run with --release -- --ignored --nocapture"]
+fn keepalive_speedup_on_1k_small_score_requests() {
+    let model = build_model(ModelKind::DistMult, NUM_ENTITIES, NUM_RELATIONS, DIM, 42);
+    let model: Arc<dyn KgcModel> = Arc::from(model as Box<dyn KgcModel>);
+    let triples = [Triple::new(0, 0, 1)];
+    let filter = Arc::new(FilterIndex::from_slices(&[&triples]));
+    let registry = Arc::new(ModelRegistry::with_config(RegistryConfig {
+        // No coalescing sleep: serial clients would pay the window per
+        // request in both modes, drowning the connection cost under test.
+        batch_window: Duration::ZERO,
+        ..RegistryConfig::default()
+    }));
+    registry.register("m", model, filter);
+    let server = serve(
+        Router::new(registry),
+        &ServerConfig {
+            workers: 2,
+            max_requests_per_connection: REQUESTS + 16,
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let body = r#"{"model":"m","triples":[[1,2,3]]}"#;
+
+    // Warm-up: populate caches, fault in the accept path.
+    for _ in 0..16 {
+        let (status, _) = client::post_json(addr, "/score", body).unwrap();
+        assert_eq!(status, 200);
+    }
+
+    // Mode 1: a fresh TCP connection per request (Connection: close).
+    let start = Instant::now();
+    let mut fresh_bodies = Vec::with_capacity(REQUESTS);
+    for _ in 0..REQUESTS {
+        let (status, response) = client::post_json(addr, "/score", body).unwrap();
+        assert_eq!(status, 200, "{response}");
+        fresh_bodies.push(response);
+    }
+    let fresh_s = start.elapsed().as_secs_f64();
+    println!(
+        "keepalive: mode=fresh requests={REQUESTS} total_s={:.4} per_request_us={:.1}",
+        fresh_s,
+        fresh_s * 1e6 / REQUESTS as f64
+    );
+
+    // Mode 2: the same requests over one reused keep-alive connection.
+    let mut conn = client::Connection::open(addr).unwrap();
+    let start = Instant::now();
+    let mut reused_bodies = Vec::with_capacity(REQUESTS);
+    for _ in 0..REQUESTS {
+        let (status, response) = conn.post_json("/score", body).unwrap();
+        assert_eq!(status, 200, "{response}");
+        reused_bodies.push(response);
+    }
+    let reused_s = start.elapsed().as_secs_f64();
+    println!(
+        "keepalive: mode=reused requests={REQUESTS} total_s={:.4} per_request_us={:.1}",
+        reused_s,
+        reused_s * 1e6 / REQUESTS as f64
+    );
+
+    assert_eq!(
+        fresh_bodies, reused_bodies,
+        "keep-alive responses must be byte-identical to fresh-connection responses"
+    );
+
+    // The speedup line BENCH_*.json tracks. No threshold is asserted — CI
+    // machines vary — but the parity assert above keeps the number honest.
+    println!(
+        "keepalive_speedup: {:.2}x (fresh {:.4}s -> reused {:.4}s)",
+        fresh_s / reused_s.max(1e-12),
+        fresh_s,
+        reused_s
+    );
+    drop(conn);
+    server.shutdown();
+}

@@ -1,32 +1,45 @@
 //! Tiny blocking HTTP/1.1 client, std-only — enough to drive this crate's
 //! server from tests, examples, and smoke checks without external tooling.
+//!
+//! Two modes:
+//!
+//! * the free functions ([`request`], [`get`], [`post_json`]) open a fresh
+//!   connection per call and send `Connection: close` — the pre-keep-alive
+//!   behaviour, still the simplest thing for one-off calls;
+//! * [`Connection`] holds one socket open across calls (HTTP/1.1
+//!   keep-alive), honors a server's `Connection: close`, and can
+//!   [`Connection::pipeline`] several requests back-to-back before reading
+//!   any response.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// Issue one request; returns `(status, body)`.
-pub fn request(
+/// Serialize one request head + body. `close` adds `Connection: close`
+/// (one-shot mode); without it HTTP/1.1's keep-alive default applies.
+fn encode_request(
     addr: SocketAddr,
     method: &str,
     path: &str,
     body: Option<&str>,
-) -> std::io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-    stream.set_nodelay(true)?;
+    close: bool,
+) -> String {
     let body = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()?;
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n{}\r\n{body}",
+        body.len(),
+        if close { "Connection: close\r\n" } else { "" },
+    )
+}
 
-    let mut reader = BufReader::new(stream);
+/// Read one response; returns `(status, body, server_will_close)`.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, String, bool)> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
+    if status_line.is_empty() {
+        return Err(std::io::Error::other("connection closed before a response arrived"));
+    }
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
@@ -34,6 +47,7 @@ pub fn request(
         .ok_or_else(|| std::io::Error::other(format!("bad status line: {status_line:?}")))?;
 
     let mut content_length: Option<usize> = None;
+    let mut close = false;
     loop {
         let mut line = String::new();
         let n = reader.read_line(&mut line)?;
@@ -43,6 +57,10 @@ pub fn request(
         if let Some((name, value)) = line.trim_end().split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.split(',').any(|t| t.trim().eq_ignore_ascii_case("close"))
+            {
+                close = true;
             }
         }
     }
@@ -53,20 +71,150 @@ pub fn request(
             String::from_utf8(buf).map_err(|e| std::io::Error::other(e.to_string()))?
         }
         None => {
+            // Without a length the body runs to EOF — the connection is
+            // spent either way.
+            close = true;
             let mut buf = String::new();
             reader.read_to_string(&mut buf)?;
             buf
         }
     };
+    Ok((status, body, close))
+}
+
+/// Issue one request on a fresh connection; returns `(status, body)`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream);
+    reader.get_mut().write_all(encode_request(addr, method, path, body, true).as_bytes())?;
+    reader.get_mut().flush()?;
+    let (status, body, _) = read_response(&mut reader)?;
     Ok((status, body))
 }
 
-/// `GET path`.
+/// `GET path` on a fresh connection.
 pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
     request(addr, "GET", path, None)
 }
 
-/// `POST path` with a JSON body.
+/// `POST path` with a JSON body on a fresh connection.
 pub fn post_json(addr: SocketAddr, path: &str, json: &str) -> std::io::Result<(u16, String)> {
     request(addr, "POST", path, Some(json))
+}
+
+/// A persistent keep-alive connection: many requests, one socket.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    addr: SocketAddr,
+    server_closed: bool,
+}
+
+impl Connection {
+    /// Connect to `addr` with a 60 s read timeout and `TCP_NODELAY`.
+    pub fn open(addr: SocketAddr) -> std::io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        Ok(Connection { reader: BufReader::new(stream), addr, server_closed: false })
+    }
+
+    /// Whether the server announced (or effected) a close; once true,
+    /// further requests fail and the caller should open a new connection.
+    pub fn server_closed(&self) -> bool {
+        self.server_closed
+    }
+
+    /// Issue one request on the persistent connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        if self.server_closed {
+            return Err(std::io::Error::other("server closed this keep-alive connection"));
+        }
+        let wire = encode_request(self.addr, method, path, body, false);
+        // Any failure to deliver the request or produce its response means
+        // the socket is spent — record that, so `server_closed()` keeps
+        // its promise on the EPIPE and EOF-without-close paths alike
+        // (e.g. the server idle-closed first).
+        let result = (|| {
+            self.reader.get_mut().write_all(wire.as_bytes())?;
+            self.reader.get_mut().flush()?;
+            read_response(&mut self.reader)
+        })();
+        let (status, body, close) = result.inspect_err(|_| self.server_closed = true)?;
+        self.server_closed = close;
+        Ok((status, body))
+    }
+
+    /// `GET path` on the persistent connection.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body on the persistent connection.
+    pub fn post_json(&mut self, path: &str, json: &str) -> std::io::Result<(u16, String)> {
+        self.request("POST", path, Some(json))
+    }
+
+    /// Pipeline: write every request before reading any response, then
+    /// read the responses in order (responses arrive in request order per
+    /// HTTP/1.1).
+    ///
+    /// Returns the responses actually received: fewer than
+    /// `requests.len()` entries means the connection ended partway through
+    /// — the server said `Connection: close`, or died without one
+    /// ([`Connection::server_closed`] turns true either way) — and the
+    /// remaining requests were never answered; resend those on a fresh
+    /// connection. An `Err` means not even the first response arrived.
+    pub fn pipeline(
+        &mut self,
+        requests: &[(&str, &str, Option<&str>)],
+    ) -> std::io::Result<Vec<(u16, String)>> {
+        if self.server_closed {
+            return Err(std::io::Error::other("server closed this keep-alive connection"));
+        }
+        let mut wire = String::new();
+        for (method, path, body) in requests {
+            wire.push_str(&encode_request(self.addr, method, path, *body, false));
+        }
+        let written = (|| {
+            self.reader.get_mut().write_all(wire.as_bytes())?;
+            self.reader.get_mut().flush()
+        })();
+        written.inspect_err(|_| self.server_closed = true)?;
+        let mut responses = Vec::with_capacity(requests.len());
+        for _ in requests {
+            if self.server_closed {
+                break;
+            }
+            match read_response(&mut self.reader) {
+                Ok((status, body, close)) => {
+                    self.server_closed = close;
+                    responses.push((status, body));
+                }
+                // Partial result, not an error: the caller keeps everything
+                // that was answered, even when the server vanished without
+                // a Connection: close.
+                Err(_) if !responses.is_empty() => {
+                    self.server_closed = true;
+                    break;
+                }
+                Err(e) => {
+                    self.server_closed = true;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(responses)
+    }
 }

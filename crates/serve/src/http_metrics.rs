@@ -7,6 +7,7 @@
 //! bound holds under unbounded traffic.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -45,12 +46,21 @@ struct BatchStats {
     next_slot: usize,
 }
 
-/// Thread-safe metrics registry shared by the router and the batcher.
+/// Thread-safe metrics registry shared by the router, the batcher, and the
+/// server's connection lifecycle.
 pub struct HttpMetrics {
     endpoints: Mutex<HashMap<String, EndpointStats>>,
     batches: Mutex<BatchStats>,
     /// Current adaptive `/score` batching window per model, microseconds.
     windows: Mutex<HashMap<String, u64>>,
+    /// Connections currently open (accepted by a worker, not yet closed).
+    connections_active: AtomicU64,
+    /// Connections ever handed to a worker.
+    connections_total: AtomicU64,
+    /// Requests served on an already-used (kept-alive) connection.
+    keepalive_reuses: AtomicU64,
+    /// Connections refused with 503 at the admission gate.
+    connections_rejected: AtomicU64,
     started: Instant,
 }
 
@@ -67,8 +77,55 @@ impl HttpMetrics {
             endpoints: Mutex::new(HashMap::new()),
             batches: Mutex::new(BatchStats::default()),
             windows: Mutex::new(HashMap::new()),
+            connections_active: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            keepalive_reuses: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
             started: Instant::now(),
         }
+    }
+
+    /// A worker took ownership of a fresh connection.
+    pub fn connection_opened(&self) {
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection ended (cleanly or not); pairs with
+    /// [`HttpMetrics::connection_opened`].
+    pub fn connection_closed(&self) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A kept-alive connection served another request (the 2nd, 3rd, …
+    /// request on one socket each count once).
+    pub fn connection_reused(&self) {
+        self.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was refused with 503 because the budget was exhausted.
+    pub fn connection_rejected(&self) {
+        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently open.
+    pub fn active_connections(&self) -> u64 {
+        self.connections_active.load(Ordering::Relaxed)
+    }
+
+    /// Connections ever handed to a worker.
+    pub fn total_connections(&self) -> u64 {
+        self.connections_total.load(Ordering::Relaxed)
+    }
+
+    /// Requests served on reused (kept-alive) connections.
+    pub fn keepalive_reuses(&self) -> u64 {
+        self.keepalive_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused with 503 at the admission gate.
+    pub fn rejected_connections(&self) -> u64 {
+        self.connections_rejected.load(Ordering::Relaxed)
     }
 
     /// Record `model`'s current adaptive batching window (microseconds).
@@ -135,6 +192,26 @@ impl HttpMetrics {
         out.push_str("# HELP kg_serve_uptime_seconds Seconds since server start.\n");
         out.push_str("# TYPE kg_serve_uptime_seconds gauge\n");
         out.push_str(&format!("kg_serve_uptime_seconds {}\n", self.uptime_seconds()));
+
+        out.push_str("# HELP kg_serve_connections_active Connections currently open.\n");
+        out.push_str("# TYPE kg_serve_connections_active gauge\n");
+        out.push_str(&format!("kg_serve_connections_active {}\n", self.active_connections()));
+        out.push_str("# HELP kg_serve_connections_total Connections handed to a worker.\n");
+        out.push_str("# TYPE kg_serve_connections_total counter\n");
+        out.push_str(&format!("kg_serve_connections_total {}\n", self.total_connections()));
+        out.push_str(
+            "# HELP kg_serve_keepalive_reuses_total Requests served on a reused connection.\n",
+        );
+        out.push_str("# TYPE kg_serve_keepalive_reuses_total counter\n");
+        out.push_str(&format!("kg_serve_keepalive_reuses_total {}\n", self.keepalive_reuses()));
+        out.push_str(
+            "# HELP kg_serve_rejected_connections_total Connections refused with 503 at the admission gate.\n",
+        );
+        out.push_str("# TYPE kg_serve_rejected_connections_total counter\n");
+        out.push_str(&format!(
+            "kg_serve_rejected_connections_total {}\n",
+            self.rejected_connections()
+        ));
 
         let map = self.endpoints.lock().unwrap();
         let mut endpoints: Vec<&String> = map.keys().collect();
@@ -309,6 +386,27 @@ mod tests {
             "label must be escaped, got: {text}"
         );
         assert!(!text.contains("\nfake_metric{"), "no injected series: {text}");
+    }
+
+    #[test]
+    fn connection_series_track_lifecycle() {
+        let m = HttpMetrics::new();
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_reused();
+        m.connection_reused();
+        m.connection_reused();
+        m.connection_rejected();
+        m.connection_closed();
+        assert_eq!(m.active_connections(), 1);
+        assert_eq!(m.total_connections(), 2);
+        assert_eq!(m.keepalive_reuses(), 3);
+        assert_eq!(m.rejected_connections(), 1);
+        let text = m.render();
+        assert!(text.contains("kg_serve_connections_active 1"), "{text}");
+        assert!(text.contains("kg_serve_connections_total 2"), "{text}");
+        assert!(text.contains("kg_serve_keepalive_reuses_total 3"), "{text}");
+        assert!(text.contains("kg_serve_rejected_connections_total 1"), "{text}");
     }
 
     #[test]

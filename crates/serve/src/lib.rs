@@ -61,6 +61,21 @@
 //! formatter, so `/eval` metrics agree **bit-for-bit** with calling
 //! [`kg_eval::evaluate_sampled`] in-process on the same seed.
 //!
+//! ## Connection semantics
+//!
+//! Connections are persistent: HTTP/1.1 defaults to keep-alive (HTTP/1.0
+//! to close), `Connection: close` is honored in both directions, and
+//! pipelined requests on one socket are answered in order with
+//! byte-identical bodies to the serial path. The server separates an idle
+//! timeout (between requests) from the in-request read timeout, caps the
+//! requests one connection may carry, and admits at most
+//! [`ServerConfig::max_connections`] connections at once — beyond that the
+//! acceptor answers `503` with a `Retry-After` header. Framing failures
+//! (duplicate `Content-Length`, header section over limits, …) are
+//! rejected before routing and metered under the
+//! [`HTTP_PARSE_ENDPOINT`] label. [`client::Connection`] is the matching
+//! reusable client (with [`client::Connection::pipeline`]).
+//!
 //! ## Sharding
 //!
 //! Every registered model is wrapped in a [`kg_models::ScoringEngine`]
@@ -101,8 +116,9 @@ pub mod router;
 pub mod server;
 
 pub use batch::ScoreBatcher;
+pub use client::Connection;
 pub use http_metrics::HttpMetrics;
 pub use json::{Json, JsonError};
 pub use registry::{LruCache, ModelEntry, ModelRegistry, RegistryConfig, SampleKey};
 pub use router::{Response, Router};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, ServerConfig, ServerHandle, HTTP_PARSE_ENDPOINT};

@@ -52,7 +52,9 @@ impl Response {
         Response { status, content_type: "application/json", body: value.to_string() }
     }
 
-    fn error(status: u16, message: impl Into<String>) -> Self {
+    /// JSON `{"error": message}` response; also used by the HTTP layer for
+    /// framing failures (400/413/431/501) so error bodies share one shape.
+    pub(crate) fn error(status: u16, message: impl Into<String>) -> Self {
         Response::json(status, Json::obj([("error", Json::Str(message.into()))]))
     }
 }

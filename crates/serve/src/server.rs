@@ -1,24 +1,74 @@
 //! Dependency-free HTTP/1.1 server on `std::net::TcpListener`.
 //!
-//! One acceptor thread hands connections to a fixed worker pool over an
-//! `mpsc` channel; each worker parses the request (request line, headers,
-//! `Content-Length` body), routes it, and writes the response with
-//! `Connection: close` semantics. Parallelism *within* a request comes from
-//! `kg_core::parallel` (the batcher and ranking passes); the pool exists so
-//! slow requests don't head-of-line-block the accept loop.
+//! One acceptor thread admits connections against a bounded budget and
+//! hands them to a fixed worker pool over an `mpsc` channel; each worker
+//! owns its connection for the connection's whole life and runs a
+//! **request loop**: parse (request line, headers, `Content-Length` body),
+//! route, respond, repeat.
+//!
+//! ## Connection semantics
+//!
+//! * HTTP/1.1 requests default to **keep-alive**; HTTP/1.0 requests default
+//!   to close (opt in with `Connection: keep-alive`). A `Connection: close`
+//!   request header is honored, and every response states its decision
+//!   (`Connection: keep-alive` + `Keep-Alive: timeout=…, max=…`, or
+//!   `Connection: close`).
+//! * **Pipelined** requests on one socket are answered strictly in order:
+//!   the loop reads the next request from the same `BufReader` that still
+//!   holds any bytes the client sent ahead.
+//! * Two read timeouts: [`ServerConfig::idle_timeout`] while waiting for
+//!   a request to *begin* (expiry = normal end of a kept-alive connection,
+//!   closed without fuss); once its first byte arrives, the whole request
+//!   — header section and body — must land within
+//!   [`ServerConfig::read_timeout`] (a deadline, so a byte-at-a-time
+//!   drip-feed cannot hold a worker: `408` and close).
+//! * A connection is closed after [`ServerConfig::max_requests_per_connection`]
+//!   requests (the last response says `Connection: close`).
+//! * **Backpressure**: at most [`ServerConfig::max_connections`] connections
+//!   are admitted to the pool at once; beyond that the connection gets
+//!   `503 Service Unavailable` with a `Retry-After` header and is closed.
+//!   Rejections are written off the acceptor thread (bounded by
+//!   [`MAX_INFLIGHT_REJECTS`]) so slow rejected clients cannot stall
+//!   `accept`; past that bound excess connections are dropped unanswered.
+//!
+//! Framing failures (malformed request line, duplicate `Content-Length`,
+//! header section over [`MAX_HEADER_BYTES`]/[`MAX_HEADER_COUNT`], oversize
+//! or non-UTF-8 bodies, any transfer encoding) are answered on the
+//! wire and recorded under the synthetic [`HTTP_PARSE_ENDPOINT`] metrics
+//! label — they never reach the router. A peer that connects and closes
+//! without sending a request (health probes, the shutdown self-connect,
+//! the normal end of every keep-alive connection) is a clean close, not an
+//! error.
 //!
 //! Shutdown: flip an atomic flag, then self-connect to unblock `accept`;
-//! dropping the channel sender drains the workers.
+//! dropping the channel sender drains the workers. Workers notice the flag
+//! at the next request boundary and stop renewing keep-alive.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use crate::http_metrics::HttpMetrics;
 use crate::router::{Response, Router, MAX_BODY_BYTES};
+
+/// Metrics endpoint label for requests rejected by the HTTP layer before
+/// the router runs (framing/parse failures).
+pub const HTTP_PARSE_ENDPOINT: &str = "http_parse";
+
+/// Cap on the request header section (request line + headers), bytes.
+pub const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// Cap on the number of request headers.
+pub const MAX_HEADER_COUNT: usize = 100;
+
+/// 503 rejections being written concurrently; beyond this, over-budget
+/// connections are dropped without a response (the acceptor never blocks
+/// on a rejected client, and rejection threads stay bounded).
+pub const MAX_INFLIGHT_REJECTS: usize = 64;
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -27,16 +77,53 @@ pub struct ServerConfig {
     pub addr: String,
     /// Connection-handling worker threads.
     pub workers: usize,
-    /// Per-connection read timeout.
+    /// In-request deadline: once the first byte of a request line arrives,
+    /// the full request (headers + body) must arrive within this long —
+    /// otherwise `408` and close. A deadline rather than a per-read
+    /// timeout, so trickling one byte per read cannot hold a worker.
     pub read_timeout: Duration,
+    /// Keep-alive idle timeout: how long a connection may sit between
+    /// requests before the server closes it.
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the server closes it.
+    pub max_requests_per_connection: usize,
+    /// Concurrent connections admitted to the worker pool (in service or
+    /// queued); beyond this the connection gets 503 and is closed.
+    ///
+    /// An open connection occupies one worker for its whole life, so
+    /// connections past `workers` wait queued — unserved and untimed —
+    /// until a worker's current connection ends (its peer closes, goes
+    /// idle past [`ServerConfig::idle_timeout`], or hits the
+    /// per-connection request cap). Idle peers recycle within
+    /// `idle_timeout`, but *busy* peers can hold a worker for up to
+    /// `max_requests_per_connection` requests, and a queued connection
+    /// waits with zero bytes of response the whole time. Size this
+    /// relative to `workers`: a small multiple absorbs bursts of
+    /// short-lived connections; latency-sensitive deployments that prefer
+    /// a fast 503 over an unbounded queue wait should keep it at or near
+    /// `workers`.
+    pub max_connections: usize,
+    /// `Retry-After` seconds advertised on 503 rejections.
+    pub retry_after_secs: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let workers = kg_core::parallel::default_threads();
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
-            workers: kg_core::parallel::default_threads(),
+            workers,
             read_timeout: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 1024,
+            // Coupled to the pool: every admitted connection needs a
+            // worker eventually, so the queue a connection can land in is
+            // at most 3x the pool. Idle connections ahead of it recycle
+            // within idle_timeout; busy ones do not (see the field docs),
+            // which is why this stays a small multiple rather than a big
+            // absolute number.
+            max_connections: (workers * 4).max(16),
+            retry_after_secs: 1,
         }
     }
 }
@@ -56,7 +143,9 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stop accepting, drain workers, and join every thread.
+    /// Stop accepting, drain workers, and join every thread. Workers
+    /// finishing a kept-alive connection stop renewing it at the next
+    /// request boundary (or its idle timeout).
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the acceptor with a throwaway connection.
@@ -70,44 +159,131 @@ impl ServerHandle {
     }
 }
 
+/// Counting semaphore for connection admission; a permit is held from
+/// accept until the worker finishes the connection.
+struct ConnectionBudget {
+    available: AtomicUsize,
+}
+
+impl ConnectionBudget {
+    fn new(permits: usize) -> Arc<Self> {
+        Arc::new(ConnectionBudget { available: AtomicUsize::new(permits.max(1)) })
+    }
+
+    fn try_acquire(self: &Arc<Self>) -> Option<ConnectionPermit> {
+        self.available
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .ok()
+            .map(|_| ConnectionPermit { budget: Arc::clone(self) })
+    }
+}
+
+struct ConnectionPermit {
+    budget: Arc<ConnectionBudget>,
+}
+
+impl Drop for ConnectionPermit {
+    fn drop(&mut self) {
+        self.budget.available.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// Decrements the active-connections gauge on drop, so a panicking
+/// request handler cannot leave `kg_serve_connections_active` inflated.
+struct ActiveConnectionGuard(Arc<HttpMetrics>);
+
+impl Drop for ActiveConnectionGuard {
+    fn drop(&mut self) {
+        self.0.connection_closed();
+    }
+}
+
+/// Per-connection knobs the workers need (a `ServerConfig` subset).
+#[derive(Clone)]
+struct ConnTuning {
+    read_timeout: Duration,
+    idle_timeout: Duration,
+    max_requests_per_connection: usize,
+}
+
 /// Bind and start serving `router` in background threads.
 pub fn serve(router: Router, config: &ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let metrics = Arc::clone(router.metrics());
     let router = Arc::new(router);
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let (tx, rx) = mpsc::channel::<(TcpStream, ConnectionPermit)>();
     let rx = Arc::new(Mutex::new(rx));
+    let tuning = ConnTuning {
+        read_timeout: config.read_timeout,
+        idle_timeout: config.idle_timeout,
+        max_requests_per_connection: config.max_requests_per_connection.max(1),
+    };
 
     let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
         .map(|_| {
             let rx = Arc::clone(&rx);
             let router = Arc::clone(&router);
-            let read_timeout = config.read_timeout;
+            let metrics = Arc::clone(&metrics);
+            let stop = Arc::clone(&stop);
+            let tuning = tuning.clone();
             std::thread::spawn(move || loop {
-                let stream = match rx.lock().unwrap().recv() {
+                let (stream, _permit) = match rx.lock().unwrap().recv() {
                     Ok(s) => s,
                     Err(_) => return, // sender dropped: shutdown
                 };
-                let _ = handle_connection(stream, &router, read_timeout);
+                metrics.connection_opened();
+                let gauge = ActiveConnectionGuard(Arc::clone(&metrics));
+                // catch_unwind: a panicking handler (poisoned lock, model
+                // bug) must cost one connection, not one pool worker.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = handle_connection(stream, &router, &metrics, &tuning, &stop);
+                }));
+                drop(gauge);
+                // `_permit` drops here, releasing the connection budget.
             })
         })
         .collect();
 
     let acceptor = {
         let stop = Arc::clone(&stop);
+        let metrics = Arc::clone(&metrics);
+        let budget = ConnectionBudget::new(config.max_connections);
+        let retry_after_secs = config.retry_after_secs;
         std::thread::spawn(move || {
+            let inflight_rejects = Arc::new(AtomicUsize::new(0));
             for stream in listener.incoming() {
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                match stream {
-                    Ok(s) => {
-                        if tx.send(s).is_err() {
+                let Ok(s) = stream else { continue };
+                match budget.try_acquire() {
+                    Some(permit) => {
+                        if tx.send((s, permit)).is_err() {
                             break;
                         }
                     }
-                    Err(_) => continue,
+                    None => {
+                        metrics.connection_rejected();
+                        // Write the 503 off-thread: a rejected client that
+                        // won't read (or close) must not stall accept. The
+                        // in-flight bound keeps a rejection storm from
+                        // spawning without limit — past it, drop the
+                        // connection unanswered.
+                        let admitted = inflight_rejects
+                            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                                (n < MAX_INFLIGHT_REJECTS).then_some(n + 1)
+                            })
+                            .is_ok();
+                        if admitted {
+                            let inflight = Arc::clone(&inflight_rejects);
+                            std::thread::spawn(move || {
+                                let _ = reject_connection(s, retry_after_secs);
+                                inflight.fetch_sub(1, Ordering::AcqRel);
+                            });
+                        }
+                    }
                 }
             }
             // tx drops here; workers drain and exit.
@@ -117,41 +293,135 @@ pub fn serve(router: Router, config: &ServerConfig) -> std::io::Result<ServerHan
     Ok(ServerHandle { addr, stop, acceptor: Some(acceptor), workers })
 }
 
+/// Turn away a connection the budget cannot admit: 503 with `Retry-After`.
+/// Runs on a short-lived rejection thread (never the acceptor), bounded by
+/// a write timeout and a capped lingering drain.
+fn reject_connection(mut stream: TcpStream, retry_after_secs: u64) -> std::io::Result<()> {
+    stream.set_write_timeout(Some(Duration::from_secs(1)))?;
+    stream.set_nodelay(true)?;
+    let body = r#"{"error":"server at connection capacity"}"#;
+    let head = format!(
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nRetry-After: {retry_after_secs}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    linger_close(&stream);
+    Ok(())
+}
+
+/// Serve every request a connection carries, in arrival order.
 fn handle_connection(
     stream: TcpStream,
     router: &Router,
-    read_timeout: Duration,
+    metrics: &HttpMetrics,
+    tuning: &ConnTuning,
+    stop: &AtomicBool,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(read_timeout))?;
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream);
-
-    let request = match read_request(&mut reader) {
-        Ok(r) => r,
-        Err(ParseError::Io(e)) => return Err(e),
-        Err(ParseError::Bad(status, msg)) => {
-            let resp = Response {
-                status,
-                content_type: "application/json",
-                body: format!("{{\"error\":\"{msg}\"}}"),
-            };
-            return write_response(reader.into_inner(), &resp);
+    let mut served = 0usize;
+    loop {
+        // Between requests the generous idle timeout applies; read_request
+        // arms the in-request deadline once bytes arrive. Skip the
+        // setsockopt when the next (pipelined) request is already buffered
+        // — nothing will wait on the socket with the idle timeout armed.
+        if reader.buffer().is_empty() {
+            reader.get_ref().set_read_timeout(Some(tuning.idle_timeout))?;
         }
-    };
-    let response = router.handle(&request.method, &request.path, &request.body);
-    write_response(reader.into_inner(), &response)
+        let mut started: Option<Instant> = None;
+        let request = match read_request(&mut reader, tuning.read_timeout, &mut started) {
+            Ok(Some(r)) => r,
+            // EOF or idle expiry before a request line: the normal end of a
+            // kept-alive connection. Close without writing anything.
+            Ok(None) => return Ok(()),
+            // The peer died (or stalled) mid-request; there is no framing
+            // left to trust and usually no reader for a reply.
+            Err(ParseError::Io(e)) => return Err(e),
+            Err(ParseError::Bad(status, msg)) => {
+                // Count HTTP-layer rejections the router never sees, under
+                // one synthetic endpoint label. Latency counts from the
+                // request's first byte, not from when the client last went
+                // idle on the kept-alive socket.
+                metrics.observe_request(
+                    HTTP_PARSE_ENDPOINT,
+                    started.map_or(0, |t| t.elapsed().as_micros() as u64),
+                    status,
+                );
+                // A framing error poisons the byte stream; always close.
+                let resp = Response::error(status, msg);
+                write_response(reader.get_mut(), &resp, ConnDirective::Close, tuning.read_timeout)?;
+                linger_close(reader.get_ref());
+                return Ok(());
+            }
+        };
+        served += 1;
+        if served > 1 {
+            metrics.connection_reused();
+        }
+        let remaining = tuning.max_requests_per_connection.saturating_sub(served);
+        let keep = request.keep_alive && remaining > 0 && !stop.load(Ordering::SeqCst);
+        let response = router.handle(&request.method, &request.path, &request.body);
+        let directive = if keep {
+            ConnDirective::KeepAlive {
+                // Floor, never round up: advertising more idle time than
+                // the server grants invites writes into a closed socket
+                // (sub-second configs honestly advertise `timeout=0`).
+                timeout_secs: tuning.idle_timeout.as_secs(),
+                remaining,
+            }
+        } else {
+            ConnDirective::Close
+        };
+        // Writes get their own read_timeout-sized deadline (a request is
+        // bounded by ~2x read_timeout end to end): a client that sends
+        // requests but never drains responses must not pin a worker (and
+        // its connection permit) once the kernel send buffer fills.
+        write_response(reader.get_mut(), &response, directive, tuning.read_timeout)?;
+        if !keep {
+            linger_close(reader.get_ref());
+            return Ok(());
+        }
+    }
+}
+
+/// Close a connection we wrote a final response on without destroying that
+/// response: the client may have bytes in flight we never read (a rejected
+/// request's body, pipelined requests past the per-connection cap), and
+/// closing with unread data pending makes the kernel send RST, which can
+/// discard the queued response. Signal EOF, then drain briefly (bounded,
+/// so a hostile client cannot hold the thread) and let the socket close
+/// with FIN.
+fn linger_close(stream: &TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut sink = [0u8; 4096];
+    let mut stream = stream;
+    for _ in 0..8 {
+        match stream.read(&mut sink) {
+            Ok(n) if n > 0 => continue,
+            _ => break,
+        }
+    }
 }
 
 struct Request {
     method: String,
     path: String,
     body: String,
+    /// Whether the *request* permits keeping the connection open
+    /// (HTTP/1.1 default, `Connection` header honored both ways).
+    keep_alive: bool,
 }
 
 enum ParseError {
     Io(std::io::Error),
-    /// `(status, message)` — 400 for malformed requests, 413 for oversize,
-    /// 501 for unsupported transfer encodings.
+    /// `(status, message)` — 400 for malformed requests, 408 for requests
+    /// that outlive the in-request deadline, 413 for oversize bodies, 431
+    /// for an oversize header section, 501 for unsupported transfer
+    /// encodings.
     Bad(u16, &'static str),
 }
 
@@ -161,9 +431,114 @@ impl From<std::io::Error> for ParseError {
     }
 }
 
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ParseError> {
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Arm the socket's per-read timeout with what is left of the in-request
+/// deadline, or fail with 408 if it has already passed. Once a request's
+/// first byte has arrived (`started` is `Some`), every read on the
+/// connection is bounded by the *remaining* deadline — so neither a
+/// byte-drip (many short reads) nor a total stall (one long read) can
+/// hold a worker past `read_timeout`, and both surface as 408, not a
+/// silent close.
+fn arm_deadline(
+    reader: &BufReader<TcpStream>,
+    started: Option<Instant>,
+    read_timeout: Duration,
+) -> Result<(), ParseError> {
+    if let Some(t0) = started {
+        let elapsed = t0.elapsed();
+        if elapsed >= read_timeout {
+            return Err(ParseError::Bad(408, "request read timed out"));
+        }
+        reader.get_ref().set_read_timeout(Some(read_timeout - elapsed))?;
+    }
+    Ok(())
+}
+
+/// Read one `\n`-terminated line into `buf`, charging `budget`; returns the
+/// bytes appended (0 = EOF before any byte). Unlike `read_line`, a line
+/// longer than the remaining header budget fails with 431 instead of
+/// buffering without bound. Arms `started` (the request's in-request
+/// deadline) at the first byte and enforces it on every read.
+fn read_line_limited(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    budget: &mut usize,
+    started: &mut Option<Instant>,
+    read_timeout: Duration,
+) -> Result<usize, ParseError> {
+    let start = buf.len();
+    loop {
+        // Only (re-)arm the socket timeout when fill_buf may actually hit
+        // the socket — buffered pipelined bytes are served without paying
+        // a setsockopt per header line.
+        if reader.buffer().is_empty() {
+            arm_deadline(reader, *started, read_timeout)?;
+        }
+        let available = match reader.fill_buf() {
+            Ok(a) => a,
+            // A timeout after the request began means the deadline (not
+            // the between-requests idle timeout) expired mid-read.
+            Err(e) if is_timeout(&e) && started.is_some() => {
+                return Err(ParseError::Bad(408, "request read timed out"))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if available.is_empty() {
+            return Ok(buf.len() - start); // EOF
+        }
+        started.get_or_insert_with(Instant::now);
+        let (take, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (available.len(), false),
+        };
+        if take > *budget {
+            return Err(ParseError::Bad(431, "request header section too large"));
+        }
+        *budget -= take;
+        buf.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if done {
+            return Ok(buf.len() - start);
+        }
+    }
+}
+
+/// Read one framed request off the connection. `Ok(None)` means the peer
+/// is done with the connection (EOF or idle-timeout expiry before a
+/// request line) — a clean close, not an error. `started` reports when the
+/// request's first byte arrived (the in-request deadline anchor, and what
+/// parse-failure latency is measured from).
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    read_timeout: Duration,
+    started: &mut Option<Instant>,
+) -> Result<Option<Request>, ParseError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let mut raw = Vec::new();
+    let mut blank_lines = 0usize;
+    let line = loop {
+        raw.clear();
+        match read_line_limited(reader, &mut raw, &mut budget, started, read_timeout) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {}
+            Err(ParseError::Io(e)) if raw.is_empty() && is_timeout(&e) => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let line = std::str::from_utf8(&raw)
+            .map_err(|_| ParseError::Bad(400, "request line is not valid UTF-8"))?;
+        // RFC 9112 §2.2: ignore at least one CRLF before the request line
+        // (hand-rolled clients often send a stray one after a body).
+        if !line.trim_end().is_empty() {
+            break line.to_string();
+        }
+        blank_lines += 1;
+        if blank_lines > 2 {
+            return Err(ParseError::Bad(400, "empty request line"));
+        }
+    };
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or(ParseError::Bad(400, "empty request line"))?.to_string();
     let target = parts.next().ok_or(ParseError::Bad(400, "missing request target"))?;
@@ -171,65 +546,177 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ParseError
     if !version.starts_with("HTTP/1.") {
         return Err(ParseError::Bad(400, "unsupported HTTP version"));
     }
+    let http10 = version == "HTTP/1.0";
     // Ignore any query string; the API is body-driven.
     let path = target.split('?').next().unwrap_or(target).to_string();
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
+    let mut conn_close = false;
+    let mut conn_keep_alive = false;
+    let mut header_count = 0usize;
     loop {
-        let mut header = String::new();
-        let n = reader.read_line(&mut header)?;
+        raw.clear();
+        let n = read_line_limited(reader, &mut raw, &mut budget, started, read_timeout)?;
         if n == 0 {
             return Err(ParseError::Bad(400, "connection closed mid-headers"));
         }
-        let header = header.trim_end();
+        let header = std::str::from_utf8(&raw)
+            .map_err(|_| ParseError::Bad(400, "header is not valid UTF-8"))?
+            .trim_end();
         if header.is_empty() {
             break;
         }
+        header_count += 1;
+        if header_count > MAX_HEADER_COUNT {
+            return Err(ParseError::Bad(431, "too many request headers"));
+        }
+        // RFC 9112 §5.2: obs-fold continuation lines must be rejected (or
+        // folded) — silently treating " Content-Length: 999" as an
+        // unrecognized standalone header while an obs-fold-aware peer
+        // folds it into the previous field's value is a framing desync.
+        if header.starts_with([' ', '\t']) {
+            return Err(ParseError::Bad(400, "obsolete header line folding not supported"));
+        }
         if let Some((name, value)) = header.split_once(':') {
+            // RFC 9112 §5.1: whitespace between the field name and the
+            // colon must be rejected — an intermediary that *normalizes*
+            // "Content-Length :" would frame the stream differently than
+            // one that, like the match below, fails to recognize it.
+            if name.ends_with([' ', '\t']) {
+                return Err(ParseError::Bad(400, "whitespace before header colon"));
+            }
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| ParseError::Bad(400, "invalid Content-Length"))?;
-            } else if name.eq_ignore_ascii_case("transfer-encoding")
-                && value.to_ascii_lowercase().contains("chunked")
-            {
-                // We only read Content-Length-framed bodies; silently
-                // treating a chunked body as empty would misdiagnose valid
-                // requests as bad JSON.
-                return Err(ParseError::Bad(501, "chunked transfer encoding not supported"));
+                // DIGIT-only per RFC 9110: `str::parse` would also accept
+                // "+5", which a fronting intermediary may frame differently
+                // — the same desync class as duplicate Content-Length.
+                let value = value.trim();
+                if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(ParseError::Bad(400, "invalid Content-Length"));
+                }
+                let parsed =
+                    value.parse().map_err(|_| ParseError::Bad(400, "invalid Content-Length"))?;
+                // Accepting the last (or any) of several Content-Length
+                // values silently would let two framings of one byte stream
+                // coexist — the classic request-smuggling setup once
+                // requests share a connection.
+                if content_length.replace(parsed).is_some() {
+                    return Err(ParseError::Bad(400, "duplicate Content-Length header"));
+                }
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                // We implement no transfer codings at all, and RFC 9112
+                // says to 501 codings we don't — silently framing a coded
+                // body by Content-Length (or as empty) while a TE-aware
+                // intermediary frames it by the coding is a CL.TE desync.
+                return Err(ParseError::Bad(501, "transfer encodings not supported"));
+            } else if name.eq_ignore_ascii_case("connection") {
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        conn_close = true;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        conn_keep_alive = true;
+                    }
+                }
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(ParseError::Bad(413, "request body too large"));
     }
+    // Chunked `read` loop instead of `read_exact`, so the in-request
+    // deadline also bounds a drip-fed (or stalled) body.
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    let mut filled = 0usize;
+    while filled < content_length {
+        if reader.buffer().is_empty() {
+            arm_deadline(reader, *started, read_timeout)?;
+        }
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(ParseError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => return Err(ParseError::Bad(408, "request read timed out")),
+            Err(e) => return Err(e.into()),
+        }
+    }
     let body = String::from_utf8(body).map_err(|_| ParseError::Bad(400, "body is not UTF-8"))?;
-    Ok(Request { method, path, body })
+    let keep_alive = !conn_close && (!http10 || conn_keep_alive);
+    Ok(Some(Request { method, path, body, keep_alive }))
 }
 
-fn write_response(mut stream: TcpStream, response: &Response) -> std::io::Result<()> {
-    let reason = match response.status {
+/// What the response tells the client about the connection's future.
+enum ConnDirective {
+    /// Stay open: advertise the idle timeout and how many more requests
+    /// this connection may carry.
+    KeepAlive { timeout_secs: u64, remaining: usize },
+    /// Close after this response.
+    Close,
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
         200 => "OK",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
+    }
+}
+
+/// `write_all` under a deadline: a per-write socket timeout alone never
+/// fires against a client draining a few bytes at a time (each tiny write
+/// "makes progress"), so the remaining deadline is re-armed before every
+/// write and expiry is an error whatever the pace.
+fn write_all_deadline(
+    stream: &mut TcpStream,
+    mut buf: &[u8],
+    deadline: Instant,
+) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(std::io::ErrorKind::TimedOut.into());
+        }
+        stream.set_write_timeout(Some(deadline - now))?;
+        match stream.write(buf) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    directive: ConnDirective,
+    write_timeout: Duration,
+) -> std::io::Result<()> {
+    let connection = match directive {
+        ConnDirective::KeepAlive { timeout_secs, remaining } => format!(
+            "Connection: keep-alive\r\nKeep-Alive: timeout={timeout_secs}, max={remaining}\r\n"
+        ),
+        ConnDirective::Close => "Connection: close\r\n".to_string(),
     };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{connection}\r\n",
         response.status,
-        reason,
+        reason_phrase(response.status),
         response.content_type,
         response.body.len()
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
+    let deadline = Instant::now() + write_timeout;
+    write_all_deadline(stream, head.as_bytes(), deadline)?;
+    write_all_deadline(stream, response.body.as_bytes(), deadline)?;
     stream.flush()
 }
 
@@ -241,14 +728,33 @@ mod tests {
     use kg_core::{FilterIndex, Triple};
     use kg_models::{build_model, KgcModel, ModelKind};
 
-    fn running_server() -> ServerHandle {
+    fn registry() -> Arc<ModelRegistry> {
         let registry = Arc::new(ModelRegistry::new());
         let model = build_model(ModelKind::TransE, 12, 2, 8, 1);
         let triples = [Triple::new(0, 0, 1), Triple::new(1, 1, 2)];
         let filter = Arc::new(FilterIndex::from_slices(&[&triples]));
         registry.register("m", Arc::from(model as Box<dyn KgcModel>), filter);
+        registry
+    }
+
+    fn running_server_with(config: &ServerConfig) -> (ServerHandle, Arc<HttpMetrics>) {
+        let registry = registry();
+        let metrics = Arc::clone(registry.metrics());
         let router = Router::new(registry);
-        serve(router, &ServerConfig { workers: 2, ..Default::default() }).unwrap()
+        (serve(router, config).unwrap(), metrics)
+    }
+
+    fn running_server() -> ServerHandle {
+        running_server_with(&ServerConfig { workers: 2, ..Default::default() }).0
+    }
+
+    /// Send raw bytes on a fresh connection and read until the peer closes.
+    fn raw_roundtrip(addr: SocketAddr, bytes: &[u8]) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(bytes).unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        out
     }
 
     #[test]
@@ -264,10 +770,8 @@ mod tests {
     fn rejects_malformed_requests_without_dying() {
         let server = running_server();
         // Raw garbage instead of HTTP.
-        let mut s = TcpStream::connect(server.addr()).unwrap();
-        s.write_all(b"GARBAGE\r\n\r\n").unwrap();
-        let mut out = String::new();
-        let _ = s.read_to_string(&mut out);
+        let out = raw_roundtrip(server.addr(), b"GARBAGE\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 400"), "got: {out}");
         // Server still alive afterwards.
         let (status, _) = client::get(server.addr(), "/healthz").unwrap();
         assert_eq!(status, 200);
@@ -277,14 +781,11 @@ mod tests {
     #[test]
     fn oversized_body_gets_413_at_the_http_layer() {
         let server = running_server();
-        let mut s = TcpStream::connect(server.addr()).unwrap();
         // Announce an oversize body without sending it; the server must
         // reject on the header alone with the API's 413, not a generic 400.
         let head =
             format!("POST /score HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
-        s.write_all(head.as_bytes()).unwrap();
-        let mut out = String::new();
-        let _ = s.read_to_string(&mut out);
+        let out = raw_roundtrip(server.addr(), head.as_bytes());
         assert!(out.starts_with("HTTP/1.1 413"), "got: {out}");
         server.shutdown();
     }
@@ -292,14 +793,149 @@ mod tests {
     #[test]
     fn chunked_transfer_encoding_is_rejected_with_501() {
         let server = running_server();
-        let mut s = TcpStream::connect(server.addr()).unwrap();
-        s.write_all(
+        let out = raw_roundtrip(
+            server.addr(),
             b"POST /score HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
-        )
-        .unwrap();
-        let mut out = String::new();
-        let _ = s.read_to_string(&mut out);
+        );
         assert!(out.starts_with("HTTP/1.1 501"), "got: {out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected_not_last_wins() {
+        let (server, metrics) =
+            running_server_with(&ServerConfig { workers: 2, ..Default::default() });
+        // Conflicting lengths: two framings of the same byte stream.
+        let out = raw_roundtrip(
+            server.addr(),
+            b"POST /score HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 3\r\n\r\nhello",
+        );
+        assert!(out.starts_with("HTTP/1.1 400"), "got: {out}");
+        assert!(out.contains("duplicate Content-Length"), "got: {out}");
+        // Even *identical* repeats are rejected: no downstream party should
+        // have to guess which header framed the body.
+        let out = raw_roundtrip(
+            server.addr(),
+            b"POST /score HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello",
+        );
+        assert!(out.starts_with("HTTP/1.1 400"), "got: {out}");
+        // Both rejections were recorded under the synthetic parse label.
+        assert_eq!(metrics.requests_for(HTTP_PARSE_ENDPOINT), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn whitespace_before_header_colon_is_rejected() {
+        let server = running_server();
+        // "Content-Length :" must not be silently dropped (0-byte framing)
+        // while a normalizing intermediary would honor it — reject instead.
+        let out = raw_roundtrip(
+            server.addr(),
+            b"POST /score HTTP/1.1\r\nContent-Length : 5\r\n\r\nhello",
+        );
+        assert!(out.starts_with("HTTP/1.1 400"), "got: {out}");
+        assert!(out.contains("whitespace before header colon"), "got: {out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn obsolete_header_folding_is_rejected() {
+        let server = running_server();
+        // A continuation line that a folding-aware peer would merge into
+        // the previous header must not be silently dropped here.
+        let out = raw_roundtrip(
+            server.addr(),
+            b"POST /score HTTP/1.1\r\nX-A: 1\r\n Content-Length: 999\r\n\r\n",
+        );
+        assert!(out.starts_with("HTTP/1.1 400"), "got: {out}");
+        assert!(out.contains("folding"), "got: {out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn any_transfer_encoding_is_rejected_with_501() {
+        let server = running_server();
+        // Not just chunked: every coding we don't implement must 501, or
+        // the body would be framed differently than a TE-aware peer does.
+        let out = raw_roundtrip(
+            server.addr(),
+            b"POST /score HTTP/1.1\r\nTransfer-Encoding: gzip\r\nContent-Length: 5\r\n\r\nhello",
+        );
+        assert!(out.starts_with("HTTP/1.1 501"), "got: {out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn leading_crlf_before_a_request_line_is_tolerated() {
+        let server = running_server();
+        // RFC 9112 §2.2 — a stray CRLF (hand-rolled clients emit these
+        // after bodies) must not poison the next request on the stream.
+        let out =
+            raw_roundtrip(server.addr(), b"\r\nGET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 200"), "got: {out}");
+        // … but a stream of nothing-but-CRLFs is still malformed.
+        let out = raw_roundtrip(server.addr(), b"\r\n\r\n\r\n\r\n\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 400"), "got: {out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn content_length_must_be_digits_only() {
+        let server = running_server();
+        // `"+5".parse::<usize>()` succeeds, but an intermediary may frame
+        // the non-canonical value differently — reject like a duplicate.
+        for bad in ["+5", "-1", "5 5", "0x5", ""] {
+            let head = format!("POST /score HTTP/1.1\r\nContent-Length: {bad}\r\n\r\nhello");
+            let out = raw_roundtrip(server.addr(), head.as_bytes());
+            assert!(out.starts_with("HTTP/1.1 400"), "Content-Length {bad:?} got: {out}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn header_section_limits_are_enforced_with_431() {
+        let server = running_server();
+        // Too many headers.
+        let mut many = String::from("GET /healthz HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADER_COUNT + 1) {
+            many.push_str(&format!("X-Flood-{i}: 1\r\n"));
+        }
+        many.push_str("\r\n");
+        let out = raw_roundtrip(server.addr(), many.as_bytes());
+        assert!(out.starts_with("HTTP/1.1 431"), "got: {out}");
+        assert!(out.contains("Request Header Fields Too Large"), "reason phrase: {out}");
+        // One enormous header blowing the byte budget (never buffered
+        // whole: the limited reader rejects as soon as the budget is hit).
+        let huge = format!(
+            "GET /healthz HTTP/1.1\r\nX-Huge: {}\r\n\r\n",
+            "a".repeat(MAX_HEADER_BYTES + 1024)
+        );
+        let out = raw_roundtrip(server.addr(), huge.as_bytes());
+        assert!(out.starts_with("HTTP/1.1 431"), "got: {out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn bare_connect_disconnect_is_a_clean_close() {
+        // One worker, so the follow-up request below cannot be answered
+        // until every probe before it in the queue has been processed.
+        let (server, metrics) =
+            running_server_with(&ServerConfig { workers: 1, ..Default::default() });
+        // A peer that connects and closes without sending anything (TCP
+        // health probe, shutdown self-connect) must not be counted as a
+        // malformed request.
+        for _ in 0..3 {
+            drop(TcpStream::connect(server.addr()).unwrap());
+        }
+        // Follow-up request proves the workers survived; by the time it is
+        // answered the probes have been processed (single queue).
+        let (status, _) = client::get(server.addr(), "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            metrics.requests_for(HTTP_PARSE_ENDPOINT),
+            0,
+            "clean closes must not be recorded as parse errors"
+        );
         server.shutdown();
     }
 
@@ -311,6 +947,105 @@ mod tests {
                 .unwrap();
         assert_eq!(status, 200, "{body}");
         assert!(body.contains("\"scores\""));
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_connection_serves_sequential_requests() {
+        let (server, metrics) =
+            running_server_with(&ServerConfig { workers: 2, ..Default::default() });
+        let mut conn = client::Connection::open(server.addr()).unwrap();
+        for i in 0..5 {
+            let (status, body) = conn.get("/healthz").unwrap();
+            assert_eq!(status, 200, "request {i}: {body}");
+        }
+        assert!(!conn.server_closed(), "server must keep the connection open");
+        assert_eq!(metrics.keepalive_reuses(), 4, "requests 2..=5 are reuses");
+        drop(conn);
+        server.shutdown();
+    }
+
+    #[test]
+    fn http10_defaults_to_close_and_11_to_keep_alive() {
+        let server = running_server();
+        // HTTP/1.0 without Connection: keep-alive → server closes (the
+        // read_to_string below returning proves the close happened).
+        let out = raw_roundtrip(server.addr(), b"GET /healthz HTTP/1.0\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 200"), "got: {out}");
+        assert!(out.contains("Connection: close"), "1.0 defaults to close: {out}");
+        // HTTP/1.1 → keep-alive advertised; close our end to finish.
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = [0u8; 4096];
+        let n = s.read(&mut buf).unwrap();
+        let out = String::from_utf8_lossy(&buf[..n]).to_string();
+        assert!(out.contains("Connection: keep-alive"), "1.1 defaults to keep-alive: {out}");
+        assert!(out.contains("Keep-Alive: timeout="), "advertises the idle timeout: {out}");
+        drop(s);
+        server.shutdown();
+    }
+
+    #[test]
+    fn drip_fed_requests_hit_the_in_request_deadline() {
+        let (server, metrics) = running_server_with(&ServerConfig {
+            workers: 1,
+            read_timeout: Duration::from_millis(200),
+            ..Default::default()
+        });
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        // A byte every 25 ms resets any per-read socket timeout forever;
+        // only the whole-request deadline can end this.
+        let started = Instant::now();
+        for &b in b"GET /healthz HTTP/1.1\r\nX-Slow: aaaaaaaaaaaaaaaaaaaaaaaa" {
+            if s.write_all(&[b]).is_err() {
+                break; // server already hung up on us — that's the point
+            }
+            std::thread::sleep(Duration::from_millis(25));
+            if started.elapsed() > Duration::from_secs(3) {
+                break;
+            }
+        }
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 408"), "got: {out}");
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "the deadline, not the drip length, must bound the connection"
+        );
+        assert_eq!(metrics.requests_for(HTTP_PARSE_ENDPOINT), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipeline_returns_partial_results_when_the_cap_closes_the_connection() {
+        let (server, _) = running_server_with(&ServerConfig {
+            workers: 1,
+            max_requests_per_connection: 2,
+            ..Default::default()
+        });
+        let mut conn = client::Connection::open(server.addr()).unwrap();
+        let requests: Vec<(&str, &str, Option<&str>)> =
+            (0..4).map(|_| ("GET", "/healthz", None)).collect();
+        let responses = conn.pipeline(&requests).unwrap();
+        assert_eq!(responses.len(), 2, "the cap allows exactly two answered requests");
+        assert!(responses.iter().all(|(status, _)| *status == 200));
+        assert!(conn.server_closed(), "the second response carried Connection: close");
+        server.shutdown();
+    }
+
+    #[test]
+    fn max_requests_per_connection_is_enforced() {
+        let (server, _) = running_server_with(&ServerConfig {
+            workers: 1,
+            max_requests_per_connection: 2,
+            ..Default::default()
+        });
+        let mut conn = client::Connection::open(server.addr()).unwrap();
+        let (s1, _) = conn.get("/healthz").unwrap();
+        let (s2, _) = conn.get("/healthz").unwrap();
+        assert_eq!((s1, s2), (200, 200));
+        assert!(conn.server_closed(), "second response must carry Connection: close");
+        assert!(conn.get("/healthz").is_err(), "third request has no connection to use");
         server.shutdown();
     }
 }

@@ -1,9 +1,14 @@
 //! Integration tests for `kg-serve`: a real server on an ephemeral port,
 //! driven over TCP, with responses checked bit-for-bit against direct
 //! library calls — including a concurrent-client run that exercises the
-//! `/score` batcher.
+//! `/score` batcher, keep-alive/pipelining parity against the serial
+//! path, and the connection-lifecycle regressions (clean EOF close,
+//! duplicate `Content-Length`, header caps, idle timeout, 503 admission).
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 use kgeval::core::sample::seeded_rng;
 use kgeval::core::{FilterIndex, Triple};
@@ -329,6 +334,205 @@ fn admin_hot_reload_swaps_the_model_without_downtime() {
     let models = Json::parse(&health).unwrap();
     assert_eq!(models.get("models").and_then(Json::as_array).map(<[Json]>::len), Some(1));
     let _ = std::fs::remove_dir_all(&dir);
+    fx.server.shutdown();
+}
+
+#[test]
+fn keepalive_connection_reuses_one_socket_and_matches_fresh_connections() {
+    let fx = Fixture::start();
+    let addr = fx.server.addr();
+    let triples: Vec<Triple> = fx.test.iter().take(6).copied().collect();
+    let score_body = format!("{{\"model\":\"m\",\"triples\":[{}]}}", fx.triples_json(&triples));
+    let topk_body = format!(
+        "{{\"model\":\"m\",\"queries\":[{{\"head\":{},\"relation\":{}}}],\"k\":5}}",
+        fx.test[0].head.0, fx.test[0].relation.0
+    );
+
+    // Baseline: fresh connection per request (Connection: close path).
+    let (s_score, fresh_score) = client::post_json(addr, "/score", &score_body).unwrap();
+    let (s_topk, fresh_topk) = client::post_json(addr, "/topk", &topk_body).unwrap();
+    assert_eq!((s_score, s_topk), (200, 200));
+
+    let reuses_before = fx.metrics.keepalive_reuses();
+    let mut conn = client::Connection::open(addr).unwrap();
+    for round in 0..4 {
+        let (status, body) = conn.post_json("/score", &score_body).unwrap();
+        assert_eq!(status, 200, "round {round}: {body}");
+        assert_eq!(body, fresh_score, "round {round}: keep-alive body diverged from serial");
+        let (status, body) = conn.post_json("/topk", &topk_body).unwrap();
+        assert_eq!(status, 200, "round {round}: {body}");
+        assert_eq!(body, fresh_topk, "round {round}: keep-alive body diverged from serial");
+    }
+    assert!(!conn.server_closed(), "8 requests fit comfortably in the per-connection cap");
+    // 8 requests on one socket: 7 were reuses.
+    assert_eq!(fx.metrics.keepalive_reuses() - reuses_before, 7);
+    drop(conn);
+    fx.server.shutdown();
+}
+
+#[test]
+fn pipelined_mixed_requests_match_serial_byte_for_byte() {
+    let fx = Fixture::start();
+    let addr = fx.server.addr();
+    let score_a = format!(
+        "{{\"model\":\"m\",\"triples\":[{}]}}",
+        fx.triples_json(&fx.test.iter().take(4).copied().collect::<Vec<_>>())
+    );
+    let score_b = format!(
+        "{{\"model\":\"m\",\"triples\":[{}]}}",
+        fx.triples_json(&fx.test.iter().skip(4).take(3).copied().collect::<Vec<_>>())
+    );
+    let topk = format!(
+        "{{\"model\":\"m\",\"queries\":[{{\"head\":{},\"relation\":{}}},{{\"relation\":{},\"tail\":{}}}],\"k\":9}}",
+        fx.test[1].head.0, fx.test[1].relation.0, fx.test[2].relation.0, fx.test[2].tail.0
+    );
+    let eval = format!(
+        "{{\"model\":\"m\",\"n_s\":15,\"seed\":77,\"triples\":[{}]}}",
+        fx.triples_json(&fx.test.iter().take(10).copied().collect::<Vec<_>>())
+    );
+    // Warm the /eval sample cache so serial and pipelined runs both report
+    // "hit" — the responses must then be byte-identical.
+    let (warm_status, _) = client::post_json(addr, "/eval", &eval).unwrap();
+    assert_eq!(warm_status, 200);
+
+    let requests: Vec<(&str, &str, Option<&str>)> = vec![
+        ("POST", "/score", Some(&score_a)),
+        ("POST", "/topk", Some(&topk)),
+        ("POST", "/eval", Some(&eval)),
+        ("POST", "/score", Some(&score_b)),
+        ("POST", "/topk", Some(&topk)),
+    ];
+
+    // Serial: each request on its own fresh connection.
+    let serial: Vec<(u16, String)> =
+        requests.iter().map(|(m, p, b)| client::request(addr, m, p, *b).unwrap()).collect();
+
+    // Pipelined: all five written before any response is read.
+    let mut conn = client::Connection::open(addr).unwrap();
+    let pipelined = conn.pipeline(&requests).unwrap();
+
+    // `/eval` reports its own wall-clock `"seconds"`, the one field that
+    // legitimately differs between two executions; everything else must be
+    // byte-identical.
+    let canon = |body: &str| match Json::parse(body) {
+        Ok(Json::Obj(fields)) => {
+            Json::Obj(fields.into_iter().filter(|(k, _)| k != "seconds").collect()).to_string()
+        }
+        _ => body.to_string(),
+    };
+    assert_eq!(pipelined.len(), serial.len());
+    for (i, (s, p)) in serial.iter().zip(&pipelined).enumerate() {
+        assert_eq!(p.0, s.0, "request {i}: status diverged");
+        if requests[i].1 == "/eval" {
+            assert_eq!(canon(&p.1), canon(&s.1), "request {i}: pipelined body != serial body");
+        } else {
+            assert_eq!(p.1, s.1, "request {i}: pipelined body != serial body");
+        }
+    }
+    drop(conn);
+    fx.server.shutdown();
+}
+
+#[test]
+fn idle_keepalive_connections_are_closed_cleanly() {
+    let fx = Fixture::start();
+    // Short-idle server alongside the fixture's default one.
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("m", Arc::clone(&fx.model), Arc::clone(&fx.filter));
+    let metrics = Arc::clone(registry.metrics());
+    let server = serve(
+        Router::new(registry),
+        &ServerConfig {
+            workers: 2,
+            idle_timeout: Duration::from_millis(150),
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+
+    let mut conn = client::Connection::open(server.addr()).unwrap();
+    let (status, _) = conn.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    std::thread::sleep(Duration::from_millis(600));
+    // The server hung up while we idled; the next request finds a dead
+    // socket (write may succeed into the OS buffer, the read sees EOF).
+    assert!(conn.get("/healthz").is_err(), "idle connection must be closed by the server");
+    // … and the close was clean: no parse error, no error-status response.
+    assert_eq!(metrics.requests_for(kgeval::serve::HTTP_PARSE_ENDPOINT), 0);
+    assert_eq!(metrics.total_requests(), 1, "only the one real request was recorded");
+    server.shutdown();
+    fx.server.shutdown();
+}
+
+#[test]
+fn saturated_server_rejects_connections_with_503_and_retry_after() {
+    let dataset_model: Arc<dyn KgcModel> =
+        Arc::from(build_model(ModelKind::DistMult, 50, 3, 8, 5) as Box<dyn KgcModel>);
+    let triples = [Triple::new(0, 0, 1)];
+    let filter = Arc::new(FilterIndex::from_slices(&[&triples]));
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("m", dataset_model, filter);
+    let metrics = Arc::clone(registry.metrics());
+    let server = serve(
+        Router::new(registry),
+        &ServerConfig { workers: 1, max_connections: 1, retry_after_secs: 7, ..Default::default() },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // Fill the budget: one keep-alive connection, held open.
+    let mut held = client::Connection::open(addr).unwrap();
+    let (status, _) = held.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+
+    // Anyone else is turned away at the door with 503 + Retry-After.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    let mut rejected = String::new();
+    s.read_to_string(&mut rejected).unwrap();
+    assert!(rejected.starts_with("HTTP/1.1 503 Service Unavailable"), "got: {rejected}");
+    assert!(rejected.contains("Retry-After: 7"), "got: {rejected}");
+    assert!(rejected.contains("Connection: close"), "got: {rejected}");
+    assert!(metrics.rejected_connections() >= 1);
+
+    // Releasing the held connection frees the budget again.
+    drop(held);
+    let mut ok = false;
+    for _ in 0..100 {
+        if let Ok((200, _)) = client::get(addr, "/healthz") {
+            ok = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(ok, "server must admit connections again once the budget frees");
+    server.shutdown();
+}
+
+#[test]
+fn http_layer_rejections_are_counted_in_metrics() {
+    let fx = Fixture::start();
+    let addr = fx.server.addr();
+    // Duplicate Content-Length: the smuggling-shaped framing bug.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"POST /score HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 3\r\n\r\nhello")
+        .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 400"), "got: {out}");
+
+    // A bare connect/close must NOT count as a parse failure …
+    drop(TcpStream::connect(addr).unwrap());
+
+    // … but the framing rejection above must show up in /metrics under the
+    // synthetic endpoint label (it never reached the router).
+    let (_, prom) = client::get(addr, "/metrics").unwrap();
+    assert!(
+        prom.contains("kg_serve_request_errors_total{endpoint=\"http_parse\"} 1"),
+        "exactly one parse failure recorded: {prom}"
+    );
+    assert!(prom.contains("kg_serve_connections_total"), "{prom}");
+    assert_eq!(fx.metrics.requests_for(kgeval::serve::HTTP_PARSE_ENDPOINT), 1);
     fx.server.shutdown();
 }
 
