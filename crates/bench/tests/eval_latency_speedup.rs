@@ -1,0 +1,85 @@
+//! Release-mode perf smoke: single-query full ranking with the two-level
+//! work plan (per-query shard fan-out) vs the fully serial pass, on a
+//! generated 1M-entity graph.
+//!
+//! This is the latency hole the work plan closes: a one-triple
+//! `evaluate_full` call used to run its ranking pass on one core no matter
+//! how many threads were free, because threads only parallelised *across*
+//! queries. `#[ignore]`d because it allocates a 1M × 32 embedding table
+//! and only means anything under `--release`; CI runs it explicitly:
+//!
+//! ```text
+//! cargo test --release -p kg-bench --test eval_latency_speedup -- --ignored --nocapture
+//! ```
+//!
+//! It prints one machine-greppable line per configuration plus a final
+//! `eval_latency_speedup:` summary, and asserts the fanned-out ranks are
+//! bit-for-bit identical to the serial ones — the invariant that makes the
+//! speedup safe to take. No speedup threshold is asserted (CI machines
+//! vary); the parity assert keeps the number honest.
+
+use std::time::Instant;
+
+use kg_core::parallel::default_threads;
+use kg_core::{FilterIndex, Triple};
+use kg_eval::{evaluate_full_sharded, TieBreak};
+use kg_models::{build_model, ModelKind};
+
+const NUM_ENTITIES: usize = 1_000_000;
+const NUM_RELATIONS: usize = 8;
+const DIM: usize = 32;
+const REPEATS: usize = 6;
+
+#[test]
+#[ignore = "1M-entity perf smoke; run with --release -- --ignored --nocapture"]
+fn single_query_eval_fanout_speedup_on_1m_entities() {
+    let model = build_model(ModelKind::DistMult, NUM_ENTITIES, NUM_RELATIONS, DIM, 42);
+    // One test triple → two queries: far fewer queries than threads, so
+    // the whole budget goes into per-query shard fan-out.
+    let triples = vec![Triple::new(123_457, 3, 987_631)];
+    let filter = FilterIndex::from_slices(&[&triples]);
+    // Floor at 4 so the fan-out machinery is exercised even on a
+    // single-core runner (where the "speedup" is just spawn overhead —
+    // parity, not the ratio, is what is asserted).
+    let threads = default_threads().max(4);
+
+    let run = |threads: usize| {
+        // Warm-up pass touches the table and fills the scratch pool.
+        let warm =
+            evaluate_full_sharded(model.as_ref(), &triples, &filter, TieBreak::Mean, threads, 0);
+        let start = Instant::now();
+        let mut last = warm;
+        for _ in 0..REPEATS {
+            last = evaluate_full_sharded(
+                model.as_ref(),
+                &triples,
+                &filter,
+                TieBreak::Mean,
+                threads,
+                0,
+            );
+        }
+        let secs = start.elapsed().as_secs_f64() / REPEATS as f64;
+        println!(
+            "eval_latency: threads={threads} queries={} per_call_ms={:.3}",
+            last.ranks.len(),
+            secs * 1e3
+        );
+        (last, secs)
+    };
+
+    let (serial, serial_s) = run(1);
+    let (fanned, fanned_s) = run(threads);
+    assert_eq!(
+        serial.ranks, fanned.ranks,
+        "shard fan-out must leave single-query ranks bit-for-bit identical"
+    );
+
+    println!(
+        "eval_latency_speedup: {:.2}x (serial {:.4}s -> {} threads {:.4}s)",
+        serial_s / fanned_s.max(1e-12),
+        serial_s,
+        threads,
+        fanned_s
+    );
+}

@@ -100,6 +100,34 @@ impl ShardPlan {
     }
 }
 
+/// How a thread budget is divided between parallelism *across* work items
+/// and fan-out *within* each item — the latency-path work plan.
+///
+/// Throughput traffic (many queries) wants every thread ranking a distinct
+/// query; a single query wants every thread fanning out over that query's
+/// entity shards. `two_level_split` interpolates: `outer` workers process
+/// items concurrently and each hands its item `inner` workers of shard
+/// fan-out, with `outer * inner <= threads` always.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ThreadSplit {
+    /// Workers processing distinct items concurrently.
+    pub outer: usize,
+    /// Workers fanning out inside each item's pass.
+    pub inner: usize,
+}
+
+/// Split `threads` between item-parallelism and per-item fan-out.
+///
+/// With at least as many items as threads every thread gets its own item
+/// (`inner == 1`, the pre-existing behaviour); with fewer items the spare
+/// threads fan out inside each item (`inner == threads / outer`). Both
+/// fields are always at least 1.
+pub fn two_level_split(items: usize, threads: usize) -> ThreadSplit {
+    let threads = threads.max(1);
+    let outer = threads.min(items).max(1);
+    ThreadSplit { outer, inner: (threads / outer).max(1) }
+}
+
 /// A pool of reusable `f32` scratch buffers of one fixed length.
 ///
 /// Ranking a query needs a score buffer as wide as a shard (or the whole
@@ -336,6 +364,30 @@ mod tests {
         assert_eq!(ShardPlan::auto(DEFAULT_SHARD_TARGET).num_shards(), 1);
         assert_eq!(ShardPlan::auto(DEFAULT_SHARD_TARGET + 1).num_shards(), 2);
         assert_eq!(ShardPlan::auto(0).num_shards(), 1);
+    }
+
+    #[test]
+    fn two_level_split_interpolates_between_query_and_shard_parallelism() {
+        // Saturated: every thread takes its own item, no fan-out.
+        assert_eq!(two_level_split(100, 8), ThreadSplit { outer: 8, inner: 1 });
+        assert_eq!(two_level_split(8, 8), ThreadSplit { outer: 8, inner: 1 });
+        // One item: the whole budget fans out inside it.
+        assert_eq!(two_level_split(1, 8), ThreadSplit { outer: 1, inner: 8 });
+        // In between: spare threads become per-item fan-out.
+        assert_eq!(two_level_split(2, 8), ThreadSplit { outer: 2, inner: 4 });
+        assert_eq!(two_level_split(3, 8), ThreadSplit { outer: 3, inner: 2 });
+        // Degenerate inputs stay well-formed.
+        assert_eq!(two_level_split(0, 8), ThreadSplit { outer: 1, inner: 8 });
+        assert_eq!(two_level_split(5, 0), ThreadSplit { outer: 1, inner: 1 });
+        assert_eq!(two_level_split(0, 0), ThreadSplit { outer: 1, inner: 1 });
+        // The budget is never exceeded.
+        for items in 0..20usize {
+            for threads in 1..20usize {
+                let s = two_level_split(items, threads);
+                assert!(s.outer >= 1 && s.inner >= 1);
+                assert!(s.outer * s.inner <= threads.max(1), "{items} items, {threads} threads");
+            }
+        }
     }
 
     #[test]

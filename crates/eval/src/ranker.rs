@@ -8,7 +8,7 @@
 //! accumulate shard by shard, and the scratch buffer (one shard wide for
 //! range-scoring models) is reused across a worker thread's whole chunk.
 
-use kg_core::parallel::{parallel_map_with, ShardPlan};
+use kg_core::parallel::{parallel_map_indexed, two_level_split, BufferPool, ShardPlan};
 use kg_core::timing::Stopwatch;
 use kg_core::topk::cmp_score;
 use kg_core::triple::QuerySide;
@@ -104,10 +104,18 @@ pub fn evaluate_full(
 ///
 /// Ranks are computed by streaming per-shard score slices and accumulating
 /// `higher`/`ties` counters ([`kg_models::engine::rank_counts_with`]), so
-/// no `num_entities()`-sized row is materialised per query; each worker
-/// thread reuses one shard-wide scratch buffer for its whole chunk.
-/// Per-row arithmetic and the comparison order are partition-independent,
-/// so `EvalResult::ranks` is bit-for-bit identical for every `shards`.
+/// no `num_entities()`-sized row is materialised per query; scratch
+/// buffers are pooled across the whole pass.
+///
+/// The thread budget follows the two-level work plan
+/// ([`kg_core::parallel::two_level_split`]): with at least `threads`
+/// queries every thread ranks its own query (the throughput regime); with
+/// fewer queries the spare threads fan each query's shard passes out via
+/// [`kg_models::engine::rank_counts_fanout`], so a single-query evaluation
+/// uses the whole budget instead of one core. Per-row arithmetic, the
+/// comparison order, and the counter sums are all partition- and
+/// schedule-independent, so `EvalResult::ranks` is bit-for-bit identical
+/// for every `shards` and `threads`.
 pub fn evaluate_full_sharded(
     model: &dyn KgcModel,
     triples: &[Triple],
@@ -120,20 +128,16 @@ pub fn evaluate_full_sharded(
     let n_entities = model.num_entities();
     let plan =
         if shards == 0 { ShardPlan::auto(n_entities) } else { ShardPlan::new(n_entities, shards) };
-    let scratch_len = engine::scratch_len(model, &plan);
+    let split = two_level_split(queries.len(), threads);
+    let pool = BufferPool::new(engine::scratch_len(model, &plan));
     let sw = Stopwatch::start();
-    let ranks = parallel_map_with(
-        queries.len(),
-        threads,
-        || vec![0.0f32; scratch_len],
-        |scratch, qi| {
-            let (triple, side) = queries[qi];
-            let known = filter.known_answers(triple, side);
-            let (higher, ties) =
-                engine::rank_counts_with(model, &plan, scratch, triple, side, known);
-            tie.rank(higher, ties)
-        },
-    );
+    let ranks = parallel_map_indexed(queries.len(), split.outer, |qi| {
+        let (triple, side) = queries[qi];
+        let known = filter.known_answers(triple, side);
+        let (higher, ties) =
+            engine::rank_counts_fanout(model, &plan, &pool, triple, side, known, split.inner);
+        tie.rank(higher, ties)
+    });
     let seconds = sw.seconds();
     EvalResult { metrics: RankingMetrics::from_ranks(&ranks), ranks, seconds }
 }
@@ -275,6 +279,47 @@ mod tests {
         // The default (auto-sharded) entry point agrees too.
         let auto = evaluate_full(model.as_ref(), &triples, &filter, TieBreak::Mean, 2);
         assert_eq!(auto.ranks, baseline.ranks);
+    }
+
+    #[test]
+    fn single_query_fanout_matches_serial_for_every_model_family() {
+        // One triple (two queries) against a big thread budget: the spare
+        // threads fan each query's shards out, and the ranks must stay
+        // bit-for-bit those of the fully serial pass.
+        for kind in ModelKind::ALL {
+            let dim = match kind {
+                ModelKind::ConvE => 16,
+                ModelKind::Rescal | ModelKind::TuckEr => 8,
+                _ => 12,
+            };
+            let model = build_model(kind, 29, 3, dim, 5);
+            let triples = vec![Triple::new(4, 1, 22)];
+            let filter = FilterIndex::from_slices(&[&triples]);
+            for shards in [1usize, 2, 7] {
+                let serial = evaluate_full_sharded(
+                    model.as_ref(),
+                    &triples,
+                    &filter,
+                    TieBreak::Mean,
+                    1,
+                    shards,
+                );
+                let fanned = evaluate_full_sharded(
+                    model.as_ref(),
+                    &triples,
+                    &filter,
+                    TieBreak::Mean,
+                    8,
+                    shards,
+                );
+                assert_eq!(
+                    fanned.ranks,
+                    serial.ranks,
+                    "{} S={shards}: shard fan-out changed the ranks",
+                    model.name()
+                );
+            }
+        }
     }
 
     #[test]

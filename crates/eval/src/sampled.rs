@@ -8,7 +8,7 @@
 //! could outrank the answer, so the sampled rank approaches the full rank
 //! (Theorem 1).
 
-use kg_core::parallel::parallel_map_with;
+use kg_core::parallel::{parallel_map_with, two_level_split};
 use kg_core::timing::Stopwatch;
 use kg_core::topk::cmp_score;
 use kg_core::{EntityId, FilterIndex, Triple};
@@ -52,6 +52,15 @@ pub fn sampled_rank(
 }
 
 /// Evaluate `model` on `triples` using per-relation candidate samples.
+///
+/// The thread budget follows the two-level work plan
+/// ([`kg_core::parallel::two_level_split`]): with at least `threads`
+/// queries every thread ranks its own query; with fewer queries the spare
+/// threads chunk each query's candidate scoring across workers
+/// ([`kg_models::engine::score_answer_and_candidates_fanout`] — only for
+/// candidate lists long enough to repay the fan-out). Per-candidate
+/// arithmetic is independent, so ranks are bit-for-bit identical for
+/// every `threads`.
 pub fn evaluate_sampled(
     model: &dyn KgcModel,
     triples: &[Triple],
@@ -61,17 +70,26 @@ pub fn evaluate_sampled(
     threads: usize,
 ) -> EvalResult {
     let queries = queries_of(triples);
+    let split = two_level_split(queries.len(), threads);
     let sw = Stopwatch::start();
     let ranks = parallel_map_with(
         queries.len(),
-        threads,
+        split.outer,
         || (Vec::<EntityId>::new(), Vec::<f32>::new()),
         |(to_score, scores), qi| {
             let (triple, side) = queries[qi];
             let candidates = samples.for_query(triple.relation, side);
             // Scored list: answer first, then the shared candidate sample
             // (buffer management lives in the engine module).
-            engine::score_answer_and_candidates(model, triple, side, candidates, to_score, scores);
+            engine::score_answer_and_candidates_fanout(
+                model,
+                triple,
+                side,
+                candidates,
+                to_score,
+                scores,
+                split.inner,
+            );
             let known = filter.known_answers(triple, side);
             sampled_rank(side.answer(triple), candidates, scores, known, tie)
         },
@@ -255,6 +273,29 @@ mod tests {
             est.metrics.mrr,
             full.metrics.mrr
         );
+    }
+
+    #[test]
+    fn single_query_candidate_fanout_matches_serial() {
+        // One triple + a candidate sample wide enough to trigger the
+        // chunked scoring path: ranks must stay bit-for-bit serial.
+        let n = kg_models::engine::CANDIDATE_FANOUT_MIN * 2;
+        let scores: Vec<f32> = (0..n).map(|i| ((i * 31) % n) as f32 / n as f32).collect();
+        let model = MockModel { n, tail_scores: scores };
+        let triples = vec![Triple::new(0, 0, 7)];
+        let filter = FilterIndex::from_slices(&[&triples]);
+        let samples = sample_candidates(
+            SamplingStrategy::Random,
+            n,
+            1,
+            kg_models::engine::CANDIDATE_FANOUT_MIN + 100,
+            None,
+            None,
+            &mut seeded_rng(6),
+        );
+        let serial = evaluate_sampled(&model, &triples, &filter, &samples, TieBreak::Mean, 1);
+        let fanned = evaluate_sampled(&model, &triples, &filter, &samples, TieBreak::Mean, 8);
+        assert_eq!(serial.ranks, fanned.ranks);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Shard-parity property tests: for **every** model family, the sharded
 //! scoring paths (streamed filtered ranks, sharded full ranking, sharded
-//! top-k) must be **bit-for-bit identical** to the unsharded reference for
+//! top-k, and the per-query shard *fan-out* latency paths) must be
+//! **bit-for-bit identical** to the unsharded reference for
 //! `S ∈ {1, 2, 7, num_entities}`.
 //!
 //! The reference is the pre-refactor seed path, reconstructed explicitly:
@@ -11,7 +12,7 @@
 
 use std::sync::Arc;
 
-use kg_core::parallel::ShardPlan;
+use kg_core::parallel::{BufferPool, ShardPlan};
 use kg_core::topk::cmp_entry;
 use kg_core::triple::QuerySide;
 use kg_core::{EntityId, FilterIndex, Triple};
@@ -153,6 +154,67 @@ proptest! {
                     "{} S={}: streamed rank diverged", model.name(), shards
                 );
             }
+        }
+    }
+
+    /// Per-query shard fan-out (`rank_counts_fanout`, the latency path)
+    /// equals the row-based kernel for every family, shard count, and
+    /// fan-out width — including the full-row fallback families
+    /// (TuckER/ConvE), whose *counting* is what fans out.
+    #[test]
+    fn fanout_rank_counts_bit_identical(
+        (kind, seed) in model_strategy(),
+        raw in proptest::collection::vec((0u32..1000, 0u32..1000, 0u32..1000), 1..6),
+        fanout in 2usize..6,
+    ) {
+        let (n, nr) = (23usize, 3usize);
+        let model = build(kind, seed, n, nr);
+        let triples = triples_from(&raw, n as u32, nr as u32);
+        let filter = FilterIndex::from_slices(&[&triples]);
+        let mut row = vec![0.0f32; n];
+        for (triple, side) in queries_of(&triples) {
+            model.score_all(triple, side, &mut row);
+            let answer = side.answer(triple).index();
+            let known = filter.known_answers(triple, side);
+            let want = filtered_rank_from_scores(&row, answer, known, TieBreak::Mean);
+            for shards in shard_counts(n) {
+                let plan = ShardPlan::new(n, shards);
+                let pool = BufferPool::new(engine::scratch_len(model.as_ref(), &plan));
+                let (higher, ties) = engine::rank_counts_fanout(
+                    model.as_ref(), &plan, &pool, triple, side, known, fanout,
+                );
+                prop_assert_eq!(
+                    TieBreak::Mean.rank(higher, ties), want,
+                    "{} S={} fanout={}: fanned rank diverged", model.name(), shards, fanout
+                );
+            }
+        }
+    }
+
+    /// The two-level work plan end to end: few queries against a big
+    /// thread budget (spare threads fan each query's shards out) returns
+    /// bit-for-bit the single-threaded ranks for every family.
+    #[test]
+    fn two_level_full_ranking_bit_identical(
+        (kind, seed) in model_strategy(),
+        raw in proptest::collection::vec((0u32..1000, 0u32..1000, 0u32..1000), 1..3),
+        threads in 5usize..9,
+    ) {
+        let (n, nr) = (19usize, 3usize);
+        let model = build(kind, seed, n, nr);
+        let triples = triples_from(&raw, n as u32, nr as u32);
+        let filter = FilterIndex::from_slices(&[&triples]);
+        for shards in shard_counts(n) {
+            let serial = evaluate_full_sharded(
+                model.as_ref(), &triples, &filter, TieBreak::Mean, 1, shards,
+            );
+            let fanned = evaluate_full_sharded(
+                model.as_ref(), &triples, &filter, TieBreak::Mean, threads, shards,
+            );
+            prop_assert_eq!(
+                &fanned.ranks, &serial.ranks,
+                "{} S={} threads={}: two-level ranks diverged", model.name(), shards, threads
+            );
         }
     }
 

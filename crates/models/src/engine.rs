@@ -189,6 +189,96 @@ pub fn top_k_with(
     merge_topk(per_shard, k)
 }
 
+/// The latency pass's working plan: the storage plan, subdivided when it
+/// has fewer shards than the fan-out has workers (a small-graph model
+/// auto-shards to one cache-resident shard, which would otherwise silently
+/// serialise the whole fan-out). Finer shards are strictly narrower than
+/// the storage plan's, so every scratch buffer sized for the storage plan
+/// still fits, and the parity invariant makes any partition safe.
+fn fanout_plan(plan: &ShardPlan, fanout: usize) -> ShardPlan {
+    if plan.num_shards() < fanout {
+        ShardPlan::new(plan.len(), fanout)
+    } else {
+        *plan
+    }
+}
+
+/// Streamed filtered-rank counters for one query with the per-shard passes
+/// fanned out across `fanout` workers — the latency path of
+/// [`rank_counts_with`], bit-for-bit identical to it for every model and
+/// shard count (counter sums are order-independent).
+///
+/// Range-scoring models score the answer's shard first (serially, to fix
+/// the reference score) and fan the remaining shards out; models without
+/// range scoring score one full row — the pass that cannot be split — and
+/// fan out the *counting* over the row's shard slices. A storage plan
+/// coarser than the fan-out is subdivided first (see [`fanout_plan`]), so
+/// small-graph models fan out too. Scratch buffers come from `pool`, so a
+/// caller ranking many queries reuses one pool across all of them.
+pub fn rank_counts_fanout(
+    model: &dyn KgcModel,
+    plan: &ShardPlan,
+    pool: &BufferPool,
+    triple: Triple,
+    side: QuerySide,
+    known: &[EntityId],
+    fanout: usize,
+) -> (usize, usize) {
+    debug_assert_eq!(plan.len(), model.num_entities());
+    debug_assert!(pool.buffer_len() >= scratch_len(model, plan));
+    let plan = &fanout_plan(plan, fanout);
+    if fanout <= 1 || plan.num_shards() == 1 {
+        let mut buf = pool.acquire();
+        return rank_counts_with(model, plan, &mut buf, triple, side, known);
+    }
+    let answer = side.answer(triple).index();
+    if !model.supports_range_scoring() {
+        // One full-row pass (the model cannot score ranges), then the
+        // counting fans out across the row's shard slices.
+        let mut row = pool.acquire();
+        let row = &mut row[..plan.len()];
+        model.score_all(triple, side, row);
+        let s_true = row[answer];
+        let row = &*row;
+        let per_shard = parallel_map_indexed(plan.num_shards(), fanout, |s| {
+            let r = plan.range(s);
+            count_shard(&row[r.clone()], r.start, answer, s_true, known)
+        });
+        return sum_counts(per_shard);
+    }
+    // Score the answer's shard serially to fix the reference score, then
+    // fan the remaining shards out; merging the counters is associative.
+    let answer_shard = plan.shard_of(answer);
+    let ra = plan.range(answer_shard);
+    let (s_true, first) = {
+        let mut buf = pool.acquire();
+        let buf = &mut buf[..ra.len()];
+        model.score_range(triple, side, ra.clone(), buf);
+        let s_true = buf[answer - ra.start];
+        (s_true, count_shard(buf, ra.start, answer, s_true, known))
+    };
+    let rest = parallel_map_indexed(plan.num_shards(), fanout, |s| {
+        if s == answer_shard {
+            return (0, 0);
+        }
+        let r = plan.range(s);
+        let mut buf = pool.acquire();
+        let buf = &mut buf[..r.len()];
+        model.score_range(triple, side, r.clone(), buf);
+        count_shard(buf, r.start, answer, s_true, known)
+    });
+    let (higher, ties) = sum_counts(rest);
+    (higher + first.0, ties + first.1)
+}
+
+fn sum_counts(counts: Vec<(usize, usize)>) -> (usize, usize) {
+    counts.into_iter().fold((0, 0), |(h, t), (hh, tt)| (h + hh, t + tt))
+}
+
+/// Candidate count below which [`score_answer_and_candidates_fanout`]
+/// stays serial: spawning a thread team costs more than scoring this few.
+pub const CANDIDATE_FANOUT_MIN: usize = 1024;
+
 /// Fill `ids`/`scores` with the answer followed by `candidates` and their
 /// scores — the sampled-evaluation scoring layout (`scores[0]` is the
 /// answer's score). Both buffers are cleared and reused, so callers keep
@@ -201,12 +291,43 @@ pub fn score_answer_and_candidates(
     ids: &mut Vec<EntityId>,
     scores: &mut Vec<f32>,
 ) {
+    score_answer_and_candidates_fanout(model, triple, side, candidates, ids, scores, 1);
+}
+
+/// [`score_answer_and_candidates`] with the candidate list chunked across
+/// `fanout` workers (the sampled-evaluation latency path). Per-candidate
+/// arithmetic is independent of its neighbours, so the result is
+/// bit-for-bit the single-pass one; lists shorter than
+/// [`CANDIDATE_FANOUT_MIN`] are scored serially regardless.
+pub fn score_answer_and_candidates_fanout(
+    model: &dyn KgcModel,
+    triple: Triple,
+    side: QuerySide,
+    candidates: &[EntityId],
+    ids: &mut Vec<EntityId>,
+    scores: &mut Vec<f32>,
+    fanout: usize,
+) {
     ids.clear();
     ids.push(side.answer(triple));
     ids.extend_from_slice(candidates);
     scores.clear();
     scores.resize(ids.len(), 0.0);
-    model.score_candidates(triple, side, ids, scores);
+    if fanout <= 1 || ids.len() < CANDIDATE_FANOUT_MIN {
+        model.score_candidates(triple, side, ids, scores);
+        return;
+    }
+    let ids: &[EntityId] = ids;
+    let chunks = ShardPlan::new(ids.len(), fanout);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [f32] = scores;
+        for r in chunks.ranges() {
+            let (head, tail) = rest.split_at_mut(r.len());
+            let chunk = &ids[r];
+            scope.spawn(move || model.score_candidates(triple, side, chunk, head));
+            rest = tail;
+        }
+    });
 }
 
 /// An owning handle bundling a model with its shard plan and scratch pool —
@@ -277,6 +398,19 @@ impl ScoringEngine {
         rank_counts_with(self.model.as_ref(), &self.plan, &mut buf, triple, side, known)
     }
 
+    /// Filtered-rank counters with the per-shard passes fanned out across
+    /// `fanout` workers; bit-for-bit identical to
+    /// [`ScoringEngine::rank_counts`] (see [`rank_counts_fanout`]).
+    pub fn rank_counts_fanout(
+        &self,
+        triple: Triple,
+        side: QuerySide,
+        known: &[EntityId],
+        fanout: usize,
+    ) -> (usize, usize) {
+        rank_counts_fanout(self.model.as_ref(), &self.plan, &self.pool, triple, side, known, fanout)
+    }
+
     /// Top-k for one query, shards visited serially (see [`top_k_with`]).
     pub fn top_k(
         &self,
@@ -291,9 +425,17 @@ impl ScoringEngine {
 
     /// Top-k with the per-shard passes fanned out across `threads` workers
     /// and the per-shard heaps merged; bit-for-bit identical to
-    /// [`ScoringEngine::top_k`]. Falls back to the serial pass when the
-    /// model cannot score ranges natively (a full-row pass per worker would
-    /// cost more than it saves) or there is nothing to fan out.
+    /// [`ScoringEngine::top_k`] for every model family.
+    ///
+    /// Range-scoring models score one shard per worker; models without
+    /// range scoring score one full row (the pass that cannot be split)
+    /// and fan out the per-shard heap building over the row's slices —
+    /// previously those models silently degraded to the fully serial pass
+    /// no matter how many threads were free. A storage plan coarser than
+    /// the fan-out is subdivided first (see [`fanout_plan`]), so
+    /// small-graph engines fan out too; serial fallback remains only when
+    /// there is genuinely nothing to split (`threads <= 1` or a
+    /// single-entity plan).
     pub fn top_k_fanout(
         &self,
         triple: Triple,
@@ -305,16 +447,28 @@ impl ScoringEngine {
         if k == 0 || self.plan.is_empty() {
             return Vec::new();
         }
-        if threads <= 1 || self.num_shards() == 1 || !self.model.supports_range_scoring() {
+        let plan = fanout_plan(&self.plan, threads);
+        if threads <= 1 || plan.num_shards() == 1 {
             return self.top_k(triple, side, known, k);
         }
-        let per_shard = parallel_map_indexed(self.num_shards(), threads, |s| {
-            let r: Range<usize> = self.plan.range(s);
-            let mut buf = self.pool.acquire();
-            let buf = &mut buf[..r.len()];
-            self.model.score_range(triple, side, r.clone(), buf);
-            topk_shard(buf, r.start, known, k)
-        });
+        let per_shard = if self.model.supports_range_scoring() {
+            parallel_map_indexed(plan.num_shards(), threads, |s| {
+                let r: Range<usize> = plan.range(s);
+                let mut buf = self.pool.acquire();
+                let buf = &mut buf[..r.len()];
+                self.model.score_range(triple, side, r.clone(), buf);
+                topk_shard(buf, r.start, known, k)
+            })
+        } else {
+            let mut row = self.pool.acquire();
+            let row = &mut row[..plan.len()];
+            self.model.score_all(triple, side, row);
+            let row = &*row;
+            parallel_map_indexed(plan.num_shards(), threads, |s| {
+                let r: Range<usize> = plan.range(s);
+                topk_shard(&row[r.clone()], r.start, known, k)
+            })
+        };
         merge_topk(per_shard, k)
     }
 }
@@ -429,6 +583,182 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn fanout_counts_and_topk_match_serial_for_every_model_family() {
+        // Parity of the latency path for all 7 families — including the
+        // non-range-scoring ones (TuckER, ConvE), which previously fell
+        // back to a fully serial pass in `top_k_fanout`.
+        for model in models() {
+            let model: Arc<dyn KgcModel> = Arc::from(model as Box<dyn KgcModel>);
+            let n = model.num_entities();
+            let triple = Triple::new(5, 2, 11);
+            let known = [EntityId(0), EntityId(11), EntityId(19)];
+            for shards in [1usize, 2, 7, n] {
+                let engine = ScoringEngine::new(Arc::clone(&model), shards);
+                for side in QuerySide::BOTH {
+                    let counts = engine.rank_counts(triple, side, &known);
+                    let top = engine.top_k(triple, side, &known, 6);
+                    for fanout in [1usize, 3, 8] {
+                        assert_eq!(
+                            engine.rank_counts_fanout(triple, side, &known, fanout),
+                            counts,
+                            "{} S={shards} fanout={fanout} {side:?}: counts diverged",
+                            model.name()
+                        );
+                        assert_eq!(
+                            engine.top_k_fanout(triple, side, &known, 6, fanout),
+                            top,
+                            "{} S={shards} fanout={fanout} {side:?}: top-k diverged",
+                            model.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_storage_plans_are_subdivided_for_the_fanout_pass() {
+        use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+        // A range-scoring model that counts its range calls: with a
+        // single-shard storage plan (every small graph under the auto
+        // target), the fan-out must subdivide rather than silently run
+        // serial on one core.
+        struct CountingRange {
+            n: usize,
+            range_calls: AtomicUsize,
+        }
+        impl KgcModel for CountingRange {
+            fn name(&self) -> &'static str {
+                "CountingRange"
+            }
+            fn dim(&self) -> usize {
+                1
+            }
+            fn num_entities(&self) -> usize {
+                self.n
+            }
+            fn num_relations(&self) -> usize {
+                1
+            }
+            fn score(&self, _h: EntityId, _r: RelationId, t: EntityId) -> f32 {
+                (t.index() * 7 % self.n) as f32
+            }
+            fn score_tails(&self, h: EntityId, r: RelationId, out: &mut [f32]) {
+                for (t, o) in out.iter_mut().enumerate() {
+                    *o = self.score(h, r, EntityId(t as u32));
+                }
+            }
+            fn score_heads(&self, r: RelationId, t: EntityId, out: &mut [f32]) {
+                self.score_tails(t, r, out);
+            }
+            fn score_tail_candidates(
+                &self,
+                h: EntityId,
+                r: RelationId,
+                c: &[EntityId],
+                out: &mut [f32],
+            ) {
+                for (o, &e) in out.iter_mut().zip(c) {
+                    *o = self.score(h, r, e);
+                }
+            }
+            fn score_head_candidates(
+                &self,
+                r: RelationId,
+                t: EntityId,
+                c: &[EntityId],
+                out: &mut [f32],
+            ) {
+                self.score_tail_candidates(t, r, c, out);
+            }
+            fn supports_range_scoring(&self) -> bool {
+                true
+            }
+            fn score_tails_range(
+                &self,
+                h: EntityId,
+                r: RelationId,
+                range: std::ops::Range<usize>,
+                out: &mut [f32],
+            ) {
+                self.range_calls.fetch_add(1, AtomicOrdering::Relaxed);
+                for (off, o) in out.iter_mut().enumerate() {
+                    *o = self.score(h, r, EntityId((range.start + off) as u32));
+                }
+            }
+            fn score_heads_range(
+                &self,
+                r: RelationId,
+                t: EntityId,
+                range: std::ops::Range<usize>,
+                out: &mut [f32],
+            ) {
+                self.score_tails_range(t, r, range, out);
+            }
+        }
+
+        let concrete = Arc::new(CountingRange { n: 64, range_calls: AtomicUsize::new(0) });
+        let model: Arc<dyn KgcModel> = Arc::clone(&concrete) as Arc<dyn KgcModel>;
+        let counter = || concrete.range_calls.load(AtomicOrdering::Relaxed);
+        let engine = ScoringEngine::new(model, 1);
+        assert_eq!(engine.num_shards(), 1, "storage plan is deliberately coarse");
+        let triple = Triple::new(3, 0, 9);
+        let known = [EntityId(9)];
+
+        let serial_counts = engine.rank_counts(triple, QuerySide::Tail, &known);
+        let serial_top = engine.top_k(triple, QuerySide::Tail, &known, 5);
+        let before = counter();
+        let fanned_counts = engine.rank_counts_fanout(triple, QuerySide::Tail, &known, 4);
+        assert_eq!(fanned_counts, serial_counts);
+        assert_eq!(
+            counter() - before,
+            4,
+            "a 1-shard plan must subdivide into one range per fan-out worker"
+        );
+        let before = counter();
+        let fanned_top = engine.top_k_fanout(triple, QuerySide::Tail, &known, 5, 4);
+        assert_eq!(fanned_top, serial_top);
+        assert_eq!(counter() - before, 4, "top-k fans the subdivided shards out too");
+    }
+
+    #[test]
+    fn candidate_fanout_scores_identically_to_the_serial_pass() {
+        let model = build_model(ModelKind::TuckEr, 40, 3, 8, 11);
+        let model: &dyn KgcModel = model.as_ref();
+        let triple = Triple::new(7, 1, 13);
+        // Longer than CANDIDATE_FANOUT_MIN so the chunked path really runs.
+        let candidates: Vec<EntityId> =
+            (0..(CANDIDATE_FANOUT_MIN as u32 + 64)).map(|i| EntityId(i % 40)).collect();
+        for side in QuerySide::BOTH {
+            let (mut ids_a, mut scores_a) = (Vec::new(), Vec::new());
+            let (mut ids_b, mut scores_b) = (Vec::new(), Vec::new());
+            score_answer_and_candidates(
+                model,
+                triple,
+                side,
+                &candidates,
+                &mut ids_a,
+                &mut scores_a,
+            );
+            score_answer_and_candidates_fanout(
+                model,
+                triple,
+                side,
+                &candidates,
+                &mut ids_b,
+                &mut scores_b,
+                4,
+            );
+            assert_eq!(ids_a, ids_b);
+            assert_eq!(
+                scores_a.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                scores_b.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                "{side:?}: chunked candidate scoring diverged"
+            );
         }
     }
 

@@ -1,6 +1,8 @@
-//! Request coalescing for `/score`: concurrent scoring requests against the
-//! same model are merged into one flat triple list and scored in a single
-//! [`parallel_map_indexed`] pass.
+//! Request coalescing for `/score` and `/topk`: concurrent requests against
+//! the same model are merged into one flat work list and executed in a
+//! single parallel pass ([`ScoreBatcher`] scores triples through
+//! [`parallel_map_indexed`]; [`TopKBatcher`] runs full-ranking top-k
+//! queries through the two-level query × shard work plan).
 //!
 //! Why batch at all: each HTTP request alone would spin up a scoped thread
 //! team for a handful of triples; under concurrent load that is one team
@@ -14,24 +16,30 @@
 //! A submitter that finds a leader active just enqueues and waits on its
 //! job's condvar. Because enqueue and drain are serialised by the same
 //! mutex, a job is either drained by the current leader or observes
-//! `leader_active == false` and elects itself — no job can strand.
+//! `leader_active == false` and elects itself — no job can strand. A
+//! *panicking* pass cannot strand followers either: the leader poisons
+//! every drained slot before re-raising, so each waiter fails its own
+//! request instead of blocking a pool worker forever.
 //!
 //! The batching window is **adaptive**: when a batch actually coalesced
-//! (≥ 2 jobs) and absorbed at least [`WINDOW_GROW_TRIPLES`] triples, the
-//! window doubles (up to [`WINDOW_GROWTH_CAP`]× the configured base —
-//! deeper coalescing under load), and an idle batch that coalesced nothing
-//! halves it back toward the base, keeping single-client latency tight.
-//! Growth requires real coalescing so that one client sending large
-//! sequential batches never ratchets up a sleep that cannot help it. The
-//! current window is exported per model as `kg_serve_score_batch_window_us`
-//! in `/metrics`.
+//! (≥ 2 jobs) and absorbed at least a growth threshold of work
+//! ([`WINDOW_GROW_TRIPLES`] triples for `/score`,
+//! [`TOPK_WINDOW_GROW_QUERIES`] queries for `/topk`), the window doubles
+//! (up to [`WINDOW_GROWTH_CAP`]× the configured base — deeper coalescing
+//! under load), and an idle batch that coalesced nothing halves it back
+//! toward the base, keeping single-client latency tight. Growth requires
+//! real coalescing so that one client sending large sequential batches
+//! never ratchets up a sleep that cannot help it. The current windows are
+//! exported per model as `kg_serve_score_batch_window_us` and
+//! `kg_serve_topk_batch_window_us` in `/metrics`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use kg_core::parallel::parallel_map_indexed;
-use kg_core::Triple;
+use kg_core::parallel::{parallel_map_indexed, two_level_split};
+use kg_core::triple::QuerySide;
+use kg_core::{FilterIndex, Triple};
 use kg_models::ScoringEngine;
 
 use crate::http_metrics::HttpMetrics;
@@ -42,88 +50,81 @@ pub const WINDOW_GROW_TRIPLES: usize = 64;
 /// Upper bound of the adaptive window, as a multiple of the base window.
 pub const WINDOW_GROWTH_CAP: u64 = 8;
 
+/// What one job's wait ends with.
+enum Outcome<O> {
+    /// The job's slice of the batch results, in input order.
+    Done(Vec<O>),
+    /// The batch's execution pass panicked; the waiter must fail its own
+    /// request rather than wait forever.
+    Poisoned,
+}
+
 /// One request's slot: filled by whichever thread leads the batch.
-struct JobSlot {
-    result: Mutex<Option<Vec<f32>>>,
+struct JobSlot<O> {
+    result: Mutex<Option<Outcome<O>>>,
     ready: Condvar,
 }
 
-struct Pending {
-    triples: Vec<Triple>,
-    slot: Arc<JobSlot>,
+struct Pending<I, O> {
+    items: Vec<I>,
+    slot: Arc<JobSlot<O>>,
 }
 
-#[derive(Default)]
-struct BatchState {
-    pending: Vec<Pending>,
+struct CoreState<I, O> {
+    pending: Vec<Pending<I, O>>,
     leader_active: bool,
 }
 
-/// Coalesces concurrent score requests for one model.
-pub struct ScoreBatcher {
-    engine: Arc<ScoringEngine>,
-    name: String,
-    state: Mutex<BatchState>,
+/// The shared coalescing machinery behind [`ScoreBatcher`] and
+/// [`TopKBatcher`]: leadership election, the adaptive window, flattening
+/// jobs into one work list, scattering results back, and poisoning every
+/// waiter when the execution pass panics (so a panic costs the coalesced
+/// requests, never pool workers stuck in an eternal condvar wait).
+struct BatchCore<I, O> {
+    state: Mutex<CoreState<I, O>>,
     base_window_us: u64,
     window_us: AtomicU64,
-    threads: usize,
     batches_run: AtomicU64,
-    metrics: Option<Arc<HttpMetrics>>,
 }
 
-impl ScoreBatcher {
-    /// Batcher over `engine`, waiting an adaptive window (starting at
-    /// `window`) for stragglers and scoring with `threads` workers. Batch
-    /// sizes and the current window are recorded into `metrics` when
-    /// provided — held by the batcher itself so every coalesced batch is
-    /// observed no matter which submitter ends up leading it. A zero base
-    /// window disables both sleeping and adaptation.
-    pub fn new(
-        engine: Arc<ScoringEngine>,
-        name: impl Into<String>,
-        window: Duration,
-        threads: usize,
-        metrics: Option<Arc<HttpMetrics>>,
-    ) -> Self {
-        let name = name.into();
+impl<I: Copy, O: Clone> BatchCore<I, O> {
+    fn new(window: Duration) -> Self {
         let base_window_us = window.as_micros() as u64;
-        if let Some(m) = &metrics {
-            m.set_score_window(&name, base_window_us);
-        }
-        ScoreBatcher {
-            engine,
-            name,
-            state: Mutex::new(BatchState::default()),
+        BatchCore {
+            state: Mutex::new(CoreState { pending: Vec::new(), leader_active: false }),
             base_window_us,
             window_us: AtomicU64::new(base_window_us),
-            threads: threads.max(1),
             batches_run: AtomicU64::new(0),
-            metrics,
         }
     }
 
-    /// Number of scoring passes executed so far.
-    pub fn batches_run(&self) -> u64 {
+    fn batches_run(&self) -> u64 {
         self.batches_run.load(Ordering::Relaxed)
     }
 
-    /// The adaptive batching window currently in effect, in microseconds.
-    pub fn current_window_us(&self) -> u64 {
+    fn current_window_us(&self) -> u64 {
         self.window_us.load(Ordering::Relaxed)
     }
 
-    /// Score `triples`, coalescing with any concurrent submissions.
-    ///
-    /// Blocks until the batch containing this job has been scored; returns
-    /// the scores in input order.
-    pub fn submit(&self, triples: Vec<Triple>) -> Vec<f32> {
-        if triples.is_empty() {
+    /// Run `items` through the batcher: coalesce with concurrent
+    /// submissions, execute the merged work list with `run` (exactly one
+    /// output per input item), report each completed batch's `(jobs,
+    /// items)` to `after` (metrics + window adaptation). Blocks until the
+    /// batch containing this job has been executed; panics if the batch's
+    /// `run` panicked (on the leader the original panic resumes, on
+    /// followers a poisoned-batch panic is raised).
+    fn submit<R, A>(&self, items: Vec<I>, run: R, after: A) -> Vec<O>
+    where
+        R: Fn(&[I]) -> Vec<O>,
+        A: Fn(usize, usize),
+    {
+        if items.is_empty() {
             return Vec::new();
         }
         let slot = Arc::new(JobSlot { result: Mutex::new(None), ready: Condvar::new() });
         let is_leader = {
             let mut state = self.state.lock().unwrap();
-            state.pending.push(Pending { triples, slot: Arc::clone(&slot) });
+            state.pending.push(Pending { items, slot: Arc::clone(&slot) });
             if state.leader_active {
                 false
             } else {
@@ -143,28 +144,82 @@ impl ScoreBatcher {
                 state.leader_active = false;
                 std::mem::take(&mut state.pending)
             };
-            self.run_batch(batch);
+            let flat: Vec<I> = batch.iter().flat_map(|job| job.items.iter().copied()).collect();
+            // The execution pass runs under catch_unwind so a panicking
+            // model can never leave followers waiting on slots that no
+            // one will ever fill. A wrong-length result is routed through
+            // the same poison path: letting it slice-panic mid-scatter
+            // would strand exactly the slots not yet filled.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&flat)))
+                .and_then(|outputs| {
+                    if outputs.len() == flat.len() {
+                        Ok(outputs)
+                    } else {
+                        Err(Box::new(format!(
+                            "batch run returned {} outputs for {} items",
+                            outputs.len(),
+                            flat.len()
+                        )) as Box<dyn std::any::Any + Send>)
+                    }
+                });
+            match outcome {
+                Ok(outputs) => {
+                    self.batches_run.fetch_add(1, Ordering::Relaxed);
+                    let mut offset = 0usize;
+                    for job in &batch {
+                        let n = job.items.len();
+                        let mut result = job.slot.result.lock().unwrap();
+                        *result = Some(Outcome::Done(outputs[offset..offset + n].to_vec()));
+                        job.slot.ready.notify_all();
+                        offset += n;
+                    }
+                    after(batch.len(), flat.len());
+                }
+                Err(payload) => {
+                    for job in &batch {
+                        let mut result = job.slot.result.lock().unwrap();
+                        *result = Some(Outcome::Poisoned);
+                        job.slot.ready.notify_all();
+                    }
+                    // `leader_active` was already reset before the run, so
+                    // the next submission elects a fresh leader.
+                    std::panic::resume_unwind(payload);
+                }
+            }
         }
 
         let mut result = slot.result.lock().unwrap();
         while result.is_none() {
             result = slot.ready.wait(result).unwrap();
         }
-        result.take().unwrap()
+        match result.take().unwrap() {
+            Outcome::Done(out) => out,
+            Outcome::Poisoned => {
+                panic!("coalesced batch panicked in another request's execution pass")
+            }
+        }
     }
 
-    /// Adapt the window to the batch just scored: widen under load (the
+    /// Adapt the window to the batch just executed: widen under load (the
     /// next window catches more stragglers), shrink back toward the base
     /// when traffic is idle. Growth requires the batch to have actually
-    /// coalesced ≥ 2 jobs — a single client's big sequential batches gain
-    /// nothing from a longer sleep. No-op for zero-base batchers.
-    fn adapt_window(&self, jobs: usize, triples: usize) {
+    /// coalesced ≥ 2 jobs *and* absorbed `grow_threshold` work units — a
+    /// single client's big sequential batches gain nothing from a longer
+    /// sleep. `on_change` observes the new window (the metrics gauge).
+    /// No-op for zero-base batchers.
+    fn adapt_window(
+        &self,
+        jobs: usize,
+        units: usize,
+        grow_threshold: usize,
+        on_change: impl Fn(u64),
+    ) {
         if self.base_window_us == 0 {
             return;
         }
         let cap = self.base_window_us * WINDOW_GROWTH_CAP;
         let cur = self.window_us.load(Ordering::Relaxed);
-        let next = if jobs >= 2 && triples >= WINDOW_GROW_TRIPLES {
+        let next = if jobs >= 2 && units >= grow_threshold {
             (cur * 2).min(cap)
         } else if jobs <= 1 {
             (cur / 2).max(self.base_window_us)
@@ -173,30 +228,204 @@ impl ScoreBatcher {
         };
         if next != cur {
             self.window_us.store(next, Ordering::Relaxed);
-            if let Some(m) = &self.metrics {
-                m.set_score_window(&self.name, next);
-            }
+            on_change(next);
+        }
+    }
+}
+
+/// Coalesces concurrent score requests for one model.
+pub struct ScoreBatcher {
+    engine: Arc<ScoringEngine>,
+    name: String,
+    core: BatchCore<Triple, f32>,
+    threads: usize,
+    metrics: Option<Arc<HttpMetrics>>,
+}
+
+impl ScoreBatcher {
+    /// Batcher over `engine`, waiting an adaptive window (starting at
+    /// `window`) for stragglers and scoring with `threads` workers. Batch
+    /// sizes and the current window are recorded into `metrics` when
+    /// provided — held by the batcher itself so every coalesced batch is
+    /// observed no matter which submitter ends up leading it. A zero base
+    /// window disables both sleeping and adaptation.
+    pub fn new(
+        engine: Arc<ScoringEngine>,
+        name: impl Into<String>,
+        window: Duration,
+        threads: usize,
+        metrics: Option<Arc<HttpMetrics>>,
+    ) -> Self {
+        let name = name.into();
+        if let Some(m) = &metrics {
+            m.set_score_window(&name, window.as_micros() as u64);
+        }
+        ScoreBatcher {
+            engine,
+            name,
+            core: BatchCore::new(window),
+            threads: threads.max(1),
+            metrics,
         }
     }
 
-    fn run_batch(&self, batch: Vec<Pending>) {
-        let flat: Vec<Triple> = batch.iter().flat_map(|job| job.triples.iter().copied()).collect();
-        let engine = &self.engine;
-        // The single parallel pass over every triple of every coalesced job.
-        let scores = parallel_map_indexed(flat.len(), self.threads, |i| engine.score_one(flat[i]));
-        self.batches_run.fetch_add(1, Ordering::Relaxed);
-        if let Some(m) = &self.metrics {
-            m.observe_batch(batch.len(), flat.len());
+    /// Number of scoring passes executed so far.
+    pub fn batches_run(&self) -> u64 {
+        self.core.batches_run()
+    }
+
+    /// The adaptive batching window currently in effect, in microseconds.
+    pub fn current_window_us(&self) -> u64 {
+        self.core.current_window_us()
+    }
+
+    /// Score `triples`, coalescing with any concurrent submissions.
+    ///
+    /// Blocks until the batch containing this job has been scored; returns
+    /// the scores in input order.
+    pub fn submit(&self, triples: Vec<Triple>) -> Vec<f32> {
+        self.core.submit(
+            triples,
+            // The single parallel pass over every triple of every
+            // coalesced job.
+            |flat| {
+                parallel_map_indexed(flat.len(), self.threads, |i| self.engine.score_one(flat[i]))
+            },
+            |jobs, triples| {
+                if let Some(m) = &self.metrics {
+                    m.observe_batch(jobs, triples);
+                }
+                self.adapt_window(jobs, triples);
+            },
+        )
+    }
+
+    fn adapt_window(&self, jobs: usize, triples: usize) {
+        self.core.adapt_window(jobs, triples, WINDOW_GROW_TRIPLES, |next| {
+            if let Some(m) = &self.metrics {
+                m.set_score_window(&self.name, next);
+            }
+        });
+    }
+}
+
+/// Queries in one coalesced top-k batch at which the window widens. Much
+/// lower than [`WINDOW_GROW_TRIPLES`]: a top-k query is a full ranking
+/// pass (`O(|E|)`), so even a handful absorbed per batch repays a longer
+/// wait.
+pub const TOPK_WINDOW_GROW_QUERIES: usize = 4;
+
+/// One top-k query as the batcher executes it: parse-validated by the
+/// router, with `k` and the filtered flag resolved per request (jobs with
+/// different settings coalesce into one pass).
+#[derive(Clone, Copy, Debug)]
+pub struct TopKQuery {
+    /// The query triple (the answer slot's entity id is ignored).
+    pub triple: Triple,
+    /// Which slot is being predicted.
+    pub side: QuerySide,
+    /// How many results to return.
+    pub k: usize,
+    /// Whether known-true answers are removed from the ranking.
+    pub filtered: bool,
+}
+
+/// One result list per submitted query: `(entity, score)` pairs, best
+/// first.
+pub type TopKResults = Vec<Vec<(u32, f32)>>;
+
+/// Coalesces concurrent `/topk` requests for one model into a single
+/// multi-query fan-out pass.
+///
+/// Same [`BatchCore`] leadership protocol as [`ScoreBatcher`], but the
+/// merged batch is executed through the two-level work plan
+/// ([`kg_core::parallel::two_level_split`]): the coalesced queries are
+/// spread across worker threads, and any spare threads fan each query's
+/// entity shards out via [`ScoringEngine::top_k_fanout`]. One concurrent
+/// query → pure shard fan-out; `threads`+ concurrent queries → pure
+/// query-parallelism; anything between gets both levels. The adaptive
+/// window mirrors the `/score` batcher's (grow on real coalescing of
+/// [`TOPK_WINDOW_GROW_QUERIES`]+ queries, decay when idle, capped at
+/// [`WINDOW_GROWTH_CAP`]× the base) and is exported per model as
+/// `kg_serve_topk_batch_window_us`.
+pub struct TopKBatcher {
+    engine: Arc<ScoringEngine>,
+    filter: Arc<FilterIndex>,
+    name: String,
+    core: BatchCore<TopKQuery, Vec<(u32, f32)>>,
+    threads: usize,
+    metrics: Option<Arc<HttpMetrics>>,
+}
+
+impl TopKBatcher {
+    /// Batcher running top-k passes for `engine`, removing known answers
+    /// of filtered queries via `filter`, with `threads` total workers per
+    /// pass. A zero base window disables sleeping and adaptation.
+    pub fn new(
+        engine: Arc<ScoringEngine>,
+        filter: Arc<FilterIndex>,
+        name: impl Into<String>,
+        window: Duration,
+        threads: usize,
+        metrics: Option<Arc<HttpMetrics>>,
+    ) -> Self {
+        let name = name.into();
+        if let Some(m) = &metrics {
+            m.set_topk_window(&name, window.as_micros() as u64);
         }
-        self.adapt_window(batch.len(), flat.len());
-        let mut offset = 0usize;
-        for job in batch {
-            let n = job.triples.len();
-            let mut result = job.slot.result.lock().unwrap();
-            *result = Some(scores[offset..offset + n].to_vec());
-            job.slot.ready.notify_all();
-            offset += n;
+        TopKBatcher {
+            engine,
+            filter,
+            name,
+            core: BatchCore::new(window),
+            threads: threads.max(1),
+            metrics,
         }
+    }
+
+    /// Number of top-k passes executed so far.
+    pub fn batches_run(&self) -> u64 {
+        self.core.batches_run()
+    }
+
+    /// The adaptive batching window currently in effect, in microseconds.
+    pub fn current_window_us(&self) -> u64 {
+        self.core.current_window_us()
+    }
+
+    /// Run `queries`, coalescing with any concurrent submissions; blocks
+    /// until the batch containing this job has been executed. Returns one
+    /// result list per query, in input order.
+    pub fn submit(&self, queries: Vec<TopKQuery>) -> TopKResults {
+        self.core.submit(
+            queries,
+            // The single two-level pass over every query of every
+            // coalesced job: queries across workers, spare workers into
+            // shard fan-out.
+            |flat| {
+                let split = two_level_split(flat.len(), self.threads);
+                parallel_map_indexed(flat.len(), split.outer, |i| {
+                    let q = flat[i];
+                    let known =
+                        if q.filtered { self.filter.known_answers(q.triple, q.side) } else { &[] };
+                    self.engine.top_k_fanout(q.triple, q.side, known, q.k, split.inner)
+                })
+            },
+            |jobs, queries| {
+                if let Some(m) = &self.metrics {
+                    m.observe_topk_batch(jobs, queries);
+                }
+                self.adapt_window(jobs, queries);
+            },
+        )
+    }
+
+    fn adapt_window(&self, jobs: usize, queries: usize) {
+        self.core.adapt_window(jobs, queries, TOPK_WINDOW_GROW_QUERIES, |next| {
+            if let Some(m) = &self.metrics {
+                m.set_topk_window(&self.name, next);
+            }
+        });
     }
 }
 
@@ -374,5 +603,187 @@ mod tests {
         let big: Vec<Triple> = (0..200u32).map(|i| Triple::new(i % 5, 0, i % 7)).collect();
         b.submit(big);
         assert_eq!(b.current_window_us(), 0);
+    }
+
+    /// Delegates to [`Linear`] but panics when scoring head 13 — the
+    /// poison pill for the batch-poisoning regression test.
+    struct PanicOnHead13 {
+        inner: Linear,
+    }
+
+    impl KgcModel for PanicOnHead13 {
+        fn name(&self) -> &'static str {
+            "PanicOnHead13"
+        }
+        fn dim(&self) -> usize {
+            self.inner.dim()
+        }
+        fn num_entities(&self) -> usize {
+            self.inner.num_entities()
+        }
+        fn num_relations(&self) -> usize {
+            self.inner.num_relations()
+        }
+        fn score(&self, h: EntityId, r: RelationId, t: EntityId) -> f32 {
+            assert_ne!(h.0, 13, "poison triple");
+            self.inner.score(h, r, t)
+        }
+        fn score_tails(&self, h: EntityId, r: RelationId, out: &mut [f32]) {
+            self.inner.score_tails(h, r, out)
+        }
+        fn score_heads(&self, r: RelationId, t: EntityId, out: &mut [f32]) {
+            self.inner.score_heads(r, t, out)
+        }
+        fn score_tail_candidates(
+            &self,
+            h: EntityId,
+            r: RelationId,
+            candidates: &[EntityId],
+            out: &mut [f32],
+        ) {
+            self.inner.score_tail_candidates(h, r, candidates, out)
+        }
+        fn score_head_candidates(
+            &self,
+            r: RelationId,
+            t: EntityId,
+            candidates: &[EntityId],
+            out: &mut [f32],
+        ) {
+            self.inner.score_head_candidates(r, t, candidates, out)
+        }
+    }
+
+    #[test]
+    fn a_panicking_batch_poisons_its_jobs_instead_of_stranding_them() {
+        // Regression: a panic in the execution pass used to fill *no*
+        // slot, leaving every coalesced follower waiting on its condvar
+        // forever (one stuck pool worker + connection permit each). Now
+        // the leader poisons every drained slot before re-raising, so
+        // each submitter fails its own request and the batcher recovers.
+        let engine =
+            Arc::new(ScoringEngine::new(Arc::new(PanicOnHead13 { inner: Linear { n: 50 } }), 1));
+        let b = Arc::new(ScoreBatcher::new(engine, "poison", Duration::from_millis(5), 2, None));
+        let mut handles = Vec::new();
+        for worker in 0..6u32 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let h = if worker == 0 { 13 } else { worker % 5 };
+                b.submit(vec![Triple::new(h, 0, 1)])
+            }));
+        }
+        // Every join RETURNS — a stranded follower would hang this loop.
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        assert!(
+            outcomes.iter().any(|o| o.is_err()),
+            "the batch containing the poison triple must fail its submitters"
+        );
+        for ok in outcomes.into_iter().flatten() {
+            assert_eq!(ok.len(), 1, "innocent batches still score correctly");
+        }
+        // A fresh submission elects a new leader and succeeds.
+        assert_eq!(b.submit(vec![Triple::new(1, 2, 3)]), vec![10_203.0]);
+    }
+
+    fn topk_batcher_with(
+        window_us: u64,
+        metrics: Option<Arc<HttpMetrics>>,
+    ) -> (Arc<TopKBatcher>, Arc<ScoringEngine>, Arc<FilterIndex>) {
+        let engine = Arc::new(ScoringEngine::new(Arc::new(Linear { n: 50 }), 5));
+        let triples: Vec<Triple> = (0..20u32).map(|i| Triple::new(i % 50, i % 4, i + 5)).collect();
+        let filter = Arc::new(FilterIndex::from_slices(&[&triples]));
+        let b = Arc::new(TopKBatcher::new(
+            Arc::clone(&engine),
+            Arc::clone(&filter),
+            "linear",
+            Duration::from_micros(window_us),
+            4,
+            metrics,
+        ));
+        (b, engine, filter)
+    }
+
+    #[test]
+    fn topk_single_job_matches_the_engine() {
+        let (b, engine, filter) = topk_batcher_with(0, None);
+        let queries = vec![
+            TopKQuery { triple: Triple::new(3, 1, 0), side: QuerySide::Tail, k: 7, filtered: true },
+            TopKQuery {
+                triple: Triple::new(0, 2, 9),
+                side: QuerySide::Head,
+                k: 3,
+                filtered: false,
+            },
+        ];
+        let results = b.submit(queries.clone());
+        assert_eq!(results.len(), 2);
+        for (q, got) in queries.iter().zip(&results) {
+            let known = if q.filtered { filter.known_answers(q.triple, q.side) } else { &[][..] };
+            assert_eq!(got, &engine.top_k(q.triple, q.side, known, q.k), "{q:?}");
+        }
+        assert_eq!(b.batches_run(), 1);
+        assert!(b.submit(Vec::new()).is_empty(), "empty jobs never run a batch");
+        assert_eq!(b.batches_run(), 1);
+    }
+
+    #[test]
+    fn topk_concurrent_jobs_coalesce_with_mixed_k_and_filtering() {
+        let metrics = Arc::new(HttpMetrics::new());
+        let (b, engine, filter) = topk_batcher_with(3_000, Some(Arc::clone(&metrics)));
+        let mut handles = Vec::new();
+        for worker in 0..8u32 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let queries: Vec<TopKQuery> = (0..=(worker % 3))
+                    .map(|i| TopKQuery {
+                        triple: Triple::new(worker, (i + worker) % 4, 0),
+                        side: if i % 2 == 0 { QuerySide::Tail } else { QuerySide::Head },
+                        k: 1 + (worker as usize + i as usize) % 9,
+                        filtered: worker % 2 == 0,
+                    })
+                    .collect();
+                (queries.clone(), b.submit(queries))
+            }));
+        }
+        for h in handles {
+            let (queries, results) = h.join().unwrap();
+            assert_eq!(results.len(), queries.len());
+            for (q, got) in queries.iter().zip(&results) {
+                let known =
+                    if q.filtered { filter.known_answers(q.triple, q.side) } else { &[][..] };
+                assert_eq!(got, &engine.top_k(q.triple, q.side, known, q.k), "{q:?}");
+            }
+        }
+        assert!(b.batches_run() <= 8, "concurrent jobs coalesced into fewer passes");
+        assert!(
+            metrics.render().contains("kg_serve_topk_batch_jobs_total 8"),
+            "{}",
+            metrics.render()
+        );
+    }
+
+    #[test]
+    fn topk_window_adapts_like_the_score_batcher() {
+        let metrics = Arc::new(HttpMetrics::new());
+        let (b, _, _) = topk_batcher_with(50, Some(Arc::clone(&metrics)));
+        assert_eq!(b.current_window_us(), 50);
+        b.adapt_window(2, TOPK_WINDOW_GROW_QUERIES);
+        assert_eq!(b.current_window_us(), 100, "coalesced batches widen the window");
+        for _ in 0..10 {
+            b.adapt_window(3, TOPK_WINDOW_GROW_QUERIES * 2);
+        }
+        assert_eq!(b.current_window_us(), 50 * WINDOW_GROWTH_CAP);
+        for _ in 0..10 {
+            b.adapt_window(1, 1);
+        }
+        assert_eq!(b.current_window_us(), 50, "idle batches decay back to the base");
+        // One job per batch never widens, no matter how many queries.
+        b.adapt_window(1, 100);
+        assert_eq!(b.current_window_us(), 50);
+        assert!(
+            metrics.render().contains("kg_serve_topk_batch_window_us{model=\"linear\"} 50"),
+            "{}",
+            metrics.render()
+        );
     }
 }

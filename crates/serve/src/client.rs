@@ -10,6 +10,11 @@
 //!   keep-alive), honors a server's `Connection: close`, and can
 //!   [`Connection::pipeline`] several requests back-to-back before reading
 //!   any response.
+//!
+//! Interim 1xx responses are skipped transparently everywhere, and
+//! [`Connection::post_json_expect_continue`] implements the full
+//! `Expect: 100-continue` handshake — body withheld until the server says
+//! `100 Continue`, never sent when the request is rejected on its headers.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -33,8 +38,13 @@ fn encode_request(
     )
 }
 
-/// Read one response; returns `(status, body, server_will_close)`.
-fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, String, bool)> {
+/// Read one response head (status line + headers); returns
+/// `(status, content_length, server_will_close)`. Interim 1xx responses
+/// are a valid outcome here — they carry no body, and the final response
+/// follows on the same stream.
+fn read_response_head(
+    reader: &mut BufReader<TcpStream>,
+) -> std::io::Result<(u16, Option<usize>, bool)> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     if status_line.is_empty() {
@@ -64,22 +74,44 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, Str
             }
         }
     }
-    let body = match content_length {
+    Ok((status, content_length, close))
+}
+
+/// Read a response body framed by `content_length`; without a length the
+/// body runs to EOF and the returned `close` flag is forced true (the
+/// connection is spent either way).
+fn read_response_body(
+    reader: &mut BufReader<TcpStream>,
+    content_length: Option<usize>,
+    close: bool,
+) -> std::io::Result<(String, bool)> {
+    match content_length {
         Some(len) => {
             let mut buf = vec![0u8; len];
             reader.read_exact(&mut buf)?;
-            String::from_utf8(buf).map_err(|e| std::io::Error::other(e.to_string()))?
+            let body = String::from_utf8(buf).map_err(|e| std::io::Error::other(e.to_string()))?;
+            Ok((body, close))
         }
         None => {
-            // Without a length the body runs to EOF — the connection is
-            // spent either way.
-            close = true;
             let mut buf = String::new();
             reader.read_to_string(&mut buf)?;
-            buf
+            Ok((buf, true))
         }
-    };
-    Ok((status, body, close))
+    }
+}
+
+/// Read one final response; returns `(status, body, server_will_close)`.
+/// Interim 1xx responses (e.g. `100 Continue` the client did not wait
+/// for) are skipped — the final response follows on the same stream.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, String, bool)> {
+    loop {
+        let (status, content_length, close) = read_response_head(reader)?;
+        if (100..200).contains(&status) {
+            continue;
+        }
+        let (body, close) = read_response_body(reader, content_length, close)?;
+        return Ok((status, body, close));
+    }
 }
 
 /// Issue one request on a fresh connection; returns `(status, body)`.
@@ -164,6 +196,53 @@ impl Connection {
     /// `POST path` with a JSON body on the persistent connection.
     pub fn post_json(&mut self, path: &str, json: &str) -> std::io::Result<(u16, String)> {
         self.request("POST", path, Some(json))
+    }
+
+    /// `POST path` with `Expect: 100-continue`: send the head only, wait
+    /// for the server's verdict, and ship the body **only after**
+    /// `100 Continue` arrives. A final status instead of the interim
+    /// response (the server rejected on headers alone — 413, 417, …) is
+    /// returned directly and the body is never transmitted.
+    pub fn post_json_expect_continue(
+        &mut self,
+        path: &str,
+        json: &str,
+    ) -> std::io::Result<(u16, String)> {
+        if json.is_empty() {
+            // Nothing to withhold — and the server (rightly) sends no 100
+            // for a zero-length body, which the handshake below would
+            // misread as an early header rejection.
+            return self.request("POST", path, Some(json));
+        }
+        if self.server_closed {
+            return Err(std::io::Error::other("server closed this keep-alive connection"));
+        }
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nExpect: 100-continue\r\n\r\n",
+            self.addr,
+            json.len()
+        );
+        let result = (|| {
+            self.reader.get_mut().write_all(head.as_bytes())?;
+            self.reader.get_mut().flush()?;
+            let (status, content_length, close) = read_response_head(&mut self.reader)?;
+            if (100..200).contains(&status) {
+                // Permission granted: ship the body, then read the final
+                // response (skipping any further interim ones).
+                self.reader.get_mut().write_all(json.as_bytes())?;
+                self.reader.get_mut().flush()?;
+                return read_response(&mut self.reader);
+            }
+            // Early rejection — the final status arrived without a 100.
+            // The request's body was announced but never sent, so this
+            // connection's framing is spent for further requests.
+            let (body, _) = read_response_body(&mut self.reader, content_length, close)?;
+            Ok((status, body, true))
+        })();
+        let (status, body, close) = result.inspect_err(|_| self.server_closed = true)?;
+        self.server_closed = close;
+        Ok((status, body))
     }
 
     /// Pipeline: write every request before reading any response, then

@@ -53,6 +53,14 @@ pub struct HttpMetrics {
     batches: Mutex<BatchStats>,
     /// Current adaptive `/score` batching window per model, microseconds.
     windows: Mutex<HashMap<String, u64>>,
+    /// Current adaptive `/topk` batching window per model, microseconds.
+    topk_windows: Mutex<HashMap<String, u64>>,
+    /// Coalesced `/topk` batches executed.
+    topk_batches: AtomicU64,
+    /// Requests absorbed into `/topk` batches.
+    topk_jobs: AtomicU64,
+    /// Top-k queries executed through `/topk` batches.
+    topk_queries: AtomicU64,
     /// Connections currently open (accepted by a worker, not yet closed).
     connections_active: AtomicU64,
     /// Connections ever handed to a worker.
@@ -77,6 +85,10 @@ impl HttpMetrics {
             endpoints: Mutex::new(HashMap::new()),
             batches: Mutex::new(BatchStats::default()),
             windows: Mutex::new(HashMap::new()),
+            topk_windows: Mutex::new(HashMap::new()),
+            topk_batches: AtomicU64::new(0),
+            topk_jobs: AtomicU64::new(0),
+            topk_queries: AtomicU64::new(0),
             connections_active: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
             keepalive_reuses: AtomicU64::new(0),
@@ -136,6 +148,34 @@ impl HttpMetrics {
     /// The last recorded batching window for `model`, if any.
     pub fn score_window(&self, model: &str) -> Option<u64> {
         self.windows.lock().unwrap().get(model).copied()
+    }
+
+    /// Record `model`'s current adaptive `/topk` batching window
+    /// (microseconds).
+    pub fn set_topk_window(&self, model: &str, window_us: u64) {
+        self.topk_windows.lock().unwrap().insert(model.to_string(), window_us);
+    }
+
+    /// The last recorded `/topk` batching window for `model`, if any.
+    pub fn topk_window(&self, model: &str) -> Option<u64> {
+        self.topk_windows.lock().unwrap().get(model).copied()
+    }
+
+    /// Record one coalesced top-k batch (`jobs` requests, `queries` total).
+    pub fn observe_topk_batch(&self, jobs: usize, queries: usize) {
+        self.topk_batches.fetch_add(1, Ordering::Relaxed);
+        self.topk_jobs.fetch_add(jobs as u64, Ordering::Relaxed);
+        self.topk_queries.fetch_add(queries as u64, Ordering::Relaxed);
+    }
+
+    /// Coalesced `/topk` batches executed.
+    pub fn topk_batches(&self) -> u64 {
+        self.topk_batches.load(Ordering::Relaxed)
+    }
+
+    /// Requests absorbed into `/topk` batches.
+    pub fn topk_jobs(&self) -> u64 {
+        self.topk_jobs.load(Ordering::Relaxed)
     }
 
     /// Record one request against `endpoint`.
@@ -293,6 +333,41 @@ impl HttpMetrics {
                 ));
             }
         }
+        drop(windows);
+
+        out.push_str("# HELP kg_serve_topk_batches_total Coalesced /topk batches executed.\n");
+        out.push_str("# TYPE kg_serve_topk_batches_total counter\n");
+        out.push_str(&format!("kg_serve_topk_batches_total {}\n", self.topk_batches()));
+        out.push_str(
+            "# HELP kg_serve_topk_batch_jobs_total Requests absorbed into /topk batches.\n",
+        );
+        out.push_str("# TYPE kg_serve_topk_batch_jobs_total counter\n");
+        out.push_str(&format!("kg_serve_topk_batch_jobs_total {}\n", self.topk_jobs()));
+        out.push_str(
+            "# HELP kg_serve_topk_batch_queries_total Top-k queries executed through batches.\n",
+        );
+        out.push_str("# TYPE kg_serve_topk_batch_queries_total counter\n");
+        out.push_str(&format!(
+            "kg_serve_topk_batch_queries_total {}\n",
+            self.topk_queries.load(Ordering::Relaxed)
+        ));
+
+        let topk_windows = self.topk_windows.lock().unwrap();
+        if !topk_windows.is_empty() {
+            let mut models: Vec<&String> = topk_windows.keys().collect();
+            models.sort();
+            out.push_str(
+                "# HELP kg_serve_topk_batch_window_us Current adaptive /topk batching window.\n",
+            );
+            out.push_str("# TYPE kg_serve_topk_batch_window_us gauge\n");
+            for m in models {
+                out.push_str(&format!(
+                    "kg_serve_topk_batch_window_us{{model=\"{}\"}} {}\n",
+                    escape_label(m),
+                    topk_windows[m]
+                ));
+            }
+        }
         out
     }
 }
@@ -365,6 +440,22 @@ mod tests {
         assert!(text.contains("kg_serve_score_batch_jobs_total 4"));
         assert!(text.contains("kg_serve_score_batch_triples_total 130"));
         assert!(text.contains("kg_serve_score_batch_size{quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn topk_batch_series_render() {
+        let m = HttpMetrics::new();
+        m.observe_topk_batch(2, 9);
+        m.observe_topk_batch(1, 1);
+        m.set_topk_window("m", 400);
+        assert_eq!(m.topk_batches(), 2);
+        assert_eq!(m.topk_jobs(), 3);
+        assert_eq!(m.topk_window("m"), Some(400));
+        let text = m.render();
+        assert!(text.contains("kg_serve_topk_batches_total 2"), "{text}");
+        assert!(text.contains("kg_serve_topk_batch_jobs_total 3"), "{text}");
+        assert!(text.contains("kg_serve_topk_batch_queries_total 10"), "{text}");
+        assert!(text.contains("kg_serve_topk_batch_window_us{model=\"m\"} 400"), "{text}");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! | Route | Method | Purpose |
 //! |---|---|---|
 //! | `/score`        | POST | Score a batch of `(h, r, t)` triples (coalesced across concurrent requests, adaptive window) |
-//! | `/topk`         | POST | Top-k tail/head prediction with filtered known-true removal, fanned out across entity shards |
+//! | `/topk`         | POST | Top-k tail/head prediction with filtered known-true removal (coalesced across concurrent requests, fanned out across queries × entity shards) |
 //! | `/eval`         | POST | Sampled MRR / Hits@K over submitted triples ([`kg_eval::evaluate_sampled`]) |
 //! | `/admin/models` | POST | Hot-reload a model snapshot; the registry entry flips atomically |
 //! | `/healthz`      | GET  | Liveness, uptime, registered models |
@@ -86,6 +86,13 @@
 //! are bit-for-bit identical for every shard count — sharding is purely a
 //! locality/scale knob, never a semantics knob.
 //!
+//! The thread budget is split two ways at once
+//! ([`kg_core::parallel::two_level_split`]): concurrent `/topk` requests
+//! coalesce in the per-model [`TopKBatcher`] and the merged queries spread
+//! across worker threads, while any spare threads fan each query's entity
+//! shards out — so a lone query uses the whole budget instead of one core,
+//! and a saturated batch degrades gracefully to pure query-parallelism.
+//!
 //! ## Quickstart
 //!
 //! ```no_run
@@ -115,7 +122,7 @@ pub mod registry;
 pub mod router;
 pub mod server;
 
-pub use batch::ScoreBatcher;
+pub use batch::{ScoreBatcher, TopKBatcher, TopKQuery, TopKResults};
 pub use client::Connection;
 pub use http_metrics::HttpMetrics;
 pub use json::{Json, JsonError};

@@ -22,7 +22,7 @@ use kg_recommend::{
     sample_candidates, CandidateSets, SampledCandidates, SamplingStrategy, ScoreMatrix,
 };
 
-use crate::batch::ScoreBatcher;
+use crate::batch::{ScoreBatcher, TopKBatcher};
 use crate::http_metrics::HttpMetrics;
 
 /// A bounded map with least-recently-used eviction.
@@ -107,6 +107,7 @@ pub struct ModelEntry {
     matrix: Option<Arc<ScoreMatrix>>,
     sets: Option<Arc<CandidateSets>>,
     batcher: ScoreBatcher,
+    topk_batcher: TopKBatcher,
     samples: Mutex<LruCache<SampleKey, Arc<SampledCandidates>>>,
     threads: usize,
 }
@@ -135,6 +136,11 @@ impl ModelEntry {
     /// The coalescing batcher for `/score` traffic.
     pub fn batcher(&self) -> &ScoreBatcher {
         &self.batcher
+    }
+
+    /// The coalescing batcher for `/topk` traffic.
+    pub fn topk_batcher(&self) -> &TopKBatcher {
+        &self.topk_batcher
     }
 
     /// Worker threads used for ranking passes.
@@ -196,6 +202,10 @@ pub struct RegistryConfig {
     /// Base batching window for `/score` coalescing (the adaptive window
     /// floors here and caps at [`crate::batch::WINDOW_GROWTH_CAP`]× this).
     pub batch_window: Duration,
+    /// Base batching window for `/topk` coalescing (same adaptive scheme;
+    /// growth triggers at [`crate::batch::TOPK_WINDOW_GROW_QUERIES`]
+    /// absorbed queries since each query is a full ranking pass).
+    pub topk_batch_window: Duration,
     /// Worker threads for scoring/ranking passes.
     pub threads: usize,
     /// Entity shards per model engine (`0` = automatic: one shard per
@@ -211,6 +221,7 @@ impl Default for RegistryConfig {
     fn default() -> Self {
         RegistryConfig {
             batch_window: Duration::from_micros(200),
+            topk_batch_window: Duration::from_micros(200),
             threads: kg_core::parallel::default_threads(),
             shards: 0,
             admin_token: None,
@@ -278,6 +289,14 @@ impl ModelRegistry {
                 Arc::clone(&engine),
                 name.clone(),
                 self.config.batch_window,
+                self.config.threads,
+                Some(Arc::clone(&self.metrics)),
+            ),
+            topk_batcher: TopKBatcher::new(
+                Arc::clone(&engine),
+                Arc::clone(&filter),
+                name.clone(),
+                self.config.topk_batch_window,
                 self.config.threads,
                 Some(Arc::clone(&self.metrics)),
             ),
@@ -442,6 +461,83 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &c));
         assert!(!c_hit);
         assert_eq!(entry.cached_samples(), 2);
+    }
+
+    #[test]
+    fn sample_cache_evicts_lru_at_capacity() {
+        let registry = ModelRegistry::new();
+        let entry = tiny_entry(&registry);
+        let key = |seed: u64| SampleKey { strategy: SamplingStrategy::Random, n_s: 4, seed };
+        // Fill the cache exactly to capacity.
+        for seed in 0..SAMPLE_CACHE_CAPACITY as u64 {
+            let (_, hit) = entry.samples_for(&key(seed)).unwrap();
+            assert!(!hit, "seed {seed} drawn fresh");
+        }
+        assert_eq!(entry.cached_samples(), SAMPLE_CACHE_CAPACITY);
+        // Touch seed 0 so seed 1 becomes the least recently used …
+        assert!(entry.samples_for(&key(0)).unwrap().1, "seed 0 still cached");
+        // … then overflow: the cache stays bounded and evicts seed 1.
+        let (_, hit) = entry.samples_for(&key(SAMPLE_CACHE_CAPACITY as u64)).unwrap();
+        assert!(!hit);
+        assert_eq!(entry.cached_samples(), SAMPLE_CACHE_CAPACITY, "capacity is a hard bound");
+        assert!(entry.samples_for(&key(0)).unwrap().1, "recently-used seed 0 survived");
+        let (redrawn, hit) = entry.samples_for(&key(1)).unwrap();
+        assert!(!hit, "LRU seed 1 was evicted and must be redrawn");
+        // The redraw is seeded, so eviction never changes what `/eval`
+        // computes — only how fast.
+        let fresh = sample_candidates(
+            SamplingStrategy::Random,
+            entry.model().num_entities(),
+            entry.model().num_relations(),
+            4,
+            None,
+            None,
+            &mut seeded_rng(1),
+        );
+        for r in 0..entry.model().num_relations() as u32 {
+            for side in kg_core::triple::QuerySide::BOTH {
+                assert_eq!(
+                    redrawn.for_query(kg_core::RelationId(r), side),
+                    fresh.for_query(kg_core::RelationId(r), side),
+                    "redraw after eviction must be byte-identical to a fresh draw"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hot_reload_keeps_sample_semantics_but_not_the_cache() {
+        // Hot-reload swaps weights, not graphs: the new entry starts with
+        // an empty sample cache (the cache rides on the entry), but since
+        // the shape and seed fully determine a Random draw, the samples an
+        // `/eval` sees before and after the reload are identical.
+        let registry = ModelRegistry::new();
+        let entry = tiny_entry(&registry);
+        let key = SampleKey { strategy: SamplingStrategy::Random, n_s: 6, seed: 42 };
+        let (before, _) = entry.samples_for(&key).unwrap();
+        assert_eq!(entry.cached_samples(), 1);
+
+        let replacement = build_model(ModelKind::ComplEx, 20, 2, 8, 77);
+        let dir =
+            std::env::temp_dir().join(format!("kg-serve-reload-cache-{}", std::process::id()));
+        let path = dir.join("v2.kgev");
+        kg_models::io::save_model_to_path(replacement.as_ref(), ModelKind::ComplEx, &path).unwrap();
+        let reloaded = registry.reload_snapshot("tiny", &path).unwrap();
+        assert_eq!(reloaded.cached_samples(), 0, "a reloaded entry starts with no samples");
+        let (after, hit) = reloaded.samples_for(&key).unwrap();
+        assert!(!hit, "first post-reload lookup redraws");
+        for r in 0..reloaded.model().num_relations() as u32 {
+            for side in kg_core::triple::QuerySide::BOTH {
+                assert_eq!(
+                    before.for_query(kg_core::RelationId(r), side),
+                    after.for_query(kg_core::RelationId(r), side),
+                    "same shape + seed → same candidates across a reload"
+                );
+            }
+        }
+        // The old entry's cache still serves requests in flight.
+        assert!(entry.samples_for(&key).unwrap().1, "old Arc keeps its cache");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

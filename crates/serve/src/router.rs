@@ -4,7 +4,8 @@
 //!
 //! * `POST /score`        — score `(h, r, t)` triples, coalesced by the batcher;
 //! * `POST /topk`         — top-k tail/head prediction with known-true removal,
-//!   fanned out across the engine's entity shards and merged;
+//!   coalesced by the per-model [`crate::batch::TopKBatcher`] and executed
+//!   as one multi-query pass fanned out across queries × entity shards;
 //! * `POST /eval`         — sampled MRR/Hits@K via the paper's fast estimator;
 //! * `POST /admin/models` — hot-reload a model snapshot, flipping the
 //!   registry entry atomically;
@@ -17,12 +18,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use kg_core::parallel::parallel_map_indexed;
 use kg_core::triple::QuerySide;
 use kg_core::Triple;
 use kg_eval::{evaluate_sampled, TieBreak};
 use kg_recommend::SamplingStrategy;
 
+use crate::batch::TopKQuery;
 use crate::http_metrics::HttpMetrics;
 use crate::json::Json;
 use crate::registry::{ModelEntry, ModelRegistry, SampleKey};
@@ -185,31 +186,31 @@ impl Router {
             Err(r) => return r,
         };
         let engine = entry.engine();
-        let filter = entry.filter();
         let k = k.min(engine.num_entities());
-        let threads = entry.threads();
-        let topk_json = |triple: Triple, side: QuerySide, fanout: usize| {
-            let known = if filtered { filter.known_answers(triple, side) } else { &[] };
-            // Per-shard bounded heaps, merged deterministically; no
-            // entity-count-sized row is allocated per request.
-            let top = engine.top_k_fanout(triple, side, known, k, fanout);
-            Json::obj([
-                ("entities", Json::Arr(top.iter().map(|&(e, _)| Json::Num(e as f64)).collect())),
-                ("scores", Json::Arr(top.iter().map(|&(_, s)| Json::Num(s as f64)).collect())),
-            ])
-        };
-        // Single-query requests fan the shards themselves out across the
-        // worker threads; multi-query requests parallelise over queries and
-        // walk shards serially within each.
-        let results: Vec<Json> = if queries.len() == 1 {
-            let (triple, side) = queries[0];
-            vec![topk_json(triple, side, threads)]
-        } else {
-            parallel_map_indexed(queries.len(), threads, |qi| {
-                let (triple, side) = queries[qi];
-                topk_json(triple, side, 1)
+        // Every request goes through the model's TopKBatcher: concurrent
+        // requests coalesce into one multi-query pass, and the merged
+        // batch is executed under the two-level work plan — queries across
+        // worker threads, spare threads fanning each query's entity shards
+        // out. Per-shard bounded heaps merged deterministically; no
+        // entity-count-sized row is allocated per request.
+        let jobs: Vec<TopKQuery> = queries
+            .into_iter()
+            .map(|(triple, side)| TopKQuery { triple, side, k, filtered })
+            .collect();
+        let results: Vec<Json> = entry
+            .topk_batcher()
+            .submit(jobs)
+            .into_iter()
+            .map(|top| {
+                Json::obj([
+                    (
+                        "entities",
+                        Json::Arr(top.iter().map(|&(e, _)| Json::Num(e as f64)).collect()),
+                    ),
+                    ("scores", Json::Arr(top.iter().map(|&(_, s)| Json::Num(s as f64)).collect())),
+                ])
             })
-        };
+            .collect();
         Response::json(
             200,
             Json::obj([
@@ -655,6 +656,51 @@ mod tests {
         assert_eq!(first.get("sample_cache").and_then(Json::as_str), Some("miss"));
         let second = Json::parse(&router.handle("POST", "/eval", body).body).unwrap();
         assert_eq!(second.get("sample_cache").and_then(Json::as_str), Some("hit"));
+    }
+
+    #[test]
+    fn eval_sample_cache_survives_requests_but_not_hot_reloads() {
+        // The /eval sample cache lives on the registry entry: requests
+        // accumulate hits, a hot-reload flips the entry and starts cold —
+        // but seeded sampling makes the reported metrics bit-identical
+        // before and after (weights unchanged: we reload the same file).
+        let (router, registry) = router();
+        let model = registry.get("m").unwrap();
+        let dir = std::env::temp_dir().join(format!("kg-serve-eval-cache-{}", std::process::id()));
+        let path = dir.join("same.kgev");
+        // Persist the *currently served* weights (same build args + seed
+        // as the fixture) so the reload only exercises the cache
+        // lifecycle, not a model change.
+        let twin = build_model(ModelKind::DistMult, 30, 3, 8, 7);
+        kg_models::io::save_model_to_path(twin.as_ref(), ModelKind::DistMult, &path).unwrap();
+        assert_eq!(
+            twin.score(EntityId(1), kg_core::RelationId(0), EntityId(2)),
+            model.model().score(EntityId(1), kg_core::RelationId(0), EntityId(2)),
+            "twin snapshot must carry the served weights"
+        );
+
+        let body = r#"{"model":"m","triples":[[0,1,2],[4,2,9]],"n_s":6,"seed":3}"#;
+        let first = Json::parse(&router.handle("POST", "/eval", body).body).unwrap();
+        assert_eq!(first.get("sample_cache").and_then(Json::as_str), Some("miss"));
+        let second = Json::parse(&router.handle("POST", "/eval", body).body).unwrap();
+        assert_eq!(second.get("sample_cache").and_then(Json::as_str), Some("hit"));
+
+        let reload = format!(r#"{{"name":"m","path":"{}"}}"#, path.display());
+        assert_eq!(router.handle("POST", "/admin/models", &reload).status, 200);
+        let third = Json::parse(&router.handle("POST", "/eval", body).body).unwrap();
+        assert_eq!(
+            third.get("sample_cache").and_then(Json::as_str),
+            Some("miss"),
+            "the reloaded entry starts with a cold sample cache"
+        );
+        let fourth = Json::parse(&router.handle("POST", "/eval", body).body).unwrap();
+        assert_eq!(fourth.get("sample_cache").and_then(Json::as_str), Some("hit"));
+        // Identical weights + seeded samples → identical metrics through
+        // the whole lifecycle.
+        let mrr = |v: &Json| v.get("metrics").unwrap().get("mrr").and_then(Json::as_f64).unwrap();
+        assert_eq!(mrr(&first).to_bits(), mrr(&third).to_bits());
+        assert_eq!(mrr(&second).to_bits(), mrr(&fourth).to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

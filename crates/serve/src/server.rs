@@ -30,6 +30,16 @@
 //!   Rejections are written off the acceptor thread (bounded by
 //!   [`MAX_INFLIGHT_REJECTS`]) so slow rejected clients cannot stall
 //!   `accept`; past that bound excess connections are dropped unanswered.
+//! * An admitted connection's **idle clock starts at admission**: one that
+//!   sat queued behind busy peers longer than the idle timeout is answered
+//!   `408` and closed at pickup instead of waiting unboundedly, and the
+//!   queue wait is deducted from its first request's idle budget.
+//! * `Expect: 100-continue` is honored: once a request's headers pass the
+//!   framing checks, `100 Continue` is written before the body is read, so
+//!   clients that wait for permission before sending a large `/score` body
+//!   don't stall for their continue-timeout. Requests rejected on headers
+//!   alone (oversize `Content-Length`, …) get the final status instead;
+//!   other `Expect` values are answered `417`.
 //!
 //! Framing failures (malformed request line, duplicate `Content-Length`,
 //! header section over [`MAX_HEADER_BYTES`]/[`MAX_HEADER_COUNT`], oversize
@@ -91,17 +101,17 @@ pub struct ServerConfig {
     /// queued); beyond this the connection gets 503 and is closed.
     ///
     /// An open connection occupies one worker for its whole life, so
-    /// connections past `workers` wait queued — unserved and untimed —
-    /// until a worker's current connection ends (its peer closes, goes
-    /// idle past [`ServerConfig::idle_timeout`], or hits the
-    /// per-connection request cap). Idle peers recycle within
-    /// `idle_timeout`, but *busy* peers can hold a worker for up to
-    /// `max_requests_per_connection` requests, and a queued connection
-    /// waits with zero bytes of response the whole time. Size this
-    /// relative to `workers`: a small multiple absorbs bursts of
-    /// short-lived connections; latency-sensitive deployments that prefer
-    /// a fast 503 over an unbounded queue wait should keep it at or near
-    /// `workers`.
+    /// connections past `workers` wait queued until a worker's current
+    /// connection ends (its peer closes, goes idle past
+    /// [`ServerConfig::idle_timeout`], or hits the per-connection request
+    /// cap). The queue wait is bounded by the idle clock, which starts at
+    /// admission: a connection picked up after more than `idle_timeout`
+    /// in the queue is answered `408` and closed rather than served
+    /// stale. Still, *busy* peers can hold a worker for up to
+    /// `max_requests_per_connection` requests, so size this relative to
+    /// `workers`: a small multiple absorbs bursts of short-lived
+    /// connections; latency-sensitive deployments that prefer a fast 503
+    /// over a queue wait should keep it at or near `workers`.
     pub max_connections: usize,
     /// `Retry-After` seconds advertised on 503 rejections.
     pub retry_after_secs: u64,
@@ -213,7 +223,11 @@ pub fn serve(router: Router, config: &ServerConfig) -> std::io::Result<ServerHan
     let stop = Arc::new(AtomicBool::new(false));
     let metrics = Arc::clone(router.metrics());
     let router = Arc::new(router);
-    let (tx, rx) = mpsc::channel::<(TcpStream, ConnectionPermit)>();
+    // Each admitted connection carries its admission instant: the idle
+    // clock starts when the acceptor queues the connection, not when a
+    // worker finally picks it up, so time spent queued behind busy peers
+    // counts against the idle timeout.
+    let (tx, rx) = mpsc::channel::<(TcpStream, ConnectionPermit, Instant)>();
     let rx = Arc::new(Mutex::new(rx));
     let tuning = ConnTuning {
         read_timeout: config.read_timeout,
@@ -229,7 +243,7 @@ pub fn serve(router: Router, config: &ServerConfig) -> std::io::Result<ServerHan
             let stop = Arc::clone(&stop);
             let tuning = tuning.clone();
             std::thread::spawn(move || loop {
-                let (stream, _permit) = match rx.lock().unwrap().recv() {
+                let (stream, _permit, admitted) = match rx.lock().unwrap().recv() {
                     Ok(s) => s,
                     Err(_) => return, // sender dropped: shutdown
                 };
@@ -238,7 +252,7 @@ pub fn serve(router: Router, config: &ServerConfig) -> std::io::Result<ServerHan
                 // catch_unwind: a panicking handler (poisoned lock, model
                 // bug) must cost one connection, not one pool worker.
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let _ = handle_connection(stream, &router, &metrics, &tuning, &stop);
+                    let _ = handle_connection(stream, &router, &metrics, &tuning, &stop, admitted);
                 }));
                 drop(gauge);
                 // `_permit` drops here, releasing the connection budget.
@@ -260,7 +274,7 @@ pub fn serve(router: Router, config: &ServerConfig) -> std::io::Result<ServerHan
                 let Ok(s) = stream else { continue };
                 match budget.try_acquire() {
                     Some(permit) => {
-                        if tx.send((s, permit)).is_err() {
+                        if tx.send((s, permit, Instant::now())).is_err() {
                             break;
                         }
                     }
@@ -312,16 +326,33 @@ fn reject_connection(mut stream: TcpStream, retry_after_secs: u64) -> std::io::R
     Ok(())
 }
 
-/// Serve every request a connection carries, in arrival order.
+/// Serve every request a connection carries, in arrival order. `admitted`
+/// is when the acceptor queued the connection: its idle clock starts
+/// there, so a connection that sat in the handoff queue behind busy peers
+/// longer than the idle timeout is answered with `408` and closed instead
+/// of waiting unboundedly (and then being served stale to a client that
+/// has likely given up).
 fn handle_connection(
     stream: TcpStream,
     router: &Router,
     metrics: &HttpMetrics,
     tuning: &ConnTuning,
     stop: &AtomicBool,
+    admitted: Instant,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream);
+    let queued = admitted.elapsed();
+    if queued >= tuning.idle_timeout {
+        metrics.observe_request(HTTP_PARSE_ENDPOINT, queued.as_micros() as u64, 408);
+        let resp = Response::error(408, "connection queued longer than the idle timeout");
+        write_response(reader.get_mut(), &resp, ConnDirective::Close, tuning.read_timeout)?;
+        linger_close(reader.get_ref());
+        return Ok(());
+    }
+    // What is left of the idle budget bounds the wait for the first
+    // request; later requests get the full timeout again.
+    let mut idle_budget = tuning.idle_timeout - queued;
     let mut served = 0usize;
     loop {
         // Between requests the generous idle timeout applies; read_request
@@ -329,7 +360,7 @@ fn handle_connection(
         // setsockopt when the next (pipelined) request is already buffered
         // — nothing will wait on the socket with the idle timeout armed.
         if reader.buffer().is_empty() {
-            reader.get_ref().set_read_timeout(Some(tuning.idle_timeout))?;
+            reader.get_ref().set_read_timeout(Some(idle_budget))?;
         }
         let mut started: Option<Instant> = None;
         let request = match read_request(&mut reader, tuning.read_timeout, &mut started) {
@@ -358,6 +389,7 @@ fn handle_connection(
             }
         };
         served += 1;
+        idle_budget = tuning.idle_timeout;
         if served > 1 {
             metrics.connection_reused();
         }
@@ -419,9 +451,9 @@ struct Request {
 enum ParseError {
     Io(std::io::Error),
     /// `(status, message)` — 400 for malformed requests, 408 for requests
-    /// that outlive the in-request deadline, 413 for oversize bodies, 431
-    /// for an oversize header section, 501 for unsupported transfer
-    /// encodings.
+    /// that outlive the in-request deadline, 413 for oversize bodies, 417
+    /// for unsupported expectations, 431 for an oversize header section,
+    /// 501 for unsupported transfer encodings.
     Bad(u16, &'static str),
 }
 
@@ -553,6 +585,7 @@ fn read_request(
     let mut content_length: Option<usize> = None;
     let mut conn_close = false;
     let mut conn_keep_alive = false;
+    let mut expect_continue = false;
     let mut header_count = 0usize;
     loop {
         raw.clear();
@@ -617,12 +650,32 @@ fn read_request(
                         conn_keep_alive = true;
                     }
                 }
+            } else if name.eq_ignore_ascii_case("expect") {
+                // RFC 9110 §10.1.1: 100-continue is the only expectation
+                // defined; anything else is answered 417.
+                if value.trim().eq_ignore_ascii_case("100-continue") {
+                    expect_continue = true;
+                } else {
+                    return Err(ParseError::Bad(417, "unsupported Expect value"));
+                }
             }
         }
     }
     let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(ParseError::Bad(413, "request body too large"));
+    }
+    // The expectation is only honored once the headers passed every
+    // framing check above — a rejected request gets its final status
+    // without an interim 100 (the "reject early" path). HTTP/1.0 peers
+    // never get a 100 (RFC 9110 §10.1.1), and a body-less request has
+    // nothing to continue into. The write shares the request's in-flight
+    // deadline (like every other server write) so a client that stops
+    // draining its socket cannot pin the worker on the interim response.
+    if expect_continue && !http10 && content_length > 0 {
+        let deadline = started.unwrap_or_else(Instant::now) + read_timeout;
+        write_all_deadline(reader.get_mut(), b"HTTP/1.1 100 Continue\r\n\r\n", deadline)?;
+        reader.get_mut().flush()?;
     }
     // Chunked `read` loop instead of `read_exact`, so the in-request
     // deadline also bounds a drip-fed (or stalled) body.
@@ -662,6 +715,7 @@ fn reason_phrase(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        417 => "Expectation Failed",
         422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
         501 => "Not Implemented",
@@ -1030,6 +1084,146 @@ mod tests {
         assert_eq!(responses.len(), 2, "the cap allows exactly two answered requests");
         assert!(responses.iter().all(|(status, _)| *status == 200));
         assert!(conn.server_closed(), "the second response carried Connection: close");
+        server.shutdown();
+    }
+
+    #[test]
+    fn queued_connections_time_out_instead_of_waiting_unboundedly() {
+        let (server, metrics) = running_server_with(&ServerConfig {
+            workers: 1,
+            idle_timeout: Duration::from_millis(250),
+            ..Default::default()
+        });
+        // Occupy the only worker with a kept-alive connection …
+        let mut held = client::Connection::open(server.addr()).unwrap();
+        held.get("/healthz").unwrap();
+        // … and queue a second connection behind it with its request
+        // already on the wire.
+        let mut queued = TcpStream::connect(server.addr()).unwrap();
+        queued.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        // Keep the worker pinned well past the idle timeout (the held
+        // connection never idles out because it keeps sending requests).
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(100));
+            held.get("/healthz").unwrap();
+        }
+        drop(held);
+        // The worker frees and picks the queued connection up — which has
+        // now been waiting ~400 ms, past its 250 ms idle budget: 408, not
+        // a stale 200.
+        queued.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut out = String::new();
+        let _ = queued.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 408"), "got: {out}");
+        assert!(out.contains("queued longer"), "names the queue wait: {out}");
+        assert_eq!(metrics.requests_for(HTTP_PARSE_ENDPOINT), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn briefly_queued_connections_are_served_normally() {
+        let (server, _) = running_server_with(&ServerConfig {
+            workers: 1,
+            idle_timeout: Duration::from_secs(5),
+            ..Default::default()
+        });
+        // Hold the worker briefly, well under the idle timeout.
+        let mut held = client::Connection::open(server.addr()).unwrap();
+        held.get("/healthz").unwrap();
+        let mut queued = TcpStream::connect(server.addr()).unwrap();
+        queued.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        drop(held);
+        let mut out = String::new();
+        queued.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let _ = queued.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 200"), "brief queueing must not 408: {out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn expect_100_continue_gets_an_interim_response_before_the_body() {
+        let server = running_server();
+        let body = r#"{"model":"m","triples":[[0,1,2]]}"#;
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let head = format!(
+            "POST /score HTTP/1.1\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nExpect: 100-continue\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        s.write_all(head.as_bytes()).unwrap();
+        // The interim response must arrive although no body byte was sent
+        // (pre-fix the server sat waiting for the body instead).
+        let mut interim = Vec::new();
+        let mut byte = [0u8; 1];
+        while !interim.ends_with(b"\r\n\r\n") {
+            s.read_exact(&mut byte).expect("100 Continue must arrive before the body is sent");
+            interim.extend_from_slice(&byte);
+            assert!(interim.len() < 256, "interim response unreasonably large");
+        }
+        let interim = String::from_utf8(interim).unwrap();
+        assert!(interim.starts_with("HTTP/1.1 100 Continue\r\n"), "got: {interim}");
+        // Now ship the body and read the final response.
+        s.write_all(body.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200"), "got: {out}");
+        assert!(out.contains("\"scores\""), "got: {out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn expect_100_continue_is_rejected_early_with_the_final_status() {
+        let server = running_server();
+        // Oversize announcement: the server must answer 413 immediately,
+        // never 100 — the client keeps its megabytes.
+        let head = format!(
+            "POST /score HTTP/1.1\r\nContent-Length: {}\r\nExpect: 100-continue\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let out = raw_roundtrip(server.addr(), head.as_bytes());
+        assert!(out.starts_with("HTTP/1.1 413"), "got: {out}");
+        assert!(!out.contains("100 Continue"), "no interim response on rejection: {out}");
+        // Unknown expectations are answered 417.
+        let out = raw_roundtrip(
+            server.addr(),
+            b"POST /score HTTP/1.1\r\nExpect: x-make-it-fast\r\nContent-Length: 2\r\n\r\n{}",
+        );
+        assert!(out.starts_with("HTTP/1.1 417"), "got: {out}");
+        assert!(out.contains("Expectation Failed"), "reason phrase: {out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_expect_continue_handshake_matches_plain_post() {
+        let server = running_server();
+        let body = r#"{"model":"m","triples":[[0,1,2],[3,0,4]]}"#;
+        let (plain_status, plain_body) = client::post_json(server.addr(), "/score", body).unwrap();
+        let mut conn = client::Connection::open(server.addr()).unwrap();
+        let (status, got) = conn.post_json_expect_continue("/score", body).unwrap();
+        assert_eq!((status, &got), (plain_status, &plain_body), "handshake changed the response");
+        // The connection stays usable for further requests afterwards.
+        let (status, _) = conn.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        // An empty body (no 100 will come) degrades to a plain request
+        // without spending the connection.
+        let (status, _) = conn.post_json_expect_continue("/score", "").unwrap();
+        assert_eq!(status, 400, "empty body is a routing 400, not a handshake failure");
+        assert!(!conn.server_closed(), "an empty-body handshake must not spend the socket");
+        // A post-100 routing failure still round-trips normally.
+        let (status, rejected) =
+            conn.post_json_expect_continue("/score", "not json at all").unwrap();
+        assert_eq!(status, 400, "{rejected}");
+        drop(conn);
+        // Early rejection path: the headers alone draw the final status,
+        // the interim 100 never comes, and the huge body is never sent.
+        let mut conn = client::Connection::open(server.addr()).unwrap();
+        let huge = "x".repeat(MAX_BODY_BYTES + 1);
+        let (status, rejected) = conn.post_json_expect_continue("/score", &huge).unwrap();
+        assert_eq!(status, 413, "{rejected}");
+        assert!(conn.server_closed(), "an announced-but-unsent body spends the connection");
+        drop(conn);
         server.shutdown();
     }
 

@@ -254,6 +254,100 @@ fn concurrent_clients_exercise_the_batcher_and_stay_correct() {
 }
 
 #[test]
+fn concurrent_topk_clients_coalesce_and_stay_correct() {
+    let fx = Fixture::start();
+    let addr = fx.server.addr();
+    const CLIENTS: usize = 10;
+
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let q = fx.test[c % fx.test.len()];
+        let body = if c % 2 == 0 {
+            format!(
+                "{{\"model\":\"m\",\"queries\":[{{\"head\":{},\"relation\":{}}}],\"k\":{}}}",
+                q.head.0,
+                q.relation.0,
+                3 + c
+            )
+        } else {
+            format!(
+                "{{\"model\":\"m\",\"queries\":[{{\"relation\":{},\"tail\":{}}}],\"k\":{}}}",
+                q.relation.0,
+                q.tail.0,
+                3 + c
+            )
+        };
+        handles.push(std::thread::spawn(move || {
+            let (status, response) = client::post_json(addr, "/topk", &body).unwrap();
+            (c, q, status, response)
+        }));
+    }
+    use kgeval::core::triple::QuerySide;
+    for h in handles {
+        let (c, q, status, response) = h.join().unwrap();
+        assert_eq!(status, 200, "{response}");
+        let side = if c % 2 == 0 { QuerySide::Tail } else { QuerySide::Head };
+        let parsed = Json::parse(&response).unwrap();
+        let result = &parsed.get("results").and_then(Json::as_array).unwrap()[0];
+        let entities: Vec<usize> = result
+            .get("entities")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_usize)
+            .collect();
+        assert_eq!(entities.len(), 3 + c);
+        // Recompute the expectation with a direct full scoring pass.
+        let mut all = vec![0.0f32; fx.model.num_entities()];
+        fx.model.score_all(q, side, &mut all);
+        let known = fx.filter.known_answers(q, side);
+        let mut ranked: Vec<(usize, f32)> = all
+            .iter()
+            .enumerate()
+            .filter(|(e, _)| known.binary_search(&kgeval::core::EntityId(*e as u32)).is_err())
+            .map(|(e, &s)| (e, s))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        let expected: Vec<usize> = ranked.iter().take(3 + c).map(|&(e, _)| e).collect();
+        assert_eq!(entities, expected, "client {c}: coalesced top-k diverged from a direct pass");
+    }
+
+    // Every request went through the TopKBatcher, in (far) fewer passes
+    // than requests when any coalescing happened — and the gauge renders.
+    let (_, prom) = client::get(addr, "/metrics").unwrap();
+    let metric = |name: &str| -> u64 {
+        prom.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{name} missing from:\n{prom}"))
+    };
+    assert_eq!(metric("kg_serve_topk_batch_jobs_total"), CLIENTS as u64);
+    assert_eq!(metric("kg_serve_topk_batch_queries_total"), CLIENTS as u64);
+    assert!(metric("kg_serve_topk_batches_total") <= CLIENTS as u64);
+    assert!(
+        prom.contains("kg_serve_topk_batch_window_us{model=\"m\"}"),
+        "the /topk window gauge must render: {prom}"
+    );
+    fx.server.shutdown();
+}
+
+#[test]
+fn expect_continue_roundtrip_over_the_wire_matches_plain_post() {
+    let fx = Fixture::start();
+    let addr = fx.server.addr();
+    let triples: Vec<Triple> = fx.test.iter().take(8).copied().collect();
+    let body = format!("{{\"model\":\"m\",\"triples\":[{}]}}", fx.triples_json(&triples));
+    let (plain_status, plain_body) = client::post_json(addr, "/score", &body).unwrap();
+    let mut conn = client::Connection::open(addr).unwrap();
+    let (status, got) = conn.post_json_expect_continue("/score", &body).unwrap();
+    assert_eq!(status, plain_status);
+    assert_eq!(got, plain_body, "the 100-continue handshake must not change the bytes served");
+    drop(conn);
+    fx.server.shutdown();
+}
+
+#[test]
 fn topk_responses_identical_for_every_shard_config() {
     // The same model served under different engine shard counts must send
     // byte-identical /topk result payloads over the wire.
