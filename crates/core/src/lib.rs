@@ -16,6 +16,7 @@ pub mod graph;
 pub mod ids;
 pub mod index;
 pub mod parallel;
+pub mod partial;
 pub mod sample;
 pub mod sparse;
 pub mod stats;

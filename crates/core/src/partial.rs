@@ -1,0 +1,294 @@
+//! Partial ranking results over an explicit entity range — the unit of
+//! work the multi-node scatter/gather path ships between machines.
+//!
+//! A full-ranking pass decomposes into per-range pieces whose combination
+//! is **associative and commutative** with an **identity element**:
+//!
+//! * [`PartialTopK`] — the best `k` `(entity, score)` entries seen inside a
+//!   range. Merging unions the entries and re-selects under the total
+//!   order of [`cmp_entry`], so any partition of the entity space, merged
+//!   in any order, reproduces the unpartitioned top-k bit for bit.
+//! * [`PartialRankCounts`] — the `(higher, ties)` competitor counters of
+//!   one filtered-rank query restricted to a range. Merging is counter
+//!   addition.
+//!
+//! Both implement the common [`Partial`] trait (merge + identity) and a
+//! wire codec ([`PartialTopK::encode`] / [`PartialTopK::decode`], likewise
+//! for counts) so a shard server can return partials over HTTP and a
+//! gateway can recombine them with *this* code — the same code the
+//! in-process shard fan-out uses — keeping the distributed path
+//! bit-identical to the single-node one rather than merely close.
+//!
+//! Scores travel as IEEE-754 **bit patterns** (hex `u32`), never as
+//! decimal text, so the codec is exact for every value including NaN,
+//! infinities, and signed zeros.
+
+use crate::error::KgError;
+use crate::topk::cmp_entry;
+
+/// An associatively mergeable piece of a ranking computation.
+///
+/// Laws (checked by the partition/permutation proptests in
+/// `crates/eval/tests/partial_parity.rs`):
+///
+/// * **identity**: `a.merge(a.identity()) == a` and
+///   `a.identity().merge(a) == a`;
+/// * **associativity + commutativity**: folding any permutation of any
+///   partition's partials yields the same value.
+pub trait Partial: Sized {
+    /// Fold `other` into `self`.
+    fn merge(&mut self, other: Self);
+
+    /// The identity element compatible with `self` (merging it is a
+    /// no-op). Taken from `&self` because some partials carry parameters —
+    /// a [`PartialTopK`] identity must share its `k`.
+    fn identity(&self) -> Self;
+}
+
+/// The top-`k` `(entity, score)` entries of one query over some entity
+/// range: best first, ties toward the lower entity id, at most `k` held.
+/// (`Default` is the degenerate `k = 0` partial, for collection scaffolding.)
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct PartialTopK {
+    k: usize,
+    /// Sorted best-first under [`cmp_entry`]; `len() <= k`.
+    entries: Vec<(u32, f32)>,
+}
+
+impl PartialTopK {
+    /// The empty partial (an identity element) for result size `k`.
+    pub fn empty(k: usize) -> Self {
+        PartialTopK { k, entries: Vec::new() }
+    }
+
+    /// Partial from candidate entries in any order; they are sorted under
+    /// [`cmp_entry`] and truncated to the best `k`.
+    pub fn from_entries(k: usize, mut entries: Vec<(u32, f32)>) -> Self {
+        entries.sort_by(|&a, &b| cmp_entry(a, b));
+        entries.truncate(k);
+        PartialTopK { k, entries }
+    }
+
+    /// The result size this partial selects for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The held entries, best first.
+    pub fn entries(&self) -> &[(u32, f32)] {
+        &self.entries
+    }
+
+    /// Consume into the held entries, best first — the final top-k once
+    /// every range's partial has been merged.
+    pub fn into_entries(self) -> Vec<(u32, f32)> {
+        self.entries
+    }
+
+    /// Exact wire form: `k|entity:score_bits,…` with score bits in hex
+    /// (e.g. `3|7:3f800000,2:40490fdb`).
+    pub fn encode(&self) -> String {
+        let mut out = format!("{}|", self.k);
+        for (i, &(e, s)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{e}:{:08x}", s.to_bits()));
+        }
+        out
+    }
+
+    /// Decode the [`PartialTopK::encode`] form.
+    pub fn decode(wire: &str) -> crate::Result<Self> {
+        let bad = |what: &str| KgError::InvalidInput(format!("PartialTopK wire: {what}: {wire:?}"));
+        let (k, rest) = wire.split_once('|').ok_or_else(|| bad("missing 'k|' prefix"))?;
+        let k: usize = k.parse().map_err(|_| bad("k is not an integer"))?;
+        let mut entries = Vec::new();
+        if !rest.is_empty() {
+            for item in rest.split(',') {
+                let (e, bits) = item.split_once(':').ok_or_else(|| bad("entry missing ':'"))?;
+                let e: u32 = e.parse().map_err(|_| bad("entity is not a u32"))?;
+                let bits =
+                    u32::from_str_radix(bits, 16).map_err(|_| bad("score bits are not hex"))?;
+                entries.push((e, f32::from_bits(bits)));
+            }
+        }
+        if entries.len() > k {
+            return Err(bad("more entries than k"));
+        }
+        // Entries must arrive in merge-ready (sorted) order; re-sorting
+        // silently would mask a corrupted producer.
+        if entries.windows(2).any(|w| cmp_entry(w[0], w[1]) == std::cmp::Ordering::Greater) {
+            return Err(bad("entries are not sorted best-first"));
+        }
+        Ok(PartialTopK { k, entries })
+    }
+}
+
+impl Partial for PartialTopK {
+    /// Union the entries and re-select the best `k` — exactly the
+    /// deterministic per-shard merge the scoring engine uses, so merging
+    /// never depends on which range produced which entry.
+    fn merge(&mut self, other: Self) {
+        debug_assert_eq!(self.k, other.k, "merging partials with different k");
+        if other.entries.is_empty() {
+            return;
+        }
+        self.entries.extend(other.entries);
+        self.entries.sort_by(|&a, &b| cmp_entry(a, b));
+        self.entries.truncate(self.k);
+    }
+
+    fn identity(&self) -> Self {
+        PartialTopK::empty(self.k)
+    }
+}
+
+/// The `(higher, ties)` competitor counters of one filtered-rank query,
+/// restricted to some entity range.
+///
+/// `higher` counts competitors scoring strictly above the true answer,
+/// `ties` those scoring exactly equal (the answer itself and known-true
+/// answers excluded) — the two numbers every tie-break policy resolves a
+/// rank from. Counter addition is the merge, zero the identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct PartialRankCounts {
+    /// Competitors strictly above the answer in this range.
+    pub higher: u64,
+    /// Competitors tied with the answer in this range.
+    pub ties: u64,
+}
+
+impl PartialRankCounts {
+    /// The zero counters (the identity element).
+    pub const ZERO: PartialRankCounts = PartialRankCounts { higher: 0, ties: 0 };
+
+    /// Counters with the given values.
+    pub fn new(higher: u64, ties: u64) -> Self {
+        PartialRankCounts { higher, ties }
+    }
+
+    /// Exact wire form: `higher,ties` (e.g. `17,2`).
+    pub fn encode(&self) -> String {
+        format!("{},{}", self.higher, self.ties)
+    }
+
+    /// Decode the [`PartialRankCounts::encode`] form.
+    pub fn decode(wire: &str) -> crate::Result<Self> {
+        let bad =
+            |what: &str| KgError::InvalidInput(format!("PartialRankCounts wire: {what}: {wire:?}"));
+        let (h, t) = wire.split_once(',').ok_or_else(|| bad("missing ','"))?;
+        Ok(PartialRankCounts {
+            higher: h.parse().map_err(|_| bad("higher is not a u64"))?,
+            ties: t.parse().map_err(|_| bad("ties is not a u64"))?,
+        })
+    }
+}
+
+impl Partial for PartialRankCounts {
+    fn merge(&mut self, other: Self) {
+        self.higher += other.higher;
+        self.ties += other.ties;
+    }
+
+    fn identity(&self) -> Self {
+        PartialRankCounts::ZERO
+    }
+}
+
+/// Fold an iterator of partials into one, starting from `first`.
+pub fn merge_all<P: Partial>(first: P, rest: impl IntoIterator<Item = P>) -> P {
+    let mut acc = first;
+    for p in rest {
+        acc.merge(p);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_merge_matches_global_selection() {
+        let all = [(0u32, 0.5f32), (1, 0.9), (2, 0.9), (3, 0.1), (4, 0.7), (5, 0.9)];
+        let want = PartialTopK::from_entries(3, all.to_vec());
+        // Any split point must merge back to the global selection.
+        for cut in 0..=all.len() {
+            let mut left = PartialTopK::from_entries(3, all[..cut].to_vec());
+            let right = PartialTopK::from_entries(3, all[cut..].to_vec());
+            left.merge(right);
+            assert_eq!(left, want, "cut at {cut}");
+        }
+        assert_eq!(want.entries(), &[(1, 0.9), (2, 0.9), (5, 0.9)]);
+    }
+
+    #[test]
+    fn topk_identity_is_neutral_both_ways() {
+        let p = PartialTopK::from_entries(2, vec![(3, 1.0), (1, 2.0)]);
+        let mut a = p.clone();
+        a.merge(p.identity());
+        assert_eq!(a, p);
+        let mut b = p.identity();
+        b.merge(p.clone());
+        assert_eq!(b, p);
+    }
+
+    #[test]
+    fn topk_wire_roundtrip_is_exact_for_degenerate_floats() {
+        let p = PartialTopK::from_entries(
+            5,
+            vec![(7, f32::INFINITY), (1, -0.0), (2, 1.5e-42), (9, f32::NAN)],
+        );
+        let decoded = PartialTopK::decode(&p.encode()).unwrap();
+        assert_eq!(decoded.k(), p.k());
+        assert_eq!(decoded.entries().len(), p.entries().len());
+        for (a, b) in decoded.entries().iter().zip(p.entries()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "bit-exact roundtrip");
+        }
+        // Empty partial roundtrips too.
+        let empty = PartialTopK::empty(4);
+        assert_eq!(PartialTopK::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn topk_decode_rejects_malformed_wire() {
+        for bad in [
+            "",
+            "3",
+            "x|1:00000000",
+            "3|1-00000000",
+            "3|1:zz",
+            "3|9999999999:00000000",
+            "1|1:0,2:0",
+        ] {
+            assert!(PartialTopK::decode(bad).is_err(), "{bad:?} must not decode");
+        }
+        // Unsorted entries are corruption, not a formatting nicety.
+        assert!(PartialTopK::decode("3|1:3f800000,2:40000000").is_err(), "ascending scores");
+    }
+
+    #[test]
+    fn rank_counts_merge_and_wire() {
+        let mut a = PartialRankCounts::new(3, 1);
+        a.merge(PartialRankCounts::new(4, 0));
+        a.merge(a.identity());
+        assert_eq!(a, PartialRankCounts::new(7, 1));
+        assert_eq!(PartialRankCounts::decode(&a.encode()).unwrap(), a);
+        for bad in ["", "3", "3,", ",1", "a,b", "1,2,3"] {
+            assert!(PartialRankCounts::decode(bad).is_err(), "{bad:?} must not decode");
+        }
+    }
+
+    #[test]
+    fn merge_all_folds_in_order() {
+        let parts = vec![
+            PartialRankCounts::new(1, 0),
+            PartialRankCounts::new(2, 2),
+            PartialRankCounts::ZERO,
+        ];
+        let total = merge_all(PartialRankCounts::ZERO, parts);
+        assert_eq!(total, PartialRankCounts::new(3, 2));
+    }
+}

@@ -124,11 +124,18 @@ impl TopKHeap {
 /// Because [`cmp_entry`] is a total order and entity ids are unique, the
 /// global top-k set is unique — merging per-shard winners is bit-for-bit
 /// identical to selecting over the concatenated row, for any shard count.
+///
+/// The merge itself lives on [`crate::partial::PartialTopK`] (the
+/// serializable partial-result type the multi-node gateway recombines);
+/// this function is the Vec-shaped convenience wrapper over it, so
+/// in-process and cross-node merging share one implementation.
 pub fn merge_topk(shard_tops: Vec<Vec<(u32, f32)>>, k: usize) -> Vec<(u32, f32)> {
-    let mut all: Vec<(u32, f32)> = shard_tops.into_iter().flatten().collect();
-    all.sort_by(|&a, &b| cmp_entry(a, b));
-    all.truncate(k);
-    all
+    use crate::partial::{merge_all, PartialTopK};
+    merge_all(
+        PartialTopK::empty(k),
+        shard_tops.into_iter().map(|t| PartialTopK::from_entries(k, t)),
+    )
+    .into_entries()
 }
 
 #[cfg(test)]

@@ -1,0 +1,191 @@
+//! Partial-result property tests: for **every** model family, partials
+//! computed over an *arbitrary partition* of the entity range and merged
+//! in an *arbitrary permutation order* must be bit-for-bit identical to
+//! the unpartitioned result — the associativity + commutativity +
+//! identity laws the multi-node gateway's correctness rests on. Every
+//! partial additionally makes a round trip through its wire codec before
+//! merging, so the on-the-wire representation is proven exact, not just
+//! the in-memory one.
+
+use std::sync::Arc;
+
+use kg_core::partial::{Partial, PartialRankCounts, PartialTopK};
+use kg_core::topk::cmp_entry;
+use kg_core::{EntityId, FilterIndex, Triple};
+use kg_eval::ranker::{filtered_rank_from_scores, queries_of};
+use kg_eval::TieBreak;
+use kg_models::engine::ScoringEngine;
+use kg_models::{build_model, KgcModel, ModelKind};
+use proptest::prelude::*;
+
+const N: usize = 23;
+const NR: usize = 3;
+
+fn model_strategy() -> impl Strategy<Value = (ModelKind, u64)> {
+    let kinds = prop_oneof![
+        Just(ModelKind::TransE),
+        Just(ModelKind::DistMult),
+        Just(ModelKind::ComplEx),
+        Just(ModelKind::Rescal),
+        Just(ModelKind::RotatE),
+        Just(ModelKind::TuckEr),
+        Just(ModelKind::ConvE),
+    ];
+    (kinds, 0u64..1000)
+}
+
+fn build(kind: ModelKind, seed: u64) -> Arc<dyn KgcModel> {
+    let dim = match kind {
+        ModelKind::ConvE => 16,
+        ModelKind::Rescal | ModelKind::TuckEr => 8,
+        _ => 12,
+    };
+    Arc::from(build_model(kind, N, NR, dim, seed) as Box<dyn KgcModel>)
+}
+
+/// Turn arbitrary cut points into a partition of `0..N`: sorted, deduped
+/// interior cuts delimiting contiguous pieces (empty pieces permitted —
+/// they must behave as identities).
+fn partition_from(cuts: &[usize]) -> Vec<std::ops::Range<usize>> {
+    let mut cuts: Vec<usize> = cuts.iter().map(|&c| c % (N + 1)).collect();
+    cuts.push(0);
+    cuts.push(N);
+    cuts.sort_unstable();
+    cuts.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+/// A deterministic permutation of `0..len` from one seed (tiny LCG-driven
+/// Fisher–Yates) — "merge in any order" without needing an RNG type.
+fn permutation(len: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    for i in (1..len).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Rank-counter partials over any partition, wire-roundtripped and
+    /// merged in any order (identity elements interleaved), equal the
+    /// unpartitioned counters — and the resulting rank equals the
+    /// full-row reference kernel.
+    #[test]
+    fn rank_count_partials_survive_any_partition_and_permutation(
+        (kind, seed) in model_strategy(),
+        raw in proptest::collection::vec((0u32..1000, 0u32..1000, 0u32..1000), 1..4),
+        cuts in proptest::collection::vec(0usize..=N, 0..6),
+        perm_seed in 0u64..1_000_000,
+        threads in 1usize..4,
+    ) {
+        let model = build(kind, seed);
+        let triples: Vec<Triple> = raw
+            .iter()
+            .map(|&(h, r, t)| Triple::new(h % N as u32, r % NR as u32, t % N as u32))
+            .collect();
+        let filter = FilterIndex::from_slices(&[&triples]);
+        let engine = ScoringEngine::new(Arc::clone(&model), 4);
+        let pieces = partition_from(&cuts);
+        let mut row = vec![0.0f32; N];
+        for (triple, side) in queries_of(&triples) {
+            let known = filter.known_answers(triple, side);
+            let full = engine.partial_rank_counts(triple, side, known, 0..N, 1);
+            // Partials per piece, each round-tripped through the wire.
+            let mut parts: Vec<PartialRankCounts> = pieces
+                .iter()
+                .map(|r| {
+                    let p = engine.partial_rank_counts(triple, side, known, r.clone(), threads);
+                    PartialRankCounts::decode(&p.encode()).expect("wire roundtrip")
+                })
+                .collect();
+            // Merge in a permuted order, seeding the fold with the
+            // identity and sprinkling one more identity into the middle.
+            let order = permutation(parts.len(), perm_seed);
+            let mut acc = full.identity();
+            for (step, &i) in order.iter().enumerate() {
+                if step == order.len() / 2 {
+                    acc.merge(acc.identity());
+                }
+                acc.merge(std::mem::take(&mut parts[i]));
+            }
+            prop_assert_eq!(
+                acc, full,
+                "{} {:?}: partition {:?} permuted by {} diverged",
+                model.name(), side, pieces, perm_seed
+            );
+            // And the merged counters resolve to the reference rank.
+            model.score_all(triple, side, &mut row);
+            let want = filtered_rank_from_scores(
+                &row, side.answer(triple).index(), known, TieBreak::Mean,
+            );
+            prop_assert_eq!(
+                TieBreak::Mean.rank(acc.higher as usize, acc.ties as usize),
+                want
+            );
+        }
+    }
+
+    /// Top-k partials over any partition, wire-roundtripped and merged in
+    /// any order, equal the unpartitioned top-k — which itself equals the
+    /// full-sort reference.
+    #[test]
+    fn topk_partials_survive_any_partition_and_permutation(
+        (kind, seed) in model_strategy(),
+        raw in proptest::collection::vec((0u32..1000, 0u32..1000, 0u32..1000), 1..3),
+        cuts in proptest::collection::vec(0usize..=N, 0..6),
+        perm_seed in 0u64..1_000_000,
+        k in 0usize..=N,
+        threads in 1usize..4,
+    ) {
+        let model = build(kind, seed);
+        let triples: Vec<Triple> = raw
+            .iter()
+            .map(|&(h, r, t)| Triple::new(h % N as u32, r % NR as u32, t % N as u32))
+            .collect();
+        let filter = FilterIndex::from_slices(&[&triples]);
+        let engine = ScoringEngine::new(Arc::clone(&model), 4);
+        let pieces = partition_from(&cuts);
+        let mut row = vec![0.0f32; N];
+        for (triple, side) in queries_of(&triples).into_iter().take(3) {
+            let known = filter.known_answers(triple, side);
+            let full = engine.partial_top_k(triple, side, known, k, 0..N, 1);
+            let mut parts: Vec<PartialTopK> = pieces
+                .iter()
+                .map(|r| {
+                    let p = engine.partial_top_k(triple, side, known, k, r.clone(), threads);
+                    PartialTopK::decode(&p.encode()).expect("wire roundtrip")
+                })
+                .collect();
+            let order = permutation(parts.len(), perm_seed);
+            let mut acc = full.identity();
+            for (step, &i) in order.iter().enumerate() {
+                if step == order.len() / 2 {
+                    acc.merge(acc.identity());
+                }
+                acc.merge(std::mem::replace(&mut parts[i], PartialTopK::empty(k)));
+            }
+            // Bit-for-bit: entity ids and score bits.
+            let (got, want) = (acc.entries(), full.entries());
+            prop_assert_eq!(got.len(), want.len());
+            for (a, b) in got.iter().zip(want) {
+                prop_assert_eq!(a.0, b.0, "{}: entity order diverged", model.name());
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits(), "{}: score bits diverged", model.name());
+            }
+            // The unpartitioned partial equals the full-sort reference.
+            model.score_all(triple, side, &mut row);
+            let mut reference: Vec<(u32, f32)> = row
+                .iter()
+                .enumerate()
+                .filter(|(e, _)| known.binary_search(&EntityId(*e as u32)).is_err())
+                .map(|(e, &s)| (e as u32, s))
+                .collect();
+            reference.sort_by(|&a, &b| cmp_entry(a, b));
+            reference.truncate(k);
+            prop_assert_eq!(want, &reference[..], "{}: full partial != reference", model.name());
+        }
+    }
+}

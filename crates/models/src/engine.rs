@@ -2,25 +2,40 @@
 //!
 //! Every consumer that used to allocate a `num_entities()`-sized score row
 //! and call [`KgcModel::score_tails`] / `score_heads` directly (the full
-//! ranker, the `/topk` endpoint, benches) now goes through this module. The
-//! engine partitions the entity space into `S` contiguous shards
-//! ([`ShardPlan`]) and streams per-shard score slices through a reusable
-//! scratch buffer:
+//! ranker, the `/topk` endpoint, benches) now goes through this module,
+//! and every path through it bottoms out in the **partial-result API**:
 //!
-//! * **filtered ranks** are computed incrementally — `higher`/`ties`
-//!   counters accumulate shard by shard, so the full `|E|` row never
-//!   materialises;
-//! * **top-k** builds one bounded heap per shard and merges them with the
-//!   deterministic order of [`kg_core::topk`];
-//! * models whose scorers reduce to *query vector × table slice*
-//!   ([`KgcModel::supports_range_scoring`]) score each shard straight off
-//!   its slice of the embedding table (cache-resident inner loops); other
-//!   models fall back to one full-row pass per query, sliced logically.
+//! * [`partial_rank_counts_with`] / [`partial_top_k_with`] compute one
+//!   query's [`PartialRankCounts`] / [`PartialTopK`] over an **explicit
+//!   entity range** — the primitive a shard server evaluates for its
+//!   configured range and ships over the wire;
+//! * [`partial_rank_counts_fanout`] / [`partial_top_k_fanout`] split a
+//!   range across worker threads and merge the per-range partials with
+//!   [`kg_core::partial`] — the in-process latency path;
+//! * the classic entry points ([`ScoringEngine::rank_counts`],
+//!   [`ScoringEngine::top_k`], their `_fanout` variants and the free
+//!   `*_with` functions) are thin wrappers passing the full `0..|E|`
+//!   range, so in-process fan-out and remote shard endpoints share
+//!   **exactly one ranking code path** and one merge implementation.
 //!
-//! **Parity invariant:** because per-row arithmetic is independent of the
-//! partition and all comparisons use the total order of
-//! [`kg_core::topk::cmp_score`], results are bit-for-bit identical for
-//! every shard count `S`, including `S = 1` (the unsharded path).
+//! Models whose scorers reduce to *query vector × table slice*
+//! ([`KgcModel::supports_range_scoring`]) score each range straight off
+//! its slice of the embedding table in scratch-sized chunks
+//! (cache-resident inner loops); other models score one full row per
+//! partial call — the pass that cannot be split — and restrict counting /
+//! heap building to the requested range (the fan-out variants score the
+//! row once and fan only the counting).
+//!
+//! **Parity invariant:** per-row arithmetic is independent of the
+//! partition, all comparisons use the total order of
+//! [`kg_core::topk::cmp_score`], counter addition is associative, and the
+//! top-k merge re-selects under a total order — so results are
+//! bit-for-bit identical for every range partition, chunking, shard
+//! count, and thread count, including the degenerate single-range serial
+//! pass. The reference score `s_true` is likewise partition-independent:
+//! it is computed through the same range scorer (a one-entity range) on
+//! every node, so a shard that does not own the answer still counts
+//! against the identical bits.
 //!
 //! **NaN ordering** (explicit, see [`cmp_score`]): a NaN score is *worse
 //! than every real score*. A NaN competitor therefore never counts as
@@ -32,7 +47,8 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use kg_core::parallel::{parallel_map_indexed, BufferPool, ShardPlan};
-use kg_core::topk::{cmp_score, merge_topk, TopKHeap};
+use kg_core::partial::{Partial, PartialRankCounts, PartialTopK};
+use kg_core::topk::{cmp_score, TopKHeap};
 use kg_core::triple::QuerySide;
 use kg_core::{EntityId, Triple};
 
@@ -49,19 +65,19 @@ pub fn scratch_len(model: &dyn KgcModel, plan: &ShardPlan) -> usize {
     }
 }
 
-/// Count strictly-higher and tied competitors in one scored shard.
+/// Count strictly-higher and tied competitors in one scored range.
 ///
 /// `scores` is the slice for entities `base..base + scores.len()`; `known`
 /// (ascending) are filtered out, and the answer never competes with itself.
-fn count_shard(
+fn count_scored_range(
     scores: &[f32],
     base: usize,
     answer: usize,
     s_true: f32,
     known: &[EntityId],
-) -> (usize, usize) {
-    let mut higher = 0usize;
-    let mut ties = 0usize;
+) -> PartialRankCounts {
+    let mut higher = 0u64;
+    let mut ties = 0u64;
     for (off, &s) in scores.iter().enumerate() {
         match cmp_score(s, s_true) {
             Ordering::Greater => higher += 1,
@@ -74,7 +90,7 @@ fn count_shard(
         }
     }
     // Remove known-true competitors (the *filtered* protocol). `known` is
-    // sorted, so only its sub-range inside this shard is visited.
+    // sorted, so only its sub-range inside this range is visited.
     let end = base + scores.len();
     let first = known.partition_point(|k| k.index() < base);
     for k in &known[first..] {
@@ -91,12 +107,12 @@ fn count_shard(
             Ordering::Less => {}
         }
     }
-    (higher, ties)
+    PartialRankCounts { higher, ties }
 }
 
-/// Per-shard bounded top-k, excluding `known` (ascending) entities.
-fn topk_shard(scores: &[f32], base: usize, known: &[EntityId], k: usize) -> Vec<(u32, f32)> {
-    let mut heap = TopKHeap::new(k);
+/// Push one scored range into a bounded heap, excluding `known`
+/// (ascending) entities.
+fn heap_scored_range(heap: &mut TopKHeap, scores: &[f32], base: usize, known: &[EntityId]) {
     let mut next_known = known.partition_point(|e| e.index() < base);
     for (off, &s) in scores.iter().enumerate() {
         let e = base + off;
@@ -106,16 +122,230 @@ fn topk_shard(scores: &[f32], base: usize, known: &[EntityId], k: usize) -> Vec<
         }
         heap.push(e as u32, s);
     }
-    heap.into_sorted()
 }
 
-/// Streamed filtered-rank counters for one query: `(higher, ties)` over all
-/// entities except `known`, under the NaN ordering documented at the module
-/// level. `scratch.len()` must be at least [`scratch_len`].
+/// The query's reference score — the true answer's own score, computed
+/// through the same scorer family every range pass uses (a one-entity
+/// range for range-scoring models), so every node and every partition
+/// derives the identical bits.
+fn answer_score(model: &dyn KgcModel, scratch: &mut [f32], triple: Triple, side: QuerySide) -> f32 {
+    let answer = side.answer(triple).index();
+    if model.supports_range_scoring() {
+        let buf = &mut scratch[..1];
+        model.score_range(triple, side, answer..answer + 1, buf);
+        buf[0]
+    } else {
+        let buf = &mut scratch[..model.num_entities()];
+        model.score_all(triple, side, buf);
+        buf[answer]
+    }
+}
+
+/// Walk `range` in scratch-sized chunks, scoring each with the model's
+/// range kernel and folding `f` over the scored slices.
+fn for_scored_chunks(
+    model: &dyn KgcModel,
+    scratch: &mut [f32],
+    triple: Triple,
+    side: QuerySide,
+    range: Range<usize>,
+    mut f: impl FnMut(&[f32], usize),
+) {
+    debug_assert!(!scratch.is_empty());
+    let chunk = scratch.len();
+    let mut start = range.start;
+    while start < range.end {
+        let end = (start + chunk).min(range.end);
+        let buf = &mut scratch[..end - start];
+        model.score_range(triple, side, start..end, buf);
+        f(buf, start);
+        start = end;
+    }
+}
+
+/// One query's filtered-rank counters restricted to `range`: the
+/// serializable partial a shard server evaluates for its configured range
+/// (see [`kg_core::partial::PartialRankCounts`]). Merging the partials of
+/// any partition of `0..num_entities()` reproduces the unpartitioned
+/// counters bit for bit.
 ///
-/// The answer's own score is read out of its shard's slice (not via
-/// [`KgcModel::score`]), so reciprocal-relation head scorers rank against
-/// the same function they score with.
+/// `scratch` must hold [`scratch_len`] floats for the engine's plan (a
+/// full row for models without range scoring, at least one float
+/// otherwise; ranges wider than the scratch are walked in chunks).
+pub fn partial_rank_counts_with(
+    model: &dyn KgcModel,
+    scratch: &mut [f32],
+    triple: Triple,
+    side: QuerySide,
+    known: &[EntityId],
+    range: Range<usize>,
+) -> PartialRankCounts {
+    debug_assert!(range.end <= model.num_entities());
+    if range.is_empty() {
+        return PartialRankCounts::ZERO;
+    }
+    let answer = side.answer(triple).index();
+    if !model.supports_range_scoring() {
+        // One full-row pass (the model cannot score ranges); the partial
+        // restricts the *counting* to the requested slice.
+        let buf = &mut scratch[..model.num_entities()];
+        model.score_all(triple, side, buf);
+        let s_true = buf[answer];
+        return count_scored_range(&buf[range.clone()], range.start, answer, s_true, known);
+    }
+    let s_true = answer_score(model, scratch, triple, side);
+    let mut acc = PartialRankCounts::ZERO;
+    for_scored_chunks(model, scratch, triple, side, range, |scores, base| {
+        acc.merge(count_scored_range(scores, base, answer, s_true, known));
+    });
+    acc
+}
+
+/// One query's top-k restricted to `range`: the serializable partial a
+/// shard server evaluates for its configured range (see
+/// [`kg_core::partial::PartialTopK`]). Merging the partials of any
+/// partition of `0..num_entities()` reproduces the unpartitioned top-k
+/// bit for bit. Scratch requirements as in [`partial_rank_counts_with`].
+pub fn partial_top_k_with(
+    model: &dyn KgcModel,
+    scratch: &mut [f32],
+    triple: Triple,
+    side: QuerySide,
+    known: &[EntityId],
+    k: usize,
+    range: Range<usize>,
+) -> PartialTopK {
+    debug_assert!(range.end <= model.num_entities());
+    if k == 0 || range.is_empty() {
+        return PartialTopK::empty(k);
+    }
+    let mut heap = TopKHeap::new(k);
+    if !model.supports_range_scoring() {
+        let buf = &mut scratch[..model.num_entities()];
+        model.score_all(triple, side, buf);
+        heap_scored_range(&mut heap, &buf[range.clone()], range.start, known);
+    } else {
+        for_scored_chunks(model, scratch, triple, side, range, |scores, base| {
+            heap_scored_range(&mut heap, scores, base, known);
+        });
+    }
+    PartialTopK::from_entries(k, heap.into_sorted())
+}
+
+/// [`partial_rank_counts_with`] with the range split across `threads`
+/// workers and the per-piece partials merged — the in-process latency
+/// path, bit-for-bit identical to the serial partial for every `threads`
+/// (counter addition is associative and `s_true` partition-independent).
+///
+/// Range-scoring models hand each worker a contiguous piece to score and
+/// count; models without range scoring score one full row — the pass that
+/// cannot be split — and fan out the *counting* over the row's slices.
+/// Scratch buffers come from `pool`, so a caller ranking many queries
+/// reuses one pool across all of them.
+pub fn partial_rank_counts_fanout(
+    model: &dyn KgcModel,
+    pool: &BufferPool,
+    triple: Triple,
+    side: QuerySide,
+    known: &[EntityId],
+    range: Range<usize>,
+    threads: usize,
+) -> PartialRankCounts {
+    debug_assert!(range.end <= model.num_entities());
+    if threads <= 1 || range.len() <= 1 {
+        let mut buf = pool.acquire();
+        return partial_rank_counts_with(model, &mut buf, triple, side, known, range);
+    }
+    let answer = side.answer(triple).index();
+    let pieces = ShardPlan::new(range.len(), threads);
+    if !model.supports_range_scoring() {
+        // One full-row pass, then the counting fans out across the range's
+        // pieces.
+        let mut row = pool.acquire();
+        let row = &mut row[..model.num_entities()];
+        model.score_all(triple, side, row);
+        let s_true = row[answer];
+        let row = &*row;
+        let parts = parallel_map_indexed(pieces.num_shards(), threads, |s| {
+            let r = pieces.range(s);
+            let (start, end) = (range.start + r.start, range.start + r.end);
+            count_scored_range(&row[start..end], start, answer, s_true, known)
+        });
+        return kg_core::partial::merge_all(PartialRankCounts::ZERO, parts);
+    }
+    let parts = parallel_map_indexed(pieces.num_shards(), threads, |s| {
+        let r = pieces.range(s);
+        let mut buf = pool.acquire();
+        partial_rank_counts_with(
+            model,
+            &mut buf,
+            triple,
+            side,
+            known,
+            range.start + r.start..range.start + r.end,
+        )
+    });
+    kg_core::partial::merge_all(PartialRankCounts::ZERO, parts)
+}
+
+/// [`partial_top_k_with`] with the range split across `threads` workers
+/// and the per-piece partials merged with [`kg_core::partial`] — same
+/// work plan and parity guarantees as [`partial_rank_counts_fanout`].
+#[allow(clippy::too_many_arguments)] // the full query tuple is the signature
+pub fn partial_top_k_fanout(
+    model: &dyn KgcModel,
+    pool: &BufferPool,
+    triple: Triple,
+    side: QuerySide,
+    known: &[EntityId],
+    k: usize,
+    range: Range<usize>,
+    threads: usize,
+) -> PartialTopK {
+    debug_assert!(range.end <= model.num_entities());
+    if k == 0 || range.is_empty() {
+        return PartialTopK::empty(k);
+    }
+    if threads <= 1 || range.len() <= 1 {
+        let mut buf = pool.acquire();
+        return partial_top_k_with(model, &mut buf, triple, side, known, k, range);
+    }
+    let pieces = ShardPlan::new(range.len(), threads);
+    let parts = if model.supports_range_scoring() {
+        parallel_map_indexed(pieces.num_shards(), threads, |s| {
+            let r = pieces.range(s);
+            let mut buf = pool.acquire();
+            partial_top_k_with(
+                model,
+                &mut buf,
+                triple,
+                side,
+                known,
+                k,
+                range.start + r.start..range.start + r.end,
+            )
+        })
+    } else {
+        let mut row = pool.acquire();
+        let row = &mut row[..model.num_entities()];
+        model.score_all(triple, side, row);
+        let row = &*row;
+        parallel_map_indexed(pieces.num_shards(), threads, |s| {
+            let r = pieces.range(s);
+            let (start, end) = (range.start + r.start, range.start + r.end);
+            let mut heap = TopKHeap::new(k);
+            heap_scored_range(&mut heap, &row[start..end], start, known);
+            PartialTopK::from_entries(k, heap.into_sorted())
+        })
+    };
+    kg_core::partial::merge_all(PartialTopK::empty(k), parts)
+}
+
+/// Streamed filtered-rank counters for one query: `(higher, ties)` over
+/// all entities except `known`, under the NaN ordering documented at the
+/// module level. A thin full-range wrapper over
+/// [`partial_rank_counts_with`]; `scratch.len()` must be at least
+/// [`scratch_len`].
 pub fn rank_counts_with(
     model: &dyn KgcModel,
     plan: &ShardPlan,
@@ -125,40 +355,14 @@ pub fn rank_counts_with(
     known: &[EntityId],
 ) -> (usize, usize) {
     debug_assert_eq!(plan.len(), model.num_entities());
-    let answer = side.answer(triple).index();
-    if !model.supports_range_scoring() {
-        // One full-row pass; counting over the whole row at once is
-        // identical to counting shard by shard.
-        let buf = &mut scratch[..plan.len()];
-        model.score_all(triple, side, buf);
-        let s_true = buf[answer];
-        return count_shard(buf, 0, answer, s_true, known);
-    }
-    // Score the answer's shard first to obtain the reference score, then
-    // stream the remaining shards; counting is order-independent.
-    let answer_shard = plan.shard_of(answer);
-    let ra = plan.range(answer_shard);
-    let buf = &mut scratch[..ra.len()];
-    model.score_range(triple, side, ra.clone(), buf);
-    let s_true = buf[answer - ra.start];
-    let (mut higher, mut ties) = count_shard(buf, ra.start, answer, s_true, known);
-    for s in 0..plan.num_shards() {
-        if s == answer_shard {
-            continue;
-        }
-        let r = plan.range(s);
-        let buf = &mut scratch[..r.len()];
-        model.score_range(triple, side, r.clone(), buf);
-        let (h, t) = count_shard(buf, r.start, answer, s_true, known);
-        higher += h;
-        ties += t;
-    }
-    (higher, ties)
+    let p = partial_rank_counts_with(model, scratch, triple, side, known, 0..plan.len());
+    (p.higher as usize, p.ties as usize)
 }
 
-/// Top-k entities for one query, excluding `known` (ascending): per-shard
-/// bounded heaps merged deterministically. Best first; ties break toward
-/// the lower entity id. `scratch.len()` must be at least [`scratch_len`].
+/// Top-k entities for one query, excluding `known` (ascending). Best
+/// first; ties break toward the lower entity id. A thin full-range
+/// wrapper over [`partial_top_k_with`]; `scratch.len()` must be at least
+/// [`scratch_len`].
 pub fn top_k_with(
     model: &dyn KgcModel,
     plan: &ShardPlan,
@@ -169,52 +373,13 @@ pub fn top_k_with(
     k: usize,
 ) -> Vec<(u32, f32)> {
     debug_assert_eq!(plan.len(), model.num_entities());
-    if k == 0 || plan.is_empty() {
-        return Vec::new();
-    }
-    let mut per_shard = Vec::with_capacity(plan.num_shards());
-    if model.supports_range_scoring() {
-        for r in plan.ranges() {
-            let buf = &mut scratch[..r.len()];
-            model.score_range(triple, side, r.clone(), buf);
-            per_shard.push(topk_shard(buf, r.start, known, k));
-        }
-    } else {
-        let buf = &mut scratch[..plan.len()];
-        model.score_all(triple, side, buf);
-        for r in plan.ranges() {
-            per_shard.push(topk_shard(&buf[r.clone()], r.start, known, k));
-        }
-    }
-    merge_topk(per_shard, k)
+    partial_top_k_with(model, scratch, triple, side, known, k, 0..plan.len()).into_entries()
 }
 
-/// The latency pass's working plan: the storage plan, subdivided when it
-/// has fewer shards than the fan-out has workers (a small-graph model
-/// auto-shards to one cache-resident shard, which would otherwise silently
-/// serialise the whole fan-out). Finer shards are strictly narrower than
-/// the storage plan's, so every scratch buffer sized for the storage plan
-/// still fits, and the parity invariant makes any partition safe.
-fn fanout_plan(plan: &ShardPlan, fanout: usize) -> ShardPlan {
-    if plan.num_shards() < fanout {
-        ShardPlan::new(plan.len(), fanout)
-    } else {
-        *plan
-    }
-}
-
-/// Streamed filtered-rank counters for one query with the per-shard passes
-/// fanned out across `fanout` workers — the latency path of
-/// [`rank_counts_with`], bit-for-bit identical to it for every model and
-/// shard count (counter sums are order-independent).
-///
-/// Range-scoring models score the answer's shard first (serially, to fix
-/// the reference score) and fan the remaining shards out; models without
-/// range scoring score one full row — the pass that cannot be split — and
-/// fan out the *counting* over the row's shard slices. A storage plan
-/// coarser than the fan-out is subdivided first (see [`fanout_plan`]), so
-/// small-graph models fan out too. Scratch buffers come from `pool`, so a
-/// caller ranking many queries reuses one pool across all of them.
+/// Streamed filtered-rank counters for one query with the per-range
+/// passes fanned out across `fanout` workers — the full-range wrapper
+/// over [`partial_rank_counts_fanout`], bit-for-bit identical to
+/// [`rank_counts_with`] for every model, shard count, and fan-out width.
 pub fn rank_counts_fanout(
     model: &dyn KgcModel,
     plan: &ShardPlan,
@@ -226,53 +391,8 @@ pub fn rank_counts_fanout(
 ) -> (usize, usize) {
     debug_assert_eq!(plan.len(), model.num_entities());
     debug_assert!(pool.buffer_len() >= scratch_len(model, plan));
-    let plan = &fanout_plan(plan, fanout);
-    if fanout <= 1 || plan.num_shards() == 1 {
-        let mut buf = pool.acquire();
-        return rank_counts_with(model, plan, &mut buf, triple, side, known);
-    }
-    let answer = side.answer(triple).index();
-    if !model.supports_range_scoring() {
-        // One full-row pass (the model cannot score ranges), then the
-        // counting fans out across the row's shard slices.
-        let mut row = pool.acquire();
-        let row = &mut row[..plan.len()];
-        model.score_all(triple, side, row);
-        let s_true = row[answer];
-        let row = &*row;
-        let per_shard = parallel_map_indexed(plan.num_shards(), fanout, |s| {
-            let r = plan.range(s);
-            count_shard(&row[r.clone()], r.start, answer, s_true, known)
-        });
-        return sum_counts(per_shard);
-    }
-    // Score the answer's shard serially to fix the reference score, then
-    // fan the remaining shards out; merging the counters is associative.
-    let answer_shard = plan.shard_of(answer);
-    let ra = plan.range(answer_shard);
-    let (s_true, first) = {
-        let mut buf = pool.acquire();
-        let buf = &mut buf[..ra.len()];
-        model.score_range(triple, side, ra.clone(), buf);
-        let s_true = buf[answer - ra.start];
-        (s_true, count_shard(buf, ra.start, answer, s_true, known))
-    };
-    let rest = parallel_map_indexed(plan.num_shards(), fanout, |s| {
-        if s == answer_shard {
-            return (0, 0);
-        }
-        let r = plan.range(s);
-        let mut buf = pool.acquire();
-        let buf = &mut buf[..r.len()];
-        model.score_range(triple, side, r.clone(), buf);
-        count_shard(buf, r.start, answer, s_true, known)
-    });
-    let (higher, ties) = sum_counts(rest);
-    (higher + first.0, ties + first.1)
-}
-
-fn sum_counts(counts: Vec<(usize, usize)>) -> (usize, usize) {
-    counts.into_iter().fold((0, 0), |(h, t), (hh, tt)| (h + hh, t + tt))
+    let p = partial_rank_counts_fanout(model, pool, triple, side, known, 0..plan.len(), fanout);
+    (p.higher as usize, p.ties as usize)
 }
 
 /// Candidate count below which [`score_answer_and_candidates_fanout`]
@@ -386,21 +506,74 @@ impl ScoringEngine {
         self.model.score_candidates(triple, side, candidates, out);
     }
 
-    /// Streamed filtered-rank counters for one query (see
-    /// [`rank_counts_with`]); scratch comes from the engine's pool.
+    /// One query's filtered-rank counters restricted to an explicit
+    /// entity `range`, fanned across `threads` workers — the primitive a
+    /// shard server evaluates for its configured range. Merging the
+    /// partials of any partition of `0..num_entities()` with
+    /// [`kg_core::partial::Partial::merge`] is bit-identical to
+    /// [`ScoringEngine::rank_counts`]. `range` is clamped to the entity
+    /// space.
+    pub fn partial_rank_counts(
+        &self,
+        triple: Triple,
+        side: QuerySide,
+        known: &[EntityId],
+        range: Range<usize>,
+        threads: usize,
+    ) -> PartialRankCounts {
+        let range = clamp_range(range, self.plan.len());
+        partial_rank_counts_fanout(
+            self.model.as_ref(),
+            &self.pool,
+            triple,
+            side,
+            known,
+            range,
+            threads,
+        )
+    }
+
+    /// One query's top-k restricted to an explicit entity `range`, fanned
+    /// across `threads` workers — the shard-server counterpart of
+    /// [`ScoringEngine::partial_rank_counts`]. Merging the partials of
+    /// any partition of `0..num_entities()` is bit-identical to
+    /// [`ScoringEngine::top_k`]. `range` is clamped to the entity space.
+    pub fn partial_top_k(
+        &self,
+        triple: Triple,
+        side: QuerySide,
+        known: &[EntityId],
+        k: usize,
+        range: Range<usize>,
+        threads: usize,
+    ) -> PartialTopK {
+        let range = clamp_range(range, self.plan.len());
+        partial_top_k_fanout(
+            self.model.as_ref(),
+            &self.pool,
+            triple,
+            side,
+            known,
+            k,
+            range,
+            threads,
+        )
+    }
+
+    /// Streamed filtered-rank counters for one query (full range, serial);
+    /// scratch comes from the engine's pool.
     pub fn rank_counts(
         &self,
         triple: Triple,
         side: QuerySide,
         known: &[EntityId],
     ) -> (usize, usize) {
-        let mut buf = self.pool.acquire();
-        rank_counts_with(self.model.as_ref(), &self.plan, &mut buf, triple, side, known)
+        self.rank_counts_fanout(triple, side, known, 1)
     }
 
-    /// Filtered-rank counters with the per-shard passes fanned out across
+    /// Filtered-rank counters with the per-range passes fanned out across
     /// `fanout` workers; bit-for-bit identical to
-    /// [`ScoringEngine::rank_counts`] (see [`rank_counts_fanout`]).
+    /// [`ScoringEngine::rank_counts`] (see [`partial_rank_counts_fanout`]).
     pub fn rank_counts_fanout(
         &self,
         triple: Triple,
@@ -408,10 +581,11 @@ impl ScoringEngine {
         known: &[EntityId],
         fanout: usize,
     ) -> (usize, usize) {
-        rank_counts_fanout(self.model.as_ref(), &self.plan, &self.pool, triple, side, known, fanout)
+        let p = self.partial_rank_counts(triple, side, known, 0..self.plan.len(), fanout);
+        (p.higher as usize, p.ties as usize)
     }
 
-    /// Top-k for one query, shards visited serially (see [`top_k_with`]).
+    /// Top-k for one query over the full entity range, serially.
     pub fn top_k(
         &self,
         triple: Triple,
@@ -419,23 +593,14 @@ impl ScoringEngine {
         known: &[EntityId],
         k: usize,
     ) -> Vec<(u32, f32)> {
-        let mut buf = self.pool.acquire();
-        top_k_with(self.model.as_ref(), &self.plan, &mut buf, triple, side, known, k)
+        self.top_k_fanout(triple, side, known, k, 1)
     }
 
-    /// Top-k with the per-shard passes fanned out across `threads` workers
-    /// and the per-shard heaps merged; bit-for-bit identical to
-    /// [`ScoringEngine::top_k`] for every model family.
-    ///
-    /// Range-scoring models score one shard per worker; models without
-    /// range scoring score one full row (the pass that cannot be split)
-    /// and fan out the per-shard heap building over the row's slices —
-    /// previously those models silently degraded to the fully serial pass
-    /// no matter how many threads were free. A storage plan coarser than
-    /// the fan-out is subdivided first (see [`fanout_plan`]), so
-    /// small-graph engines fan out too; serial fallback remains only when
-    /// there is genuinely nothing to split (`threads <= 1` or a
-    /// single-entity plan).
+    /// Top-k with the full range fanned out across `threads` workers and
+    /// the per-range partials merged; bit-for-bit identical to
+    /// [`ScoringEngine::top_k`] for every model family (see
+    /// [`partial_top_k_fanout`] — models without range scoring score one
+    /// full row and fan out the heap building over its slices).
     pub fn top_k_fanout(
         &self,
         triple: Triple,
@@ -444,33 +609,15 @@ impl ScoringEngine {
         k: usize,
         threads: usize,
     ) -> Vec<(u32, f32)> {
-        if k == 0 || self.plan.is_empty() {
-            return Vec::new();
-        }
-        let plan = fanout_plan(&self.plan, threads);
-        if threads <= 1 || plan.num_shards() == 1 {
-            return self.top_k(triple, side, known, k);
-        }
-        let per_shard = if self.model.supports_range_scoring() {
-            parallel_map_indexed(plan.num_shards(), threads, |s| {
-                let r: Range<usize> = plan.range(s);
-                let mut buf = self.pool.acquire();
-                let buf = &mut buf[..r.len()];
-                self.model.score_range(triple, side, r.clone(), buf);
-                topk_shard(buf, r.start, known, k)
-            })
-        } else {
-            let mut row = self.pool.acquire();
-            let row = &mut row[..plan.len()];
-            self.model.score_all(triple, side, row);
-            let row = &*row;
-            parallel_map_indexed(plan.num_shards(), threads, |s| {
-                let r: Range<usize> = plan.range(s);
-                topk_shard(&row[r.clone()], r.start, known, k)
-            })
-        };
-        merge_topk(per_shard, k)
+        let k = k.min(self.plan.len());
+        self.partial_top_k(triple, side, known, k, 0..self.plan.len(), threads).into_entries()
     }
+}
+
+/// Clamp a caller-supplied range into `0..len` (empty if inverted).
+fn clamp_range(range: Range<usize>, len: usize) -> Range<usize> {
+    let start = range.start.min(len);
+    start..range.end.clamp(start, len)
 }
 
 #[cfg(test)]
@@ -589,8 +736,8 @@ mod tests {
     #[test]
     fn fanout_counts_and_topk_match_serial_for_every_model_family() {
         // Parity of the latency path for all 7 families — including the
-        // non-range-scoring ones (TuckER, ConvE), which previously fell
-        // back to a fully serial pass in `top_k_fanout`.
+        // non-range-scoring ones (TuckER, ConvE), whose full-row pass fans
+        // out the counting / heap building.
         for model in models() {
             let model: Arc<dyn KgcModel> = Arc::from(model as Box<dyn KgcModel>);
             let n = model.num_entities();
@@ -618,6 +765,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn partials_over_any_split_merge_to_the_full_result() {
+        // The partial API directly: split 0..n at every cut point, merge
+        // the two partials, compare against the full-range pass — for a
+        // range-scoring and a full-row-fallback family.
+        for kind in [ModelKind::ComplEx, ModelKind::TuckEr] {
+            let dim = if kind == ModelKind::TuckEr { 8 } else { 12 };
+            let model = build_model(kind, 23, 3, dim, 5);
+            let model: Arc<dyn KgcModel> = Arc::from(model as Box<dyn KgcModel>);
+            let n = model.num_entities();
+            let engine = ScoringEngine::new(model, 4);
+            let triple = Triple::new(2, 1, 20);
+            let known = [EntityId(4), EntityId(20)];
+            for side in QuerySide::BOTH {
+                let full_counts = engine.partial_rank_counts(triple, side, &known, 0..n, 1);
+                let full_top = engine.partial_top_k(triple, side, &known, 6, 0..n, 1);
+                for cut in 0..=n {
+                    let mut c = engine.partial_rank_counts(triple, side, &known, 0..cut, 1);
+                    c.merge(engine.partial_rank_counts(triple, side, &known, cut..n, 2));
+                    assert_eq!(c, full_counts, "{kind:?} {side:?} cut={cut}: counts");
+                    let mut t = engine.partial_top_k(triple, side, &known, 6, 0..cut, 2);
+                    t.merge(engine.partial_top_k(triple, side, &known, 6, cut..n, 1));
+                    assert_eq!(t, full_top, "{kind:?} {side:?} cut={cut}: top-k");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_ranges_are_clamped_to_the_entity_space() {
+        let model = build_model(ModelKind::DistMult, 20, 2, 8, 3);
+        let engine = ScoringEngine::new(Arc::from(model as Box<dyn KgcModel>), 2);
+        let triple = Triple::new(1, 0, 2);
+        let full = engine.partial_rank_counts(triple, QuerySide::Tail, &[], 0..20, 1);
+        assert_eq!(engine.partial_rank_counts(triple, QuerySide::Tail, &[], 0..999, 1), full);
+        let empty = engine.partial_top_k(triple, QuerySide::Tail, &[], 5, 30..40, 1);
+        assert!(empty.entries().is_empty(), "out-of-space range is empty, not a panic");
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = engine.partial_rank_counts(triple, QuerySide::Tail, &[], 9..3, 1);
+        assert_eq!(inverted, PartialRankCounts::ZERO);
     }
 
     #[test]
@@ -714,15 +903,17 @@ mod tests {
         let before = counter();
         let fanned_counts = engine.rank_counts_fanout(triple, QuerySide::Tail, &known, 4);
         assert_eq!(fanned_counts, serial_counts);
+        // One scoring pass per fan-out worker plus one singleton
+        // reference-score call per worker's partial.
         assert_eq!(
             counter() - before,
-            4,
+            8,
             "a 1-shard plan must subdivide into one range per fan-out worker"
         );
         let before = counter();
         let fanned_top = engine.top_k_fanout(triple, QuerySide::Tail, &known, 5, 4);
         assert_eq!(fanned_top, serial_top);
-        assert_eq!(counter() - before, 4, "top-k fans the subdivided shards out too");
+        assert_eq!(counter() - before, 4, "top-k fans the subdivided ranges out too");
     }
 
     #[test]

@@ -20,6 +20,40 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+/// Connection budgets for the client side.
+///
+/// The defaults reproduce the pre-config behaviour: a 60 s read timeout
+/// and OS-default (unbounded) connect. The gateway overrides both so a
+/// dead backend costs a bounded connect/read budget instead of a hung
+/// scatter.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection; `None` leaves the OS
+    /// default in place.
+    pub connect_timeout: Option<Duration>,
+    /// Per-read socket timeout while waiting for response bytes; `None`
+    /// blocks indefinitely.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig { connect_timeout: None, read_timeout: Some(Duration::from_secs(60)) }
+    }
+}
+
+impl ClientConfig {
+    fn connect(&self, addr: SocketAddr) -> std::io::Result<TcpStream> {
+        let stream = match self.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(&addr, t)?,
+            None => TcpStream::connect(addr)?,
+        };
+        stream.set_read_timeout(self.read_timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+}
+
 /// Serialize one request head + body. `close` adds `Connection: close`
 /// (one-shot mode); without it HTTP/1.1's keep-alive default applies.
 fn encode_request(
@@ -48,7 +82,13 @@ fn read_response_head(
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     if status_line.is_empty() {
-        return Err(std::io::Error::other("connection closed before a response arrived"));
+        // Typed as UnexpectedEof so callers can tell "the server closed
+        // the (possibly stale keep-alive) socket" from timeouts and
+        // transport errors — the gateway retries only the former.
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before a response arrived",
+        ));
     }
     let status: u16 = status_line
         .split_whitespace()
@@ -121,9 +161,7 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-    stream.set_nodelay(true)?;
+    let stream = ClientConfig::default().connect(addr)?;
     let mut reader = BufReader::new(stream);
     reader.get_mut().write_all(encode_request(addr, method, path, body, true).as_bytes())?;
     reader.get_mut().flush()?;
@@ -149,11 +187,15 @@ pub struct Connection {
 }
 
 impl Connection {
-    /// Connect to `addr` with a 60 s read timeout and `TCP_NODELAY`.
+    /// Connect to `addr` with the default budgets ([`ClientConfig`]: 60 s
+    /// read timeout, OS-default connect) and `TCP_NODELAY`.
     pub fn open(addr: SocketAddr) -> std::io::Result<Connection> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-        stream.set_nodelay(true)?;
+        Self::open_with(addr, &ClientConfig::default())
+    }
+
+    /// Connect to `addr` with explicit connect/read budgets.
+    pub fn open_with(addr: SocketAddr, config: &ClientConfig) -> std::io::Result<Connection> {
+        let stream = config.connect(addr)?;
         Ok(Connection { reader: BufReader::new(stream), addr, server_closed: false })
     }
 

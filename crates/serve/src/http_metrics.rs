@@ -14,12 +14,42 @@ use std::time::Instant;
 /// Samples retained per endpoint for quantile estimation.
 pub const LATENCY_WINDOW: usize = 4096;
 
+/// Bounded ring of the last [`LATENCY_WINDOW`] samples — the one
+/// windowing implementation behind request latencies, batch sizes, and
+/// the gateway's scatter/merge phase quantiles.
+#[derive(Default)]
+struct Reservoir {
+    samples: Vec<u64>,
+    next_slot: usize,
+}
+
+impl Reservoir {
+    fn observe(&mut self, value: u64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(value);
+        } else {
+            self.samples[self.next_slot] = value;
+            self.next_slot = (self.next_slot + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    /// A sorted copy of the held samples (for percentile extraction), or
+    /// `None` when empty.
+    fn sorted(&self) -> Option<Vec<u64>> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        Some(sorted)
+    }
+}
+
 #[derive(Default)]
 struct EndpointStats {
     requests: u64,
     errors: u64,
-    latencies_us: Vec<u64>,
-    next_slot: usize,
+    latencies_us: Reservoir,
 }
 
 impl EndpointStats {
@@ -28,12 +58,7 @@ impl EndpointStats {
         if is_error {
             self.errors += 1;
         }
-        if self.latencies_us.len() < LATENCY_WINDOW {
-            self.latencies_us.push(latency_us);
-        } else {
-            self.latencies_us[self.next_slot] = latency_us;
-            self.next_slot = (self.next_slot + 1) % LATENCY_WINDOW;
-        }
+        self.latencies_us.observe(latency_us);
     }
 }
 
@@ -42,8 +67,7 @@ struct BatchStats {
     batches: u64,
     jobs: u64,
     triples: u64,
-    sizes: Vec<u64>,
-    next_slot: usize,
+    sizes: Reservoir,
 }
 
 /// Thread-safe metrics registry shared by the router, the batcher, and the
@@ -69,6 +93,16 @@ pub struct HttpMetrics {
     keepalive_reuses: AtomicU64,
     /// Connections refused with 503 at the admission gate.
     connections_rejected: AtomicU64,
+    /// Connections refused with 429 by a per-client token bucket.
+    connections_throttled: AtomicU64,
+    /// Backend failures observed by the gateway, by backend address.
+    gateway_backend_errors: Mutex<HashMap<String, u64>>,
+    /// Gateway scatter-phase latency (request fan-out until the last
+    /// backend answered), by endpoint.
+    gateway_scatter: Mutex<HashMap<String, Reservoir>>,
+    /// Gateway merge-phase latency (partial recombination + response
+    /// building), by endpoint.
+    gateway_merge: Mutex<HashMap<String, Reservoir>>,
     started: Instant,
 }
 
@@ -93,6 +127,10 @@ impl HttpMetrics {
             connections_total: AtomicU64::new(0),
             keepalive_reuses: AtomicU64::new(0),
             connections_rejected: AtomicU64::new(0),
+            connections_throttled: AtomicU64::new(0),
+            gateway_backend_errors: Mutex::new(HashMap::new()),
+            gateway_scatter: Mutex::new(HashMap::new()),
+            gateway_merge: Mutex::new(HashMap::new()),
             started: Instant::now(),
         }
     }
@@ -138,6 +176,44 @@ impl HttpMetrics {
     /// Connections refused with 503 at the admission gate.
     pub fn rejected_connections(&self) -> u64 {
         self.connections_rejected.load(Ordering::Relaxed)
+    }
+
+    /// A connection was refused with 429 because its client's token
+    /// bucket was empty (per-client fairness).
+    pub fn connection_throttled(&self) {
+        self.connections_throttled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections refused with 429 by the per-client token bucket.
+    pub fn throttled_connections(&self) -> u64 {
+        self.connections_throttled.load(Ordering::Relaxed)
+    }
+
+    /// The gateway observed a backend failure (connect/transport error or
+    /// a failed health probe).
+    pub fn gateway_backend_error(&self, backend: &str) {
+        *self.gateway_backend_errors.lock().unwrap().entry(backend.to_string()).or_insert(0) += 1;
+    }
+
+    /// Total backend failures the gateway observed (all backends).
+    pub fn gateway_backend_errors(&self) -> u64 {
+        self.gateway_backend_errors.lock().unwrap().values().sum()
+    }
+
+    /// Record one gateway request's scatter and merge phase durations.
+    pub fn observe_gateway_phases(&self, endpoint: &str, scatter_us: u64, merge_us: u64) {
+        self.gateway_scatter
+            .lock()
+            .unwrap()
+            .entry(endpoint.to_string())
+            .or_default()
+            .observe(scatter_us);
+        self.gateway_merge
+            .lock()
+            .unwrap()
+            .entry(endpoint.to_string())
+            .or_default()
+            .observe(merge_us);
     }
 
     /// Record `model`'s current adaptive batching window (microseconds).
@@ -190,13 +266,7 @@ impl HttpMetrics {
         b.batches += 1;
         b.jobs += jobs as u64;
         b.triples += triples as u64;
-        if b.sizes.len() < LATENCY_WINDOW {
-            b.sizes.push(jobs as u64);
-        } else {
-            let slot = b.next_slot;
-            b.sizes[slot] = jobs as u64;
-            b.next_slot = (slot + 1) % LATENCY_WINDOW;
-        }
+        b.sizes.observe(jobs as u64);
     }
 
     /// Seconds since construction.
@@ -217,12 +287,7 @@ impl HttpMetrics {
     /// `(p50, p99)` latency in seconds for `endpoint`, if it has samples.
     pub fn latency_quantiles(&self, endpoint: &str) -> Option<(f64, f64)> {
         let map = self.endpoints.lock().unwrap();
-        let stats = map.get(endpoint)?;
-        if stats.latencies_us.is_empty() {
-            return None;
-        }
-        let mut sorted = stats.latencies_us.clone();
-        sorted.sort_unstable();
+        let sorted = map.get(endpoint)?.latencies_us.sorted()?;
         Some((percentile(&sorted, 0.50) / 1e6, percentile(&sorted, 0.99) / 1e6))
     }
 
@@ -252,6 +317,14 @@ impl HttpMetrics {
             "kg_serve_rejected_connections_total {}\n",
             self.rejected_connections()
         ));
+        out.push_str(
+            "# HELP kg_serve_throttled_connections_total Connections refused with 429 by the per-client token bucket.\n",
+        );
+        out.push_str("# TYPE kg_serve_throttled_connections_total counter\n");
+        out.push_str(&format!(
+            "kg_serve_throttled_connections_total {}\n",
+            self.throttled_connections()
+        ));
 
         let map = self.endpoints.lock().unwrap();
         let mut endpoints: Vec<&String> = map.keys().collect();
@@ -278,12 +351,7 @@ impl HttpMetrics {
         );
         out.push_str("# TYPE kg_serve_latency_seconds summary\n");
         for ep in &endpoints {
-            let stats = &map[*ep];
-            if stats.latencies_us.is_empty() {
-                continue;
-            }
-            let mut sorted = stats.latencies_us.clone();
-            sorted.sort_unstable();
+            let Some(sorted) = map[*ep].latencies_us.sorted() else { continue };
             for (label, q) in [("0.5", 0.50), ("0.99", 0.99)] {
                 out.push_str(&format!(
                     "kg_serve_latency_seconds{{endpoint=\"{ep}\",quantile=\"{label}\"}} {}\n",
@@ -303,9 +371,7 @@ impl HttpMetrics {
         out.push_str("# HELP kg_serve_score_batch_triples_total Triples scored through batches.\n");
         out.push_str("# TYPE kg_serve_score_batch_triples_total counter\n");
         out.push_str(&format!("kg_serve_score_batch_triples_total {}\n", b.triples));
-        if !b.sizes.is_empty() {
-            let mut sorted = b.sizes.clone();
-            sorted.sort_unstable();
+        if let Some(sorted) = b.sizes.sorted() {
             out.push_str("# HELP kg_serve_score_batch_size Requests per batch, quantiles.\n");
             out.push_str("# TYPE kg_serve_score_batch_size summary\n");
             for (label, q) in [("0.5", 0.50), ("0.99", 0.99)] {
@@ -366,6 +432,56 @@ impl HttpMetrics {
                     escape_label(m),
                     topk_windows[m]
                 ));
+            }
+        }
+        drop(topk_windows);
+
+        let backend_errors = self.gateway_backend_errors.lock().unwrap();
+        if !backend_errors.is_empty() {
+            let mut backends: Vec<&String> = backend_errors.keys().collect();
+            backends.sort();
+            out.push_str(
+                "# HELP kg_serve_gateway_backend_errors_total Backend failures observed by the gateway.\n",
+            );
+            out.push_str("# TYPE kg_serve_gateway_backend_errors_total counter\n");
+            for b in backends {
+                out.push_str(&format!(
+                    "kg_serve_gateway_backend_errors_total{{backend=\"{}\"}} {}\n",
+                    escape_label(b),
+                    backend_errors[b]
+                ));
+            }
+        }
+        drop(backend_errors);
+
+        for (name, help, map) in [
+            (
+                "kg_serve_gateway_scatter_seconds",
+                "Gateway scatter-phase latency (fan-out until the last backend answered).",
+                &self.gateway_scatter,
+            ),
+            (
+                "kg_serve_gateway_merge_seconds",
+                "Gateway merge-phase latency (partial recombination).",
+                &self.gateway_merge,
+            ),
+        ] {
+            let map = map.lock().unwrap();
+            if map.is_empty() {
+                continue;
+            }
+            let mut endpoints: Vec<&String> = map.keys().collect();
+            endpoints.sort();
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
+            for ep in endpoints {
+                let Some(sorted) = map[ep].sorted() else { continue };
+                for (label, q) in [("0.5", 0.50), ("0.99", 0.99)] {
+                    out.push_str(&format!(
+                        "{name}{{endpoint=\"{}\",quantile=\"{label}\"}} {}\n",
+                        escape_label(ep),
+                        percentile(&sorted, q) / 1e6
+                    ));
+                }
             }
         }
         out

@@ -14,8 +14,10 @@
 //! | `/topk`         | POST | Top-k tail/head prediction with filtered known-true removal (coalesced across concurrent requests, fanned out across queries × entity shards) |
 //! | `/eval`         | POST | Sampled MRR / Hits@K over submitted triples ([`kg_eval::evaluate_sampled`]) |
 //! | `/admin/models` | POST | Hot-reload a model snapshot; the registry entry flips atomically |
-//! | `/healthz`      | GET  | Liveness, uptime, registered models |
+//! | `/healthz`      | GET  | Liveness, uptime, registered models (on a gateway: per-backend health) |
 //! | `/metrics`      | GET  | Prometheus text: request counts, p50/p99 latency, batch sizes + windows |
+//! | `/shard/topk`   | POST | **Internal** (multi-node): `/topk`'s queries over this worker's entity range, as wire-encoded [`kg_core::partial::PartialTopK`]s |
+//! | `/shard/rank`   | POST | **Internal** (multi-node): filtered-rank counters over this worker's range, as wire-encoded [`kg_core::partial::PartialRankCounts`] |
 //!
 //! ## Request/response schemas (JSON)
 //!
@@ -93,6 +95,27 @@
 //! shards out — so a lone query uses the whole budget instead of one core,
 //! and a saturated batch degrades gracefully to pure query-parallelism.
 //!
+//! ## Multi-node deployment
+//!
+//! The same partition scales across machines: run one worker per node
+//! with [`RegistryConfig::worker_shard`] set (worker `i` of `N` owns
+//! `ShardPlan::new(|E|, N).range(i)`; every worker holds the full model —
+//! the split is in ranking work, not storage) and put a
+//! [`Router::gateway`] in front ([`Gateway`], [`GatewayConfig`]). The
+//! gateway scatters `/topk` to every worker's internal `/shard/topk`,
+//! chunks `/score` and `/eval` triples across workers, and merges the
+//! partial results with the same [`kg_core::partial`] code the in-process
+//! shard fan-out uses — so the fleet answers **byte-identically** to a
+//! single-node server (all 7 families covered in `tests/gateway_http.rs`;
+//! `/eval`'s wall-clock `"seconds"` is the one field that differs, as it
+//! does between any two runs anywhere). Backend failures answer `503` +
+//! `Retry-After` and are counted per backend; a fleet whose shard ranges
+//! do not exactly tile the entity space is refused with `502` rather than
+//! silently ranking over a partial range. Per-client fairness
+//! ([`ServerConfig::client_bucket_size`]) meters connection admission per
+//! remote IP with `429` + `Retry-After`, so one chatty client cannot
+//! drain the global budget.
+//!
 //! ## Quickstart
 //!
 //! ```no_run
@@ -116,6 +139,7 @@
 
 pub mod batch;
 pub mod client;
+pub mod gateway;
 pub mod http_metrics;
 pub mod json;
 pub mod registry;
@@ -123,9 +147,10 @@ pub mod router;
 pub mod server;
 
 pub use batch::{ScoreBatcher, TopKBatcher, TopKQuery, TopKResults};
-pub use client::Connection;
+pub use client::{ClientConfig, Connection};
+pub use gateway::{Gateway, GatewayConfig};
 pub use http_metrics::HttpMetrics;
 pub use json::{Json, JsonError};
-pub use registry::{LruCache, ModelEntry, ModelRegistry, RegistryConfig, SampleKey};
+pub use registry::{LruCache, ModelEntry, ModelRegistry, RegistryConfig, SampleKey, WorkerShard};
 pub use router::{Response, Router};
 pub use server::{serve, ServerConfig, ServerHandle, HTTP_PARSE_ENDPOINT};

@@ -99,6 +99,36 @@ pub struct SampleKey {
 /// How many distinct sampling configurations to keep per model.
 pub const SAMPLE_CACHE_CAPACITY: usize = 32;
 
+/// The slice of the entity space a worker node owns in a multi-node
+/// deployment: this node is shard `index` of `of` total workers.
+///
+/// The actual entity range is derived per model as
+/// `ShardPlan::new(num_entities, of).range(index)` — the same deterministic
+/// partition every consumer of [`kg_core::parallel::ShardPlan`] agrees on,
+/// so a gateway that knows only `(|E|, of)` knows every worker's
+/// boundaries without negotiation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerShard {
+    /// This worker's shard index (`0..of`).
+    pub index: usize,
+    /// Total workers the entity space is partitioned across.
+    pub of: usize,
+}
+
+impl WorkerShard {
+    /// The entity range this worker serves for a model with
+    /// `num_entities` entities.
+    pub fn range(&self, num_entities: usize) -> std::ops::Range<usize> {
+        let plan = kg_core::parallel::ShardPlan::new(num_entities, self.of);
+        if self.index < plan.num_shards() {
+            plan.range(self.index)
+        } else {
+            // More workers than entities: the surplus workers own nothing.
+            num_entities..num_entities
+        }
+    }
+}
+
 /// One servable model and everything needed to answer queries about it.
 pub struct ModelEntry {
     name: String,
@@ -110,6 +140,7 @@ pub struct ModelEntry {
     topk_batcher: TopKBatcher,
     samples: Mutex<LruCache<SampleKey, Arc<SampledCandidates>>>,
     threads: usize,
+    worker_shard: Option<WorkerShard>,
 }
 
 impl ModelEntry {
@@ -146,6 +177,16 @@ impl ModelEntry {
     /// Worker threads used for ranking passes.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The entity range this entry's `/shard/*` endpoints evaluate: the
+    /// configured [`WorkerShard`]'s slice, or the full entity space when
+    /// the registry is not part of a multi-node topology.
+    pub fn shard_range(&self) -> std::ops::Range<usize> {
+        match self.worker_shard {
+            Some(ws) => ws.range(self.engine.num_entities()),
+            None => 0..self.engine.num_entities(),
+        }
     }
 
     /// Whether `strategy` can be served (Static needs candidate sets,
@@ -215,6 +256,13 @@ pub struct RegistryConfig {
     /// requests (`POST /admin/models`). `None` leaves the endpoint open —
     /// acceptable only for loopback/dev deployments.
     pub admin_token: Option<String>,
+    /// This node's slice of the entity space in a multi-node topology.
+    /// `None` (the default) serves the full range; when set, the internal
+    /// `/shard/topk` and `/shard/rank` endpoints evaluate only this
+    /// worker's shard of every registered model. Public endpoints
+    /// (`/score`, `/eval`, …) always serve the full model — the split is
+    /// in ranking work, not in model storage.
+    pub worker_shard: Option<WorkerShard>,
 }
 
 impl Default for RegistryConfig {
@@ -225,6 +273,7 @@ impl Default for RegistryConfig {
             threads: kg_core::parallel::default_threads(),
             shards: 0,
             admin_token: None,
+            worker_shard: None,
         }
     }
 }
@@ -306,6 +355,7 @@ impl ModelRegistry {
             sets,
             samples: Mutex::new(LruCache::new(SAMPLE_CACHE_CAPACITY)),
             threads: self.config.threads,
+            worker_shard: self.config.worker_shard,
         });
         self.entries.write().unwrap().insert(name, Arc::clone(&entry));
         entry

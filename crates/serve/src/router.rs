@@ -9,11 +9,19 @@
 //! * `POST /eval`         — sampled MRR/Hits@K via the paper's fast estimator;
 //! * `POST /admin/models` — hot-reload a model snapshot, flipping the
 //!   registry entry atomically;
+//! * `POST /shard/topk` / `POST /shard/rank` — **internal** multi-node
+//!   endpoints: the same queries evaluated only over this worker's
+//!   configured entity range, returned as wire-encoded
+//!   [`kg_core::partial`] results for a gateway to merge;
 //! * `GET  /healthz`      — liveness + registered models;
 //! * `GET  /metrics`      — Prometheus text (request counts, p50/p99, batches).
 //!
 //! The router is transport-independent: it maps `(method, path, body)` to a
 //! [`Response`], which makes every handler unit-testable without sockets.
+//! A router can also front a [`Gateway`] instead of a local registry
+//! ([`Router::gateway`]): `/score`, `/topk`, and `/eval` are then
+//! scattered across remote shard workers and the partials merged (see
+//! [`crate::gateway`]).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -24,6 +32,7 @@ use kg_eval::{evaluate_sampled, TieBreak};
 use kg_recommend::SamplingStrategy;
 
 use crate::batch::TopKQuery;
+use crate::gateway::Gateway;
 use crate::http_metrics::HttpMetrics;
 use crate::json::Json;
 use crate::registry::{ModelEntry, ModelRegistry, SampleKey};
@@ -46,11 +55,36 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: String,
+    /// `Retry-After` seconds advertised alongside 429/503 responses.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
     fn json(status: u16, value: Json) -> Self {
-        Response { status, content_type: "application/json", body: value.to_string() }
+        Response {
+            status,
+            content_type: "application/json",
+            body: value.to_string(),
+            retry_after: None,
+        }
+    }
+
+    /// A 200 JSON response (the gateway builds merged responses with
+    /// this).
+    pub(crate) fn json_ok(value: Json) -> Self {
+        Response::json(200, value)
+    }
+
+    /// Relay a backend's response body unchanged (the gateway's
+    /// error-parity path).
+    pub(crate) fn passthrough(status: u16, body: String) -> Self {
+        Response { status, content_type: "application/json", body, retry_after: None }
+    }
+
+    /// Attach a `Retry-After` advertisement.
+    pub(crate) fn with_retry_after(mut self, secs: u64) -> Self {
+        self.retry_after = Some(secs);
+        self
     }
 
     /// JSON `{"error": message}` response; also used by the HTTP layer for
@@ -60,9 +94,16 @@ impl Response {
     }
 }
 
+/// What a router fronts: a local model registry (single node or shard
+/// worker), or a scatter/gather gateway over remote workers.
+enum Mode {
+    Local(Arc<ModelRegistry>),
+    Gateway(Arc<Gateway>),
+}
+
 /// Shared state handed to the router for every request.
 pub struct Router {
-    registry: Arc<ModelRegistry>,
+    mode: Mode,
     metrics: Arc<HttpMetrics>,
 }
 
@@ -71,7 +112,17 @@ impl Router {
     /// [`HttpMetrics`] (the same instance its batchers observe into).
     pub fn new(registry: Arc<ModelRegistry>) -> Self {
         let metrics = Arc::clone(registry.metrics());
-        Router { registry, metrics }
+        Router { mode: Mode::Local(registry), metrics }
+    }
+
+    /// Router in **gateway mode**: `/score`, `/topk`, and `/eval` are
+    /// scattered across the gateway's backend workers and the partial
+    /// results merged (see [`crate::gateway`]); no model is served
+    /// locally. `/admin/models` and the internal `/shard/*` endpoints do
+    /// not exist here.
+    pub fn gateway(gateway: Gateway) -> Self {
+        let metrics = Arc::clone(gateway.metrics());
+        Router { mode: Mode::Gateway(Arc::new(gateway)), metrics }
     }
 
     /// The metrics registry (shared with the server and batchers).
@@ -87,7 +138,8 @@ impl Router {
         // Unknown paths share one label: per-path labels would let a path
         // scanner grow the metrics map without bound.
         let endpoint = match path {
-            "/score" | "/topk" | "/eval" | "/admin/models" | "/healthz" | "/metrics" => path,
+            "/score" | "/topk" | "/eval" | "/admin/models" | "/healthz" | "/metrics"
+            | "/shard/topk" | "/shard/rank" => path,
             _ => "other",
         };
         self.metrics.observe_request(endpoint, latency_us, response.status);
@@ -95,17 +147,43 @@ impl Router {
     }
 
     fn dispatch(&self, method: &str, path: &str, body: &str) -> Response {
+        let registry =
+            match &self.mode {
+                Mode::Local(registry) => registry,
+                Mode::Gateway(gateway) => return match (method, path) {
+                    ("GET", "/healthz") => gateway.healthz(),
+                    ("GET", "/metrics") => self.render_metrics(),
+                    ("POST", "/score") => gateway.score(body),
+                    ("POST", "/topk") => gateway.topk(body),
+                    ("POST", "/eval") => gateway.eval(body),
+                    ("POST", "/admin/models") => Response::error(
+                        501,
+                        "the gateway does not proxy admin endpoints; reload each worker directly",
+                    ),
+                    ("POST", _) | ("GET", _) => {
+                        Response::error(404, format!("no route for {method} {path}"))
+                    }
+                    _ => Response::error(405, format!("method {method} not allowed")),
+                },
+            };
         match (method, path) {
-            ("GET", "/healthz") => self.healthz(),
-            ("GET", "/metrics") => Response {
-                status: 200,
-                content_type: "text/plain; version=0.0.4",
-                body: self.metrics.render(),
-            },
-            ("POST", "/score") => self.with_request(body, |r, e| self.score(r, e)),
-            ("POST", "/topk") => self.with_request(body, |r, e| self.topk(r, e)),
-            ("POST", "/eval") => self.with_request(body, |r, e| self.eval(r, e)),
-            ("POST", "/admin/models") => self.admin_models(body),
+            ("GET", "/healthz") => self.healthz(registry),
+            ("GET", "/metrics") => self.render_metrics(),
+            ("POST", "/score") => self.with_request(registry, body, |r, e| self.score(r, e)),
+            ("POST", "/topk") => self.with_request(registry, body, |r, e| self.topk(r, e)),
+            ("POST", "/eval") => self.with_request(registry, body, |r, e| self.eval(r, e)),
+            // Internal shard-worker endpoints (multi-node topology): the
+            // same parsing and validation as their public counterparts,
+            // but evaluation is restricted to this worker's configured
+            // entity range and partial results are returned for the
+            // gateway to merge.
+            ("POST", "/shard/topk") => {
+                self.with_request(registry, body, |r, e| self.shard_topk(r, e))
+            }
+            ("POST", "/shard/rank") => {
+                self.with_request(registry, body, |r, e| self.shard_rank(r, e))
+            }
+            ("POST", "/admin/models") => self.admin_models(registry, body),
             ("POST", _) | ("GET", _) => {
                 Response::error(404, format!("no route for {method} {path}"))
             }
@@ -113,13 +191,22 @@ impl Router {
         }
     }
 
-    fn healthz(&self) -> Response {
+    fn render_metrics(&self) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: self.metrics.render(),
+            retry_after: None,
+        }
+    }
+
+    fn healthz(&self, registry: &Arc<ModelRegistry>) -> Response {
         Response::json(
             200,
             Json::obj([
                 ("status", Json::Str("ok".into())),
                 ("uptime_seconds", Json::Num(self.metrics.uptime_seconds())),
-                ("models", Json::Arr(self.registry.names().into_iter().map(Json::Str).collect())),
+                ("models", Json::Arr(registry.names().into_iter().map(Json::Str).collect())),
             ]),
         )
     }
@@ -127,6 +214,7 @@ impl Router {
     /// Parse the body, resolve the `model` field, run the handler.
     fn with_request(
         &self,
+        registry: &Arc<ModelRegistry>,
         body: &str,
         f: impl FnOnce(&Json, &Arc<ModelEntry>) -> Response,
     ) -> Response {
@@ -141,7 +229,7 @@ impl Router {
             Some(n) => n,
             None => return Response::error(400, "missing string field 'model'"),
         };
-        let entry = match self.registry.get(name) {
+        let entry = match registry.get(name) {
             Some(e) => e,
             None => return Response::error(404, format!("model '{name}' is not registered")),
         };
@@ -166,20 +254,9 @@ impl Router {
     }
 
     fn topk(&self, request: &Json, entry: &Arc<ModelEntry>) -> Response {
-        let k = match request.get("k").map(|v| v.as_usize()) {
-            None => Some(10),
-            Some(k @ Some(_)) => k,
-            Some(None) => None,
-        };
-        let Some(k) = k else {
-            return Response::error(400, "'k' must be a non-negative integer");
-        };
-        let filtered = match request.get("filtered") {
-            None => true,
-            Some(v) => match v.as_bool() {
-                Some(b) => b,
-                None => return Response::error(400, "'filtered' must be a boolean"),
-            },
+        let (k, filtered) = match parse_topk_params(request) {
+            Ok(p) => p,
+            Err(r) => return r,
         };
         let queries = match parse_topk_queries(request, entry) {
             Ok(q) => q,
@@ -223,6 +300,94 @@ impl Router {
         )
     }
 
+    /// `POST /shard/topk` (internal): the queries of a `/topk` request —
+    /// same body schema, same validation — evaluated **only over this
+    /// worker's configured entity range**
+    /// ([`crate::registry::ModelEntry::shard_range`]), returning one
+    /// wire-encoded [`kg_core::partial::PartialTopK`] per query for the
+    /// gateway to merge. The response reports the range and entity count
+    /// so the gateway can verify the fleet tiles the entity space.
+    fn shard_topk(&self, request: &Json, entry: &Arc<ModelEntry>) -> Response {
+        let (k, filtered) = match parse_topk_params(request) {
+            Ok(p) => p,
+            Err(r) => return r,
+        };
+        let queries = match parse_topk_queries(request, entry) {
+            Ok(q) => q,
+            Err(r) => return r,
+        };
+        let engine = entry.engine();
+        let k = k.min(engine.num_entities());
+        let range = entry.shard_range();
+        // The same two-level work plan the public path uses: queries
+        // across workers, spare threads fanning each query's range out.
+        let split = kg_core::parallel::two_level_split(queries.len(), entry.threads());
+        let partials = kg_core::parallel::parallel_map_indexed(queries.len(), split.outer, |i| {
+            let (triple, side) = queries[i];
+            let known = if filtered { entry.filter().known_answers(triple, side) } else { &[] };
+            engine.partial_top_k(triple, side, known, k, range.clone(), split.inner).encode()
+        });
+        Response::json(
+            200,
+            Json::obj([
+                ("model", Json::Str(entry.name().to_string())),
+                ("k", Json::Num(k as f64)),
+                ("filtered", Json::Bool(filtered)),
+                ("shards", Json::Num(engine.num_shards() as f64)),
+                ("entities", Json::Num(engine.num_entities() as f64)),
+                (
+                    "range",
+                    Json::Arr(vec![Json::Num(range.start as f64), Json::Num(range.end as f64)]),
+                ),
+                ("partials", Json::Arr(partials.into_iter().map(Json::Str).collect())),
+            ]),
+        )
+    }
+
+    /// `POST /shard/rank` (internal): filtered-rank counters for every
+    /// query of the submitted triples (two per triple, tail then head —
+    /// the `/eval` query order), each restricted to this worker's entity
+    /// range and returned as a wire-encoded
+    /// [`kg_core::partial::PartialRankCounts`]. Summing the partials
+    /// across a fleet whose ranges tile the entity space reproduces the
+    /// single-node full-ranking counters bit for bit — the distributed
+    /// building block for exact (non-sampled) evaluation.
+    fn shard_rank(&self, request: &Json, entry: &Arc<ModelEntry>) -> Response {
+        let triples = match parse_triples(request, entry, MAX_TRIPLES_PER_REQUEST) {
+            Ok(t) => t,
+            Err(r) => return r,
+        };
+        let filtered = match request.get("filtered") {
+            None => true,
+            Some(v) => match v.as_bool() {
+                Some(b) => b,
+                None => return Response::error(400, "'filtered' must be a boolean"),
+            },
+        };
+        let engine = entry.engine();
+        let range = entry.shard_range();
+        let queries = kg_eval::ranker::queries_of(&triples);
+        let split = kg_core::parallel::two_level_split(queries.len(), entry.threads());
+        let partials = kg_core::parallel::parallel_map_indexed(queries.len(), split.outer, |i| {
+            let (triple, side) = queries[i];
+            let known = if filtered { entry.filter().known_answers(triple, side) } else { &[] };
+            engine.partial_rank_counts(triple, side, known, range.clone(), split.inner).encode()
+        });
+        Response::json(
+            200,
+            Json::obj([
+                ("model", Json::Str(entry.name().to_string())),
+                ("filtered", Json::Bool(filtered)),
+                ("entities", Json::Num(engine.num_entities() as f64)),
+                (
+                    "range",
+                    Json::Arr(vec![Json::Num(range.start as f64), Json::Num(range.end as f64)]),
+                ),
+                ("partials", Json::Arr(partials.into_iter().map(Json::Str).collect())),
+            ]),
+        )
+    }
+
     /// `POST /admin/models`: hot-reload a model snapshot.
     ///
     /// Body: `{"name": "m", "path": "/path/to/model.kgev"}` (plus
@@ -231,7 +396,7 @@ impl Router {
     /// entry is flipped atomically; in-flight requests finish on the `Arc`
     /// they hold. An existing entry keeps its filter index and recommender
     /// artifacts, so the snapshot must match its entity/relation counts.
-    fn admin_models(&self, body: &str) -> Response {
+    fn admin_models(&self, registry: &Arc<ModelRegistry>, body: &str) -> Response {
         if body.len() > MAX_BODY_BYTES {
             return Response::error(413, "request body too large");
         }
@@ -239,7 +404,7 @@ impl Router {
             Ok(v) => v,
             Err(e) => return Response::error(400, format!("invalid JSON: {e}")),
         };
-        if let Some(expected) = self.registry.admin_token() {
+        if let Some(expected) = registry.admin_token() {
             if parsed.get("token").and_then(Json::as_str) != Some(expected) {
                 return Response::error(403, "missing or invalid admin token");
             }
@@ -250,8 +415,8 @@ impl Router {
         let Some(path) = parsed.get("path").and_then(Json::as_str) else {
             return Response::error(400, "missing string field 'path'");
         };
-        let replaced = self.registry.get(name).is_some();
-        match self.registry.reload_snapshot(name, path) {
+        let replaced = registry.get(name).is_some();
+        match registry.reload_snapshot(name, path) {
             Ok(entry) => Response::json(
                 200,
                 Json::obj([
@@ -352,6 +517,29 @@ impl Router {
         }
         Response::json(200, Json::Obj(fields))
     }
+}
+
+/// Parse the shared `/topk` request knobs: `k` (default 10) and
+/// `filtered` (default true). One parser for the public endpoint and the
+/// internal `/shard/topk`, so a gateway's workers reject exactly what a
+/// single node rejects.
+fn parse_topk_params(request: &Json) -> Result<(usize, bool), Response> {
+    let k = match request.get("k").map(|v| v.as_usize()) {
+        None => Some(10),
+        Some(k @ Some(_)) => k,
+        Some(None) => None,
+    };
+    let Some(k) = k else {
+        return Err(Response::error(400, "'k' must be a non-negative integer"));
+    };
+    let filtered = match request.get("filtered") {
+        None => true,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => return Err(Response::error(400, "'filtered' must be a boolean")),
+        },
+    };
+    Ok((k, filtered))
 }
 
 /// Parse `"triples": [[h, r, t], …]`, validating ids against the model.
@@ -771,6 +959,165 @@ mod tests {
     }
 
     #[test]
+    fn shard_topk_over_the_full_range_matches_public_topk() {
+        // A worker with no shard role serves the full range: its partials
+        // decode to exactly the public /topk results.
+        let (router, _) = router();
+        let body =
+            r#"{"model":"m","queries":[{"head":0,"relation":1},{"relation":2,"tail":3}],"k":6}"#;
+        let public = Json::parse(&router.handle("POST", "/topk", body).body).unwrap();
+        let r = router.handle("POST", "/shard/topk", body);
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(v.get("k"), public.get("k"));
+        assert_eq!(v.get("filtered"), public.get("filtered"));
+        assert_eq!(v.get("shards"), public.get("shards"));
+        assert_eq!(v.get("entities").and_then(Json::as_usize), Some(30));
+        let range = v.get("range").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            (range[0].as_usize(), range[1].as_usize()),
+            (Some(0), Some(30)),
+            "no worker role → the full range"
+        );
+        let partials = v.get("partials").and_then(Json::as_array).unwrap();
+        let results = public.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(partials.len(), results.len());
+        for (wire, want) in partials.iter().zip(results) {
+            let decoded = kg_core::partial::PartialTopK::decode(wire.as_str().unwrap()).unwrap();
+            let entities: Vec<f64> = decoded.entries().iter().map(|&(e, _)| e as f64).collect();
+            let want_entities: Vec<f64> = want
+                .get("entities")
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .filter_map(Json::as_f64)
+                .collect();
+            assert_eq!(entities, want_entities, "full-range partial == public top-k");
+        }
+    }
+
+    #[test]
+    fn shard_workers_tile_the_entity_space_and_merge_to_the_full_result() {
+        use kg_core::partial::{Partial, PartialRankCounts, PartialTopK};
+        // Two worker registries over the same weights, shard 0/2 and 1/2:
+        // merged /shard/topk partials equal the single-node /topk, and
+        // summed /shard/rank partials equal the full filtered ranks.
+        let model_for = || {
+            let m = build_model(ModelKind::RotatE, 30, 3, 8, 7);
+            Arc::from(m as Box<dyn KgcModel>) as Arc<dyn KgcModel>
+        };
+        let triples: Vec<Triple> =
+            (0..15).map(|i| Triple::new(i % 30, i % 3, (i * 2 + 1) % 30)).collect();
+        let filter = Arc::new(FilterIndex::from_slices(&[&triples]));
+        let worker = |index: usize| {
+            let registry = Arc::new(ModelRegistry::with_config(crate::registry::RegistryConfig {
+                worker_shard: Some(crate::registry::WorkerShard { index, of: 2 }),
+                ..crate::registry::RegistryConfig::default()
+            }));
+            registry.register("m", model_for(), Arc::clone(&filter));
+            Router::new(registry)
+        };
+        let (w0, w1) = (worker(0), worker(1));
+        let single = {
+            let registry = Arc::new(ModelRegistry::new());
+            registry.register("m", model_for(), Arc::clone(&filter));
+            Router::new(registry)
+        };
+
+        // /shard/topk: per-worker partials merge to the public result.
+        let topk_body =
+            r#"{"model":"m","queries":[{"head":2,"relation":1},{"relation":0,"tail":9}],"k":8}"#;
+        let full = Json::parse(&single.handle("POST", "/topk", topk_body).body).unwrap();
+        let p0 = Json::parse(&w0.handle("POST", "/shard/topk", topk_body).body).unwrap();
+        let p1 = Json::parse(&w1.handle("POST", "/shard/topk", topk_body).body).unwrap();
+        // The two ranges tile 0..30.
+        let range_of = |v: &Json| {
+            let r = v.get("range").and_then(Json::as_array).unwrap();
+            (r[0].as_usize().unwrap(), r[1].as_usize().unwrap())
+        };
+        assert_eq!(range_of(&p0), (0, 15));
+        assert_eq!(range_of(&p1), (15, 30));
+        let partials = |v: &Json| -> Vec<PartialTopK> {
+            v.get("partials")
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .map(|w| PartialTopK::decode(w.as_str().unwrap()).unwrap())
+                .collect()
+        };
+        let results = full.get("results").and_then(Json::as_array).unwrap();
+        for ((mut a, b), want) in partials(&p0).into_iter().zip(partials(&p1)).zip(results) {
+            a.merge(b);
+            let got: Vec<f64> = a.into_entries().iter().map(|&(e, _)| e as f64).collect();
+            let want: Vec<f64> = want
+                .get("entities")
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .filter_map(Json::as_f64)
+                .collect();
+            assert_eq!(got, want, "merged shard partials == single-node top-k");
+        }
+
+        // /shard/rank: summed counters reproduce the full filtered ranks.
+        let rank_body = r#"{"model":"m","triples":[[2,1,5],[9,0,4],[0,2,7]]}"#;
+        let r0 = Json::parse(&w0.handle("POST", "/shard/rank", rank_body).body).unwrap();
+        let r1 = Json::parse(&w1.handle("POST", "/shard/rank", rank_body).body).unwrap();
+        let counts = |v: &Json| -> Vec<PartialRankCounts> {
+            v.get("partials")
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .map(|w| PartialRankCounts::decode(w.as_str().unwrap()).unwrap())
+                .collect()
+        };
+        let model = model_for();
+        let want = kg_eval::evaluate_full(
+            model.as_ref(),
+            &[Triple::new(2, 1, 5), Triple::new(9, 0, 4), Triple::new(0, 2, 7)],
+            &filter,
+            TieBreak::Mean,
+            1,
+        );
+        let merged: Vec<f64> = counts(&r0)
+            .into_iter()
+            .zip(counts(&r1))
+            .map(|(mut a, b)| {
+                a.merge(b);
+                TieBreak::Mean.rank(a.higher as usize, a.ties as usize)
+            })
+            .collect();
+        assert_eq!(merged, want.ranks, "summed shard counters == full filtered ranks");
+    }
+
+    #[test]
+    fn shard_endpoints_validate_like_their_public_counterparts() {
+        let (router, _) = router();
+        // Same rejections as /topk.
+        for body in [
+            r#"{"model":"m","queries":[{"relation":1}]}"#,
+            r#"{"model":"m","queries":[{"head":99,"relation":1}]}"#,
+            r#"{"model":"m","queries":[{"head":1,"relation":1}],"k":"many"}"#,
+            r#"{"model":"nope","queries":[{"head":1,"relation":1}]}"#,
+        ] {
+            let public = router.handle("POST", "/topk", body);
+            let shard = router.handle("POST", "/shard/topk", body);
+            assert!(shard.status >= 400, "{body} accepted: {}", shard.body);
+            assert_eq!(shard.status, public.status, "{body}: statuses diverge");
+            assert_eq!(shard.body, public.body, "{body}: error bodies diverge");
+        }
+        // /shard/rank validates triples like /score and /eval do.
+        for (body, status) in [
+            (r#"{"model":"m"}"#, 400),
+            (r#"{"model":"m","triples":[[0,1,99]]}"#, 422),
+            (r#"{"model":"m","triples":[[0,1,2]],"filtered":"yes"}"#, 400),
+        ] {
+            let r = router.handle("POST", "/shard/rank", body);
+            assert_eq!(r.status, status, "{body} → {}", r.body);
+        }
+    }
+
+    #[test]
     fn admin_reload_flips_model_and_keeps_old_arc_alive() {
         let (router, registry) = router();
         let old_entry = registry.get("m").unwrap();
@@ -871,7 +1218,8 @@ mod tests {
         assert_eq!(r.status, 200, "{}", r.body);
         let v = Json::parse(&r.body).unwrap();
         assert_eq!(v.get("status").and_then(Json::as_str), Some("loaded"));
-        let entry = router.registry.get("fresh").unwrap();
+        let Mode::Local(registry) = &router.mode else { panic!("local router") };
+        let entry = registry.get("fresh").unwrap();
         assert!(entry.filter().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }

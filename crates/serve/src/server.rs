@@ -97,6 +97,18 @@ pub struct ServerConfig {
     pub idle_timeout: Duration,
     /// Requests served on one connection before the server closes it.
     pub max_requests_per_connection: usize,
+    /// Per-client fairness: the size of each remote IP's token bucket
+    /// (its connection burst allowance). `0` disables per-client
+    /// throttling. The global [`ServerConfig::max_connections`] budget is
+    /// first-come-first-served, so without a bucket one chatty client
+    /// opening connections in a tight loop can drain it and starve
+    /// everyone else; with a bucket, each accepted connection spends one
+    /// token and an empty bucket answers `429 Too Many Requests` with
+    /// `Retry-After` (counted in `kg_serve_throttled_connections_total`).
+    pub client_bucket_size: u32,
+    /// Tokens returned to each client's bucket per second (sustained
+    /// connections-per-second allowance once the burst is spent).
+    pub client_bucket_refill_per_sec: f64,
     /// Concurrent connections admitted to the worker pool (in service or
     /// queued); beyond this the connection gets 503 and is closed.
     ///
@@ -126,6 +138,8 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             idle_timeout: Duration::from_secs(5),
             max_requests_per_connection: 1024,
+            client_bucket_size: 0,
+            client_bucket_refill_per_sec: 8.0,
             // Coupled to the pool: every admitted connection needs a
             // worker eventually, so the queue a connection can land in is
             // at most 3x the pool. Idle connections ahead of it recycle
@@ -165,6 +179,73 @@ impl ServerHandle {
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+    }
+}
+
+/// Per-client token buckets keyed by remote IP — the fairness gate in
+/// front of the global connection budget. Owned by the acceptor thread
+/// alone (no locking): each accepted connection spends one token from its
+/// client's bucket, refilled continuously at the configured rate.
+struct ClientBuckets {
+    size: f64,
+    refill_per_sec: f64,
+    buckets: std::collections::HashMap<std::net::IpAddr, (f64, Instant)>,
+}
+
+/// Distinct client IPs tracked before full buckets are pruned (bounds the
+/// map against address-diverse scanners; a full bucket carries no state
+/// worth keeping).
+const MAX_TRACKED_CLIENTS: usize = 4096;
+
+impl ClientBuckets {
+    fn new(size: u32, refill_per_sec: f64) -> Option<Self> {
+        (size > 0).then(|| ClientBuckets {
+            size: f64::from(size),
+            refill_per_sec: refill_per_sec.max(0.0),
+            buckets: std::collections::HashMap::new(),
+        })
+    }
+
+    /// Spend one token for `ip`; `Ok(())` admits, `Err(retry_secs)`
+    /// throttles with a suggested wait until a token is available.
+    fn admit(&mut self, ip: std::net::IpAddr, now: Instant) -> Result<(), u64> {
+        if self.buckets.len() >= MAX_TRACKED_CLIENTS && !self.buckets.contains_key(&ip) {
+            self.prune(now);
+        }
+        let (tokens, last) = self.buckets.entry(ip).or_insert((self.size, now));
+        let refilled = (*tokens
+            + now.saturating_duration_since(*last).as_secs_f64() * self.refill_per_sec)
+            .min(self.size);
+        *last = now;
+        if refilled >= 1.0 {
+            *tokens = refilled - 1.0;
+            Ok(())
+        } else {
+            *tokens = refilled;
+            let wait = if self.refill_per_sec > 0.0 {
+                ((1.0 - refilled) / self.refill_per_sec).ceil() as u64
+            } else {
+                // Refill disabled: the burst is a hard cap for the
+                // connection's lifetime; advertise a nominal second.
+                1
+            };
+            Err(wait.max(1))
+        }
+    }
+
+    /// Drop clients whose buckets have refilled to full — they are
+    /// indistinguishable from never-seen clients.
+    fn prune(&mut self, now: Instant) {
+        let (size, rate) = (self.size, self.refill_per_sec);
+        self.buckets.retain(|_, (tokens, last)| {
+            *tokens + now.saturating_duration_since(*last).as_secs_f64() * rate < size
+        });
+        // Address-diverse flood: every bucket is mid-refill. Clear rather
+        // than grow without bound — forgetting a throttle is cheaper than
+        // an unbounded map.
+        if self.buckets.len() >= MAX_TRACKED_CLIENTS {
+            self.buckets.clear();
         }
     }
 }
@@ -265,13 +346,45 @@ pub fn serve(router: Router, config: &ServerConfig) -> std::io::Result<ServerHan
         let metrics = Arc::clone(&metrics);
         let budget = ConnectionBudget::new(config.max_connections);
         let retry_after_secs = config.retry_after_secs;
+        let mut client_buckets =
+            ClientBuckets::new(config.client_bucket_size, config.client_bucket_refill_per_sec);
         std::thread::spawn(move || {
             let inflight_rejects = Arc::new(AtomicUsize::new(0));
+            // Turn a connection away off-thread: a rejected client that
+            // won't read (or close) must not stall accept. The in-flight
+            // bound keeps a rejection storm from spawning without limit —
+            // past it, drop the connection unanswered.
+            let reject = |s: TcpStream, status: u16, message: &'static str, retry_after: u64| {
+                let admitted = inflight_rejects
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                        (n < MAX_INFLIGHT_REJECTS).then_some(n + 1)
+                    })
+                    .is_ok();
+                if admitted {
+                    let inflight = Arc::clone(&inflight_rejects);
+                    std::thread::spawn(move || {
+                        let _ = reject_connection(s, status, message, retry_after);
+                        inflight.fetch_sub(1, Ordering::AcqRel);
+                    });
+                }
+            };
             for stream in listener.incoming() {
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(s) = stream else { continue };
+                // Per-client fairness gate first: one chatty client must
+                // not be able to reach (and drain) the shared budget at
+                // all once its own allowance is spent.
+                if let Some(buckets) = &mut client_buckets {
+                    if let Ok(peer) = s.peer_addr() {
+                        if let Err(wait) = buckets.admit(peer.ip(), Instant::now()) {
+                            metrics.connection_throttled();
+                            reject(s, 429, "client connection budget exhausted", wait);
+                            continue;
+                        }
+                    }
+                }
                 match budget.try_acquire() {
                     Some(permit) => {
                         if tx.send((s, permit, Instant::now())).is_err() {
@@ -280,23 +393,7 @@ pub fn serve(router: Router, config: &ServerConfig) -> std::io::Result<ServerHan
                     }
                     None => {
                         metrics.connection_rejected();
-                        // Write the 503 off-thread: a rejected client that
-                        // won't read (or close) must not stall accept. The
-                        // in-flight bound keeps a rejection storm from
-                        // spawning without limit — past it, drop the
-                        // connection unanswered.
-                        let admitted = inflight_rejects
-                            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
-                                (n < MAX_INFLIGHT_REJECTS).then_some(n + 1)
-                            })
-                            .is_ok();
-                        if admitted {
-                            let inflight = Arc::clone(&inflight_rejects);
-                            std::thread::spawn(move || {
-                                let _ = reject_connection(s, retry_after_secs);
-                                inflight.fetch_sub(1, Ordering::AcqRel);
-                            });
-                        }
+                        reject(s, 503, "server at connection capacity", retry_after_secs);
                     }
                 }
             }
@@ -307,16 +404,23 @@ pub fn serve(router: Router, config: &ServerConfig) -> std::io::Result<ServerHan
     Ok(ServerHandle { addr, stop, acceptor: Some(acceptor), workers })
 }
 
-/// Turn away a connection the budget cannot admit: 503 with `Retry-After`.
-/// Runs on a short-lived rejection thread (never the acceptor), bounded by
-/// a write timeout and a capped lingering drain.
-fn reject_connection(mut stream: TcpStream, retry_after_secs: u64) -> std::io::Result<()> {
+/// Turn away a connection the admission gates refused: `503` (global
+/// budget) or `429` (per-client bucket), both with `Retry-After`. Runs on
+/// a short-lived rejection thread (never the acceptor), bounded by a
+/// write timeout and a capped lingering drain.
+fn reject_connection(
+    mut stream: TcpStream,
+    status: u16,
+    message: &str,
+    retry_after_secs: u64,
+) -> std::io::Result<()> {
     stream.set_write_timeout(Some(Duration::from_secs(1)))?;
     stream.set_nodelay(true)?;
-    let body = r#"{"error":"server at connection capacity"}"#;
+    let body = format!(r#"{{"error":"{message}"}}"#);
     let head = format!(
-        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\n\
          Content-Length: {}\r\nRetry-After: {retry_after_secs}\r\nConnection: close\r\n\r\n",
+        reason_phrase(status),
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -717,8 +821,10 @@ fn reason_phrase(status: u16) -> &'static str {
         413 => "Payload Too Large",
         417 => "Expectation Failed",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         501 => "Not Implemented",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
@@ -761,8 +867,12 @@ fn write_response(
         ),
         ConnDirective::Close => "Connection: close\r\n".to_string(),
     };
+    let retry_after = match response.retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{connection}\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{retry_after}{connection}\r\n",
         response.status,
         reason_phrase(response.status),
         response.content_type,
@@ -1225,6 +1335,71 @@ mod tests {
         assert!(conn.server_closed(), "an announced-but-unsent body spends the connection");
         drop(conn);
         server.shutdown();
+    }
+
+    #[test]
+    fn chatty_clients_are_throttled_with_429_and_recover_on_refill() {
+        let (server, metrics) = running_server_with(&ServerConfig {
+            workers: 2,
+            client_bucket_size: 3,
+            client_bucket_refill_per_sec: 2.0,
+            ..Default::default()
+        });
+        // The burst allowance admits the first three connections …
+        for i in 0..3 {
+            let (status, _) = client::get(server.addr(), "/healthz").unwrap();
+            assert_eq!(status, 200, "burst connection {i}");
+        }
+        // … the fourth (opened immediately) is throttled at the door.
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 429 Too Many Requests"), "got: {out}");
+        assert!(out.contains("Retry-After:"), "advertises a wait: {out}");
+        assert!(out.contains("client connection budget"), "names the bucket: {out}");
+        assert_eq!(metrics.throttled_connections(), 1);
+        assert_eq!(
+            metrics.rejected_connections(),
+            0,
+            "throttling is per-client fairness, not the global 503 budget"
+        );
+        // Refill restores service for the same client.
+        let mut ok = false;
+        for _ in 0..50 {
+            std::thread::sleep(Duration::from_millis(50));
+            if let Ok((200, _)) = client::get(server.addr(), "/healthz") {
+                ok = true;
+                break;
+            }
+        }
+        assert!(ok, "the bucket must refill at the configured rate");
+        server.shutdown();
+    }
+
+    #[test]
+    fn token_bucket_math_admits_bursts_and_meters_sustained_rates() {
+        let ip: std::net::IpAddr = "10.0.0.1".parse().unwrap();
+        let other: std::net::IpAddr = "10.0.0.2".parse().unwrap();
+        let t0 = Instant::now();
+        let mut buckets = ClientBuckets::new(2, 1.0).unwrap();
+        assert!(buckets.admit(ip, t0).is_ok());
+        assert!(buckets.admit(ip, t0).is_ok(), "burst of bucket-size admits");
+        let wait = buckets.admit(ip, t0).unwrap_err();
+        assert!(wait >= 1, "empty bucket advertises a wait");
+        // A different client is unaffected — that is the fairness point.
+        assert!(buckets.admit(other, t0).is_ok());
+        // One second later one token has returned — for one connection.
+        let t1 = t0 + Duration::from_secs(1);
+        assert!(buckets.admit(ip, t1).is_ok());
+        assert!(buckets.admit(ip, t1).is_err(), "refill is metered, not a reset");
+        // The bucket never overfills past its size.
+        let t9 = t0 + Duration::from_secs(60);
+        assert!(buckets.admit(ip, t9).is_ok());
+        assert!(buckets.admit(ip, t9).is_ok());
+        assert!(buckets.admit(ip, t9).is_err(), "long idling caps at the burst size");
+        // Size 0 disables the gate entirely.
+        assert!(ClientBuckets::new(0, 1.0).is_none());
     }
 
     #[test]

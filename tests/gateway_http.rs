@@ -1,0 +1,326 @@
+//! Multi-node integration tests: a scatter/gather gateway over real shard
+//! workers (each an HTTP server on an ephemeral port) must answer
+//! **byte-identically** to a single-node server carrying the same models —
+//! for `/topk`, `/score`, and `/eval`, across all 7 model families, over
+//! mixed sequential and pipelined traffic. Failure semantics (backend
+//! down → 503 + error counter, degraded `/healthz`) ride along.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kgeval::core::{FilterIndex, Triple};
+use kgeval::models::{build_model, KgcModel, ModelKind};
+use kgeval::serve::{
+    client, serve, ClientConfig, Gateway, GatewayConfig, Json, ModelRegistry, RegistryConfig,
+    Router, ServerConfig, ServerHandle, WorkerShard,
+};
+
+const NUM_ENTITIES: usize = 60;
+const NUM_RELATIONS: usize = 4;
+
+fn family_dim(kind: ModelKind) -> usize {
+    match kind {
+        ModelKind::ConvE => 16,
+        ModelKind::Rescal | ModelKind::TuckEr => 8,
+        _ => 12,
+    }
+}
+
+fn family_name(kind: ModelKind) -> String {
+    format!("{kind:?}").to_lowercase()
+}
+
+fn shared_filter() -> Arc<FilterIndex> {
+    let triples: Vec<Triple> = (0..40u32)
+        .map(|i| Triple::new(i % NUM_ENTITIES as u32, i % NUM_RELATIONS as u32, (i * 7 + 3) % 60))
+        .collect();
+    Arc::new(FilterIndex::from_slices(&[&triples]))
+}
+
+/// A registry with every model family registered under its lowercase name;
+/// weights are seed-deterministic, so every node builds identical models.
+fn registry_with_all_families(worker_shard: Option<WorkerShard>) -> Arc<ModelRegistry> {
+    let registry = Arc::new(ModelRegistry::with_config(RegistryConfig {
+        worker_shard,
+        ..RegistryConfig::default()
+    }));
+    let filter = shared_filter();
+    for kind in ModelKind::ALL {
+        let model = build_model(kind, NUM_ENTITIES, NUM_RELATIONS, family_dim(kind), 77);
+        registry.register(
+            family_name(kind),
+            Arc::from(model as Box<dyn KgcModel>),
+            Arc::clone(&filter),
+        );
+    }
+    registry
+}
+
+fn start_node(worker_shard: Option<WorkerShard>) -> ServerHandle {
+    let router = Router::new(registry_with_all_families(worker_shard));
+    serve(router, &ServerConfig { workers: 4, ..Default::default() }).expect("bind node")
+}
+
+fn start_gateway(workers: &[&ServerHandle]) -> ServerHandle {
+    let gateway = Gateway::new(GatewayConfig {
+        backends: workers.iter().map(|w| w.addr().to_string()).collect(),
+        // No background prober in tests: health transitions come from
+        // live requests only, keeping counters deterministic.
+        health_interval: Duration::ZERO,
+        ..GatewayConfig::default()
+    })
+    .expect("gateway");
+    serve(Router::gateway(gateway), &ServerConfig { workers: 4, ..Default::default() })
+        .expect("bind gateway")
+}
+
+/// Drop the one field that legitimately differs between two executions
+/// anywhere (`/eval`'s wall-clock `"seconds"`).
+fn canon(body: &str) -> String {
+    match Json::parse(body) {
+        Ok(Json::Obj(fields)) => {
+            Json::Obj(fields.into_iter().filter(|(k, _)| k != "seconds").collect()).to_string()
+        }
+        _ => body.to_string(),
+    }
+}
+
+#[test]
+fn gateway_answers_byte_identically_to_a_single_node_for_all_families() {
+    let single = start_node(None);
+    let workers: Vec<ServerHandle> =
+        (0..3).map(|i| start_node(Some(WorkerShard { index: i, of: 3 }))).collect();
+    let gateway = start_gateway(&workers.iter().collect::<Vec<_>>());
+
+    for kind in ModelKind::ALL {
+        let model = family_name(kind);
+        let requests = [
+            // /topk: mixed sides, filtered + unfiltered, k beyond |E|.
+            (
+                "/topk",
+                format!(
+                    r#"{{"model":"{model}","queries":[{{"head":2,"relation":1}},{{"relation":0,"tail":9}},{{"head":59,"relation":3}}],"k":7}}"#
+                ),
+            ),
+            (
+                "/topk",
+                format!(
+                    r#"{{"model":"{model}","queries":[{{"head":5,"relation":2}}],"k":500,"filtered":false}}"#
+                ),
+            ),
+            // /score: a batch spanning the chunk boundaries of 3 workers.
+            (
+                "/score",
+                format!(
+                    r#"{{"model":"{model}","triples":[[0,1,2],[5,2,7],[9,0,4],[59,3,58],[30,1,31],[12,2,13],[44,0,45]]}}"#
+                ),
+            ),
+            // /eval: first call (sample-cache miss on every node), with
+            // per-query ranks included.
+            (
+                "/eval",
+                format!(
+                    r#"{{"model":"{model}","triples":[[0,1,2],[5,2,7],[9,0,4],[30,1,31],[44,0,45]],"n_s":12,"seed":9,"include_ranks":true}}"#
+                ),
+            ),
+            // Second identical call: cache hit everywhere, ranks omitted.
+            (
+                "/eval",
+                format!(
+                    r#"{{"model":"{model}","triples":[[0,1,2],[5,2,7],[9,0,4],[30,1,31],[44,0,45]],"n_s":12,"seed":9}}"#
+                ),
+            ),
+        ];
+        for (path, body) in &requests {
+            let (s_single, b_single) = client::post_json(single.addr(), path, body).unwrap();
+            let (s_gw, b_gw) = client::post_json(gateway.addr(), path, body).unwrap();
+            assert_eq!(s_gw, s_single, "{model} {path}: status diverged ({b_gw})");
+            assert_eq!(s_single, 200, "{model} {path}: {b_single}");
+            if *path == "/eval" {
+                assert_eq!(canon(&b_gw), canon(&b_single), "{model} {path}: bytes diverged");
+            } else {
+                assert_eq!(b_gw, b_single, "{model} {path}: bytes diverged");
+            }
+        }
+    }
+
+    gateway.shutdown();
+    for w in workers {
+        w.shutdown();
+    }
+    single.shutdown();
+}
+
+#[test]
+fn gateway_matches_single_node_over_pipelined_mixed_traffic_and_two_workers() {
+    let single = start_node(None);
+    let workers: Vec<ServerHandle> =
+        (0..2).map(|i| start_node(Some(WorkerShard { index: i, of: 2 }))).collect();
+    let gateway = start_gateway(&workers.iter().collect::<Vec<_>>());
+
+    let topk = r#"{"model":"complex","queries":[{"head":1,"relation":0},{"relation":2,"tail":33}],"k":11}"#;
+    let score = r#"{"model":"rotate","triples":[[1,0,2],[3,1,4],[5,2,6],[7,3,8]]}"#;
+    let eval = r#"{"model":"transe","triples":[[1,0,2],[3,1,4],[5,2,6]],"n_s":9,"seed":3,"include_ranks":true}"#;
+    // Warm both deployments' sample caches so serial and pipelined runs
+    // agree on the "hit" marker.
+    assert_eq!(client::post_json(single.addr(), "/eval", eval).unwrap().0, 200);
+    assert_eq!(client::post_json(gateway.addr(), "/eval", eval).unwrap().0, 200);
+
+    let requests: Vec<(&str, &str, Option<&str>)> = vec![
+        ("POST", "/topk", Some(topk)),
+        ("POST", "/score", Some(score)),
+        ("POST", "/eval", Some(eval)),
+        ("POST", "/topk", Some(topk)),
+        ("POST", "/score", Some(score)),
+    ];
+    let serial: Vec<(u16, String)> = requests
+        .iter()
+        .map(|(m, p, b)| client::request(single.addr(), m, p, *b).unwrap())
+        .collect();
+    let mut conn = client::Connection::open(gateway.addr()).unwrap();
+    let pipelined = conn.pipeline(&requests).unwrap();
+    assert_eq!(pipelined.len(), serial.len());
+    for (i, (s, p)) in serial.iter().zip(&pipelined).enumerate() {
+        assert_eq!(p.0, s.0, "request {i}: status diverged");
+        assert_eq!(
+            canon(&p.1),
+            canon(&s.1),
+            "request {i} ({}): gateway pipeline != single-node serial",
+            requests[i].1
+        );
+    }
+    drop(conn);
+
+    // Error parity rides the relay path: malformed and invalid requests
+    // produce the same bytes a single node produces.
+    for (path, body) in [
+        ("/score", "not json at all"),
+        ("/score", r#"{"model":"rotate","triples":[[0,0,999]]}"#),
+        // The invalid triple sits at index 2, which lands in worker 1's
+        // chunk as its index 0 — the error must still name triples[2],
+        // exactly as a single node does (full-body revalidation path).
+        ("/score", r#"{"model":"rotate","triples":[[0,0,1],[0,0,2],[0,0,999],[0,0,3]]}"#),
+        ("/eval", r#"{"model":"transe","triples":[[1,0,2],[3,1,4],[9,2,999]],"n_s":5}"#),
+        ("/score", r#"{"model":"ghost","triples":[[0,0,1]]}"#),
+        ("/topk", r#"{"model":"complex","queries":[{"relation":9,"head":1}]}"#),
+        ("/eval", r#"{"model":"transe","triples":[[0,1,2]],"strategy":"static"}"#),
+    ] {
+        let (s_single, b_single) = client::post_json(single.addr(), path, body).unwrap();
+        let (s_gw, b_gw) = client::post_json(gateway.addr(), path, body).unwrap();
+        assert_eq!((s_gw, &b_gw), (s_single, &b_single), "{path} {body}: error parity");
+    }
+
+    gateway.shutdown();
+    for w in workers {
+        w.shutdown();
+    }
+    single.shutdown();
+}
+
+#[test]
+fn gateway_healthz_reports_backends_and_admin_is_refused() {
+    let workers: Vec<ServerHandle> =
+        (0..2).map(|i| start_node(Some(WorkerShard { index: i, of: 2 }))).collect();
+    let gateway = start_gateway(&workers.iter().collect::<Vec<_>>());
+
+    let (status, body) = client::get(gateway.addr(), "/healthz").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(v.get("role").and_then(Json::as_str), Some("gateway"));
+    let backends = v.get("backends").and_then(Json::as_array).unwrap();
+    assert_eq!(backends.len(), 2);
+    assert!(backends.iter().all(|b| b.get("healthy").and_then(Json::as_bool) == Some(true)));
+
+    let (status, body) =
+        client::post_json(gateway.addr(), "/admin/models", r#"{"name":"x","path":"/y"}"#).unwrap();
+    assert_eq!(status, 501, "{body}");
+    assert!(body.contains("reload each worker directly"), "{body}");
+
+    gateway.shutdown();
+    for w in workers {
+        w.shutdown();
+    }
+}
+
+#[test]
+fn dead_backend_means_503_with_retry_after_and_an_error_counter() {
+    let workers: Vec<ServerHandle> =
+        (0..2).map(|i| start_node(Some(WorkerShard { index: i, of: 2 }))).collect();
+    let gateway = start_gateway(&workers.iter().collect::<Vec<_>>());
+
+    // Healthy fleet answers.
+    let body = r#"{"model":"distmult","queries":[{"head":0,"relation":1}],"k":4}"#;
+    let (status, _) = client::post_json(gateway.addr(), "/topk", body).unwrap();
+    assert_eq!(status, 200);
+
+    // Kill worker 1: the very next scatter fails, and the gateway answers
+    // 503 + Retry-After instead of a silently range-incomplete ranking.
+    workers.into_iter().nth(1).unwrap().shutdown();
+    let mut s = std::net::TcpStream::connect(gateway.addr()).unwrap();
+    use std::io::{Read, Write};
+    let wire = format!(
+        "POST /topk HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(wire.as_bytes()).unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 503"), "got: {out}");
+    assert!(out.contains("Retry-After:"), "got: {out}");
+    assert!(out.contains("unavailable"), "got: {out}");
+
+    // The failure was counted per backend, and /healthz degrades.
+    let (_, prom) = client::get(gateway.addr(), "/metrics").unwrap();
+    assert!(
+        prom.contains("kg_serve_gateway_backend_errors_total{backend="),
+        "backend error counter must render: {prom}"
+    );
+    assert!(
+        prom.contains("kg_serve_gateway_scatter_seconds{endpoint=\"/topk\""),
+        "scatter latency must render: {prom}"
+    );
+    assert!(
+        prom.contains("kg_serve_gateway_merge_seconds{endpoint=\"/topk\""),
+        "merge latency must render: {prom}"
+    );
+    let (_, health) = client::get(gateway.addr(), "/healthz").unwrap();
+    let v = Json::parse(&health).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("degraded"), "{health}");
+
+    gateway.shutdown();
+}
+
+#[test]
+fn client_config_bounds_connects_and_reads() {
+    // Connect timeout: RFC 5737 TEST-NET-1 is unroutable in a normal
+    // network, so an unbounded connect would hang; whatever this
+    // environment does with the packet, the configured budget must bound
+    // the attempt (some sandboxes answer or refuse immediately, so only
+    // the time bound is asserted, not the outcome).
+    let config = ClientConfig {
+        connect_timeout: Some(Duration::from_millis(200)),
+        read_timeout: Some(Duration::from_millis(200)),
+    };
+    let started = std::time::Instant::now();
+    let _ = client::Connection::open_with("192.0.2.1:9".parse().unwrap(), &config);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "connect timeout must bound the attempt, took {:?}",
+        started.elapsed()
+    );
+
+    // Read timeout: a listener that accepts but never answers.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let hold = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        std::thread::sleep(Duration::from_secs(2));
+        drop(stream);
+    });
+    let mut conn = client::Connection::open_with(addr, &config).unwrap();
+    let started = std::time::Instant::now();
+    assert!(conn.get("/healthz").is_err(), "a mute server must time the read out");
+    assert!(started.elapsed() < Duration::from_secs(2), "read budget enforced");
+    hold.join().unwrap();
+}
