@@ -1,0 +1,179 @@
+//! Release-mode perf smoke: sustained `POST /triples` ingest into a
+//! 100k-entity model while concurrent clients keep hammering `/topk`.
+//!
+//! `#[ignore]`d because the number only means anything under `--release`;
+//! CI runs it explicitly:
+//!
+//! ```text
+//! cargo test --release -p kg-bench --test ingest_throughput -- --ignored --nocapture
+//! ```
+//!
+//! It prints one machine-greppable `ingest_throughput:` line (sustained
+//! inserts/sec with readers attached) — and it ends with the invariant
+//! that makes streaming ingest safe to take: after the writes drain, the
+//! live server's `/topk` and `/eval` answers are **byte-identical** to a
+//! server cold-loaded with the same final graph. Throughput without that
+//! parity assert would just be measuring how fast we corrupt an index.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kgeval::core::{FilterIndex, Triple};
+use kgeval::models::{build_model, KgcModel, ModelKind};
+use kgeval::serve::{
+    client, serve, Json, ModelRegistry, RegistryConfig, Router, ServerConfig, ServerHandle,
+};
+
+const NUM_ENTITIES: usize = 100_000;
+const NUM_RELATIONS: usize = 8;
+const DIM: usize = 16;
+const BATCHES: usize = 100;
+const BATCH_SIZE: usize = 512;
+const READERS: usize = 2;
+
+fn start_node(model: &Arc<dyn KgcModel>, filter: &Arc<FilterIndex>) -> ServerHandle {
+    let registry = Arc::new(ModelRegistry::with_config(RegistryConfig {
+        // No coalescing sleep: reader latency should reflect ranking work,
+        // not the batching window, on both deployments.
+        topk_batch_window: Duration::ZERO,
+        ..RegistryConfig::default()
+    }));
+    registry.register("m", Arc::clone(model), Arc::clone(filter));
+    serve(Router::new(registry), &ServerConfig { workers: 4, ..Default::default() }).expect("bind")
+}
+
+fn triples_json(triples: &[Triple]) -> String {
+    triples
+        .iter()
+        .map(|t| format!("[{},{},{}]", t.head.0, t.relation.0, t.tail.0))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[test]
+#[ignore = "100k-entity perf smoke; run with --release -- --ignored --nocapture"]
+fn ingest_throughput_with_concurrent_topk() {
+    let model = build_model(ModelKind::DistMult, NUM_ENTITIES, NUM_RELATIONS, DIM, 42);
+    let model: Arc<dyn KgcModel> = Arc::from(model as Box<dyn KgcModel>);
+    let base: Vec<Triple> = (0..2_000u32)
+        .map(|i| {
+            Triple::new(
+                i % NUM_ENTITIES as u32,
+                i % NUM_RELATIONS as u32,
+                (i * 31 + 5) % NUM_ENTITIES as u32,
+            )
+        })
+        .collect();
+    let filter = Arc::new(FilterIndex::from_slices(&[&base]));
+    let live = start_node(&model, &filter);
+    let addr = live.addr();
+
+    // Deterministic, duplicate-free insert stream.
+    let mut seen: HashSet<Triple> = base.iter().copied().collect();
+    let batches: Vec<Vec<Triple>> = (0..BATCHES)
+        .map(|b| {
+            let mut batch = Vec::with_capacity(BATCH_SIZE);
+            let mut i = (b * BATCH_SIZE) as u64;
+            while batch.len() < BATCH_SIZE {
+                let t = Triple::new(
+                    ((i * 7919 + 13) % NUM_ENTITIES as u64) as u32,
+                    (i % NUM_RELATIONS as u64) as u32,
+                    ((i * 104_729 + 7) % NUM_ENTITIES as u64) as u32,
+                );
+                if seen.insert(t) {
+                    batch.push(t);
+                }
+                i += 1;
+            }
+            batch
+        })
+        .collect();
+
+    // Readers: keep-alive /topk loops that run until the ingest drains.
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let (stop, reads) = (Arc::clone(&stop), Arc::clone(&reads));
+            std::thread::spawn(move || {
+                let mut conn = client::Connection::open(addr).unwrap();
+                let mut i = r;
+                while !stop.load(Ordering::Relaxed) {
+                    let e = (i * 40_009 + 7) % NUM_ENTITIES;
+                    let body = format!(
+                        r#"{{"model":"m","queries":[{{"head":{e},"relation":{}}}],"k":50}}"#,
+                        i % NUM_RELATIONS
+                    );
+                    let (status, resp) = conn.post_json("/topk", &body).unwrap();
+                    assert_eq!(status, 200, "reader {r}: {resp}");
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    // Writer: sustained wire ingest on one keep-alive connection.
+    let mut conn = client::Connection::open(addr).unwrap();
+    let start = Instant::now();
+    let mut inserted_total = 0usize;
+    for (b, batch) in batches.iter().enumerate() {
+        let body = format!(r#"{{"model":"m","insert":[{}]}}"#, triples_json(batch));
+        let (status, resp) = conn.post_json("/triples", &body).unwrap();
+        assert_eq!(status, 200, "batch {b}: {resp}");
+        let parsed = Json::parse(&resp).unwrap();
+        inserted_total += parsed.get("inserted").and_then(Json::as_usize).unwrap();
+        assert_eq!(parsed.get("version").and_then(Json::as_usize), Some(b + 1));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert_eq!(inserted_total, BATCHES * BATCH_SIZE, "the stream was duplicate-free");
+
+    println!(
+        "ingest_throughput: inserts={} batches={BATCHES} total_s={secs:.4} inserts_per_s={:.0} concurrent_topk_reads={}",
+        inserted_total,
+        inserted_total as f64 / secs.max(1e-12),
+        reads.load(Ordering::Relaxed)
+    );
+
+    // Parity: a server cold-loaded with the final graph must answer
+    // byte-identically to the live server that streamed its way there.
+    let final_triples: Vec<Triple> =
+        base.iter().copied().chain(batches.iter().flatten().copied()).collect();
+    let cold = start_node(&model, &Arc::new(FilterIndex::from_slices(&[&final_triples])));
+    let canon = |body: &str| match Json::parse(body) {
+        Ok(Json::Obj(fields)) => Json::Obj(
+            fields.into_iter().filter(|(k, _)| k != "seconds" && k != "graph_version").collect(),
+        )
+        .to_string(),
+        _ => body.to_string(),
+    };
+    for i in 0..8usize {
+        let e = (i * 12_345 + 11) % NUM_ENTITIES;
+        let topk = format!(
+            r#"{{"model":"m","queries":[{{"head":{e},"relation":{}}},{{"relation":{},"tail":{e}}}],"k":25}}"#,
+            i % NUM_RELATIONS,
+            (i + 3) % NUM_RELATIONS
+        );
+        let (s_live, b_live) = client::post_json(addr, "/topk", &topk).unwrap();
+        let (s_cold, b_cold) = client::post_json(cold.addr(), "/topk", &topk).unwrap();
+        assert_eq!((s_live, s_cold), (200, 200), "{b_live} {b_cold}");
+        assert_eq!(b_live, b_cold, "query {i}: /topk diverged after streaming ingest");
+    }
+    let eval = format!(
+        r#"{{"model":"m","triples":[{}],"n_s":30,"seed":9,"include_ranks":true}}"#,
+        triples_json(&final_triples[..20])
+    );
+    let (s_live, b_live) = client::post_json(addr, "/eval", &eval).unwrap();
+    let (s_cold, b_cold) = client::post_json(cold.addr(), "/eval", &eval).unwrap();
+    assert_eq!((s_live, s_cold), (200, 200), "{b_live} {b_cold}");
+    assert_eq!(canon(&b_live), canon(&b_cold), "/eval diverged after streaming ingest");
+
+    cold.shutdown();
+    live.shutdown();
+}

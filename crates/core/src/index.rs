@@ -104,6 +104,16 @@ impl FilterIndex {
         self.known_answers(triple, side).binary_search(&e).is_ok()
     }
 
+    /// Visit every distinct indexed triple (iteration order unspecified).
+    /// Only meaningful after [`FilterIndex::finish`].
+    pub fn for_each_triple(&self, mut f: impl FnMut(Triple)) {
+        for (&(h, r), tails) in &self.tails_of {
+            for &t in tails {
+                f(Triple { head: h, relation: r, tail: t });
+            }
+        }
+    }
+
     /// Number of distinct `(h, r)` keys (tail-query keys).
     pub fn num_hr_pairs(&self) -> usize {
         self.tails_of.len()

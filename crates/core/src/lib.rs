@@ -15,6 +15,7 @@ pub mod fxhash;
 pub mod graph;
 pub mod ids;
 pub mod index;
+pub mod live;
 pub mod parallel;
 pub mod partial;
 pub mod sample;
@@ -30,6 +31,7 @@ pub use error::KgError;
 pub use graph::TripleStore;
 pub use ids::{DrColumn, EntityId, RelationId, TypeId};
 pub use index::FilterIndex;
+pub use live::{ApplyOutcome, DeltaKeys, GraphDelta, KnownIndex, LiveFilterIndex, LiveGraph};
 pub use triple::Triple;
 pub use types::TypeAssignment;
 pub use vocab::Vocab;

@@ -1,0 +1,644 @@
+//! Live graphs: streaming triple deltas over a frozen snapshot.
+//!
+//! Everything below the serving layer evaluates against a [`FilterIndex`]
+//! built once at load time. A live graph absorbs inserts and deletes
+//! without that rebuild: a [`LiveFilterIndex`] keeps the loaded snapshot as
+//! an immutable *base* plus a small sorted *overlay* of per-key additions
+//! and removals, and answers the same known-answer queries — borrowed
+//! straight from the base when a key was never touched, merged on the fly
+//! when it was. Applying a [`GraphDelta`] is copy-on-write: it produces a
+//! *new* `LiveFilterIndex` (the overlay maps are cloned, the base is
+//! shared), so readers holding the previous `Arc` are never blocked or
+//! disturbed — the same atomic-flip discipline the serving registry uses
+//! for hot model reloads.
+//!
+//! [`LiveGraph`] wraps the flip: a writer applies deltas one at a time
+//! under a mutex, while readers take a lock-free-in-spirit snapshot (one
+//! brief `RwLock` read, never held across scoring work) and a monotonic
+//! version counter tells caches when the world changed. [`DeltaKeys`]
+//! reports exactly which `(h, r)` / `(r, t)` query keys a delta touched so
+//! caches can invalidate by key instead of flushing wholesale.
+//!
+//! The contract that makes all of this safe to serve: a live index with
+//! any sequence of deltas applied answers `contains` / `known_answers`
+//! identically to a [`FilterIndex`] rebuilt from scratch over the final
+//! triple set ([`LiveFilterIndex::rebuilt`] pins it, proptests in
+//! `kg-eval` hold ranking output byte-identical across all model
+//! families).
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::fxhash::FxHashMap;
+use crate::ids::{EntityId, RelationId};
+use crate::index::FilterIndex;
+use crate::triple::{QuerySide, Triple};
+
+/// A batch of writes against a live graph.
+///
+/// Within one delta, inserts are applied first, then deletes — so a triple
+/// named in both ends up absent. Duplicates and no-ops (inserting a triple
+/// already present, deleting one that is not) are skipped silently; the
+/// effective counts come back in [`ApplyOutcome`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphDelta {
+    /// Triples to add to the known-true set.
+    pub insert: Vec<Triple>,
+    /// Triples to remove from the known-true set.
+    pub delete: Vec<Triple>,
+}
+
+impl GraphDelta {
+    /// Delta inserting `insert` and deleting `delete`.
+    pub fn new(insert: Vec<Triple>, delete: Vec<Triple>) -> Self {
+        GraphDelta { insert, delete }
+    }
+
+    /// Whether the delta names no triples at all.
+    pub fn is_empty(&self) -> bool {
+        self.insert.is_empty() && self.delete.is_empty()
+    }
+}
+
+/// The query keys a delta actually touched, for key-granular cache
+/// invalidation: a cached result is stale only if its query reads one of
+/// these keys.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaKeys {
+    hr: Vec<(EntityId, RelationId)>,
+    rt: Vec<(RelationId, EntityId)>,
+}
+
+impl DeltaKeys {
+    fn push(&mut self, t: Triple) {
+        self.hr.push(t.hr());
+        self.rt.push(t.rt());
+    }
+
+    fn finish(&mut self) {
+        self.hr.sort_unstable();
+        self.hr.dedup();
+        self.rt.sort_unstable();
+        self.rt.dedup();
+    }
+
+    /// Whether no key was touched (the delta was a pure no-op).
+    pub fn is_empty(&self) -> bool {
+        self.hr.is_empty() && self.rt.is_empty()
+    }
+
+    /// Whether the tail-query key `(h, r)` was touched.
+    #[inline]
+    pub fn touches_tail(&self, h: EntityId, r: RelationId) -> bool {
+        self.hr.binary_search(&(h, r)).is_ok()
+    }
+
+    /// Whether the head-query key `(r, t)` was touched.
+    #[inline]
+    pub fn touches_head(&self, r: RelationId, t: EntityId) -> bool {
+        self.rt.binary_search(&(r, t)).is_ok()
+    }
+
+    /// Whether `triple`'s query on `side` reads a touched key.
+    #[inline]
+    pub fn touches_query(&self, triple: Triple, side: QuerySide) -> bool {
+        match side {
+            QuerySide::Tail => self.touches_tail(triple.head, triple.relation),
+            QuerySide::Head => self.touches_head(triple.relation, triple.tail),
+        }
+    }
+
+    /// Touched tail-query keys, sorted.
+    pub fn hr_keys(&self) -> &[(EntityId, RelationId)] {
+        &self.hr
+    }
+
+    /// Touched head-query keys, sorted.
+    pub fn rt_keys(&self) -> &[(RelationId, EntityId)] {
+        &self.rt
+    }
+}
+
+/// What applying a delta did.
+#[derive(Clone, Debug)]
+pub struct ApplyOutcome {
+    /// Graph version after the apply (unchanged if the delta was a no-op).
+    pub version: u64,
+    /// Triples actually added (requested inserts minus no-ops).
+    pub inserted: usize,
+    /// Triples actually removed (requested deletes minus no-ops).
+    pub deleted: usize,
+    /// Query keys touched by the effective writes.
+    pub keys: DeltaKeys,
+    /// Distinct known-true triples after the apply.
+    pub len: usize,
+}
+
+impl ApplyOutcome {
+    /// Whether the delta changed the graph at all.
+    pub fn changed(&self) -> bool {
+        self.inserted + self.deleted > 0
+    }
+}
+
+/// Sorted-`Vec` overlay maps for one direction (tail keys or head keys).
+type Overlay<K> = FxHashMap<K, Vec<EntityId>>;
+
+/// Insert `e` into the sorted vec under `key`; true if it was absent.
+fn overlay_add<K: std::hash::Hash + Eq>(m: &mut Overlay<K>, key: K, e: EntityId) -> bool {
+    let v = m.entry(key).or_default();
+    match v.binary_search(&e) {
+        Ok(_) => false,
+        Err(i) => {
+            v.insert(i, e);
+            true
+        }
+    }
+}
+
+/// Remove `e` from the sorted vec under `key` (dropping the key when the
+/// vec empties, so "untouched key" stays equivalent to "absent key"); true
+/// if it was present.
+fn overlay_remove<K: std::hash::Hash + Eq + Copy>(m: &mut Overlay<K>, key: K, e: EntityId) -> bool {
+    let Some(v) = m.get_mut(&key) else { return false };
+    match v.binary_search(&e) {
+        Ok(i) => {
+            v.remove(i);
+            if v.is_empty() {
+                m.remove(&key);
+            }
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn overlay_slice<'a, K: std::hash::Hash + Eq>(m: &'a Overlay<K>, key: &K) -> &'a [EntityId] {
+    m.get(key).map(Vec::as_slice).unwrap_or(&[])
+}
+
+/// `(base \ deleted) ∪ added`, all three inputs sorted, result sorted.
+fn merge_known(base: &[EntityId], added: &[EntityId], deleted: &[EntityId]) -> Vec<EntityId> {
+    let mut out = Vec::with_capacity(base.len() + added.len());
+    let (mut bi, mut ai) = (0usize, 0usize);
+    while bi < base.len() || ai < added.len() {
+        let take_base = match (base.get(bi), added.get(ai)) {
+            (Some(b), Some(a)) => b <= a, // disjoint by invariant, but <= is safe
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_base {
+            let b = base[bi];
+            bi += 1;
+            if deleted.binary_search(&b).is_err() {
+                out.push(b);
+            }
+        } else {
+            out.push(added[ai]);
+            ai += 1;
+        }
+    }
+    out
+}
+
+/// A delta-aware known-triple index: frozen base snapshot + mutable
+/// overlay, answering the same filtered-ranking queries as
+/// [`FilterIndex`].
+///
+/// Invariants (maintained by [`LiveGraph::apply`]): `added_*` holds only
+/// triples *not* in the base, `deleted_*` only triples *in* the base, the
+/// two never overlap, every overlay vec is sorted and non-empty, and the
+/// tail-keyed and head-keyed maps describe the same triple set.
+#[derive(Clone, Debug)]
+pub struct LiveFilterIndex {
+    base: Arc<FilterIndex>,
+    added_tails: Overlay<(EntityId, RelationId)>,
+    deleted_tails: Overlay<(EntityId, RelationId)>,
+    added_heads: Overlay<(RelationId, EntityId)>,
+    deleted_heads: Overlay<(RelationId, EntityId)>,
+    version: u64,
+    len: usize,
+}
+
+impl LiveFilterIndex {
+    /// Version-0 live view of a frozen snapshot (empty overlay).
+    pub fn from_base(base: Arc<FilterIndex>) -> Self {
+        let len = base.len();
+        LiveFilterIndex {
+            base,
+            added_tails: Overlay::default(),
+            deleted_tails: Overlay::default(),
+            added_heads: Overlay::default(),
+            deleted_heads: Overlay::default(),
+            version: 0,
+            len,
+        }
+    }
+
+    /// The frozen snapshot this view overlays.
+    pub fn base(&self) -> &Arc<FilterIndex> {
+        &self.base
+    }
+
+    /// Graph version this index reflects (0 = pristine snapshot).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Distinct known-true triples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no triple is known.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of triples in the overlay (a compaction signal: rebuild the
+    /// base when this grows past a threshold).
+    pub fn overlay_len(&self) -> usize {
+        self.added_tails.values().map(Vec::len).sum::<usize>()
+            + self.deleted_tails.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// All known-true tails for `(h, r, ?)`, sorted. Borrows the base
+    /// slice when the key has no overlay entries.
+    pub fn known_tails(&self, h: EntityId, r: RelationId) -> Cow<'_, [EntityId]> {
+        let key = (h, r);
+        let added = overlay_slice(&self.added_tails, &key);
+        let deleted = overlay_slice(&self.deleted_tails, &key);
+        let base = self.base.known_tails(h, r);
+        if added.is_empty() && deleted.is_empty() {
+            Cow::Borrowed(base)
+        } else {
+            Cow::Owned(merge_known(base, added, deleted))
+        }
+    }
+
+    /// All known-true heads for `(?, r, t)`, sorted.
+    pub fn known_heads(&self, r: RelationId, t: EntityId) -> Cow<'_, [EntityId]> {
+        let key = (r, t);
+        let added = overlay_slice(&self.added_heads, &key);
+        let deleted = overlay_slice(&self.deleted_heads, &key);
+        let base = self.base.known_heads(r, t);
+        if added.is_empty() && deleted.is_empty() {
+            Cow::Borrowed(base)
+        } else {
+            Cow::Owned(merge_known(base, added, deleted))
+        }
+    }
+
+    /// Known answers for `triple`'s query on `side`, sorted.
+    pub fn known_answers(&self, triple: Triple, side: QuerySide) -> Cow<'_, [EntityId]> {
+        match side {
+            QuerySide::Tail => self.known_tails(triple.head, triple.relation),
+            QuerySide::Head => self.known_heads(triple.relation, triple.tail),
+        }
+    }
+
+    /// Whether `(h, r, t)` is known true, overlay consulted first.
+    pub fn contains(&self, t: Triple) -> bool {
+        let key = t.hr();
+        if overlay_slice(&self.deleted_tails, &key).binary_search(&t.tail).is_ok() {
+            return false;
+        }
+        if overlay_slice(&self.added_tails, &key).binary_search(&t.tail).is_ok() {
+            return true;
+        }
+        self.base.contains(t)
+    }
+
+    /// Whether `e` answers `triple`'s query on `side` truthfully.
+    pub fn is_true_answer(&self, triple: Triple, side: QuerySide, e: EntityId) -> bool {
+        let t = match side {
+            QuerySide::Tail => Triple { head: triple.head, relation: triple.relation, tail: e },
+            QuerySide::Head => Triple { head: e, relation: triple.relation, tail: triple.tail },
+        };
+        self.contains(t)
+    }
+
+    /// Visit every known-true triple (order unspecified).
+    pub fn for_each_triple(&self, mut f: impl FnMut(Triple)) {
+        self.base.for_each_triple(|t| {
+            if overlay_slice(&self.deleted_tails, &t.hr()).binary_search(&t.tail).is_err() {
+                f(t);
+            }
+        });
+        for (&(h, r), tails) in &self.added_tails {
+            for &t in tails {
+                f(Triple { head: h, relation: r, tail: t });
+            }
+        }
+    }
+
+    /// A [`FilterIndex`] over exactly this index's triple set — the
+    /// compaction path, and the reference the parity tests compare
+    /// against.
+    pub fn rebuilt(&self) -> FilterIndex {
+        let mut idx = FilterIndex::new();
+        self.for_each_triple(|t| idx.insert(t));
+        idx.finish();
+        idx
+    }
+
+    /// Insert `t`; true if it was absent. Maintains the overlay
+    /// invariants: re-inserting a base triple that was deleted undeletes
+    /// it rather than adding a duplicate overlay entry.
+    fn insert_one(&mut self, t: Triple) -> bool {
+        if self.contains(t) {
+            return false;
+        }
+        if self.base.contains(t) {
+            overlay_remove(&mut self.deleted_tails, t.hr(), t.tail);
+            overlay_remove(&mut self.deleted_heads, t.rt(), t.head);
+        } else {
+            overlay_add(&mut self.added_tails, t.hr(), t.tail);
+            overlay_add(&mut self.added_heads, t.rt(), t.head);
+        }
+        self.len += 1;
+        true
+    }
+
+    /// Delete `t`; true if it was present. Deleting an overlay-added
+    /// triple drops the overlay entry; deleting a base triple records a
+    /// tombstone.
+    fn delete_one(&mut self, t: Triple) -> bool {
+        if !self.contains(t) {
+            return false;
+        }
+        if overlay_remove(&mut self.added_tails, t.hr(), t.tail) {
+            overlay_remove(&mut self.added_heads, t.rt(), t.head);
+        } else {
+            overlay_add(&mut self.deleted_tails, t.hr(), t.tail);
+            overlay_add(&mut self.deleted_heads, t.rt(), t.head);
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// This index with `delta` applied (inserts first, then deletes), and
+    /// what changed. The base snapshot is shared, overlays are cloned —
+    /// `self` is untouched, so readers holding it are undisturbed.
+    pub fn apply(&self, delta: &GraphDelta) -> (LiveFilterIndex, ApplyOutcome) {
+        let mut next = self.clone();
+        let mut keys = DeltaKeys::default();
+        let (mut inserted, mut deleted) = (0usize, 0usize);
+        for &t in &delta.insert {
+            if next.insert_one(t) {
+                keys.push(t);
+                inserted += 1;
+            }
+        }
+        for &t in &delta.delete {
+            if next.delete_one(t) {
+                keys.push(t);
+                deleted += 1;
+            }
+        }
+        keys.finish();
+        if inserted + deleted > 0 {
+            next.version += 1;
+        }
+        let outcome =
+            ApplyOutcome { version: next.version, inserted, deleted, keys, len: next.len };
+        (next, outcome)
+    }
+}
+
+/// Queries a filtered-ranking pass needs from a known-triple index,
+/// abstracting over [`FilterIndex`] (always borrows) and
+/// [`LiveFilterIndex`] (borrows untouched keys, materialises touched
+/// ones).
+pub trait KnownIndex: Sync {
+    /// Known answers for `triple`'s query on `side`, sorted ascending.
+    fn known_answers(&self, triple: Triple, side: QuerySide) -> Cow<'_, [EntityId]>;
+
+    /// Whether `t` is a known-true triple.
+    fn contains(&self, t: Triple) -> bool;
+}
+
+impl KnownIndex for FilterIndex {
+    fn known_answers(&self, triple: Triple, side: QuerySide) -> Cow<'_, [EntityId]> {
+        Cow::Borrowed(FilterIndex::known_answers(self, triple, side))
+    }
+
+    fn contains(&self, t: Triple) -> bool {
+        FilterIndex::contains(self, t)
+    }
+}
+
+impl KnownIndex for LiveFilterIndex {
+    fn known_answers(&self, triple: Triple, side: QuerySide) -> Cow<'_, [EntityId]> {
+        LiveFilterIndex::known_answers(self, triple, side)
+    }
+
+    fn contains(&self, t: Triple) -> bool {
+        LiveFilterIndex::contains(self, t)
+    }
+}
+
+/// The shared live graph: one writer at a time applies deltas
+/// copy-on-write, readers snapshot the current [`LiveFilterIndex`] with a
+/// brief read lock and keep scoring against their `Arc` while the world
+/// moves on — the registry's atomic-flip discipline, applied to the
+/// known-triple index.
+#[derive(Debug)]
+pub struct LiveGraph {
+    current: RwLock<Arc<LiveFilterIndex>>,
+    // Mirrors `current.version` so version probes never take the RwLock.
+    version: AtomicU64,
+    writer: Mutex<()>,
+}
+
+impl LiveGraph {
+    /// Live graph over a frozen snapshot, at version 0.
+    pub fn new(base: Arc<FilterIndex>) -> Self {
+        LiveGraph {
+            current: RwLock::new(Arc::new(LiveFilterIndex::from_base(base))),
+            version: AtomicU64::new(0),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Live graph resuming at `index` (used when a hot reload donates the
+    /// previous live state).
+    pub fn from_index(index: Arc<LiveFilterIndex>) -> Self {
+        let version = index.version();
+        LiveGraph {
+            current: RwLock::new(index),
+            version: AtomicU64::new(version),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// The current index. Cheap; hold the returned `Arc` for the whole
+    /// request so one request sees one graph version throughout.
+    pub fn snapshot(&self) -> Arc<LiveFilterIndex> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Current graph version without touching the lock.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Apply `delta`: build the next index off-lock, then flip. Serialised
+    /// against other writers; readers are never blocked for longer than
+    /// the pointer swap.
+    pub fn apply(&self, delta: &GraphDelta) -> ApplyOutcome {
+        let _writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let snap = self.snapshot();
+        let (next, outcome) = snap.apply(delta);
+        if outcome.changed() {
+            let next = Arc::new(next);
+            let mut cur = self.current.write().unwrap_or_else(|e| e.into_inner());
+            *cur = next;
+            self.version.store(outcome.version, Ordering::Release);
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Arc<FilterIndex> {
+        let triples = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(0, 0, 2),
+            Triple::new(3, 1, 1),
+            Triple::new(2, 0, 0),
+        ];
+        Arc::new(FilterIndex::from_slices(&[&triples]))
+    }
+
+    #[test]
+    fn pristine_view_borrows_base() {
+        let live = LiveFilterIndex::from_base(base());
+        assert_eq!(live.version(), 0);
+        assert_eq!(live.len(), 4);
+        let tails = live.known_tails(EntityId(0), RelationId(0));
+        assert!(matches!(tails, Cow::Borrowed(_)));
+        assert_eq!(&*tails, &[EntityId(1), EntityId(2)]);
+    }
+
+    #[test]
+    fn insert_and_delete_update_queries_both_ways() {
+        let live = LiveFilterIndex::from_base(base());
+        let delta = GraphDelta::new(
+            vec![Triple::new(0, 0, 5)], // new tail for (0,0)
+            vec![Triple::new(0, 0, 1)], // tombstone a base triple
+        );
+        let (next, out) = live.apply(&delta);
+        assert_eq!((out.inserted, out.deleted), (1, 1));
+        assert_eq!(out.version, 1);
+        assert_eq!(next.len(), 4);
+        assert_eq!(&*next.known_tails(EntityId(0), RelationId(0)), &[EntityId(2), EntityId(5)]);
+        // Head direction reflects the same writes.
+        assert_eq!(&*next.known_heads(RelationId(0), EntityId(5)), &[EntityId(0)]);
+        assert_eq!(&*next.known_heads(RelationId(0), EntityId(1)), &[]);
+        assert!(next.contains(Triple::new(0, 0, 5)));
+        assert!(!next.contains(Triple::new(0, 0, 1)));
+        // The original view is untouched (copy-on-write).
+        assert!(live.contains(Triple::new(0, 0, 1)));
+        assert!(!live.contains(Triple::new(0, 0, 5)));
+    }
+
+    #[test]
+    fn noops_do_not_bump_version() {
+        let live = LiveFilterIndex::from_base(base());
+        let delta = GraphDelta::new(
+            vec![Triple::new(0, 0, 1)], // already present
+            vec![Triple::new(9, 9, 9)], // never present
+        );
+        let (next, out) = live.apply(&delta);
+        assert!(!out.changed());
+        assert_eq!(out.version, 0);
+        assert!(out.keys.is_empty());
+        assert_eq!(next.len(), live.len());
+    }
+
+    #[test]
+    fn insert_then_delete_in_one_delta_ends_absent() {
+        let live = LiveFilterIndex::from_base(base());
+        let t = Triple::new(7, 1, 7);
+        let (next, out) = live.apply(&GraphDelta::new(vec![t], vec![t]));
+        assert!(!next.contains(t));
+        assert_eq!((out.inserted, out.deleted), (1, 1));
+        assert_eq!(next.overlay_len(), 0, "add+delete must cancel, not accumulate");
+    }
+
+    #[test]
+    fn reinsert_of_deleted_base_triple_undeletes() {
+        let live = LiveFilterIndex::from_base(base());
+        let t = Triple::new(0, 0, 1);
+        let (gone, _) = live.apply(&GraphDelta::new(vec![], vec![t]));
+        assert!(!gone.contains(t));
+        let (back, out) = gone.apply(&GraphDelta::new(vec![t], vec![]));
+        assert!(back.contains(t));
+        assert_eq!(out.version, 2);
+        assert_eq!(back.overlay_len(), 0, "undelete must clear the tombstone");
+        // And the key is borrowed from the base again.
+        assert!(matches!(back.known_tails(EntityId(0), RelationId(0)), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn delta_keys_report_touched_queries_only() {
+        let live = LiveFilterIndex::from_base(base());
+        let (_, out) = live.apply(&GraphDelta::new(vec![Triple::new(0, 0, 5)], vec![]));
+        assert!(out.keys.touches_tail(EntityId(0), RelationId(0)));
+        assert!(out.keys.touches_head(RelationId(0), EntityId(5)));
+        assert!(!out.keys.touches_tail(EntityId(3), RelationId(1)));
+        assert!(out.keys.touches_query(Triple::new(0, 0, 9), QuerySide::Tail));
+        assert!(!out.keys.touches_query(Triple::new(0, 0, 9), QuerySide::Head));
+    }
+
+    #[test]
+    fn rebuilt_matches_live_view() {
+        let live = LiveFilterIndex::from_base(base());
+        let (next, _) = live.apply(&GraphDelta::new(
+            vec![Triple::new(0, 0, 5), Triple::new(8, 1, 0)],
+            vec![Triple::new(2, 0, 0), Triple::new(3, 1, 1)],
+        ));
+        let rebuilt = next.rebuilt();
+        assert_eq!(rebuilt.len(), next.len());
+        for (h, r) in [(0u32, 0u32), (2, 0), (3, 1), (8, 1)] {
+            let t = Triple::new(h, r, 0);
+            assert_eq!(
+                rebuilt.known_tails(t.head, t.relation),
+                &*next.known_tails(t.head, t.relation),
+                "tails of ({h},{r})"
+            );
+        }
+    }
+
+    #[test]
+    fn live_graph_flips_and_keeps_old_snapshots_alive() {
+        let lg = LiveGraph::new(base());
+        let before = lg.snapshot();
+        let out = lg.apply(&GraphDelta::new(vec![Triple::new(5, 0, 5)], vec![]));
+        assert_eq!(out.version, 1);
+        assert_eq!(lg.version(), 1);
+        let after = lg.snapshot();
+        assert!(!before.contains(Triple::new(5, 0, 5)), "old snapshot must be immutable");
+        assert!(after.contains(Triple::new(5, 0, 5)));
+        assert_eq!(before.version(), 0);
+    }
+
+    #[test]
+    fn known_index_trait_agrees_across_implementations() {
+        let frozen = base();
+        let live = LiveFilterIndex::from_base(Arc::clone(&frozen));
+        let t = Triple::new(0, 0, 1);
+        for side in QuerySide::BOTH {
+            let a = KnownIndex::known_answers(frozen.as_ref(), t, side);
+            let b = KnownIndex::known_answers(&live, t, side);
+            assert_eq!(&*a, &*b);
+        }
+        assert!(KnownIndex::contains(frozen.as_ref(), t));
+        assert!(KnownIndex::contains(&live, t));
+    }
+}

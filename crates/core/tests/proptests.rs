@@ -5,7 +5,7 @@ use kg_core::sparse::{row_normalize_l1, spgemm, transpose, CooBuilder, CsrMatrix
 use kg_core::stats::{
     expected_higher_ranked, expected_rank_gain, kendall_tau, mae, pearson, RankGainParams,
 };
-use kg_core::{FilterIndex, Triple, TripleStore};
+use kg_core::{FilterIndex, GraphDelta, LiveFilterIndex, Triple, TripleStore};
 use proptest::prelude::*;
 
 fn matrix_strategy(max: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
@@ -180,6 +180,60 @@ proptest! {
                     let tri = Triple::new(h, r, t);
                     prop_assert_eq!(idx.contains(tri), store.contains(tri));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn live_filter_index_matches_rebuilt_after_arbitrary_deltas(
+        base in proptest::collection::vec((0u32..8, 0u32..3, 0u32..8), 0..40),
+        deltas in proptest::collection::vec(
+            (proptest::collection::vec((0u32..8, 0u32..3, 0u32..8), 0..10),
+             proptest::collection::vec((0u32..8, 0u32..3, 0u32..8), 0..10)),
+            0..6,
+        ),
+    ) {
+        let to_triples =
+            |raw: &[(u32, u32, u32)]| raw.iter().map(|&(h, r, t)| Triple::new(h, r, t)).collect::<Vec<Triple>>();
+        let base_triples = to_triples(&base);
+        let mut live =
+            LiveFilterIndex::from_base(std::sync::Arc::new(FilterIndex::from_slices(&[&base_triples])));
+        // Naive model of the contract: a set with inserts applied before
+        // deletes within each delta (a triple named in both ends absent).
+        let mut naive: std::collections::HashSet<Triple> = base_triples.iter().copied().collect();
+        for (ins, del) in &deltas {
+            let delta = GraphDelta::new(to_triples(ins), to_triples(del));
+            let (next, outcome) = live.apply(&delta);
+            live = next;
+            for t in &delta.insert {
+                naive.insert(*t);
+            }
+            for t in &delta.delete {
+                naive.remove(t);
+            }
+            prop_assert_eq!(outcome.len, naive.len());
+        }
+        prop_assert_eq!(live.len(), naive.len());
+        // The load-bearing contract: the overlay index answers exactly like
+        // a FilterIndex rebuilt from scratch over the final triple set.
+        let rebuilt = live.rebuilt();
+        for h in 0..8u32 {
+            for r in 0..3u32 {
+                for t in 0..8u32 {
+                    let tri = Triple::new(h, r, t);
+                    prop_assert_eq!(live.contains(tri), naive.contains(&tri));
+                    prop_assert_eq!(live.contains(tri), rebuilt.contains(tri));
+                }
+                prop_assert_eq!(
+                    live.known_tails(kg_core::EntityId(h), kg_core::RelationId(r)).as_ref(),
+                    rebuilt.known_tails(kg_core::EntityId(h), kg_core::RelationId(r)),
+                    "known_tails diverged at ({}, {})", h, r
+                );
+                prop_assert_eq!(
+                    live.known_heads(kg_core::RelationId(r), kg_core::EntityId(h)).as_ref(),
+                    rebuilt.known_heads(kg_core::RelationId(r), kg_core::EntityId(h)),
+                    "known_heads diverged at ({}, {})", r, h
+                );
             }
         }
     }

@@ -3,7 +3,7 @@
 /// How rank ties (candidates scoring exactly the true answer's score) are
 /// resolved. LibKGE-style `Mean` is the default; `Optimistic` is the
 /// classic (and inflation-prone) variant. Ablated by `repro ablate-ties`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum TieBreak {
     /// Ties count half: `rank = 1 + higher + ties/2`.
     Mean,

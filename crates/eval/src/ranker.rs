@@ -12,7 +12,7 @@ use kg_core::parallel::{parallel_map_indexed, two_level_split, BufferPool, Shard
 use kg_core::timing::Stopwatch;
 use kg_core::topk::cmp_score;
 use kg_core::triple::QuerySide;
-use kg_core::{FilterIndex, Triple};
+use kg_core::{KnownIndex, Triple};
 use kg_models::{engine, KgcModel};
 
 use crate::metrics::{RankingMetrics, TieBreak};
@@ -90,10 +90,10 @@ pub fn filtered_rank_from_scores(
 /// parallelised over queries, with the entity space sharded automatically
 /// (see [`evaluate_full_sharded`]; results are identical for every shard
 /// count).
-pub fn evaluate_full(
+pub fn evaluate_full<F: KnownIndex + ?Sized>(
     model: &dyn KgcModel,
     triples: &[Triple],
-    filter: &FilterIndex,
+    filter: &F,
     tie: TieBreak,
     threads: usize,
 ) -> EvalResult {
@@ -116,10 +116,10 @@ pub fn evaluate_full(
 /// comparison order, and the counter sums are all partition- and
 /// schedule-independent, so `EvalResult::ranks` is bit-for-bit identical
 /// for every `shards` and `threads`.
-pub fn evaluate_full_sharded(
+pub fn evaluate_full_sharded<F: KnownIndex + ?Sized>(
     model: &dyn KgcModel,
     triples: &[Triple],
-    filter: &FilterIndex,
+    filter: &F,
     tie: TieBreak,
     threads: usize,
     shards: usize,
@@ -135,7 +135,7 @@ pub fn evaluate_full_sharded(
         let (triple, side) = queries[qi];
         let known = filter.known_answers(triple, side);
         let (higher, ties) =
-            engine::rank_counts_fanout(model, &plan, &pool, triple, side, known, split.inner);
+            engine::rank_counts_fanout(model, &plan, &pool, triple, side, &known, split.inner);
         tie.rank(higher, ties)
     });
     let seconds = sw.seconds();
@@ -145,7 +145,7 @@ pub fn evaluate_full_sharded(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kg_core::{EntityId, RelationId};
+    use kg_core::{EntityId, FilterIndex, RelationId};
     use kg_models::{build_model, ModelKind};
 
     /// A deterministic mock model: score(h,r,t) = f(t) only, so ranks are

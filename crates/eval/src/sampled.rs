@@ -11,7 +11,7 @@
 use kg_core::parallel::{parallel_map_with, two_level_split};
 use kg_core::timing::Stopwatch;
 use kg_core::topk::cmp_score;
-use kg_core::{EntityId, FilterIndex, Triple};
+use kg_core::{EntityId, KnownIndex, Triple};
 use kg_models::{engine, KgcModel};
 use kg_recommend::SampledCandidates;
 
@@ -61,10 +61,10 @@ pub fn sampled_rank(
 /// candidate lists long enough to repay the fan-out). Per-candidate
 /// arithmetic is independent, so ranks are bit-for-bit identical for
 /// every `threads`.
-pub fn evaluate_sampled(
+pub fn evaluate_sampled<F: KnownIndex + ?Sized>(
     model: &dyn KgcModel,
     triples: &[Triple],
-    filter: &FilterIndex,
+    filter: &F,
     samples: &SampledCandidates,
     tie: TieBreak,
     threads: usize,
@@ -91,7 +91,7 @@ pub fn evaluate_sampled(
                 split.inner,
             );
             let known = filter.known_answers(triple, side);
-            sampled_rank(side.answer(triple), candidates, scores, known, tie)
+            sampled_rank(side.answer(triple), candidates, scores, &known, tie)
         },
     );
     let seconds = sw.seconds();
@@ -103,10 +103,10 @@ pub fn evaluate_sampled(
 /// (ogbl-wikikg2 reports MRR this way; the paper's Figures 4/5 average five
 /// samplings).
 #[allow(clippy::too_many_arguments)]
-pub fn evaluate_sampled_repeated<R: rand::Rng>(
+pub fn evaluate_sampled_repeated<F: KnownIndex + ?Sized, R: rand::Rng>(
     model: &dyn KgcModel,
     triples: &[Triple],
-    filter: &FilterIndex,
+    filter: &F,
     strategy: kg_recommend::SamplingStrategy,
     n_s: usize,
     repeats: usize,
@@ -163,6 +163,7 @@ mod tests {
     use super::*;
     use kg_core::sample::seeded_rng;
     use kg_core::triple::QuerySide;
+    use kg_core::FilterIndex;
     use kg_recommend::{sample_candidates, SamplingStrategy};
 
     struct MockModel {

@@ -37,12 +37,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use kg_core::ids::{EntityId, RelationId};
 use kg_core::parallel::{parallel_map_indexed, two_level_split};
 use kg_core::triple::QuerySide;
-use kg_core::{FilterIndex, Triple};
+use kg_core::{DeltaKeys, LiveGraph, Triple};
 use kg_models::ScoringEngine;
 
 use crate::http_metrics::HttpMetrics;
+use crate::registry::LruCache;
 
 /// Triples in one coalesced batch at which the window widens.
 pub const WINDOW_GROW_TRIPLES: usize = 64;
@@ -334,6 +336,41 @@ pub struct TopKQuery {
 /// first.
 pub type TopKResults = Vec<Vec<(u32, f32)>>;
 
+/// Distinct cached `(query, k, filtered)` configurations kept per model.
+pub const TOPK_CACHE_CAPACITY: usize = 1024;
+
+/// Cache key for one top-k query. The answer-slot entity id of the query
+/// triple is *ignored* by ranking, so the key stores only the context
+/// entity ([`QuerySide::context`]) — `{"head":3,...}` hits the same entry
+/// no matter what placeholder the parser put in the tail slot.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct TopKCacheKey {
+    context: EntityId,
+    relation: RelationId,
+    side: QuerySide,
+    k: usize,
+    filtered: bool,
+}
+
+impl TopKCacheKey {
+    fn of(q: &TopKQuery) -> Self {
+        TopKCacheKey {
+            context: q.side.context(q.triple),
+            relation: q.triple.relation,
+            side: q.side,
+            k: q.k,
+            filtered: q.filtered,
+        }
+    }
+}
+
+/// A cached result, valid only while the live graph still carries
+/// `version` (deltas bump surviving entries; touched entries are removed).
+struct CachedTopK {
+    result: Vec<(u32, f32)>,
+    version: u64,
+}
+
 /// Coalesces concurrent `/topk` requests for one model into a single
 /// multi-query fan-out pass.
 ///
@@ -348,22 +385,40 @@ pub type TopKResults = Vec<Vec<(u32, f32)>>;
 /// [`TOPK_WINDOW_GROW_QUERIES`]+ queries, decay when idle, capped at
 /// [`WINDOW_GROWTH_CAP`]× the base) and is exported per model as
 /// `kg_serve_topk_batch_window_us`.
+///
+/// ## Live graphs
+///
+/// Filtered queries resolve known answers against a snapshot of the
+/// model's [`LiveGraph`], taken **once per coalesced pass** by the leader
+/// — every query in a batch sees one consistent graph version. Results
+/// are memoised in a version-keyed LRU ([`TOPK_CACHE_CAPACITY`] entries):
+/// a hit requires the entry's graph version to equal the current one, and
+/// [`TopKBatcher::invalidate`] (called on every applied delta) removes
+/// exactly the filtered entries whose `(context, relation)` key the delta
+/// touched while re-stamping survivors — key-granular invalidation, not a
+/// flush. Unfiltered entries never depend on the graph and always
+/// survive. A computed result is only inserted while the graph version
+/// still equals the one observed before the pass; since versions are
+/// monotonic, a result computed against any newer snapshot is refused,
+/// so the cache can never serve bytes a cold server would not.
 pub struct TopKBatcher {
     engine: Arc<ScoringEngine>,
-    filter: Arc<FilterIndex>,
+    live: Arc<LiveGraph>,
     name: String,
     core: BatchCore<TopKQuery, Vec<(u32, f32)>>,
+    cache: Mutex<LruCache<TopKCacheKey, CachedTopK>>,
     threads: usize,
     metrics: Option<Arc<HttpMetrics>>,
 }
 
 impl TopKBatcher {
     /// Batcher running top-k passes for `engine`, removing known answers
-    /// of filtered queries via `filter`, with `threads` total workers per
-    /// pass. A zero base window disables sleeping and adaptation.
+    /// of filtered queries via snapshots of `live`, with `threads` total
+    /// workers per pass. A zero base window disables sleeping and
+    /// adaptation.
     pub fn new(
         engine: Arc<ScoringEngine>,
-        filter: Arc<FilterIndex>,
+        live: Arc<LiveGraph>,
         name: impl Into<String>,
         window: Duration,
         threads: usize,
@@ -375,9 +430,10 @@ impl TopKBatcher {
         }
         TopKBatcher {
             engine,
-            filter,
+            live,
             name,
             core: BatchCore::new(window),
+            cache: Mutex::new(LruCache::new(TOPK_CACHE_CAPACITY)),
             threads: threads.max(1),
             metrics,
         }
@@ -393,22 +449,95 @@ impl TopKBatcher {
         self.core.current_window_us()
     }
 
+    /// Cached query results currently held (tests and `/healthz`).
+    pub fn cached_results(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Drop every cached filtered result whose `(context, relation)` key
+    /// `keys` touched, and re-stamp the survivors (and all unfiltered
+    /// entries, which never depend on the graph) to `new_version` so they
+    /// keep hitting. Called by the registry entry for every applied delta.
+    pub fn invalidate(&self, keys: &DeltaKeys, new_version: u64) {
+        let mut cache = self.cache.lock().unwrap();
+        cache.retain(|key, value| {
+            let touched = key.filtered
+                && match key.side {
+                    QuerySide::Tail => keys.touches_tail(key.context, key.relation),
+                    QuerySide::Head => keys.touches_head(key.relation, key.context),
+                };
+            if touched {
+                return false;
+            }
+            value.version = new_version;
+            true
+        });
+    }
+
     /// Run `queries`, coalescing with any concurrent submissions; blocks
     /// until the batch containing this job has been executed. Returns one
-    /// result list per query, in input order.
+    /// result list per query, in input order. Cached results (same query,
+    /// same graph version) are answered without ranking.
     pub fn submit(&self, queries: Vec<TopKQuery>) -> TopKResults {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let version_before = self.live.version();
+        let mut results: Vec<Option<Vec<(u32, f32)>>> = vec![None; queries.len()];
+        let mut misses: Vec<(usize, TopKQuery)> = Vec::new();
+        {
+            let mut cache = self.cache.lock().unwrap();
+            for (i, q) in queries.iter().enumerate() {
+                match cache.get(&TopKCacheKey::of(q)) {
+                    Some(c) if c.version == version_before => results[i] = Some(c.result.clone()),
+                    _ => misses.push((i, *q)),
+                }
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.observe_topk_cache(queries.len() - misses.len(), misses.len());
+        }
+        if !misses.is_empty() {
+            let miss_queries: Vec<TopKQuery> = misses.iter().map(|&(_, q)| q).collect();
+            let computed = self.run_batch(miss_queries);
+            let mut cache = self.cache.lock().unwrap();
+            // Monotonic-version insert guard: the leader that executed the
+            // pass may have snapshotted a *newer* graph than this
+            // submitter observed; in that case the current version has
+            // already moved past `version_before` and the insert is
+            // refused, so a stale-labelled entry can never land.
+            let fresh = self.live.version() == version_before;
+            for ((i, q), out) in misses.into_iter().zip(computed) {
+                if fresh {
+                    cache.insert(
+                        TopKCacheKey::of(&q),
+                        CachedTopK { result: out.clone(), version: version_before },
+                    );
+                }
+                results[i] = Some(out);
+            }
+        }
+        results.into_iter().map(|r| r.expect("every query answered")).collect()
+    }
+
+    /// The coalescing pass itself (cache misses only).
+    fn run_batch(&self, queries: Vec<TopKQuery>) -> TopKResults {
         self.core.submit(
             queries,
             // The single two-level pass over every query of every
             // coalesced job: queries across workers, spare workers into
-            // shard fan-out.
+            // shard fan-out. One snapshot serves the whole pass.
             |flat| {
+                let snap = self.live.snapshot();
                 let split = two_level_split(flat.len(), self.threads);
                 parallel_map_indexed(flat.len(), split.outer, |i| {
                     let q = flat[i];
-                    let known =
-                        if q.filtered { self.filter.known_answers(q.triple, q.side) } else { &[] };
-                    self.engine.top_k_fanout(q.triple, q.side, known, q.k, split.inner)
+                    let known = if q.filtered {
+                        snap.known_answers(q.triple, q.side)
+                    } else {
+                        std::borrow::Cow::Borrowed(&[][..])
+                    };
+                    self.engine.top_k_fanout(q.triple, q.side, &known, q.k, split.inner)
                 })
             },
             |jobs, queries| {
@@ -688,13 +817,13 @@ mod tests {
     fn topk_batcher_with(
         window_us: u64,
         metrics: Option<Arc<HttpMetrics>>,
-    ) -> (Arc<TopKBatcher>, Arc<ScoringEngine>, Arc<FilterIndex>) {
+    ) -> (Arc<TopKBatcher>, Arc<ScoringEngine>, Arc<kg_core::FilterIndex>) {
         let engine = Arc::new(ScoringEngine::new(Arc::new(Linear { n: 50 }), 5));
         let triples: Vec<Triple> = (0..20u32).map(|i| Triple::new(i % 50, i % 4, i + 5)).collect();
-        let filter = Arc::new(FilterIndex::from_slices(&[&triples]));
+        let filter = Arc::new(kg_core::FilterIndex::from_slices(&[&triples]));
         let b = Arc::new(TopKBatcher::new(
             Arc::clone(&engine),
-            Arc::clone(&filter),
+            Arc::new(LiveGraph::new(Arc::clone(&filter))),
             "linear",
             Duration::from_micros(window_us),
             4,
@@ -760,6 +889,83 @@ mod tests {
             "{}",
             metrics.render()
         );
+    }
+
+    #[test]
+    fn topk_cache_hits_same_version_and_misses_after_touching_delta() {
+        let metrics = Arc::new(HttpMetrics::new());
+        let engine = Arc::new(ScoringEngine::new(Arc::new(Linear { n: 50 }), 5));
+        let triples: Vec<Triple> = (0..20u32).map(|i| Triple::new(i % 50, i % 4, i + 5)).collect();
+        let filter = Arc::new(kg_core::FilterIndex::from_slices(&[&triples]));
+        let live = Arc::new(LiveGraph::new(filter));
+        let b = TopKBatcher::new(
+            Arc::clone(&engine),
+            Arc::clone(&live),
+            "linear",
+            Duration::ZERO,
+            2,
+            Some(Arc::clone(&metrics)),
+        );
+        let q =
+            TopKQuery { triple: Triple::new(3, 1, 0), side: QuerySide::Tail, k: 5, filtered: true };
+        let other =
+            TopKQuery { triple: Triple::new(9, 2, 0), side: QuerySide::Tail, k: 5, filtered: true };
+        let first = b.submit(vec![q, other]);
+        assert_eq!(b.batches_run(), 1);
+        let again = b.submit(vec![q, other]);
+        assert_eq!(again, first, "cached results are byte-identical");
+        assert_eq!(b.batches_run(), 1, "a full cache hit runs no ranking pass");
+        let text = metrics.render();
+        assert!(text.contains("kg_serve_topk_cache_hits_total 2"), "{text}");
+        assert!(text.contains("kg_serve_topk_cache_misses_total 2"), "{text}");
+
+        // A delta touching (3, r1) tails invalidates q but not `other`.
+        let delta =
+            kg_core::GraphDelta::new(vec![Triple::new(3, 1, 42), Triple::new(3, 1, 7)], vec![]);
+        let outcome = live.apply(&delta);
+        b.invalidate(&outcome.keys, outcome.version);
+        assert_eq!(b.cached_results(), 1, "only the touched entry is dropped");
+        let post = b.submit(vec![q, other]);
+        assert_eq!(b.batches_run(), 2, "the touched query re-ranks, the survivor hits");
+        assert_eq!(post[1], first[1], "untouched query survives the delta");
+        assert!(
+            !post[0].iter().any(|&(e, _)| e == 42),
+            "re-ranked result excludes the freshly inserted tail: {:?}",
+            post[0]
+        );
+    }
+
+    #[test]
+    fn topk_unfiltered_entries_survive_deltas() {
+        let engine = Arc::new(ScoringEngine::new(Arc::new(Linear { n: 50 }), 1));
+        let filter = Arc::new(kg_core::FilterIndex::from_slices(&[&[Triple::new(1, 0, 2)][..]]));
+        let live = Arc::new(LiveGraph::new(filter));
+        let b = TopKBatcher::new(
+            Arc::clone(&engine),
+            Arc::clone(&live),
+            "linear",
+            Duration::ZERO,
+            1,
+            None,
+        );
+        let q =
+            TopKQuery { triple: Triple::new(1, 0, 0), side: QuerySide::Tail, k: 3, filtered: true };
+        b.submit(vec![q]);
+        assert_eq!(b.cached_results(), 1);
+        // Unfiltered entries survive any delta (they never read the graph).
+        let unf = TopKQuery { filtered: false, ..q };
+        b.submit(vec![unf]);
+        assert_eq!(b.cached_results(), 2);
+        let outcome = live.apply(&kg_core::GraphDelta::new(vec![Triple::new(1, 0, 9)], vec![]));
+        b.invalidate(&outcome.keys, outcome.version);
+        assert_eq!(
+            b.cached_results(),
+            1,
+            "the filtered entry was touched; the unfiltered survives"
+        );
+        // The unfiltered survivor still hits at the new version.
+        b.submit(vec![unf]);
+        assert_eq!(b.batches_run(), 2, "unfiltered entry re-stamped, no extra pass");
     }
 
     #[test]

@@ -315,12 +315,31 @@ impl Gateway {
         };
         let mut rank_nodes: Vec<Json> = Vec::new();
         let mut all_hit = true;
+        let mut eval_all_hit = true;
+        let mut graph_version: Option<u64> = None;
         for (_, resp) in &parsed {
             let Some(part) = resp.get("ranks").and_then(Json::as_array) else {
                 return self.bad_backend("/eval response missing 'ranks'");
             };
             rank_nodes.extend_from_slice(part);
             all_hit &= resp.get("sample_cache").and_then(Json::as_str) == Some("hit");
+            eval_all_hit &= resp.get("eval_cache").and_then(Json::as_str) == Some("hit");
+            // Workers ingest live deltas independently; an evaluation
+            // stitched from different graph versions would silently mix
+            // two graphs, so version skew is a hard 502, not a warning.
+            let Some(version) = resp.get("graph_version").and_then(Json::as_u64) else {
+                return self.bad_backend("/eval response missing 'graph_version'");
+            };
+            match graph_version {
+                None => graph_version = Some(version),
+                Some(expected) if expected != version => {
+                    return self.bad_backend(&format!(
+                        "/eval graph versions diverge across workers ({expected} vs {version}); \
+                         the fleet's live graphs are out of sync"
+                    ));
+                }
+                Some(_) => {}
+            }
         }
         let ranks: Vec<f64> = rank_nodes.iter().filter_map(Json::as_f64).collect();
         if ranks.len() != rank_nodes.len() {
@@ -336,7 +355,9 @@ impl Gateway {
             ("strategy".to_string(), echo("strategy")),
             ("n_s".to_string(), echo("n_s")),
             ("seed".to_string(), echo("seed")),
+            ("graph_version".to_string(), Json::Num(graph_version.unwrap_or(0) as f64)),
             ("sample_cache".to_string(), Json::Str(if all_hit { "hit" } else { "miss" }.into())),
+            ("eval_cache".to_string(), Json::Str(if eval_all_hit { "hit" } else { "miss" }.into())),
             ("num_queries".to_string(), Json::Num(ranks.len() as f64)),
             (
                 "metrics".to_string(),

@@ -70,6 +70,21 @@ struct BatchStats {
     sizes: Reservoir,
 }
 
+/// Latest continuous-evaluation round for one monitored model (see
+/// [`crate::monitor::Monitor`]); rendered as the `kg_serve_monitor_*`
+/// series.
+#[derive(Clone, Copy, Default)]
+struct MonitorGauges {
+    mrr: f64,
+    hits1: f64,
+    hits3: f64,
+    hits10: f64,
+    baseline_mrr: f64,
+    drift_alarm: bool,
+    evals: u64,
+    last_eval_uptime: f64,
+}
+
 /// Thread-safe metrics registry shared by the router, the batcher, and the
 /// server's connection lifecycle.
 pub struct HttpMetrics {
@@ -95,6 +110,22 @@ pub struct HttpMetrics {
     connections_rejected: AtomicU64,
     /// Connections refused with 429 by a per-client token bucket.
     connections_throttled: AtomicU64,
+    /// Current live-graph version per model.
+    graph_versions: Mutex<HashMap<String, u64>>,
+    /// Triples inserted into live graphs (effective writes only).
+    triples_inserted: AtomicU64,
+    /// Triples deleted from live graphs (effective writes only).
+    triples_deleted: AtomicU64,
+    /// `/topk` queries answered from the version-stamped result cache.
+    topk_cache_hits: AtomicU64,
+    /// `/topk` queries that missed the result cache and ran a ranking pass.
+    topk_cache_misses: AtomicU64,
+    /// `/eval` requests answered from the version-stamped result cache.
+    eval_cache_hits: AtomicU64,
+    /// `/eval` requests that missed the result cache.
+    eval_cache_misses: AtomicU64,
+    /// Continuous-evaluation stats per monitored model.
+    monitors: Mutex<HashMap<String, MonitorGauges>>,
     /// Backend failures observed by the gateway, by backend address.
     gateway_backend_errors: Mutex<HashMap<String, u64>>,
     /// Gateway scatter-phase latency (request fan-out until the last
@@ -128,6 +159,14 @@ impl HttpMetrics {
             keepalive_reuses: AtomicU64::new(0),
             connections_rejected: AtomicU64::new(0),
             connections_throttled: AtomicU64::new(0),
+            graph_versions: Mutex::new(HashMap::new()),
+            triples_inserted: AtomicU64::new(0),
+            triples_deleted: AtomicU64::new(0),
+            topk_cache_hits: AtomicU64::new(0),
+            topk_cache_misses: AtomicU64::new(0),
+            eval_cache_hits: AtomicU64::new(0),
+            eval_cache_misses: AtomicU64::new(0),
+            monitors: Mutex::new(HashMap::new()),
             gateway_backend_errors: Mutex::new(HashMap::new()),
             gateway_scatter: Mutex::new(HashMap::new()),
             gateway_merge: Mutex::new(HashMap::new()),
@@ -252,6 +291,79 @@ impl HttpMetrics {
     /// Requests absorbed into `/topk` batches.
     pub fn topk_jobs(&self) -> u64 {
         self.topk_jobs.load(Ordering::Relaxed)
+    }
+
+    /// Record `model`'s current live-graph version.
+    pub fn set_graph_version(&self, model: &str, version: u64) {
+        self.graph_versions.lock().unwrap().insert(model.to_string(), version);
+    }
+
+    /// The last recorded live-graph version for `model`, if any.
+    pub fn graph_version(&self, model: &str) -> Option<u64> {
+        self.graph_versions.lock().unwrap().get(model).copied()
+    }
+
+    /// Record one applied graph delta's effective writes.
+    pub fn observe_ingest(&self, inserted: usize, deleted: usize) {
+        self.triples_inserted.fetch_add(inserted as u64, Ordering::Relaxed);
+        self.triples_deleted.fetch_add(deleted as u64, Ordering::Relaxed);
+    }
+
+    /// Record one coalesced `/topk` pass's cache outcome (`hits` queries
+    /// answered from cache, `misses` ranked fresh).
+    pub fn observe_topk_cache(&self, hits: usize, misses: usize) {
+        self.topk_cache_hits.fetch_add(hits as u64, Ordering::Relaxed);
+        self.topk_cache_misses.fetch_add(misses as u64, Ordering::Relaxed);
+    }
+
+    /// `/topk` queries answered from the result cache.
+    pub fn topk_cache_hits(&self) -> u64 {
+        self.topk_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// `/topk` queries that ran a fresh ranking pass.
+    pub fn topk_cache_misses(&self) -> u64 {
+        self.topk_cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Record one `/eval` request's result-cache outcome.
+    pub fn observe_eval_cache(&self, hit: bool) {
+        if hit {
+            self.eval_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.eval_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `/eval` requests answered from the result cache.
+    pub fn eval_cache_hits(&self) -> u64 {
+        self.eval_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Publish one continuous-evaluation round for `model`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn set_monitor_stats(
+        &self,
+        model: &str,
+        metrics: &kg_eval::RankingMetrics,
+        baseline_mrr: f64,
+        drift_alarm: bool,
+        evals: u64,
+        last_eval_uptime: f64,
+    ) {
+        self.monitors.lock().unwrap().insert(
+            model.to_string(),
+            MonitorGauges {
+                mrr: metrics.mrr,
+                hits1: metrics.hits1,
+                hits3: metrics.hits3,
+                hits10: metrics.hits10,
+                baseline_mrr,
+                drift_alarm,
+                evals,
+                last_eval_uptime,
+            },
+        );
     }
 
     /// Record one request against `endpoint`.
@@ -435,6 +547,134 @@ impl HttpMetrics {
             }
         }
         drop(topk_windows);
+
+        let graph_versions = self.graph_versions.lock().unwrap();
+        if !graph_versions.is_empty() {
+            let mut models: Vec<&String> = graph_versions.keys().collect();
+            models.sort();
+            out.push_str("# HELP kg_serve_graph_version Current live-graph version.\n");
+            out.push_str("# TYPE kg_serve_graph_version gauge\n");
+            for m in models {
+                out.push_str(&format!(
+                    "kg_serve_graph_version{{model=\"{}\"}} {}\n",
+                    escape_label(m),
+                    graph_versions[m]
+                ));
+            }
+        }
+        drop(graph_versions);
+
+        out.push_str(
+            "# HELP kg_serve_graph_triples_inserted_total Triples inserted into live graphs.\n",
+        );
+        out.push_str("# TYPE kg_serve_graph_triples_inserted_total counter\n");
+        out.push_str(&format!(
+            "kg_serve_graph_triples_inserted_total {}\n",
+            self.triples_inserted.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP kg_serve_graph_triples_deleted_total Triples deleted from live graphs.\n",
+        );
+        out.push_str("# TYPE kg_serve_graph_triples_deleted_total counter\n");
+        out.push_str(&format!(
+            "kg_serve_graph_triples_deleted_total {}\n",
+            self.triples_deleted.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP kg_serve_topk_cache_hits_total /topk queries answered from the version-stamped result cache.\n",
+        );
+        out.push_str("# TYPE kg_serve_topk_cache_hits_total counter\n");
+        out.push_str(&format!("kg_serve_topk_cache_hits_total {}\n", self.topk_cache_hits()));
+        out.push_str(
+            "# HELP kg_serve_topk_cache_misses_total /topk queries that ran a fresh ranking pass.\n",
+        );
+        out.push_str("# TYPE kg_serve_topk_cache_misses_total counter\n");
+        out.push_str(&format!("kg_serve_topk_cache_misses_total {}\n", self.topk_cache_misses()));
+        out.push_str(
+            "# HELP kg_serve_eval_cache_hits_total /eval requests answered from the result cache.\n",
+        );
+        out.push_str("# TYPE kg_serve_eval_cache_hits_total counter\n");
+        out.push_str(&format!("kg_serve_eval_cache_hits_total {}\n", self.eval_cache_hits()));
+        out.push_str("# HELP kg_serve_eval_cache_misses_total /eval requests that recomputed.\n");
+        out.push_str("# TYPE kg_serve_eval_cache_misses_total counter\n");
+        out.push_str(&format!(
+            "kg_serve_eval_cache_misses_total {}\n",
+            self.eval_cache_misses.load(Ordering::Relaxed)
+        ));
+
+        let monitors = self.monitors.lock().unwrap();
+        if !monitors.is_empty() {
+            let mut models: Vec<&String> = monitors.keys().collect();
+            models.sort();
+            let uptime = self.uptime_seconds();
+            out.push_str("# HELP kg_serve_monitor_mrr Latest continuous-evaluation MRR.\n");
+            out.push_str("# TYPE kg_serve_monitor_mrr gauge\n");
+            for m in &models {
+                out.push_str(&format!(
+                    "kg_serve_monitor_mrr{{model=\"{}\"}} {}\n",
+                    escape_label(m),
+                    monitors[*m].mrr
+                ));
+            }
+            out.push_str(
+                "# HELP kg_serve_monitor_hits_at_k Latest continuous-evaluation Hits@K.\n",
+            );
+            out.push_str("# TYPE kg_serve_monitor_hits_at_k gauge\n");
+            for m in &models {
+                let g = monitors[*m];
+                for (k, v) in [("1", g.hits1), ("3", g.hits3), ("10", g.hits10)] {
+                    out.push_str(&format!(
+                        "kg_serve_monitor_hits_at_k{{model=\"{}\",k=\"{k}\"}} {v}\n",
+                        escape_label(m)
+                    ));
+                }
+            }
+            out.push_str(
+                "# HELP kg_serve_monitor_baseline_mrr MRR of the monitor's first (baseline) round.\n",
+            );
+            out.push_str("# TYPE kg_serve_monitor_baseline_mrr gauge\n");
+            for m in &models {
+                out.push_str(&format!(
+                    "kg_serve_monitor_baseline_mrr{{model=\"{}\"}} {}\n",
+                    escape_label(m),
+                    monitors[*m].baseline_mrr
+                ));
+            }
+            out.push_str(
+                "# HELP kg_serve_monitor_drift_alarm 1 when MRR fell more than the drift threshold below baseline.\n",
+            );
+            out.push_str("# TYPE kg_serve_monitor_drift_alarm gauge\n");
+            for m in &models {
+                out.push_str(&format!(
+                    "kg_serve_monitor_drift_alarm{{model=\"{}\"}} {}\n",
+                    escape_label(m),
+                    u64::from(monitors[*m].drift_alarm)
+                ));
+            }
+            out.push_str(
+                "# HELP kg_serve_monitor_evals_total Continuous-evaluation rounds completed.\n",
+            );
+            out.push_str("# TYPE kg_serve_monitor_evals_total counter\n");
+            for m in &models {
+                out.push_str(&format!(
+                    "kg_serve_monitor_evals_total{{model=\"{}\"}} {}\n",
+                    escape_label(m),
+                    monitors[*m].evals
+                ));
+            }
+            out.push_str(
+                "# HELP kg_serve_monitor_eval_age_seconds Seconds since the latest round finished.\n",
+            );
+            out.push_str("# TYPE kg_serve_monitor_eval_age_seconds gauge\n");
+            for m in &models {
+                out.push_str(&format!(
+                    "kg_serve_monitor_eval_age_seconds{{model=\"{}\"}} {}\n",
+                    escape_label(m),
+                    (uptime - monitors[*m].last_eval_uptime).max(0.0)
+                ));
+            }
+        }
+        drop(monitors);
 
         let backend_errors = self.gateway_backend_errors.lock().unwrap();
         if !backend_errors.is_empty() {

@@ -12,9 +12,12 @@
 //! |---|---|---|
 //! | `/score`        | POST | Score a batch of `(h, r, t)` triples (coalesced across concurrent requests, adaptive window) |
 //! | `/topk`         | POST | Top-k tail/head prediction with filtered known-true removal (coalesced across concurrent requests, fanned out across queries × entity shards) |
-//! | `/eval`         | POST | Sampled MRR / Hits@K over submitted triples ([`kg_eval::evaluate_sampled`]) |
-//! | `/admin/models` | POST | Hot-reload a model snapshot; the registry entry flips atomically |
-//! | `/healthz`      | GET  | Liveness, uptime, registered models (on a gateway: per-backend health) |
+//! | `/eval`         | POST | Sampled MRR / Hits@K over submitted triples ([`kg_eval::evaluate_sampled`]), version-stamped and LRU-cached |
+//! | `/triples`      | POST | Stream triple inserts/deletes into the live graph; bumps the graph version and invalidates exactly the touched cache entries |
+//! | `/monitor`      | GET  | Continuous-evaluation status per model (window size, latest MRR/Hits@K, drift alarm) |
+//! | `/admin/models` | POST | Hot-reload a model snapshot; the registry entry flips atomically (the live graph and its version survive) |
+//! | `/admin/models` | GET  | List registered models: shape, shard count, graph version, known triples |
+//! | `/healthz`      | GET  | Liveness, uptime, registered models, this worker's shard ranges (on a gateway: per-backend health) |
 //! | `/metrics`      | GET  | Prometheus text: request counts, p50/p99 latency, batch sizes + windows |
 //! | `/shard/topk`   | POST | **Internal** (multi-node): `/topk`'s queries over this worker's entity range, as wire-encoded [`kg_core::partial::PartialTopK`]s |
 //! | `/shard/rank`   | POST | **Internal** (multi-node): filtered-rank counters over this worker's range, as wire-encoded [`kg_core::partial::PartialRankCounts`] |
@@ -36,21 +39,43 @@
 //! ```
 //!
 //! `POST /eval` (strategy `random` | `static` | `probabilistic`; seeds are
-//! deterministic, and the `(strategy, n_s, seed)` candidate sample is
-//! LRU-cached per model):
+//! deterministic, the `(strategy, n_s, seed)` candidate sample is
+//! LRU-cached per model, and the full result is LRU-cached keyed on every
+//! knob plus a fingerprint of the triples — valid only at the
+//! `graph_version` it was computed against, so a write between two
+//! identical calls forces a recompute):
 //! ```json
 //! {"model": "default", "triples": [[0, 1, 2]], "strategy": "random",
 //!  "n_s": 50, "seed": 7, "include_ranks": false}
 //! → {"model": "default", "strategy": "random", "n_s": 50, "seed": 7,
-//!    "sample_cache": "miss", "num_queries": 2,
+//!    "graph_version": 3, "sample_cache": "miss", "eval_cache": "miss",
+//!    "num_queries": 2,
 //!    "metrics": {"mrr": 0.41, "hits1": 0.3, "hits3": 0.45, "hits10": 0.7,
 //!                "mean_rank": 5.5}, "seconds": 0.0012}
+//! ```
+//!
+//! `POST /triples` (streaming ingest: batch inserts and/or deletes against
+//! the model's live graph; no-op writes — inserting a known triple,
+//! deleting an unknown one — don't bump the version):
+//! ```json
+//! {"model": "default", "insert": [[0, 1, 2]], "delete": [[5, 0, 7]]}
+//! → {"model": "default", "version": 4, "inserted": 1, "deleted": 1,
+//!    "known_triples": 1042}
+//! ```
+//!
+//! `GET /admin/models` / `GET /monitor` (read-only introspection; see
+//! [`monitor::MonitorStatus`] for the per-monitor fields):
+//! ```json
+//! → {"models": [{"name": "default", "family": "ComplEx", "entities": 100,
+//!               "relations": 4, "dim": 32, "shards": 1,
+//!               "graph_version": 4, "known_triples": 1042}]}
 //! ```
 //!
 //! `POST /admin/models` (hot-reload; the snapshot is loaded before any
 //! registry lock is taken, then the entry flips atomically — in-flight
 //! requests finish on the model they started with; an existing entry keeps
-//! its filter index and recommender artifacts, so the snapshot must match
+//! its live graph — same `Arc`, version counter and applied deltas
+//! included — and recommender artifacts, so the snapshot must match
 //! its entity/relation counts; add `"token"` when
 //! [`RegistryConfig::admin_token`] is set):
 //! ```json
@@ -142,6 +167,7 @@ pub mod client;
 pub mod gateway;
 pub mod http_metrics;
 pub mod json;
+pub mod monitor;
 pub mod registry;
 pub mod router;
 pub mod server;
@@ -151,6 +177,9 @@ pub use client::{ClientConfig, Connection};
 pub use gateway::{Gateway, GatewayConfig};
 pub use http_metrics::HttpMetrics;
 pub use json::{Json, JsonError};
-pub use registry::{LruCache, ModelEntry, ModelRegistry, RegistryConfig, SampleKey, WorkerShard};
+pub use monitor::{Monitor, MonitorConfig, MonitorStatus};
+pub use registry::{
+    EvalKey, LruCache, ModelEntry, ModelRegistry, RegistryConfig, SampleKey, WorkerShard,
+};
 pub use router::{Response, Router};
 pub use server::{serve, ServerConfig, ServerHandle, HTTP_PARSE_ENDPOINT};

@@ -15,8 +15,10 @@ use std::hash::Hash;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
+use kg_core::ids::{EntityId, RelationId};
 use kg_core::sample::seeded_rng;
-use kg_core::FilterIndex;
+use kg_core::{ApplyOutcome, DeltaKeys, FilterIndex, GraphDelta, LiveGraph, Triple};
+use kg_eval::{EvalResult, TieBreak};
 use kg_models::{KgcModel, ScoringEngine};
 use kg_recommend::{
     sample_candidates, CandidateSets, SampledCandidates, SamplingStrategy, ScoreMatrix,
@@ -24,6 +26,7 @@ use kg_recommend::{
 
 use crate::batch::{ScoreBatcher, TopKBatcher};
 use crate::http_metrics::HttpMetrics;
+use crate::monitor::{Monitor, MonitorConfig, MonitorStatus};
 
 /// A bounded map with least-recently-used eviction.
 ///
@@ -83,6 +86,20 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             self.order.push(k);
         }
     }
+
+    /// Keep only entries for which `f` returns true, preserving recency
+    /// order. `f` may mutate the kept values (the version-bump walk the
+    /// delta invalidation paths use).
+    pub fn retain(&mut self, mut f: impl FnMut(&K, &mut V) -> bool) {
+        let map = &mut self.map;
+        self.order.retain(|k| {
+            let keep = map.get_mut(k).is_some_and(|v| f(k, v));
+            if !keep {
+                map.remove(k);
+            }
+            keep
+        });
+    }
 }
 
 /// Cache key for one sampling configuration.
@@ -98,6 +115,72 @@ pub struct SampleKey {
 
 /// How many distinct sampling configurations to keep per model.
 pub const SAMPLE_CACHE_CAPACITY: usize = 32;
+
+/// How many `/eval` results to keep per model.
+pub const EVAL_CACHE_CAPACITY: usize = 16;
+
+/// Cache key for one `/eval` computation: every request knob plus a
+/// 128-bit fingerprint of the triple list (two independently-seeded 64-bit
+/// folds — the list itself can be a million entries, far too large to key
+/// on directly). The *graph version* is deliberately not part of the key:
+/// validity is tracked on the cached value so a delta can re-stamp
+/// untouched entries instead of orphaning them.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct EvalKey {
+    /// Sampling strategy.
+    pub strategy: SamplingStrategy,
+    /// Per-column sample size.
+    pub n_s: usize,
+    /// RNG seed for the candidate draw.
+    pub seed: u64,
+    /// Tie-breaking rule.
+    pub tie: TieBreak,
+    /// Two-seed fingerprint of the evaluated triples, order-sensitive.
+    pub fingerprint: (u64, u64),
+}
+
+impl EvalKey {
+    /// Key for evaluating `triples` under the given knobs.
+    pub fn new(
+        strategy: SamplingStrategy,
+        n_s: usize,
+        seed: u64,
+        tie: TieBreak,
+        triples: &[Triple],
+    ) -> Self {
+        EvalKey {
+            strategy,
+            n_s,
+            seed,
+            tie,
+            fingerprint: (fingerprint(triples, 0x51_7c_c1_b7), fingerprint(triples, 0x9e_37_79_b9)),
+        }
+    }
+}
+
+/// Order-sensitive 64-bit fold of a triple list (splitmix-style mixing).
+fn fingerprint(triples: &[Triple], seed: u64) -> u64 {
+    let mut h = seed ^ (triples.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for t in triples {
+        for v in [t.head.0 as u64, t.relation.0 as u64, t.tail.0 as u64] {
+            h = (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 29;
+        }
+    }
+    h
+}
+
+/// A cached `/eval` result plus what it depends on: the graph version it
+/// was computed against and the sorted filter keys its queries read
+/// (tail-query and head-query keys of every evaluated triple) — the
+/// intersection test a delta's [`DeltaKeys`] runs to decide touched vs.
+/// survivor.
+struct CachedEval {
+    result: EvalResult,
+    version: u64,
+    hr: Vec<(EntityId, RelationId)>,
+    rt: Vec<(RelationId, EntityId)>,
+}
 
 /// The slice of the entity space a worker node owns in a multi-node
 /// deployment: this node is shard `index` of `of` total workers.
@@ -133,14 +216,16 @@ impl WorkerShard {
 pub struct ModelEntry {
     name: String,
     engine: Arc<ScoringEngine>,
-    filter: Arc<FilterIndex>,
+    live: Arc<LiveGraph>,
     matrix: Option<Arc<ScoreMatrix>>,
     sets: Option<Arc<CandidateSets>>,
     batcher: ScoreBatcher,
     topk_batcher: TopKBatcher,
     samples: Mutex<LruCache<SampleKey, Arc<SampledCandidates>>>,
+    evals: Mutex<LruCache<EvalKey, CachedEval>>,
     threads: usize,
     worker_shard: Option<WorkerShard>,
+    metrics: Arc<HttpMetrics>,
 }
 
 impl ModelEntry {
@@ -159,9 +244,82 @@ impl ModelEntry {
         self.engine.model()
     }
 
-    /// The filter index used for filtered ranking / known-true removal.
-    pub fn filter(&self) -> &FilterIndex {
-        &self.filter
+    /// The live known-triple graph used for filtered ranking: snapshot it
+    /// ([`LiveGraph::snapshot`]) for a consistent read, apply deltas
+    /// through [`ModelEntry::apply_delta`] so dependent caches are
+    /// invalidated in the same step.
+    pub fn live(&self) -> &Arc<LiveGraph> {
+        &self.live
+    }
+
+    /// The current graph version (0 until the first effective delta).
+    pub fn graph_version(&self) -> u64 {
+        self.live.version()
+    }
+
+    /// Apply a batch of triple inserts/deletes to the live graph and
+    /// invalidate exactly the cached results the delta touched: `/topk`
+    /// entries whose `(context, relation)` key gained or lost a known
+    /// answer, and `/eval` results whose query keys intersect the delta.
+    /// Untouched entries are re-stamped to the new version and keep
+    /// hitting. The sample cache is *not* touched — candidate draws depend
+    /// only on `(|E|, |R|, strategy, n_s, seed)`, never on the graph.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> ApplyOutcome {
+        let outcome = self.live.apply(delta);
+        if outcome.changed() {
+            self.topk_batcher.invalidate(&outcome.keys, outcome.version);
+            self.invalidate_evals(&outcome.keys, outcome.version);
+            self.metrics.set_graph_version(&self.name, outcome.version);
+            self.metrics.observe_ingest(outcome.inserted, outcome.deleted);
+        }
+        outcome
+    }
+
+    /// The cached `/eval` result for `key`, if one exists that is valid at
+    /// graph version `version`. A version-stale entry is a **miss** (never
+    /// served, left for the LRU to age out).
+    pub fn cached_eval(&self, key: &EvalKey, version: u64) -> Option<EvalResult> {
+        let mut cache = self.evals.lock().unwrap();
+        match cache.get(key) {
+            Some(c) if c.version == version => Some(c.result.clone()),
+            _ => None,
+        }
+    }
+
+    /// Memoise an `/eval` result computed against graph version `version`
+    /// over `triples`. Refused when the live graph has already moved past
+    /// `version` (versions are monotonic, so equality proves no delta
+    /// landed since the computation began).
+    pub fn store_eval(&self, key: EvalKey, result: &EvalResult, triples: &[Triple], version: u64) {
+        let mut cache = self.evals.lock().unwrap();
+        if self.live.version() != version {
+            return;
+        }
+        let mut hr: Vec<(EntityId, RelationId)> = triples.iter().map(|t| t.hr()).collect();
+        let mut rt: Vec<(RelationId, EntityId)> = triples.iter().map(|t| t.rt()).collect();
+        hr.sort_unstable();
+        hr.dedup();
+        rt.sort_unstable();
+        rt.dedup();
+        cache.insert(key, CachedEval { result: result.clone(), version, hr, rt });
+    }
+
+    /// Cached `/eval` results currently held (tests and `/healthz`).
+    pub fn cached_evals(&self) -> usize {
+        self.evals.lock().unwrap().len()
+    }
+
+    fn invalidate_evals(&self, keys: &DeltaKeys, new_version: u64) {
+        let mut cache = self.evals.lock().unwrap();
+        cache.retain(|_, c| {
+            let touched = keys.hr_keys().iter().any(|k| c.hr.binary_search(k).is_ok())
+                || keys.rt_keys().iter().any(|k| c.rt.binary_search(k).is_ok());
+            if touched {
+                return false;
+            }
+            c.version = new_version;
+            true
+        });
     }
 
     /// The coalescing batcher for `/score` traffic.
@@ -282,6 +440,7 @@ impl Default for RegistryConfig {
 pub struct ModelRegistry {
     config: RegistryConfig,
     entries: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    monitors: Mutex<HashMap<String, Arc<Monitor>>>,
     metrics: Arc<HttpMetrics>,
 }
 
@@ -296,6 +455,7 @@ impl ModelRegistry {
         ModelRegistry {
             config,
             entries: RwLock::new(HashMap::new()),
+            monitors: Mutex::new(HashMap::new()),
             metrics: Arc::new(HttpMetrics::new()),
         }
     }
@@ -310,7 +470,55 @@ impl ModelRegistry {
         self.config.admin_token.as_deref()
     }
 
-    /// Register a model under `name`, replacing any previous entry.
+    /// This node's configured slice of the entity space, if any.
+    pub fn worker_shard(&self) -> Option<WorkerShard> {
+        self.config.worker_shard
+    }
+
+    /// Start (or replace) the continuous-evaluation monitor for model
+    /// `name`. The monitor holds only a `Weak` back-reference, so dropping
+    /// the registry stops it.
+    pub fn start_monitor(
+        self: &Arc<Self>,
+        name: &str,
+        config: MonitorConfig,
+    ) -> Result<Arc<Monitor>, String> {
+        if self.get(name).is_none() {
+            return Err(format!("unknown model '{name}'"));
+        }
+        let monitor = Arc::new(Monitor::spawn(Arc::downgrade(self), name.to_string(), config));
+        self.monitors.lock().unwrap().insert(name.to_string(), Arc::clone(&monitor));
+        Ok(monitor)
+    }
+
+    /// Stop and drop the monitor for `name`; returns whether one existed.
+    pub fn stop_monitor(&self, name: &str) -> bool {
+        self.monitors.lock().unwrap().remove(name).is_some()
+    }
+
+    /// The running monitor for `name`, if any.
+    pub fn monitor(&self, name: &str) -> Option<Arc<Monitor>> {
+        self.monitors.lock().unwrap().get(name).cloned()
+    }
+
+    /// Status of every running monitor, sorted by model name.
+    pub fn monitor_statuses(&self) -> Vec<MonitorStatus> {
+        let monitors: Vec<Arc<Monitor>> = self.monitors.lock().unwrap().values().cloned().collect();
+        let mut statuses: Vec<MonitorStatus> = monitors.iter().map(|m| m.status()).collect();
+        statuses.sort_by(|a, b| a.model.cmp(&b.model));
+        statuses
+    }
+
+    /// Feed a just-applied delta to the model's monitor (if one runs) so
+    /// its held-out window tracks the live graph.
+    pub(crate) fn notify_delta(&self, name: &str, delta: &GraphDelta) {
+        if let Some(monitor) = self.monitors.lock().unwrap().get(name) {
+            monitor.on_delta(delta);
+        }
+    }
+
+    /// Register a model under `name`, replacing any previous entry. The
+    /// filter index seeds a fresh [`LiveGraph`] at version 0.
     pub fn register(
         &self,
         name: impl Into<String>,
@@ -330,6 +538,21 @@ impl ModelRegistry {
         matrix: Option<Arc<ScoreMatrix>>,
         sets: Option<Arc<CandidateSets>>,
     ) -> Arc<ModelEntry> {
+        self.register_live(name, model, Arc::new(LiveGraph::new(filter)), matrix, sets)
+    }
+
+    /// Register a model against an existing [`LiveGraph`] — the hot-reload
+    /// path uses this so a reloaded entry keeps the old entry's graph (same
+    /// `Arc`: deltas applied through either entry stay visible to both, and
+    /// the version counter never resets).
+    fn register_live(
+        &self,
+        name: impl Into<String>,
+        model: Arc<dyn KgcModel>,
+        live: Arc<LiveGraph>,
+        matrix: Option<Arc<ScoreMatrix>>,
+        sets: Option<Arc<CandidateSets>>,
+    ) -> Arc<ModelEntry> {
         let name = name.into();
         let engine = Arc::new(ScoringEngine::new(model, self.config.shards));
         let entry = Arc::new(ModelEntry {
@@ -343,20 +566,23 @@ impl ModelRegistry {
             ),
             topk_batcher: TopKBatcher::new(
                 Arc::clone(&engine),
-                Arc::clone(&filter),
+                Arc::clone(&live),
                 name.clone(),
                 self.config.topk_batch_window,
                 self.config.threads,
                 Some(Arc::clone(&self.metrics)),
             ),
             engine,
-            filter,
+            live,
             matrix,
             sets,
             samples: Mutex::new(LruCache::new(SAMPLE_CACHE_CAPACITY)),
+            evals: Mutex::new(LruCache::new(EVAL_CACHE_CAPACITY)),
             threads: self.config.threads,
             worker_shard: self.config.worker_shard,
+            metrics: Arc::clone(&self.metrics),
         });
+        self.metrics.set_graph_version(&entry.name, entry.live.version());
         self.entries.write().unwrap().insert(name, Arc::clone(&entry));
         entry
     }
@@ -393,7 +619,7 @@ impl ModelRegistry {
     ) -> Result<Arc<ModelEntry>, kg_core::KgError> {
         let model = kg_models::io::load_model_from_path(path)?;
         let model: Arc<dyn KgcModel> = Arc::from(model as Box<dyn KgcModel>);
-        let (filter, matrix, sets) = match self.get(name) {
+        let (live, matrix, sets) = match self.get(name) {
             Some(old) => {
                 let (ne, nr) = (old.model().num_entities(), old.model().num_relations());
                 if model.num_entities() != ne || model.num_relations() != nr {
@@ -404,11 +630,11 @@ impl ModelRegistry {
                         model.num_relations(),
                     )));
                 }
-                (Arc::clone(&old.filter), old.matrix.clone(), old.sets.clone())
+                (Arc::clone(&old.live), old.matrix.clone(), old.sets.clone())
             }
-            None => (Arc::new(FilterIndex::new()), None, None),
+            None => (Arc::new(LiveGraph::new(Arc::new(FilterIndex::new()))), None, None),
         };
-        Ok(self.register_with_artifacts(name, model, filter, matrix, sets))
+        Ok(self.register_live(name, model, live, matrix, sets))
     }
 
     /// Look up an entry by name.

@@ -6,14 +6,19 @@
 //! * `POST /topk`         — top-k tail/head prediction with known-true removal,
 //!   coalesced by the per-model [`crate::batch::TopKBatcher`] and executed
 //!   as one multi-query pass fanned out across queries × entity shards;
-//! * `POST /eval`         — sampled MRR/Hits@K via the paper's fast estimator;
+//! * `POST /eval`         — sampled MRR/Hits@K via the paper's fast estimator,
+//!   version-stamped against the live graph and LRU-cached;
+//! * `POST /triples`      — stream triple inserts/deletes into the model's
+//!   live graph (bumps the graph version, invalidates touched caches);
 //! * `POST /admin/models` — hot-reload a model snapshot, flipping the
 //!   registry entry atomically;
+//! * `GET  /admin/models` — list registered models (shape, graph version);
+//! * `GET  /monitor`      — continuous-evaluation status per model;
 //! * `POST /shard/topk` / `POST /shard/rank` — **internal** multi-node
 //!   endpoints: the same queries evaluated only over this worker's
 //!   configured entity range, returned as wire-encoded
 //!   [`kg_core::partial`] results for a gateway to merge;
-//! * `GET  /healthz`      — liveness + registered models;
+//! * `GET  /healthz`      — liveness + registered models + shard ranges;
 //! * `GET  /metrics`      — Prometheus text (request counts, p50/p99, batches).
 //!
 //! The router is transport-independent: it maps `(method, path, body)` to a
@@ -27,7 +32,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use kg_core::triple::QuerySide;
-use kg_core::Triple;
+use kg_core::{GraphDelta, Triple};
 use kg_eval::{evaluate_sampled, TieBreak};
 use kg_recommend::SamplingStrategy;
 
@@ -35,7 +40,7 @@ use crate::batch::TopKQuery;
 use crate::gateway::Gateway;
 use crate::http_metrics::HttpMetrics;
 use crate::json::Json;
-use crate::registry::{ModelEntry, ModelRegistry, SampleKey};
+use crate::registry::{EvalKey, ModelEntry, ModelRegistry, SampleKey};
 
 /// Largest request body the service accepts (guards the std-only parser).
 pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
@@ -138,8 +143,8 @@ impl Router {
         // Unknown paths share one label: per-path labels would let a path
         // scanner grow the metrics map without bound.
         let endpoint = match path {
-            "/score" | "/topk" | "/eval" | "/admin/models" | "/healthz" | "/metrics"
-            | "/shard/topk" | "/shard/rank" => path,
+            "/score" | "/topk" | "/eval" | "/triples" | "/monitor" | "/admin/models"
+            | "/healthz" | "/metrics" | "/shard/topk" | "/shard/rank" => path,
             _ => "other",
         };
         self.metrics.observe_request(endpoint, latency_us, response.status);
@@ -156,9 +161,18 @@ impl Router {
                     ("POST", "/score") => gateway.score(body),
                     ("POST", "/topk") => gateway.topk(body),
                     ("POST", "/eval") => gateway.eval(body),
-                    ("POST", "/admin/models") => Response::error(
+                    ("POST" | "GET", "/admin/models") => Response::error(
                         501,
                         "the gateway does not proxy admin endpoints; reload each worker directly",
+                    ),
+                    ("POST", "/triples") => Response::error(
+                        501,
+                        "the gateway does not proxy graph writes; apply deltas to every worker \
+                         directly (a fleet must ingest identically to stay in agreement)",
+                    ),
+                    ("GET", "/monitor") => Response::error(
+                        501,
+                        "the gateway does not proxy monitors; query each worker directly",
                     ),
                     ("POST", _) | ("GET", _) => {
                         Response::error(404, format!("no route for {method} {path}"))
@@ -183,7 +197,12 @@ impl Router {
             ("POST", "/shard/rank") => {
                 self.with_request(registry, body, |r, e| self.shard_rank(r, e))
             }
+            ("POST", "/triples") => {
+                self.with_request(registry, body, |r, e| self.triples(registry, r, e))
+            }
             ("POST", "/admin/models") => self.admin_models(registry, body),
+            ("GET", "/admin/models") => self.list_models(registry),
+            ("GET", "/monitor") => self.monitor_status(registry),
             ("POST", _) | ("GET", _) => {
                 Response::error(404, format!("no route for {method} {path}"))
             }
@@ -201,12 +220,37 @@ impl Router {
     }
 
     fn healthz(&self, registry: &Arc<ModelRegistry>) -> Response {
+        let worker_shard = match registry.worker_shard() {
+            Some(ws) => {
+                Json::obj([("index", Json::Num(ws.index as f64)), ("of", Json::Num(ws.of as f64))])
+            }
+            None => Json::Null,
+        };
+        let shard_ranges: Vec<Json> = registry
+            .names()
+            .into_iter()
+            .filter_map(|name| registry.get(&name))
+            .map(|entry| {
+                let range = entry.shard_range();
+                Json::obj([
+                    ("model", Json::Str(entry.name().to_string())),
+                    ("entities", Json::Num(entry.engine().num_entities() as f64)),
+                    (
+                        "range",
+                        Json::Arr(vec![Json::Num(range.start as f64), Json::Num(range.end as f64)]),
+                    ),
+                    ("graph_version", Json::Num(entry.graph_version() as f64)),
+                ])
+            })
+            .collect();
         Response::json(
             200,
             Json::obj([
                 ("status", Json::Str("ok".into())),
                 ("uptime_seconds", Json::Num(self.metrics.uptime_seconds())),
                 ("models", Json::Arr(registry.names().into_iter().map(Json::Str).collect())),
+                ("worker_shard", worker_shard),
+                ("shard_ranges", Json::Arr(shard_ranges)),
             ]),
         )
     }
@@ -319,13 +363,20 @@ impl Router {
         let engine = entry.engine();
         let k = k.min(engine.num_entities());
         let range = entry.shard_range();
+        // One live-graph snapshot for the whole request: every query sees
+        // the same graph version even if deltas land mid-pass.
+        let snapshot = entry.live().snapshot();
         // The same two-level work plan the public path uses: queries
         // across workers, spare threads fanning each query's range out.
         let split = kg_core::parallel::two_level_split(queries.len(), entry.threads());
         let partials = kg_core::parallel::parallel_map_indexed(queries.len(), split.outer, |i| {
             let (triple, side) = queries[i];
-            let known = if filtered { entry.filter().known_answers(triple, side) } else { &[] };
-            engine.partial_top_k(triple, side, known, k, range.clone(), split.inner).encode()
+            let known = if filtered {
+                snapshot.known_answers(triple, side)
+            } else {
+                std::borrow::Cow::Borrowed(&[][..])
+            };
+            engine.partial_top_k(triple, side, &known, k, range.clone(), split.inner).encode()
         });
         Response::json(
             200,
@@ -366,12 +417,17 @@ impl Router {
         };
         let engine = entry.engine();
         let range = entry.shard_range();
+        let snapshot = entry.live().snapshot();
         let queries = kg_eval::ranker::queries_of(&triples);
         let split = kg_core::parallel::two_level_split(queries.len(), entry.threads());
         let partials = kg_core::parallel::parallel_map_indexed(queries.len(), split.outer, |i| {
             let (triple, side) = queries[i];
-            let known = if filtered { entry.filter().known_answers(triple, side) } else { &[] };
-            engine.partial_rank_counts(triple, side, known, range.clone(), split.inner).encode()
+            let known = if filtered {
+                snapshot.known_answers(triple, side)
+            } else {
+                std::borrow::Cow::Borrowed(&[][..])
+            };
+            engine.partial_rank_counts(triple, side, &known, range.clone(), split.inner).encode()
         });
         Response::json(
             200,
@@ -485,20 +541,37 @@ impl Router {
             Ok(s) => s,
             Err(msg) => return Response::error(400, msg),
         };
-        let result = evaluate_sampled(
-            entry.model().as_ref(),
-            &triples,
-            entry.filter(),
-            &samples,
-            tie,
-            entry.threads(),
-        );
+        // One snapshot for the whole request: its version stamps both the
+        // response and the cached result, so a write landing mid-request
+        // can never be misattributed — the cache refuses stale stores and
+        // a version-stale entry is a miss.
+        let snapshot = entry.live().snapshot();
+        let graph_version = snapshot.version();
+        let eval_key = EvalKey::new(strategy, n_s, seed, tie, &triples);
+        let (result, eval_hit) = match entry.cached_eval(&eval_key, graph_version) {
+            Some(cached) => (cached, true),
+            None => {
+                let fresh = evaluate_sampled(
+                    entry.model().as_ref(),
+                    &triples,
+                    snapshot.as_ref(),
+                    &samples,
+                    tie,
+                    entry.threads(),
+                );
+                entry.store_eval(eval_key, &fresh, &triples, graph_version);
+                (fresh, false)
+            }
+        };
+        self.metrics.observe_eval_cache(eval_hit);
         let mut fields = vec![
             ("model".to_string(), Json::Str(entry.name().to_string())),
             ("strategy".to_string(), Json::Str(strategy.name().to_lowercase())),
             ("n_s".to_string(), Json::Num(n_s as f64)),
             ("seed".to_string(), Json::Num(seed as f64)),
+            ("graph_version".to_string(), Json::Num(graph_version as f64)),
             ("sample_cache".to_string(), Json::Str(if cache_hit { "hit" } else { "miss" }.into())),
+            ("eval_cache".to_string(), Json::Str(if eval_hit { "hit" } else { "miss" }.into())),
             ("num_queries".to_string(), Json::Num(result.ranks.len() as f64)),
             (
                 "metrics".to_string(),
@@ -516,6 +589,115 @@ impl Router {
             fields.push(("ranks".to_string(), Json::from_f64s(&result.ranks)));
         }
         Response::json(200, Json::Obj(fields))
+    }
+
+    /// `POST /triples`: stream a batch of inserts and/or deletes into the
+    /// model's live graph. Ids are validated exactly like `/score` bodies;
+    /// the response reports the new graph version and the *effective*
+    /// write counts (inserting a known triple or deleting an unknown one
+    /// is a no-op and doesn't bump the version).
+    fn triples(
+        &self,
+        registry: &Arc<ModelRegistry>,
+        request: &Json,
+        entry: &Arc<ModelEntry>,
+    ) -> Response {
+        if request.get("insert").is_none() && request.get("delete").is_none() {
+            return Response::error(400, "provide at least one of 'insert' or 'delete'");
+        }
+        let parse_side = |field: &str| -> Result<Vec<Triple>, Response> {
+            if request.get(field).is_none() {
+                return Ok(Vec::new());
+            }
+            parse_triple_field(request, entry, field, MAX_TRIPLES_PER_REQUEST)
+        };
+        let insert = match parse_side("insert") {
+            Ok(t) => t,
+            Err(r) => return r,
+        };
+        let delete = match parse_side("delete") {
+            Ok(t) => t,
+            Err(r) => return r,
+        };
+        let delta = GraphDelta::new(insert, delete);
+        let outcome = entry.apply_delta(&delta);
+        if outcome.changed() {
+            registry.notify_delta(entry.name(), &delta);
+        }
+        Response::json(
+            200,
+            Json::obj([
+                ("model", Json::Str(entry.name().to_string())),
+                ("version", Json::Num(outcome.version as f64)),
+                ("inserted", Json::Num(outcome.inserted as f64)),
+                ("deleted", Json::Num(outcome.deleted as f64)),
+                ("known_triples", Json::Num(outcome.len as f64)),
+            ]),
+        )
+    }
+
+    /// `GET /admin/models`: read-only listing of every registered model —
+    /// family, shape, shard count, live-graph version, known-triple count.
+    /// Unlike the mutating POST, this needs no token: it exposes nothing a
+    /// `/healthz` + `/metrics` scrape doesn't already.
+    fn list_models(&self, registry: &Arc<ModelRegistry>) -> Response {
+        let models: Vec<Json> = registry
+            .names()
+            .into_iter()
+            .filter_map(|name| registry.get(&name))
+            .map(|entry| {
+                Json::obj([
+                    ("name", Json::Str(entry.name().to_string())),
+                    ("family", Json::Str(entry.model().name().to_string())),
+                    ("entities", Json::Num(entry.model().num_entities() as f64)),
+                    ("relations", Json::Num(entry.model().num_relations() as f64)),
+                    ("dim", Json::Num(entry.model().dim() as f64)),
+                    ("shards", Json::Num(entry.engine().num_shards() as f64)),
+                    ("graph_version", Json::Num(entry.graph_version() as f64)),
+                    ("known_triples", Json::Num(entry.live().snapshot().len() as f64)),
+                ])
+            })
+            .collect();
+        Response::json(200, Json::obj([("models", Json::Arr(models))]))
+    }
+
+    /// `GET /monitor`: continuous-evaluation status for every monitored
+    /// model (see [`crate::monitor`]).
+    fn monitor_status(&self, registry: &Arc<ModelRegistry>) -> Response {
+        let uptime = self.metrics.uptime_seconds();
+        let monitors: Vec<Json> = registry
+            .monitor_statuses()
+            .into_iter()
+            .map(|s| {
+                Json::obj([
+                    ("model", Json::Str(s.model)),
+                    ("window_len", Json::Num(s.window_len as f64)),
+                    ("evals_run", Json::Num(s.evals_run as f64)),
+                    ("graph_version", Json::Num(s.graph_version as f64)),
+                    (
+                        "metrics",
+                        Json::obj([
+                            ("mrr", Json::Num(s.metrics.mrr)),
+                            ("hits1", Json::Num(s.metrics.hits1)),
+                            ("hits3", Json::Num(s.metrics.hits3)),
+                            ("hits10", Json::Num(s.metrics.hits10)),
+                            ("mean_rank", Json::Num(s.metrics.mean_rank)),
+                        ]),
+                    ),
+                    ("baseline_mrr", Json::Num(s.baseline_mrr)),
+                    ("drift_alarm", Json::Bool(s.drift_alarm)),
+                    (
+                        "eval_age_seconds",
+                        if s.evals_run == 0 {
+                            Json::Null
+                        } else {
+                            Json::Num((uptime - s.last_eval_uptime).max(0.0))
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        Response::json(200, Json::obj([("monitors", Json::Arr(monitors))]))
     }
 }
 
@@ -544,10 +726,22 @@ fn parse_topk_params(request: &Json) -> Result<(usize, bool), Response> {
 
 /// Parse `"triples": [[h, r, t], …]`, validating ids against the model.
 fn parse_triples(request: &Json, entry: &ModelEntry, max: usize) -> Result<Vec<Triple>, Response> {
+    parse_triple_field(request, entry, "triples", max)
+}
+
+/// Parse `"<field>": [[h, r, t], …]`, validating ids against the model —
+/// one parser behind `/score`/`/eval`'s `triples` and `/triples`'
+/// `insert`/`delete` arrays, so ingest rejects exactly what scoring does.
+fn parse_triple_field(
+    request: &Json,
+    entry: &ModelEntry,
+    field: &str,
+    max: usize,
+) -> Result<Vec<Triple>, Response> {
     let raw = request
-        .get("triples")
+        .get(field)
         .and_then(Json::as_array)
-        .ok_or_else(|| Response::error(400, "missing array field 'triples'"))?;
+        .ok_or_else(|| Response::error(400, format!("missing array field '{field}'")))?;
     if raw.len() > max {
         return Err(Response::error(413, format!("too many triples (max {max})")));
     }
@@ -556,26 +750,26 @@ fn parse_triples(request: &Json, entry: &ModelEntry, max: usize) -> Result<Vec<T
     let mut out = Vec::with_capacity(raw.len());
     for (i, item) in raw.iter().enumerate() {
         let parts = item.as_array().filter(|a| a.len() == 3).ok_or_else(|| {
-            Response::error(400, format!("triples[{i}] must be a [head, relation, tail] array"))
+            Response::error(400, format!("{field}[{i}] must be a [head, relation, tail] array"))
         })?;
         let ids: Vec<u64> = parts.iter().filter_map(Json::as_u64).collect();
         if ids.len() != 3 {
             return Err(Response::error(
                 400,
-                format!("triples[{i}] must hold three non-negative integers"),
+                format!("{field}[{i}] must hold three non-negative integers"),
             ));
         }
         let (h, r, t) = (ids[0], ids[1], ids[2]);
         if h >= ne || t >= ne {
             return Err(Response::error(
                 422,
-                format!("triples[{i}]: entity id out of range (|E| = {ne})"),
+                format!("{field}[{i}]: entity id out of range (|E| = {ne})"),
             ));
         }
         if r >= nr {
             return Err(Response::error(
                 422,
-                format!("triples[{i}]: relation id out of range (|R| = {nr})"),
+                format!("{field}[{i}]: relation id out of range (|R| = {nr})"),
             ));
         }
         out.push(Triple::new(h as u32, r as u32, t as u32));
@@ -734,7 +928,8 @@ mod tests {
                 assert_eq!(all[id] as f64, *sc);
             }
             // Filtered: known answers excluded.
-            let known = model.filter().known_answers(*triple, *side);
+            let snapshot = model.live().snapshot();
+            let known = snapshot.known_answers(*triple, *side);
             for e in entities {
                 let id = EntityId(e.as_usize().unwrap() as u32);
                 assert!(known.binary_search(&id).is_err(), "known answer {id:?} not removed");
@@ -815,10 +1010,11 @@ mod tests {
             None,
             &mut kg_core::sample::seeded_rng(42),
         );
+        let snapshot = entry.live().snapshot();
         let direct = evaluate_sampled(
             entry.model().as_ref(),
             &triples,
-            entry.filter(),
+            snapshot.as_ref(),
             &samples,
             TieBreak::Mean,
             entry.threads(),
@@ -1075,7 +1271,7 @@ mod tests {
         let want = kg_eval::evaluate_full(
             model.as_ref(),
             &[Triple::new(2, 1, 5), Triple::new(9, 0, 4), Triple::new(0, 2, 7)],
-            &filter,
+            filter.as_ref(),
             TieBreak::Mean,
             1,
         );
@@ -1139,11 +1335,12 @@ mod tests {
             new_entry.model().score(EntityId(1), kg_core::RelationId(0), EntityId(2)),
             replacement.score(EntityId(1), kg_core::RelationId(0), EntityId(2))
         );
-        // … the old filter index was inherited (same allocation), and the
-        // old Arc still works for requests in flight across the flip.
+        // … the old live graph was inherited (same allocation, version and
+        // deltas included), and the old Arc still works for requests in
+        // flight across the flip.
         assert!(
-            std::ptr::eq(old_entry.filter(), new_entry.filter()),
-            "reload must donate the existing filter index"
+            Arc::ptr_eq(old_entry.live(), new_entry.live()),
+            "reload must donate the existing live graph"
         );
         assert!(old_entry
             .model()
@@ -1220,7 +1417,7 @@ mod tests {
         assert_eq!(v.get("status").and_then(Json::as_str), Some("loaded"));
         let Mode::Local(registry) = &router.mode else { panic!("local router") };
         let entry = registry.get("fresh").unwrap();
-        assert!(entry.filter().is_empty());
+        assert!(entry.live().snapshot().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

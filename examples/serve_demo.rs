@@ -129,7 +129,7 @@ fn main() {
         let direct = evaluate_sampled(
             served.as_ref(),
             &dataset.test,
-            &filter,
+            filter.as_ref(),
             &samples,
             TieBreak::Mean,
             kgeval::core::parallel::default_threads(),

@@ -170,7 +170,7 @@ fn eval_agrees_with_evaluate_sampled_bit_for_bit() {
     let direct = evaluate_sampled(
         fx.model.as_ref(),
         &triples,
-        &fx.filter,
+        fx.filter.as_ref(),
         &samples,
         TieBreak::Mean,
         fx.threads,
