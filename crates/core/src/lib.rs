@@ -10,6 +10,7 @@
 //!
 //! Everything here is deterministic given an RNG seed.
 
+pub mod align;
 pub mod error;
 pub mod fxhash;
 pub mod graph;
@@ -27,6 +28,7 @@ pub mod triple;
 pub mod types;
 pub mod vocab;
 
+pub use align::AlignedVec;
 pub use error::KgError;
 pub use graph::TripleStore;
 pub use ids::{DrColumn, EntityId, RelationId, TypeId};

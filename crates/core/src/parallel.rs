@@ -8,6 +8,8 @@
 use std::ops::Range;
 use std::sync::Mutex;
 
+use crate::align::AlignedVec;
+
 /// Number of worker threads to use by default (available parallelism,
 /// capped at 16 — ranking is memory-bandwidth-bound beyond that).
 pub fn default_threads() -> usize {
@@ -133,10 +135,12 @@ pub fn two_level_split(items: usize, threads: usize) -> ThreadSplit {
 /// Ranking a query needs a score buffer as wide as a shard (or the whole
 /// entity set); serving paths used to allocate that per request. The pool
 /// hands out zero-initialised buffers and recycles them on drop, so steady-
-/// state traffic performs no buffer allocation at all.
+/// state traffic performs no buffer allocation at all. Buffers are
+/// 64-byte-aligned ([`AlignedVec`]) so the SIMD scoring kernels that fill
+/// them write to cache-line-aligned destinations.
 pub struct BufferPool {
     buf_len: usize,
-    free: Mutex<Vec<Vec<f32>>>,
+    free: Mutex<Vec<AlignedVec<f32>>>,
 }
 
 impl BufferPool {
@@ -159,14 +163,15 @@ impl BufferPool {
     /// otherwise). Contents are unspecified; ranking passes overwrite the
     /// prefix they use.
     pub fn acquire(&self) -> PooledBuffer<'_> {
-        let buf = self.free.lock().unwrap().pop().unwrap_or_else(|| vec![0.0f32; self.buf_len]);
+        let buf =
+            self.free.lock().unwrap().pop().unwrap_or_else(|| AlignedVec::zeroed(self.buf_len));
         PooledBuffer { buf, pool: self }
     }
 }
 
 /// A buffer checked out of a [`BufferPool`]; returns itself on drop.
 pub struct PooledBuffer<'a> {
-    buf: Vec<f32>,
+    buf: AlignedVec<f32>,
     pool: &'a BufferPool,
 }
 
@@ -397,6 +402,7 @@ mod tests {
             let mut a = pool.acquire();
             a[0] = 42.0;
             assert_eq!(a.len(), 8);
+            assert_eq!(a.as_ptr() as usize % crate::align::CACHE_LINE, 0, "scratch aligned");
             let b = pool.acquire();
             assert_eq!(b.len(), 8);
             assert_eq!(pool.idle(), 0);

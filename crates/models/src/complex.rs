@@ -33,13 +33,12 @@ impl ComplEx {
         }
     }
 
-    /// Tail query: `q` such that `score = q · e_t` in the stacked layout.
-    /// With `a = h ∘ r` (complex): `q_re = Re(a)`, `q_im = Im(a)`, because
-    /// `Re(a · conj(t)) = Re(a)Re(t) + Im(a)Im(t)`.
-    fn tail_query(&self, h: EntityId, r: RelationId, q: &mut [f32]) {
-        let m = self.half;
-        let he = self.entities.row(h.index());
-        let re = self.relations.row(r.index());
+    /// Tail query from raw rows: `q` such that `score = q · e_t` in the
+    /// stacked layout. With `a = h ∘ r` (complex): `q_re = Re(a)`,
+    /// `q_im = Im(a)`, because `Re(a · conj(t)) = Re(a)Re(t) + Im(a)Im(t)`.
+    /// Shared with the quantized serving wrapper.
+    pub(crate) fn tail_query_into(he: &[f32], re: &[f32], q: &mut [f32]) {
+        let m = q.len() / 2;
         for k in 0..m {
             let (hr, hi) = (he[k], he[m + k]);
             let (rr, ri) = (re[k], re[m + k]);
@@ -48,18 +47,25 @@ impl ComplEx {
         }
     }
 
-    /// Head query: `score` is linear in `e_h`; the coefficient vector is
-    /// `q_re = Re(r)Re(t) + Im(r)Im(t)`, `q_im = Re(r)Im(t) − Im(r)Re(t)`.
-    fn head_query(&self, r: RelationId, t: EntityId, q: &mut [f32]) {
-        let m = self.half;
-        let te = self.entities.row(t.index());
-        let re = self.relations.row(r.index());
+    /// Head query from raw rows: `score` is linear in `e_h`; the coefficient
+    /// vector is `q_re = Re(r)Re(t) + Im(r)Im(t)`,
+    /// `q_im = Re(r)Im(t) − Im(r)Re(t)`.
+    pub(crate) fn head_query_into(te: &[f32], re: &[f32], q: &mut [f32]) {
+        let m = q.len() / 2;
         for k in 0..m {
             let (tr, ti) = (te[k], te[m + k]);
             let (rr, ri) = (re[k], re[m + k]);
             q[k] = rr * tr + ri * ti;
             q[m + k] = rr * ti - ri * tr;
         }
+    }
+
+    fn tail_query(&self, h: EntityId, r: RelationId, q: &mut [f32]) {
+        Self::tail_query_into(self.entities.row(h.index()), self.relations.row(r.index()), q);
+    }
+
+    fn head_query(&self, r: RelationId, t: EntityId, q: &mut [f32]) {
+        Self::head_query_into(self.entities.row(t.index()), self.relations.row(r.index()), q);
     }
 }
 
@@ -135,8 +141,7 @@ impl KgcModel for ComplEx {
     ) {
         let mut q = vec![0.0f32; self.dim];
         self.tail_query(h, r, &mut q);
-        let ids: Vec<u32> = candidates.iter().map(|e| e.0).collect();
-        combine_candidates(Combine::Dot, &self.entities, &q, &ids, out);
+        combine_candidates(Combine::Dot, &self.entities, &q, candidates, out);
     }
 
     fn score_head_candidates(
@@ -148,8 +153,7 @@ impl KgcModel for ComplEx {
     ) {
         let mut q = vec![0.0f32; self.dim];
         self.head_query(r, t, &mut q);
-        let ids: Vec<u32> = candidates.iter().map(|e| e.0).collect();
-        combine_candidates(Combine::Dot, &self.entities, &q, &ids, out);
+        combine_candidates(Combine::Dot, &self.entities, &q, candidates, out);
     }
 }
 

@@ -26,14 +26,17 @@ impl DistMult {
         }
     }
 
-    /// Query vector `e ∘ w_r` — identical for both sides because DistMult is
-    /// symmetric in head and tail (one of its known modelling weaknesses).
-    fn query(&self, e: EntityId, r: RelationId, q: &mut [f32]) {
-        let ee = self.entities.row(e.index());
-        let re = self.relations.row(r.index());
-        for k in 0..self.dim {
+    /// Query vector `e ∘ w_r` from raw rows — identical for both sides
+    /// because DistMult is symmetric in head and tail (one of its known
+    /// modelling weaknesses). Shared with the quantized serving wrapper.
+    pub(crate) fn query_into(ee: &[f32], re: &[f32], q: &mut [f32]) {
+        for k in 0..q.len() {
             q[k] = ee[k] * re[k];
         }
+    }
+
+    fn query(&self, e: EntityId, r: RelationId, q: &mut [f32]) {
+        Self::query_into(self.entities.row(e.index()), self.relations.row(r.index()), q);
     }
 }
 
@@ -109,8 +112,7 @@ impl KgcModel for DistMult {
     ) {
         let mut q = vec![0.0f32; self.dim];
         self.query(h, r, &mut q);
-        let ids: Vec<u32> = candidates.iter().map(|e| e.0).collect();
-        combine_candidates(Combine::Dot, &self.entities, &q, &ids, out);
+        combine_candidates(Combine::Dot, &self.entities, &q, candidates, out);
     }
 
     fn score_head_candidates(
@@ -122,8 +124,7 @@ impl KgcModel for DistMult {
     ) {
         let mut q = vec![0.0f32; self.dim];
         self.query(t, r, &mut q);
-        let ids: Vec<u32> = candidates.iter().map(|e| e.0).collect();
-        combine_candidates(Combine::Dot, &self.entities, &q, &ids, out);
+        combine_candidates(Combine::Dot, &self.entities, &q, candidates, out);
     }
 }
 

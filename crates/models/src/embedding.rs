@@ -1,15 +1,25 @@
-//! Embedding tables with per-element Adagrad state, plus the vectorised
-//! combine kernels (dot / negative L1 / negative L2) every model's
-//! full-ranking path reduces to.
+//! Embedding tables with per-element Adagrad state, plus the combine
+//! primitives (dot / negative L1 / negative L2) every model's full-ranking
+//! path reduces to. The arithmetic lives in [`crate::kernels`], which
+//! dispatches to the best ISA at runtime; this module owns storage and the
+//! table-shaped entry points.
 
+use kg_core::{AlignedVec, EntityId};
 use rand::Rng;
+
+pub use crate::kernels::Combine;
+use crate::kernels::{combine_one as kernel_one, combine_rows as kernel_rows};
 
 /// A dense `count × dim` table of `f32` parameters with Adagrad
 /// accumulators. Updates are sparse: only touched rows pay.
+///
+/// Parameter storage is 64-byte-aligned ([`AlignedVec`]), so when
+/// `dim * 4` is a multiple of 64 (dim 16, 32, 64, …) every row starts on
+/// its own cache line and SIMD row loads never straddle an extra line.
 #[derive(Clone, Debug)]
 pub struct EmbeddingTable {
     dim: usize,
-    data: Vec<f32>,
+    data: AlignedVec<f32>,
     /// Accumulated squared gradients (Adagrad).
     accum: Vec<f32>,
 }
@@ -100,60 +110,20 @@ impl EmbeddingTable {
     }
 }
 
-/// How a query vector combines with entity rows.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Combine {
-    /// `score = q · e`.
-    Dot,
-    /// `score = −Σ |q_k − e_k|` (TransE-L1, RotatE).
-    NegL1,
-    /// `score = −Σ (q_k − e_k)²` (TransE-L2).
-    NegL2,
-}
-
-#[inline]
-fn combine_one(c: Combine, q: &[f32], e: &[f32]) -> f32 {
-    match c {
-        Combine::Dot => {
-            let mut acc = 0.0f32;
-            for (a, b) in q.iter().zip(e) {
-                acc += a * b;
-            }
-            acc
-        }
-        Combine::NegL1 => {
-            let mut acc = 0.0f32;
-            for (a, b) in q.iter().zip(e) {
-                acc += (a - b).abs();
-            }
-            -acc
-        }
-        Combine::NegL2 => {
-            let mut acc = 0.0f32;
-            for (a, b) in q.iter().zip(e) {
-                let d = a - b;
-                acc += d * d;
-            }
-            -acc
-        }
-    }
-}
-
 /// Score the query vector `q` against *all* rows of `table` into `out`
 /// (the full-ranking primitive: one linear pass over the table).
 pub fn combine_all(c: Combine, table: &EmbeddingTable, q: &[f32], out: &mut [f32]) {
     debug_assert_eq!(q.len(), table.dim());
     debug_assert_eq!(out.len(), table.count());
-    for (i, o) in out.iter_mut().enumerate() {
-        *o = combine_one(c, q, table.row(i));
-    }
+    kernel_rows(c, q, table.as_slice(), table.dim(), out);
 }
 
 /// Score `q` against the contiguous row range `rows` into `out`
 /// (`out.len() == rows.len()`). This is the sharded full-ranking primitive:
-/// each shard touches only its slice of the table, so the inner loop stays
-/// cache-resident. Per-row arithmetic is identical to [`combine_all`], so a
-/// row range scored here is bit-for-bit the same slice of the full row.
+/// the kernel streams the shard's flat slice of the table (already sized to
+/// stay cache-resident by `ShardPlan`) with register-blocked SIMD rows.
+/// Per-row arithmetic is identical to [`combine_all`], so a row range
+/// scored here is bit-for-bit the same slice of the full row.
 pub fn combine_range(
     c: Combine,
     table: &EmbeddingTable,
@@ -164,28 +134,30 @@ pub fn combine_range(
     debug_assert_eq!(q.len(), table.dim());
     debug_assert_eq!(out.len(), rows.len());
     debug_assert!(rows.end <= table.count());
-    for (o, i) in out.iter_mut().zip(rows) {
-        *o = combine_one(c, q, table.row(i));
-    }
+    let dim = table.dim();
+    let flat = &table.as_slice()[rows.start * dim..rows.end * dim];
+    kernel_rows(c, q, flat, dim, out);
 }
 
-/// Score `q` against a candidate subset of rows.
+/// Score `q` against a candidate subset of rows. Takes the caller's
+/// `EntityId` slice directly — the serving candidate path used to collect
+/// ids into a fresh `Vec<u32>` per call just to change the integer type.
 pub fn combine_candidates(
     c: Combine,
     table: &EmbeddingTable,
     q: &[f32],
-    candidates: &[u32],
+    candidates: &[EntityId],
     out: &mut [f32],
 ) {
     debug_assert_eq!(out.len(), candidates.len());
-    for (o, &i) in out.iter_mut().zip(candidates) {
-        *o = combine_one(c, q, table.row(i as usize));
+    for (o, &e) in out.iter_mut().zip(candidates) {
+        *o = kernel_one(c, q, table.row(e.index()));
     }
 }
 
 /// Score `q` against a single row.
 pub fn combine_row(c: Combine, table: &EmbeddingTable, q: &[f32], i: usize) -> f32 {
-    combine_one(c, q, table.row(i))
+    kernel_one(c, q, table.row(i))
 }
 
 #[cfg(test)]
@@ -200,6 +172,17 @@ mod tests {
         assert!(t.as_slice().iter().all(|v| v.abs() <= bound));
         assert_eq!(t.count(), 10);
         assert_eq!(t.dim(), 4);
+    }
+
+    #[test]
+    fn storage_is_cache_line_aligned() {
+        let t = EmbeddingTable::xavier(5, 16, &mut seeded_rng(9));
+        let base = t.as_slice().as_ptr() as usize;
+        assert_eq!(base % kg_core::align::CACHE_LINE, 0);
+        // dim 16 ⇒ 64-byte rows ⇒ every row starts a cache line.
+        for i in 0..5 {
+            assert_eq!(t.row(i).as_ptr() as usize % kg_core::align::CACHE_LINE, 0);
+        }
     }
 
     #[test]
@@ -254,7 +237,22 @@ mod tests {
         let mut t = EmbeddingTable::uniform(3, 1, 0.0, &mut seeded_rng(6));
         t.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0]);
         let mut out = [0.0f32; 2];
-        combine_candidates(Combine::Dot, &t, &[2.0], &[2, 0], &mut out);
+        combine_candidates(Combine::Dot, &t, &[2.0], &[EntityId(2), EntityId(0)], &mut out);
         assert_eq!(out, [6.0, 2.0]);
+    }
+
+    #[test]
+    fn range_is_a_slice_of_all() {
+        let t = EmbeddingTable::xavier(33, 13, &mut seeded_rng(7)); // odd sizes
+        let q: Vec<f32> = (0..13).map(|k| k as f32 * 0.1 - 0.6).collect();
+        for c in [Combine::Dot, Combine::NegL1, Combine::NegL2] {
+            let mut full = vec![0.0f32; 33];
+            combine_all(c, &t, &q, &mut full);
+            let mut part = vec![0.0f32; 20];
+            combine_range(c, &t, &q, 7..27, &mut part);
+            let fb: Vec<u32> = full[7..27].iter().map(|v| v.to_bits()).collect();
+            let pb: Vec<u32> = part.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(pb, fb, "{c:?}");
+        }
     }
 }

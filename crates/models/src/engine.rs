@@ -489,6 +489,12 @@ impl ScoringEngine {
         self.plan.len()
     }
 
+    /// Storage precision of the model's entity table (what the scoring
+    /// kernels actually read — reported by serving surfaces).
+    pub fn precision(&self) -> crate::kernels::Precision {
+        self.model.precision()
+    }
+
     /// Score a single triple (point lookups bypass the shard machinery).
     pub fn score_one(&self, triple: Triple) -> f32 {
         self.model.score(triple.head, triple.relation, triple.tail)

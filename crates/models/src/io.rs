@@ -5,9 +5,16 @@
 //! embeddings); this module provides a versioned little-endian format:
 //!
 //! ```text
-//! magic "KGEV" | format u16 | kind tag u8 | num_entities u64 |
-//! num_relations u64 | dim u64 | table count u8 | per table: len u64 + f32s
+//! magic "KGEV" | format u16 | kind tag u8 | precision hint u8 (v2) |
+//! num_entities u64 | num_relations u64 | dim u64 | table count u8 |
+//! per table: len u64 + f32s
 //! ```
+//!
+//! Parameter tables are always stored at exact f32; the v2 *precision hint*
+//! records what precision the producer recommends serving at (quantization
+//! happens on load, never on save, so a snapshot stays usable for further
+//! training and for exact serving regardless of the hint). Format v1
+//! snapshots load with an implicit f32 hint.
 //!
 //! Adagrad accumulators are not persisted — a loaded model scores
 //! identically but restarts optimiser state if trained further.
@@ -19,10 +26,13 @@ use kg_core::KgError;
 
 use crate::embedding::EmbeddingTable;
 use crate::factory::ModelKind;
+use crate::kernels::Precision;
 use crate::model::TrainableModel;
+use crate::quantized::QuantizedModel;
 
 const MAGIC: &[u8; 4] = b"KGEV";
-const FORMAT: u16 = 1;
+const FORMAT_V1: u16 = 1;
+const FORMAT: u16 = 2;
 
 fn kind_tag(kind: ModelKind) -> u8 {
     match kind {
@@ -59,6 +69,8 @@ pub struct ModelSnapshot {
     pub num_relations: usize,
     /// Embedding dimension.
     pub dim: usize,
+    /// Serving-precision recommendation (tables themselves are f32).
+    pub precision_hint: Precision,
     /// Raw parameter tables (model-defined order).
     pub tables: Vec<Vec<f32>>,
 }
@@ -69,6 +81,7 @@ pub fn write_snapshot<W: Write>(snapshot: &ModelSnapshot, w: &mut W) -> Result<(
     buf.put_slice(MAGIC);
     buf.put_u16_le(FORMAT);
     buf.put_u8(kind_tag(snapshot.kind));
+    buf.put_u8(snapshot.precision_hint.to_byte());
     buf.put_u64_le(snapshot.num_entities as u64);
     buf.put_u64_le(snapshot.num_relations as u64);
     buf.put_u64_le(snapshot.dim as u64);
@@ -97,10 +110,20 @@ pub fn read_snapshot<R: Read>(r: &mut R) -> Result<ModelSnapshot, KgError> {
     if &magic != MAGIC {
         return Err(fail("bad magic"));
     }
-    if buf.get_u16_le() != FORMAT {
+    let format = buf.get_u16_le();
+    if format != FORMAT && format != FORMAT_V1 {
         return Err(fail("unsupported format version"));
     }
     let kind = kind_from_tag(buf.get_u8()).ok_or_else(|| fail("unknown model kind"))?;
+    if format >= 2 && buf.remaining() < 1 + 24 + 1 {
+        return Err(fail("truncated header"));
+    }
+    let precision_hint = if format >= 2 {
+        // v1 predates the hint byte: implicit exact-f32 serving.
+        Precision::from_byte(buf.get_u8()).ok_or_else(|| fail("unknown precision hint"))?
+    } else {
+        Precision::F32
+    };
     let num_entities = buf.get_u64_le() as usize;
     let num_relations = buf.get_u64_le() as usize;
     let dim = buf.get_u64_le() as usize;
@@ -120,7 +143,7 @@ pub fn read_snapshot<R: Read>(r: &mut R) -> Result<ModelSnapshot, KgError> {
         }
         tables.push(t);
     }
-    Ok(ModelSnapshot { kind, num_entities, num_relations, dim, tables })
+    Ok(ModelSnapshot { kind, num_entities, num_relations, dim, precision_hint, tables })
 }
 
 /// Save a trained model.
@@ -129,13 +152,30 @@ pub fn save_model<W: Write>(
     kind: ModelKind,
     w: &mut W,
 ) -> Result<(), KgError> {
-    let snapshot = snapshot_of(model, kind)?;
+    save_model_with_hint(model, kind, Precision::F32, w)
+}
+
+/// Save a trained model with a serving-precision recommendation baked into
+/// the snapshot header (tables are still written at exact f32).
+pub fn save_model_with_hint<W: Write>(
+    model: &dyn TrainableModel,
+    kind: ModelKind,
+    hint: Precision,
+    w: &mut W,
+) -> Result<(), KgError> {
+    let mut snapshot = snapshot_model(model, kind)?;
+    snapshot.precision_hint = hint;
     write_snapshot(&snapshot, w)
 }
 
 /// Load a model saved by [`save_model`].
 pub fn load_model<R: Read>(r: &mut R) -> Result<Box<dyn TrainableModel>, KgError> {
     let snapshot = read_snapshot(r)?;
+    model_from_snapshot(&snapshot)
+}
+
+/// Rebuild an exact-f32 trainable model from a parsed snapshot.
+pub fn model_from_snapshot(snapshot: &ModelSnapshot) -> Result<Box<dyn TrainableModel>, KgError> {
     let mut model = crate::factory::build_model(
         snapshot.kind,
         snapshot.num_entities,
@@ -143,12 +183,16 @@ pub fn load_model<R: Read>(r: &mut R) -> Result<Box<dyn TrainableModel>, KgError
         snapshot.dim,
         0,
     );
-    restore_into(model.as_mut(), &snapshot)?;
+    restore_into(model.as_mut(), snapshot)?;
     Ok(model)
 }
 
-/// Snapshot a model through its [`TrainableModel::export_tables`] hook.
-fn snapshot_of(model: &dyn TrainableModel, kind: ModelKind) -> Result<ModelSnapshot, KgError> {
+/// Snapshot a model through its [`TrainableModel::export_tables`] hook
+/// (hint defaults to exact f32; see [`save_model_with_hint`]).
+pub fn snapshot_model(
+    model: &dyn TrainableModel,
+    kind: ModelKind,
+) -> Result<ModelSnapshot, KgError> {
     let tables = model.export_tables();
     if tables.is_empty() {
         return Err(KgError::InvalidInput(format!(
@@ -161,6 +205,7 @@ fn snapshot_of(model: &dyn TrainableModel, kind: ModelKind) -> Result<ModelSnaps
         num_entities: model.num_entities(),
         num_relations: model.num_relations(),
         dim: model.dim(),
+        precision_hint: Precision::F32,
         tables,
     })
 }
@@ -199,6 +244,25 @@ pub fn load_model_from_path(
     load_model(&mut file)
 }
 
+/// Read a snapshot from a file without materialising a model.
+pub fn read_snapshot_from_path(
+    path: impl AsRef<std::path::Path>,
+) -> Result<ModelSnapshot, KgError> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    read_snapshot(&mut file)
+}
+
+/// Load a snapshot and quantize its entity table to `precision` for
+/// serving. Fails for model families without a quantized scoring path
+/// (TuckER, ConvE) — quantization is never silent.
+pub fn load_quantized_from_path(
+    path: impl AsRef<std::path::Path>,
+    precision: Precision,
+) -> Result<QuantizedModel, KgError> {
+    let snapshot = read_snapshot_from_path(path)?;
+    QuantizedModel::from_snapshot(&snapshot, precision)
+}
+
 /// Round-trip helper used in tests: save to memory and load back.
 pub fn roundtrip(
     model: &dyn TrainableModel,
@@ -222,6 +286,7 @@ pub fn copy_table(dst: &mut EmbeddingTable, src: &[f32]) -> Result<(), String> {
 mod tests {
     use super::*;
     use crate::factory::build_model;
+    use crate::model::KgcModel;
     use kg_core::{EntityId, RelationId};
 
     #[test]
@@ -286,6 +351,58 @@ mod tests {
     #[test]
     fn load_from_missing_path_errors() {
         assert!(load_model_from_path("/nonexistent/kgeval/model.kgev").is_err());
+    }
+
+    #[test]
+    fn v1_snapshots_still_load() {
+        let model = build_model(ModelKind::TransE, 5, 2, 8, 1);
+        let mut v2 = Vec::new();
+        save_model(model.as_ref(), ModelKind::TransE, &mut v2).unwrap();
+        // Rewrite the header down to format 1: patch the version word and
+        // drop the precision-hint byte (offset 7: magic 4 + format 2 + kind 1).
+        let mut v1 = v2.clone();
+        v1[4] = 1;
+        v1.remove(7);
+        let snap = read_snapshot(&mut v1.as_slice()).unwrap();
+        assert_eq!(snap.precision_hint, Precision::F32);
+        let loaded = model_from_snapshot(&snap).unwrap();
+        assert_eq!(
+            model.score(EntityId(1), RelationId(0), EntityId(3)),
+            loaded.score(EntityId(1), RelationId(0), EntityId(3))
+        );
+    }
+
+    #[test]
+    fn precision_hint_roundtrips_and_does_not_change_tables() {
+        let model = build_model(ModelKind::ComplEx, 6, 2, 8, 2);
+        let mut buf = Vec::new();
+        save_model_with_hint(model.as_ref(), ModelKind::ComplEx, Precision::Int8, &mut buf)
+            .unwrap();
+        let snap = read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(snap.precision_hint, Precision::Int8);
+        let loaded = model_from_snapshot(&snap).unwrap();
+        assert_eq!(
+            model.score(EntityId(0), RelationId(1), EntityId(5)),
+            loaded.score(EntityId(0), RelationId(1), EntityId(5))
+        );
+        let mut bad_hint = buf.clone();
+        bad_hint[7] = 99;
+        assert!(read_snapshot(&mut bad_hint.as_slice()).is_err());
+    }
+
+    #[test]
+    fn quantized_path_loader_respects_family_support() {
+        let dir = std::env::temp_dir().join(format!("kgeval-ioq-{}", std::process::id()));
+        let path = dir.join("m.kgev");
+        let model = build_model(ModelKind::DistMult, 6, 2, 8, 11);
+        save_model_to_path(model.as_ref(), ModelKind::DistMult, &path).unwrap();
+        let quant = load_quantized_from_path(&path, Precision::Int8).unwrap();
+        assert_eq!(quant.precision(), Precision::Int8);
+        assert_eq!(quant.num_entities(), 6);
+        let tucker = build_model(ModelKind::TuckEr, 6, 2, 8, 11);
+        save_model_to_path(tucker.as_ref(), ModelKind::TuckEr, &path).unwrap();
+        assert!(load_quantized_from_path(&path, Precision::Int8).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

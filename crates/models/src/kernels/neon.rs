@@ -1,0 +1,109 @@
+//! NEON kernels (arm64).
+//!
+//! NEON registers are 4 f32 lanes, so the canonical 8-lane virtual vector
+//! is carried as a low/high register pair: lanes `0..4` in one accumulator,
+//! lanes `4..8` in the other, updated in the same per-chunk order as the
+//! scalar reference and spilled back to the scalar lane array for the tail
+//! and the fixed reduction tree. `vmulq`/`vaddq` (no fused `vfmaq`) keep
+//! the two-rounding arithmetic of the reference, so results are
+//! bit-identical to scalar.
+
+#![allow(unsafe_code)]
+
+use std::arch::aarch64::*;
+
+use super::scalar::{lane_step, reduce, LANES};
+use super::Combine;
+
+#[inline(always)]
+unsafe fn step(c: Combine, acc: float32x4_t, qa: float32x4_t, ea: float32x4_t) -> float32x4_t {
+    match c {
+        Combine::Dot => vaddq_f32(acc, vmulq_f32(qa, ea)),
+        Combine::NegL1 => vaddq_f32(acc, vabsq_f32(vsubq_f32(qa, ea))),
+        Combine::NegL2 => {
+            let d = vsubq_f32(qa, ea);
+            vaddq_f32(acc, vmulq_f32(d, d))
+        }
+    }
+}
+
+#[inline(always)]
+unsafe fn finish(
+    c: Combine,
+    lo: float32x4_t,
+    hi: float32x4_t,
+    q: &[f32],
+    row: &[f32],
+    full: usize,
+) -> f32 {
+    let mut lanes = [0.0f32; LANES];
+    vst1q_f32(lanes.as_mut_ptr(), lo);
+    vst1q_f32(lanes.as_mut_ptr().add(4), hi);
+    lane_step(c, &mut lanes, &q[full..], &row[full..]);
+    reduce(lanes, c)
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn combine_one_neon(c: Combine, q: &[f32], e: &[f32]) -> f32 {
+    let full = q.len() / LANES * LANES;
+    let qp = q.as_ptr();
+    let ep = e.as_ptr();
+    let mut lo = vdupq_n_f32(0.0);
+    let mut hi = vdupq_n_f32(0.0);
+    let mut k = 0;
+    while k < full {
+        lo = step(c, lo, vld1q_f32(qp.add(k)), vld1q_f32(ep.add(k)));
+        hi = step(c, hi, vld1q_f32(qp.add(k + 4)), vld1q_f32(ep.add(k + 4)));
+        k += LANES;
+    }
+    finish(c, lo, hi, q, e, full)
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn combine_rows_neon(c: Combine, q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    let full = dim / LANES * LANES;
+    let qp = q.as_ptr();
+    let n = out.len();
+    let mut i = 0;
+    // Two-row blocking (4 accumulators) — NEON has fewer registers than
+    // AVX2, but one query load still feeds both chains.
+    while i + 2 <= n {
+        let r0 = rows.as_ptr().add(i * dim);
+        let r1 = rows.as_ptr().add((i + 1) * dim);
+        let mut lo0 = vdupq_n_f32(0.0);
+        let mut hi0 = vdupq_n_f32(0.0);
+        let mut lo1 = vdupq_n_f32(0.0);
+        let mut hi1 = vdupq_n_f32(0.0);
+        let mut k = 0;
+        while k < full {
+            let qlo = vld1q_f32(qp.add(k));
+            let qhi = vld1q_f32(qp.add(k + 4));
+            lo0 = step(c, lo0, qlo, vld1q_f32(r0.add(k)));
+            hi0 = step(c, hi0, qhi, vld1q_f32(r0.add(k + 4)));
+            lo1 = step(c, lo1, qlo, vld1q_f32(r1.add(k)));
+            hi1 = step(c, hi1, qhi, vld1q_f32(r1.add(k + 4)));
+            k += LANES;
+        }
+        out[i] = finish(c, lo0, hi0, q, &rows[i * dim..(i + 1) * dim], full);
+        out[i + 1] = finish(c, lo1, hi1, q, &rows[(i + 1) * dim..(i + 2) * dim], full);
+        i += 2;
+    }
+    while i < n {
+        out[i] = combine_one_neon(c, q, &rows[i * dim..(i + 1) * dim]);
+        i += 1;
+    }
+}
+
+/// NEON single-row combine (aarch64 always has NEON).
+pub fn combine_one(c: Combine, q: &[f32], e: &[f32]) -> f32 {
+    // SAFETY: NEON is baseline on aarch64; slices are equal-length.
+    unsafe { combine_one_neon(c, q, e) }
+}
+
+/// NEON row-block combine.
+pub fn combine_rows(c: Combine, q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    debug_assert_eq!(rows.len(), out.len() * dim);
+    // SAFETY: NEON is baseline on aarch64; `rows.len() == out.len() * dim`
+    // keeps every pointer in bounds.
+    unsafe { combine_rows_neon(c, q, rows, dim, out) }
+}

@@ -1,0 +1,135 @@
+//! Portable reference kernels: the canonical lane order every SIMD path
+//! must reproduce bit-for-bit.
+//!
+//! A row of `dim` elements is accumulated into [`LANES`] independent
+//! partial sums — lane `j` takes elements `8i + j` — and the tail
+//! (`dim % 8` elements) goes into lanes `0..dim % 8`. The lanes are then
+//! folded with a fixed pairwise tree. Changing either order changes the
+//! bits of the result, so this file is the single source of truth.
+
+use super::Combine;
+
+/// Virtual vector width shared by every ISA (AVX2's native f32 width;
+/// NEON emulates it with two 4-lane registers).
+pub const LANES: usize = 8;
+
+/// Accumulate up to `LANES` elements (`q.len() == e.len() <= LANES`) into
+/// `acc[0..q.len()]` with the per-op lane update. Used for full chunks by
+/// the scalar path and for tails by every path.
+#[inline(always)]
+pub fn lane_step(c: Combine, acc: &mut [f32; LANES], q: &[f32], e: &[f32]) {
+    debug_assert!(q.len() <= LANES && q.len() == e.len());
+    match c {
+        Combine::Dot => {
+            for j in 0..q.len() {
+                acc[j] += q[j] * e[j];
+            }
+        }
+        Combine::NegL1 => {
+            for j in 0..q.len() {
+                acc[j] += (q[j] - e[j]).abs();
+            }
+        }
+        Combine::NegL2 => {
+            for j in 0..q.len() {
+                let d = q[j] - e[j];
+                acc[j] += d * d;
+            }
+        }
+    }
+}
+
+/// Fold the 8 lane accumulators with the fixed pairwise tree
+/// `(0+4)(1+5)(2+6)(3+7) → (.+.)(.+.) → .+.` and apply the op's sign.
+#[inline(always)]
+pub fn reduce(acc: [f32; LANES], c: Combine) -> f32 {
+    let b = [acc[0] + acc[4], acc[1] + acc[5], acc[2] + acc[6], acc[3] + acc[7]];
+    let d = [b[0] + b[2], b[1] + b[3]];
+    let s = d[0] + d[1];
+    match c {
+        Combine::Dot => s,
+        Combine::NegL1 | Combine::NegL2 => -s,
+    }
+}
+
+/// Reference single-row combine.
+pub fn combine_one(c: Combine, q: &[f32], e: &[f32]) -> f32 {
+    debug_assert_eq!(q.len(), e.len());
+    let mut acc = [0.0f32; LANES];
+    let full = q.len() / LANES * LANES;
+    let mut k = 0;
+    while k < full {
+        lane_step(c, &mut acc, &q[k..k + LANES], &e[k..k + LANES]);
+        k += LANES;
+    }
+    lane_step(c, &mut acc, &q[full..], &e[full..]);
+    reduce(acc, c)
+}
+
+/// Reference row-block combine over a flat row-major slice.
+pub fn combine_rows(c: Combine, q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    debug_assert_eq!(rows.len(), out.len() * dim);
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = combine_one(c, q, &rows[i * dim..(i + 1) * dim]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The naive sequential sums the kernels replaced (kept only to pin the
+    /// *mathematical* value; bits may differ by summation order).
+    fn naive(c: Combine, q: &[f32], e: &[f32]) -> f64 {
+        let mut acc = 0.0f64;
+        for (a, b) in q.iter().zip(e) {
+            match c {
+                Combine::Dot => acc += (*a as f64) * (*b as f64),
+                Combine::NegL1 => acc += ((*a as f64) - (*b as f64)).abs(),
+                Combine::NegL2 => {
+                    let d = (*a as f64) - (*b as f64);
+                    acc += d * d;
+                }
+            }
+        }
+        if matches!(c, Combine::Dot) {
+            acc
+        } else {
+            -acc
+        }
+    }
+
+    #[test]
+    fn matches_naive_math_on_all_ops_and_tail_lengths() {
+        for dim in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 64] {
+            let q: Vec<f32> = (0..dim).map(|k| (k as f32) * 0.5 - 2.0).collect();
+            let e: Vec<f32> = (0..dim).map(|k| ((k * 3 % 11) as f32) * 0.25).collect();
+            for c in [Combine::Dot, Combine::NegL1, Combine::NegL2] {
+                let got = combine_one(c, &q, &e) as f64;
+                let want = naive(c, &q, &e);
+                assert!((got - want).abs() < 1e-3, "{c:?} dim {dim}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_small_values() {
+        // Values exactly representable in f32: any summation order agrees.
+        assert_eq!(combine_one(Combine::Dot, &[1.0, 1.0], &[3.0, 4.0]), 7.0);
+        assert_eq!(combine_one(Combine::NegL1, &[0.0, 0.0], &[1.0, -1.0]), -2.0);
+        assert_eq!(combine_one(Combine::NegL2, &[1.0, -1.0], &[1.0, -1.0]), 0.0);
+        assert_eq!(combine_one(Combine::Dot, &[], &[]), 0.0);
+    }
+
+    #[test]
+    fn rows_match_one() {
+        let dim = 5;
+        let q = [1.0f32, -2.0, 0.5, 3.0, -0.25];
+        let rows: Vec<f32> = (0..dim * 4).map(|k| k as f32 * 0.125 - 1.0).collect();
+        let mut out = [0.0f32; 4];
+        combine_rows(Combine::NegL2, &q, &rows, dim, &mut out);
+        for i in 0..4 {
+            assert_eq!(out[i], combine_one(Combine::NegL2, &q, &rows[i * dim..(i + 1) * dim]));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! AVX2 kernels (x86-64).
+//!
+//! Same lane order as [`super::scalar`]: each 256-bit accumulator *is* the
+//! scalar path's `[f32; 8]` lane array, updated with `mul` + `add` in the
+//! same per-chunk order (no FMA — a fused multiply-add rounds once where
+//! the scalar reference rounds twice, which would change bits). Tails and
+//! the final reduction reuse the scalar helpers verbatim, so the whole
+//! computation is bit-identical to scalar by construction.
+//!
+//! `combine_rows` additionally register-blocks four rows at a time: the
+//! query chunk is loaded once and feeds four independent accumulator
+//! chains, which hides the `add` latency that a single chain would expose.
+//! Blocking across rows cannot change results — each row's own chain keeps
+//! the canonical order.
+
+#![allow(unsafe_code)]
+
+#[cfg(target_arch = "x86")]
+use std::arch::x86::*;
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+use super::scalar::{lane_step, reduce, LANES};
+use super::Combine;
+
+/// One SIMD lane-update: `acc[j] op= f(q[j], e[j])` for the 8 lanes.
+#[inline(always)]
+pub(super) unsafe fn step_avx2(c: Combine, acc: __m256, qa: __m256, ea: __m256) -> __m256 {
+    match c {
+        Combine::Dot => _mm256_add_ps(acc, _mm256_mul_ps(qa, ea)),
+        Combine::NegL1 => {
+            let d = _mm256_sub_ps(qa, ea);
+            // Clear the sign bit — exactly `f32::abs` (NaN payloads kept).
+            let abs = _mm256_andnot_ps(_mm256_set1_ps(-0.0), d);
+            _mm256_add_ps(acc, abs)
+        }
+        Combine::NegL2 => {
+            let d = _mm256_sub_ps(qa, ea);
+            _mm256_add_ps(acc, _mm256_mul_ps(d, d))
+        }
+    }
+}
+
+/// Spill the SIMD accumulator to the scalar lane array, fold the row tail
+/// in with the scalar lane update, and run the scalar reduction tree.
+#[inline(always)]
+unsafe fn finish(c: Combine, acc: __m256, q: &[f32], row: &[f32], full: usize) -> f32 {
+    let mut lanes = [0.0f32; LANES];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    lane_step(c, &mut lanes, &q[full..], &row[full..]);
+    reduce(lanes, c)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn combine_one_avx2(c: Combine, q: &[f32], e: &[f32]) -> f32 {
+    let full = q.len() / LANES * LANES;
+    let mut acc = _mm256_setzero_ps();
+    let qp = q.as_ptr();
+    let ep = e.as_ptr();
+    let mut k = 0;
+    while k < full {
+        acc = step_avx2(c, acc, _mm256_loadu_ps(qp.add(k)), _mm256_loadu_ps(ep.add(k)));
+        k += LANES;
+    }
+    finish(c, acc, q, e, full)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn combine_rows_avx2(c: Combine, q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    let full = dim / LANES * LANES;
+    let qp = q.as_ptr();
+    let n = out.len();
+    let mut i = 0;
+    // Four-row register blocking: one query load feeds four chains.
+    while i + 4 <= n {
+        let r0 = rows.as_ptr().add(i * dim);
+        let r1 = rows.as_ptr().add((i + 1) * dim);
+        let r2 = rows.as_ptr().add((i + 2) * dim);
+        let r3 = rows.as_ptr().add((i + 3) * dim);
+        let mut a0 = _mm256_setzero_ps();
+        let mut a1 = _mm256_setzero_ps();
+        let mut a2 = _mm256_setzero_ps();
+        let mut a3 = _mm256_setzero_ps();
+        let mut k = 0;
+        while k < full {
+            let qa = _mm256_loadu_ps(qp.add(k));
+            a0 = step_avx2(c, a0, qa, _mm256_loadu_ps(r0.add(k)));
+            a1 = step_avx2(c, a1, qa, _mm256_loadu_ps(r1.add(k)));
+            a2 = step_avx2(c, a2, qa, _mm256_loadu_ps(r2.add(k)));
+            a3 = step_avx2(c, a3, qa, _mm256_loadu_ps(r3.add(k)));
+            k += LANES;
+        }
+        out[i] = finish(c, a0, q, &rows[i * dim..(i + 1) * dim], full);
+        out[i + 1] = finish(c, a1, q, &rows[(i + 1) * dim..(i + 2) * dim], full);
+        out[i + 2] = finish(c, a2, q, &rows[(i + 2) * dim..(i + 3) * dim], full);
+        out[i + 3] = finish(c, a3, q, &rows[(i + 3) * dim..(i + 4) * dim], full);
+        i += 4;
+    }
+    while i < n {
+        out[i] = combine_one_avx2(c, q, &rows[i * dim..(i + 1) * dim]);
+        i += 1;
+    }
+}
+
+/// AVX2 single-row combine. Caller must have verified AVX2 is available
+/// (dispatch in [`super::combine_one_with`] does).
+pub fn combine_one(c: Combine, q: &[f32], e: &[f32]) -> f32 {
+    debug_assert!(super::is_available(super::Isa::Avx2));
+    // SAFETY: dispatch only routes here when AVX2 is detected; slices are
+    // equal-length and only read within bounds.
+    unsafe { combine_one_avx2(c, q, e) }
+}
+
+/// AVX2 row-block combine. Caller must have verified AVX2 is available.
+pub fn combine_rows(c: Combine, q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    debug_assert!(super::is_available(super::Isa::Avx2));
+    debug_assert_eq!(rows.len(), out.len() * dim);
+    // SAFETY: as above; row pointers stay within `rows` because
+    // `rows.len() == out.len() * dim`.
+    unsafe { combine_rows_avx2(c, q, rows, dim, out) }
+}

@@ -19,9 +19,11 @@ pub mod embedding;
 pub mod engine;
 pub mod factory;
 pub mod io;
+pub mod kernels;
 pub mod loss;
 pub mod model;
 pub mod negative;
+pub mod quantized;
 pub mod rescal;
 pub mod rotate;
 pub mod trainer;
@@ -35,8 +37,10 @@ pub use embedding::EmbeddingTable;
 pub use engine::ScoringEngine;
 pub use factory::{build_model, ModelKind};
 pub use io::{load_model, save_model};
+pub use kernels::{Isa, Precision, QuantizedTable};
 pub use model::{KgcModel, TrainableModel};
 pub use negative::{NegativeSampler, NegativeSource};
+pub use quantized::QuantizedModel;
 pub use rescal::Rescal;
 pub use rotate::RotatE;
 pub use trainer::{train, train_epoch, train_epoch_with_source, EpochCallback, TrainConfig};

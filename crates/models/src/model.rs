@@ -21,6 +21,13 @@ pub trait KgcModel: Send + Sync {
     /// Number of relations.
     fn num_relations(&self) -> usize;
 
+    /// Storage precision of the entity table on the scoring path. Exact
+    /// f32 for every trainable model; [`crate::QuantizedModel`] overrides
+    /// this so serving surfaces can report what a model actually runs at.
+    fn precision(&self) -> crate::kernels::Precision {
+        crate::kernels::Precision::F32
+    }
+
     /// Score a single triple.
     fn score(&self, h: EntityId, r: RelationId, t: EntityId) -> f32;
 

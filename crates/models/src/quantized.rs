@@ -1,0 +1,388 @@
+//! Inference-only serving wrapper over a quantized entity table.
+//!
+//! [`QuantizedModel`] rebuilds a trained snapshot with its entity table
+//! stored at reduced precision ([`Precision::F16`] or [`Precision::Int8`])
+//! while relation parameters stay exact f32 (they are tiny next to the
+//! entity table and participate in query construction, where precision is
+//! cheapest to keep). Scoring runs the dequantize-free kernels in
+//! [`crate::kernels::quant`]; query vectors are built from the *quantized*
+//! context row so a model is self-consistent — the same representation of
+//! an entity is used whether it appears as context or candidate.
+//!
+//! Quantization is never silent: construction fails for model families
+//! whose scoring path cannot honour the documented accuracy budget
+//! (TuckER's core contraction and ConvE's convolution amplify per-dimension
+//! error in ways the affine bound does not cover), and
+//! [`KgcModel::precision`] reports what the model actually runs at.
+
+use kg_core::triple::QuerySide;
+use kg_core::{EntityId, KgError, RelationId, Triple};
+
+use crate::factory::ModelKind;
+use crate::io::ModelSnapshot;
+use crate::kernels::{Combine, Precision, QuantizedTable};
+use crate::model::KgcModel;
+use crate::{ComplEx, DistMult, Rescal, RotatE, TransE};
+
+/// A trained model re-materialised for serving with quantized entity
+/// storage. Built from a [`ModelSnapshot`] via
+/// [`QuantizedModel::from_snapshot`]; supports the full scoring surface
+/// (including range scoring for sharded engines) but not training.
+pub struct QuantizedModel {
+    kind: ModelKind,
+    dim: usize,
+    num_relations: usize,
+    entities: QuantizedTable,
+    /// Relation parameters, flat f32 rows of width [`Self::rel_stride`].
+    relations: Vec<f32>,
+    /// Row width of `relations`: `dim` for TransE/DistMult/ComplEx,
+    /// `dim²` for RESCAL matrices, `dim/2` for RotatE phases.
+    rel_stride: usize,
+}
+
+impl QuantizedModel {
+    /// Quantize a snapshot's entity table to `precision`.
+    ///
+    /// Errors when `precision` is [`Precision::F32`] (nothing to do — load
+    /// the exact model instead), when the family has no quantized scoring
+    /// path (TuckER, ConvE), or when the snapshot's tables do not have the
+    /// shape the family declares.
+    pub fn from_snapshot(snapshot: &ModelSnapshot, precision: Precision) -> Result<Self, KgError> {
+        let fail = |msg: String| KgError::InvalidInput(format!("quantized load: {msg}"));
+        if !precision.is_quantized() {
+            return Err(fail("precision f32 is not a quantized representation".into()));
+        }
+        let kind = snapshot.kind;
+        let dim = snapshot.dim;
+        let rel_stride = match kind {
+            ModelKind::TransE | ModelKind::DistMult | ModelKind::ComplEx => dim,
+            ModelKind::Rescal => dim * dim,
+            ModelKind::RotatE => dim / 2,
+            ModelKind::TuckEr | ModelKind::ConvE => {
+                return Err(fail(format!(
+                    "{} has no quantized scoring path; serve it at f32",
+                    kind.name()
+                )));
+            }
+        };
+        if dim == 0 {
+            return Err(fail("snapshot has dim 0".into()));
+        }
+        if snapshot.tables.len() < 2 {
+            return Err(fail(format!(
+                "{} snapshot needs entity + relation tables, got {}",
+                kind.name(),
+                snapshot.tables.len()
+            )));
+        }
+        let ents = &snapshot.tables[0];
+        let rels = &snapshot.tables[1];
+        if ents.len() != snapshot.num_entities * dim {
+            return Err(fail(format!(
+                "entity table length {} != {} entities × dim {dim}",
+                ents.len(),
+                snapshot.num_entities
+            )));
+        }
+        if rels.len() != snapshot.num_relations * rel_stride {
+            return Err(fail(format!(
+                "relation table length {} != {} relations × stride {rel_stride}",
+                rels.len(),
+                snapshot.num_relations
+            )));
+        }
+        Ok(QuantizedModel {
+            kind,
+            dim,
+            num_relations: snapshot.num_relations,
+            entities: QuantizedTable::from_rows(ents, dim, precision),
+            relations: rels.clone(),
+            rel_stride,
+        })
+    }
+
+    /// The model family this snapshot came from.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Bytes held by the quantized entity table (for capacity planning).
+    pub fn entity_table_bytes(&self) -> usize {
+        self.entities.bytes()
+    }
+
+    /// Distance/similarity op the family's range kernel uses.
+    fn combine(&self) -> Combine {
+        match self.kind {
+            ModelKind::TransE => Combine::NegL1,
+            _ => Combine::Dot,
+        }
+    }
+
+    fn relation(&self, r: RelationId) -> &[f32] {
+        let i = r.index();
+        &self.relations[i * self.rel_stride..(i + 1) * self.rel_stride]
+    }
+
+    /// Build the tail-side query vector for `(h, r, ?)` into `q`
+    /// (`q.len() == dim`), dequantizing the context row.
+    fn tail_query(&self, h: EntityId, r: RelationId, q: &mut [f32]) {
+        let mut ctx = vec![0.0f32; self.dim];
+        self.entities.dequantize_row(h.index(), &mut ctx);
+        let re = self.relation(r);
+        match self.kind {
+            ModelKind::TransE => TransE::tail_query_into(&ctx, re, q),
+            ModelKind::DistMult => DistMult::query_into(&ctx, re, q),
+            ModelKind::ComplEx => ComplEx::tail_query_into(&ctx, re, q),
+            ModelKind::Rescal => Rescal::tail_query_into(&ctx, re, q),
+            ModelKind::RotatE => RotatE::tail_query_into(&ctx, re, q),
+            ModelKind::TuckEr | ModelKind::ConvE => unreachable!("rejected at construction"),
+        }
+    }
+
+    /// Build the head-side query vector for `(?, r, t)` into `q`.
+    fn head_query(&self, r: RelationId, t: EntityId, q: &mut [f32]) {
+        let mut ctx = vec![0.0f32; self.dim];
+        self.entities.dequantize_row(t.index(), &mut ctx);
+        let re = self.relation(r);
+        match self.kind {
+            ModelKind::TransE => TransE::head_query_into(&ctx, re, q),
+            ModelKind::DistMult => DistMult::query_into(&ctx, re, q),
+            ModelKind::ComplEx => ComplEx::head_query_into(&ctx, re, q),
+            ModelKind::Rescal => Rescal::head_query_into(&ctx, re, q),
+            ModelKind::RotatE => RotatE::head_query_into(&ctx, re, q),
+            ModelKind::TuckEr | ModelKind::ConvE => unreachable!("rejected at construction"),
+        }
+    }
+
+    fn query_for(&self, triple: Triple, side: QuerySide, q: &mut [f32]) {
+        match side {
+            QuerySide::Tail => self.tail_query(triple.head, triple.relation, q),
+            QuerySide::Head => self.head_query(triple.relation, triple.tail, q),
+        }
+    }
+
+    /// Score entities `range` against a prepared query vector.
+    fn combine_query_range(&self, q: &[f32], range: std::ops::Range<usize>, out: &mut [f32]) {
+        if self.kind == ModelKind::RotatE {
+            // RotatE's modulus distance has no affine-fused kernel; score
+            // row-by-row over dequantized candidates.
+            let mut row = vec![0.0f32; self.dim];
+            for (o, e) in out.iter_mut().zip(range) {
+                self.entities.dequantize_row(e, &mut row);
+                *o = RotatE::mod_distance_slices(q, &row);
+            }
+        } else {
+            self.entities.combine_range(self.combine(), q, range, out);
+        }
+    }
+
+    fn combine_query_one(&self, q: &[f32], e: usize) -> f32 {
+        if self.kind == ModelKind::RotatE {
+            let mut row = vec![0.0f32; self.dim];
+            self.entities.dequantize_row(e, &mut row);
+            RotatE::mod_distance_slices(q, &row)
+        } else {
+            self.entities.combine_one(self.combine(), q, e)
+        }
+    }
+}
+
+impl KgcModel for QuantizedModel {
+    fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_entities(&self) -> usize {
+        self.entities.count()
+    }
+
+    fn num_relations(&self) -> usize {
+        self.num_relations
+    }
+
+    fn precision(&self) -> Precision {
+        self.entities.precision()
+    }
+
+    fn score(&self, h: EntityId, r: RelationId, t: EntityId) -> f32 {
+        let mut q = vec![0.0f32; self.dim];
+        self.tail_query(h, r, &mut q);
+        self.combine_query_one(&q, t.index())
+    }
+
+    fn score_tails(&self, h: EntityId, r: RelationId, out: &mut [f32]) {
+        let mut q = vec![0.0f32; self.dim];
+        self.tail_query(h, r, &mut q);
+        self.combine_query_range(&q, 0..self.entities.count(), out);
+    }
+
+    fn score_heads(&self, r: RelationId, t: EntityId, out: &mut [f32]) {
+        let mut q = vec![0.0f32; self.dim];
+        self.head_query(r, t, &mut q);
+        self.combine_query_range(&q, 0..self.entities.count(), out);
+    }
+
+    fn supports_range_scoring(&self) -> bool {
+        true
+    }
+
+    fn score_tails_range(
+        &self,
+        h: EntityId,
+        r: RelationId,
+        range: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) {
+        let mut q = vec![0.0f32; self.dim];
+        self.tail_query(h, r, &mut q);
+        self.combine_query_range(&q, range, out);
+    }
+
+    fn score_heads_range(
+        &self,
+        r: RelationId,
+        t: EntityId,
+        range: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) {
+        let mut q = vec![0.0f32; self.dim];
+        self.head_query(r, t, &mut q);
+        self.combine_query_range(&q, range, out);
+    }
+
+    fn score_tail_candidates(
+        &self,
+        h: EntityId,
+        r: RelationId,
+        candidates: &[EntityId],
+        out: &mut [f32],
+    ) {
+        let mut q = vec![0.0f32; self.dim];
+        self.tail_query(h, r, &mut q);
+        for (o, &c) in out.iter_mut().zip(candidates) {
+            *o = self.combine_query_one(&q, c.index());
+        }
+    }
+
+    fn score_head_candidates(
+        &self,
+        r: RelationId,
+        t: EntityId,
+        candidates: &[EntityId],
+        out: &mut [f32],
+    ) {
+        let mut q = vec![0.0f32; self.dim];
+        self.head_query(r, t, &mut q);
+        for (o, &c) in out.iter_mut().zip(candidates) {
+            *o = self.combine_query_one(&q, c.index());
+        }
+    }
+}
+
+// QuerySide-based helper used by tests and the engine via score_range's
+// default; keep the explicit impl so the borrow of `q` is obvious.
+impl QuantizedModel {
+    /// Scores of entities `range` answering `triple`'s query on `side`
+    /// (convenience mirror of [`KgcModel::score_range`]).
+    pub fn score_query_range(
+        &self,
+        triple: Triple,
+        side: QuerySide,
+        range: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) {
+        let mut q = vec![0.0f32; self.dim];
+        self.query_for(triple, side, &mut q);
+        self.combine_query_range(&q, range, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::build_model;
+    use crate::io::snapshot_model;
+
+    fn snapshot_for(kind: ModelKind, dim: usize) -> ModelSnapshot {
+        let model = build_model(kind, 10, 3, dim, 99);
+        snapshot_model(model.as_ref(), kind).unwrap()
+    }
+
+    const QUANT_KINDS: [ModelKind; 5] = [
+        ModelKind::TransE,
+        ModelKind::DistMult,
+        ModelKind::ComplEx,
+        ModelKind::Rescal,
+        ModelKind::RotatE,
+    ];
+
+    #[test]
+    fn quantized_tracks_f32_scores_within_budget() {
+        for kind in QUANT_KINDS {
+            let dim = if kind == ModelKind::Rescal { 8 } else { 12 };
+            let snap = snapshot_for(kind, dim);
+            let exact = crate::io::model_from_snapshot(&snap).unwrap();
+            for precision in [Precision::F16, Precision::Int8] {
+                let quant = QuantizedModel::from_snapshot(&snap, precision).unwrap();
+                assert_eq!(quant.precision(), precision);
+                assert_eq!(quant.name(), exact.name());
+                let n = quant.num_entities();
+                let mut want = vec![0.0f32; n];
+                let mut got = vec![0.0f32; n];
+                exact.score_tails(EntityId(3), RelationId(1), &mut want);
+                quant.score_tails(EntityId(3), RelationId(1), &mut got);
+                // Embeddings here are O(1); affine int8 error per dim is
+                // ≤ scale/2 ≈ range/510, so a loose absolute budget holds.
+                let tol = if precision == Precision::F16 { 5e-3 } else { 5e-2 };
+                for (g, w) in got.iter().zip(&want) {
+                    assert!(
+                        (g - w).abs() <= tol * (1.0 + w.abs()),
+                        "{} {}: {g} vs {w}",
+                        kind.name(),
+                        precision.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_and_candidate_scorers_match_full_pass() {
+        for kind in QUANT_KINDS {
+            let dim = if kind == ModelKind::Rescal { 8 } else { 12 };
+            let snap = snapshot_for(kind, dim);
+            let quant = QuantizedModel::from_snapshot(&snap, Precision::Int8).unwrap();
+            let n = quant.num_entities();
+            let mut full = vec![0.0f32; n];
+            quant.score_heads(RelationId(0), EntityId(7), &mut full);
+            let mut part = vec![0.0f32; 4];
+            quant.score_heads_range(RelationId(0), EntityId(7), 3..7, &mut part);
+            assert_eq!(&part, &full[3..7], "{}: range ≠ full slice", kind.name());
+            let cands = [EntityId(8), EntityId(0), EntityId(5)];
+            let mut cs = vec![0.0f32; 3];
+            quant.score_head_candidates(RelationId(0), EntityId(7), &cands, &mut cs);
+            for (i, &c) in cands.iter().enumerate() {
+                assert_eq!(cs[i], full[c.index()], "{}: candidate ≠ full", kind.name());
+            }
+            // score() agrees with score_tails.
+            quant.score_tails(EntityId(2), RelationId(2), &mut full);
+            let one = quant.score(EntityId(2), RelationId(2), EntityId(9));
+            assert_eq!(one, full[9]);
+        }
+    }
+
+    #[test]
+    fn unsupported_families_and_precisions_are_rejected() {
+        let snap = snapshot_for(ModelKind::TuckEr, 8);
+        assert!(QuantizedModel::from_snapshot(&snap, Precision::Int8).is_err());
+        let snap = snapshot_for(ModelKind::ConvE, 16);
+        assert!(QuantizedModel::from_snapshot(&snap, Precision::F16).is_err());
+        let snap = snapshot_for(ModelKind::TransE, 8);
+        assert!(QuantizedModel::from_snapshot(&snap, Precision::F32).is_err());
+    }
+}

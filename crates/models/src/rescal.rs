@@ -28,11 +28,11 @@ impl Rescal {
         }
     }
 
-    /// Tail query `q_j = Σ_i h_i W_ij` (row vector `hᵀW`).
-    fn tail_query(&self, h: EntityId, r: RelationId, q: &mut [f32]) {
-        let d = self.dim;
-        let he = self.entities.row(h.index());
-        let w = self.relations.row(r.index());
+    /// Tail query `q_j = Σ_i h_i W_ij` (row vector `hᵀW`) from raw rows
+    /// (`w` is the relation's `d·d` matrix). Shared with the quantized
+    /// serving wrapper.
+    pub(crate) fn tail_query_into(he: &[f32], w: &[f32], q: &mut [f32]) {
+        let d = q.len();
         q.fill(0.0);
         for i in 0..d {
             let hi = he[i];
@@ -47,10 +47,8 @@ impl Rescal {
     }
 
     /// Head query `q_i = Σ_j W_ij t_j` (column contraction `W·t`).
-    fn head_query(&self, r: RelationId, t: EntityId, q: &mut [f32]) {
-        let d = self.dim;
-        let te = self.entities.row(t.index());
-        let w = self.relations.row(r.index());
+    pub(crate) fn head_query_into(te: &[f32], w: &[f32], q: &mut [f32]) {
+        let d = q.len();
         for i in 0..d {
             let row = &w[i * d..(i + 1) * d];
             let mut acc = 0.0f32;
@@ -59,6 +57,14 @@ impl Rescal {
             }
             q[i] = acc;
         }
+    }
+
+    fn tail_query(&self, h: EntityId, r: RelationId, q: &mut [f32]) {
+        Self::tail_query_into(self.entities.row(h.index()), self.relations.row(r.index()), q);
+    }
+
+    fn head_query(&self, r: RelationId, t: EntityId, q: &mut [f32]) {
+        Self::head_query_into(self.entities.row(t.index()), self.relations.row(r.index()), q);
     }
 }
 
@@ -134,8 +140,7 @@ impl KgcModel for Rescal {
     ) {
         let mut q = vec![0.0f32; self.dim];
         self.tail_query(h, r, &mut q);
-        let ids: Vec<u32> = candidates.iter().map(|e| e.0).collect();
-        combine_candidates(Combine::Dot, &self.entities, &q, &ids, out);
+        combine_candidates(Combine::Dot, &self.entities, &q, candidates, out);
     }
 
     fn score_head_candidates(
@@ -147,8 +152,7 @@ impl KgcModel for Rescal {
     ) {
         let mut q = vec![0.0f32; self.dim];
         self.head_query(r, t, &mut q);
-        let ids: Vec<u32> = candidates.iter().map(|e| e.0).collect();
-        combine_candidates(Combine::Dot, &self.entities, &q, &ids, out);
+        combine_candidates(Combine::Dot, &self.entities, &q, candidates, out);
     }
 }
 

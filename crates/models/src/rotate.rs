@@ -36,11 +36,11 @@ impl RotatE {
         }
     }
 
-    /// Tail query: the rotated head `h ∘ e^{iθ}` (complex layout).
-    fn tail_query(&self, h: EntityId, r: RelationId, q: &mut [f32]) {
-        let m = self.half;
-        let he = self.entities.row(h.index());
-        let th = self.phases.row(r.index());
+    /// Tail query from raw rows: the rotated head `h ∘ e^{iθ}` (complex
+    /// layout; `th` holds the `dim/2` phases). Shared with the quantized
+    /// serving wrapper.
+    pub(crate) fn tail_query_into(he: &[f32], th: &[f32], q: &mut [f32]) {
+        let m = q.len() / 2;
         for k in 0..m {
             let (c, s) = (th[k].cos(), th[k].sin());
             let (hr, hi) = (he[k], he[m + k]);
@@ -51,10 +51,8 @@ impl RotatE {
 
     /// Head query: `|h·e^{iθ} − t| = |h − t·e^{−iθ}|`, so the query is the
     /// counter-rotated tail.
-    fn head_query(&self, r: RelationId, t: EntityId, q: &mut [f32]) {
-        let m = self.half;
-        let te = self.entities.row(t.index());
-        let th = self.phases.row(r.index());
+    pub(crate) fn head_query_into(te: &[f32], th: &[f32], q: &mut [f32]) {
+        let m = q.len() / 2;
         for k in 0..m {
             let (c, s) = (th[k].cos(), th[k].sin());
             let (tr, ti) = (te[k], te[m + k]);
@@ -63,9 +61,9 @@ impl RotatE {
         }
     }
 
-    /// `−Σ_k |q_k − e_k|` with complex moduli.
-    fn mod_distance(&self, q: &[f32], e: &[f32]) -> f32 {
-        let m = self.half;
+    /// `−Σ_k |q_k − e_k|` with complex moduli over the `[re…, im…]` layout.
+    pub(crate) fn mod_distance_slices(q: &[f32], e: &[f32]) -> f32 {
+        let m = q.len() / 2;
         let mut acc = 0.0f32;
         for k in 0..m {
             let dr = q[k] - e[k];
@@ -73,6 +71,18 @@ impl RotatE {
             acc += (dr * dr + di * di).sqrt();
         }
         -acc
+    }
+
+    fn tail_query(&self, h: EntityId, r: RelationId, q: &mut [f32]) {
+        Self::tail_query_into(self.entities.row(h.index()), self.phases.row(r.index()), q);
+    }
+
+    fn head_query(&self, r: RelationId, t: EntityId, q: &mut [f32]) {
+        Self::head_query_into(self.entities.row(t.index()), self.phases.row(r.index()), q);
+    }
+
+    fn mod_distance(&self, q: &[f32], e: &[f32]) -> f32 {
+        Self::mod_distance_slices(q, e)
     }
 }
 

@@ -26,22 +26,27 @@ impl TransE {
         }
     }
 
-    /// Tail query vector `e_h + w_r`.
-    fn tail_query(&self, h: EntityId, r: RelationId, q: &mut [f32]) {
-        let he = self.entities.row(h.index());
-        let re = self.relations.row(r.index());
-        for k in 0..self.dim {
+    /// Tail query vector `e_h + w_r` from raw rows (shared with the
+    /// quantized serving wrapper, which supplies dequantized rows).
+    pub(crate) fn tail_query_into(he: &[f32], re: &[f32], q: &mut [f32]) {
+        for k in 0..q.len() {
             q[k] = he[k] + re[k];
         }
     }
 
     /// Head query vector `e_t − w_r` (because `‖h + r − t‖ = ‖h − (t − r)‖`).
-    fn head_query(&self, r: RelationId, t: EntityId, q: &mut [f32]) {
-        let te = self.entities.row(t.index());
-        let re = self.relations.row(r.index());
-        for k in 0..self.dim {
+    pub(crate) fn head_query_into(te: &[f32], re: &[f32], q: &mut [f32]) {
+        for k in 0..q.len() {
             q[k] = te[k] - re[k];
         }
+    }
+
+    fn tail_query(&self, h: EntityId, r: RelationId, q: &mut [f32]) {
+        Self::tail_query_into(self.entities.row(h.index()), self.relations.row(r.index()), q);
+    }
+
+    fn head_query(&self, r: RelationId, t: EntityId, q: &mut [f32]) {
+        Self::head_query_into(self.entities.row(t.index()), self.relations.row(r.index()), q);
     }
 }
 
@@ -117,8 +122,7 @@ impl KgcModel for TransE {
     ) {
         let mut q = vec![0.0f32; self.dim];
         self.tail_query(h, r, &mut q);
-        let ids: Vec<u32> = candidates.iter().map(|e| e.0).collect();
-        combine_candidates(Combine::NegL1, &self.entities, &q, &ids, out);
+        combine_candidates(Combine::NegL1, &self.entities, &q, candidates, out);
     }
 
     fn score_head_candidates(
@@ -130,8 +134,7 @@ impl KgcModel for TransE {
     ) {
         let mut q = vec![0.0f32; self.dim];
         self.head_query(r, t, &mut q);
-        let ids: Vec<u32> = candidates.iter().map(|e| e.0).collect();
-        combine_candidates(Combine::NegL1, &self.entities, &q, &ids, out);
+        combine_candidates(Combine::NegL1, &self.entities, &q, candidates, out);
     }
 }
 

@@ -147,8 +147,7 @@ impl KgcModel for TuckEr {
     ) {
         let mut q = vec![0.0f32; self.dim];
         self.tail_query(h, r, &mut q);
-        let ids: Vec<u32> = candidates.iter().map(|e| e.0).collect();
-        combine_candidates(Combine::Dot, &self.entities, &q, &ids, out);
+        combine_candidates(Combine::Dot, &self.entities, &q, candidates, out);
     }
 
     fn score_head_candidates(
@@ -160,8 +159,7 @@ impl KgcModel for TuckEr {
     ) {
         let mut q = vec![0.0f32; self.dim];
         self.head_query(r, t, &mut q);
-        let ids: Vec<u32> = candidates.iter().map(|e| e.0).collect();
-        combine_candidates(Combine::Dot, &self.entities, &q, &ids, out);
+        combine_candidates(Combine::Dot, &self.entities, &q, candidates, out);
     }
 }
 

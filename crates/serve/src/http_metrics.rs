@@ -112,6 +112,8 @@ pub struct HttpMetrics {
     connections_throttled: AtomicU64,
     /// Current live-graph version per model.
     graph_versions: Mutex<HashMap<String, u64>>,
+    /// Entity-table storage precision per model ("f32"/"f16"/"int8").
+    model_precisions: Mutex<HashMap<String, &'static str>>,
     /// Triples inserted into live graphs (effective writes only).
     triples_inserted: AtomicU64,
     /// Triples deleted from live graphs (effective writes only).
@@ -160,6 +162,7 @@ impl HttpMetrics {
             connections_rejected: AtomicU64::new(0),
             connections_throttled: AtomicU64::new(0),
             graph_versions: Mutex::new(HashMap::new()),
+            model_precisions: Mutex::new(HashMap::new()),
             triples_inserted: AtomicU64::new(0),
             triples_deleted: AtomicU64::new(0),
             topk_cache_hits: AtomicU64::new(0),
@@ -301,6 +304,16 @@ impl HttpMetrics {
     /// The last recorded live-graph version for `model`, if any.
     pub fn graph_version(&self, model: &str) -> Option<u64> {
         self.graph_versions.lock().unwrap().get(model).copied()
+    }
+
+    /// Record the entity-table precision a model is served at.
+    pub fn set_model_precision(&self, model: &str, precision: &'static str) {
+        self.model_precisions.lock().unwrap().insert(model.to_string(), precision);
+    }
+
+    /// The recorded serving precision for `model` (tests and `/healthz`).
+    pub fn model_precision(&self, model: &str) -> Option<&'static str> {
+        self.model_precisions.lock().unwrap().get(model).copied()
     }
 
     /// Record one applied graph delta's effective writes.
@@ -563,6 +576,33 @@ impl HttpMetrics {
             }
         }
         drop(graph_versions);
+
+        out.push_str(
+            "# HELP kg_serve_kernel_info Active scoring-kernel ISA (value is always 1).\n",
+        );
+        out.push_str("# TYPE kg_serve_kernel_info gauge\n");
+        out.push_str(&format!(
+            "kg_serve_kernel_info{{isa=\"{}\"}} 1\n",
+            kg_models::kernels::active().name()
+        ));
+
+        let precisions = self.model_precisions.lock().unwrap();
+        if !precisions.is_empty() {
+            let mut models: Vec<&String> = precisions.keys().collect();
+            models.sort();
+            out.push_str(
+                "# HELP kg_serve_model_precision_info Entity-table storage precision per model (value is always 1).\n",
+            );
+            out.push_str("# TYPE kg_serve_model_precision_info gauge\n");
+            for m in models {
+                out.push_str(&format!(
+                    "kg_serve_model_precision_info{{model=\"{}\",precision=\"{}\"}} 1\n",
+                    escape_label(m),
+                    precisions[m]
+                ));
+            }
+        }
+        drop(precisions);
 
         out.push_str(
             "# HELP kg_serve_graph_triples_inserted_total Triples inserted into live graphs.\n",

@@ -19,7 +19,7 @@ use kg_core::ids::{EntityId, RelationId};
 use kg_core::sample::seeded_rng;
 use kg_core::{ApplyOutcome, DeltaKeys, FilterIndex, GraphDelta, LiveGraph, Triple};
 use kg_eval::{EvalResult, TieBreak};
-use kg_models::{KgcModel, ScoringEngine};
+use kg_models::{KgcModel, Precision, QuantizedModel, ScoringEngine};
 use kg_recommend::{
     sample_candidates, CandidateSets, SampledCandidates, SamplingStrategy, ScoreMatrix,
 };
@@ -421,6 +421,11 @@ pub struct RegistryConfig {
     /// (`/score`, `/eval`, …) always serve the full model — the split is
     /// in ranking work, not in model storage.
     pub worker_shard: Option<WorkerShard>,
+    /// Default serving precision for snapshot loads. `None` (the default)
+    /// defers to each snapshot's own precision hint — which is f32 unless
+    /// the producer opted in — so quantization is never silently applied.
+    /// Per-request `"precision"` on `POST /admin/models` overrides both.
+    pub precision: Option<Precision>,
 }
 
 impl Default for RegistryConfig {
@@ -432,6 +437,7 @@ impl Default for RegistryConfig {
             shards: 0,
             admin_token: None,
             worker_shard: None,
+            precision: None,
         }
     }
 }
@@ -583,8 +589,29 @@ impl ModelRegistry {
             metrics: Arc::clone(&self.metrics),
         });
         self.metrics.set_graph_version(&entry.name, entry.live.version());
+        self.metrics.set_model_precision(&entry.name, entry.engine.precision().name());
         self.entries.write().unwrap().insert(name, Arc::clone(&entry));
         entry
+    }
+
+    /// Load a snapshot at the precision the deployment resolves to:
+    /// explicit `request` > [`RegistryConfig::precision`] > the snapshot's
+    /// own hint. Quantized precisions build a [`QuantizedModel`] (entity
+    /// table re-encoded at load; the file always stores f32), which fails
+    /// loudly for families without a quantized scoring path.
+    fn load_serving_model(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        request: Option<Precision>,
+    ) -> Result<Arc<dyn KgcModel>, kg_core::KgError> {
+        let snapshot = kg_models::io::read_snapshot_from_path(path)?;
+        let precision = request.or(self.config.precision).unwrap_or(snapshot.precision_hint);
+        if precision.is_quantized() {
+            Ok(Arc::new(QuantizedModel::from_snapshot(&snapshot, precision)?))
+        } else {
+            let model = kg_models::io::model_from_snapshot(&snapshot)?;
+            Ok(Arc::from(model as Box<dyn KgcModel>))
+        }
     }
 
     /// Register a model from a snapshot file written by
@@ -595,8 +622,8 @@ impl ModelRegistry {
         path: impl AsRef<std::path::Path>,
         filter: Arc<FilterIndex>,
     ) -> Result<Arc<ModelEntry>, kg_core::KgError> {
-        let model = kg_models::io::load_model_from_path(path)?;
-        Ok(self.register(name, Arc::from(model as Box<dyn KgcModel>), filter))
+        let model = self.load_serving_model(path, None)?;
+        Ok(self.register(name, model, filter))
     }
 
     /// Hot-reload `name` from a snapshot file (the `/admin/models` path):
@@ -617,8 +644,19 @@ impl ModelRegistry {
         name: &str,
         path: impl AsRef<std::path::Path>,
     ) -> Result<Arc<ModelEntry>, kg_core::KgError> {
-        let model = kg_models::io::load_model_from_path(path)?;
-        let model: Arc<dyn KgcModel> = Arc::from(model as Box<dyn KgcModel>);
+        self.reload_snapshot_with(name, path, None)
+    }
+
+    /// [`ModelRegistry::reload_snapshot`] with an explicit serving
+    /// precision, overriding both the registry default and the snapshot's
+    /// hint (the `"precision"` field of `POST /admin/models`).
+    pub fn reload_snapshot_with(
+        &self,
+        name: &str,
+        path: impl AsRef<std::path::Path>,
+        precision: Option<Precision>,
+    ) -> Result<Arc<ModelEntry>, kg_core::KgError> {
+        let model = self.load_serving_model(path, precision)?;
         let (live, matrix, sets) = match self.get(name) {
             Some(old) => {
                 let (ne, nr) = (old.model().num_entities(), old.model().num_relations());
@@ -827,6 +865,64 @@ mod tests {
             .samples_for(&SampleKey { strategy: SamplingStrategy::Static, n_s: 5, seed: 1 })
             .unwrap_err();
         assert!(err.contains("Static"), "error names the strategy: {err}");
+    }
+
+    #[test]
+    fn snapshot_precision_resolves_request_over_config_over_hint() {
+        let dir = std::env::temp_dir().join(format!("kg-serve-precres-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hinted.kgev");
+        let model = build_model(ModelKind::ComplEx, 12, 2, 8, 5);
+        // Producer recommends f16 in the snapshot header.
+        let mut buf = Vec::new();
+        kg_models::io::save_model_with_hint(
+            model.as_ref(),
+            ModelKind::ComplEx,
+            kg_models::Precision::F16,
+            &mut buf,
+        )
+        .unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        let filter = Arc::new(FilterIndex::new());
+
+        // No config default → the snapshot hint decides.
+        let registry = ModelRegistry::new();
+        let entry = registry.register_snapshot("hinted", &path, Arc::clone(&filter)).unwrap();
+        assert_eq!(entry.engine().precision(), kg_models::Precision::F16);
+        assert_eq!(registry.metrics().model_precision("hinted"), Some("f16"));
+
+        // Registry default overrides the hint.
+        let registry = ModelRegistry::with_config(RegistryConfig {
+            precision: Some(kg_models::Precision::Int8),
+            ..RegistryConfig::default()
+        });
+        let entry = registry.register_snapshot("cfg", &path, Arc::clone(&filter)).unwrap();
+        assert_eq!(entry.engine().precision(), kg_models::Precision::Int8);
+
+        // An explicit request overrides both, including back to exact f32.
+        let entry =
+            registry.reload_snapshot_with("cfg", &path, Some(kg_models::Precision::F32)).unwrap();
+        assert_eq!(entry.engine().precision(), kg_models::Precision::F32);
+        assert_eq!(registry.metrics().model_precision("cfg"), Some("f32"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quantized_load_of_unsupported_family_fails_loudly() {
+        let dir = std::env::temp_dir().join(format!("kg-serve-precbad-{}", std::process::id()));
+        let path = dir.join("tucker.kgev");
+        let model = build_model(ModelKind::TuckEr, 8, 2, 8, 5);
+        kg_models::io::save_model_to_path(model.as_ref(), ModelKind::TuckEr, &path).unwrap();
+        let registry = ModelRegistry::with_config(RegistryConfig {
+            precision: Some(kg_models::Precision::Int8),
+            ..RegistryConfig::default()
+        });
+        let err = match registry.register_snapshot("t", &path, Arc::new(FilterIndex::new())) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("TuckER must not load quantized"),
+        };
+        assert!(err.contains("quantized"), "error explains the rejection: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -240,6 +240,7 @@ impl Router {
                         Json::Arr(vec![Json::Num(range.start as f64), Json::Num(range.end as f64)]),
                     ),
                     ("graph_version", Json::Num(entry.graph_version() as f64)),
+                    ("precision", Json::Str(entry.engine().precision().name().to_string())),
                 ])
             })
             .collect();
@@ -248,6 +249,7 @@ impl Router {
             Json::obj([
                 ("status", Json::Str("ok".into())),
                 ("uptime_seconds", Json::Num(self.metrics.uptime_seconds())),
+                ("kernel_isa", Json::Str(kg_models::kernels::active().name().to_string())),
                 ("models", Json::Arr(registry.names().into_iter().map(Json::Str).collect())),
                 ("worker_shard", worker_shard),
                 ("shard_ranges", Json::Arr(shard_ranges)),
@@ -448,7 +450,9 @@ impl Router {
     ///
     /// Body: `{"name": "m", "path": "/path/to/model.kgev"}` (plus
     /// `"token"` when [`crate::registry::RegistryConfig::admin_token`] is
-    /// configured). The snapshot is loaded off the registry locks, then the
+    /// configured, and optionally `"precision": "f32"|"f16"|"int8"` to
+    /// override the serving precision the registry would otherwise
+    /// resolve). The snapshot is loaded off the registry locks, then the
     /// entry is flipped atomically; in-flight requests finish on the `Arc`
     /// they hold. An existing entry keeps its filter index and recommender
     /// artifacts, so the snapshot must match its entity/relation counts.
@@ -471,8 +475,20 @@ impl Router {
         let Some(path) = parsed.get("path").and_then(Json::as_str) else {
             return Response::error(400, "missing string field 'path'");
         };
+        // Optional explicit serving precision; overrides the registry
+        // default and the snapshot's own hint. Invalid values are rejected
+        // rather than silently falling back to f32.
+        let precision = match parsed.get("precision") {
+            None => None,
+            Some(v) => match v.as_str().and_then(kg_models::Precision::parse) {
+                Some(p) => Some(p),
+                None => {
+                    return Response::error(400, "'precision' must be one of f32|f16|int8");
+                }
+            },
+        };
         let replaced = registry.get(name).is_some();
-        match registry.reload_snapshot(name, path) {
+        match registry.reload_snapshot_with(name, path, precision) {
             Ok(entry) => Response::json(
                 200,
                 Json::obj([
@@ -481,6 +497,7 @@ impl Router {
                     ("entities", Json::Num(entry.model().num_entities() as f64)),
                     ("relations", Json::Num(entry.model().num_relations() as f64)),
                     ("shards", Json::Num(entry.engine().num_shards() as f64)),
+                    ("precision", Json::Str(entry.engine().precision().name().to_string())),
                 ]),
             ),
             // Shape-mismatch rejections carry actionable detail; raw I/O
@@ -653,12 +670,19 @@ impl Router {
                     ("relations", Json::Num(entry.model().num_relations() as f64)),
                     ("dim", Json::Num(entry.model().dim() as f64)),
                     ("shards", Json::Num(entry.engine().num_shards() as f64)),
+                    ("precision", Json::Str(entry.engine().precision().name().to_string())),
                     ("graph_version", Json::Num(entry.graph_version() as f64)),
                     ("known_triples", Json::Num(entry.live().snapshot().len() as f64)),
                 ])
             })
             .collect();
-        Response::json(200, Json::obj([("models", Json::Arr(models))]))
+        Response::json(
+            200,
+            Json::obj([
+                ("kernel_isa", Json::Str(kg_models::kernels::active().name().to_string())),
+                ("models", Json::Arr(models)),
+            ]),
+        )
     }
 
     /// `GET /monitor`: continuous-evaluation status for every monitored
@@ -867,6 +891,57 @@ mod tests {
         let v = Json::parse(&r.body).unwrap();
         assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
         assert_eq!(v.get("models").and_then(Json::as_array).map(<[Json]>::len), Some(1));
+    }
+
+    #[test]
+    fn healthz_and_model_list_report_kernel_and_precision() {
+        let (router, _) = router();
+        let r = router.handle("GET", "/healthz", "");
+        let v = Json::parse(&r.body).unwrap();
+        let isa = v.get("kernel_isa").and_then(Json::as_str).unwrap().to_string();
+        assert!(["scalar", "avx2", "neon"].contains(&isa.as_str()), "unknown isa {isa}");
+        let ranges = v.get("shard_ranges").and_then(Json::as_array).unwrap();
+        assert_eq!(ranges[0].get("precision").and_then(Json::as_str), Some("f32"));
+
+        let r = router.handle("GET", "/admin/models", "");
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(v.get("kernel_isa").and_then(Json::as_str), Some(isa.as_str()));
+        let models = v.get("models").and_then(Json::as_array).unwrap();
+        assert_eq!(models[0].get("precision").and_then(Json::as_str), Some("f32"));
+
+        let m = router.handle("GET", "/metrics", "");
+        assert!(m.body.contains(&format!("kg_serve_kernel_info{{isa=\"{isa}\"}} 1")), "{}", m.body);
+        assert!(
+            m.body.contains("kg_serve_model_precision_info{model=\"m\",precision=\"f32\"} 1"),
+            "{}",
+            m.body
+        );
+    }
+
+    #[test]
+    fn admin_reload_with_precision_quantizes() {
+        let (router, registry) = router();
+        let replacement = build_model(ModelKind::DistMult, 30, 3, 8, 8);
+        let dir = std::env::temp_dir().join(format!("kg-serve-prec-{}", std::process::id()));
+        let path = dir.join("q.kgev");
+        kg_models::io::save_model_to_path(replacement.as_ref(), ModelKind::DistMult, &path)
+            .unwrap();
+        let body = format!(r#"{{"name":"m","path":"{}","precision":"int8"}}"#, path.display());
+        let r = router.handle("POST", "/admin/models", &body);
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(v.get("precision").and_then(Json::as_str), Some("int8"));
+        assert_eq!(registry.get("m").unwrap().engine().precision(), kg_models::Precision::Int8);
+        let m = router.handle("GET", "/metrics", "");
+        assert!(
+            m.body.contains("kg_serve_model_precision_info{model=\"m\",precision=\"int8\"} 1"),
+            "{}",
+            m.body
+        );
+        // Unknown precision values are rejected, not defaulted.
+        let bad = format!(r#"{{"name":"m","path":"{}","precision":"int4"}}"#, path.display());
+        assert_eq!(router.handle("POST", "/admin/models", &bad).status, 400);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
