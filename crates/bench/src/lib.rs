@@ -15,6 +15,10 @@
 //! timing-shaped artifacts (evaluation time vs sample size, recommender fit
 //! time, sampling kernels, persistence/SW kernels).
 
+// Grown, not assumed: kg-lint (KL002/KL003) audits the crates that *do*
+// need unsafe; everything else proves it needs none at compile time.
+#![forbid(unsafe_code)]
+
 pub mod context;
 pub mod experiments;
 

@@ -19,8 +19,12 @@ pub struct AlignedVec<T: Copy> {
     len: usize,
 }
 
-// The buffer is owned and `T: Copy` carries no references.
+// SAFETY: the buffer is uniquely owned (freed only in Drop) and `T: Copy`
+// carries no references, so transferring the allocation between threads is
+// exactly as safe as transferring a `Vec<T>`.
 unsafe impl<T: Copy + Send> Send for AlignedVec<T> {}
+// SAFETY: shared access hands out `&[T]` only; `T: Copy + Sync` makes the
+// element type safe to read concurrently.
 unsafe impl<T: Copy + Sync> Sync for AlignedVec<T> {}
 
 impl<T: Copy> AlignedVec<T> {
@@ -36,11 +40,10 @@ impl<T: Copy> AlignedVec<T> {
             return NonNull::dangling();
         }
         let layout = Self::layout(len);
-        // SAFETY: layout has non-zero size (len > 0, T is not a ZST on any
-        // path we use; a ZST would make size 0 and take the branch above
-        // only when len == 0 — guard explicitly below).
         assert!(layout.size() > 0, "AlignedVec does not support zero-sized element types");
-        let raw = unsafe { alloc(layout) } as *mut T;
+        // SAFETY: layout has non-zero size — len > 0 here, and the assert
+        // above rejects zero-sized element types.
+        let raw = unsafe { alloc(layout) }.cast::<T>();
         match NonNull::new(raw) {
             Some(p) => p,
             None => handle_alloc_error(layout),
@@ -93,7 +96,7 @@ impl<T: Copy> Drop for AlignedVec<T> {
     fn drop(&mut self) {
         if self.len != 0 {
             // SAFETY: allocated with the identical layout in alloc_uninit.
-            unsafe { dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.len)) };
+            unsafe { dealloc(self.ptr.as_ptr().cast::<u8>(), Self::layout(self.len)) };
         }
     }
 }

@@ -10,6 +10,12 @@
 //!
 //! Everything here is deterministic given an RNG seed.
 
+// The only crate (with kg-models) allowed to contain unsafe code, and only behind the
+// unsafe-op-in-unsafe-fn discipline: every unsafe operation sits in an
+// explicit `unsafe {}` block with its own `// SAFETY:` comment (audited by
+// kg-lint KL002 and clippy's undocumented_unsafe_blocks).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod align;
 pub mod error;
 pub mod fxhash;

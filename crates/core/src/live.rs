@@ -481,6 +481,9 @@ impl LiveGraph {
 
     /// Current graph version without touching the lock.
     pub fn version(&self) -> u64 {
+        // ORDERING: Acquire pairs with the Release store in `apply` — a
+        // reader that observes version N also observes the index flip that
+        // published it.
         self.version.load(Ordering::Acquire)
     }
 
@@ -495,6 +498,9 @@ impl LiveGraph {
             let next = Arc::new(next);
             let mut cur = self.current.write().unwrap_or_else(|e| e.into_inner());
             *cur = next;
+            // ORDERING: Release pairs with the Acquire load in `version` —
+            // publishing the new version number happens-after the pointer
+            // swap above, so `version()` can never run ahead of `snapshot()`.
             self.version.store(outcome.version, Ordering::Release);
         }
         outcome

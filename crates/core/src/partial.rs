@@ -88,11 +88,13 @@ impl PartialTopK {
     /// Exact wire form: `k|entity:score_bits,…` with score bits in hex
     /// (e.g. `3|7:3f800000,2:40490fdb`).
     pub fn encode(&self) -> String {
-        let mut out = format!("{}|", self.k);
+        let mut out = format!("{}|", self.k); // PARITY: k is a usize; integer Display is exact.
         for (i, &(e, s)) in self.entries.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
+            // PARITY: the score travels as its raw f32 bits in hex — never
+            // as decimal text. `e` is a u32 id; integer Display is exact.
             out.push_str(&format!("{e}:{:08x}", s.to_bits()));
         }
         out
@@ -100,6 +102,7 @@ impl PartialTopK {
 
     /// Decode the [`PartialTopK::encode`] form.
     pub fn decode(wire: &str) -> crate::Result<Self> {
+        // PARITY: error text only — never re-encoded or compared for parity.
         let bad = |what: &str| KgError::InvalidInput(format!("PartialTopK wire: {what}: {wire:?}"));
         let (k, rest) = wire.split_once('|').ok_or_else(|| bad("missing 'k|' prefix"))?;
         let k: usize = k.parse().map_err(|_| bad("k is not an integer"))?;
@@ -170,13 +173,15 @@ impl PartialRankCounts {
 
     /// Exact wire form: `higher,ties` (e.g. `17,2`).
     pub fn encode(&self) -> String {
-        format!("{},{}", self.higher, self.ties)
+        format!("{},{}", self.higher, self.ties) // PARITY: both u64; integer Display is exact.
     }
 
     /// Decode the [`PartialRankCounts::encode`] form.
     pub fn decode(wire: &str) -> crate::Result<Self> {
-        let bad =
-            |what: &str| KgError::InvalidInput(format!("PartialRankCounts wire: {what}: {wire:?}"));
+        let bad = |what: &str| {
+            // PARITY: error text only — never re-encoded or compared for parity.
+            KgError::InvalidInput(format!("PartialRankCounts wire: {what}: {wire:?}"))
+        };
         let (h, t) = wire.split_once(',').ok_or_else(|| bad("missing ','"))?;
         Ok(PartialRankCounts {
             higher: h.parse().map_err(|_| bad("higher is not a u64"))?,

@@ -12,6 +12,10 @@
 //! schema-violating triples (the source of the paper's "false easy
 //! negatives", Table 2/Table 10).
 
+// Grown, not assumed: kg-lint (KL002/KL003) audits the crates that *do*
+// need unsafe; everything else proves it needs none at compile time.
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod generator;
 pub mod loader;

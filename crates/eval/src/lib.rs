@@ -13,6 +13,10 @@
 //! * [`complexity`] — the Table 3 sampling-complexity calculator;
 //! * [`report`] — plain-text table formatting shared by the repro binaries.
 
+// Grown, not assumed: kg-lint (KL002/KL003) audits the crates that *do*
+// need unsafe; everything else proves it needs none at compile time.
+#![forbid(unsafe_code)]
+
 pub mod auc;
 pub mod complexity;
 pub mod estimator;

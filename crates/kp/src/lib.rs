@@ -12,6 +12,10 @@
 //! unstable across datasets and models; the repro harness plugs this crate
 //! into the per-epoch measurement loop to reproduce Tables 7–9.
 
+// Grown, not assumed: kg-lint (KL002/KL003) audits the crates that *do*
+// need unsafe; everything else proves it needs none at compile time.
+#![forbid(unsafe_code)]
+
 pub mod diagram;
 pub mod estimator;
 pub mod graph;

@@ -1,0 +1,18 @@
+//! KL001 fail fixture: three unjustified orderings, one test-only use.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn spin(flag: &AtomicU64) -> u64 {
+    let v = flag.load(Ordering::Acquire);
+    flag.store(v + 1, Ordering::SeqCst);
+    flag.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orderings_are_exempt_in_tests() {
+        AtomicU64::new(0).store(1, Ordering::SeqCst);
+    }
+}

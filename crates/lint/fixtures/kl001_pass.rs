@@ -1,0 +1,9 @@
+//! KL001 pass fixture: justified orderings plus the counter sanction.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn spin(flag: &AtomicU64) -> u64 {
+    // ORDERING: Acquire pairs with the Release store below.
+    let v = flag.load(Ordering::Acquire);
+    flag.store(v + 1, Ordering::Release); // ORDERING: pairs with the Acquire load above.
+    flag.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,8 @@
+//! KL002 fail fixture: undocumented unsafe block and unsafe fn.
+pub fn first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}
+
+pub unsafe fn deref(p: *const u8) -> u8 {
+    *p
+}

@@ -1,0 +1,15 @@
+//! KL002 pass fixture: SAFETY comments and a `# Safety` doc section.
+pub fn first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees at least one element.
+    unsafe { *v.as_ptr() }
+}
+
+/// Reads one byte from a raw pointer.
+///
+/// # Safety
+/// `p` must be valid for a one-byte read.
+pub unsafe fn deref(p: *const u8) -> u8 {
+    // SAFETY: the caller upholds the fn contract.
+    unsafe { *p }
+}

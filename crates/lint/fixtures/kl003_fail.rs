@@ -1,0 +1,6 @@
+//! KL003 fixture: a bare intrinsic in a plain fn. Flagged as out-of-scope
+//! when this file is not in `isa_files`, and as ungated when it is.
+pub fn sum8(a: *const f32) -> f32 {
+    let v = _mm256_loadu_ps(a);
+    reduce(v)
+}

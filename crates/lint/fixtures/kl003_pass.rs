@@ -1,0 +1,12 @@
+//! KL003 pass fixture: gated intrinsics in a declared ISA file.
+
+/// Eight-lane load-and-reduce.
+///
+/// # Safety
+/// `a` must point at eight readable f32 lanes and AVX2 must be available.
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum8(a: *const f32) -> f32 {
+    // SAFETY: the fn contract guarantees eight in-bounds lanes.
+    let v = unsafe { _mm256_loadu_ps(a) };
+    reduce(v)
+}

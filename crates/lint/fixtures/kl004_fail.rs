@@ -1,0 +1,15 @@
+//! KL004 fixture: FMA intrinsics with no justification escape — the
+//! `// PARITY:` comment below must NOT suppress the finding.
+
+/// # Safety
+/// Fixture contract.
+pub unsafe fn fused(a: V, b: V, c: V) -> V {
+    // PARITY: comments do not excuse fused rounding.
+    _mm256_fmadd_ps(a, b, c)
+}
+
+/// # Safety
+/// Fixture contract.
+pub unsafe fn fused_neon(a: W, b: W, c: W) -> W {
+    vfmaq_f32(a, b, c)
+}

@@ -1,0 +1,4 @@
+//! KL005 fixture: lossy casts without justification.
+pub fn shrink(x: u64, f: f64) -> (u32, f32) {
+    (x as u32, f as f32)
+}

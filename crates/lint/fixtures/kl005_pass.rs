@@ -1,0 +1,9 @@
+//! KL005 pass fixture: justified or lossless casts only; `as` renames in
+//! `use` items are not casts.
+use std::fmt::Write as FmtWrite;
+
+pub fn widen(x: u64, f: f32) -> (u32, f64) {
+    // PARITY: x is a 20-bit entity id; the cast is lossless by construction.
+    let id = x as u32;
+    (id, f as f64)
+}

@@ -1,0 +1,15 @@
+//! KL006 pass fixture: ordered maps, and a justified membership-only set.
+use std::collections::BTreeMap;
+// PARITY: membership-only set — iteration order never reaches a result.
+use std::collections::HashSet;
+
+pub fn dedup_count(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut seen = HashSet::new(); // PARITY: membership-only; never iterated.
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        if seen.insert(x) {
+            *m.entry(x).or_insert(0) += 1;
+        }
+    }
+    m
+}

@@ -1,0 +1,8 @@
+//! KL007 fixture: default Display/Debug placeholders in a wire codec.
+pub fn encode(score: f32) -> String {
+    format!("{score}")
+}
+
+pub fn debug_dump(score: f32) -> String {
+    format!("{:?}", score)
+}

@@ -1,0 +1,9 @@
+//! KL007 pass fixture: radix formatting and justified integer Display.
+pub fn encode(score: f32) -> String {
+    format!("{:08x}", score.to_bits())
+}
+
+pub fn label(k: usize) -> String {
+    // PARITY: k is a usize; integer Display is exact.
+    format!("{k} entries")
+}

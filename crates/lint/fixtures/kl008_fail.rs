@@ -1,0 +1,10 @@
+//! KL008 fixture: the four panic classes on a request path.
+pub fn handle(v: &[u8]) -> u8 {
+    let first = v[0];
+    let second = v.first().unwrap();
+    let third = v.get(2).expect("third byte");
+    if first == 0 {
+        panic!("zero byte");
+    }
+    first + second + third
+}

@@ -1,0 +1,20 @@
+//! KL008 pass fixture: checked accessors, justifications, sanctioned locks.
+use std::sync::Mutex;
+
+pub fn handle(v: &[u8], m: &Mutex<u8>) -> u8 {
+    // PANIC-OK: the dispatcher already verified `v.len() >= 1`.
+    let first = v[0];
+    let rest = v.get(1).copied().unwrap_or(0);
+    let lut = [1u8, 2, 4, 8];
+    let bit = lut[usize::from(first) % 4]; // PANIC-OK: index is taken mod 4.
+    first + rest + bit + *m.lock().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_exempt_in_tests() {
+        let v = vec![1u8];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,320 @@
+//! Structural analysis over the raw token stream: attribute spans,
+//! `#[cfg(test)]` / `#[test]` item spans (lint rules never fire inside test
+//! code — tests exercise invariants, they are not bound by them), function
+//! contexts (`unsafe` / `#[target_feature]`, used by the intrinsic-gating
+//! rule), line classification, and justification-tag lookup.
+
+use std::collections::HashSet;
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// Everything the rules need to know about one source file.
+pub struct FileData {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Source split into lines (for diagnostics and allow-patterns).
+    pub lines: Vec<String>,
+    /// The token stream.
+    pub toks: Vec<Tok>,
+    /// All comments.
+    pub comments: Vec<Comment>,
+    /// Per token: lies inside a `#[…]` / `#![…]` attribute span.
+    pub in_attr: Vec<bool>,
+    /// Per token: lies inside a test-only item (`#[cfg(test)]`, `#[test]`).
+    pub in_test: Vec<bool>,
+    /// Per token: lies inside a fn that is `unsafe` or `#[target_feature]`.
+    pub fn_gated: Vec<bool>,
+    /// Lines carrying at least one non-attribute code token.
+    code_lines: HashSet<u32>,
+    /// Lines carrying attribute tokens (possibly in addition to code).
+    attr_lines: HashSet<u32>,
+}
+
+impl FileData {
+    /// Lex and analyze one file.
+    pub fn new(rel: String, src: &str) -> FileData {
+        let lexed = lex(src);
+        let toks = lexed.toks;
+        let n = toks.len();
+
+        let (in_attr, attrs) = attr_spans(&toks);
+        let in_test = test_spans(&toks, &in_attr, &attrs);
+        let fn_gated = fn_contexts(&toks, &in_attr, &attrs);
+
+        let mut code_lines = HashSet::new();
+        let mut attr_lines = HashSet::new();
+        for (i, t) in toks.iter().enumerate() {
+            if in_attr[i] {
+                attr_lines.insert(t.line);
+            } else {
+                code_lines.insert(t.line);
+            }
+        }
+
+        FileData {
+            rel,
+            lines: src.lines().map(str::to_owned).collect(),
+            toks,
+            comments: lexed.comments,
+            in_attr,
+            in_test,
+            fn_gated: if fn_gated.len() == n { fn_gated } else { vec![false; n] },
+            code_lines,
+            attr_lines,
+        }
+    }
+
+    /// The source text of a 1-based line (empty if out of range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines.get(line as usize - 1).map(String::as_str).unwrap_or("")
+    }
+
+    /// Whether a justification tag (any of `tags`, substring match) covers
+    /// `line`: either a comment on the line itself (trailing or spanning
+    /// block comment), or the contiguous run of comment-only /
+    /// attribute-only lines directly above it. A line with real code, or a
+    /// blank line, breaks the run — justifications must sit *adjacent* to
+    /// the site they justify, not merely nearby.
+    pub fn has_tag(&self, line: u32, tags: &[&str]) -> bool {
+        if self.comment_has_tag(line, tags) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            if self.code_lines.contains(&l) {
+                return false;
+            }
+            let is_comment = self.comments.iter().any(|c| c.line_start <= l && l <= c.line_end);
+            if is_comment {
+                if self.comment_has_tag(l, tags) {
+                    return true;
+                }
+            } else if !self.attr_lines.contains(&l) {
+                return false; // blank (or unknown) line breaks adjacency
+            }
+            l -= 1;
+        }
+        false
+    }
+
+    fn comment_has_tag(&self, line: u32, tags: &[&str]) -> bool {
+        self.comments
+            .iter()
+            .filter(|c| c.line_start <= line && line <= c.line_end)
+            .any(|c| tags.iter().any(|t| c.text.contains(t)))
+    }
+}
+
+/// One parsed attribute: token span `[start, end]` (inclusive, covering
+/// `#`/`#!` through `]`) and the identifier tokens inside it.
+pub struct Attr {
+    start: usize,
+    end: usize,
+    inner: bool,
+    idents: Vec<String>,
+}
+
+/// Mark attribute token spans and collect the attributes.
+fn attr_spans(toks: &[Tok]) -> (Vec<bool>, Vec<Attr>) {
+    let mut in_attr = vec![false; toks.len()];
+    let mut attrs = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct && toks[i].text == "#" {
+            let mut j = i + 1;
+            let mut inner = false;
+            if j < toks.len() && toks[j].kind == TokKind::Punct && toks[j].text == "!" {
+                inner = true;
+                j += 1;
+            }
+            if j < toks.len() && toks[j].kind == TokKind::Punct && toks[j].text == "[" {
+                let mut depth = 0i32;
+                let mut k = j;
+                let mut idents = Vec::new();
+                while k < toks.len() {
+                    let t = &toks[k];
+                    if t.kind == TokKind::Punct && t.text == "[" {
+                        depth += 1;
+                    } else if t.kind == TokKind::Punct && t.text == "]" {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if t.kind == TokKind::Ident {
+                        idents.push(t.text.clone());
+                    }
+                    k += 1;
+                }
+                let end = k.min(toks.len() - 1);
+                for flag in in_attr.iter_mut().take(end + 1).skip(i) {
+                    *flag = true;
+                }
+                attrs.push(Attr { start: i, end, inner, idents });
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    (in_attr, attrs)
+}
+
+/// Is this attribute one that marks the following item as test-only?
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]` qualify;
+/// `#[cfg(not(test))]` does not.
+fn is_test_attr(attr: &Attr) -> bool {
+    if attr.inner {
+        return false;
+    }
+    match attr.idents.first().map(String::as_str) {
+        Some("test") => attr.idents.len() == 1,
+        Some("cfg") => {
+            attr.idents.iter().any(|s| s == "test") && !attr.idents.iter().any(|s| s == "not")
+        }
+        _ => false,
+    }
+}
+
+/// Mark every token belonging to a test-only item (the attribute itself,
+/// any further attributes, and the item through its `;` or brace-balanced
+/// body).
+fn test_spans(toks: &[Tok], in_attr: &[bool], attrs: &[Attr]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    for attr in attrs {
+        if !is_test_attr(attr) {
+            continue;
+        }
+        let mut p = attr.end + 1;
+        // Skip any stacked attributes between the test attr and the item.
+        while p < toks.len() && in_attr[p] {
+            p += 1;
+        }
+        // Consume the item: to the matching close brace of its first brace,
+        // or to a top-level `;` for bodiless items.
+        let mut depth = 0i32;
+        let mut q = p;
+        while q < toks.len() {
+            let t = &toks[q];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            q += 1;
+        }
+        let end = q.min(toks.len().saturating_sub(1));
+        for flag in in_test.iter_mut().take(end + 1).skip(attr.start) {
+            *flag = true;
+        }
+    }
+    in_test
+}
+
+/// Rust keywords that terminate "attributes waiting for a fn" tracking
+/// when they start a different kind of item.
+const ITEM_KEYWORDS: &[&str] = &[
+    "struct",
+    "enum",
+    "union",
+    "mod",
+    "impl",
+    "trait",
+    "use",
+    "static",
+    "const",
+    "type",
+    "macro_rules",
+];
+
+/// Per token: whether it sits inside a fn body whose fn is either
+/// `unsafe` or carries `#[target_feature(…)]`. Nested fns use the
+/// innermost fn (target features do not propagate inward).
+fn fn_contexts(toks: &[Tok], in_attr: &[bool], attrs: &[Attr]) -> Vec<bool> {
+    let mut gated = vec![false; toks.len()];
+    // fn stack entries: (brace depth of the body's `{`, is gated).
+    let mut stack: Vec<(i32, bool)> = Vec::new();
+    let mut depth = 0i32;
+    let mut pending_tf = false; // a #[target_feature] attr is pending
+    let mut pending_unsafe = false;
+    let mut awaiting_body: Option<bool> = None; // Some(gated) after `fn`
+    let mut attr_iter = attrs.iter().peekable();
+
+    let mut i = 0;
+    while i < toks.len() {
+        // Attribute span: record target_feature, then skip it whole.
+        if let Some(a) = attr_iter.peek() {
+            if a.start == i {
+                if !a.inner && a.idents.iter().any(|s| s == "target_feature") {
+                    pending_tf = true;
+                }
+                i = a.end + 1;
+                attr_iter.next();
+                continue;
+            }
+        }
+        if in_attr[i] {
+            i += 1;
+            continue;
+        }
+        let t = &toks[i];
+        gated[i] = stack.last().map(|&(_, g)| g).unwrap_or(false);
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "unsafe" => {
+                    // `unsafe` is a fn modifier when `fn` follows shortly
+                    // (`unsafe fn`, `unsafe extern "C" fn`); otherwise it
+                    // opens a block and does not gate a fn.
+                    let lookahead = toks
+                        .iter()
+                        .skip(i + 1)
+                        .take(4)
+                        .any(|t2| t2.kind == TokKind::Ident && t2.text == "fn");
+                    if lookahead {
+                        pending_unsafe = true;
+                    }
+                }
+                "fn" => {
+                    awaiting_body = Some(pending_tf || pending_unsafe);
+                    pending_tf = false;
+                    pending_unsafe = false;
+                }
+                kw if ITEM_KEYWORDS.contains(&kw) => {
+                    pending_tf = false;
+                    pending_unsafe = false;
+                }
+                _ => {}
+            }
+        } else if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => {
+                    depth += 1;
+                    if let Some(g) = awaiting_body.take() {
+                        stack.push((depth, g));
+                    }
+                }
+                "}" => {
+                    if let Some(&(d, _)) = stack.last() {
+                        if d == depth {
+                            stack.pop();
+                        }
+                    }
+                    depth -= 1;
+                }
+                ";" => {
+                    awaiting_body = None; // trait method without a body
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    gated
+}

@@ -1,0 +1,158 @@
+//! Hand-parsed `lint.toml` configuration — the file-scoping layer that
+//! makes the rules workspace-native: which files are parity-critical,
+//! which are metrics-counter files where `Relaxed` is the sanctioned
+//! default, which files form the serving panic surface, and which files
+//! are allowed to contain ISA intrinsics at all.
+//!
+//! The parser covers the subset of TOML the config needs (sections,
+//! `key = "string"`, `key = [ "…", … ]` arrays that may span lines, `#`
+//! comments) — hand-rolled like everything else in this workspace, so the
+//! lint binary stays dependency-free.
+
+/// Parsed lint configuration. All path entries are workspace-root-relative
+/// with `/` separators; an entry ending in `/` matches every file under
+/// that directory prefix.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// KL001: files where `Ordering::Relaxed` needs no per-site
+    /// justification (monotonic metrics counters only).
+    pub atomics_relaxed_counter_files: Vec<String>,
+    /// KL003: the only files allowed to contain ISA intrinsics (their
+    /// compilation is arch-gated; intrinsics must still sit inside
+    /// `#[target_feature]` or `unsafe` fns).
+    pub unsafe_isa_files: Vec<String>,
+    /// KL005: parity-critical files where lossy `as` casts are banned.
+    pub parity_cast_files: Vec<String>,
+    /// KL006: parity-critical files where `HashMap`/`HashSet` are banned.
+    pub parity_hash_files: Vec<String>,
+    /// KL004: parity-critical files where FMA intrinsics are banned.
+    pub parity_fma_files: Vec<String>,
+    /// KL007: wire-codec files where `{}`/`{:?}` formatting is audited.
+    pub parity_fmt_files: Vec<String>,
+    /// KL008: request-path files where the panic surface is audited.
+    pub panic_files: Vec<String>,
+    /// KL008: extra allowed line substrings (beyond the built-in
+    /// lock-poisoning unwrap patterns).
+    pub panic_allow: Vec<String>,
+}
+
+/// Does `rel` (root-relative, `/`-separated) match a config entry list?
+pub fn matches(rel: &str, entries: &[String]) -> bool {
+    entries.iter().any(|e| {
+        if let Some(prefix) = e.strip_suffix('/') {
+            rel.starts_with(prefix) && rel.len() > prefix.len()
+        } else {
+            rel == e
+        }
+    })
+}
+
+/// A config parse failure: line number plus message.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line in the config file.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Config {
+    /// Parse the configuration text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or(ConfigError {
+                line: lineno,
+                message: format!("expected `key = value`, got {line:?}"),
+            })?;
+            let key = key.trim();
+            let mut value = value.trim().to_string();
+            // Multi-line array: keep consuming until the closing bracket.
+            while value.starts_with('[') && !value.ends_with(']') {
+                let (_, cont) = lines.next().ok_or(ConfigError {
+                    line: lineno,
+                    message: format!("unterminated array for key {key:?}"),
+                })?;
+                value.push_str(strip_comment(cont).trim());
+            }
+            let values = parse_value(&value).map_err(|message| ConfigError {
+                line: lineno,
+                message: format!("key {key:?}: {message}"),
+            })?;
+            cfg.assign(&section, key, values)
+                .map_err(|message| ConfigError { line: lineno, message })?;
+        }
+        Ok(cfg)
+    }
+
+    fn assign(&mut self, section: &str, key: &str, values: Vec<String>) -> Result<(), String> {
+        let slot = match (section, key) {
+            ("atomics", "relaxed_counter_files") => &mut self.atomics_relaxed_counter_files,
+            ("unsafe", "isa_files") => &mut self.unsafe_isa_files,
+            ("parity", "cast_files") => &mut self.parity_cast_files,
+            ("parity", "hash_files") => &mut self.parity_hash_files,
+            ("parity", "fma_files") => &mut self.parity_fma_files,
+            ("parity", "fmt_files") => &mut self.parity_fmt_files,
+            ("panics", "files") => &mut self.panic_files,
+            ("panics", "allow") => &mut self.panic_allow,
+            _ => return Err(format!("unknown key [{section}] {key}")),
+        };
+        *slot = values;
+        Ok(())
+    }
+}
+
+/// Drop a trailing `# comment` (quote-aware: `#` inside strings stays).
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `"str"` or `[ "a", "b" ]` into a list of strings.
+fn parse_value(value: &str) -> Result<Vec<String>, String> {
+    if let Some(s) = value.strip_prefix('"') {
+        let s = s.strip_suffix('"').ok_or("unterminated string")?;
+        return Ok(vec![s.to_string()]);
+    }
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or("expected a string or an array of strings")?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        let s = part
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("array element {part:?} is not a quoted string"))?;
+        out.push(s.to_string());
+    }
+    Ok(out)
+}

@@ -1,0 +1,416 @@
+//! Hand-rolled Rust lexer — just enough of the language to walk real
+//! workspace sources without being fooled by the places naive text search
+//! breaks: nested block comments, raw strings (`r#"…"#`, any hash depth),
+//! byte/raw-byte strings, char literals containing `"` or `'`, lifetimes
+//! vs. char literals, raw identifiers (`r#type`), and float/exponent
+//! numeric forms.
+//!
+//! The output is a flat token stream with 1-based line/column positions
+//! plus a side list of comments (line, block, and doc comments all count —
+//! justification tags like `// SAFETY:` live there). No parsing beyond
+//! tokens happens here; [`crate::analyze`] layers attribute spans,
+//! `#[cfg(test)]` item spans, and function contexts on top.
+
+/// Kind of a lexed token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are not distinguished here).
+    Ident,
+    /// Lifetime (`'a`), stored without the leading quote.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String literal (plain, raw, byte, raw-byte); `text` is the content
+    /// between the quotes, escapes left as written.
+    Str,
+    /// Char or byte-char literal; `text` is the content between quotes.
+    Char,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source position (column counts bytes).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (see [`TokKind`] for what is stored per kind).
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte.
+    pub col: u32,
+}
+
+/// One comment (line, doc, or block), with the line span it covers.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// First line the comment touches.
+    pub line_start: u32,
+    /// Last line the comment touches (same as `line_start` for `//`).
+    pub line_end: u32,
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Lexer output: the token stream and the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.b.get(self.i + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.b[self.i];
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn done(&self) -> bool {
+        self.i >= self.b.len()
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Tokenize `src`. The lexer never fails: unrecognized bytes become
+/// single-character punctuation tokens, and unterminated literals run to
+/// end of input (a lint over code that does not compile is best-effort
+/// anyway — the workspace it scans does compile).
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor { b: src.as_bytes(), i: 0, line: 1, col: 1 };
+    let mut out = Lexed::default();
+
+    while !cur.done() {
+        let c = cur.peek(0);
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == b'/' && cur.peek(1) == b'/' {
+            line_comment(&mut cur, &mut out);
+            continue;
+        }
+        if c == b'/' && cur.peek(1) == b'*' {
+            block_comment(&mut cur, &mut out);
+            continue;
+        }
+        // Raw strings / raw identifiers / byte strings, which all start
+        // with letters that would otherwise lex as identifiers.
+        if c == b'r' || c == b'b' {
+            if let Some(tok) = raw_or_byte(&mut cur) {
+                out.toks.push(tok);
+                continue;
+            }
+        }
+        // Plain string.
+        if c == b'"' {
+            out.toks.push(string_lit(&mut cur));
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == b'\'' {
+            out.toks.push(char_or_lifetime(&mut cur));
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            out.toks.push(ident(&mut cur));
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            out.toks.push(number(&mut cur));
+            continue;
+        }
+        // Anything else: one punctuation byte.
+        let (line, col) = (cur.line, cur.col);
+        let ch = cur.bump();
+        out.toks.push(Tok { kind: TokKind::Punct, text: (ch as char).to_string(), line, col });
+    }
+    out
+}
+
+fn line_comment(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    let start = cur.i;
+    while !cur.done() && cur.peek(0) != b'\n' {
+        cur.bump();
+    }
+    out.comments.push(Comment {
+        line_start: line,
+        line_end: line,
+        text: String::from_utf8_lossy(&cur.b[start..cur.i]).into_owned(),
+    });
+}
+
+fn block_comment(cur: &mut Cursor, out: &mut Lexed) {
+    let line_start = cur.line;
+    let start = cur.i;
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1u32;
+    while !cur.done() && depth > 0 {
+        if cur.peek(0) == b'/' && cur.peek(1) == b'*' {
+            depth += 1;
+            cur.bump();
+            cur.bump();
+        } else if cur.peek(0) == b'*' && cur.peek(1) == b'/' {
+            depth -= 1;
+            cur.bump();
+            cur.bump();
+        } else {
+            cur.bump();
+        }
+    }
+    out.comments.push(Comment {
+        line_start,
+        line_end: cur.line,
+        text: String::from_utf8_lossy(&cur.b[start..cur.i]).into_owned(),
+    });
+}
+
+/// Handle `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'x'`, and `r#ident`.
+/// Returns `None` when the `r`/`b` is just the start of a plain identifier.
+fn raw_or_byte(cur: &mut Cursor) -> Option<Tok> {
+    let (line, col) = (cur.line, cur.col);
+    let mut j = 1; // bytes after the leading r/b under consideration
+    let first = cur.peek(0);
+    let mut raw = first == b'r';
+    if first == b'b' {
+        if cur.peek(1) == b'r' {
+            raw = true;
+            j = 2;
+        } else if cur.peek(1) == b'\'' {
+            // Byte char literal b'…'.
+            cur.bump(); // b
+            let mut tok = char_or_lifetime(cur);
+            tok.line = line;
+            tok.col = col;
+            tok.kind = TokKind::Char;
+            return Some(tok);
+        } else if cur.peek(1) == b'"' {
+            // Byte string b"…".
+            cur.bump(); // b
+            let mut tok = string_lit(cur);
+            tok.line = line;
+            tok.col = col;
+            return Some(tok);
+        } else {
+            return None; // identifier starting with b
+        }
+    }
+    if !raw {
+        return None;
+    }
+    let mut hashes = 0usize;
+    while cur.peek(j) == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if cur.peek(j) == b'"' {
+        // Raw string: consume prefix, then content until `"` + hashes.
+        for _ in 0..=j {
+            cur.bump(); // r/b, hashes, opening quote
+        }
+        let start = cur.i;
+        let end;
+        loop {
+            if cur.done() {
+                end = cur.i;
+                break;
+            }
+            if cur.peek(0) == b'"' {
+                let mut ok = true;
+                for h in 0..hashes {
+                    if cur.peek(1 + h) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    end = cur.i;
+                    cur.bump(); // closing quote
+                    for _ in 0..hashes {
+                        cur.bump();
+                    }
+                    break;
+                }
+            }
+            cur.bump();
+        }
+        return Some(Tok {
+            kind: TokKind::Str,
+            text: String::from_utf8_lossy(&cur.b[start..end]).into_owned(),
+            line,
+            col,
+        });
+    }
+    if hashes == 1 && is_ident_start(cur.peek(j)) && first == b'r' {
+        // Raw identifier r#ident: token text keeps the r# prefix off.
+        cur.bump(); // r
+        cur.bump(); // #
+        let mut tok = ident(cur);
+        tok.line = line;
+        tok.col = col;
+        return Some(tok);
+    }
+    None
+}
+
+fn string_lit(cur: &mut Cursor) -> Tok {
+    let (line, col) = (cur.line, cur.col);
+    cur.bump(); // opening quote
+    let start = cur.i;
+    let end;
+    loop {
+        if cur.done() {
+            end = cur.i;
+            break;
+        }
+        match cur.peek(0) {
+            b'\\' => {
+                cur.bump();
+                if !cur.done() {
+                    cur.bump(); // the escaped byte ("\"" and "\\" included)
+                }
+            }
+            b'"' => {
+                end = cur.i;
+                cur.bump();
+                break;
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+    Tok {
+        kind: TokKind::Str,
+        text: String::from_utf8_lossy(&cur.b[start..end]).into_owned(),
+        line,
+        col,
+    }
+}
+
+fn char_or_lifetime(cur: &mut Cursor) -> Tok {
+    let (line, col) = (cur.line, cur.col);
+    cur.bump(); // opening quote
+                // Lifetime: 'ident not followed by a closing quote.
+    if is_ident_start(cur.peek(0)) && cur.peek(1) != b'\'' {
+        let start = cur.i;
+        while !cur.done() && is_ident_continue(cur.peek(0)) {
+            cur.bump();
+        }
+        return Tok {
+            kind: TokKind::Lifetime,
+            text: String::from_utf8_lossy(&cur.b[start..cur.i]).into_owned(),
+            line,
+            col,
+        };
+    }
+    // Char literal: content up to the closing quote, escapes skipped.
+    let start = cur.i;
+    let end;
+    loop {
+        if cur.done() {
+            end = cur.i;
+            break;
+        }
+        match cur.peek(0) {
+            b'\\' => {
+                cur.bump();
+                if !cur.done() {
+                    cur.bump();
+                }
+            }
+            b'\'' => {
+                end = cur.i;
+                cur.bump();
+                break;
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+    Tok {
+        kind: TokKind::Char,
+        text: String::from_utf8_lossy(&cur.b[start..end]).into_owned(),
+        line,
+        col,
+    }
+}
+
+fn ident(cur: &mut Cursor) -> Tok {
+    let (line, col) = (cur.line, cur.col);
+    let start = cur.i;
+    while !cur.done() && is_ident_continue(cur.peek(0)) {
+        cur.bump();
+    }
+    Tok {
+        kind: TokKind::Ident,
+        text: String::from_utf8_lossy(&cur.b[start..cur.i]).into_owned(),
+        line,
+        col,
+    }
+}
+
+fn number(cur: &mut Cursor) -> Tok {
+    let (line, col) = (cur.line, cur.col);
+    let start = cur.i;
+    let mut prev = 0u8;
+    while !cur.done() {
+        let c = cur.peek(0);
+        let take = if c.is_ascii_alphanumeric() || c == b'_' {
+            true
+        } else if c == b'.' {
+            // `1.5` continues the number; `1..n` and `1.method()` do not.
+            cur.peek(1).is_ascii_digit()
+        } else if c == b'+' || c == b'-' {
+            // Exponent sign: only directly after e/E in something like 1e-3.
+            prev == b'e' || prev == b'E'
+        } else {
+            false
+        };
+        if !take {
+            break;
+        }
+        prev = c;
+        cur.bump();
+    }
+    Tok {
+        kind: TokKind::Num,
+        text: String::from_utf8_lossy(&cur.b[start..cur.i]).into_owned(),
+        line,
+        col,
+    }
+}

@@ -1,0 +1,122 @@
+//! `kg-lint` — workspace-native static analysis for the invariants this
+//! repo's byte-parity guarantee actually rests on, none of which clippy
+//! can express:
+//!
+//! * **atomics audit** (KL001): every atomic `Ordering::` use is either an
+//!   allowlisted pattern (Relaxed metrics counters) or carries an adjacent
+//!   `// ORDERING:` justification. The `LiveFilterIndex` version flip and
+//!   the kernel-dispatch `ACTIVE` byte are exactly the sites where a silent
+//!   `Relaxed` would one day cost a stale read nobody can reproduce.
+//! * **unsafe audit** (KL002/KL003): every `unsafe` needs an adjacent
+//!   `// SAFETY:` comment, and ISA intrinsics may only appear in declared
+//!   arch-gated files inside `#[target_feature]`/`unsafe` fns.
+//! * **parity lint** (KL004–KL007): inside parity-critical modules (wire
+//!   codecs, scoring kernels) ban FMA intrinsics, lossy `as` casts,
+//!   `HashMap`/`HashSet`, and default-`Display` float formatting — the
+//!   exact bug classes that silently break shard/gateway byte parity.
+//! * **panic-surface lint** (KL008): no `unwrap`/`expect`/`panic!`-family/
+//!   indexing in request-path files — each is a dropped connection under
+//!   `catch_unwind`.
+//!
+//! Deliberately `--fix`-free: a justification comment is a human claim,
+//! not something a tool should fabricate. Std-only, hand-rolled lexer,
+//! file-scoped via a hand-parsed [`config::Config`] (`lint.toml`).
+//!
+//! Run as `cargo run -p kg-lint --release` from the workspace root; exits
+//! nonzero on any finding. Rules self-test against fixture files and the
+//! workspace itself in `tests/`.
+
+// Grown, not assumed: kg-lint (KL002/KL003) audits the crates that *do*
+// need unsafe; everything else proves it needs none at compile time.
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+pub use analyze::FileData;
+pub use config::Config;
+pub use rules::Finding;
+
+/// Lint a single file's source text under `rel` (root-relative path).
+pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let fd = FileData::new(rel.to_string(), src);
+    rules::check_file(&fd, cfg)
+}
+
+/// Collect the workspace source files to scan under `root`: every
+/// `crates/*/src/**/*.rs` plus the umbrella `src/**/*.rs`. Integration
+/// tests, benches, examples, and fixtures are deliberately out of scope —
+/// the invariants bind library and binary code.
+pub fn scan_roots(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace under `root` with `cfg`. Returns all findings
+/// sorted by (path, line, col).
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in scan_roots(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(&path)?;
+        findings.extend(lint_source(&rel, &src, cfg));
+    }
+    findings.sort_by(|a, b| (&a.rel, a.line, a.col).cmp(&(&b.rel, b.line, b.col)));
+    Ok(findings)
+}
+
+/// Render findings in the `file:line:col` diagnostic format.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: {} [{}]: {}",
+            f.rel, f.line, f.col, f.rule_id, f.rule_name, f.message
+        );
+        let _ = writeln!(out, "  {:>5} | {}", f.line, f.snippet);
+    }
+    out
+}

@@ -1,0 +1,66 @@
+//! `kg-lint` CLI: scan the workspace, print `file:line:col` diagnostics,
+//! exit nonzero on findings. Runs in CI next to `clippy -D warnings` and
+//! `fmt --check` (`cargo run -p kg-lint --release`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use kg_lint::{lint_workspace, render, Config};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage("--config needs a value"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: kg-lint [--root DIR] [--config lint.toml]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("kg-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match Config::parse(&config_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("kg-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match lint_workspace(&root, &cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("kg-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if findings.is_empty() {
+        eprintln!("kg-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        print!("{}", render(&findings));
+        eprintln!("kg-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("kg-lint: {msg}\nusage: kg-lint [--root DIR] [--config lint.toml]");
+    ExitCode::from(2)
+}

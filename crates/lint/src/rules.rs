@@ -1,0 +1,531 @@
+//! The lint rules. Each rule walks the analyzed token stream of one file
+//! and produces [`Finding`]s; all rules skip test-only code (`#[cfg(test)]`
+//! modules, `#[test]` fns) — tests exercise the invariants, production
+//! code is held to them.
+//!
+//! | ID    | name              | what it enforces |
+//! |-------|-------------------|------------------|
+//! | KL001 | atomic-ordering   | every atomic `Ordering::…` use is justified with `// ORDERING:` (Relaxed is sanctioned without one only in configured metrics-counter files; SeqCst always needs one) |
+//! | KL002 | undocumented-unsafe | every `unsafe` keyword (block, fn, impl) carries an adjacent `// SAFETY:` comment or `# Safety` doc section |
+//! | KL003 | ungated-intrinsic | ISA intrinsics appear only in configured arch-gated files, inside `#[target_feature]` or `unsafe` fns |
+//! | KL004 | fma-intrinsic     | FMA-capable intrinsics are banned in parity-critical files (fused rounding breaks bit parity with the scalar reference) |
+//! | KL005 | lossy-cast        | potentially lossy `as` numeric casts in parity-critical files need `// PARITY:` justification |
+//! | KL006 | hash-iteration    | `HashMap`/`HashSet` are banned in parity-critical files (iteration order is nondeterministic) unless justified with `// PARITY:` |
+//! | KL007 | float-format      | `{}` / `{:?}` format placeholders in wire-codec files need `// PARITY:` justification (decimal float text is not a bit-exact codec) |
+//! | KL008 | panic-surface     | no `unwrap`/`expect`/`panic!`-family/indexing in request-path files without `// PANIC-OK:` (each panic is a dropped connection under `catch_unwind`) |
+
+use crate::analyze::FileData;
+use crate::config::{matches, Config};
+use crate::lexer::TokKind;
+
+/// One diagnostic: where, which rule, what, and the offending source line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-root-relative path.
+    pub rel: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Stable rule ID (`KL001`…`KL008`).
+    pub rule_id: &'static str,
+    /// Short rule name.
+    pub rule_name: &'static str,
+    /// Human explanation of this occurrence.
+    pub message: String,
+    /// The source line the finding points into.
+    pub snippet: String,
+}
+
+const ATOMIC_VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+const NARROW_CAST_TARGETS: &[&str] =
+    &["u8", "i8", "u16", "i16", "u32", "i32", "u64", "i64", "f32", "usize", "isize"];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+const FORMAT_MACROS: &[&str] =
+    &["format", "write", "writeln", "print", "println", "eprint", "eprintln"];
+
+/// Keywords that can directly precede `[` without it being indexing.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "ref", "in", "as", "dyn", "impl", "return", "break", "continue", "move", "box", "if",
+    "else", "match", "loop", "while", "for", "let", "static", "const", "where", "unsafe", "async",
+    "await", "fn", "trait", "type", "use", "pub", "enum", "struct", "union", "mod", "yield",
+];
+
+/// Run every applicable rule over one analyzed file.
+pub fn check_file(fd: &FileData, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    atomics_rule(fd, cfg, &mut out);
+    unsafe_rule(fd, &mut out);
+    intrinsics_rule(fd, cfg, &mut out);
+    parity_cast_rule(fd, cfg, &mut out);
+    parity_hash_rule(fd, cfg, &mut out);
+    parity_fmt_rule(fd, cfg, &mut out);
+    panic_rule(fd, cfg, &mut out);
+    out
+}
+
+fn finding(
+    fd: &FileData,
+    i: usize,
+    rule_id: &'static str,
+    rule_name: &'static str,
+    message: String,
+) -> Finding {
+    let t = &fd.toks[i];
+    Finding {
+        rel: fd.rel.clone(),
+        line: t.line,
+        col: t.col,
+        rule_id,
+        rule_name,
+        message,
+        snippet: fd.line_text(t.line).to_string(),
+    }
+}
+
+/// KL001 — every atomic memory-ordering use must be an allowlisted pattern
+/// or carry an adjacent `// ORDERING:` justification.
+fn atomics_rule(fd: &FileData, cfg: &Config, out: &mut Vec<Finding>) {
+    let counters = matches(&fd.rel, &cfg.atomics_relaxed_counter_files);
+    for i in 0..fd.toks.len() {
+        if fd.in_test[i] || fd.in_attr[i] {
+            continue;
+        }
+        let t = &fd.toks[i];
+        if t.kind != TokKind::Ident || (t.text != "Ordering" && t.text != "AtomicOrdering") {
+            continue;
+        }
+        // Match `Ordering :: Variant` (cmp::Ordering variants are
+        // Less/Equal/Greater, so the variant name disambiguates).
+        let path = fd.toks.get(i + 1).zip(fd.toks.get(i + 2)).zip(fd.toks.get(i + 3));
+        let Some(((c1, c2), variant)) = path else { continue };
+        if c1.text != ":" || c2.text != ":" || variant.kind != TokKind::Ident {
+            continue;
+        }
+        let v = variant.text.as_str();
+        if !ATOMIC_VARIANTS.contains(&v) {
+            continue;
+        }
+        if v == "Relaxed" && counters {
+            continue; // sanctioned: monotonic metrics counters
+        }
+        if fd.has_tag(t.line, &["ORDERING:"]) {
+            continue;
+        }
+        let why = match v {
+            "Relaxed" => "Relaxed on a non-counter atomic synchronizes nothing",
+            "SeqCst" => "SeqCst is a red flag in hot paths (and usually stronger than meant)",
+            _ => "acquire/release edges must state what they synchronize with",
+        };
+        out.push(finding(
+            fd,
+            i,
+            "KL001",
+            "atomic-ordering",
+            format!("`Ordering::{v}` without an adjacent `// ORDERING:` justification — {why}"),
+        ));
+    }
+}
+
+/// KL002 — every `unsafe` keyword needs an adjacent `// SAFETY:` comment
+/// (or a `# Safety` doc section for `unsafe fn` contracts).
+fn unsafe_rule(fd: &FileData, out: &mut Vec<Finding>) {
+    for i in 0..fd.toks.len() {
+        if fd.in_test[i] || fd.in_attr[i] {
+            continue;
+        }
+        let t = &fd.toks[i];
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        if fd.has_tag(t.line, &["SAFETY:", "# Safety"]) {
+            continue;
+        }
+        out.push(finding(
+            fd,
+            i,
+            "KL002",
+            "undocumented-unsafe",
+            "`unsafe` without an adjacent `// SAFETY:` comment (use `# Safety` docs for \
+             `unsafe fn` contracts)"
+                .to_string(),
+        ));
+    }
+}
+
+/// Does this identifier look like a SIMD intrinsic (x86 `_mm…` or the
+/// aarch64 NEON `v…q_…` families)?
+fn is_intrinsic(name: &str) -> bool {
+    if name.starts_with("_mm") {
+        return true;
+    }
+    const NEON_PREFIXES: &[&str] = &[
+        "vld", "vst", "vadd", "vsub", "vmul", "vdiv", "vabs", "vdup", "vfma", "vfms", "vmax",
+        "vmin", "vget", "vset", "vcvt", "vcombine", "vpadd", "vrnd", "vsqrt", "vneg", "vceq",
+        "vbsl", "vand", "vorr", "veor",
+    ];
+    name.contains('_') && NEON_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// Is this identifier an FMA-capable intrinsic? Fused multiply-add rounds
+/// once where the scalar reference rounds twice — different bits, broken
+/// shard/gateway parity. There is no justification escape for these.
+fn is_fma(name: &str) -> bool {
+    const FMA_PREFIXES: &[&str] = &["vfma", "vfms"];
+    if FMA_PREFIXES.iter().any(|p| name.starts_with(p)) {
+        return true;
+    }
+    // _mm_fmadd_ps, _mm256_fmsub_pd, _mm512_fnmadd_ps, …
+    name.starts_with("_mm")
+        && ["_fmadd", "_fmsub", "_fnmadd", "_fnmsub"].iter().any(|op| name.contains(op))
+}
+
+/// KL003 — ISA intrinsics only in declared arch-gated files, and there
+/// only inside `#[target_feature]` or `unsafe` fns.
+fn intrinsics_rule(fd: &FileData, cfg: &Config, out: &mut Vec<Finding>) {
+    let isa_file = matches(&fd.rel, &cfg.unsafe_isa_files);
+    for i in 0..fd.toks.len() {
+        if fd.in_test[i] || fd.in_attr[i] {
+            continue;
+        }
+        let t = &fd.toks[i];
+        if t.kind != TokKind::Ident || !is_intrinsic(&t.text) {
+            continue;
+        }
+        if !isa_file {
+            out.push(finding(
+                fd,
+                i,
+                "KL003",
+                "ungated-intrinsic",
+                format!(
+                    "ISA intrinsic `{}` outside the declared ISA-gated files \
+                     ([unsafe] isa_files in lint.toml)",
+                    t.text
+                ),
+            ));
+        } else if !fd.fn_gated[i] {
+            out.push(finding(
+                fd,
+                i,
+                "KL003",
+                "ungated-intrinsic",
+                format!("ISA intrinsic `{}` outside a `#[target_feature]` or `unsafe` fn", t.text),
+            ));
+        }
+    }
+}
+
+/// KL004 — FMA intrinsics banned in parity-critical files.
+fn fma_check(fd: &FileData, cfg: &Config, i: usize, out: &mut Vec<Finding>) {
+    if !matches(&fd.rel, &cfg.parity_fma_files) {
+        return;
+    }
+    let t = &fd.toks[i];
+    out.push(finding(
+        fd,
+        i,
+        "KL004",
+        "fma-intrinsic",
+        format!(
+            "FMA intrinsic `{}` in a parity-critical file — fused rounding breaks bit \
+             parity with the scalar reference (no justification escape)",
+            t.text
+        ),
+    ));
+}
+
+/// KL005 — potentially lossy `as` numeric casts in parity-critical files.
+fn parity_cast_rule(fd: &FileData, cfg: &Config, out: &mut Vec<Finding>) {
+    // KL004 piggybacks on the same token walk.
+    for i in 0..fd.toks.len() {
+        if fd.in_test[i] || fd.in_attr[i] {
+            continue;
+        }
+        let t = &fd.toks[i];
+        if t.kind == TokKind::Ident && is_fma(&t.text) {
+            fma_check(fd, cfg, i, out);
+        }
+    }
+    if !matches(&fd.rel, &cfg.parity_cast_files) {
+        return;
+    }
+    for i in 0..fd.toks.len() {
+        if fd.in_test[i] || fd.in_attr[i] {
+            continue;
+        }
+        let t = &fd.toks[i];
+        if t.kind != TokKind::Ident || t.text != "as" {
+            continue;
+        }
+        let Some(target) = fd.toks.get(i + 1) else { continue };
+        if target.kind != TokKind::Ident || !NARROW_CAST_TARGETS.contains(&target.text.as_str()) {
+            continue;
+        }
+        if fd.has_tag(t.line, &["PARITY:"]) {
+            continue;
+        }
+        out.push(finding(
+            fd,
+            i,
+            "KL005",
+            "lossy-cast",
+            format!(
+                "`as {}` in a parity-critical file without `// PARITY:` justification — \
+                 a lossy cast silently changes bytes on the wire",
+                target.text
+            ),
+        ));
+    }
+}
+
+/// KL006 — `HashMap`/`HashSet` banned in parity-critical files: if the
+/// type cannot be named, its nondeterministic iteration order cannot leak
+/// into results. `// PARITY:` justifies non-iterated uses.
+fn parity_hash_rule(fd: &FileData, cfg: &Config, out: &mut Vec<Finding>) {
+    if !matches(&fd.rel, &cfg.parity_hash_files) {
+        return;
+    }
+    for i in 0..fd.toks.len() {
+        if fd.in_test[i] || fd.in_attr[i] {
+            continue;
+        }
+        let t = &fd.toks[i];
+        if t.kind != TokKind::Ident
+            || !["HashMap", "HashSet", "FxHashMap", "FxHashSet"].contains(&t.text.as_str())
+        {
+            continue;
+        }
+        if fd.has_tag(t.line, &["PARITY:"]) {
+            continue;
+        }
+        out.push(finding(
+            fd,
+            i,
+            "KL006",
+            "hash-iteration",
+            format!(
+                "`{}` in a parity-critical file without `// PARITY:` justification — \
+                 hash iteration order is nondeterministic across runs and hosts",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// Scan a format string for placeholders that go through `Display`/`Debug`
+/// (`{}`, `{name}`, `{:?}`, precision/exponent specs). Returns the first
+/// offending placeholder, if any. Hex/octal/binary specs (`{:08x}` …) are
+/// sanctioned — they are exact for integers and are how score bits travel.
+fn offending_placeholder(s: &str) -> Option<String> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == b'{' {
+            if i + 1 < b.len() && b[i + 1] == b'{' {
+                i += 2; // escaped brace
+                continue;
+            }
+            let mut j = i + 1;
+            while j < b.len() && b[j] != b'}' {
+                j += 1;
+            }
+            let inner = &s[i + 1..j.min(s.len())];
+            let spec = inner.split_once(':').map(|(_, sp)| sp);
+            let ok = match spec {
+                // `{:x}`, `{e:08X}` … — radix formatting, exact.
+                Some(sp) => matches!(sp.as_bytes().last(), Some(b'x' | b'X' | b'b' | b'o')),
+                // `{}` / `{name}` — Display with default formatting.
+                None => false,
+            };
+            if !ok {
+                return Some(format!("{{{inner}}}"));
+            }
+            i = j + 1;
+            continue;
+        }
+        if b[i] == b'}' && i + 1 < b.len() && b[i + 1] == b'}' {
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// KL007 — `{}` / `{:?}` placeholders in wire-codec files must be
+/// justified: default float formatting is not a bit-exact codec.
+fn parity_fmt_rule(fd: &FileData, cfg: &Config, out: &mut Vec<Finding>) {
+    if !matches(&fd.rel, &cfg.parity_fmt_files) {
+        return;
+    }
+    for i in 0..fd.toks.len() {
+        if fd.in_test[i] || fd.in_attr[i] {
+            continue;
+        }
+        let t = &fd.toks[i];
+        if t.kind != TokKind::Ident || !FORMAT_MACROS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let Some(bang) = fd.toks.get(i + 1) else { continue };
+        if bang.kind != TokKind::Punct || bang.text != "!" {
+            continue;
+        }
+        // First string literal inside the macro's delimiter group is the
+        // format string.
+        let mut depth = 0i32;
+        let mut fmt_tok = None;
+        for j in i + 2..fd.toks.len() {
+            let tj = &fd.toks[j];
+            if tj.kind == TokKind::Punct {
+                match tj.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        depth -= 1;
+                        if depth <= 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            } else if tj.kind == TokKind::Str && depth >= 1 {
+                fmt_tok = Some(j);
+                break;
+            }
+        }
+        let Some(j) = fmt_tok else { continue };
+        let Some(ph) = offending_placeholder(&fd.toks[j].text) else { continue };
+        if fd.has_tag(fd.toks[j].line, &["PARITY:"]) || fd.has_tag(t.line, &["PARITY:"]) {
+            continue;
+        }
+        out.push(finding(
+            fd,
+            j,
+            "KL007",
+            "float-format",
+            format!(
+                "`{ph}` placeholder in a wire-codec file without `// PARITY:` justification \
+                 — default Display/Debug is not a bit-exact float codec (use `{{:08x}}` on \
+                 `to_bits()`, or justify why no float flows here)"
+            ),
+        ));
+    }
+}
+
+/// Is the `unwrap`/`expect` at token `i` the sanctioned lock-poisoning
+/// pattern `.lock().unwrap()` / `.read().unwrap()` / `.write().unwrap()`?
+/// Lock poisoning only propagates a panic that already happened on another
+/// thread — unwrapping it adds no new panic surface.
+fn is_lock_poison_pattern(fd: &FileData, i: usize) -> bool {
+    // Token shape: `. lock ( ) . unwrap` — `unwrap` is at `i`, the guard
+    // method call occupies `i-5..i-1` (the `.` at `i-1` is checked by the
+    // caller).
+    if i < 5 {
+        return false;
+    }
+    fd.toks[i - 5].text == "."
+        && ["lock", "read", "write"].contains(&fd.toks[i - 4].text.as_str())
+        && fd.toks[i - 3].text == "("
+        && fd.toks[i - 2].text == ")"
+}
+
+/// KL008 — panic surface audit of request-path files.
+fn panic_rule(fd: &FileData, cfg: &Config, out: &mut Vec<Finding>) {
+    if !matches(&fd.rel, &cfg.panic_files) {
+        return;
+    }
+    let allowed_line = |line: u32| {
+        let text = fd.line_text(line);
+        cfg.panic_allow.iter().any(|p| text.contains(p.as_str()))
+    };
+    for i in 0..fd.toks.len() {
+        if fd.in_test[i] || fd.in_attr[i] {
+            continue;
+        }
+        let t = &fd.toks[i];
+        match t.kind {
+            TokKind::Ident if PANIC_MACROS.contains(&t.text.as_str()) => {
+                let Some(bang) = fd.toks.get(i + 1) else { continue };
+                if bang.kind != TokKind::Punct || bang.text != "!" {
+                    continue;
+                }
+                if fd.has_tag(t.line, &["PANIC-OK:"]) || allowed_line(t.line) {
+                    continue;
+                }
+                out.push(finding(
+                    fd,
+                    i,
+                    "KL008",
+                    "panic-surface",
+                    format!(
+                        "`{}!` in a request-path file without `// PANIC-OK:` justification — \
+                         each panic is a dropped connection under catch_unwind",
+                        t.text
+                    ),
+                ));
+            }
+            TokKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                let dot_before =
+                    i > 0 && fd.toks[i - 1].kind == TokKind::Punct && fd.toks[i - 1].text == ".";
+                let call_after = fd
+                    .toks
+                    .get(i + 1)
+                    .is_some_and(|t2| t2.kind == TokKind::Punct && t2.text == "(");
+                if !dot_before || !call_after {
+                    continue;
+                }
+                if is_lock_poison_pattern(fd, i)
+                    || fd.has_tag(t.line, &["PANIC-OK:"])
+                    || allowed_line(t.line)
+                {
+                    continue;
+                }
+                out.push(finding(
+                    fd,
+                    i,
+                    "KL008",
+                    "panic-surface",
+                    format!(
+                        "`.{}()` in a request-path file without `// PANIC-OK:` justification \
+                         — return an error or use a checked accessor",
+                        t.text
+                    ),
+                ));
+            }
+            TokKind::Punct if t.text == "[" => {
+                // Indexing heuristic: `[` directly after an identifier,
+                // `)`, or `]` is indexing/slicing (both panic on
+                // out-of-range); after keywords, `=`/`:`/`&` etc. it is an
+                // array/type/literal position.
+                let Some(prev) = (i > 0).then(|| &fd.toks[i - 1]) else { continue };
+                let indexing = match prev.kind {
+                    TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                    TokKind::Punct => prev.text == ")" || prev.text == "]",
+                    _ => false,
+                };
+                if !indexing {
+                    continue;
+                }
+                if fd.has_tag(t.line, &["PANIC-OK:"]) || allowed_line(t.line) {
+                    continue;
+                }
+                out.push(finding(
+                    fd,
+                    i,
+                    "KL008",
+                    "panic-surface",
+                    format!(
+                        "indexing `{}[…]` in a request-path file without `// PANIC-OK:` \
+                         justification — out-of-range panics drop the connection; use \
+                         `.get()` or justify the bound",
+                        prev.text
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}

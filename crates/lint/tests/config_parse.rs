@@ -1,0 +1,48 @@
+//! The hand-rolled `lint.toml` parser: sections, strings, (multi-line)
+//! arrays, comments, and the path-matching semantics the rules scope by.
+
+use kg_lint::config::{matches, Config};
+
+#[test]
+fn parses_sections_arrays_and_comments() {
+    let cfg = Config::parse(
+        r#"
+# scoping for the fixture workspace
+[atomics]
+relaxed_counter_files = [
+    "a.rs", # trailing comment
+    "b/",
+]
+
+[panics]
+files = "crates/serve/src/"
+allow = []
+"#,
+    )
+    .unwrap();
+    assert_eq!(cfg.atomics_relaxed_counter_files, ["a.rs", "b/"]);
+    assert_eq!(cfg.panic_files, ["crates/serve/src/"]);
+    assert!(cfg.panic_allow.is_empty());
+    assert!(cfg.parity_cast_files.is_empty(), "unset keys stay empty");
+}
+
+#[test]
+fn rejects_unknown_keys_and_malformed_values() {
+    assert!(Config::parse("[atomics]\nrelaxd_counter_files = []").is_err(), "typoed key");
+    assert!(Config::parse("[atomics]\nrelaxed_counter_files = oops").is_err(), "bare value");
+    assert!(Config::parse("no equals sign").is_err());
+    assert!(Config::parse("[parity]\ncast_files = [\"unterminated\"").is_err());
+    let err = Config::parse("[x]\ny = \"z\"").unwrap_err();
+    assert_eq!(err.line, 2, "errors carry the offending line");
+}
+
+#[test]
+fn path_matching_is_exact_or_directory_prefix() {
+    let dir = ["crates/serve/src/".to_string()];
+    assert!(matches("crates/serve/src/json.rs", &dir));
+    assert!(matches("crates/serve/src/deep/nested.rs", &dir));
+    assert!(!matches("crates/serve/src", &dir), "the directory itself is not a file match");
+    assert!(!matches("crates/serve2/src/x.rs", &["crates/serve/src/x.rs".to_string()]));
+    assert!(matches("a.rs", &["a.rs".to_string()]));
+    assert!(!matches("prefix/a.rs", &["a.rs".to_string()]), "exact entries do not suffix-match");
+}

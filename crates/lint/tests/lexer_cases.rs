@@ -1,0 +1,106 @@
+//! Lexer edge cases — exactly the constructs where naive text search
+//! (and therefore a naive lint) gives wrong answers: raw strings hiding
+//! comment markers, nested block comments, raw identifiers, char literals
+//! containing quotes, lifetimes, and numeric forms with dots/exponents.
+
+use kg_lint::lexer::{lex, TokKind};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src).toks.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+}
+
+#[test]
+fn raw_strings_hide_comment_and_quote_markers() {
+    let l = lex(r##"let s = r#"// not a comment " quote"#; next"##);
+    assert!(l.comments.is_empty(), "raw-string content is not a comment");
+    let s = l.toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+    assert_eq!(s.text, r#"// not a comment " quote"#);
+    // The lexer resumes correctly after the closing `"#`.
+    assert_eq!(idents(r##"let s = r#"// not a comment " quote"#; next"##), ["let", "s", "next"]);
+}
+
+#[test]
+fn raw_strings_respect_hash_depth() {
+    let l = lex(r###"r##"inner "# still inside"## after"###);
+    let s = l.toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+    assert_eq!(s.text, r##"inner "# still inside"##);
+    assert_eq!(idents(r###"r##"inner "# still inside"## after"###), ["after"]);
+}
+
+#[test]
+fn nested_block_comments_balance() {
+    let l = lex("before /* outer /* inner */ tail */ after");
+    assert_eq!(l.comments.len(), 1, "one balanced nested comment");
+    assert!(l.comments[0].text.contains("inner"));
+    assert!(l.comments[0].text.contains("tail"));
+    assert_eq!(idents("before /* outer /* inner */ tail */ after"), ["before", "after"]);
+}
+
+#[test]
+fn block_comments_record_their_line_span() {
+    let l = lex("/* a\nb\nc */ x");
+    assert_eq!((l.comments[0].line_start, l.comments[0].line_end), (1, 3));
+    let x = &l.toks[0];
+    assert_eq!((x.text.as_str(), x.line), ("x", 3));
+}
+
+#[test]
+fn raw_identifiers_lex_as_plain_identifiers() {
+    // `r#type` must become the ident `type`, not a stray `r` + `#`.
+    assert_eq!(idents("let r#type = r#fn;"), ["let", "type", "fn"]);
+}
+
+#[test]
+fn char_literals_with_quotes_do_not_open_strings() {
+    let l = lex("let q = '\"'; done");
+    assert!(l.toks.iter().all(|t| t.kind != TokKind::Str), "no string opened");
+    let c = l.toks.iter().find(|t| t.kind == TokKind::Char).unwrap();
+    assert_eq!(c.text, "\"");
+    assert_eq!(idents("let q = '\"'; done"), ["let", "q", "done"]);
+}
+
+#[test]
+fn lifetimes_and_char_literals_disambiguate() {
+    let l = lex("fn f<'a>(x: &'a str) -> char { 'b' }");
+    let lifetimes: Vec<_> =
+        l.toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text.as_str()).collect();
+    assert_eq!(lifetimes, ["a", "a"]);
+    let chars: Vec<_> =
+        l.toks.iter().filter(|t| t.kind == TokKind::Char).map(|t| t.text.as_str()).collect();
+    assert_eq!(chars, ["b"]);
+}
+
+#[test]
+fn byte_strings_and_byte_chars() {
+    let l = lex("let s = b\"bytes\"; let c = b'x';");
+    let s = l.toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+    assert_eq!(s.text, "bytes");
+    let c = l.toks.iter().find(|t| t.kind == TokKind::Char).unwrap();
+    assert_eq!(c.text, "x");
+}
+
+#[test]
+fn string_escapes_do_not_terminate_early() {
+    let l = lex(r#"let s = "a\"b"; done"#);
+    let s = l.toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+    assert_eq!(s.text, r#"a\"b"#, "escapes kept as written");
+    assert_eq!(idents(r#"let s = "a\"b"; done"#), ["let", "s", "done"]);
+}
+
+#[test]
+fn numbers_stop_at_ranges_and_method_calls() {
+    let nums = |src: &str| -> Vec<String> {
+        lex(src).toks.into_iter().filter(|t| t.kind == TokKind::Num).map(|t| t.text).collect()
+    };
+    assert_eq!(nums("1..4"), ["1", "4"], "range dots are not a float");
+    assert_eq!(nums("1.5e-3"), ["1.5e-3"], "exponent sign stays in the literal");
+    assert_eq!(nums("0xFF_u8"), ["0xFF_u8"]);
+    assert_eq!(nums("1.max(2)"), ["1", "2"], "method call after an int literal");
+}
+
+#[test]
+fn positions_are_one_based_lines_and_byte_columns() {
+    let l = lex("ab cd\n  ef");
+    let pos: Vec<_> = l.toks.iter().map(|t| (t.text.as_str(), t.line, t.col)).collect();
+    assert_eq!(pos, [("ab", 1, 1), ("cd", 1, 4), ("ef", 2, 3)]);
+}

@@ -1,0 +1,79 @@
+//! The lint's contract with THIS workspace: the real tree under the real
+//! `lint.toml` is clean, the scan visits the right files, and deliberately
+//! injected violations in a real parity-critical file are caught — the
+//! zero-findings state is an active check, not a tautology.
+
+use std::path::Path;
+
+use kg_lint::{lint_source, lint_workspace, render, scan_roots, Config};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap()
+}
+
+fn workspace_config() -> Config {
+    let text = std::fs::read_to_string(workspace_root().join("lint.toml"))
+        .expect("lint.toml at the workspace root");
+    Config::parse(&text).expect("lint.toml parses")
+}
+
+#[test]
+fn workspace_self_scan_is_clean() {
+    let findings = lint_workspace(workspace_root(), &workspace_config()).expect("scan");
+    assert!(findings.is_empty(), "the workspace must lint clean; findings:\n{}", render(&findings));
+}
+
+#[test]
+fn scan_covers_library_sources_and_skips_tests_and_fixtures() {
+    let files = scan_roots(workspace_root()).expect("scan_roots");
+    let rels: Vec<String> = files
+        .iter()
+        .map(|p| p.strip_prefix(workspace_root()).unwrap().to_string_lossy().replace('\\', "/"))
+        .collect();
+    for must in [
+        "crates/core/src/partial.rs",
+        "crates/serve/src/json.rs",
+        "crates/models/src/kernels/x86.rs",
+        "crates/lint/src/rules.rs",
+        "src/lib.rs",
+    ] {
+        assert!(rels.iter().any(|r| r == must), "{must} missing from scan: {rels:#?}");
+    }
+    assert!(
+        rels.iter().all(|r| !r.contains("/tests/") && !r.contains("/fixtures/")),
+        "integration tests and fixtures are out of scope: {rels:#?}"
+    );
+}
+
+#[test]
+fn injected_fma_and_lossy_cast_are_caught() {
+    let cfg = workspace_config();
+    let rel = "crates/core/src/partial.rs";
+    let mut src = std::fs::read_to_string(workspace_root().join(rel)).expect("partial.rs");
+    // Splice in the two parity-breaking bug classes the config guards this
+    // file against: a fused multiply-add and an unjustified lossy cast.
+    src.push_str(
+        "\npub fn smuggled(a: F8, b: F8, c: F8, n: u64) -> u32 {\n    \
+         let _fused = _mm256_fmadd_ps(a, b, c);\n    \
+         n as u32\n}\n",
+    );
+    let findings = lint_source(rel, &src, &cfg);
+    let ids: Vec<&str> = findings.iter().map(|f| f.rule_id).collect();
+    assert!(ids.contains(&"KL004"), "FMA intrinsic must be caught: {findings:#?}");
+    assert!(ids.contains(&"KL005"), "lossy cast must be caught: {findings:#?}");
+    // The intrinsic also lands outside the declared ISA files.
+    assert!(ids.contains(&"KL003"), "ungated intrinsic must be caught: {findings:#?}");
+    // And the unmodified file stays clean — the findings are the splice's.
+    let clean = std::fs::read_to_string(workspace_root().join(rel)).expect("partial.rs");
+    assert!(lint_source(rel, &clean, &cfg).is_empty());
+}
+
+#[test]
+fn rendered_diagnostics_use_file_line_col_format() {
+    let cfg = Config { panic_files: vec!["f.rs".to_string()], ..Config::default() };
+    let findings = lint_source("f.rs", "pub fn f(v: &[u8]) -> u8 {\n    v[0]\n}\n", &cfg);
+    assert_eq!(findings.len(), 1);
+    let text = render(&findings);
+    assert!(text.starts_with("f.rs:2:6: KL008 [panic-surface]:"), "got: {text}");
+    assert!(text.contains("v[0]"), "snippet line rendered: {text}");
+}

@@ -162,9 +162,14 @@ fn resolve_from_env() -> Isa {
 /// (CPU detection + `KG_KERNEL` override); later reads are one relaxed
 /// atomic load, amortised over whole row ranges.
 pub fn active() -> Isa {
+    // ORDERING: Relaxed is enough on both sides — the byte is the only
+    // shared state (no data is published behind it), and every thread
+    // racing through the 0 branch computes the same `resolve_from_env()`
+    // answer, so a duplicated store is idempotent.
     match ACTIVE.load(Ordering::Relaxed) {
         0 => {
             let isa = resolve_from_env();
+            // ORDERING: Relaxed — idempotent cache fill, see above.
             ACTIVE.store(isa.code(), Ordering::Relaxed);
             isa
         }
@@ -178,6 +183,8 @@ pub fn active() -> Isa {
 /// knob; production dispatch normally goes through `KG_KERNEL`/detection.
 pub fn force(isa: Isa) -> Isa {
     let effective = if is_available(isa) { isa } else { Isa::Scalar };
+    // ORDERING: Relaxed — the byte itself is the entire message; callers
+    // that race with `force` get either the old or the new ISA, both valid.
     ACTIVE.store(effective.code(), Ordering::Relaxed);
     effective
 }

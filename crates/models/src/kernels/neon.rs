@@ -15,18 +15,26 @@ use std::arch::aarch64::*;
 use super::scalar::{lane_step, reduce, LANES};
 use super::Combine;
 
+/// # Safety
+/// NEON must be available (baseline on aarch64, where alone this compiles).
 #[inline(always)]
 unsafe fn step(c: Combine, acc: float32x4_t, qa: float32x4_t, ea: float32x4_t) -> float32x4_t {
-    match c {
-        Combine::Dot => vaddq_f32(acc, vmulq_f32(qa, ea)),
-        Combine::NegL1 => vaddq_f32(acc, vabsq_f32(vsubq_f32(qa, ea))),
-        Combine::NegL2 => {
-            let d = vsubq_f32(qa, ea);
-            vaddq_f32(acc, vmulq_f32(d, d))
+    // SAFETY: register-only NEON intrinsics; NEON is baseline on aarch64.
+    unsafe {
+        match c {
+            Combine::Dot => vaddq_f32(acc, vmulq_f32(qa, ea)),
+            Combine::NegL1 => vaddq_f32(acc, vabsq_f32(vsubq_f32(qa, ea))),
+            Combine::NegL2 => {
+                let d = vsubq_f32(qa, ea);
+                vaddq_f32(acc, vmulq_f32(d, d))
+            }
         }
     }
 }
 
+/// # Safety
+/// `full <= q.len()` and `full <= row.len()` so the tail slices are in
+/// bounds; NEON must be available.
 #[inline(always)]
 unsafe fn finish(
     c: Combine,
@@ -37,28 +45,40 @@ unsafe fn finish(
     full: usize,
 ) -> f32 {
     let mut lanes = [0.0f32; LANES];
-    vst1q_f32(lanes.as_mut_ptr(), lo);
-    vst1q_f32(lanes.as_mut_ptr().add(4), hi);
+    // SAFETY: `lanes` is a [f32; 8] on the stack — the two 128-bit stores
+    // write exactly its 32 bytes.
+    unsafe {
+        vst1q_f32(lanes.as_mut_ptr(), lo);
+        vst1q_f32(lanes.as_mut_ptr().add(4), hi);
+    }
     lane_step(c, &mut lanes, &q[full..], &row[full..]);
     reduce(lanes, c)
 }
 
+/// # Safety
+/// The caller must ensure `q.len() == e.len()` (NEON itself is baseline).
 #[target_feature(enable = "neon")]
 unsafe fn combine_one_neon(c: Combine, q: &[f32], e: &[f32]) -> f32 {
     let full = q.len() / LANES * LANES;
     let qp = q.as_ptr();
     let ep = e.as_ptr();
-    let mut lo = vdupq_n_f32(0.0);
-    let mut hi = vdupq_n_f32(0.0);
-    let mut k = 0;
-    while k < full {
-        lo = step(c, lo, vld1q_f32(qp.add(k)), vld1q_f32(ep.add(k)));
-        hi = step(c, hi, vld1q_f32(qp.add(k + 4)), vld1q_f32(ep.add(k + 4)));
-        k += LANES;
+    // SAFETY: `k + LANES <= full <= q.len() == e.len()` bounds every load.
+    unsafe {
+        let mut lo = vdupq_n_f32(0.0);
+        let mut hi = vdupq_n_f32(0.0);
+        let mut k = 0;
+        while k < full {
+            lo = step(c, lo, vld1q_f32(qp.add(k)), vld1q_f32(ep.add(k)));
+            hi = step(c, hi, vld1q_f32(qp.add(k + 4)), vld1q_f32(ep.add(k + 4)));
+            k += LANES;
+        }
+        finish(c, lo, hi, q, e, full)
     }
-    finish(c, lo, hi, q, e, full)
 }
 
+/// # Safety
+/// The caller must ensure `q.len() == dim` and
+/// `rows.len() == out.len() * dim`.
 #[target_feature(enable = "neon")]
 unsafe fn combine_rows_neon(c: Combine, q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
     let full = dim / LANES * LANES;
@@ -68,28 +88,34 @@ unsafe fn combine_rows_neon(c: Combine, q: &[f32], rows: &[f32], dim: usize, out
     // Two-row blocking (4 accumulators) — NEON has fewer registers than
     // AVX2, but one query load still feeds both chains.
     while i + 2 <= n {
-        let r0 = rows.as_ptr().add(i * dim);
-        let r1 = rows.as_ptr().add((i + 1) * dim);
-        let mut lo0 = vdupq_n_f32(0.0);
-        let mut hi0 = vdupq_n_f32(0.0);
-        let mut lo1 = vdupq_n_f32(0.0);
-        let mut hi1 = vdupq_n_f32(0.0);
-        let mut k = 0;
-        while k < full {
-            let qlo = vld1q_f32(qp.add(k));
-            let qhi = vld1q_f32(qp.add(k + 4));
-            lo0 = step(c, lo0, qlo, vld1q_f32(r0.add(k)));
-            hi0 = step(c, hi0, qhi, vld1q_f32(r0.add(k + 4)));
-            lo1 = step(c, lo1, qlo, vld1q_f32(r1.add(k)));
-            hi1 = step(c, hi1, qhi, vld1q_f32(r1.add(k + 4)));
-            k += LANES;
+        // SAFETY: rows `i` and `i+1` exist because `i + 2 <= n` and
+        // `rows.len() == n * dim`; every load offset is `< dim` within its
+        // row.
+        unsafe {
+            let r0 = rows.as_ptr().add(i * dim);
+            let r1 = rows.as_ptr().add((i + 1) * dim);
+            let mut lo0 = vdupq_n_f32(0.0);
+            let mut hi0 = vdupq_n_f32(0.0);
+            let mut lo1 = vdupq_n_f32(0.0);
+            let mut hi1 = vdupq_n_f32(0.0);
+            let mut k = 0;
+            while k < full {
+                let qlo = vld1q_f32(qp.add(k));
+                let qhi = vld1q_f32(qp.add(k + 4));
+                lo0 = step(c, lo0, qlo, vld1q_f32(r0.add(k)));
+                hi0 = step(c, hi0, qhi, vld1q_f32(r0.add(k + 4)));
+                lo1 = step(c, lo1, qlo, vld1q_f32(r1.add(k)));
+                hi1 = step(c, hi1, qhi, vld1q_f32(r1.add(k + 4)));
+                k += LANES;
+            }
+            out[i] = finish(c, lo0, hi0, q, &rows[i * dim..(i + 1) * dim], full);
+            out[i + 1] = finish(c, lo1, hi1, q, &rows[(i + 1) * dim..(i + 2) * dim], full);
         }
-        out[i] = finish(c, lo0, hi0, q, &rows[i * dim..(i + 1) * dim], full);
-        out[i + 1] = finish(c, lo1, hi1, q, &rows[(i + 1) * dim..(i + 2) * dim], full);
         i += 2;
     }
     while i < n {
-        out[i] = combine_one_neon(c, q, &rows[i * dim..(i + 1) * dim]);
+        // SAFETY: `i < n` keeps the row slice in bounds.
+        out[i] = unsafe { combine_one_neon(c, q, &rows[i * dim..(i + 1) * dim]) };
         i += 1;
     }
 }

@@ -453,6 +453,8 @@ mod avx2 {
     use super::super::scalar::{lane_step, reduce, LANES};
     use super::{int8_lane_step, Combine, Pre};
 
+    /// # Safety
+    /// AVX2 must be available and `codes` must point at ≥ 8 readable bytes.
     #[inline(always)]
     unsafe fn int8_step(
         c: Combine,
@@ -461,22 +463,30 @@ mod avx2 {
         sv: __m256,
         codes: *const u8,
     ) -> __m256 {
-        // 8 bytes → 8 exact f32 lanes (both conversions are exact, so this
-        // equals the scalar `code as f32`).
-        let cv = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_loadl_epi64(codes as *const __m128i)));
-        match c {
-            Combine::Dot => _mm256_add_ps(acc, _mm256_mul_ps(av, cv)),
-            Combine::NegL1 => {
-                let t = _mm256_sub_ps(av, _mm256_mul_ps(sv, cv));
-                _mm256_add_ps(acc, _mm256_andnot_ps(_mm256_set1_ps(-0.0), t))
-            }
-            Combine::NegL2 => {
-                let t = _mm256_sub_ps(av, _mm256_mul_ps(sv, cv));
-                _mm256_add_ps(acc, _mm256_mul_ps(t, t))
+        // SAFETY: the 64-bit load reads the 8 bytes the caller guarantees;
+        // everything else is register-only. AVX2 is the caller's contract.
+        unsafe {
+            // 8 bytes → 8 exact f32 lanes (both conversions are exact, so
+            // this equals the scalar `code as f32`).
+            let cv =
+                _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_loadl_epi64(codes.cast::<__m128i>())));
+            match c {
+                Combine::Dot => _mm256_add_ps(acc, _mm256_mul_ps(av, cv)),
+                Combine::NegL1 => {
+                    let t = _mm256_sub_ps(av, _mm256_mul_ps(sv, cv));
+                    _mm256_add_ps(acc, _mm256_andnot_ps(_mm256_set1_ps(-0.0), t))
+                }
+                Combine::NegL2 => {
+                    let t = _mm256_sub_ps(av, _mm256_mul_ps(sv, cv));
+                    _mm256_add_ps(acc, _mm256_mul_ps(t, t))
+                }
             }
         }
     }
 
+    /// # Safety
+    /// AVX2 must be available; `pre.a.len() == scale.len() == dim` and
+    /// `flat.len() == out.len() * dim`.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn int8_rows(
         c: Combine,
@@ -489,22 +499,30 @@ mod avx2 {
         let full = dim / LANES * LANES;
         for (i, o) in out.iter_mut().enumerate() {
             let row = &flat[i * dim..(i + 1) * dim];
-            let mut acc = _mm256_setzero_ps();
-            let mut k = 0;
-            while k < full {
-                let av = _mm256_loadu_ps(pre.a.as_ptr().add(k));
-                let sv = _mm256_loadu_ps(scale.as_ptr().add(k));
-                acc = int8_step(c, acc, av, sv, row.as_ptr().add(k));
-                k += LANES;
+            // SAFETY: `k + LANES <= full <= dim` bounds every load against
+            // `pre.a`, `scale`, and `row` (all `dim` long); the store spills
+            // into a stack [f32; 8]. AVX2 is enabled on this fn.
+            unsafe {
+                let mut acc = _mm256_setzero_ps();
+                let mut k = 0;
+                while k < full {
+                    let av = _mm256_loadu_ps(pre.a.as_ptr().add(k));
+                    let sv = _mm256_loadu_ps(scale.as_ptr().add(k));
+                    acc = int8_step(c, acc, av, sv, row.as_ptr().add(k));
+                    k += LANES;
+                }
+                let mut lanes = [0.0f32; LANES];
+                _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+                int8_lane_step(c, &mut lanes, &pre.a[full..], &scale[full..], &row[full..]);
+                let s = reduce(lanes, c);
+                *o = if matches!(c, Combine::Dot) { s + pre.bias } else { s };
             }
-            let mut lanes = [0.0f32; LANES];
-            _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
-            int8_lane_step(c, &mut lanes, &pre.a[full..], &scale[full..], &row[full..]);
-            let s = reduce(lanes, c);
-            *o = if matches!(c, Combine::Dot) { s + pre.bias } else { s };
         }
     }
 
+    /// # Safety
+    /// AVX2 and F16C must be available; `q.len() == dim` and
+    /// `flat.len() == out.len() * dim`.
     #[target_feature(enable = "avx2,f16c")]
     pub(super) unsafe fn f16_rows(
         c: Combine,
@@ -516,23 +534,29 @@ mod avx2 {
         let full = dim / LANES * LANES;
         for (i, o) in out.iter_mut().enumerate() {
             let row = &flat[i * dim..(i + 1) * dim];
-            let mut acc = _mm256_setzero_ps();
-            let mut k = 0;
-            while k < full {
-                let qa = _mm256_loadu_ps(q.as_ptr().add(k));
-                let ea = _mm256_cvtph_ps(_mm_loadu_si128(row.as_ptr().add(k) as *const __m128i));
-                acc = super::super::x86::step_avx2(c, acc, qa, ea);
-                k += LANES;
+            // SAFETY: `k + LANES <= full <= dim` bounds every load against
+            // `q` and `row` (both `dim` long); the store spills into a
+            // stack [f32; 8]. AVX2+F16C are enabled on this fn.
+            unsafe {
+                let mut acc = _mm256_setzero_ps();
+                let mut k = 0;
+                while k < full {
+                    let qa = _mm256_loadu_ps(q.as_ptr().add(k));
+                    let ea =
+                        _mm256_cvtph_ps(_mm_loadu_si128(row.as_ptr().add(k).cast::<__m128i>()));
+                    acc = super::super::x86::step_avx2(c, acc, qa, ea);
+                    k += LANES;
+                }
+                let mut lanes = [0.0f32; LANES];
+                _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+                let tail = dim - full;
+                let mut tmp = [0.0f32; LANES];
+                for j in 0..tail {
+                    tmp[j] = super::f16_to_f32(row[full + j]);
+                }
+                lane_step(c, &mut lanes, &q[full..], &tmp[..tail]);
+                *o = reduce(lanes, c);
             }
-            let mut lanes = [0.0f32; LANES];
-            _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
-            let tail = dim - full;
-            let mut tmp = [0.0f32; LANES];
-            for j in 0..tail {
-                tmp[j] = super::f16_to_f32(row[full + j]);
-            }
-            lane_step(c, &mut lanes, &q[full..], &tmp[..tail]);
-            *o = reduce(lanes, c);
         }
     }
 }
@@ -540,6 +564,8 @@ mod avx2 {
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
 use avx2::{f16_rows as f16_rows_avx2_impl, int8_rows as int8_rows_avx2_impl};
 
+/// # Safety
+/// Same contract as [`avx2::int8_rows`]: AVX2 available, matching lengths.
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
 unsafe fn int8_rows_avx2(
     c: Combine,
@@ -549,12 +575,17 @@ unsafe fn int8_rows_avx2(
     dim: usize,
     out: &mut [f32],
 ) {
-    int8_rows_avx2_impl(c, pre, scale, flat, dim, out)
+    // SAFETY: forwarded verbatim; the caller upholds the shared contract.
+    unsafe { int8_rows_avx2_impl(c, pre, scale, flat, dim, out) }
 }
 
+/// # Safety
+/// Same contract as [`avx2::f16_rows`]: AVX2+F16C available, matching
+/// lengths.
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
 unsafe fn f16_rows_avx2(c: Combine, q: &[f32], flat: &[u16], dim: usize, out: &mut [f32]) {
-    f16_rows_avx2_impl(c, q, flat, dim, out)
+    // SAFETY: forwarded verbatim; the caller upholds the shared contract.
+    unsafe { f16_rows_avx2_impl(c, q, flat, dim, out) }
 }
 
 #[cfg(test)]

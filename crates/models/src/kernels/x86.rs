@@ -24,47 +24,70 @@ use super::scalar::{lane_step, reduce, LANES};
 use super::Combine;
 
 /// One SIMD lane-update: `acc[j] op= f(q[j], e[j])` for the 8 lanes.
+///
+/// # Safety
+/// The caller must ensure AVX2 is available on the host (every caller is
+/// a `#[target_feature(enable = "avx2")]` fn reached via dispatch).
 #[inline(always)]
 pub(super) unsafe fn step_avx2(c: Combine, acc: __m256, qa: __m256, ea: __m256) -> __m256 {
-    match c {
-        Combine::Dot => _mm256_add_ps(acc, _mm256_mul_ps(qa, ea)),
-        Combine::NegL1 => {
-            let d = _mm256_sub_ps(qa, ea);
-            // Clear the sign bit — exactly `f32::abs` (NaN payloads kept).
-            let abs = _mm256_andnot_ps(_mm256_set1_ps(-0.0), d);
-            _mm256_add_ps(acc, abs)
-        }
-        Combine::NegL2 => {
-            let d = _mm256_sub_ps(qa, ea);
-            _mm256_add_ps(acc, _mm256_mul_ps(d, d))
+    // SAFETY: AVX2 availability is the caller's contract (`# Safety`
+    // above); these intrinsics are register-only and touch no memory.
+    unsafe {
+        match c {
+            Combine::Dot => _mm256_add_ps(acc, _mm256_mul_ps(qa, ea)),
+            Combine::NegL1 => {
+                let d = _mm256_sub_ps(qa, ea);
+                // Clear the sign bit — exactly `f32::abs` (NaN payloads kept).
+                let abs = _mm256_andnot_ps(_mm256_set1_ps(-0.0), d);
+                _mm256_add_ps(acc, abs)
+            }
+            Combine::NegL2 => {
+                let d = _mm256_sub_ps(qa, ea);
+                _mm256_add_ps(acc, _mm256_mul_ps(d, d))
+            }
         }
     }
 }
 
 /// Spill the SIMD accumulator to the scalar lane array, fold the row tail
 /// in with the scalar lane update, and run the scalar reduction tree.
+///
+/// # Safety
+/// The caller must ensure AVX2 is available, and `full <= q.len()` and
+/// `full <= row.len()` so the tail slices are in bounds.
 #[inline(always)]
 unsafe fn finish(c: Combine, acc: __m256, q: &[f32], row: &[f32], full: usize) -> f32 {
     let mut lanes = [0.0f32; LANES];
-    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    // SAFETY: `lanes` is a [f32; 8] on the stack — exactly the 32 bytes an
+    // unaligned 256-bit store writes; AVX2 is the caller's contract.
+    unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
     lane_step(c, &mut lanes, &q[full..], &row[full..]);
     reduce(lanes, c)
 }
 
+/// # Safety
+/// The caller must ensure AVX2 is available and `q.len() == e.len()`.
 #[target_feature(enable = "avx2")]
 unsafe fn combine_one_avx2(c: Combine, q: &[f32], e: &[f32]) -> f32 {
     let full = q.len() / LANES * LANES;
-    let mut acc = _mm256_setzero_ps();
     let qp = q.as_ptr();
     let ep = e.as_ptr();
-    let mut k = 0;
-    while k < full {
-        acc = step_avx2(c, acc, _mm256_loadu_ps(qp.add(k)), _mm256_loadu_ps(ep.add(k)));
-        k += LANES;
+    // SAFETY: `k + LANES <= full <= q.len() == e.len()` bounds every load;
+    // AVX2 is enabled on this fn and asserted available by dispatch.
+    unsafe {
+        let mut acc = _mm256_setzero_ps();
+        let mut k = 0;
+        while k < full {
+            acc = step_avx2(c, acc, _mm256_loadu_ps(qp.add(k)), _mm256_loadu_ps(ep.add(k)));
+            k += LANES;
+        }
+        finish(c, acc, q, e, full)
     }
-    finish(c, acc, q, e, full)
 }
 
+/// # Safety
+/// The caller must ensure AVX2 is available, `q.len() == dim`, and
+/// `rows.len() == out.len() * dim`.
 #[target_feature(enable = "avx2")]
 unsafe fn combine_rows_avx2(c: Combine, q: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
     let full = dim / LANES * LANES;
@@ -73,31 +96,38 @@ unsafe fn combine_rows_avx2(c: Combine, q: &[f32], rows: &[f32], dim: usize, out
     let mut i = 0;
     // Four-row register blocking: one query load feeds four chains.
     while i + 4 <= n {
-        let r0 = rows.as_ptr().add(i * dim);
-        let r1 = rows.as_ptr().add((i + 1) * dim);
-        let r2 = rows.as_ptr().add((i + 2) * dim);
-        let r3 = rows.as_ptr().add((i + 3) * dim);
-        let mut a0 = _mm256_setzero_ps();
-        let mut a1 = _mm256_setzero_ps();
-        let mut a2 = _mm256_setzero_ps();
-        let mut a3 = _mm256_setzero_ps();
-        let mut k = 0;
-        while k < full {
-            let qa = _mm256_loadu_ps(qp.add(k));
-            a0 = step_avx2(c, a0, qa, _mm256_loadu_ps(r0.add(k)));
-            a1 = step_avx2(c, a1, qa, _mm256_loadu_ps(r1.add(k)));
-            a2 = step_avx2(c, a2, qa, _mm256_loadu_ps(r2.add(k)));
-            a3 = step_avx2(c, a3, qa, _mm256_loadu_ps(r3.add(k)));
-            k += LANES;
+        // SAFETY: rows `i..i+4` exist because `i + 4 <= n` and
+        // `rows.len() == n * dim`; every load offset is `< dim` within its
+        // row. AVX2 is enabled on this fn.
+        unsafe {
+            let r0 = rows.as_ptr().add(i * dim);
+            let r1 = rows.as_ptr().add((i + 1) * dim);
+            let r2 = rows.as_ptr().add((i + 2) * dim);
+            let r3 = rows.as_ptr().add((i + 3) * dim);
+            let mut a0 = _mm256_setzero_ps();
+            let mut a1 = _mm256_setzero_ps();
+            let mut a2 = _mm256_setzero_ps();
+            let mut a3 = _mm256_setzero_ps();
+            let mut k = 0;
+            while k < full {
+                let qa = _mm256_loadu_ps(qp.add(k));
+                a0 = step_avx2(c, a0, qa, _mm256_loadu_ps(r0.add(k)));
+                a1 = step_avx2(c, a1, qa, _mm256_loadu_ps(r1.add(k)));
+                a2 = step_avx2(c, a2, qa, _mm256_loadu_ps(r2.add(k)));
+                a3 = step_avx2(c, a3, qa, _mm256_loadu_ps(r3.add(k)));
+                k += LANES;
+            }
+            out[i] = finish(c, a0, q, &rows[i * dim..(i + 1) * dim], full);
+            out[i + 1] = finish(c, a1, q, &rows[(i + 1) * dim..(i + 2) * dim], full);
+            out[i + 2] = finish(c, a2, q, &rows[(i + 2) * dim..(i + 3) * dim], full);
+            out[i + 3] = finish(c, a3, q, &rows[(i + 3) * dim..(i + 4) * dim], full);
         }
-        out[i] = finish(c, a0, q, &rows[i * dim..(i + 1) * dim], full);
-        out[i + 1] = finish(c, a1, q, &rows[(i + 1) * dim..(i + 2) * dim], full);
-        out[i + 2] = finish(c, a2, q, &rows[(i + 2) * dim..(i + 3) * dim], full);
-        out[i + 3] = finish(c, a3, q, &rows[(i + 3) * dim..(i + 4) * dim], full);
         i += 4;
     }
     while i < n {
-        out[i] = combine_one_avx2(c, q, &rows[i * dim..(i + 1) * dim]);
+        // SAFETY: `i < n` keeps the row slice in bounds; slice lengths
+        // match `combine_one_avx2`'s contract.
+        out[i] = unsafe { combine_one_avx2(c, q, &rows[i * dim..(i + 1) * dim]) };
         i += 1;
     }
 }

@@ -12,6 +12,12 @@
 //! makes "score every entity" (the expensive full-ranking primitive) a
 //! single pass over the embedding table.
 
+// The only crate (with kg-core) allowed to contain unsafe code, and only behind the
+// unsafe-op-in-unsafe-fn discipline: every unsafe operation sits in an
+// explicit `unsafe {}` block with its own `// SAFETY:` comment (audited by
+// kg-lint KL002 and clippy's undocumented_unsafe_blocks).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod complex;
 pub mod conve;
 pub mod distmult;

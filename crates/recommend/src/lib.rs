@@ -19,6 +19,10 @@
 //! threshold optimiser (§4.1), per-relation candidate sampling (Random /
 //! Static / Probabilistic), and the easy-negative miner (Table 2 / 10).
 
+// Grown, not assumed: kg-lint (KL002/KL003) audits the crates that *do*
+// need unsafe; everything else proves it needs none at compile time.
+#![forbid(unsafe_code)]
+
 pub mod candidates;
 pub mod criteria;
 pub mod dbh;

@@ -171,6 +171,10 @@ impl<I: Copy, O: Clone> BatchCore<I, O> {
                     for job in &batch {
                         let n = job.items.len();
                         let mut result = job.slot.result.lock().unwrap();
+                        // PANIC-OK: the Ok arm guarantees
+                        // `outputs.len() == flat.len()` = sum of all job
+                        // item counts, so every `offset..offset + n` is in
+                        // bounds by construction.
                         *result = Some(Outcome::Done(outputs[offset..offset + n].to_vec()));
                         job.slot.ready.notify_all();
                         offset += n;
@@ -192,11 +196,18 @@ impl<I: Copy, O: Clone> BatchCore<I, O> {
 
         let mut result = slot.result.lock().unwrap();
         while result.is_none() {
+            // PANIC-OK: condvar wait only errors on mutex poisoning, i.e. a
+            // panic that already happened elsewhere — rethrowing it here
+            // adds no new panic surface.
             result = slot.ready.wait(result).unwrap();
         }
+        // PANIC-OK: the loop above exits only when the slot was filled.
         match result.take().unwrap() {
             Outcome::Done(out) => out,
             Outcome::Poisoned => {
+                // PANIC-OK: deliberate panic propagation — the leader's
+                // execution pass panicked and `resume_unwind` already tore
+                // down that request; followers must fail too, not hang.
                 panic!("coalesced batch panicked in another request's execution pass")
             }
         }
@@ -291,6 +302,8 @@ impl ScoreBatcher {
             // The single parallel pass over every triple of every
             // coalesced job.
             |flat| {
+                // PANIC-OK: `i < flat.len()` by parallel_map_indexed's
+                // contract.
                 parallel_map_indexed(flat.len(), self.threads, |i| self.engine.score_one(flat[i]))
             },
             |jobs, triples| {
@@ -489,6 +502,8 @@ impl TopKBatcher {
             let mut cache = self.cache.lock().unwrap();
             for (i, q) in queries.iter().enumerate() {
                 match cache.get(&TopKCacheKey::of(q)) {
+                    // PANIC-OK: `i` enumerates `queries`, and `results` was
+                    // sized to `queries.len()` two lines up.
                     Some(c) if c.version == version_before => results[i] = Some(c.result.clone()),
                     _ => misses.push((i, *q)),
                 }
@@ -514,9 +529,13 @@ impl TopKBatcher {
                         CachedTopK { result: out.clone(), version: version_before },
                     );
                 }
+                // PANIC-OK: every index in `misses` came from enumerating
+                // `queries`, which sized `results`.
                 results[i] = Some(out);
             }
         }
+        // PANIC-OK: each slot was filled by the cache-hit loop or the miss
+        // loop — `misses` holds exactly the indices the first loop skipped.
         results.into_iter().map(|r| r.expect("every query answered")).collect()
     }
 
@@ -531,10 +550,14 @@ impl TopKBatcher {
                 let snap = self.live.snapshot();
                 let split = two_level_split(flat.len(), self.threads);
                 parallel_map_indexed(flat.len(), split.outer, |i| {
+                    // PANIC-OK: `i < flat.len()` by parallel_map_indexed's
+                    // contract.
                     let q = flat[i];
                     let known = if q.filtered {
                         snap.known_answers(q.triple, q.side)
                     } else {
+                        // PANIC-OK: full-range slice of an empty array
+                        // literal — cannot be out of bounds.
                         std::borrow::Cow::Borrowed(&[][..])
                     };
                     self.engine.top_k_fanout(q.triple, q.side, &known, q.k, split.inner)

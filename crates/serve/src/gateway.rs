@@ -224,6 +224,9 @@ impl Gateway {
 
     /// Whether every backend is currently believed healthy.
     pub fn all_healthy(&self) -> bool {
+        // ORDERING: Relaxed — the health flag is advisory and publishes no
+        // data; a stale read costs one misrouted request, which fails and
+        // re-marks the backend itself.
         self.inner.backends.iter().all(|b| b.healthy.load(Ordering::Relaxed))
     }
 
@@ -236,6 +239,8 @@ impl Gateway {
             .map(|b| {
                 Json::obj([
                     ("addr", Json::Str(b.label.clone())),
+                    // ORDERING: Relaxed — advisory health flag, see
+                    // `all_healthy`.
                     ("healthy", Json::Bool(b.healthy.load(Ordering::Relaxed))),
                 ])
             })
@@ -277,6 +282,8 @@ impl Gateway {
             };
             scores.extend_from_slice(part);
         }
+        // PANIC-OK: scatter_gather errors out when no backend answered, so
+        // `parsed` is nonempty here.
         let model = parsed[0].1.get("model").cloned().unwrap_or(Json::Null);
         let out = Response::json_ok(Json::obj([
             ("model", model),
@@ -348,6 +355,8 @@ impl Gateway {
         // The exact fold a single node runs over the same rank sequence —
         // bit-identical metrics, not recomputed approximations.
         let m = RankingMetrics::from_ranks(&ranks);
+        // PANIC-OK: scatter_gather errors out when no backend answered, so
+        // `parsed` is nonempty here.
         let first = &parsed[0].1;
         let echo = |key: &str| first.get(key).cloned().unwrap_or(Json::Null);
         let mut fields = vec![
@@ -443,6 +452,8 @@ impl Gateway {
         }
         // Decode and merge per query, in backend order (the merge is
         // order-independent; a fixed order keeps failures deterministic).
+        // PANIC-OK: scatter_gather errors out when no backend answered, so
+        // `parsed` is nonempty here.
         let first = &parsed[0].1;
         let num_queries = first.get("partials").and_then(Json::as_array).map_or(0, <[Json]>::len);
         let mut merged: Vec<Option<PartialTopK>> = vec![None; num_queries];
@@ -458,6 +469,8 @@ impl Gateway {
                 let Some(Ok(partial)) = decoded else {
                     return self.bad_backend("malformed PartialTopK on the wire");
                 };
+                // PANIC-OK: `qi` enumerates `partials`, whose length was
+                // just checked equal to `num_queries` == `merged.len()`.
                 match &mut merged[qi] {
                     Some(acc) => acc.merge(partial),
                     slot => *slot = Some(partial),
@@ -531,7 +544,10 @@ impl Gateway {
     /// the "cannot decompose" path that keeps error bodies identical to
     /// a single node's.
     fn relay_to_first(&self, path: &str, body: &str) -> Response {
+        // PANIC-OK: the constructor rejects an empty backend list, so
+        // backend 0 always exists.
         let backend = &self.inner.backends[0];
+        // ORDERING: Relaxed — advisory health flag, see `all_healthy`.
         if !backend.healthy.load(Ordering::Relaxed) {
             return self.unavailable(&backend.label);
         }
@@ -554,6 +570,7 @@ impl Gateway {
     ) -> Result<Vec<Option<(u16, String)>>, Response> {
         debug_assert_eq!(bodies.len(), self.inner.backends.len());
         for (backend, body) in self.inner.backends.iter().zip(bodies) {
+            // ORDERING: Relaxed — advisory health flag, see `all_healthy`.
             if body.is_some() && !backend.healthy.load(Ordering::Relaxed) {
                 return Err(self.unavailable(&backend.label));
             }
@@ -568,6 +585,8 @@ impl Gateway {
                     body.map(|body| scope.spawn(move || backend.call("POST", path, Some(body))))
                 })
                 .collect();
+            // PANIC-OK: join() errs only if the worker panicked —
+            // propagating that panic is the correct outcome, not a new one.
             handles.into_iter().map(|h| h.map(|h| h.join().expect("scatter worker"))).collect()
         });
         let mut out = Vec::with_capacity(results.len());
@@ -614,6 +633,7 @@ impl Gateway {
     }
 
     fn mark_failed(&self, backend: &Backend) {
+        // ORDERING: Relaxed — advisory health flag, see `all_healthy`.
         backend.healthy.store(false, Ordering::Relaxed);
         self.inner.metrics.gateway_backend_error(&backend.label);
     }
@@ -657,8 +677,13 @@ fn probe_loop(inner: Weak<Inner>, interval: Duration) {
                 conn.get("/healthz")
             };
             match probe() {
+                // ORDERING: Relaxed — advisory health flag, see
+                // `all_healthy`; the swap is only for edge-triggered error
+                // accounting, not synchronization.
                 Ok((200, _)) => backend.healthy.store(true, Ordering::Relaxed),
                 _ => {
+                    // ORDERING: Relaxed — advisory flag; the swap is for
+                    // edge-triggered error accounting, not synchronization.
                     let was_healthy = backend.healthy.swap(false, Ordering::Relaxed);
                     if was_healthy {
                         gw.metrics.gateway_backend_error(&backend.label);
@@ -699,6 +724,8 @@ fn chunk_field(
                 return None;
             }
             let mut piece = request.clone();
+            // PANIC-OK: `ShardPlan::range(i)` partitions `0..items.len()`
+            // for `i < num_shards`, checked above.
             set_field(&mut piece, field, Json::Arr(items[plan.range(i)].to_vec()));
             Some(piece.to_string())
         })

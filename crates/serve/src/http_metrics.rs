@@ -28,6 +28,8 @@ impl Reservoir {
         if self.samples.len() < LATENCY_WINDOW {
             self.samples.push(value);
         } else {
+            // PANIC-OK: `next_slot` wraps modulo LATENCY_WINDOW and the
+            // else-branch means `samples.len() == LATENCY_WINDOW`.
             self.samples[self.next_slot] = value;
             self.next_slot = (self.next_slot + 1) % LATENCY_WINDOW;
         }
@@ -460,7 +462,7 @@ impl HttpMetrics {
         for ep in &endpoints {
             out.push_str(&format!(
                 "kg_serve_requests_total{{endpoint=\"{ep}\"}} {}\n",
-                map[*ep].requests
+                map[*ep].requests // PANIC-OK: `ep` came from `map.keys()`.
             ));
         }
         out.push_str("# HELP kg_serve_request_errors_total Responses with status >= 400.\n");
@@ -468,7 +470,7 @@ impl HttpMetrics {
         for ep in &endpoints {
             out.push_str(&format!(
                 "kg_serve_request_errors_total{{endpoint=\"{ep}\"}} {}\n",
-                map[*ep].errors
+                map[*ep].errors // PANIC-OK: `ep` came from `map.keys()`.
             ));
         }
         out.push_str(
@@ -476,6 +478,7 @@ impl HttpMetrics {
         );
         out.push_str("# TYPE kg_serve_latency_seconds summary\n");
         for ep in &endpoints {
+            // PANIC-OK: `ep` came from `map.keys()`.
             let Some(sorted) = map[*ep].latencies_us.sorted() else { continue };
             for (label, q) in [("0.5", 0.50), ("0.99", 0.99)] {
                 out.push_str(&format!(
@@ -520,7 +523,7 @@ impl HttpMetrics {
                 out.push_str(&format!(
                     "kg_serve_score_batch_window_us{{model=\"{}\"}} {}\n",
                     escape_label(m),
-                    windows[m]
+                    windows[m] // PANIC-OK: `m` came from `windows.keys()`.
                 ));
             }
         }
@@ -555,6 +558,7 @@ impl HttpMetrics {
                 out.push_str(&format!(
                     "kg_serve_topk_batch_window_us{{model=\"{}\"}} {}\n",
                     escape_label(m),
+                    // PANIC-OK: `m` came from `topk_windows.keys()`.
                     topk_windows[m]
                 ));
             }
@@ -571,6 +575,7 @@ impl HttpMetrics {
                 out.push_str(&format!(
                     "kg_serve_graph_version{{model=\"{}\"}} {}\n",
                     escape_label(m),
+                    // PANIC-OK: `m` came from `graph_versions.keys()`.
                     graph_versions[m]
                 ));
             }
@@ -598,6 +603,7 @@ impl HttpMetrics {
                 out.push_str(&format!(
                     "kg_serve_model_precision_info{{model=\"{}\",precision=\"{}\"}} 1\n",
                     escape_label(m),
+                    // PANIC-OK: `m` came from `precisions.keys()`.
                     precisions[m]
                 ));
             }
@@ -653,7 +659,7 @@ impl HttpMetrics {
                 out.push_str(&format!(
                     "kg_serve_monitor_mrr{{model=\"{}\"}} {}\n",
                     escape_label(m),
-                    monitors[*m].mrr
+                    monitors[*m].mrr // PANIC-OK: `m` came from `monitors.keys()`.
                 ));
             }
             out.push_str(
@@ -661,6 +667,7 @@ impl HttpMetrics {
             );
             out.push_str("# TYPE kg_serve_monitor_hits_at_k gauge\n");
             for m in &models {
+                // PANIC-OK: `m` came from `monitors.keys()`.
                 let g = monitors[*m];
                 for (k, v) in [("1", g.hits1), ("3", g.hits3), ("10", g.hits10)] {
                     out.push_str(&format!(
@@ -677,7 +684,7 @@ impl HttpMetrics {
                 out.push_str(&format!(
                     "kg_serve_monitor_baseline_mrr{{model=\"{}\"}} {}\n",
                     escape_label(m),
-                    monitors[*m].baseline_mrr
+                    monitors[*m].baseline_mrr // PANIC-OK: `m` came from `monitors.keys()`.
                 ));
             }
             out.push_str(
@@ -688,6 +695,7 @@ impl HttpMetrics {
                 out.push_str(&format!(
                     "kg_serve_monitor_drift_alarm{{model=\"{}\"}} {}\n",
                     escape_label(m),
+                    // PANIC-OK: `m` came from `monitors.keys()`.
                     u64::from(monitors[*m].drift_alarm)
                 ));
             }
@@ -699,7 +707,7 @@ impl HttpMetrics {
                 out.push_str(&format!(
                     "kg_serve_monitor_evals_total{{model=\"{}\"}} {}\n",
                     escape_label(m),
-                    monitors[*m].evals
+                    monitors[*m].evals // PANIC-OK: `m` is a `monitors` key.
                 ));
             }
             out.push_str(
@@ -710,6 +718,7 @@ impl HttpMetrics {
                 out.push_str(&format!(
                     "kg_serve_monitor_eval_age_seconds{{model=\"{}\"}} {}\n",
                     escape_label(m),
+                    // PANIC-OK: `m` came from `monitors.keys()`.
                     (uptime - monitors[*m].last_eval_uptime).max(0.0)
                 ));
             }
@@ -728,6 +737,7 @@ impl HttpMetrics {
                 out.push_str(&format!(
                     "kg_serve_gateway_backend_errors_total{{backend=\"{}\"}} {}\n",
                     escape_label(b),
+                    // PANIC-OK: `b` came from `backend_errors.keys()`.
                     backend_errors[b]
                 ));
             }
@@ -754,6 +764,7 @@ impl HttpMetrics {
             endpoints.sort();
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
             for ep in endpoints {
+                // PANIC-OK: `ep` came from `map.keys()`.
                 let Some(sorted) = map[ep].sorted() else { continue };
                 for (label, q) in [("0.5", 0.50), ("0.99", 0.99)] {
                     out.push_str(&format!(
@@ -788,6 +799,7 @@ fn escape_label(value: &str) -> String {
 fn percentile(sorted: &[u64], q: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
     let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    // PANIC-OK: `rank` is clamped to `1..=sorted.len()` one line up.
     sorted[rank - 1] as f64
 }
 

@@ -42,6 +42,7 @@ pub struct JsonError {
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // PARITY: error text only — never part of a scored response body.
         write!(f, "JSON error at byte {}: {}", self.offset, self.message)
     }
 }
@@ -90,6 +91,8 @@ impl Json {
     /// The value as a non-negative integer, if it is one exactly.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            // PARITY: the guard admits only non-negative integers with
+            // zero fraction below 2^53 — every such value converts exactly.
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
             _ => None,
         }
@@ -97,6 +100,8 @@ impl Json {
 
     /// [`Json::as_u64`] narrowed to `usize`.
     pub fn as_usize(&self) -> Option<usize> {
+        // PARITY: exact — `as_u64` bounds v below 2^53 and every supported
+        // target has 64-bit `usize`.
         self.as_u64().map(|v| v as usize)
     }
 
@@ -139,9 +144,14 @@ impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Json::Null => f.write_str("null"),
+            // PARITY: bool Display is `true`/`false` — exact.
             Json::Bool(b) => write!(f, "{b}"),
             Json::Num(n) => {
                 if n.is_finite() {
+                    // PARITY: the one deliberate float-Display site. Rust
+                    // emits the shortest decimal that reparses to the same
+                    // f64 bits, so encode→parse round-trips bit-exactly;
+                    // asserted by json tests and the gateway parity suite.
                     write!(f, "{n}")
                 } else {
                     // JSON has no Inf/NaN; null is the conventional stand-in.
@@ -155,6 +165,8 @@ impl fmt::Display for Json {
                     if i > 0 {
                         f.write_str(",")?;
                     }
+                    // PARITY: recursive Display — every leaf is audited
+                    // here (Num above is the only float case).
                     write!(f, "{item}")?;
                 }
                 f.write_str("]")
@@ -167,6 +179,8 @@ impl fmt::Display for Json {
                     }
                     write_escaped(f, k)?;
                     f.write_str(":")?;
+                    // PARITY: recursive Display — every leaf is audited
+                    // here (Num above is the only float case).
                     write!(f, "{v}")?;
                 }
                 f.write_str("}")
@@ -184,7 +198,10 @@ fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
             '\n' => f.write_str("\\n")?,
             '\r' => f.write_str("\\r")?,
             '\t' => f.write_str("\\t")?,
+            // PARITY: char→u32 is a widening, exact conversion; `{:04x}`
+            // and char Display are both exact.
             c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            // PARITY: char Display is the character itself — exact.
             c => write!(f, "{c}")?,
         }
     }
@@ -211,20 +228,24 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
         } else {
+            // PARITY: error text only; u8→char on a byte we matched.
             Err(self.err(&format!("expected '{}'", b as char)))
         }
     }
 
     fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        // PANIC-OK: `pos <= bytes.len()` is the parser invariant (pos only
+        // advances past peeked bytes), so the range slice is in bounds.
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(value)
         } else {
+            // PARITY: error text only.
             Err(self.err(&format!("expected '{lit}'")))
         }
     }
@@ -244,7 +265,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -255,7 +276,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             pairs.push((key, value));
@@ -272,7 +293,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -295,7 +316,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -320,6 +341,8 @@ impl<'a> Parser<'a> {
                             let cp = self.hex4()?;
                             // Surrogate pairs for astral-plane characters.
                             let c = if (0xD800..0xDC00).contains(&cp) {
+                                // PANIC-OK: `pos <= bytes.len()` parser
+                                // invariant keeps the range slice in bounds.
                                 if !self.bytes[self.pos..].starts_with(b"\\u") {
                                     return Err(self.err("unpaired surrogate"));
                                 }
@@ -352,6 +375,8 @@ impl<'a> Parser<'a> {
                         }
                         self.pos += 1;
                     }
+                    // PANIC-OK: `start <= pos <= bytes.len()` — both were
+                    // cursor positions.
                     let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid UTF-8 in string"))?;
                     out.push_str(chunk);
@@ -364,6 +389,7 @@ impl<'a> Parser<'a> {
         if self.pos + 4 > self.bytes.len() {
             return Err(self.err("truncated unicode escape"));
         }
+        // PANIC-OK: the length check above guarantees `pos + 4 <= len`.
         let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
             .map_err(|_| self.err("invalid unicode escape"))?;
         let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid unicode escape"))?;
@@ -394,9 +420,12 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
+        // PANIC-OK: `start..pos` spans only ASCII sign/digit/dot/exponent
+        // bytes just scanned, so the slice is in bounds and valid UTF-8.
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         text.parse::<f64>()
             .map(Json::Num)
+            // PARITY: error text only.
             .map_err(|_| JsonError { offset: start, message: format!("invalid number '{text}'") })
     }
 }

@@ -162,6 +162,10 @@
 //! server.shutdown();
 //! ```
 
+// Grown, not assumed: kg-lint (KL002/KL003) audits the crates that *do*
+// need unsafe; everything else proves it needs none at compile time.
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod client;
 pub mod gateway;

@@ -149,6 +149,9 @@ impl Monitor {
         let thread = thread::Builder::new()
             .name(format!("kg-monitor-{}", shared.model))
             .spawn(move || Monitor::run(&worker))
+            // PANIC-OK: spawn fails only when the OS is out of threads at
+            // model-registration time — startup configuration, not a
+            // request path.
             .expect("spawn monitor thread");
         Monitor { shared, thread: Some(thread) }
     }
@@ -166,6 +169,8 @@ impl Monitor {
                 }
                 state = match shared.config.interval {
                     Some(interval) => {
+                        // PANIC-OK: condvar wait errs only on mutex
+                        // poisoning — a panic already in flight elsewhere.
                         let (guard, timeout) = shared.cond.wait_timeout(state, interval).unwrap();
                         if timeout.timed_out() {
                             let mut guard = guard;
@@ -181,6 +186,7 @@ impl Monitor {
                             guard
                         }
                     }
+                    // PANIC-OK: condvar wait errs only on mutex poisoning.
                     None => shared.cond.wait(state).unwrap(),
                 };
             }

@@ -372,10 +372,13 @@ impl Router {
         // across workers, spare threads fanning each query's range out.
         let split = kg_core::parallel::two_level_split(queries.len(), entry.threads());
         let partials = kg_core::parallel::parallel_map_indexed(queries.len(), split.outer, |i| {
+            // PANIC-OK: `i < queries.len()` by parallel_map_indexed's
+            // contract.
             let (triple, side) = queries[i];
             let known = if filtered {
                 snapshot.known_answers(triple, side)
             } else {
+                // PANIC-OK: full-range slice of an empty array literal.
                 std::borrow::Cow::Borrowed(&[][..])
             };
             engine.partial_top_k(triple, side, &known, k, range.clone(), split.inner).encode()
@@ -423,10 +426,13 @@ impl Router {
         let queries = kg_eval::ranker::queries_of(&triples);
         let split = kg_core::parallel::two_level_split(queries.len(), entry.threads());
         let partials = kg_core::parallel::parallel_map_indexed(queries.len(), split.outer, |i| {
+            // PANIC-OK: `i < queries.len()` by parallel_map_indexed's
+            // contract.
             let (triple, side) = queries[i];
             let known = if filtered {
                 snapshot.known_answers(triple, side)
             } else {
+                // PANIC-OK: full-range slice of an empty array literal.
                 std::borrow::Cow::Borrowed(&[][..])
             };
             engine.partial_rank_counts(triple, side, &known, range.clone(), split.inner).encode()
@@ -783,6 +789,7 @@ fn parse_triple_field(
                 format!("{field}[{i}] must hold three non-negative integers"),
             ));
         }
+        // PANIC-OK: `ids.len() == 3` was checked directly above.
         let (h, r, t) = (ids[0], ids[1], ids[2]);
         if h >= ne || t >= ne {
             return Err(Response::error(

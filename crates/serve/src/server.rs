@@ -171,6 +171,9 @@ impl ServerHandle {
     /// finishing a kept-alive connection stop renewing it at the next
     /// request boundary (or its idle timeout).
     pub fn shutdown(mut self) {
+        // ORDERING: SeqCst deliberately — shutdown is a once-per-process
+        // cold path, and the flag must be globally visible before the
+        // wake-up connection below races the acceptor's next load.
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the acceptor with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
@@ -263,6 +266,10 @@ impl ConnectionBudget {
 
     fn try_acquire(self: &Arc<Self>) -> Option<ConnectionPermit> {
         self.available
+            // ORDERING: AcqRel on success pairs with the Release half of
+            // the drop's fetch_add — acquiring a permit happens-after the
+            // release that freed it, so permit-guarded state hands off
+            // cleanly.
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
             .ok()
             .map(|_| ConnectionPermit { budget: Arc::clone(self) })
@@ -275,6 +282,8 @@ struct ConnectionPermit {
 
 impl Drop for ConnectionPermit {
     fn drop(&mut self) {
+        // ORDERING: AcqRel — the Release half publishes this connection's
+        // teardown to the next `try_acquire`; see above.
         self.budget.available.fetch_add(1, Ordering::AcqRel);
     }
 }
@@ -324,6 +333,9 @@ pub fn serve(router: Router, config: &ServerConfig) -> std::io::Result<ServerHan
             let stop = Arc::clone(&stop);
             let tuning = tuning.clone();
             std::thread::spawn(move || loop {
+                // PANIC-OK: channel mutex poisoning means another worker
+                // panicked outside its catch_unwind — unrecoverable, and
+                // rethrowing here is the only honest option.
                 let (stream, _permit, admitted) = match rx.lock().unwrap().recv() {
                     Ok(s) => s,
                     Err(_) => return, // sender dropped: shutdown
@@ -356,6 +368,10 @@ pub fn serve(router: Router, config: &ServerConfig) -> std::io::Result<ServerHan
             // past it, drop the connection unanswered.
             let reject = |s: TcpStream, status: u16, message: &'static str, retry_after: u64| {
                 let admitted = inflight_rejects
+                    // ORDERING: AcqRel pairs with the decrement below — an
+                    // admit happens-after the completion of the rejection
+                    // slot it reuses, bounding live reject threads at the
+                    // cap.
                     .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
                         (n < MAX_INFLIGHT_REJECTS).then_some(n + 1)
                     })
@@ -364,11 +380,15 @@ pub fn serve(router: Router, config: &ServerConfig) -> std::io::Result<ServerHan
                     let inflight = Arc::clone(&inflight_rejects);
                     std::thread::spawn(move || {
                         let _ = reject_connection(s, status, message, retry_after);
+                        // ORDERING: AcqRel — the Release half publishes
+                        // this slot's completion to the next fetch_update.
                         inflight.fetch_sub(1, Ordering::AcqRel);
                     });
                 }
             };
             for stream in listener.incoming() {
+                // ORDERING: SeqCst pairs with the store in `shutdown` —
+                // cold per-connection check, clarity over cycles.
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
@@ -498,6 +518,8 @@ fn handle_connection(
             metrics.connection_reused();
         }
         let remaining = tuning.max_requests_per_connection.saturating_sub(served);
+        // ORDERING: SeqCst pairs with the store in `shutdown`; once per
+        // request, not per byte, so the fence cost is noise.
         let keep = request.keep_alive && remaining > 0 && !stop.load(Ordering::SeqCst);
         let response = router.handle(&request.method, &request.path, &request.body);
         let directive = if keep {
@@ -634,6 +656,7 @@ fn read_line_limited(
             return Err(ParseError::Bad(431, "request header section too large"));
         }
         *budget -= take;
+        // PANIC-OK: both arms above bound `take` by `available.len()`.
         buf.extend_from_slice(&available[..take]);
         reader.consume(take);
         if done {
@@ -789,6 +812,8 @@ fn read_request(
         if reader.buffer().is_empty() {
             arm_deadline(reader, *started, read_timeout)?;
         }
+        // PANIC-OK: the loop condition keeps `filled < content_length`
+        // == `body.len()`.
         match reader.read(&mut body[filled..]) {
             Ok(0) => return Err(ParseError::Io(std::io::ErrorKind::UnexpectedEof.into())),
             Ok(n) => filled += n,
@@ -847,6 +872,7 @@ fn write_all_deadline(
         stream.set_write_timeout(Some(deadline - now))?;
         match stream.write(buf) {
             Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            // PANIC-OK: `write` returns `n <= buf.len()`.
             Ok(n) => buf = &buf[n..],
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
