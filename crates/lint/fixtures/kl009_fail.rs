@@ -1,0 +1,37 @@
+//! KL009 failing fixture (lexed, not compiled): a declared-order
+//! inversion, an undeclared pair, an indirect nesting through an
+//! intra-crate helper call, and a re-acquisition self-deadlock.
+
+impl Shard {
+    fn inverted(&self) {
+        let cur = self.current.write().unwrap();
+        let w = self.writer.lock().unwrap();
+        drop(w);
+        drop(cur);
+    }
+
+    fn undeclared(&self) {
+        let m = self.map.lock().unwrap();
+        let s = self.stats.lock().unwrap();
+        drop(s);
+        drop(m);
+    }
+
+    fn helper(&self) -> usize {
+        self.stats.lock().unwrap().len()
+    }
+
+    fn indirect(&self) {
+        let w = self.writer.lock().unwrap();
+        let n = self.helper();
+        drop(w);
+        let _ = n;
+    }
+
+    fn reentrant(&self) {
+        let a = self.map.lock().unwrap();
+        let b = self.map.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+}

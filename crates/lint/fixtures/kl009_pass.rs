@@ -1,0 +1,35 @@
+//! KL009 passing fixture: nesting that follows the declared order,
+//! sequential (non-nested) acquisitions, and a scope narrowed so the
+//! second lock is taken after the first guard died.
+
+impl Shard {
+    fn declared_nesting(&self) {
+        let w = self.writer.lock().unwrap();
+        let cur = self.current.write().unwrap();
+        drop(cur);
+        drop(w);
+    }
+
+    fn sequential(&self) {
+        let n = self.map.lock().unwrap().len();
+        let m = self.stats.lock().unwrap().len();
+        let _ = (n, m);
+    }
+
+    fn narrowed(&self) {
+        let v = {
+            let m = self.map.lock().unwrap();
+            m.len()
+        };
+        let s = self.stats.lock().unwrap();
+        drop(s);
+        let _ = v;
+    }
+
+    fn dropped_early(&self) {
+        let m = self.map.lock().unwrap();
+        drop(m);
+        let s = self.stats.lock().unwrap();
+        drop(s);
+    }
+}

@@ -1,0 +1,25 @@
+//! KL010 failing fixture: blocking I/O and sleeps while a guard is
+//! live, directly and through an intra-crate helper.
+
+impl Conn {
+    fn direct_write(&self, out: &mut TcpStream) {
+        let state = self.state.lock().unwrap();
+        out.write_all(state.bytes()).unwrap();
+        drop(state);
+    }
+
+    fn sleepy(&self) {
+        let _g = self.state.lock().unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    fn flush_stream(out: &mut TcpStream) {
+        out.flush().unwrap();
+    }
+
+    fn indirect(&self, out: &mut TcpStream) {
+        let g = self.state.lock().unwrap();
+        Self::flush_stream(out);
+        drop(g);
+    }
+}

@@ -1,0 +1,26 @@
+//! KL010 passing fixture: guard scope narrowed before I/O, a condvar
+//! wait that consumes (and thereby releases) its own guard, and a
+//! justified held-lock recv.
+
+impl Conn {
+    fn narrowed(&self, out: &mut TcpStream) {
+        let bytes = {
+            let state = self.state.lock().unwrap();
+            state.render()
+        };
+        out.write_all(&bytes).unwrap();
+    }
+
+    fn waits(&self) {
+        let mut queue = self.queue.lock().unwrap();
+        while queue.is_empty() {
+            queue = self.cond.wait(queue).unwrap();
+        }
+    }
+
+    fn pool_recv(&self) -> Job {
+        // HELD-OK: the mutex exists solely to serialize recv() across
+        // workers; the guard dies at the end of the statement.
+        self.rx.lock().unwrap().recv().unwrap()
+    }
+}

@@ -1,0 +1,10 @@
+//! KL011 failing fixture: lexed under a kg_core-shaped path in the
+//! tests, where no workspace-local import is allowed — `use` statements
+//! and inline `::` paths both count.
+
+use kg_models::Embeddings;
+use kg_serve::server::ServeConfig;
+
+fn scores() -> Vec<f32> {
+    kg_eval::rank::reciprocal_ranks()
+}

@@ -1,0 +1,12 @@
+//! KL011 passing fixture: lexed under a kg_serve-shaped path in the
+//! tests — every import is within the declared contract, and external
+//! crates (std, ungoverned names) are not the contract's business.
+
+use std::collections::BTreeMap;
+
+use kg_core::Triple;
+use kg_models::KgcModel;
+
+fn snapshot() -> BTreeMap<kg_core::Entity, f32> {
+    kg_recommend::filter::coverage()
+}

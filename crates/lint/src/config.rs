@@ -34,6 +34,21 @@ pub struct Config {
     /// KL008: extra allowed line substrings (beyond the built-in
     /// lock-poisoning unwrap patterns).
     pub panic_allow: Vec<String>,
+    /// KL009: the declared workspace lock order. Locks are named
+    /// `<file-stem>.<field>`; a nesting `a` → `b` is legal only when `a`
+    /// precedes `b` here. Everything else is a potential deadlock.
+    pub locks_order: Vec<String>,
+    /// KL010: files where blocking calls under a live guard are banned
+    /// (the serving crate's request path).
+    pub locks_blocking_files: Vec<String>,
+    /// KL011: the lib name of the root (umbrella) crate, mapping the root
+    /// `src/` tree into the layering contract.
+    pub layering_root: String,
+    /// KL011: allowed import edges, one entry per importer:
+    /// `"kg_serve <- kg_core kg_models"` (empty right-hand side means the
+    /// crate imports nothing workspace-local). An empty list disables the
+    /// rule.
+    pub layering_allow: Vec<String>,
 }
 
 /// Does `rel` (root-relative, `/`-separated) match a config entry list?
@@ -112,10 +127,37 @@ impl Config {
             ("parity", "fmt_files") => &mut self.parity_fmt_files,
             ("panics", "files") => &mut self.panic_files,
             ("panics", "allow") => &mut self.panic_allow,
+            ("locks", "order") => &mut self.locks_order,
+            ("locks", "blocking_files") => &mut self.locks_blocking_files,
+            ("layering", "root") => {
+                self.layering_root = values.into_iter().next().unwrap_or_default();
+                return Ok(());
+            }
+            ("layering", "allow") => &mut self.layering_allow,
             _ => return Err(format!("unknown key [{section}] {key}")),
         };
         *slot = values;
         Ok(())
+    }
+
+    /// The parsed `[layering] allow` contract: importer → allowed deps.
+    /// Entries look like `"kg_serve <- kg_core kg_models"`; a missing
+    /// right-hand side means no workspace-local imports at all.
+    pub fn layering_map(
+        &self,
+    ) -> Result<std::collections::BTreeMap<String, std::collections::BTreeSet<String>>, String>
+    {
+        let mut map = std::collections::BTreeMap::new();
+        for entry in &self.layering_allow {
+            let (importer, deps) = entry
+                .split_once("<-")
+                .ok_or_else(|| format!("layering entry {entry:?} missing `<-`"))?;
+            map.insert(
+                importer.trim().to_string(),
+                deps.split_whitespace().map(str::to_string).collect(),
+            );
+        }
+        Ok(map)
     }
 }
 

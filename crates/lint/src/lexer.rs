@@ -40,6 +40,11 @@ pub struct Tok {
     pub line: u32,
     /// 1-based byte column of the token's first byte.
     pub col: u32,
+    /// Byte offset of the token's first byte in the source.
+    pub off: usize,
+    /// Byte length of the full token as written (quotes, `r#` prefixes,
+    /// and hash fences included — spans tile the source).
+    pub len: usize,
 }
 
 /// One comment (line, doc, or block), with the line span it covers.
@@ -51,6 +56,10 @@ pub struct Comment {
     pub line_end: u32,
     /// Full comment text including the `//` / `/*` markers.
     pub text: String,
+    /// Byte offset of the comment's first byte in the source.
+    pub off: usize,
+    /// Byte length of the comment (trailing newline excluded).
+    pub len: usize,
 }
 
 /// Lexer output: the token stream and the comment side-channel.
@@ -152,9 +161,16 @@ pub fn lex(src: &str) -> Lexed {
             continue;
         }
         // Anything else: one punctuation byte.
-        let (line, col) = (cur.line, cur.col);
+        let (line, col, off) = (cur.line, cur.col, cur.i);
         let ch = cur.bump();
-        out.toks.push(Tok { kind: TokKind::Punct, text: (ch as char).to_string(), line, col });
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: (ch as char).to_string(),
+            line,
+            col,
+            off,
+            len: 1,
+        });
     }
     out
 }
@@ -169,6 +185,8 @@ fn line_comment(cur: &mut Cursor, out: &mut Lexed) {
         line_start: line,
         line_end: line,
         text: String::from_utf8_lossy(&cur.b[start..cur.i]).into_owned(),
+        off: start,
+        len: cur.i - start,
     });
 }
 
@@ -195,13 +213,15 @@ fn block_comment(cur: &mut Cursor, out: &mut Lexed) {
         line_start,
         line_end: cur.line,
         text: String::from_utf8_lossy(&cur.b[start..cur.i]).into_owned(),
+        off: start,
+        len: cur.i - start,
     });
 }
 
 /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'x'`, and `r#ident`.
 /// Returns `None` when the `r`/`b` is just the start of a plain identifier.
 fn raw_or_byte(cur: &mut Cursor) -> Option<Tok> {
-    let (line, col) = (cur.line, cur.col);
+    let (line, col, off) = (cur.line, cur.col, cur.i);
     let mut j = 1; // bytes after the leading r/b under consideration
     let first = cur.peek(0);
     let mut raw = first == b'r';
@@ -215,6 +235,8 @@ fn raw_or_byte(cur: &mut Cursor) -> Option<Tok> {
             let mut tok = char_or_lifetime(cur);
             tok.line = line;
             tok.col = col;
+            tok.off = off;
+            tok.len = cur.i - off;
             tok.kind = TokKind::Char;
             return Some(tok);
         } else if cur.peek(1) == b'"' {
@@ -223,6 +245,8 @@ fn raw_or_byte(cur: &mut Cursor) -> Option<Tok> {
             let mut tok = string_lit(cur);
             tok.line = line;
             tok.col = col;
+            tok.off = off;
+            tok.len = cur.i - off;
             return Some(tok);
         } else {
             return None; // identifier starting with b
@@ -272,6 +296,8 @@ fn raw_or_byte(cur: &mut Cursor) -> Option<Tok> {
             text: String::from_utf8_lossy(&cur.b[start..end]).into_owned(),
             line,
             col,
+            off,
+            len: cur.i - off,
         });
     }
     if hashes == 1 && is_ident_start(cur.peek(j)) && first == b'r' {
@@ -281,13 +307,15 @@ fn raw_or_byte(cur: &mut Cursor) -> Option<Tok> {
         let mut tok = ident(cur);
         tok.line = line;
         tok.col = col;
+        tok.off = off;
+        tok.len = cur.i - off;
         return Some(tok);
     }
     None
 }
 
 fn string_lit(cur: &mut Cursor) -> Tok {
-    let (line, col) = (cur.line, cur.col);
+    let (line, col, off) = (cur.line, cur.col, cur.i);
     cur.bump(); // opening quote
     let start = cur.i;
     let end;
@@ -318,11 +346,13 @@ fn string_lit(cur: &mut Cursor) -> Tok {
         text: String::from_utf8_lossy(&cur.b[start..end]).into_owned(),
         line,
         col,
+        off,
+        len: cur.i - off,
     }
 }
 
 fn char_or_lifetime(cur: &mut Cursor) -> Tok {
-    let (line, col) = (cur.line, cur.col);
+    let (line, col, off) = (cur.line, cur.col, cur.i);
     cur.bump(); // opening quote
                 // Lifetime: 'ident not followed by a closing quote.
     if is_ident_start(cur.peek(0)) && cur.peek(1) != b'\'' {
@@ -335,6 +365,8 @@ fn char_or_lifetime(cur: &mut Cursor) -> Tok {
             text: String::from_utf8_lossy(&cur.b[start..cur.i]).into_owned(),
             line,
             col,
+            off,
+            len: cur.i - off,
         };
     }
     // Char literal: content up to the closing quote, escapes skipped.
@@ -367,6 +399,8 @@ fn char_or_lifetime(cur: &mut Cursor) -> Tok {
         text: String::from_utf8_lossy(&cur.b[start..end]).into_owned(),
         line,
         col,
+        off,
+        len: cur.i - off,
     }
 }
 
@@ -381,6 +415,8 @@ fn ident(cur: &mut Cursor) -> Tok {
         text: String::from_utf8_lossy(&cur.b[start..cur.i]).into_owned(),
         line,
         col,
+        off: start,
+        len: cur.i - start,
     }
 }
 
@@ -412,5 +448,7 @@ fn number(cur: &mut Cursor) -> Tok {
         text: String::from_utf8_lossy(&cur.b[start..cur.i]).into_owned(),
         line,
         col,
+        off: start,
+        len: cur.i - start,
     }
 }

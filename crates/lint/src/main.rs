@@ -1,15 +1,21 @@
 //! `kg-lint` CLI: scan the workspace, print `file:line:col` diagnostics,
 //! exit nonzero on findings. Runs in CI next to `clippy -D warnings` and
-//! `fmt --check` (`cargo run -p kg-lint --release`).
+//! `fmt --check` (`cargo run -p kg-lint --release`). `--json` emits one
+//! JSON object per finding (for CI artifacts); `--check-config` audits
+//! `lint.toml` itself for entries orphaned by moves and renames.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use kg_lint::{lint_workspace, render, Config};
+use kg_lint::{check_config, lint_workspace, render, render_json, Config};
+
+const USAGE: &str = "usage: kg-lint [--root DIR] [--config lint.toml] [--json] [--check-config]";
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut config_path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut audit_config = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -21,8 +27,10 @@ fn main() -> ExitCode {
                 Some(v) => config_path = Some(PathBuf::from(v)),
                 None => return usage("--config needs a value"),
             },
+            "--json" => json = true,
+            "--check-config" => audit_config = true,
             "--help" | "-h" => {
-                eprintln!("usage: kg-lint [--root DIR] [--config lint.toml]");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument {other:?}")),
@@ -43,6 +51,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if audit_config {
+        let problems = match check_config(&root, &cfg) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("kg-lint: config audit failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        return if problems.is_empty() {
+            eprintln!("kg-lint: config ok ({})", config_path.display());
+            ExitCode::SUCCESS
+        } else {
+            for p in &problems {
+                println!("{}: {p}", config_path.display());
+            }
+            eprintln!("kg-lint: {} config problem(s)", problems.len());
+            ExitCode::FAILURE
+        };
+    }
     let findings = match lint_workspace(&root, &cfg) {
         Ok(f) => f,
         Err(e) => {
@@ -50,17 +77,21 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if json {
+        print!("{}", render_json(&findings));
+    } else if !findings.is_empty() {
+        print!("{}", render(&findings));
+    }
     if findings.is_empty() {
         eprintln!("kg-lint: clean");
         ExitCode::SUCCESS
     } else {
-        print!("{}", render(&findings));
         eprintln!("kg-lint: {} finding(s)", findings.len());
         ExitCode::FAILURE
     }
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("kg-lint: {msg}\nusage: kg-lint [--root DIR] [--config lint.toml]");
+    eprintln!("kg-lint: {msg}\n{USAGE}");
     ExitCode::from(2)
 }

@@ -1,0 +1,281 @@
+//! Workspace model: the cross-file aggregation layer over
+//! [`crate::parse::FileModel`]s. Groups files into crates, builds the
+//! intra-crate call graph (simple-name resolution), and computes the two
+//! transitive closures the concurrency rules need — which locks a function
+//! may acquire, and whether it may block.
+//!
+//! Name resolution is a heuristic and errs conservative: a call resolves
+//! only when exactly one workspace `fn` in the same crate has that name
+//! and the name is not on the std-collision deny list (`get`, `insert`,
+//! `clone`, …, which are overwhelmingly `HashMap`/`Option`/`Iterator`
+//! methods). Ambiguous or deny-listed names simply do not propagate —
+//! keep lock-relevant helpers uniquely named and the analysis stays sharp.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::analyze::FileData;
+use crate::parse::{CallSite, FileModel, FnModel};
+
+/// Method names that collide with std types' methods and are therefore
+/// never resolved through the intra-crate call graph.
+const STD_METHODS: &[&str] = &[
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "clone",
+    "cloned",
+    "copied",
+    "iter",
+    "into_iter",
+    "keys",
+    "values",
+    "contains",
+    "contains_key",
+    "retain",
+    "extend",
+    "drain",
+    "take",
+    "replace",
+    "entry",
+    "or_default",
+    "or_insert",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "dedup",
+    "clear",
+    "unwrap",
+    "expect",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "map",
+    "and_then",
+    "or_else",
+    "ok",
+    "err",
+    "is_some",
+    "is_none",
+    "as_ref",
+    "as_mut",
+    "as_deref",
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "split",
+    "trim",
+    "parse",
+    "next",
+    "min",
+    "max",
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "new",
+    "default",
+    "from",
+    "into",
+    "eq",
+    "cmp",
+    "hash",
+    "fmt",
+    "drop",
+    "binary_search",
+    "any",
+    "all",
+    "filter",
+    "collect",
+    "count",
+    "zip",
+    "rev",
+    "chain",
+    "enumerate",
+    "get_or_insert",
+    "starts_with",
+    "ends_with",
+];
+
+/// The crate a root-relative path belongs to, by workspace convention:
+/// `crates/<dir>/src/**` is lib `kg_<dir>` (dashes to underscores), the
+/// root `src/**` is the umbrella crate named by `[layering] root`.
+pub fn crate_of(rel: &str, root_crate: &str) -> Option<String> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let (dir, tail) = rest.split_once('/')?;
+        if !tail.starts_with("src/") {
+            return None;
+        }
+        return Some(format!("kg_{}", dir.replace('-', "_")));
+    }
+    if rel.starts_with("src/") && !root_crate.is_empty() {
+        return Some(root_crate.to_string());
+    }
+    None
+}
+
+/// Identifies one fn: (file index, fn index).
+pub type FnId = (usize, usize);
+
+/// How a simple name resolves within one crate.
+enum Resolution {
+    Unique(FnId),
+    Ambiguous,
+}
+
+/// The aggregated workspace model.
+pub struct Workspace<'a> {
+    /// The analyzed files, parallel to `models`.
+    pub files: &'a [FileData],
+    /// The per-file structural models.
+    pub models: &'a [FileModel],
+    /// Group key (crate name, or the file's own rel for ungrouped files)
+    /// per file.
+    pub groups: Vec<String>,
+    /// Per group: simple fn name → resolution.
+    by_name: BTreeMap<String, BTreeMap<String, Resolution>>,
+    /// Memoized lock closure per fn.
+    locks: BTreeMap<FnId, BTreeSet<String>>,
+    /// Memoized blocking closure per fn: the call path to the first
+    /// blocking primitive, if any (`"request → write_all"`).
+    blocking: BTreeMap<FnId, Option<String>>,
+}
+
+/// Direct blocking primitives (KL010). `read`/`write` with arguments are
+/// I/O; with empty parens they are RwLock acquisitions and excluded here.
+pub fn direct_blocking(c: &CallSite) -> bool {
+    match c.callee.as_str() {
+        "write_all" | "read_exact" | "read_to_end" | "read_line" | "read_to_string" | "connect"
+        | "sleep" | "recv_timeout" | "flush" => true,
+        "read" | "write" => !c.empty_args,
+        "accept" | "recv" | "join" => c.empty_args,
+        "wait" | "wait_timeout" | "wait_while" => true,
+        _ => false,
+    }
+}
+
+/// Is this call a condvar wait that *consumes* (and thereby releases) the
+/// guard passed as its first argument?
+pub fn is_condvar_wait(c: &CallSite) -> bool {
+    matches!(c.callee.as_str(), "wait" | "wait_timeout" | "wait_while")
+}
+
+impl<'a> Workspace<'a> {
+    /// Build the model; `files` and `models` must be parallel.
+    pub fn build(files: &'a [FileData], models: &'a [FileModel], root_crate: &str) -> Self {
+        let groups: Vec<String> = files
+            .iter()
+            .map(|fd| crate_of(&fd.rel, root_crate).unwrap_or_else(|| fd.rel.clone()))
+            .collect();
+        let mut by_name: BTreeMap<String, BTreeMap<String, Resolution>> = BTreeMap::new();
+        for (fi, fm) in models.iter().enumerate() {
+            let group = by_name.entry(groups[fi].clone()).or_default();
+            for (ni, f) in fm.fns.iter().enumerate() {
+                group
+                    .entry(f.name.clone())
+                    .and_modify(|r| *r = Resolution::Ambiguous)
+                    .or_insert(Resolution::Unique((fi, ni)));
+            }
+        }
+        let mut ws = Workspace {
+            files,
+            models,
+            groups,
+            by_name,
+            locks: BTreeMap::new(),
+            blocking: BTreeMap::new(),
+        };
+        let ids: Vec<FnId> = (0..models.len())
+            .flat_map(|fi| (0..models[fi].fns.len()).map(move |ni| (fi, ni)))
+            .collect();
+        for id in ids {
+            let mut seen = BTreeSet::new();
+            ws.locks_of(id, &mut seen);
+            let mut seen = BTreeSet::new();
+            ws.blocking_of(id, &mut seen);
+        }
+        ws
+    }
+
+    /// The fn a call site resolves to within `group`, if unique and not a
+    /// std-colliding name.
+    pub fn resolve(&self, group: &str, c: &CallSite) -> Option<FnId> {
+        if STD_METHODS.contains(&c.callee.as_str()) {
+            return None;
+        }
+        match self.by_name.get(group)?.get(&c.callee)? {
+            Resolution::Unique(id) => Some(*id),
+            Resolution::Ambiguous => None,
+        }
+    }
+
+    fn fn_of(&self, id: FnId) -> &FnModel {
+        &self.models[id.0].fns[id.1]
+    }
+
+    /// Locks `id` may acquire, directly or through intra-crate callees.
+    pub fn locks_closure(&self, id: FnId) -> &BTreeSet<String> {
+        &self.locks[&id]
+    }
+
+    /// The call path from `id` to a blocking primitive, if one exists
+    /// (`None` means the fn provably — by this heuristic — never blocks).
+    pub fn blocking_closure(&self, id: FnId) -> Option<&str> {
+        self.blocking[&id].as_deref()
+    }
+
+    fn locks_of(&mut self, id: FnId, seen: &mut BTreeSet<FnId>) -> BTreeSet<String> {
+        if let Some(done) = self.locks.get(&id) {
+            return done.clone();
+        }
+        if !seen.insert(id) {
+            return BTreeSet::new(); // recursion cycle: already being computed
+        }
+        let f = self.fn_of(id);
+        let mut out: BTreeSet<String> = f.acquisitions.iter().map(|a| a.lock.clone()).collect();
+        let calls = f.calls.clone();
+        let group = self.groups[id.0].clone();
+        for c in &calls {
+            if let Some(callee) = self.resolve(&group, c) {
+                out.extend(self.locks_of(callee, seen));
+            }
+        }
+        self.locks.insert(id, out.clone());
+        out
+    }
+
+    fn blocking_of(&mut self, id: FnId, seen: &mut BTreeSet<FnId>) -> Option<String> {
+        if let Some(done) = self.blocking.get(&id) {
+            return done.clone();
+        }
+        if !seen.insert(id) {
+            return None;
+        }
+        let f = self.fn_of(id);
+        let mut found: Option<String> = None;
+        for c in &f.calls {
+            if direct_blocking(c) {
+                found = Some(c.callee.clone());
+                break;
+            }
+        }
+        if found.is_none() {
+            let calls = f.calls.clone();
+            let group = self.groups[id.0].clone();
+            for c in &calls {
+                if let Some(callee) = self.resolve(&group, c) {
+                    if let Some(path) = self.blocking_of(callee, seen) {
+                        found = Some(format!("{} → {}", c.callee, path));
+                        break;
+                    }
+                }
+            }
+        }
+        self.blocking.insert(id, found.clone());
+        found
+    }
+}

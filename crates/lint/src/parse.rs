@@ -1,0 +1,536 @@
+//! Recursive-descent structural pass over one file's token stream: `fn`
+//! items with body extents, lock-guard acquisition sites with live-ranges,
+//! call sites, and workspace-crate references. This is the per-file half of
+//! the structural analyzer; [`crate::model`] aggregates the results into a
+//! workspace model (intra-crate call graph, lock-order edges) that the
+//! KL009–KL011 rule families consume.
+//!
+//! The pass is deliberately lexical, not semantic — it has no types and no
+//! name resolution beyond "last path segment". The live-range model errs
+//! toward *under*-approximation (a guard whose lifetime the pass cannot
+//! follow simply stops being tracked), so imprecision costs recall, never
+//! false findings:
+//!
+//! * `let g = x.lock().unwrap();` — `g` is live to the end of its
+//!   enclosing block, cut short by `drop(g)` or by passing `g` bare as a
+//!   call argument (`cond.wait(g)` moves the guard into the wait).
+//! * `x.lock().unwrap().method()` — a chained temporary, live to the end
+//!   of the statement.
+//! * `if let Some(v) = x.lock().unwrap().get(k) { … }` — a scrutinee
+//!   temporary; Rust keeps it alive through the whole construct body, which
+//!   is exactly the scoping bug KL009/KL010 exist to catch.
+
+use crate::analyze::FileData;
+use crate::lexer::TokKind;
+
+/// Guard-producing method names: `.lock()` / `.read()` / `.write()` with
+/// empty argument lists (blocking I/O `read`/`write` always takes a
+/// buffer, so empty parens disambiguate).
+const GUARD_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Chain suffixes that forward the guard rather than consuming it.
+const GUARD_SUFFIXES: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// One `.lock()`/`.read()`/`.write()` acquisition site.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// Token index of the method name (`lock`/`read`/`write`).
+    pub tok: usize,
+    /// Lock identity: `<file-stem>.<receiver-field>` — the file stem
+    /// disambiguates same-named fields across files (`registry.monitors`
+    /// vs `http_metrics.monitors`).
+    pub lock: String,
+}
+
+/// A guard live-range: token span during which acquisition `acq` is held.
+#[derive(Debug, Clone)]
+pub struct Guard {
+    /// Index into [`FnModel::acquisitions`].
+    pub acq: usize,
+    /// First token index at which the guard is live (the acquisition).
+    pub start: usize,
+    /// Last token index at which the guard is live (inclusive).
+    pub end: usize,
+    /// The `let`-bound variable name, for named guards (`None` for
+    /// chained/scrutinee temporaries). Condvar waits consume the guard
+    /// they are passed — KL010 exempts the named guard a wait releases.
+    pub name: Option<String>,
+}
+
+/// One call site (method or free function; macros are excluded).
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Token index of the callee identifier.
+    pub tok: usize,
+    /// Callee name (last path segment only).
+    pub callee: String,
+    /// Whether the argument list is empty (`f()`).
+    pub empty_args: bool,
+    /// Bare identifiers passed as whole arguments (`f(g, h)` → `[g, h]`;
+    /// `f(&g)` or `f(g.x)` contribute nothing) — the move heuristic that
+    /// ends guard live-ranges at `drop(g)` / `cond.wait(g)`.
+    pub arg_heads: Vec<String>,
+}
+
+/// One `fn` item: name, body extent, and everything found inside it.
+#[derive(Debug, Clone)]
+pub struct FnModel {
+    /// The fn's simple name.
+    pub name: String,
+    /// Token index of the fn body's `{`.
+    pub body_start: usize,
+    /// Token index of the fn body's matching `}`.
+    pub body_end: usize,
+    /// Lock acquisitions inside the body (nested fns excluded).
+    pub acquisitions: Vec<Acquisition>,
+    /// Call sites inside the body (nested fns excluded).
+    pub calls: Vec<CallSite>,
+    /// Guard live-ranges for the acquisitions.
+    pub guards: Vec<Guard>,
+}
+
+/// A reference to a workspace crate (`use kg_core::…`, `kg_core::Triple`).
+#[derive(Debug, Clone)]
+pub struct CrateRef {
+    /// Token index of the crate-name identifier.
+    pub tok: usize,
+    /// The crate name as written (`kg_core`, `kgeval`, …).
+    pub name: String,
+}
+
+/// The per-file structural model.
+#[derive(Debug, Default)]
+pub struct FileModel {
+    /// File stem (`registry` for `crates/serve/src/registry.rs`), the
+    /// namespace prefix of every lock this file's fields own.
+    pub stem: String,
+    /// All non-test `fn` items.
+    pub fns: Vec<FnModel>,
+    /// All non-test workspace-crate-shaped path references.
+    pub crate_refs: Vec<CrateRef>,
+}
+
+/// Statement keywords that can never be a call even when followed by `(`.
+const CALL_EXCLUDED: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "move", "in",
+    "as", "let", "fn", "impl", "where", "unsafe", "async",
+];
+
+/// Build the structural model for one analyzed file.
+pub fn parse_file(fd: &FileData) -> FileModel {
+    let toks = &fd.toks;
+    let n = toks.len();
+    let stem = fd
+        .rel
+        .rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or(&fd.rel)
+        .to_string();
+
+    // Brace depth per token: `{` and its matching `}` share a value (the
+    // depth of the surrounding context).
+    let mut depth = vec![0i32; n];
+    let mut d = 0i32;
+    for i in 0..n {
+        if toks[i].kind == TokKind::Punct && !fd.in_attr[i] {
+            match toks[i].text.as_str() {
+                "{" => {
+                    depth[i] = d;
+                    d += 1;
+                    continue;
+                }
+                "}" => {
+                    d -= 1;
+                    depth[i] = d;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        depth[i] = d;
+    }
+
+    let fns = find_fns(fd, &depth);
+    let mut model = FileModel { stem, fns, crate_refs: Vec::new() };
+
+    // Per-fn body analysis, skipping nested fn ranges (a nested fn's locks
+    // are its own, not its parent's).
+    let ranges: Vec<(usize, usize)> =
+        model.fns.iter().map(|f| (f.body_start, f.body_end)).collect();
+    for (fi, f) in model.fns.iter_mut().enumerate() {
+        let nested: Vec<(usize, usize)> = ranges
+            .iter()
+            .enumerate()
+            .filter(|&(ri, r)| ri != fi && r.0 > f.body_start && r.1 < f.body_end)
+            .map(|(_, r)| *r)
+            .collect();
+        analyze_body(fd, &depth, f, &nested);
+    }
+
+    model.crate_refs = find_crate_refs(fd);
+    model
+}
+
+/// Locate every non-test `fn` item and its brace-balanced body.
+fn find_fns(fd: &FileData, depth: &[i32]) -> Vec<FnModel> {
+    let toks = &fd.toks;
+    let n = toks.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        if fd.in_attr[i] || fd.in_test[i] || toks[i].kind != TokKind::Ident || toks[i].text != "fn"
+        {
+            i += 1;
+            continue;
+        }
+        let Some(name_i) = next_code(fd, i + 1) else { break };
+        if toks[name_i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = toks[name_i].text.clone();
+        // Skip generic params to the parameter list's `(` (angle depth
+        // tracking; `->` inside `Fn(…) -> T` bounds must not close one).
+        let mut j = name_i + 1;
+        let mut angle = 0i32;
+        let params_open = loop {
+            if j >= n {
+                break None;
+            }
+            let t = &toks[j];
+            if t.kind == TokKind::Punct && !fd.in_attr[j] {
+                match t.text.as_str() {
+                    "<" => angle += 1,
+                    ">" if j > 0 && toks[j - 1].text != "-" => angle -= 1,
+                    "(" if angle <= 0 => break Some(j),
+                    ";" | "{" => break None, // not a normal fn item shape
+                    _ => {}
+                }
+            }
+            j += 1;
+        };
+        let Some(open) = params_open else {
+            i = name_i + 1;
+            continue;
+        };
+        let Some(close) = match_delim(fd, open, "(", ")") else {
+            i = name_i + 1;
+            continue;
+        };
+        // Scan past return type / where clause for the body `{` (or `;`
+        // for trait declarations) at bracket depth 0.
+        let mut k = close + 1;
+        let mut bracket = 0i32;
+        let body = loop {
+            if k >= n {
+                break None;
+            }
+            let t = &toks[k];
+            if t.kind == TokKind::Punct && !fd.in_attr[k] {
+                match t.text.as_str() {
+                    "(" | "[" => bracket += 1,
+                    ")" | "]" => bracket -= 1,
+                    "{" if bracket == 0 => break Some(k),
+                    ";" if bracket == 0 => break None,
+                    _ => {}
+                }
+            }
+            k += 1;
+        };
+        let Some(body_start) = body else {
+            i = close + 1;
+            continue;
+        };
+        let Some(body_end) = match_brace(fd, depth, body_start) else {
+            i = body_start + 1;
+            continue;
+        };
+        out.push(FnModel {
+            name,
+            body_start,
+            body_end,
+            acquisitions: Vec::new(),
+            calls: Vec::new(),
+            guards: Vec::new(),
+        });
+        // Continue *inside* the body: nested fns get their own entry.
+        i = body_start + 1;
+    }
+    out
+}
+
+/// Next non-attribute token index at or after `i`.
+fn next_code(fd: &FileData, mut i: usize) -> Option<usize> {
+    while i < fd.toks.len() {
+        if !fd.in_attr[i] {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Matching close delimiter for the opener at `open`.
+fn match_delim(fd: &FileData, open: usize, o: &str, c: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in fd.toks.iter().enumerate().skip(open) {
+        if t.kind != TokKind::Punct || fd.in_attr[j] {
+            continue;
+        }
+        if t.text == o {
+            depth += 1;
+        } else if t.text == c {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Matching `}` for the `{` at `open`, via the precomputed depth map.
+fn match_brace(fd: &FileData, depth: &[i32], open: usize) -> Option<usize> {
+    let d = depth[open];
+    (open + 1..fd.toks.len())
+        .find(|&j| fd.toks[j].kind == TokKind::Punct && fd.toks[j].text == "}" && depth[j] == d)
+}
+
+/// Is token `i` inside one of the (sorted or not) nested fn ranges?
+fn in_nested(i: usize, nested: &[(usize, usize)]) -> bool {
+    nested.iter().any(|&(s, e)| i >= s && i <= e)
+}
+
+/// Walk one fn body collecting acquisitions, calls, and guard live-ranges.
+fn analyze_body(fd: &FileData, depth: &[i32], f: &mut FnModel, nested: &[(usize, usize)]) {
+    let toks = &fd.toks;
+    for i in f.body_start + 1..f.body_end {
+        if fd.in_attr[i] || fd.in_test[i] || in_nested(i, nested) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // Acquisition: `. lock ( )` with a named receiver just before.
+        let is_guard_method = GUARD_METHODS.contains(&t.text.as_str())
+            && i >= 2
+            && toks[i - 1].text == "."
+            && punct_at(fd, i + 1, "(")
+            && punct_at(fd, i + 2, ")");
+        if is_guard_method {
+            let recv = &toks[i - 2];
+            if recv.kind == TokKind::Ident {
+                let lock = format!("{}.{}", f_stem(fd), recv.text);
+                let acq = f.acquisitions.len();
+                f.acquisitions.push(Acquisition { tok: i, lock });
+                let (start, end, name) = guard_range(fd, depth, f.body_end, i, nested);
+                f.guards.push(Guard { acq, start, end, name });
+            }
+            continue;
+        }
+        // Call: `name (` that is not a macro, definition, or keyword.
+        if punct_at(fd, i + 1, "(")
+            && !CALL_EXCLUDED.contains(&t.text.as_str())
+            && !(i > 0 && toks[i - 1].kind == TokKind::Ident && toks[i - 1].text == "fn")
+        {
+            let empty_args = punct_at(fd, i + 2, ")");
+            f.calls.push(CallSite {
+                tok: i,
+                callee: t.text.clone(),
+                empty_args,
+                arg_heads: arg_heads(fd, i + 1),
+            });
+        }
+    }
+}
+
+fn f_stem(fd: &FileData) -> &str {
+    fd.rel.rsplit('/').next().and_then(|f| f.strip_suffix(".rs")).unwrap_or(&fd.rel)
+}
+
+fn punct_at(fd: &FileData, i: usize, s: &str) -> bool {
+    fd.toks.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+}
+
+fn ident_at(fd: &FileData, i: usize) -> Option<&str> {
+    fd.toks.get(i).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str())
+}
+
+/// Bare-identifier arguments of the call whose `(` is at `open`.
+fn arg_heads(fd: &FileData, open: usize) -> Vec<String> {
+    let Some(close) = match_delim(fd, open, "(", ")") else { return Vec::new() };
+    let mut out = Vec::new();
+    // At argument top level (`level == 1`), a bare ident framed by
+    // `(`/`,` on both sides is a whole argument passed by value.
+    let mut level = 0i32;
+    for j in open..=close {
+        let t = &fd.toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => level += 1,
+                ")" | "]" | "}" => level -= 1,
+                _ => {}
+            }
+        }
+        if level == 1 && (punct_at(fd, j, "(") || punct_at(fd, j, ",")) {
+            if let Some(name) = ident_at(fd, j + 1) {
+                if punct_at(fd, j + 2, ")") || punct_at(fd, j + 2, ",") {
+                    out.push(name.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compute the live-range (and `let`-bound name, if any) of the guard
+/// produced by the acquisition at `i`.
+fn guard_range(
+    fd: &FileData,
+    depth: &[i32],
+    fn_end: usize,
+    i: usize,
+    nested: &[(usize, usize)],
+) -> (usize, usize, Option<String>) {
+    let toks = &fd.toks;
+    // End of the acquisition chain: skip forwarding suffixes
+    // (`.unwrap()`, `.expect("…")`, `.unwrap_or_else(|e| …)`).
+    let mut chain_end = i + 2; // the `)` of the guard method call
+    loop {
+        let dot = chain_end + 1;
+        let is_suffix = punct_at(fd, dot, ".")
+            && ident_at(fd, dot + 1).is_some_and(|s| GUARD_SUFFIXES.contains(&s))
+            && punct_at(fd, dot + 2, "(");
+        if !is_suffix {
+            break;
+        }
+        match match_delim(fd, dot + 2, "(", ")") {
+            Some(close) => chain_end = close,
+            None => break,
+        }
+    }
+
+    // Statement start: the token after the last `;` / `{` / `}` before `i`.
+    let mut s = i;
+    while s > 0 {
+        let p = &toks[s - 1];
+        if p.kind == TokKind::Punct
+            && matches!(p.text.as_str(), ";" | "{" | "}")
+            && !fd.in_attr[s - 1]
+        {
+            break;
+        }
+        s -= 1;
+    }
+    let stmt_kw = ident_at(fd, s);
+
+    // `if let` / `while let` / `match` scrutinee: the temporary lives
+    // through the construct's whole block.
+    if matches!(stmt_kw, Some("if" | "while" | "match")) {
+        let mut k = chain_end + 1;
+        while k < fn_end {
+            if punct_at(fd, k, "{") && !fd.in_attr[k] {
+                let end = match_brace(fd, depth, k).unwrap_or(fn_end);
+                return (i, end.min(fn_end), None);
+            }
+            k += 1;
+        }
+        return (i, fn_end, None);
+    }
+
+    // `let g = <chain>;` — a named guard.
+    let named = if stmt_kw == Some("let") {
+        let mut p = s + 1;
+        if ident_at(fd, p) == Some("mut") {
+            p += 1;
+        }
+        match (ident_at(fd, p), punct_at(fd, p + 1, "=")) {
+            (Some(name), true) if punct_at(fd, chain_end + 1, ";") => Some(name.to_string()),
+            _ => None,
+        }
+    } else {
+        None
+    };
+
+    match named {
+        Some(g) => {
+            // Live to the end of the enclosing block, cut by `drop(g)` or
+            // any call taking `g` bare by value (`cond.wait(g)`).
+            let d = depth[i];
+            let mut j = chain_end + 1;
+            while j < fn_end {
+                if in_nested(j, nested) {
+                    j += 1;
+                    continue;
+                }
+                let t = &toks[j];
+                if t.kind == TokKind::Punct && t.text == "}" && depth[j] < d {
+                    return (i, j, Some(g));
+                }
+                if t.kind == TokKind::Ident
+                    && t.text == g
+                    && (punct_at(fd, j - 1, "(") || punct_at(fd, j - 1, ","))
+                    && (punct_at(fd, j + 1, ")") || punct_at(fd, j + 1, ","))
+                {
+                    return (i, j, Some(g));
+                }
+                j += 1;
+            }
+            (i, fn_end, Some(g))
+        }
+        None => {
+            // Chained temporary: dies at the end of the statement.
+            let mut j = chain_end;
+            while j < fn_end {
+                let t = &toks[j];
+                if t.kind == TokKind::Punct
+                    && (t.text == ";" || (t.text == "}" && depth[j] < depth[i]))
+                {
+                    return (i, j, None);
+                }
+                j += 1;
+            }
+            (i, fn_end, None)
+        }
+    }
+}
+
+/// Workspace-crate path references: inside a `use` statement, any
+/// crate-shaped identifier; elsewhere, `name ::` qualified paths. The
+/// caller filters against the configured crate set — this pass just
+/// records candidates (identifiers that look like path roots).
+fn find_crate_refs(fd: &FileData) -> Vec<CrateRef> {
+    let toks = &fd.toks;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if fd.in_attr[i] || fd.in_test[i] || toks[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        if toks[i].text == "use" {
+            // Every identifier up to the `;` is a candidate (grouped
+            // imports `use kg_core::{a, b}` and renames `use x as y`).
+            let mut j = i + 1;
+            while j < toks.len() && !punct_at(fd, j, ";") {
+                if toks[j].kind == TokKind::Ident && !fd.in_attr[j] {
+                    out.push(CrateRef { tok: j, name: toks[j].text.clone() });
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        // Qualified path root: `name ::` not preceded by `.`/`::`/ident.
+        if punct_at(fd, i + 1, ":")
+            && punct_at(fd, i + 2, ":")
+            && !(i > 0 && (punct_at(fd, i - 1, ".") || punct_at(fd, i - 1, ":")))
+        {
+            out.push(CrateRef { tok: i, name: toks[i].text.clone() });
+        }
+        i += 1;
+    }
+    out
+}

@@ -13,10 +13,20 @@
 //! | KL006 | hash-iteration    | `HashMap`/`HashSet` are banned in parity-critical files (iteration order is nondeterministic) unless justified with `// PARITY:` |
 //! | KL007 | float-format      | `{}` / `{:?}` format placeholders in wire-codec files need `// PARITY:` justification (decimal float text is not a bit-exact codec) |
 //! | KL008 | panic-surface     | no `unwrap`/`expect`/`panic!`-family/indexing in request-path files without `// PANIC-OK:` (each panic is a dropped connection under `catch_unwind`) |
+//! | KL009 | lock-order        | every lock nesting (direct or through the intra-crate call graph) follows the `[locks] order` declared in lint.toml — undeclared nestings and inversions are potential deadlocks |
+//! | KL010 | blocking-under-lock | no blocking call (I/O, sleep, channel/condvar waits, thread joins) while a guard is live in `[locks] blocking_files`, unless justified with `// HELD-OK:` |
+//! | KL011 | layering          | workspace crates import only what `[layering] allow` declares (checked in `use`/path tokens and `Cargo.toml [dependencies]`) — architecture erosion is a CI failure |
+//!
+//! KL001–KL008 are per-file (see [`check_file`]); KL009–KL011 need the
+//! cross-file workspace model (see [`check_workspace`]).
+
+use std::collections::BTreeMap;
 
 use crate::analyze::FileData;
 use crate::config::{matches, Config};
 use crate::lexer::TokKind;
+use crate::model::{crate_of, is_condvar_wait, Workspace};
+use crate::parse::FileModel;
 
 /// One diagnostic: where, which rule, what, and the offending source line.
 #[derive(Debug, Clone)]
@@ -27,7 +37,7 @@ pub struct Finding {
     pub line: u32,
     /// 1-based byte column.
     pub col: u32,
-    /// Stable rule ID (`KL001`…`KL008`).
+    /// Stable rule ID (`KL001`…`KL011`).
     pub rule_id: &'static str,
     /// Short rule name.
     pub rule_name: &'static str,
@@ -528,4 +538,273 @@ fn panic_rule(fd: &FileData, cfg: &Config, out: &mut Vec<Finding>) {
             _ => {}
         }
     }
+}
+
+/// Run the workspace-level rule families (KL009–KL011) over all analyzed
+/// files and their structural models (`files` and `models` parallel).
+pub fn check_workspace(files: &[FileData], models: &[FileModel], cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let ws = Workspace::build(files, models, &cfg.layering_root);
+    lock_order_rule(&ws, cfg, &mut out);
+    blocking_rule(&ws, cfg, &mut out);
+    layering_rule(files, models, cfg, &mut out);
+    out
+}
+
+fn finding_at(
+    fd: &FileData,
+    tok: usize,
+    rule_id: &'static str,
+    rule_name: &'static str,
+    message: String,
+) -> Finding {
+    let t = &fd.toks[tok];
+    Finding {
+        rel: fd.rel.clone(),
+        line: t.line,
+        col: t.col,
+        rule_id,
+        rule_name,
+        message,
+        snippet: fd.line_text(t.line).to_string(),
+    }
+}
+
+/// One observed lock-nesting edge: `from` held while `to` is (or may be)
+/// acquired, first observed at token `tok` of file `file` (through a call
+/// to `via`, when indirect).
+struct LockEdge {
+    file: usize,
+    tok: usize,
+    via: Option<String>,
+}
+
+/// KL009 — build the cross-function lock-order graph and check every edge
+/// against the declared `[locks] order`. Any edge outside the declared
+/// total order is a potential deadlock: two such edges in opposite
+/// directions (or one edge against the declared direction) form a cycle.
+fn lock_order_rule(ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    let mut edges: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
+    for (fi, fm) in ws.models.iter().enumerate() {
+        for f in &fm.fns {
+            for g in &f.guards {
+                let held = &f.acquisitions[g.acq].lock;
+                // Direct nesting: another acquisition inside the range.
+                for (ai, a) in f.acquisitions.iter().enumerate() {
+                    if ai != g.acq && a.tok > g.start && a.tok <= g.end {
+                        edges.entry((held.clone(), a.lock.clone())).or_insert(LockEdge {
+                            file: fi,
+                            tok: a.tok,
+                            via: None,
+                        });
+                    }
+                }
+                // Indirect nesting: a call in range whose callee (in the
+                // same crate) transitively acquires locks.
+                for c in &f.calls {
+                    if c.tok <= g.start || c.tok > g.end || is_condvar_wait(c) {
+                        continue;
+                    }
+                    let Some(callee) = ws.resolve(&ws.groups[fi], c) else { continue };
+                    for lock in ws.locks_closure(callee) {
+                        edges.entry((held.clone(), lock.clone())).or_insert(LockEdge {
+                            file: fi,
+                            tok: c.tok,
+                            via: Some(c.callee.clone()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let pos = |lock: &str| cfg.locks_order.iter().position(|l| l == lock);
+    for ((from, to), e) in &edges {
+        let via = match &e.via {
+            Some(callee) => format!(" (via call to `{callee}`)"),
+            None => String::new(),
+        };
+        let message = if from == to {
+            format!(
+                "lock `{from}` may be re-acquired while already held{via} — self-deadlock on a \
+                 non-reentrant mutex"
+            )
+        } else {
+            match (pos(from), pos(to)) {
+                (Some(a), Some(b)) if a < b => continue, // declared order
+                (Some(_), Some(_)) => format!(
+                    "lock nesting `{from}` → `{to}`{via} inverts the declared [locks] order — \
+                     this closes a cycle with the declared edges (potential deadlock)"
+                ),
+                _ => format!(
+                    "undeclared lock nesting `{from}` → `{to}`{via} — narrow the guard scope, \
+                     or declare the pair in [locks] order in lint.toml (potential deadlock)"
+                ),
+            }
+        };
+        out.push(finding_at(&ws.files[e.file], e.tok, "KL009", "lock-order", message));
+    }
+}
+
+/// KL010 — no blocking call while any guard is live, in the configured
+/// request-path files. Condvar waits release the guard they consume, so
+/// only *other* live guards count there. `// HELD-OK:` is the escape for
+/// the (rare) site where holding the lock is the protocol.
+fn blocking_rule(ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    for (fi, fm) in ws.models.iter().enumerate() {
+        let fd = &ws.files[fi];
+        if !matches(&fd.rel, &cfg.locks_blocking_files) {
+            continue;
+        }
+        for f in &fm.fns {
+            for c in &f.calls {
+                // What blocks: the call itself, or its intra-crate callee
+                // transitively.
+                let desc = if crate::model::direct_blocking(c) {
+                    Some(format!("`{}`", c.callee))
+                } else {
+                    ws.resolve(&ws.groups[fi], c)
+                        .and_then(|callee| ws.blocking_closure(callee))
+                        .map(|path| format!("`{}` (which blocks via {path})", c.callee))
+                };
+                let Some(desc) = desc else { continue };
+                let consumed = is_condvar_wait(c).then(|| c.arg_heads.first()).flatten();
+                let mut held: Vec<&str> = f
+                    .guards
+                    .iter()
+                    .filter(|g| c.tok > g.start && c.tok <= g.end)
+                    .filter(|g| match (consumed, &g.name) {
+                        (Some(cg), Some(gn)) => cg != gn,
+                        _ => true,
+                    })
+                    .map(|g| f.acquisitions[g.acq].lock.as_str())
+                    .collect();
+                held.sort_unstable();
+                held.dedup();
+                if held.is_empty() {
+                    continue;
+                }
+                let line = fd.toks[c.tok].line;
+                if fd.has_tag(line, &["HELD-OK:"]) {
+                    continue;
+                }
+                out.push(finding_at(
+                    fd,
+                    c.tok,
+                    "KL010",
+                    "blocking-under-lock",
+                    format!(
+                        "blocking call {desc} while guard of `{}` is live — narrow the guard \
+                         scope so the lock is released first, or justify with `// HELD-OK:`",
+                        held.join("`, `")
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// KL011 — crate dependency direction from `use`/path references. The
+/// matching `Cargo.toml [dependencies]` check is [`check_manifest`].
+fn layering_rule(files: &[FileData], models: &[FileModel], cfg: &Config, out: &mut Vec<Finding>) {
+    if cfg.layering_allow.is_empty() {
+        return;
+    }
+    let Ok(allow) = cfg.layering_map() else { return };
+    let governed: std::collections::BTreeSet<&str> = allow
+        .iter()
+        .flat_map(|(k, v)| std::iter::once(k.as_str()).chain(v.iter().map(String::as_str)))
+        .collect();
+    for (fd, fm) in files.iter().zip(models) {
+        let Some(own) = crate_of(&fd.rel, &cfg.layering_root) else { continue };
+        for r in &fm.crate_refs {
+            if r.name == own || !governed.contains(r.name.as_str()) {
+                continue;
+            }
+            let message = match allow.get(&own) {
+                None => format!(
+                    "crate `{own}` imports `{}` but is not declared in the [layering] allow \
+                     contract — add an entry stating what it may depend on",
+                    r.name
+                ),
+                Some(deps) if !deps.contains(&r.name) => format!(
+                    "layering violation: `{own}` must not import `{}` (allowed: {})",
+                    r.name,
+                    if deps.is_empty() {
+                        "nothing workspace-local".to_string()
+                    } else {
+                        deps.iter().map(|d| format!("`{d}`")).collect::<Vec<_>>().join(", ")
+                    }
+                ),
+                Some(_) => continue,
+            };
+            out.push(finding_at(fd, r.tok, "KL011", "layering", message));
+        }
+    }
+}
+
+/// KL011 (manifest half) — check one `Cargo.toml`'s `[dependencies]`
+/// section against the layering contract. Dev-dependencies are exempt:
+/// tests may reach across layers, shipped code may not.
+pub fn check_manifest(rel: &str, text: &str, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if cfg.layering_allow.is_empty() {
+        return out;
+    }
+    let Ok(allow) = cfg.layering_map() else { return out };
+    let governed: std::collections::BTreeSet<&str> = allow
+        .iter()
+        .flat_map(|(k, v)| std::iter::once(k.as_str()).chain(v.iter().map(String::as_str)))
+        .collect();
+    let importer = if rel == "Cargo.toml" {
+        if cfg.layering_root.is_empty() {
+            return out;
+        }
+        cfg.layering_root.clone()
+    } else {
+        match rel.strip_prefix("crates/").and_then(|r| r.strip_suffix("/Cargo.toml")) {
+            Some(dir) if !dir.contains('/') => format!("kg_{}", dir.replace('-', "_")),
+            _ => return out,
+        }
+    };
+    let mut in_deps = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let key: String = line
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+            .collect();
+        let dep = key.replace('-', "_");
+        if dep == importer || !governed.contains(dep.as_str()) {
+            continue;
+        }
+        let violation = match allow.get(&importer) {
+            None => format!(
+                "crate `{importer}` depends on `{dep}` but is not declared in the [layering] \
+                 allow contract"
+            ),
+            Some(deps) if !deps.contains(&dep) => format!(
+                "layering violation: `{importer}` must not depend on `{dep}` \
+                 ([dependencies] in {rel})"
+            ),
+            Some(_) => continue,
+        };
+        out.push(Finding {
+            rel: rel.to_string(),
+            line: idx as u32 + 1,
+            col: 1,
+            rule_id: "KL011",
+            rule_name: "layering",
+            message: violation,
+            snippet: raw.to_string(),
+        });
+    }
+    out
 }

@@ -1,0 +1,124 @@
+//! Property test for the lexer's byte spans: over generated source mixing
+//! raw strings, nested block comments, lifetimes, byte literals, and raw
+//! identifiers, the spans of tokens and comments must tile the file — in
+//! bounds, non-overlapping, with nothing but whitespace in the gaps. The
+//! structural rules (KL009–KL011) trust these spans for guard live-ranges,
+//! so a lexer that drops or double-counts a byte corrupts the analysis
+//! silently.
+
+use kg_lint::lexer::{lex, Lexed};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const IDENTS: &[&str] =
+    &["alpha", "write_all", "r#match", "lock", "x", "_tmp", "λ_ident", "state2"];
+
+/// One source fragment: every lexical shape the workspace's own sources
+/// exercise, plus the pathological ones (nested comments, multi-hash raw
+/// strings, a line comment that swallows the rest of its line).
+fn snippet() -> BoxedStrategy<String> {
+    prop_oneof![
+        (0usize..IDENTS.len()).prop_map(|i| IDENTS[i].to_string()),
+        (0u32..10_000).prop_map(|n| format!("{n}")),
+        (0u32..1000).prop_map(|n| format!("{n}.25f32")),
+        (0u32..1000).prop_map(|n| format!("0x{n:x}_u64")),
+        (0usize..4).prop_map(|i| format!("'{}", ["a", "static", "de", "_x"][i])),
+        Just(r##"r#"raw "quotes" inside"#"##.to_string()),
+        Just(r###"r##"fence r#" within"##"###.to_string()),
+        Just("\"plain \\\" escaped\\n\"".to_string()),
+        Just("b\"byte \\\"string\\\"\"".to_string()),
+        Just(r##"br#"raw bytes"#"##.to_string()),
+        Just("'x'".to_string()),
+        Just("b'q'".to_string()),
+        Just("'\\n'".to_string()),
+        Just("'\\''".to_string()),
+        Just("// line comment with \"unclosed quote".to_string()),
+        Just("/* block /* nested */ still comment */".to_string()),
+        Just("/** doc /* inner */ block */".to_string()),
+        Just("::<>(){}[];,.->=>&&||#!".to_string()),
+        Just("a.lock().unwrap()".to_string()),
+    ]
+    .boxed()
+}
+
+fn separator() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just(" ".to_string()),
+        Just("\n".to_string()),
+        Just("\t".to_string()),
+        Just("\n\n    ".to_string()),
+    ]
+    .boxed()
+}
+
+/// All spans (token and comment), sorted by start offset.
+fn spans(lexed: &Lexed) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = lexed
+        .toks
+        .iter()
+        .map(|t| (t.off, t.len))
+        .chain(lexed.comments.iter().map(|c| (c.off, c.len)))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn assert_tiling(src: &str) {
+    let lexed = lex(src);
+    let spans = spans(&lexed);
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    for &(off, len) in &spans {
+        prop_assert!(len >= 1, "zero-length span at {off} in {src:?}");
+        prop_assert!(off + len <= src.len(), "span {off}+{len} out of bounds in {src:?}");
+        prop_assert!(off >= pos, "span at {off} overlaps previous (ends {pos}) in {src:?}");
+        prop_assert!(
+            bytes[pos..off].iter().all(u8::is_ascii_whitespace),
+            "non-whitespace gap {:?} before {off} in {src:?}",
+            &src[pos..off],
+        );
+        prop_assert!(src.is_char_boundary(off) && src.is_char_boundary(off + len));
+        pos = off + len;
+    }
+    prop_assert!(
+        bytes[pos..].iter().all(u8::is_ascii_whitespace),
+        "non-whitespace tail {:?} in {src:?}",
+        &src[pos..],
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn token_spans_tile_generated_source(
+        parts in vec((snippet(), separator()), 0..24),
+    ) {
+        let mut src = String::new();
+        for (snip, sep) in &parts {
+            src.push_str(snip);
+            src.push_str(sep);
+        }
+        assert_tiling(&src);
+    }
+}
+
+#[test]
+fn token_spans_tile_this_crates_own_sources() {
+    for file in ["src/lexer.rs", "src/parse.rs", "src/rules.rs"] {
+        let src = std::fs::read_to_string(format!("{}/{file}", env!("CARGO_MANIFEST_DIR")))
+            .expect("crate source");
+        let lexed = lex(&src);
+        let spans = spans(&lexed);
+        let mut reconstructed = vec![b' '; src.len()];
+        for &(off, len) in &spans {
+            reconstructed[off..off + len].copy_from_slice(&src.as_bytes()[off..off + len]);
+        }
+        // Everything outside the spans is whitespace, so blanking the gaps
+        // and normalizing whitespace reproduces the file exactly.
+        let norm = |b: &u8| if b.is_ascii_whitespace() { b' ' } else { *b };
+        let orig: Vec<u8> = src.as_bytes().iter().map(norm).collect();
+        let recon: Vec<u8> = reconstructed.iter().map(norm).collect();
+        assert_eq!(orig, recon, "{file}: spans must cover every non-whitespace byte");
+    }
+}

@@ -4,7 +4,7 @@
 //! `fixtures/` — outside `src/`, so the workspace self-scan never sees
 //! them — and are lexed, not compiled.
 
-use kg_lint::{lint_source, Config, Finding};
+use kg_lint::{lint_source, lint_sources, Config, Finding};
 
 fn ids(findings: &[Finding]) -> Vec<&'static str> {
     findings.iter().map(|f| f.rule_id).collect()
@@ -199,4 +199,113 @@ fn kl008_accepts_justified_sites_and_sanctioned_locks() {
     let cfg = Config { panic_files: one(rel), ..Config::default() };
     let f = lint_source(rel, include_str!("../fixtures/kl008_pass.rs"), &cfg);
     assert!(f.is_empty(), "{f:#?}");
+}
+
+fn kl009_cfg(stem: &str) -> Config {
+    Config {
+        locks_order: vec![format!("{stem}.writer"), format!("{stem}.current")],
+        ..Config::default()
+    }
+}
+
+#[test]
+fn kl009_flags_inversion_undeclared_indirect_and_reentrant_nesting() {
+    let rel = "fixtures/kl009_fail.rs";
+    let src = include_str!("../fixtures/kl009_fail.rs");
+    let f = lint_sources(&[(rel, src)], &kl009_cfg("kl009_fail"));
+    assert_eq!(ids(&f), ["KL009", "KL009", "KL009", "KL009"], "{f:#?}");
+    assert_eq!(lines(&f), [8, 15, 26, 33]);
+    assert!(f[0].message.contains("inverts the declared [locks] order"), "{}", f[0].message);
+    assert!(f[1].message.contains("undeclared lock nesting"), "{}", f[1].message);
+    assert!(f[2].message.contains("via call to `helper`"), "{}", f[2].message);
+    assert!(f[3].message.contains("self-deadlock"), "{}", f[3].message);
+}
+
+#[test]
+fn kl009_accepts_declared_order_and_narrowed_scopes() {
+    let rel = "fixtures/kl009_pass.rs";
+    let src = include_str!("../fixtures/kl009_pass.rs");
+    let f = lint_sources(&[(rel, src)], &kl009_cfg("kl009_pass"));
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn kl010_flags_direct_and_transitive_blocking_under_guard() {
+    let rel = "fixtures/kl010_fail.rs";
+    let src = include_str!("../fixtures/kl010_fail.rs");
+    let cfg = Config { locks_blocking_files: one(rel), ..Config::default() };
+    let f = lint_sources(&[(rel, src)], &cfg);
+    assert_eq!(ids(&f), ["KL010", "KL010", "KL010"], "{f:#?}");
+    assert_eq!(lines(&f), [7, 13, 22]);
+    assert!(f[0].message.contains("`write_all`"), "{}", f[0].message);
+    assert!(f[0].message.contains("kl010_fail.state"), "{}", f[0].message);
+    assert!(f[1].message.contains("`sleep`"), "{}", f[1].message);
+    assert!(f[2].message.contains("blocks via flush"), "{}", f[2].message);
+    // Out of scope, the same file is clean: the rule is file-scoped.
+    assert!(lint_sources(&[(rel, src)], &Config::default()).is_empty());
+}
+
+#[test]
+fn kl010_accepts_narrowed_scopes_condvar_waits_and_held_ok() {
+    let rel = "fixtures/kl010_pass.rs";
+    let src = include_str!("../fixtures/kl010_pass.rs");
+    let cfg = Config { locks_blocking_files: one(rel), ..Config::default() };
+    let f = lint_sources(&[(rel, src)], &cfg);
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+fn kl011_cfg() -> Config {
+    Config {
+        layering_root: "kgeval".to_string(),
+        layering_allow: vec![
+            "kg_core <-".to_string(),
+            "kg_models <- kg_core".to_string(),
+            "kg_recommend <- kg_core".to_string(),
+            "kg_eval <- kg_core kg_models".to_string(),
+            "kg_serve <- kg_core kg_models kg_recommend".to_string(),
+        ],
+        ..Config::default()
+    }
+}
+
+#[test]
+fn kl011_flags_imports_outside_the_contract() {
+    // The fixture lexes as a file of kg_core, which may import nothing
+    // workspace-local: both `use` statements and the inline path flag.
+    let rel = "crates/core/src/kl011_fail.rs";
+    let src = include_str!("../fixtures/kl011_fail.rs");
+    let f = lint_sources(&[(rel, src)], &kl011_cfg());
+    assert_eq!(ids(&f), ["KL011", "KL011", "KL011"], "{f:#?}");
+    assert_eq!(lines(&f), [5, 6, 9]);
+    assert!(f[0].message.contains("must not import `kg_models`"), "{}", f[0].message);
+    assert!(f[0].message.contains("nothing workspace-local"), "{}", f[0].message);
+    assert!(f[1].message.contains("must not import `kg_serve`"), "{}", f[1].message);
+    assert!(f[2].message.contains("must not import `kg_eval`"), "{}", f[2].message);
+}
+
+#[test]
+fn kl011_flags_crates_missing_from_the_contract() {
+    // Same imports under an UNDECLARED crate: every governed reference
+    // reports the missing allow entry instead.
+    let rel = "crates/widget/src/kl011_fail.rs";
+    let src = include_str!("../fixtures/kl011_fail.rs");
+    let f = lint_sources(&[(rel, src)], &kl011_cfg());
+    assert_eq!(ids(&f), ["KL011", "KL011", "KL011"], "{f:#?}");
+    assert!(
+        f[0].message.contains("`kg_widget`")
+            && f[0].message.contains("not declared in the [layering] allow contract"),
+        "{}",
+        f[0].message
+    );
+}
+
+#[test]
+fn kl011_accepts_declared_imports_and_ignores_external_crates() {
+    let rel = "crates/serve/src/kl011_pass.rs";
+    let src = include_str!("../fixtures/kl011_pass.rs");
+    let f = lint_sources(&[(rel, src)], &kl011_cfg());
+    assert!(f.is_empty(), "{f:#?}");
+    // With the rule unconfigured, even the failing fixture is silent.
+    let fail = include_str!("../fixtures/kl011_fail.rs");
+    assert!(lint_sources(&[("crates/core/src/kl011_fail.rs", fail)], &Config::default()).is_empty());
 }

@@ -5,7 +5,10 @@
 
 use std::path::Path;
 
-use kg_lint::{lint_source, lint_workspace, render, scan_roots, Config};
+use kg_lint::{
+    check_config, lint_source, lint_sources, lint_workspace, render, render_json, rules,
+    scan_roots, sort_and_dedup, Config,
+};
 
 fn workspace_root() -> &'static Path {
     Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap()
@@ -66,6 +69,137 @@ fn injected_fma_and_lossy_cast_are_caught() {
     // And the unmodified file stays clean — the findings are the splice's.
     let clean = std::fs::read_to_string(workspace_root().join(rel)).expect("partial.rs");
     assert!(lint_source(rel, &clean, &cfg).is_empty());
+}
+
+#[test]
+fn injected_lock_order_inversion_is_caught() {
+    let cfg = workspace_config();
+    let rel = "crates/core/src/live.rs";
+    let mut src = std::fs::read_to_string(workspace_root().join(rel)).expect("live.rs");
+    // Splice in an inversion of the one declared nesting: the snapshot
+    // swap lock taken first, the ingest writer lock taken inside it.
+    src.push_str(
+        "\nimpl LiveGraph {\n    pub fn smuggled(&self) {\n        \
+         let cur = self.current.write().unwrap();\n        \
+         let w = self.writer.lock().unwrap();\n        \
+         drop(w);\n        drop(cur);\n    }\n}\n",
+    );
+    let findings = lint_sources(&[(rel, &src)], &cfg);
+    assert!(
+        findings.iter().any(|f| f.rule_id == "KL009"
+            && f.message.contains("`live.current` → `live.writer`")
+            && f.message.contains("inverts the declared [locks] order")),
+        "inversion must be caught: {findings:#?}"
+    );
+}
+
+#[test]
+fn injected_blocking_write_and_undeclared_nesting_are_caught() {
+    let cfg = workspace_config();
+    let rel = "crates/serve/src/registry.rs";
+    let mut src = std::fs::read_to_string(workspace_root().join(rel)).expect("registry.rs");
+    // Splice a socket write under the live entries guard, plus an
+    // undeclared nesting of the monitors map inside it.
+    src.push_str(
+        "\nimpl ModelRegistry {\n    \
+         pub(crate) fn smuggled(&self, out: &mut std::net::TcpStream) {\n        \
+         let entries = self.entries.read().unwrap();\n        \
+         let m = self.monitors.lock().unwrap();\n        \
+         let _ = out.write_all(b\"x\");\n        \
+         drop(m);\n        drop(entries);\n    }\n}\n",
+    );
+    let findings = lint_sources(&[(rel, &src)], &cfg);
+    assert!(
+        findings.iter().any(|f| f.rule_id == "KL010"
+            && f.message.contains("`write_all`")
+            && f.message.contains("registry.entries")),
+        "blocking write under guard must be caught: {findings:#?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.rule_id == "KL009"
+            && f.message.contains("`registry.entries` → `registry.monitors`")),
+        "undeclared nesting must be caught: {findings:#?}"
+    );
+    // The unmodified file stays clean under the same config.
+    let clean = std::fs::read_to_string(workspace_root().join(rel)).expect("registry.rs");
+    assert!(lint_sources(&[(rel, &clean)], &cfg).is_empty());
+}
+
+#[test]
+fn manifest_dependencies_are_checked_against_the_contract() {
+    let cfg = workspace_config();
+    let manifest = "[package]\nname = \"kg-serve\"\n\n[dependencies]\nkg-core = { path = \
+                    \"../core\" }\nkg-datasets = { path = \"../datasets\" }\n\n[dev-dependencies]\
+                    \nkgeval = { path = \"../..\" }\n";
+    let findings = rules::check_manifest("crates/serve/Cargo.toml", manifest, &cfg);
+    // kg-core is allowed; kgeval sits in dev-dependencies (exempt); only
+    // the kg-datasets dependency violates the contract.
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule_id, "KL011");
+    assert_eq!(findings[0].line, 6);
+    assert!(
+        findings[0].message.contains("`kg_serve` must not depend on `kg_datasets`"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn findings_are_sorted_and_deduplicated() {
+    let cfg = Config { panic_files: vec!["f.rs".to_string()], ..Config::default() };
+    let src = "pub fn f(v: &[u8]) -> u8 {\n    v[1].max(v[0])\n}\n";
+    let mut findings = lint_source("f.rs", src, &cfg);
+    let mut doubled = findings.clone();
+    doubled.extend(findings.clone());
+    doubled.reverse();
+    sort_and_dedup(&mut doubled);
+    sort_and_dedup(&mut findings);
+    assert_eq!(doubled.len(), findings.len(), "exact duplicates collapse");
+    let cols: Vec<u32> = findings.iter().map(|f| f.col).collect();
+    let mut sorted = cols.clone();
+    sorted.sort_unstable();
+    assert_eq!(cols, sorted, "same-line findings are ordered by column");
+}
+
+#[test]
+fn json_rendering_is_one_escaped_object_per_line() {
+    let cfg = Config { panic_files: vec!["f.rs".to_string()], ..Config::default() };
+    let findings = lint_source("f.rs", "pub fn f(v: &[u8]) -> u8 {\n    v[0]\n}\n", &cfg);
+    assert_eq!(findings.len(), 1);
+    let json = render_json(&findings);
+    let lines: Vec<&str> = json.lines().collect();
+    assert_eq!(lines.len(), 1);
+    assert!(
+        lines[0].starts_with(r#"{"file":"f.rs","line":2,"col":6,"rule":"KL008","#),
+        "got: {json}"
+    );
+    // Messages with quotes/backslashes must stay valid JSON.
+    let mut tricky = findings.clone();
+    tricky[0].message = "a \"quoted\" path\\with\nnewline".to_string();
+    let out = render_json(&tricky);
+    assert!(out.contains(r#""message":"a \"quoted\" path\\with\nnewline""#), "got: {out}");
+}
+
+#[test]
+fn check_config_validates_paths_locks_and_layering() {
+    let root = workspace_root();
+    // The real config is fully live.
+    let problems = check_config(root, &workspace_config()).expect("audit");
+    assert!(problems.is_empty(), "{problems:#?}");
+    // Orphaned path entries, stale lock names, and unknown layering
+    // importers are each reported.
+    let cfg = Config {
+        panic_files: vec!["crates/serve/src/".to_string(), "crates/gone/src/old.rs".to_string()],
+        locks_order: vec!["live.writer".to_string(), "vanished.lock_field".to_string()],
+        layering_root: "kgeval".to_string(),
+        layering_allow: vec!["kg_core <-".to_string(), "kg_phantom <- kg_core".to_string()],
+        ..Config::default()
+    };
+    let problems = check_config(root, &cfg).expect("audit");
+    assert_eq!(problems.len(), 3, "{problems:#?}");
+    assert!(problems.iter().any(|p| p.contains("crates/gone/src/old.rs")), "{problems:#?}");
+    assert!(problems.iter().any(|p| p.contains("vanished.lock_field")), "{problems:#?}");
+    assert!(problems.iter().any(|p| p.contains("kg_phantom")), "{problems:#?}");
 }
 
 #[test]

@@ -219,19 +219,26 @@ impl Monitor {
         );
         let uptime = registry.metrics().uptime_seconds();
 
-        let mut state = shared.state.lock().unwrap();
-        state.evals_run += 1;
-        state.graph_version = version;
-        state.metrics = result.metrics;
-        let baseline = *state.baseline_mrr.get_or_insert(result.metrics.mrr);
-        state.drift_alarm = baseline - result.metrics.mrr > shared.config.drift_threshold;
-        state.last_eval_uptime = uptime;
+        // State update and gauge publication are deliberately unnested:
+        // set_monitor_stats takes the metrics-registry lock, and holding
+        // monitor.state across it would create an undeclared lock-order
+        // edge (KL009) against on_delta's state-only path.
+        let (baseline, drift_alarm, evals_run) = {
+            let mut state = shared.state.lock().unwrap();
+            state.evals_run += 1;
+            state.graph_version = version;
+            state.metrics = result.metrics;
+            let baseline = *state.baseline_mrr.get_or_insert(result.metrics.mrr);
+            state.drift_alarm = baseline - result.metrics.mrr > shared.config.drift_threshold;
+            state.last_eval_uptime = uptime;
+            (baseline, state.drift_alarm, state.evals_run)
+        };
         registry.metrics().set_monitor_stats(
             &shared.model,
             &result.metrics,
             baseline,
-            state.drift_alarm,
-            state.evals_run,
+            drift_alarm,
+            evals_run,
             uptime,
         );
     }

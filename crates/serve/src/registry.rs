@@ -493,13 +493,20 @@ impl ModelRegistry {
             return Err(format!("unknown model '{name}'"));
         }
         let monitor = Arc::new(Monitor::spawn(Arc::downgrade(self), name.to_string(), config));
-        self.monitors.lock().unwrap().insert(name.to_string(), Arc::clone(&monitor));
+        // Bind the displaced monitor before the guard dies: its Drop joins
+        // the eval thread, which must not run under the map lock.
+        let displaced =
+            self.monitors.lock().unwrap().insert(name.to_string(), Arc::clone(&monitor));
+        drop(displaced);
         Ok(monitor)
     }
 
     /// Stop and drop the monitor for `name`; returns whether one existed.
     pub fn stop_monitor(&self, name: &str) -> bool {
-        self.monitors.lock().unwrap().remove(name).is_some()
+        // Same Drop-joins-thread hazard as start_monitor: take the monitor
+        // out of the map first, then let it drop with no lock held.
+        let removed = self.monitors.lock().unwrap().remove(name);
+        removed.is_some()
     }
 
     /// The running monitor for `name`, if any.
@@ -518,7 +525,12 @@ impl ModelRegistry {
     /// Feed a just-applied delta to the model's monitor (if one runs) so
     /// its held-out window tracks the live graph.
     pub(crate) fn notify_delta(&self, name: &str, delta: &GraphDelta) {
-        if let Some(monitor) = self.monitors.lock().unwrap().get(name) {
+        // Clone the handle out before delivering: on_delta takes the
+        // monitor's state lock, and an `if let` scrutinee guard would stay
+        // live across the call — an undeclared registry.monitors →
+        // monitor.state nesting (KL009).
+        let monitor = self.monitors.lock().unwrap().get(name).cloned();
+        if let Some(monitor) = monitor {
             monitor.on_delta(delta);
         }
     }

@@ -336,6 +336,11 @@ pub fn serve(router: Router, config: &ServerConfig) -> std::io::Result<ServerHan
                 // PANIC-OK: channel mutex poisoning means another worker
                 // panicked outside its catch_unwind — unrecoverable, and
                 // rethrowing here is the only honest option.
+                // HELD-OK: this mutex exists solely to serialize recv()
+                // across pool workers (std mpsc receivers are !Sync); the
+                // guard dies at the end of this statement, before the
+                // accepted connection is handled. Blocking here IS the
+                // idle state of the pool.
                 let (stream, _permit, admitted) = match rx.lock().unwrap().recv() {
                     Ok(s) => s,
                     Err(_) => return, // sender dropped: shutdown
