@@ -1,0 +1,134 @@
+//! Release-mode perf smoke for the reactor's connection scaling: `/score`
+//! throughput over one keep-alive connection with the server empty vs
+//! with 1k idle keep-alive connections parked on it.
+//!
+//! Under the reactor, idle connections are slab entries the poller never
+//! reports, so the loaded number must sit within noise of the unloaded
+//! one. The thread-per-connection model this replaced could not run the
+//! loaded mode at all below `workers = connections` — 1k idlers on a
+//! 2-worker pool left no worker free, so live requests queued until the
+//! idle-timeout 408. That is the documented "before": not slower,
+//! **unservable**.
+//!
+//! `#[ignore]`d because wall-clock numbers only mean anything under
+//! `--release`; CI runs it explicitly:
+//!
+//! ```text
+//! cargo test --release -p kg-bench --test conn_scaling -- --ignored --nocapture
+//! ```
+//!
+//! It prints one machine-greppable line per mode plus a final
+//! `conn_scaling:` summary for BENCH_*.json trajectories, and asserts the
+//! loaded responses are byte-identical to the unloaded ones — the
+//! invariant that makes the scaling claim worth measuring. No wall-clock
+//! threshold is asserted (CI machines vary); the ratio line is the
+//! tracked number.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kgeval::core::{FilterIndex, Triple};
+use kgeval::models::{build_model, KgcModel, ModelKind};
+use kgeval::serve::{client, serve, ModelRegistry, RegistryConfig, Router, ServerConfig};
+
+const NUM_ENTITIES: usize = 1_000;
+const NUM_RELATIONS: usize = 8;
+const DIM: usize = 16;
+const REQUESTS: usize = 1_000;
+const IDLERS: usize = 1_000;
+
+#[test]
+#[ignore = "1k-idle-connection perf smoke; run with --release -- --ignored --nocapture"]
+fn throughput_is_unchanged_by_1k_idle_connections() {
+    let model = build_model(ModelKind::DistMult, NUM_ENTITIES, NUM_RELATIONS, DIM, 42);
+    let model: Arc<dyn KgcModel> = Arc::from(model as Box<dyn KgcModel>);
+    let triples = [Triple::new(0, 0, 1)];
+    let filter = Arc::new(FilterIndex::from_slices(&[&triples]));
+    let registry = Arc::new(ModelRegistry::with_config(RegistryConfig {
+        // No coalescing sleep: serial clients would pay the window per
+        // request in both modes, drowning the connection cost under test.
+        batch_window: Duration::ZERO,
+        ..RegistryConfig::default()
+    }));
+    registry.register("m", model, filter);
+    let server = serve(
+        Router::new(registry),
+        &ServerConfig {
+            workers: 2,
+            max_connections: IDLERS + 64,
+            max_requests_per_connection: REQUESTS + 16,
+            // Idlers must outlive both measured runs.
+            idle_timeout: Duration::from_secs(300),
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let body = r#"{"model":"m","triples":[[1,2,3]]}"#;
+
+    // Warm-up: populate caches, fault in the accept path.
+    for _ in 0..16 {
+        let (status, _) = client::post_json(addr, "/score", body).unwrap();
+        assert_eq!(status, 200);
+    }
+
+    let run = |conn: &mut client::Connection| {
+        let start = Instant::now();
+        let mut bodies = Vec::with_capacity(REQUESTS);
+        for _ in 0..REQUESTS {
+            let (status, response) = conn.post_json("/score", body).unwrap();
+            assert_eq!(status, 200, "{response}");
+            bodies.push(response);
+        }
+        (start.elapsed().as_secs_f64(), bodies)
+    };
+
+    // Mode 1: empty server.
+    let mut conn = client::Connection::open(addr).unwrap();
+    let (empty_s, empty_bodies) = run(&mut conn);
+    drop(conn);
+    println!(
+        "conn_scaling: mode=empty requests={REQUESTS} total_s={:.4} per_request_us={:.1}",
+        empty_s,
+        empty_s * 1e6 / REQUESTS as f64
+    );
+
+    // Park 1k idle keep-alive connections, each proven live once.
+    let mut idlers: Vec<client::Connection> = Vec::with_capacity(IDLERS);
+    for i in 0..IDLERS {
+        let mut idler =
+            client::Connection::open(addr).unwrap_or_else(|e| panic!("open idler {i}: {e}"));
+        let (status, _) = idler.get("/healthz").unwrap_or_else(|e| panic!("idler {i}: {e}"));
+        assert_eq!(status, 200, "idler {i}");
+        idlers.push(idler);
+    }
+
+    // Mode 2: the same requests with the idlers present.
+    let mut conn = client::Connection::open(addr).unwrap();
+    let (loaded_s, loaded_bodies) = run(&mut conn);
+    drop(conn);
+    println!(
+        "conn_scaling: mode=idle_{IDLERS} requests={REQUESTS} total_s={:.4} per_request_us={:.1}",
+        loaded_s,
+        loaded_s * 1e6 / REQUESTS as f64
+    );
+
+    assert_eq!(
+        empty_bodies, loaded_bodies,
+        "responses under 1k idle connections must be byte-identical to the unloaded server"
+    );
+    for (i, idler) in idlers.iter().enumerate() {
+        assert!(!idler.server_closed(), "idler {i} must have stayed open through both runs");
+    }
+
+    // The ratio line BENCH_*.json tracks: ~1.0 means idle connections are
+    // free; the pre-reactor model scores "unservable" here, not a ratio.
+    println!(
+        "conn_scaling: {:.2}x slowdown with {IDLERS} idle conns (empty {:.4}s -> loaded {:.4}s)",
+        loaded_s / empty_s.max(1e-12),
+        empty_s,
+        loaded_s
+    );
+    drop(idlers);
+    server.shutdown();
+}

@@ -339,3 +339,84 @@ impl Connection {
         Ok(responses)
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{Shutdown, TcpListener};
+
+    /// One-connection server that writes a fixed byte script, half-closes,
+    /// and drains the client's bytes (so client writes never see an RST).
+    fn scripted_server(script: &'static str) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            let Ok((mut stream, _)) = listener.accept() else { return };
+            let _ = stream.write_all(script.as_bytes());
+            let _ = stream.shutdown(Shutdown::Write);
+            let mut sink = [0u8; 1024];
+            while let Ok(n) = stream.read(&mut sink) {
+                if n == 0 {
+                    break;
+                }
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn encode_request_formats_the_wire_head() {
+        let addr: SocketAddr = "127.0.0.1:8080".parse().expect("addr");
+        assert_eq!(
+            encode_request(addr, "POST", "/score", Some("{}"), true),
+            "POST /score HTTP/1.1\r\nHost: 127.0.0.1:8080\r\n\
+             Content-Type: application/json\r\nContent-Length: 2\r\n\
+             Connection: close\r\n\r\n{}"
+        );
+        // Keep-alive mode omits the Connection header (HTTP/1.1 default)
+        // and an absent body is an explicit zero-length one.
+        assert_eq!(
+            encode_request(addr, "GET", "/healthz", None, false),
+            "GET /healthz HTTP/1.1\r\nHost: 127.0.0.1:8080\r\n\
+             Content-Type: application/json\r\nContent-Length: 0\r\n\r\n"
+        );
+    }
+
+    #[test]
+    fn interim_1xx_responses_are_skipped_transparently() {
+        let addr = scripted_server(
+            "HTTP/1.1 100 Continue\r\n\r\nHTTP/1.1 102 Processing\r\n\r\n\
+             HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+             Content-Length: 4\r\nConnection: close\r\n\r\ndone",
+        );
+        let (status, body) = get(addr, "/x").expect("roundtrip");
+        assert_eq!(status, 200, "the final status, not an interim one");
+        assert_eq!(body, "done");
+    }
+
+    #[test]
+    fn missing_content_length_reads_to_eof_and_spends_the_connection() {
+        let addr = scripted_server("HTTP/1.1 200 OK\r\n\r\nunframed tail");
+        let mut conn = Connection::open(addr).expect("open");
+        let (status, body) = conn.get("/x").expect("roundtrip");
+        assert_eq!(status, 200);
+        assert_eq!(body, "unframed tail");
+        assert!(conn.server_closed(), "an EOF-framed body spends the socket");
+        assert!(conn.get("/again").is_err(), "no further requests on a spent socket");
+    }
+
+    #[test]
+    fn pipeline_keeps_partial_results_when_the_server_dies_midway() {
+        // Two pipelined requests; the server answers only the first (with
+        // keep-alive framing) and vanishes without a Connection: close.
+        let addr = scripted_server(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 1\r\n\r\na",
+        );
+        let mut conn = Connection::open(addr).expect("open");
+        let requests: Vec<(&str, &str, Option<&str>)> =
+            vec![("GET", "/a", None), ("GET", "/b", None)];
+        let responses = conn.pipeline(&requests).expect("partial results are Ok, not Err");
+        assert_eq!(responses, vec![(200, "a".to_string())]);
+        assert!(conn.server_closed(), "the mid-pipeline EOF must mark the socket spent");
+    }
+}

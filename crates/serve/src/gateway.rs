@@ -664,14 +664,14 @@ fn probe_loop(inner: Weak<Inner>, interval: Duration) {
     loop {
         let Some(gw) = inner.upgrade() else { return };
         for backend in &gw.backends {
-            // One-shot connection, never the data pool: a pooled probe
-            // connection kept warm by the probe interval would pin one of
-            // the backend's connection workers *permanently* just for
-            // liveness (each open connection occupies a worker until it
-            // closes). A fresh connect-probe-close costs the backend a
-            // worker only for the probe itself — and doubles as a check
-            // that the backend still *accepts* connections, which a
-            // long-lived pooled socket would mask.
+            // One-shot connection, never the data pool. Since the reactor
+            // rewrite an idle probe connection no longer pins a backend
+            // worker (open connections are reactor slab state, not
+            // threads), but the fresh connect-probe-close stays: it
+            // exercises the backend's *accept and admission* path every
+            // interval — a backend at its connection budget or with a
+            // wedged reactor fails the probe, which a long-lived pooled
+            // socket would mask.
             let probe = || -> std::io::Result<(u16, String)> {
                 let mut conn = Connection::open_with(backend.addr, &backend.client)?;
                 conn.get("/healthz")

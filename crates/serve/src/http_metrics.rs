@@ -112,6 +112,13 @@ pub struct HttpMetrics {
     connections_rejected: AtomicU64,
     /// Connections refused with 429 by a per-client token bucket.
     connections_throttled: AtomicU64,
+    /// File descriptors registered with the reactor's poller (listener +
+    /// waker + open connections).
+    reactor_fds: AtomicU64,
+    /// Times the reactor's poll wait returned (readiness or waker byte).
+    reactor_wakeups: AtomicU64,
+    /// Ready events delivered per reactor tick (sliding window).
+    reactor_ready: Mutex<Reservoir>,
     /// Current live-graph version per model.
     graph_versions: Mutex<HashMap<String, u64>>,
     /// Entity-table storage precision per model ("f32"/"f16"/"int8").
@@ -163,6 +170,9 @@ impl HttpMetrics {
             keepalive_reuses: AtomicU64::new(0),
             connections_rejected: AtomicU64::new(0),
             connections_throttled: AtomicU64::new(0),
+            reactor_fds: AtomicU64::new(0),
+            reactor_wakeups: AtomicU64::new(0),
+            reactor_ready: Mutex::new(Reservoir::default()),
             graph_versions: Mutex::new(HashMap::new()),
             model_precisions: Mutex::new(HashMap::new()),
             triples_inserted: AtomicU64::new(0),
@@ -231,6 +241,28 @@ impl HttpMetrics {
     /// Connections refused with 429 by the per-client token bucket.
     pub fn throttled_connections(&self) -> u64 {
         self.connections_throttled.load(Ordering::Relaxed)
+    }
+
+    /// The reactor recounted the file descriptors registered with its
+    /// poller (listener + waker + open connections).
+    pub fn set_reactor_fds(&self, fds: u64) {
+        self.reactor_fds.store(fds, Ordering::Relaxed);
+    }
+
+    /// File descriptors currently registered with the reactor's poller.
+    pub fn reactor_fds(&self) -> u64 {
+        self.reactor_fds.load(Ordering::Relaxed)
+    }
+
+    /// One reactor tick: the poll wait returned with `ready` events.
+    pub fn observe_reactor_tick(&self, ready: usize) {
+        self.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+        self.reactor_ready.lock().unwrap().observe(ready as u64);
+    }
+
+    /// Times the reactor's poll wait has returned.
+    pub fn reactor_wakeups(&self) -> u64 {
+        self.reactor_wakeups.load(Ordering::Relaxed)
     }
 
     /// The gateway observed a backend failure (connect/transport error or
@@ -452,6 +484,29 @@ impl HttpMetrics {
             "kg_serve_throttled_connections_total {}\n",
             self.throttled_connections()
         ));
+
+        out.push_str(
+            "# HELP kg_serve_reactor_registered_fds File descriptors registered with the reactor poller (listener + waker + connections).\n",
+        );
+        out.push_str("# TYPE kg_serve_reactor_registered_fds gauge\n");
+        out.push_str(&format!("kg_serve_reactor_registered_fds {}\n", self.reactor_fds()));
+        out.push_str(
+            "# HELP kg_serve_reactor_wakeups_total Times the reactor's poll wait returned.\n",
+        );
+        out.push_str("# TYPE kg_serve_reactor_wakeups_total counter\n");
+        out.push_str(&format!("kg_serve_reactor_wakeups_total {}\n", self.reactor_wakeups()));
+        if let Some(sorted) = self.reactor_ready.lock().unwrap().sorted() {
+            out.push_str(
+                "# HELP kg_serve_reactor_ready_events Ready events per reactor tick, quantiles over a sliding window.\n",
+            );
+            out.push_str("# TYPE kg_serve_reactor_ready_events summary\n");
+            for (label, q) in [("0.5", 0.50), ("0.99", 0.99)] {
+                out.push_str(&format!(
+                    "kg_serve_reactor_ready_events{{quantile=\"{label}\"}} {}\n",
+                    percentile(&sorted, q)
+                ));
+            }
+        }
 
         let map = self.endpoints.lock().unwrap();
         let mut endpoints: Vec<&String> = map.keys().collect();
@@ -906,6 +961,22 @@ mod tests {
         assert!(text.contains("kg_serve_connections_total 2"), "{text}");
         assert!(text.contains("kg_serve_keepalive_reuses_total 3"), "{text}");
         assert!(text.contains("kg_serve_rejected_connections_total 1"), "{text}");
+    }
+
+    #[test]
+    fn reactor_series_render_gauge_counter_and_summary() {
+        let m = HttpMetrics::new();
+        assert_eq!(m.reactor_fds(), 0);
+        m.set_reactor_fds(12);
+        m.observe_reactor_tick(0);
+        m.observe_reactor_tick(4);
+        assert_eq!(m.reactor_fds(), 12);
+        assert_eq!(m.reactor_wakeups(), 2);
+        let text = m.render();
+        assert!(text.contains("kg_serve_reactor_registered_fds 12"), "{text}");
+        assert!(text.contains("kg_serve_reactor_wakeups_total 2"), "{text}");
+        assert!(text.contains("kg_serve_reactor_ready_events{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("kg_serve_reactor_ready_events{quantile=\"0.99\"}"), "{text}");
     }
 
     #[test]

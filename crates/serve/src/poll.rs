@@ -1,0 +1,544 @@
+//! Readiness-polling syscall shim: the one file in the serving crate that
+//! talks to the OS event interface directly, so every `unsafe` the reactor
+//! needs lives here behind a safe, `mio`-shaped API.
+//!
+//! * Linux: `epoll` (`epoll_create1` / `epoll_ctl` / `epoll_wait`).
+//! * macOS / the BSDs: `kqueue` (`kqueue` / `kevent`), 64-bit targets only
+//!   (tokens ride in the pointer-sized `udata` field).
+//!
+//! Both backends are used **level-triggered**: an fd with unread input (or
+//! writable buffer space the reactor wants) reports ready on every
+//! [`Poller::wait`] until the condition is consumed. Level-triggering keeps
+//! the connection state machine simple — no "drain until `EAGAIN` or lose
+//! the edge" obligation — at the cost of re-reported events the reactor
+//! suppresses by registering only the interests it can act on.
+//!
+//! The FFI declarations bind the C library's wrappers (every libc on the
+//! supported platforms exports them with these exact signatures), not raw
+//! syscall numbers, so errno handling comes via
+//! [`std::io::Error::last_os_error`] like the rest of std's own net code.
+#![allow(unsafe_code)] // the crate root denies it; readiness FFI is the sanctioned exception
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// One readiness report from [`Poller::wait`].
+///
+/// Error and hang-up conditions (`EPOLLERR`/`EPOLLHUP`/`EV_EOF`) are folded
+/// into `readable`/`writable` both set: whichever operation the connection
+/// attempts next will surface the concrete `io::Error` (or EOF), which is
+/// the only place it can be handled anyway.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+/// Interest set for [`Poller::register`] / [`Poller::reregister`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READABLE: Interest = Interest { readable: true, writable: false };
+
+    pub fn new(readable: bool, writable: bool) -> Interest {
+        Interest { readable, writable }
+    }
+}
+
+/// Upper bound on events surfaced per [`Poller::wait`] call. More ready
+/// fds than this simply arrive on the next tick (level-triggered backends
+/// re-report anything still ready), so the bound trades one reallocation
+/// -free buffer against tick latency under extreme fan-in.
+const MAX_EVENTS: usize = 1024;
+
+/// Milliseconds for the kernel timeout, rounded **up** so a sub-tick
+/// deadline sleeps at least once instead of busy-spinning; the caller
+/// re-checks wall-clock deadlines against `Instant::now()` after every
+/// wake-up, so oversleeping by a fraction of a millisecond is harmless.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) => {
+            let ms = t.as_millis().saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0));
+            ms.min(i32::MAX as u128) as i32
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest, MAX_EVENTS};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Kernel `struct epoll_event`. On x86/x86_64 the kernel ABI packs it
+    /// (no padding between `events` and `data`); everywhere else it is
+    /// naturally aligned.
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// An epoll instance owning its fd.
+    pub struct Poller {
+        epfd: RawFd,
+        /// Reused kernel-facing event buffer (zero-initialized, plain old
+        /// data — no uninitialized memory is ever read).
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: epoll_create1 takes no pointers; a negative return
+            // is checked and surfaced as the OS error.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd, buf: vec![EpollEvent { events: 0, data: 0 }; MAX_EVENTS] })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent { events: interest_bits(interest), data: token };
+            // SAFETY: `ev` is a live, properly laid-out epoll_event for
+            // the duration of the call; the kernel only reads it.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            // A null event pointer is allowed for DEL on every kernel
+            // since 2.6.9; passing a dummy event stays compatible anyway.
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::new(false, false))
+        }
+
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            events.clear();
+            // SAFETY: `buf` holds MAX_EVENTS initialized epoll_events;
+            // the kernel writes at most `maxevents` of them and the
+            // checked return value `n` bounds how many are read back.
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    MAX_EVENTS as i32,
+                    super::timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    // EINTR: report an empty tick; the reactor recomputes
+                    // its deadline timeout and calls again.
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for raw in self.buf.iter().take(n as usize) {
+                // Copy out of the (possibly packed) struct before use.
+                let (bits, data) = (raw.events, raw.data);
+                let err = bits & (EPOLLERR | EPOLLHUP) != 0;
+                events.push(Event {
+                    token: data,
+                    readable: err || bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: err || bits & EPOLLOUT != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: `epfd` is a valid fd this Poller exclusively owns;
+            // nothing uses it after drop.
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = 0;
+        if interest.readable {
+            // RDHUP so a half-closed peer wakes the reactor even when the
+            // read buffer is empty (it reads the EOF and closes cleanly).
+            bits |= EPOLLIN | EPOLLRDHUP;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+#[cfg(all(
+    any(
+        target_os = "macos",
+        target_os = "ios",
+        target_os = "freebsd",
+        target_os = "netbsd",
+        target_os = "openbsd",
+        target_os = "dragonfly"
+    ),
+    target_pointer_width = "64"
+))]
+mod sys {
+    use super::{Event, Interest, MAX_EVENTS};
+    use std::ffi::c_void;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::ptr;
+    use std::time::Duration;
+
+    const EVFILT_READ: i16 = -1;
+    const EVFILT_WRITE: i16 = -2;
+    const EV_ADD: u16 = 0x0001;
+    const EV_DELETE: u16 = 0x0002;
+    const EV_EOF: u16 = 0x8000;
+    const EV_ERROR: u16 = 0x4000;
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    /// `struct kevent` as laid out by the 64-bit BSD/darwin ABIs.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct Kevent {
+        ident: usize,
+        filter: i16,
+        flags: u16,
+        fflags: u32,
+        data: isize,
+        udata: *mut c_void,
+    }
+
+    extern "C" {
+        fn kqueue() -> i32;
+        fn kevent(
+            kq: i32,
+            changelist: *const Kevent,
+            nchanges: i32,
+            eventlist: *mut Kevent,
+            nevents: i32,
+            timeout: *const Timespec,
+        ) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// A kqueue instance owning its fd.
+    pub struct Poller {
+        kq: RawFd,
+        buf: Vec<Kevent>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: kqueue takes no arguments; a negative return is
+            // checked and surfaced as the OS error.
+            let kq = unsafe { kqueue() };
+            if kq < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let zero = Kevent {
+                ident: 0,
+                filter: 0,
+                flags: 0,
+                fflags: 0,
+                data: 0,
+                udata: std::ptr::null_mut(),
+            };
+            Ok(Poller { kq, buf: vec![zero; MAX_EVENTS] })
+        }
+
+        /// Apply one filter change; `required` distinguishes "must
+        /// succeed" adds from best-effort deletes (ENOENT is expected when
+        /// the filter was never registered).
+        fn change(
+            &self,
+            fd: RawFd,
+            filter: i16,
+            flags: u16,
+            token: u64,
+            required: bool,
+        ) -> io::Result<()> {
+            let change = Kevent {
+                ident: fd as usize,
+                filter,
+                flags,
+                fflags: 0,
+                data: 0,
+                udata: token as *mut c_void,
+            };
+            // SAFETY: the changelist points at one live Kevent; no
+            // eventlist is supplied so the kernel writes nothing back.
+            let rc = unsafe { kevent(self.kq, &change, 1, ptr::null_mut(), 0, ptr::null()) };
+            if rc < 0 && required {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        fn apply(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            for (filter, wanted) in
+                [(EVFILT_READ, interest.readable), (EVFILT_WRITE, interest.writable)]
+            {
+                if wanted {
+                    self.change(fd, filter, EV_ADD, token, true)?;
+                } else {
+                    self.change(fd, filter, EV_DELETE, token, false)?;
+                }
+            }
+            Ok(())
+        }
+
+        pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.apply(fd, token, interest)
+        }
+
+        pub fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.apply(fd, token, interest)
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            self.apply(fd, 0, Interest::new(false, false))
+        }
+
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            events.clear();
+            let ms = super::timeout_ms(timeout);
+            let ts;
+            let ts_ptr = if ms < 0 {
+                std::ptr::null()
+            } else {
+                ts = Timespec {
+                    tv_sec: i64::from(ms) / 1000,
+                    tv_nsec: i64::from(ms) % 1000 * 1_000_000,
+                };
+                &ts as *const Timespec
+            };
+            // SAFETY: `buf` holds MAX_EVENTS initialized Kevents; the
+            // kernel writes at most `nevents` of them and the checked
+            // return value `n` bounds how many are read back. `ts_ptr` is
+            // null or points at `ts`, which outlives the call.
+            let n = unsafe {
+                kevent(
+                    self.kq,
+                    std::ptr::null(),
+                    0,
+                    self.buf.as_mut_ptr(),
+                    MAX_EVENTS as i32,
+                    ts_ptr,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for raw in self.buf.iter().take(n as usize) {
+                let err = raw.flags & (EV_EOF | EV_ERROR) != 0;
+                events.push(Event {
+                    token: raw.udata as u64,
+                    readable: err || raw.filter == EVFILT_READ,
+                    writable: err || raw.filter == EVFILT_WRITE,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: `kq` is a valid fd this Poller exclusively owns;
+            // nothing uses it after drop.
+            unsafe { close(self.kq) };
+        }
+    }
+}
+
+#[cfg(not(any(
+    target_os = "linux",
+    all(
+        any(
+            target_os = "macos",
+            target_os = "ios",
+            target_os = "freebsd",
+            target_os = "netbsd",
+            target_os = "openbsd",
+            target_os = "dragonfly"
+        ),
+        target_pointer_width = "64"
+    )
+)))]
+compile_error!(
+    "kg-serve's reactor needs a readiness backend: epoll (Linux) or kqueue (64-bit macOS/BSD)"
+);
+
+/// OS readiness queue with a uniform face over epoll and kqueue.
+///
+/// Level-triggered: a registered fd reports on every [`Poller::wait`]
+/// while its condition holds. Register only interests the state machine
+/// can consume, or the reactor busy-spins.
+pub struct Poller {
+    sys: sys::Poller,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { sys: sys::Poller::new()? })
+    }
+
+    /// Start watching `fd` under `token`. The fd must stay open until
+    /// [`Poller::deregister`] (the kernel also drops closed fds on its
+    /// own, but relying on that leaks kqueue filters).
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.sys.register(fd, token, interest)
+    }
+
+    /// Replace the interest set (and token) of an fd registered earlier.
+    pub fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.sys.reregister(fd, token, interest)
+    }
+
+    /// Stop watching `fd`. Call before closing it.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        self.sys.deregister(fd)
+    }
+
+    /// Block until at least one registered fd is ready, `timeout` elapses
+    /// (`None` = forever), or a signal interrupts the wait (reported as an
+    /// empty `events`, never an error). Ready fds are appended to
+    /// `events`, at most [`MAX_EVENTS`] per call.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        self.sys.wait(events, timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::Instant;
+
+    #[test]
+    fn timeout_ms_rounds_up_and_saturates() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_ms(Some(Duration::from_nanos(1))), 1);
+        assert_eq!(timeout_ms(Some(Duration::from_millis(250))), 250);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(1500))), 2);
+        assert_eq!(timeout_ms(Some(Duration::from_secs(u64::MAX))), i32::MAX);
+    }
+
+    #[test]
+    fn readiness_roundtrip_on_a_socketpair() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 7, Interest::READABLE).unwrap();
+        let mut events = Vec::new();
+
+        // Nothing to read yet: a zero timeout returns promptly and empty.
+        poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(events.is_empty(), "no data, no event");
+
+        a.write_all(b"x").unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: unread data re-reports on the next wait.
+        poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
+        assert_eq!(events.len(), 1, "level-triggered backends re-report");
+
+        // Consume; readiness clears.
+        let mut byte = [0u8; 1];
+        (&b).read_exact(&mut byte).unwrap();
+        poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(events.is_empty(), "consumed data, no event");
+
+        // Peer close reports readable (read yields EOF).
+        drop(a);
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].readable, "hang-up surfaces as readable");
+        poller.deregister(b.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn write_interest_and_timeouts() {
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        // A fresh socket's send buffer has room: writable immediately.
+        poller.register(a.as_raw_fd(), 3, Interest::new(false, true)).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 3);
+        assert!(events[0].writable);
+
+        // Interest swap to readable: no data pending → a short timeout
+        // elapses (bounds the blocking wait as promised).
+        poller.reregister(a.as_raw_fd(), 3, Interest::READABLE).unwrap();
+        let start = Instant::now();
+        poller.wait(&mut events, Some(Duration::from_millis(30))).unwrap();
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(25), "timeout honored");
+        drop(b);
+    }
+}

@@ -23,6 +23,10 @@
 //!
 //! The router is transport-independent: it maps `(method, path, body)` to a
 //! [`Response`], which makes every handler unit-testable without sockets.
+//! In the server it runs on the pool workers the reactor dispatches parsed
+//! requests to (`crate::reactor`) — a handler may block (locks, scoring
+//! passes) without stalling any other connection's I/O, but every blocked
+//! handler occupies one of [`crate::ServerConfig::workers`].
 //! A router can also front a [`Gateway`] instead of a local registry
 //! ([`Router::gateway`]): `/score`, `/topk`, and `/eval` are then
 //! scattered across remote shard workers and the partials merged (see

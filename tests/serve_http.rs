@@ -32,6 +32,10 @@ struct Fixture {
 
 impl Fixture {
     fn start() -> Fixture {
+        Fixture::start_with(ServerConfig { workers: 8, ..Default::default() })
+    }
+
+    fn start_with(config: ServerConfig) -> Fixture {
         let dataset = generate(&SyntheticKgConfig {
             num_entities: 200,
             num_relations: 5,
@@ -59,8 +63,7 @@ impl Fixture {
         registry.register("m", Arc::clone(&model), Arc::clone(&filter));
         let metrics = Arc::clone(registry.metrics());
         let router = Router::new(Arc::clone(&registry));
-        let server =
-            serve(router, &ServerConfig { workers: 8, ..Default::default() }).expect("bind");
+        let server = serve(router, &config).expect("bind");
         let threads = kgeval::core::parallel::default_threads();
         Fixture { server, model, filter, test: dataset.test.clone(), threads, metrics }
     }
@@ -627,6 +630,75 @@ fn http_layer_rejections_are_counted_in_metrics() {
     );
     assert!(prom.contains("kg_serve_connections_total"), "{prom}");
     assert_eq!(fx.metrics.requests_for(kgeval::serve::HTTP_PARSE_ENDPOINT), 1);
+    fx.server.shutdown();
+}
+
+#[test]
+fn c10k_idle_keepalive_connections_coexist_with_live_traffic() {
+    // The reactor's reason to exist: ~1k mostly-idle keep-alive
+    // connections parked on a 4-worker pool, while interleaved /score and
+    // /topk traffic is answered byte-identically to an unloaded server.
+    // Under the old thread-per-connection model this test could not pass
+    // with any worker count below the connection count.
+    const IDLERS: usize = 1000;
+    let fx = Fixture::start_with(ServerConfig {
+        workers: 4,
+        max_connections: IDLERS + 64,
+        // Long enough that parked idlers survive the whole test.
+        idle_timeout: Duration::from_secs(120),
+        ..Default::default()
+    });
+    let addr = fx.server.addr();
+
+    // Reference responses captured before any load exists.
+    let score_body =
+        format!("{{\"model\":\"m\",\"triples\":[{}]}}", fx.triples_json(&fx.test[..8]));
+    let q = fx.test[0];
+    let topk_body = format!(
+        "{{\"model\":\"m\",\"queries\":[{{\"head\":{},\"relation\":{}}}],\"k\":5}}",
+        q.head.0, q.relation.0
+    );
+    let (s0, score_ref) = client::post_json(addr, "/score", &score_body).unwrap();
+    let (t0, topk_ref) = client::post_json(addr, "/topk", &topk_body).unwrap();
+    assert_eq!((s0, t0), (200, 200), "{score_ref} / {topk_ref}");
+
+    // Park the idlers, each proven live with one request so the server has
+    // actually served (and kept) every one of them.
+    let mut idlers: Vec<client::Connection> = Vec::with_capacity(IDLERS);
+    for i in 0..IDLERS {
+        let mut conn =
+            client::Connection::open(addr).unwrap_or_else(|e| panic!("open idler {i}: {e}"));
+        let (status, body) =
+            conn.get("/healthz").unwrap_or_else(|e| panic!("idler {i} first request: {e}"));
+        assert_eq!(status, 200, "idler {i}: {body}");
+        idlers.push(conn);
+    }
+    assert!(
+        fx.metrics.active_connections() >= IDLERS as u64,
+        "all idlers must be open concurrently, saw {}",
+        fx.metrics.active_connections()
+    );
+
+    // Live traffic lands correctly while every idler stays parked.
+    for round in 0..5 {
+        let (status, body) = client::post_json(addr, "/score", &score_body).unwrap();
+        assert_eq!(status, 200, "round {round}: {body}");
+        assert_eq!(body, score_ref, "round {round}: /score must be byte-identical under load");
+        let (status, body) = client::post_json(addr, "/topk", &topk_body).unwrap();
+        assert_eq!(status, 200, "round {round}: {body}");
+        assert_eq!(body, topk_ref, "round {round}: /topk must be byte-identical under load");
+    }
+
+    // Sampled idlers are still alive and serve the same bytes.
+    for i in (0..IDLERS).step_by(97) {
+        let (status, body) = idlers[i]
+            .post_json("/score", &score_body)
+            .unwrap_or_else(|e| panic!("idler {i} after load: {e}"));
+        assert_eq!(status, 200, "idler {i} after load: {body}");
+        assert_eq!(body, score_ref, "idler {i}: kept-alive /score parity");
+        assert!(!idlers[i].server_closed(), "idler {i} must stay open");
+    }
+    drop(idlers);
     fx.server.shutdown();
 }
 
